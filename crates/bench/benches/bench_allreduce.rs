@@ -1,0 +1,53 @@
+//! Ablation: gradient-aggregation collectives (Unit 4 lecture).
+//!
+//! Prints the per-worker byte series showing ring's bandwidth
+//! optimality, then times each algorithm across workers × payload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opml_mlops::allreduce::{all_reduce, ReduceAlgo};
+use opml_simkernel::Rng;
+
+fn buffers(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.range_f64(-1.0, 1.0) as f32).collect())
+        .collect()
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    // The lecture's claim, measured: max per-worker bytes.
+    println!("[allreduce] max bytes/worker for a 1M-element (4 MB) buffer:");
+    for n in [2usize, 4, 8] {
+        let mut line = format!("  N={n}:");
+        for algo in ReduceAlgo::ALL {
+            let mut bufs = buffers(n, 1_000_000, 1);
+            let stats = all_reduce(&mut bufs, algo);
+            line.push_str(&format!(" {}={}", algo.name(), stats.max_bytes_per_worker()));
+        }
+        println!("{line}");
+    }
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for &len in &[65_536usize, 1_048_576] {
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        for n in [2usize, 4, 8] {
+            for algo in ReduceAlgo::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}-n{n}", algo.name()), len),
+                    &(n, len, algo),
+                    |b, &(n, len, algo)| {
+                        b.iter_batched(
+                            || buffers(n, len, 7),
+                            |mut bufs| all_reduce(&mut bufs, algo).rounds,
+                            criterion::BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

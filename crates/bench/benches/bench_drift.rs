@@ -1,0 +1,50 @@
+//! Drift-detector throughput and detection delay (Unit 7 substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use opml_mlops::drift::{DriftDetector, DriftStatus};
+use opml_simkernel::Rng;
+
+fn bench_drift(c: &mut Criterion) {
+    // Detection-delay series vs shift magnitude.
+    println!("[drift] detection delay (observations after onset), window 500:");
+    for shift in [0.5f64, 1.0, 2.0] {
+        let mut rng = Rng::new(1);
+        let reference: Vec<f64> = (0..2000).map(|_| rng.normal()).collect();
+        let mut det = DriftDetector::new(reference, 500, 0.01);
+        for _ in 0..500 {
+            det.push(rng.normal());
+        }
+        let mut delay = None;
+        for i in 0..3000 {
+            if let Some(r) = det.push(rng.normal() + shift) {
+                if r.status == DriftStatus::Drift {
+                    delay = Some(i);
+                    break;
+                }
+            }
+        }
+        println!("  shift {shift}: {:?}", delay);
+    }
+    let mut group = c.benchmark_group("drift");
+    group.throughput(Throughput::Elements(1000));
+    group.sample_size(20);
+    group.bench_function("push_1000", |b| {
+        let mut rng = Rng::new(2);
+        let reference: Vec<f64> = (0..2000).map(|_| rng.normal()).collect();
+        b.iter(|| {
+            let mut det = DriftDetector::new(reference.clone(), 500, 0.01);
+            let mut rng = Rng::new(3);
+            let mut drifts = 0;
+            for _ in 0..1000 {
+                if det.push(rng.normal()).is_some() {
+                    drifts += 1;
+                }
+            }
+            drifts
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drift);
+criterion_main!(benches);

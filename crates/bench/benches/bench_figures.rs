@@ -1,0 +1,32 @@
+//! Figure regeneration benchmarks: Fig. 1/2/3 derivations from a fixed
+//! full-course context, plus the headline aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opml_experiments::{fig1, fig2, fig3, headline, run_paper_course};
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = run_paper_course(42);
+    // Regenerate and print each figure's comparisons once.
+    for (name, (_, cmp)) in [
+        ("fig1", fig1::run(&ctx)),
+        ("fig2", fig2::run(&ctx)),
+        ("fig3", fig3::run(&ctx)),
+        ("headline", headline::run(&ctx)),
+    ] {
+        println!(
+            "[{name}] {}/{} comparisons within tolerance",
+            cmp.rows.iter().filter(|r| r.within_tolerance()).count(),
+            cmp.rows.len()
+        );
+    }
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig1", |b| b.iter(|| fig1::run(&ctx).1.rows.len()));
+    group.bench_function("fig2", |b| b.iter(|| fig2::run(&ctx).1.rows.len()));
+    group.bench_function("fig3", |b| b.iter(|| fig3::run(&ctx).1.rows.len()));
+    group.bench_function("headline", |b| b.iter(|| headline::run(&ctx).1.rows.len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! DAG workflow-engine overhead (Unit 3 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opml_mlops::pipeline::{Context, Workflow};
+
+fn diamond_workflow(width: usize) -> Workflow {
+    let mut wf = Workflow::new();
+    wf.add_task("source", &[], 0, |_| Ok(())).expect("fresh");
+    let names: Vec<String> = (0..width).map(|i| format!("fan{i}")).collect();
+    for n in &names {
+        wf.add_task(n, &["source"], 0, |_| Ok(())).expect("fresh");
+    }
+    let deps: Vec<&str> = names.iter().map(String::as_str).collect();
+    wf.add_task("sink", &deps, 0, |_| Ok(())).expect("fresh");
+    wf
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    for width in [4usize, 16, 64] {
+        let wf = diamond_workflow(width);
+        group.bench_with_input(BenchmarkId::new("diamond", width), &wf, |b, wf| {
+            b.iter(|| {
+                let result = wf.run(&Context::new());
+                assert!(result.succeeded());
+                result.waves
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: scheduling policies on MLaaS-style traces (Unit 5 lecture).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opml_sched::{workload, Cluster, Placement, Policy, SchedSim};
+
+fn bench_sched(c: &mut Criterion) {
+    // Print the policy comparison series at two loads.
+    for load in [0.7f64, 1.1] {
+        let jobs = workload::ml_trace(1000, load, 42);
+        println!("[sched] load {load}:");
+        for policy in Policy::ALL {
+            let m = SchedSim::new(Cluster::homogeneous(8, 4), policy, Placement::Packed)
+                .run(&jobs)
+                .metrics();
+            println!(
+                "  {:<20} wait {:6.2} h  p95 {:7.2} h  util {:.3}  jain {:.3}",
+                policy.name(), m.mean_wait_hours, m.p95_wait_hours, m.utilization, m.jain_fairness
+            );
+        }
+    }
+    // Placement ablation.
+    let jobs = workload::ml_trace(1000, 1.0, 43);
+    for placement in [Placement::Packed, Placement::Spread] {
+        let m = SchedSim::new(Cluster::homogeneous(8, 4), Policy::EasyBackfill, placement)
+            .run(&jobs)
+            .metrics();
+        println!("[sched] placement {placement:?}: wait {:.2} h util {:.3}", m.mean_wait_hours, m.utilization);
+    }
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+    let jobs = workload::ml_trace(1000, 0.9, 44);
+    for policy in Policy::ALL {
+        group.bench_with_input(BenchmarkId::new(policy.name(), 1000), &policy, |b, &p| {
+            b.iter(|| {
+                SchedSim::new(Cluster::homogeneous(8, 4), p, Placement::Packed)
+                    .run(&jobs)
+                    .metrics()
+                    .mean_wait_hours
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

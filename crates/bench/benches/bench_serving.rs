@@ -1,0 +1,55 @@
+//! Ablation: serving configurations (Unit 6 lab's trade-off curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opml_mlops::serving::{simulate, LoadSpec, ModelProfile, ServerConfig};
+
+fn bench_serving(c: &mut Criterion) {
+    // Batch-size sweep at fixed load: throughput vs p95 latency.
+    println!("[serving] fp32 GPU, 150 rps, batch sweep:");
+    for batch in [1usize, 2, 4, 8, 16] {
+        let r = simulate(
+            ModelProfile::fp32_server_gpu(),
+            ServerConfig { replicas: 1, max_batch: batch, max_queue_delay_ms: 5.0 },
+            LoadSpec { rps: 150.0, requests: 5000 },
+            42,
+        );
+        println!(
+            "  batch {batch:>2}: p50 {:7.1} ms  p95 {:8.1} ms  thru {:6.1} rps  mean batch {:.2}",
+            r.p50_latency_ms, r.p95_latency_ms, r.throughput_rps, r.mean_batch_size
+        );
+    }
+    // Profile comparison (model-level optimizations).
+    println!("[serving] profiles at 80 rps, batch 8:");
+    for (name, p) in [
+        ("fp32-gpu", ModelProfile::fp32_server_gpu()),
+        ("int8-gpu", ModelProfile::int8_server_gpu()),
+        ("fp32-cpu", ModelProfile::fp32_server_cpu()),
+    ] {
+        let r = simulate(
+            p,
+            ServerConfig { replicas: 1, max_batch: 8, max_queue_delay_ms: 5.0 },
+            LoadSpec { rps: 80.0, requests: 3000 },
+            42,
+        );
+        println!("  {name:<9} p95 {:8.1} ms  thru {:6.1} rps", r.p95_latency_ms, r.throughput_rps);
+    }
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+    for batch in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("simulate", batch), &batch, |b, &k| {
+            b.iter(|| {
+                simulate(
+                    ModelProfile::fp32_server_gpu(),
+                    ServerConfig { replicas: 2, max_batch: k, max_queue_delay_ms: 5.0 },
+                    LoadSpec { rps: 120.0, requests: 2000 },
+                    7,
+                )
+                .p95_latency_ms
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 1 regeneration benchmark: semester simulation + metering +
+//! pricing, swept over enrollment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opml_bench::labs_semester;
+use opml_metering::rollup::AssignmentRollup;
+use opml_pricing::estimate::price_lab_assignments;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table totals once, outside the timing loop.
+    for enrollment in [48u32, 96, 191] {
+        let outcome = labs_semester(enrollment, 42);
+        let rollup = AssignmentRollup::from_ledger(&outcome.ledger, enrollment as usize);
+        let table = price_lab_assignments(&rollup);
+        println!(
+            "[table1] enrollment {enrollment}: {:.0} instance h, {:.0} FIP h, ${:.0} AWS, ${:.0} GCP (${:.0}/student AWS)",
+            table.total.instance_hours,
+            table.total.fip_hours,
+            table.total.aws_usd,
+            table.total.gcp_usd,
+            table.total.aws_per_student
+        );
+    }
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for enrollment in [48u32, 96, 191] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate+price", enrollment),
+            &enrollment,
+            |b, &n| {
+                b.iter(|| {
+                    let outcome = labs_semester(n, 42);
+                    let rollup = AssignmentRollup::from_ledger(&outcome.ledger, n as usize);
+                    price_lab_assignments(&rollup).total.aws_usd
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Experiment-tracker ingest throughput (Unit 5 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opml_mlops::tracking::{ExperimentTracker, RunStatus};
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking");
+    group.throughput(Throughput::Elements(10_000));
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("log_metric", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let tracker = ExperimentTracker::new();
+                    let per_thread = 10_000 / t;
+                    std::thread::scope(|s| {
+                        for _ in 0..t {
+                            let tracker = tracker.clone();
+                            s.spawn(move || {
+                                let run = tracker.start_run("bench");
+                                for step in 0..per_thread as u64 {
+                                    tracker.log_metric(run, "loss", step, 0.5);
+                                }
+                                tracker.end_run(run, RunStatus::Finished);
+                            });
+                        }
+                    });
+                    tracker.run_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

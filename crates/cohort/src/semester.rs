@@ -1,0 +1,475 @@
+//! The semester driver: plan → time-ordered execution → closed ledger.
+//!
+//! Planning makes all bare-metal/edge reservations against the cloud's
+//! calendar (reservations are future-dated, like the real course's
+//! advance arrangements in §4), then every action is executed through a
+//! single time-ordered event queue so the cloud's clock stays monotone
+//! and lease auto-terminations fire exactly when they should.
+
+use crate::behavior::StudentProfile;
+use crate::labspec::lab_specs;
+use crate::project::{plan_projects, ProjectPlan};
+use opml_metering::attribution::student_name;
+use opml_simkernel::{split_seed, EventQueue, Rng, SimDuration, SimTime};
+use opml_testbed::error::CloudError;
+use opml_testbed::flavor::FlavorId;
+use opml_testbed::instance::InstanceId;
+use opml_testbed::lease::LeaseId;
+use opml_testbed::ledger::Ledger;
+use opml_testbed::network::{FloatingIpId, NetworkId};
+use opml_testbed::storage::VolumeId;
+use opml_testbed::Cloud;
+use serde::{Deserialize, Serialize};
+
+/// A planned on-demand VM deployment.
+#[derive(Debug, Clone)]
+pub struct PlannedVm {
+    /// Deployment name (attribution key; nodes get `-node<k>` suffixes).
+    pub name: String,
+    /// Flavor.
+    pub flavor: FlavorId,
+    /// Instances in the deployment.
+    pub node_count: u32,
+    /// Creation time.
+    pub start: SimTime,
+    /// How long the deployment lives.
+    pub wall: SimDuration,
+    /// Whether it holds a floating IP.
+    pub fip: bool,
+    /// Whether it creates a private network + router.
+    pub network: bool,
+    /// Quota-retry attempts so far.
+    pub attempts: u32,
+}
+
+/// A planned lease-backed deployment (instance created at lease start,
+/// auto-terminated at lease end).
+#[derive(Debug, Clone)]
+pub struct PlannedLease {
+    /// Instance/FIP name.
+    pub name: String,
+    /// Admitted lease.
+    pub lease: LeaseId,
+    /// Lease start.
+    pub start: SimTime,
+    /// Lease end.
+    pub end: SimTime,
+}
+
+/// A planned block volume.
+#[derive(Debug, Clone)]
+pub struct PlannedVolume {
+    /// Volume name.
+    pub name: String,
+    /// Size in GB.
+    pub gb: u64,
+    /// Creation time.
+    pub start: SimTime,
+    /// Deletion time.
+    pub end: SimTime,
+}
+
+/// Semester configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemesterConfig {
+    /// Enrolled students (paper: 191).
+    pub enrollment: u32,
+    /// Semester length in weeks (paper: 14; we close the books at
+    /// `weeks + 1` to catch end-of-term teardowns).
+    pub weeks: u64,
+    /// Whether to simulate the project phase.
+    pub run_projects: bool,
+    /// Ablation: if set, on-demand VM deployments are capped at this
+    /// duration, emulating Chameleon's later addition of VM advance
+    /// reservations with automatic termination (§5).
+    pub vm_auto_terminate_after: Option<SimDuration>,
+}
+
+impl SemesterConfig {
+    /// The paper's course: 191 students, 14 weeks, projects on.
+    pub fn paper_course() -> SemesterConfig {
+        SemesterConfig {
+            enrollment: 191,
+            weeks: 14,
+            run_projects: true,
+            vm_auto_terminate_after: None,
+        }
+    }
+
+    /// Labs only (the Table 1 scope).
+    pub fn labs_only() -> SemesterConfig {
+        SemesterConfig { run_projects: false, ..SemesterConfig::paper_course() }
+    }
+}
+
+/// Result of a semester simulation.
+#[derive(Debug)]
+pub struct SemesterOutcome {
+    /// The closed usage ledger.
+    pub ledger: Ledger,
+    /// Quota denials encountered (deployments retried later).
+    pub quota_denials: u64,
+    /// Reservations that could not be placed at the preferred time and
+    /// were pushed to a later slot.
+    pub slot_pushbacks: u64,
+}
+
+enum Ev {
+    VmUp(PlannedVm),
+    VmDown {
+        ids: Vec<InstanceId>,
+        fip: Option<FloatingIpId>,
+        net: Option<NetworkId>,
+        vol: Option<VolumeId>,
+    },
+    LeaseUp { name: String, lease: LeaseId, fip_until: SimTime },
+    FipDown(FloatingIpId),
+    VolUp(PlannedVolume),
+    VolDown(VolumeId),
+    BucketPut { name: String, gb: f64 },
+}
+
+/// Simulate a full semester; returns the closed ledger and counters.
+pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome {
+    let mut cloud = Cloud::paper_course();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut slot_pushbacks = 0u64;
+
+    // ------------------------------------------------ plan student labs
+    let specs = lab_specs();
+    for sid in 0..config.enrollment {
+        let mut rng = Rng::new(split_seed(seed, sid as u64));
+        let profile = StudentProfile::sample(sid, &mut rng);
+        for spec in &specs {
+            let week_start = SimTime::at(spec.week, 0, 0, 0);
+            let preferred =
+                week_start + SimDuration::from_hours_f64(profile.start_offset_hours(&mut rng));
+            if spec.is_leased() {
+                let slots = profile.slots_booked(spec, &mut rng);
+                let mut earliest = preferred;
+                for _ in 0..slots {
+                    let flavor = profile.pick_flavor(spec, &mut rng);
+                    let dur = SimDuration::hours(spec.slot_hours);
+                    let Some(start) = cloud.earliest_slot(flavor, 1, dur, earliest) else {
+                        continue;
+                    };
+                    if start > earliest {
+                        slot_pushbacks += 1;
+                    }
+                    let name = student_name(spec.tag, sid);
+                    let lease = cloud
+                        .reserve(flavor, 1, start, start + dur, &name)
+                        .expect("earliest_slot admitted this window");
+                    queue.push(
+                        start,
+                        Ev::LeaseUp { name, lease: lease.id, fip_until: start + dur },
+                    );
+                    earliest = start + dur;
+                }
+            } else {
+                let mut wall =
+                    SimDuration::from_hours_f64(profile.vm_wall_hours(spec, &mut rng));
+                if let Some(cap) = config.vm_auto_terminate_after {
+                    wall = wall.min(cap);
+                }
+                queue.push(
+                    preferred,
+                    Ev::VmUp(PlannedVm {
+                        name: student_name(spec.tag, sid),
+                        flavor: spec.flavors[0].0,
+                        node_count: spec.node_count,
+                        start: preferred,
+                        wall,
+                        fip: true,
+                        network: spec.private_network,
+                        attempts: 0,
+                    }),
+                );
+                if let Some(storage) = spec.storage {
+                    let name = student_name(spec.tag, sid);
+                    queue.push(
+                        preferred,
+                        Ev::VolUp(PlannedVolume {
+                            name: format!("{name}-vol"),
+                            gb: storage.block_gb,
+                            start: preferred,
+                            end: preferred + wall,
+                        }),
+                    );
+                    queue.push(
+                        preferred + SimDuration::minutes(30),
+                        Ev::BucketPut { name: format!("{name}-bucket"), gb: storage.object_gb },
+                    );
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------- plan projects
+    if config.run_projects {
+        let window_start = SimTime::at(8, 3, 12, 0);
+        let window_end = SimTime::at(config.weeks + 1, 0, 0, 0);
+        let plan: ProjectPlan =
+            plan_projects(&mut cloud, window_start, window_end, seed ^ 0x1234_5678);
+        for vm in plan.vms {
+            queue.push(vm.start, Ev::VmUp(vm));
+        }
+        for l in plan.leases {
+            queue.push(
+                l.start,
+                Ev::LeaseUp { name: l.name, lease: l.lease, fip_until: l.end },
+            );
+        }
+        for v in plan.volumes {
+            queue.push(v.start, Ev::VolUp(v));
+        }
+        for (name, gb, at) in plan.buckets {
+            queue.push(at, Ev::BucketPut { name, gb });
+        }
+    }
+
+    // -------------------------------------------------------- execution
+    let semester_end = SimTime::at(config.weeks + 1, 0, 0, 0);
+    let mut quota_denials = 0u64;
+    while let Some((t, ev)) = queue.pop() {
+        cloud.advance_to(t);
+        match ev {
+            Ev::VmUp(mut vm) => {
+                match deploy_vm(&mut cloud, &vm) {
+                    Ok((ids, fip, net, vol)) => {
+                        queue.push(t + vm.wall, Ev::VmDown { ids, fip, net, vol });
+                    }
+                    Err(CloudError::QuotaExceeded { .. }) => {
+                        quota_denials += 1;
+                        vm.attempts += 1;
+                        if vm.attempts < 100 {
+                            // Student tries again later in the day.
+                            queue.push(t + SimDuration::hours(4), Ev::VmUp(vm));
+                        }
+                    }
+                    Err(e) => panic!("unexpected deploy failure: {e}"),
+                }
+            }
+            Ev::VmDown { ids, fip, net, vol } => {
+                for id in ids {
+                    // Ignore instances already reaped (ablation overlap).
+                    let _ = cloud.delete_instance(id);
+                }
+                if let Some(f) = fip {
+                    let _ = cloud.release_fip(f);
+                }
+                if let Some(n) = net {
+                    let _ = cloud.delete_network(n);
+                }
+                if let Some(v) = vol {
+                    let _ = cloud.detach_volume(v);
+                    let _ = cloud.delete_volume(v);
+                }
+            }
+            Ev::LeaseUp { name, lease, fip_until } => {
+                // Bare-metal provisioning per §4: student claims the node
+                // at slot start; auto-termination reclaims it.
+                let inst = cloud
+                    .create_leased_instance(&name, lease)
+                    .expect("lease covers its own start");
+                let _ = inst;
+                if let Ok(fip) = cloud.allocate_fip(&name) {
+                    queue.push(fip_until, Ev::FipDown(fip));
+                }
+            }
+            Ev::FipDown(fip) => {
+                let _ = cloud.release_fip(fip);
+            }
+            Ev::VolUp(v) => match cloud.create_volume(&v.name, v.gb) {
+                Ok(id) => {
+                    queue.push(v.end, Ev::VolDown(id));
+                }
+                Err(CloudError::QuotaExceeded { .. }) => {
+                    quota_denials += 1;
+                }
+                Err(e) => panic!("unexpected volume failure: {e}"),
+            },
+            Ev::VolDown(id) => {
+                let _ = cloud.detach_volume(id);
+                let _ = cloud.delete_volume(id);
+            }
+            Ev::BucketPut { name, gb } => {
+                cloud.bucket(&name).put((gb * 1000.0) as u64, gb);
+            }
+        }
+    }
+    cloud.finalize(semester_end);
+    SemesterOutcome { ledger: cloud.into_ledger(), quota_denials, slot_pushbacks }
+}
+
+type Deployed =
+    (Vec<InstanceId>, Option<FloatingIpId>, Option<NetworkId>, Option<VolumeId>);
+
+/// Create a VM deployment atomically; on quota failure, roll back any
+/// partial allocation so the retry starts clean.
+fn deploy_vm(cloud: &mut Cloud, vm: &PlannedVm) -> Result<Deployed, CloudError> {
+    let mut ids = Vec::with_capacity(vm.node_count as usize);
+    let rollback = |cloud: &mut Cloud, ids: &[InstanceId]| {
+        for &id in ids {
+            let _ = cloud.delete_instance(id);
+        }
+    };
+    for k in 0..vm.node_count {
+        let node_name = if vm.node_count == 1 {
+            vm.name.clone()
+        } else {
+            format!("{}-node{k}", vm.name)
+        };
+        match cloud.create_instance(&node_name, vm.flavor) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                rollback(cloud, &ids);
+                return Err(e);
+            }
+        }
+    }
+    let net = if vm.network {
+        match cloud.create_network(&vm.name) {
+            Ok(n) => Some(n),
+            Err(e) => {
+                rollback(cloud, &ids);
+                return Err(e);
+            }
+        }
+    } else {
+        None
+    };
+    let fip = if vm.fip {
+        match cloud.allocate_fip(&vm.name) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                if let Some(n) = net {
+                    let _ = cloud.delete_network(n);
+                }
+                rollback(cloud, &ids);
+                return Err(e);
+            }
+        }
+    } else {
+        None
+    };
+    Ok((ids, fip, net, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opml_metering::rollup::AssignmentRollup;
+
+    #[test]
+    fn small_semester_runs_clean() {
+        let config = SemesterConfig {
+            enrollment: 12,
+            weeks: 14,
+            run_projects: false,
+            vm_auto_terminate_after: None,
+        };
+        let outcome = simulate_semester(&config, 7);
+        assert!(outcome.ledger.instance_hours(None) > 0.0);
+        assert_eq!(outcome.quota_denials, 0, "12 students should never hit quota");
+        let rollup = AssignmentRollup::from_ledger(&outcome.ledger, 12);
+        // Every lab family appears.
+        for tag in [
+            "lab1", "lab2", "lab3", "lab4-multi", "lab5-multi", "lab6-edge", "lab7", "lab8",
+        ] {
+            assert!(
+                rollup.rows.iter().any(|r| r.tag == tag),
+                "missing rollup rows for {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn leased_usage_is_auto_terminated() {
+        let config = SemesterConfig {
+            enrollment: 8,
+            weeks: 14,
+            run_projects: false,
+            vm_auto_terminate_after: None,
+        };
+        let outcome = simulate_semester(&config, 8);
+        let rollup = AssignmentRollup::from_ledger(&outcome.ledger, 8);
+        for row in rollup.rows.iter().filter(|r| r.flavor.requires_lease()) {
+            assert!(
+                (row.auto_terminated_hours - row.instance_hours).abs() < 1e-9,
+                "{}/{}: leased usage should auto-terminate",
+                row.tag,
+                row.flavor
+            );
+        }
+    }
+
+    #[test]
+    fn vm_reservation_ablation_caps_usage() {
+        let base = SemesterConfig {
+            enrollment: 24,
+            weeks: 14,
+            run_projects: false,
+            vm_auto_terminate_after: None,
+        };
+        let capped = SemesterConfig {
+            vm_auto_terminate_after: Some(SimDuration::hours(8)),
+            ..base.clone()
+        };
+        let free = simulate_semester(&base, 9);
+        let auto = simulate_semester(&capped, 9);
+        let vm_hours = |l: &Ledger| {
+            l.instance_hours(Some(FlavorId::M1Medium))
+                + l.instance_hours(Some(FlavorId::M1Small))
+                + l.instance_hours(Some(FlavorId::M1Large))
+        };
+        assert!(
+            vm_hours(&auto.ledger) < vm_hours(&free.ledger) / 2.0,
+            "auto-termination should cut VM hours drastically: {} vs {}",
+            vm_hours(&auto.ledger),
+            vm_hours(&free.ledger)
+        );
+        // Bare-metal hours are unaffected by the VM policy.
+        let bm_free = free.ledger.instance_hours(Some(FlavorId::GpuV100));
+        let bm_auto = auto.ledger.instance_hours(Some(FlavorId::GpuV100));
+        assert!((bm_free - bm_auto).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let config = SemesterConfig {
+            enrollment: 10,
+            weeks: 14,
+            run_projects: true,
+            vm_auto_terminate_after: None,
+        };
+        let a = simulate_semester(&config, 11);
+        let b = simulate_semester(&config, 11);
+        assert_eq!(a.ledger.records().len(), b.ledger.records().len());
+        assert_eq!(a.ledger.instance_hours(None), b.ledger.instance_hours(None));
+        let c = simulate_semester(&config, 12);
+        assert_ne!(a.ledger.instance_hours(None), c.ledger.instance_hours(None));
+    }
+
+    #[test]
+    fn projects_add_usage_after_week_eight() {
+        let config = SemesterConfig {
+            enrollment: 16,
+            weeks: 14,
+            run_projects: true,
+            vm_auto_terminate_after: None,
+        };
+        let outcome = simulate_semester(&config, 13);
+        let proj_hours: f64 = outcome
+            .ledger
+            .with_prefix("proj-")
+            .filter(|r| matches!(r.kind, opml_testbed::ledger::UsageKind::Instance { .. }))
+            .map(|r| r.hours())
+            .sum();
+        assert!(proj_hours > 10_000.0, "project usage missing: {proj_hours}");
+        // Project records never start before the project window.
+        for r in outcome.ledger.with_prefix("proj-") {
+            assert!(r.start >= SimTime::at(8, 3, 0, 0), "{} starts early", r.name);
+        }
+    }
+}

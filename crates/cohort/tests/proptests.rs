@@ -1,0 +1,66 @@
+//! Property-based tests for the cohort simulator.
+
+use opml_cohort::semester::{simulate_semester, SemesterConfig};
+use opml_metering::rollup::AssignmentRollup;
+use opml_simkernel::SimDuration;
+use opml_testbed::ledger::UsageKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary (small) cohorts and seeds, the semester upholds its
+    /// structural invariants: records well-formed, leased usage
+    /// auto-terminated, per-student normalization consistent.
+    #[test]
+    fn semester_invariants(enrollment in 4u32..24, seed in any::<u64>()) {
+        let config = SemesterConfig {
+            enrollment,
+            weeks: 14,
+            run_projects: false,
+            vm_auto_terminate_after: None,
+        };
+        let outcome = simulate_semester(&config, seed);
+        let end = opml_simkernel::SimTime::at(15, 0, 0, 0);
+        for r in outcome.ledger.records() {
+            prop_assert!(r.end >= r.start, "{} ends before start", r.name);
+            prop_assert!(r.end <= end, "{} survives finalize", r.name);
+        }
+        // Leased flavors are always closed by auto-termination.
+        for r in outcome.ledger.records() {
+            if let UsageKind::Instance { flavor, auto_terminated } = r.kind {
+                if flavor.requires_lease() {
+                    prop_assert!(auto_terminated, "{} leased but user-closed", r.name);
+                }
+            }
+        }
+        let rollup = AssignmentRollup::from_ledger(&outcome.ledger, enrollment as usize);
+        let total: f64 = rollup.rows.iter().map(|x| x.instance_hours).sum();
+        prop_assert!((total - outcome.ledger.instance_hours(None)).abs() < 1e-6);
+    }
+
+    /// The VM auto-termination cap is a true upper bound on every VM
+    /// record's duration.
+    #[test]
+    fn cap_bounds_every_vm_record(cap_hours in 4u64..48, seed in any::<u64>()) {
+        let config = SemesterConfig {
+            enrollment: 10,
+            weeks: 14,
+            run_projects: false,
+            vm_auto_terminate_after: Some(SimDuration::hours(cap_hours)),
+        };
+        let outcome = simulate_semester(&config, seed);
+        for r in outcome.ledger.records() {
+            if let UsageKind::Instance { flavor, .. } = r.kind {
+                if !flavor.requires_lease() {
+                    prop_assert!(
+                        r.hours() <= cap_hours as f64 + 1e-9,
+                        "{}: {} h exceeds the {cap_hours} h cap",
+                        r.name,
+                        r.hours()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Quota validation — §4's "Logistics for classroom use".
+//!
+//! The course negotiated 600 simultaneous instances / 1,200 cores /
+//! 2.5 TB RAM / 300 floating IPs for KVM\@TACC. This experiment checks
+//! that the simulated cohort's **peak concurrency** (a quantity the
+//! paper's ledger-style data cannot show directly) fits that quota with
+//! sane headroom, and that the pre-increase default quota would have
+//! deadlocked the course — the reason the arrangement was needed.
+
+use crate::context::ExperimentContext;
+use opml_report::compare::{Comparison, ComparisonSet};
+use opml_report::table::{fmt_num, Table};
+use opml_testbed::quota::Quota;
+
+/// Compute peak-concurrency numbers and compare against quotas.
+pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
+    let ledger = &ctx.outcome.ledger;
+    let peak_instances = ledger.peak_concurrent_instances();
+    let peak_cores = ledger.peak_concurrent_cores();
+    let quota = Quota::paper_course();
+    let default_quota = Quota::chameleon_default();
+
+    let mut table = Table::new(&["Quantity", "Negotiated quota", "Simulated peak", "Headroom"]);
+    table.row(&[
+        "Simultaneous instances".into(),
+        fmt_num(quota.instances as f64, 0),
+        fmt_num(peak_instances as f64, 0),
+        format!("{:.0}%", (1.0 - peak_instances as f64 / quota.instances as f64) * 100.0),
+    ]);
+    table.row(&[
+        "Simultaneous cores".into(),
+        fmt_num(quota.cores as f64, 0),
+        fmt_num(peak_cores as f64, 0),
+        format!("{:.0}%", (1.0 - peak_cores as f64 / quota.cores as f64) * 100.0),
+    ]);
+    table.row(&[
+        "Quota denials over the semester".into(),
+        String::new(),
+        fmt_num(ctx.outcome.quota_denials as f64, 0),
+        String::new(),
+    ]);
+
+    let mut cmp = ComparisonSet::new("capacity");
+    cmp.push(Comparison::new(
+        "peak instances within negotiated quota (1=true)",
+        1.0,
+        f64::from(peak_instances <= quota.instances),
+        0.0,
+        "",
+    ));
+    cmp.push(Comparison::new(
+        "peak cores within negotiated quota (1=true)",
+        1.0,
+        f64::from(peak_cores <= quota.cores),
+        0.0,
+        "",
+    ));
+    cmp.push(Comparison::new(
+        "default quota would be exceeded >10x (1=true)",
+        1.0,
+        f64::from(peak_instances > default_quota.instances * 10),
+        0.0,
+        "",
+    ));
+    // The quota was sized with real headroom but not absurdly: peak
+    // should land between 25% and 100% of the negotiated limits.
+    cmp.push(Comparison::new(
+        "negotiated quota is the right order of magnitude (1=true)",
+        1.0,
+        f64::from(peak_instances * 4 >= quota.instances && peak_instances <= quota.instances),
+        0.0,
+        "",
+    ));
+    (table.render(), cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::run_paper_course;
+
+    #[test]
+    fn quota_story_holds() {
+        let ctx = run_paper_course(52);
+        let (text, cmp) = run(&ctx);
+        assert!(text.contains("Simultaneous instances"));
+        for c in &cmp.rows {
+            assert!(
+                c.within_tolerance(),
+                "{}: measured {}",
+                c.name,
+                c.measured
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared experiment context: one simulated semester plus its rollups.
+
+use opml_cohort::semester::{simulate_semester, SemesterConfig, SemesterOutcome};
+use opml_metering::rollup::{AssignmentRollup, PerStudentUsage};
+use opml_pricing::estimate::{price_lab_assignments, ProjectUsageSummary, Table1};
+
+/// Everything the figure/table reproductions consume.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// The raw semester outcome (ledger + counters).
+    pub outcome: SemesterOutcome,
+    /// Per-assignment rollup.
+    pub rollup: AssignmentRollup,
+    /// Per-student usage.
+    pub per_student: PerStudentUsage,
+    /// Priced Table 1.
+    pub table: Table1,
+    /// Project-phase summary.
+    pub project: ProjectUsageSummary,
+    /// Seed used.
+    pub seed: u64,
+}
+
+/// Simulate the paper's course (191 students, projects on) and derive
+/// every rollup the experiments need.
+pub fn run_paper_course(seed: u64) -> ExperimentContext {
+    let config = SemesterConfig::paper_course();
+    let outcome = simulate_semester(&config, seed);
+    let rollup = AssignmentRollup::from_ledger(&outcome.ledger, config.enrollment as usize);
+    let per_student = PerStudentUsage::from_ledger(&outcome.ledger);
+    let table = price_lab_assignments(&rollup);
+    let project = ProjectUsageSummary::from_ledger(&outcome.ledger);
+    ExperimentContext { outcome, rollup, per_student, table, project, seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_populates_every_view() {
+        let ctx = run_paper_course(31);
+        assert!(ctx.table.total.instance_hours > 10_000.0);
+        assert_eq!(ctx.per_student.students.len(), 191);
+        assert!(ctx.project.vm_hours > 10_000.0);
+        assert!(!ctx.rollup.rows.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Fig. 2 reproduction: distribution of estimated per-student cost to
+//! execute the lab assignments on commercial clouds.
+
+use crate::context::ExperimentContext;
+use crate::paper;
+use opml_cohort::labspec::expected_usage_per_student;
+use opml_pricing::catalog::Provider;
+use opml_pricing::estimate::{expected_student_cost, per_student_lab_costs, ExpectedUsage};
+use opml_report::chart::histogram_chart;
+use opml_report::compare::{Comparison, ComparisonSet};
+use opml_simkernel::stats::{fraction_above, Summary};
+use opml_simkernel::Histogram;
+
+/// Distribution statistics for one provider.
+#[derive(Debug, Clone)]
+pub struct Fig2Stats {
+    /// Provider.
+    pub provider: Provider,
+    /// Per-student cost summary.
+    pub summary: Summary,
+    /// Expected (baseline) per-student cost.
+    pub expected: f64,
+    /// Fraction of students above the expected cost.
+    pub frac_above_expected: f64,
+}
+
+/// Compute the per-student distribution for one provider.
+pub fn stats(ctx: &ExperimentContext, provider: Provider) -> Fig2Stats {
+    let costs: Vec<f64> = per_student_lab_costs(&ctx.per_student, provider)
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
+    let expected_rows: Vec<ExpectedUsage> = expected_usage_per_student()
+        .into_iter()
+        .map(|(tag, ih, fh)| ExpectedUsage { tag, instance_hours: ih, fip_hours: fh })
+        .collect();
+    let expected = expected_student_cost(&expected_rows, provider);
+    Fig2Stats {
+        provider,
+        frac_above_expected: fraction_above(&costs, expected),
+        summary: Summary::of(&costs),
+        expected,
+    }
+}
+
+/// Render histograms and compare against §5.
+pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
+    let mut text = String::new();
+    let mut cmp = ComparisonSet::new("fig2");
+    for provider in Provider::ALL {
+        let s = stats(ctx, provider);
+        let costs: Vec<f64> = per_student_lab_costs(&ctx.per_student, provider)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        let mut hist = Histogram::new(0.0, 700.0, 14);
+        hist.record_all(&costs);
+        text.push_str(&format!(
+            "\n{} per-student lab cost (mean {:.0}, median {:.0}, max {:.0}; expected {:.2}; {:.0}% above expected)\n",
+            s.provider.name(),
+            s.summary.mean,
+            s.summary.p50,
+            s.summary.max,
+            s.expected,
+            s.frac_above_expected * 100.0
+        ));
+        text.push_str(&histogram_chart(&hist.buckets(), 40));
+        let (paper_mean, paper_max, paper_frac, paper_expected) = match provider {
+            Provider::Aws => (
+                paper::LAB_AWS_PER_STUDENT,
+                paper::MAX_STUDENT_AWS,
+                paper::FRAC_ABOVE_EXPECTED_AWS,
+                paper::EXPECTED_AWS_PER_STUDENT,
+            ),
+            Provider::Gcp => (
+                paper::LAB_GCP_PER_STUDENT,
+                paper::MAX_STUDENT_GCP,
+                paper::FRAC_ABOVE_EXPECTED_GCP,
+                paper::EXPECTED_GCP_PER_STUDENT,
+            ),
+        };
+        let p = provider.name();
+        cmp.push(Comparison::new(&format!("{p} mean cost/student"), paper_mean, s.summary.mean, 0.12, "$"));
+        cmp.push(Comparison::new(&format!("{p} expected cost/student"), paper_expected, s.expected, 0.10, "$"));
+        cmp.push(Comparison::new(
+            &format!("{p} fraction above expected"),
+            paper_frac,
+            s.frac_above_expected,
+            0.12,
+            "",
+        ));
+        // The cohort maximum is the single noisiest statistic here (one
+        // draw from a heavy tail, in the paper as much as in the
+        // simulation), hence the wide tolerance.
+        cmp.push(Comparison::new(
+            &format!("{p} most expensive student"),
+            paper_max,
+            s.summary.max,
+            0.50,
+            "$",
+        ));
+    }
+    (text, cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::run_paper_course;
+
+    #[test]
+    fn distribution_shape_matches_paper() {
+        let ctx = run_paper_course(42);
+        let aws = stats(&ctx, Provider::Aws);
+        // Mean near $124.
+        assert!(
+            (aws.summary.mean / paper::LAB_AWS_PER_STUDENT - 1.0).abs() < 0.12,
+            "AWS mean {}",
+            aws.summary.mean
+        );
+        // Long tail: max several times the mean.
+        assert!(
+            aws.summary.max > 2.5 * aws.summary.mean,
+            "max {} vs mean {}",
+            aws.summary.max,
+            aws.summary.mean
+        );
+        // Roughly three quarters exceed the expected cost.
+        assert!(
+            (aws.frac_above_expected - 0.75).abs() < 0.10,
+            "frac above expected {}",
+            aws.frac_above_expected
+        );
+        // Expected baseline lands near $79.80.
+        assert!(
+            (aws.expected / paper::EXPECTED_AWS_PER_STUDENT - 1.0).abs() < 0.10,
+            "expected {}",
+            aws.expected
+        );
+        let gcp = stats(&ctx, Provider::Gcp);
+        assert!(gcp.summary.mean < aws.summary.mean, "GCP labs are cheaper overall");
+    }
+
+    #[test]
+    fn comparisons_mostly_pass() {
+        let ctx = run_paper_course(46);
+        let (text, cmp) = run(&ctx);
+        assert!(text.contains("AWS per-student"));
+        assert!(cmp.pass_rate() >= 0.75, "pass rate {}", cmp.pass_rate());
+    }
+}

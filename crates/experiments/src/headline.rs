@@ -1,0 +1,97 @@
+//! The paper's headline numbers: 186,692 total compute-instance hours,
+//! ≈$250 per student, just under $50,000 for the course.
+
+use crate::context::ExperimentContext;
+use crate::paper;
+use opml_pricing::catalog::Provider;
+use opml_pricing::estimate::price_project;
+use opml_report::compare::{Comparison, ComparisonSet};
+use opml_report::table::{fmt_num, fmt_usd, Table};
+
+/// Compute and compare the headline figures.
+pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
+    let lab_hours = ctx.table.total.instance_hours;
+    let project_hours = ctx.project.total_instance_hours();
+    let total_hours = lab_hours + project_hours;
+    let per_student_aws = ctx.table.total.aws_per_student
+        + price_project(&ctx.project, Provider::Aws) / paper::ENROLLMENT as f64;
+    let per_student_gcp = ctx.table.total.gcp_per_student
+        + price_project(&ctx.project, Provider::Gcp) / paper::ENROLLMENT as f64;
+    let course_aws = per_student_aws * paper::ENROLLMENT as f64;
+    let course_gcp = per_student_gcp * paper::ENROLLMENT as f64;
+
+    let mut table = Table::new(&["Headline", "Paper", "Measured"]);
+    table.row(&[
+        "Total compute instance hours".into(),
+        fmt_num(paper::TOTAL_INSTANCE_HOURS, 0),
+        fmt_num(total_hours, 0),
+    ]);
+    table.row(&[
+        "Cost per student (AWS, labs+project)".into(),
+        format!("≈{}", fmt_usd(paper::TOTAL_PER_STUDENT_USD)),
+        fmt_usd(per_student_aws),
+    ]);
+    table.row(&[
+        "Cost per student (GCP, labs+project)".into(),
+        format!("≈{}", fmt_usd(paper::TOTAL_PER_STUDENT_USD)),
+        fmt_usd(per_student_gcp),
+    ]);
+    table.row(&[
+        "Whole-course cost (AWS)".into(),
+        format!("<{}", fmt_usd(paper::TOTAL_COURSE_USD)),
+        fmt_usd(course_aws),
+    ]);
+
+    let mut cmp = ComparisonSet::new("headline");
+    cmp.push(Comparison::new(
+        "total instance hours",
+        paper::TOTAL_INSTANCE_HOURS,
+        total_hours,
+        0.10,
+        "h",
+    ));
+    cmp.push(Comparison::new(
+        "per-student cost (AWS)",
+        paper::TOTAL_PER_STUDENT_USD,
+        per_student_aws,
+        0.15,
+        "$",
+    ));
+    cmp.push(Comparison::new(
+        "per-student cost (GCP)",
+        paper::TOTAL_PER_STUDENT_USD,
+        per_student_gcp,
+        0.15,
+        "$",
+    ));
+    cmp.push(Comparison::new(
+        "course under $50k (1=true)",
+        1.0,
+        f64::from(course_aws < paper::TOTAL_COURSE_USD && course_gcp < paper::TOTAL_COURSE_USD),
+        0.0,
+        "",
+    ));
+    (table.render(), cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::run_paper_course;
+
+    #[test]
+    fn headline_numbers_hold() {
+        let ctx = run_paper_course(49);
+        let (_, cmp) = run(&ctx);
+        for c in &cmp.rows {
+            assert!(
+                c.within_tolerance(),
+                "{}: paper {} vs measured {} (ratio {:.3})",
+                c.name,
+                c.paper,
+                c.measured,
+                c.ratio()
+            );
+        }
+    }
+}

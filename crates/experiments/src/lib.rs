@@ -1,0 +1,34 @@
+//! # opml-experiments
+//!
+//! One module per evaluation artifact in the paper. Each experiment
+//! returns rendered text (the table/figure) plus a
+//! [`opml_report::ComparisonSet`] of paper-vs-measured quantities;
+//! the `run-experiments` binary assembles them into EXPERIMENTS.md.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — usage and estimated cost per assignment |
+//! | [`fig1`] | Fig. 1(a,b) — expected vs actual duration per student |
+//! | [`fig2`] | Fig. 2 — per-student commercial-cloud cost distribution |
+//! | [`fig3`] | Fig. 3 — project usage by instance type |
+//! | [`project_cost`] | §5 project-phase totals and cost |
+//! | [`headline`] | 186,692 hours; ≈$250/student; <$50k |
+//! | [`ablation`] | §5 discussion — VM advance reservations |
+//! | [`seeds`] | seed-robustness of the headline quantities |
+//! | [`capacity`] | §4 quota validation via peak concurrency |
+//! | [`spot_ablation`] | extension — spot pricing with the interruption tax |
+
+pub mod ablation;
+pub mod capacity;
+pub mod context;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod headline;
+pub mod paper;
+pub mod project_cost;
+pub mod seeds;
+pub mod spot_ablation;
+pub mod table1;
+
+pub use context::{run_paper_course, ExperimentContext};

@@ -1,0 +1,123 @@
+//! The paper's published numbers, transcribed from §5.
+
+/// One Table 1 row as printed in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Our assignment tag.
+    pub tag: &'static str,
+    /// Chameleon flavor name.
+    pub flavor: &'static str,
+    /// Instance hours.
+    pub instance_hours: f64,
+    /// Floating-IP hours.
+    pub fip_hours: f64,
+    /// AWS cost (None for the edge row).
+    pub aws_usd: Option<f64>,
+    /// GCP cost.
+    pub gcp_usd: Option<f64>,
+}
+
+/// Table 1, row for row.
+pub const TABLE1: [PaperRow; 16] = [
+    PaperRow { tag: "lab1", flavor: "m1.small", instance_hours: 2_620.0, fip_hours: 2_620.0, aws_usd: Some(40.0), gcp_usd: Some(57.0) },
+    PaperRow { tag: "lab2", flavor: "m1.medium", instance_hours: 52_332.0, fip_hours: 17_444.0, aws_usd: Some(2_264.0), gcp_usd: Some(5_347.0) },
+    PaperRow { tag: "lab3", flavor: "m1.medium", instance_hours: 32_344.0, fip_hours: 10_781.0, aws_usd: Some(1_399.0), gcp_usd: Some(3_305.0) },
+    PaperRow { tag: "lab4-multi", flavor: "gpu_a100_pcie", instance_hours: 167.0, fip_hours: 167.0, aws_usd: Some(2_993.0), gcp_usd: Some(2_456.0) },
+    PaperRow { tag: "lab4-multi", flavor: "gpu_v100", instance_hours: 210.0, fip_hours: 210.0, aws_usd: Some(3_764.0), gcp_usd: Some(3_088.0) },
+    PaperRow { tag: "lab4-single", flavor: "compute_gigaio", instance_hours: 218.0, fip_hours: 218.0, aws_usd: Some(722.0), gcp_usd: Some(1_106.0) },
+    PaperRow { tag: "lab5-multi", flavor: "compute_liqid_2", instance_hours: 330.0, fip_hours: 330.0, aws_usd: Some(1_524.0), gcp_usd: Some(662.0) },
+    PaperRow { tag: "lab5-multi", flavor: "gpu_mi100", instance_hours: 1_002.0, fip_hours: 1_002.0, aws_usd: Some(4_627.0), gcp_usd: Some(2_009.0) },
+    PaperRow { tag: "lab5-single", flavor: "compute_gigaio", instance_hours: 28.0, fip_hours: 28.0, aws_usd: Some(41.0), gcp_usd: Some(32.0) },
+    PaperRow { tag: "lab5-single", flavor: "compute_liqid", instance_hours: 130.0, fip_hours: 130.0, aws_usd: Some(190.0), gcp_usd: Some(150.0) },
+    PaperRow { tag: "lab6-opt", flavor: "compute_gigaio", instance_hours: 215.0, fip_hours: 215.0, aws_usd: Some(191.0), gcp_usd: Some(154.0) },
+    PaperRow { tag: "lab6-opt", flavor: "compute_liqid", instance_hours: 460.0, fip_hours: 460.0, aws_usd: Some(410.0), gcp_usd: Some(329.0) },
+    PaperRow { tag: "lab6-edge", flavor: "raspberrypi5", instance_hours: 492.0, fip_hours: 492.0, aws_usd: None, gcp_usd: None },
+    PaperRow { tag: "lab6-system", flavor: "gpu_p100", instance_hours: 707.0, fip_hours: 707.0, aws_usd: Some(3_582.0), gcp_usd: Some(1_417.0) },
+    PaperRow { tag: "lab7", flavor: "m1.medium", instance_hours: 9_889.0, fip_hours: 9_889.0, aws_usd: Some(461.0), gcp_usd: Some(381.0) },
+    PaperRow { tag: "lab8", flavor: "m1.large", instance_hours: 8_693.0, fip_hours: 8_693.0, aws_usd: Some(1_490.0), gcp_usd: Some(626.0) },
+];
+
+/// Enrollment.
+pub const ENROLLMENT: usize = 191;
+/// Table 1 total instance hours.
+pub const LAB_INSTANCE_HOURS: f64 = 109_837.0;
+/// Table 1 total floating-IP hours.
+pub const LAB_FIP_HOURS: f64 = 53_387.0;
+/// Table 1 total AWS cost.
+pub const LAB_AWS_USD: f64 = 23_698.0;
+/// Table 1 total GCP cost.
+pub const LAB_GCP_USD: f64 = 21_119.0;
+/// Per-student lab cost, AWS.
+pub const LAB_AWS_PER_STUDENT: f64 = 124.0;
+/// Per-student lab cost, GCP.
+pub const LAB_GCP_PER_STUDENT: f64 = 111.0;
+
+/// §5 expected per-student lab cost, AWS.
+pub const EXPECTED_AWS_PER_STUDENT: f64 = 79.80;
+/// §5 expected per-student lab cost, GCP.
+pub const EXPECTED_GCP_PER_STUDENT: f64 = 58.85;
+/// Fraction of students above the expected cost, AWS.
+pub const FRAC_ABOVE_EXPECTED_AWS: f64 = 0.75;
+/// Fraction of students above the expected cost, GCP.
+pub const FRAC_ABOVE_EXPECTED_GCP: f64 = 0.73;
+/// Most expensive student's lab usage, AWS.
+pub const MAX_STUDENT_AWS: f64 = 665.0;
+/// Most expensive student's lab usage, GCP.
+pub const MAX_STUDENT_GCP: f64 = 590.0;
+
+/// §5 project-phase totals.
+pub const PROJECT_VM_HOURS: f64 = 70_259.0;
+/// GPU instance hours.
+pub const PROJECT_GPU_HOURS: f64 = 5_446.0;
+/// Bare-metal CPU hours.
+pub const PROJECT_BAREMETAL_HOURS: f64 = 975.0;
+/// Edge hours.
+pub const PROJECT_EDGE_HOURS: f64 = 175.0;
+/// Block storage (GB).
+pub const PROJECT_BLOCK_GB: f64 = 9_216.0;
+/// Object storage (GB).
+pub const PROJECT_OBJECT_GB: f64 = 1_541.0;
+/// Project AWS cost.
+pub const PROJECT_AWS_USD: f64 = 25_889.0;
+/// Project GCP cost.
+pub const PROJECT_GCP_USD: f64 = 26_218.0;
+
+/// Headline: total compute instance hours (labs + projects).
+pub const TOTAL_INSTANCE_HOURS: f64 = 186_692.0;
+/// Headline: per-student all-in cost, approximately.
+pub const TOTAL_PER_STUDENT_USD: f64 = 250.0;
+/// Headline: the course costs just under this.
+pub const TOTAL_COURSE_USD: f64 = 50_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_sum_to_published_totals() {
+        let hours: f64 = TABLE1.iter().map(|r| r.instance_hours).sum();
+        assert!((hours - LAB_INSTANCE_HOURS).abs() < 1.0, "{hours}");
+        let fip: f64 = TABLE1.iter().map(|r| r.fip_hours).sum();
+        // The published total is 1 hour off the row sum (rounding in the paper).
+        assert!((fip - LAB_FIP_HOURS).abs() < 2.0, "{fip}");
+        let aws: f64 = TABLE1.iter().filter_map(|r| r.aws_usd).sum();
+        assert!((aws - LAB_AWS_USD).abs() < 1.0, "{aws}");
+        let gcp: f64 = TABLE1.iter().filter_map(|r| r.gcp_usd).sum();
+        assert!((gcp - LAB_GCP_USD).abs() < 1.0, "{gcp}");
+    }
+
+    #[test]
+    fn headline_total_is_labs_plus_projects() {
+        let projects = PROJECT_VM_HOURS
+            + PROJECT_GPU_HOURS
+            + PROJECT_BAREMETAL_HOURS
+            + PROJECT_EDGE_HOURS;
+        assert!((LAB_INSTANCE_HOURS + projects - TOTAL_INSTANCE_HOURS).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_student_consistent_with_totals() {
+        assert!((LAB_AWS_USD / ENROLLMENT as f64 - LAB_AWS_PER_STUDENT).abs() < 1.0);
+        assert!((LAB_GCP_USD / ENROLLMENT as f64 - LAB_GCP_PER_STUDENT).abs() < 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! §5 project-phase cost reproduction.
+
+use crate::context::ExperimentContext;
+use crate::paper;
+use opml_pricing::catalog::Provider;
+use opml_pricing::estimate::price_project;
+use opml_report::compare::{Comparison, ComparisonSet};
+use opml_report::table::{fmt_num, fmt_usd, Table};
+
+/// Render the project summary and compare costs/storage against §5.
+pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
+    let p = &ctx.project;
+    let aws = price_project(p, Provider::Aws);
+    let gcp = price_project(p, Provider::Gcp);
+    let per_student = paper::ENROLLMENT as f64;
+
+    let mut table = Table::new(&["Quantity", "Value"]);
+    table.row(&["VM hours (no GPU)".into(), fmt_num(p.vm_hours, 0)]);
+    table.row(&["GPU instance hours".into(), fmt_num(p.gpu_hours, 0)]);
+    table.row(&["Bare-metal CPU hours".into(), fmt_num(p.baremetal_cpu_hours, 0)]);
+    table.row(&["Edge device hours".into(), fmt_num(p.edge_hours, 0)]);
+    table.row(&["Peak block storage (GB)".into(), fmt_num(p.peak_block_gb as f64, 0)]);
+    table.row(&["Object storage (GB)".into(), fmt_num(p.object_gb, 0)]);
+    table.row(&[
+        "AWS cost".into(),
+        format!("{} ({}/student)", fmt_usd(aws), fmt_usd(aws / per_student)),
+    ]);
+    table.row(&[
+        "GCP cost".into(),
+        format!("{} ({}/student)", fmt_usd(gcp), fmt_usd(gcp / per_student)),
+    ]);
+
+    let mut cmp = ComparisonSet::new("project_cost");
+    cmp.push(Comparison::new("project AWS cost", paper::PROJECT_AWS_USD, aws, 0.15, "$"));
+    cmp.push(Comparison::new("project GCP cost", paper::PROJECT_GCP_USD, gcp, 0.15, "$"));
+    cmp.push(Comparison::new(
+        "project block storage",
+        paper::PROJECT_BLOCK_GB,
+        p.peak_block_gb as f64,
+        0.25,
+        "GB",
+    ));
+    cmp.push(Comparison::new(
+        "project object storage",
+        paper::PROJECT_OBJECT_GB,
+        p.object_gb,
+        0.25,
+        "GB",
+    ));
+    (table.render(), cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::run_paper_course;
+
+    #[test]
+    fn project_costs_near_paper() {
+        let ctx = run_paper_course(48);
+        let (text, cmp) = run(&ctx);
+        assert!(text.contains("AWS cost"));
+        for c in &cmp.rows {
+            assert!(
+                c.within_tolerance(),
+                "{}: paper {} vs measured {} (ratio {:.3})",
+                c.name,
+                c.paper,
+                c.measured,
+                c.ratio()
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Seed-robustness: the paper reports one real cohort; our simulator can
+//! replay many. This experiment re-runs the labs-only semester across
+//! seeds (in parallel, order-stable) and reports the spread of the
+//! headline quantities, establishing that the single-seed comparisons in
+//! the other experiments are representative rather than cherry-picked.
+
+use crate::paper;
+use opml_cohort::semester::{simulate_semester, SemesterConfig};
+use opml_metering::rollup::AssignmentRollup;
+use opml_pricing::estimate::price_lab_assignments;
+use opml_report::compare::{Comparison, ComparisonSet};
+use opml_report::table::{fmt_num, Table};
+use opml_simkernel::parallel::replications;
+use opml_simkernel::stats::Summary;
+
+/// One seed's headline numbers.
+#[derive(Debug, Clone)]
+pub struct SeedResult {
+    /// Lab instance hours.
+    pub instance_hours: f64,
+    /// Lab AWS cost.
+    pub aws_usd: f64,
+    /// Lab GCP cost.
+    pub gcp_usd: f64,
+}
+
+/// Run `n_seeds` independent semesters and summarize.
+pub fn run(master_seed: u64, n_seeds: usize) -> (String, ComparisonSet, Vec<SeedResult>) {
+    assert!(n_seeds >= 2);
+    let results: Vec<SeedResult> = replications(n_seeds, master_seed, |seed| {
+        let outcome = simulate_semester(&SemesterConfig::labs_only(), seed);
+        let rollup =
+            AssignmentRollup::from_ledger(&outcome.ledger, paper::ENROLLMENT);
+        let table = price_lab_assignments(&rollup);
+        SeedResult {
+            instance_hours: table.total.instance_hours,
+            aws_usd: table.total.aws_usd,
+            gcp_usd: table.total.gcp_usd,
+        }
+    });
+    let hours = Summary::of(&results.iter().map(|r| r.instance_hours).collect::<Vec<_>>());
+    let aws = Summary::of(&results.iter().map(|r| r.aws_usd).collect::<Vec<_>>());
+    let gcp = Summary::of(&results.iter().map(|r| r.gcp_usd).collect::<Vec<_>>());
+
+    let mut table = Table::new(&["Quantity", "Paper", "Mean over seeds", "Std dev", "Min", "Max"]);
+    for (name, paper_v, s) in [
+        ("lab instance hours", paper::LAB_INSTANCE_HOURS, &hours),
+        ("lab AWS cost ($)", paper::LAB_AWS_USD, &aws),
+        ("lab GCP cost ($)", paper::LAB_GCP_USD, &gcp),
+    ] {
+        table.row(&[
+            name.to_string(),
+            fmt_num(paper_v, 0),
+            fmt_num(s.mean, 0),
+            fmt_num(s.std_dev, 0),
+            fmt_num(s.min, 0),
+            fmt_num(s.max, 0),
+        ]);
+    }
+    let mut cmp = ComparisonSet::new("seed_robustness");
+    cmp.push(Comparison::new(
+        "seed-mean lab instance hours",
+        paper::LAB_INSTANCE_HOURS,
+        hours.mean,
+        0.10,
+        "h",
+    ));
+    cmp.push(Comparison::new("seed-mean AWS cost", paper::LAB_AWS_USD, aws.mean, 0.10, "$"));
+    cmp.push(Comparison::new("seed-mean GCP cost", paper::LAB_GCP_USD, gcp.mean, 0.10, "$"));
+    // The paper's value should sit inside our simulated range.
+    cmp.push(Comparison::new(
+        "paper hours within simulated range (1=true)",
+        1.0,
+        f64::from(
+            paper::LAB_INSTANCE_HOURS >= hours.min * 0.95
+                && paper::LAB_INSTANCE_HOURS <= hours.max * 1.05,
+        ),
+        0.0,
+        "",
+    ));
+    (table.render(), cmp, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_mean_is_calibrated_and_spread_is_moderate() {
+        let (text, cmp, results) = run(9000, 5);
+        assert_eq!(results.len(), 5);
+        assert!(text.contains("lab AWS cost"));
+        for c in &cmp.rows {
+            assert!(
+                c.within_tolerance(),
+                "{}: paper {} vs measured {} (ratio {:.3})",
+                c.name,
+                c.paper,
+                c.measured,
+                c.ratio()
+            );
+        }
+        // Seeds genuinely differ.
+        let hours: Vec<f64> = results.iter().map(|r| r.instance_hours).collect();
+        let spread = hours.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - hours.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 100.0, "suspiciously identical seeds: {hours:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Ablation (extension): would spot/preemptible capacity fix the §6 cost
+//! problem?
+//!
+//! The course's GPU-heavy rows dominate the AWS lab bill; spot pricing
+//! discounts them ~3–4× — but lab sessions are interactive and
+//! uncheckpointed, so a meaningful share of students would be kicked
+//! mid-exercise. This experiment prices the GPU lab usage both ways and
+//! reports the interruption rate alongside the saving, quantifying why
+//! the paper's "commercial clouds are operationally risky for teaching"
+//! conclusion survives the spot counter-argument.
+
+use crate::context::ExperimentContext;
+use opml_pricing::catalog::Provider;
+use opml_pricing::requirement::for_tag;
+use opml_pricing::spot::SpotQuote;
+use opml_report::compare::{Comparison, ComparisonSet};
+use opml_report::table::{fmt_usd, Table};
+
+/// Price the GPU lab rows on spot and compare.
+pub fn run(ctx: &ExperimentContext, seed: u64) -> (String, ComparisonSet) {
+    let mut table = Table::new(&[
+        "Provider",
+        "GPU labs on-demand",
+        "GPU labs spot",
+        "Saving",
+        "Students interrupted mid-lab",
+    ]);
+    let mut cmp = ComparisonSet::new("abl_spot");
+    for provider in Provider::ALL {
+        // Sum the GPU rows of the priced table, keeping their rates.
+        let mut on_demand_total = 0.0;
+        let mut spot_total = 0.0;
+        let mut weighted_interrupt = 0.0;
+        let mut gpu_hours = 0.0;
+        for row in &ctx.table.rows {
+            if !row.flavor.has_gpu() {
+                continue;
+            }
+            let Some(pricing) = for_tag(&row.tag) else {
+                continue;
+            };
+            let Some(inst) = opml_pricing::equivalence::resolve(&pricing, provider) else {
+                continue;
+            };
+            // Lab sessions: 2–3-hour slots, no checkpointing.
+            let session_h = 3.0;
+            let q = SpotQuote::quote(
+                provider,
+                row.instance_hours,
+                inst.hourly_usd,
+                session_h,
+                session_h,
+                seed ^ row.instance_hours as u64,
+            );
+            on_demand_total += q.on_demand_usd;
+            spot_total += q.spot_usd;
+            weighted_interrupt += q.interrupted_fraction * row.instance_hours;
+            gpu_hours += row.instance_hours;
+        }
+        let interrupt_rate = weighted_interrupt / gpu_hours.max(1e-9);
+        let saving = 1.0 - spot_total / on_demand_total.max(1e-9);
+        table.row(&[
+            provider.name().to_string(),
+            fmt_usd(on_demand_total),
+            fmt_usd(spot_total),
+            format!("{:.0}%", saving * 100.0),
+            format!("{:.0}%", interrupt_rate * 100.0),
+        ]);
+        cmp.push(Comparison::new(
+            &format!("{} spot saves >40% on GPU labs (1=true)", provider.name()),
+            1.0,
+            f64::from(saving > 0.40),
+            0.0,
+            "",
+        ));
+        cmp.push(Comparison::new(
+            &format!("{} >10% of sessions interrupted (1=true)", provider.name()),
+            1.0,
+            f64::from(interrupt_rate > 0.10),
+            0.0,
+            "",
+        ));
+    }
+    (table.render(), cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::run_paper_course;
+
+    #[test]
+    fn spot_saves_money_but_interrupts_students() {
+        let ctx = run_paper_course(53);
+        let (text, cmp) = run(&ctx, 53);
+        assert!(text.contains("Saving"));
+        for c in &cmp.rows {
+            assert!(c.within_tolerance(), "{} (measured {})", c.name, c.measured);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 1 reproduction: usage and estimated cost per assignment.
+
+use crate::context::ExperimentContext;
+use crate::paper;
+use opml_report::compare::{Comparison, ComparisonSet};
+use opml_report::table::{fmt_num, fmt_usd, Table};
+
+/// Render the measured Table 1 and compare it against the paper's.
+pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
+    let mut table = Table::new(&[
+        "Assignment",
+        "Instance Type",
+        "Instance Hours",
+        "Floating IP Hours",
+        "AWS Cost",
+        "GCP Cost",
+    ]);
+    for row in &ctx.table.rows {
+        table.row(&[
+            row.title.clone(),
+            row.flavor.name().to_string(),
+            fmt_num(row.instance_hours, 0),
+            fmt_num(row.fip_hours, 0),
+            row.aws_usd.map_or("NA".to_string(), fmt_usd),
+            row.gcp_usd.map_or("NA".to_string(), fmt_usd),
+        ]);
+    }
+    let t = &ctx.table.total;
+    table.footer(&[
+        "Total".into(),
+        String::new(),
+        fmt_num(t.instance_hours, 0),
+        fmt_num(t.fip_hours, 0),
+        format!("{} ({})", fmt_usd(t.aws_usd), fmt_usd(t.aws_per_student)),
+        format!("{} ({})", fmt_usd(t.gcp_usd), fmt_usd(t.gcp_per_student)),
+    ]);
+
+    let mut cmp = ComparisonSet::new("table1");
+    cmp.push(Comparison::new(
+        "total instance hours",
+        paper::LAB_INSTANCE_HOURS,
+        t.instance_hours,
+        0.10,
+        "h",
+    ));
+    cmp.push(Comparison::new(
+        "total floating-IP hours",
+        paper::LAB_FIP_HOURS,
+        t.fip_hours,
+        0.10,
+        "h",
+    ));
+    cmp.push(Comparison::new("total AWS cost", paper::LAB_AWS_USD, t.aws_usd, 0.12, "$"));
+    cmp.push(Comparison::new("total GCP cost", paper::LAB_GCP_USD, t.gcp_usd, 0.12, "$"));
+    cmp.push(Comparison::new(
+        "AWS cost per student",
+        paper::LAB_AWS_PER_STUDENT,
+        t.aws_per_student,
+        0.12,
+        "$",
+    ));
+    cmp.push(Comparison::new(
+        "GCP cost per student",
+        paper::LAB_GCP_PER_STUDENT,
+        t.gcp_per_student,
+        0.12,
+        "$",
+    ));
+    // Per-row hour comparisons, aggregated by (tag, flavor).
+    for p in paper::TABLE1 {
+        let measured = ctx
+            .table
+            .rows
+            .iter()
+            .find(|r| r.tag == p.tag && r.flavor.name() == p.flavor)
+            .map(|r| r.instance_hours)
+            .unwrap_or(0.0);
+        cmp.push(Comparison::new(
+            &format!("{} / {} hours", p.tag, p.flavor),
+            p.instance_hours,
+            measured,
+            0.30,
+            "h",
+        ));
+    }
+    (table.render(), cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::run_paper_course;
+
+    #[test]
+    fn table1_reproduces_paper_shape() {
+        let ctx = run_paper_course(42);
+        let (rendered, cmp) = run(&ctx);
+        assert!(rendered.contains("m1.medium"));
+        assert!(rendered.contains("NA"), "edge row must be unpriced");
+        // Core totals must land inside their tolerances.
+        for name in [
+            "total instance hours",
+            "total AWS cost",
+            "total GCP cost",
+            "AWS cost per student",
+        ] {
+            let row = cmp.rows.iter().find(|c| c.name == name).unwrap();
+            assert!(
+                row.within_tolerance(),
+                "{name}: paper {} vs measured {} (ratio {:.3})",
+                row.paper,
+                row.measured,
+                row.ratio()
+            );
+        }
+        // At least 80% of all comparisons (incl. per-row) pass.
+        assert!(cmp.pass_rate() > 0.8, "pass rate {}", cmp.pass_rate());
+    }
+}

@@ -1,0 +1,18 @@
+//! # opml-metering
+//!
+//! Usage-ledger aggregation. §5 of the paper: "Using the course timeline
+//! and the naming conventions specified in the lab instructions, we were
+//! able to associate most individual compute instances with specific lab
+//! assignments". This crate implements that association and the rollups
+//! the evaluation consumes:
+//!
+//! * [`attribution`] — parse instance/FIP names into `(assignment tag,
+//!   student | group)` under the course naming convention,
+//! * [`rollup`] — per-assignment×flavor usage (Table 1's hours columns)
+//!   and per-student usage (Fig. 1 and Fig. 2 inputs).
+
+pub mod attribution;
+pub mod rollup;
+
+pub use attribution::{parse_name, Attribution, Owner};
+pub use rollup::{AssignmentRollup, AssignmentUsage, PerStudentUsage, StudentLabUsage};

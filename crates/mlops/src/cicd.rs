@@ -1,0 +1,345 @@
+//! Commit-triggered CI/CD for the ML system — the automation that Unit 3
+//! teaches and the "continuous X" pipeline the final project's CI/CD role
+//! owns (§3.11): on every commit, run the test gate, retrain, evaluate
+//! against the evaluation gate, register, deploy through
+//! staging → canary → production, and **auto-roll back** on canary
+//! regression.
+//!
+//! The pipeline composes the other substrates for real: training uses
+//! [`crate::model`], runs are logged to a [`crate::tracking`] tracker,
+//! versions live in a [`crate::registry`], stages execute on the
+//! [`crate::pipeline`] DAG engine, and the canary judgement reuses
+//! [`crate::eval::canary_analysis`].
+
+use crate::eval::{canary_analysis, CanaryPolicy, CanaryVerdict};
+use crate::model::{train_epoch, Dataset, Mlp, Sgd};
+use crate::registry::{ModelRegistry, Stage};
+use crate::tracking::{params_to_artifact, ExperimentTracker, RunStatus};
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A code/data change entering the pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Commit {
+    /// Commit id.
+    pub id: u64,
+    /// Human message.
+    pub message: String,
+    /// Whether unit tests pass (a broken build).
+    pub tests_pass: bool,
+    /// Fraction of training labels this change corrupts (0 for healthy
+    /// changes; > 0 models a bad data/feature change that the evaluation
+    /// gate or canary must catch).
+    pub label_corruption: f64,
+    /// Relative serving-latency regression introduced (0 for none).
+    pub latency_regression: f64,
+}
+
+impl Commit {
+    /// A healthy change.
+    pub fn healthy(id: u64, message: &str) -> Self {
+        Commit {
+            id,
+            message: message.into(),
+            tests_pass: true,
+            label_corruption: 0.0,
+            latency_regression: 0.0,
+        }
+    }
+}
+
+/// Where a commit's journey ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeployOutcome {
+    /// Failed the unit-test gate; nothing trained.
+    CiFailed,
+    /// Trained but failed the offline evaluation gate; not deployed.
+    GateFailed {
+        /// Measured accuracy.
+        accuracy: f64,
+        /// Gate threshold.
+        required: f64,
+    },
+    /// Reached canary but regressed; previous production restored.
+    RolledBack {
+        /// Canary verdict inputs, for the postmortem.
+        reason: String,
+    },
+    /// Promoted to production.
+    Promoted {
+        /// The registry version now in production.
+        version: u32,
+        /// Offline accuracy at the gate.
+        accuracy: f64,
+    },
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CicdConfig {
+    /// Minimum offline accuracy to pass the evaluation gate.
+    pub gate_accuracy: f64,
+    /// Canary judgement policy.
+    pub canary: CanaryPolicy,
+    /// Training epochs per commit.
+    pub epochs: usize,
+    /// Model architecture.
+    pub sizes: Vec<usize>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for CicdConfig {
+    fn default() -> Self {
+        CicdConfig {
+            gate_accuracy: 0.85,
+            canary: CanaryPolicy {
+                max_latency_regression: 0.25,
+                max_accuracy_drop: 0.05,
+                min_samples: 20,
+            },
+            epochs: 20,
+            sizes: vec![8, 32, 11],
+            seed: 99,
+        }
+    }
+}
+
+/// The CI/CD system: owns the tracker and registry across commits.
+#[derive(Debug)]
+pub struct CicdSystem {
+    /// Experiment tracker (one run per commit).
+    pub tracker: ExperimentTracker,
+    /// Model registry.
+    pub registry: ModelRegistry,
+    /// Configuration.
+    pub config: CicdConfig,
+    /// Model name in the registry.
+    pub model_name: String,
+}
+
+impl CicdSystem {
+    /// New system for a model name.
+    pub fn new(model_name: &str, config: CicdConfig) -> Self {
+        CicdSystem {
+            tracker: ExperimentTracker::new(),
+            registry: ModelRegistry::new(),
+            config,
+            model_name: model_name.to_string(),
+        }
+    }
+
+    /// Run one commit through the full pipeline.
+    ///
+    /// `train_data`/`holdout` are the current datasets; the commit's
+    /// corruption is applied to its own training labels only (the change
+    /// is what broke it).
+    pub fn run_commit(
+        &mut self,
+        commit: &Commit,
+        train_data: &Dataset,
+        holdout: &Dataset,
+    ) -> DeployOutcome {
+        // --- CI: unit tests -------------------------------------------
+        if !commit.tests_pass {
+            return DeployOutcome::CiFailed;
+        }
+        // --- Train (tracked) ------------------------------------------
+        let run = self.tracker.start_run(&self.model_name);
+        self.tracker.log_param(run, "commit", &commit.id.to_string());
+        self.tracker.log_param(run, "epochs", &self.config.epochs.to_string());
+        let mut rng = Rng::new(self.config.seed ^ commit.id);
+        let mut data = train_data.clone();
+        if commit.label_corruption > 0.0 {
+            let n = (data.len() as f64 * commit.label_corruption) as usize;
+            for i in 0..n {
+                data.y[i] = (data.y[i] + 1) % data.classes;
+            }
+        }
+        let mut model = Mlp::new(&self.config.sizes, &mut rng);
+        let mut opt = Sgd::new(0.1, 0.9);
+        for epoch in 0..self.config.epochs {
+            let (loss, acc) = train_epoch(&mut model, &data, &mut opt, 32, &mut rng);
+            self.tracker.log_metric(run, "loss", epoch as u64, loss as f64);
+            self.tracker.log_metric(run, "train_acc", epoch as u64, acc);
+        }
+        // --- Offline evaluation gate ----------------------------------
+        let accuracy = holdout.accuracy(&mut model);
+        self.tracker.log_metric(run, "holdout_acc", self.config.epochs as u64, accuracy);
+        if accuracy < self.config.gate_accuracy {
+            self.tracker.end_run(run, RunStatus::Failed);
+            return DeployOutcome::GateFailed { accuracy, required: self.config.gate_accuracy };
+        }
+        self.tracker
+            .log_artifact(run, "model.bin", params_to_artifact(&model.params_flat()));
+        self.tracker.end_run(run, RunStatus::Finished);
+        // --- Register + staging ---------------------------------------
+        let mut metrics = BTreeMap::new();
+        metrics.insert("holdout_acc".to_string(), accuracy);
+        let version = self.registry.register(
+            &self.model_name,
+            params_to_artifact(&model.params_flat()),
+            metrics,
+        );
+        self.registry
+            .transition(&self.model_name, version, Stage::Staging)
+            .expect("fresh version must stage");
+        // --- Canary ----------------------------------------------------
+        self.registry
+            .transition(&self.model_name, version, Stage::Canary)
+            .expect("staged version must canary");
+        let prod_acc = self
+            .registry
+            .in_stage(&self.model_name, Stage::Production)
+            .and_then(|v| v.metrics.get("holdout_acc").copied())
+            .unwrap_or(0.0);
+        // Operational canary signals: latency windows (production baseline
+        // 100 ms; the commit's regression applies to the canary).
+        let mut sim_rng = Rng::new(self.config.seed ^ commit.id ^ 0xCAFE);
+        let prod_lat: Vec<f64> =
+            (0..50).map(|_| 100.0 + sim_rng.normal_with(0.0, 3.0)).collect();
+        let canary_lat: Vec<f64> = (0..50)
+            .map(|_| 100.0 * (1.0 + commit.latency_regression) + sim_rng.normal_with(0.0, 3.0))
+            .collect();
+        let verdict =
+            canary_analysis(&self.config.canary, &prod_lat, prod_acc, &canary_lat, accuracy);
+        match verdict {
+            CanaryVerdict::Rollback => {
+                // Archive the canary; production (if any) is untouched.
+                self.registry
+                    .transition(&self.model_name, version, Stage::Archived)
+                    .expect("canary must archive");
+                DeployOutcome::RolledBack {
+                    reason: format!(
+                        "canary regression: acc {accuracy:.3} vs prod {prod_acc:.3}, \
+                         latency +{:.0}%",
+                        commit.latency_regression * 100.0
+                    ),
+                }
+            }
+            CanaryVerdict::Promote | CanaryVerdict::Continue => {
+                self.registry
+                    .transition(&self.model_name, version, Stage::Production)
+                    .expect("canary must promote");
+                DeployOutcome::Promoted { version, accuracy }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn datasets() -> (Dataset, Dataset) {
+        Dataset::blobs(550, 8, 11, 0.6, 90).split(0.8, 91)
+    }
+
+    #[test]
+    fn healthy_commit_reaches_production() {
+        let (train, holdout) = datasets();
+        let mut sys = CicdSystem::new("gourmetgram", CicdConfig::default());
+        let outcome = sys.run_commit(&Commit::healthy(1, "initial model"), &train, &holdout);
+        match outcome {
+            DeployOutcome::Promoted { version, accuracy } => {
+                assert_eq!(version, 1);
+                assert!(accuracy > 0.85);
+            }
+            other => panic!("expected promotion, got {other:?}"),
+        }
+        assert_eq!(sys.registry.in_stage("gourmetgram", Stage::Production).unwrap().version, 1);
+        // The tracked run exists with artifacts.
+        let runs = sys.tracker.runs_in("gourmetgram");
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].artifact("model.bin").is_some());
+    }
+
+    #[test]
+    fn broken_build_never_trains() {
+        let (train, holdout) = datasets();
+        let mut sys = CicdSystem::new("m", CicdConfig::default());
+        let mut commit = Commit::healthy(2, "oops");
+        commit.tests_pass = false;
+        assert_eq!(sys.run_commit(&commit, &train, &holdout), DeployOutcome::CiFailed);
+        assert_eq!(sys.tracker.run_count(), 0);
+        assert!(sys.registry.latest_version("m").is_none());
+    }
+
+    #[test]
+    fn corrupted_labels_fail_the_gate() {
+        let (train, holdout) = datasets();
+        let mut sys = CicdSystem::new("m", CicdConfig::default());
+        let mut commit = Commit::healthy(3, "bad feature join");
+        commit.label_corruption = 0.6;
+        match sys.run_commit(&commit, &train, &holdout) {
+            DeployOutcome::GateFailed { accuracy, required } => {
+                assert!(accuracy < required);
+            }
+            other => panic!("expected gate failure, got {other:?}"),
+        }
+        // Failed run recorded as Failed in the tracker; nothing registered.
+        assert_eq!(sys.tracker.runs_in("m").len(), 1);
+        assert!(sys.registry.latest_version("m").is_none());
+    }
+
+    #[test]
+    fn latency_regression_rolls_back_and_keeps_old_production() {
+        let (train, holdout) = datasets();
+        let mut sys = CicdSystem::new("m", CicdConfig::default());
+        assert!(matches!(
+            sys.run_commit(&Commit::healthy(1, "v1"), &train, &holdout),
+            DeployOutcome::Promoted { .. }
+        ));
+        let mut slow = Commit::healthy(2, "accidentally sync I/O");
+        slow.latency_regression = 0.5;
+        match sys.run_commit(&slow, &train, &holdout) {
+            DeployOutcome::RolledBack { reason } => {
+                assert!(reason.contains("latency"));
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        // v1 still serves production; v2 archived.
+        assert_eq!(sys.registry.in_stage("m", Stage::Production).unwrap().version, 1);
+        assert_eq!(sys.registry.get("m", 2).unwrap().stage, Stage::Archived);
+    }
+
+    #[test]
+    fn successive_healthy_commits_replace_production() {
+        let (train, holdout) = datasets();
+        let mut sys = CicdSystem::new("m", CicdConfig::default());
+        for id in 1..=3 {
+            assert!(matches!(
+                sys.run_commit(&Commit::healthy(id, "retrain"), &train, &holdout),
+                DeployOutcome::Promoted { .. }
+            ));
+        }
+        assert_eq!(sys.registry.in_stage("m", Stage::Production).unwrap().version, 3);
+        assert_eq!(sys.registry.versions("m").len(), 3);
+        // History shows the archival chain.
+        assert!(sys.registry.history().len() >= 9);
+    }
+
+    #[test]
+    fn mild_corruption_passes_gate_but_canary_catches_accuracy_drop() {
+        let (train, holdout) = datasets();
+        let mut config = CicdConfig {
+            gate_accuracy: 0.60, // lax gate: the canary is the net
+            ..CicdConfig::default()
+        };
+        config.canary.max_accuracy_drop = 0.03;
+        let mut sys = CicdSystem::new("m", config);
+        assert!(matches!(
+            sys.run_commit(&Commit::healthy(1, "v1"), &train, &holdout),
+            DeployOutcome::Promoted { .. }
+        ));
+        let mut meh = Commit::healthy(2, "subtly bad");
+        meh.label_corruption = 0.25;
+        match sys.run_commit(&meh, &train, &holdout) {
+            DeployOutcome::RolledBack { .. } => {}
+            DeployOutcome::GateFailed { .. } => {} // also acceptable safety net
+            other => panic!("bad model deployed: {other:?}"),
+        }
+        assert_eq!(sys.registry.in_stage("m", Stage::Production).unwrap().version, 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Data systems — the Unit 8 lecture's three pillars (§3.8): **batch ETL**
+//! pipelines, the **broker–producer–consumer** streaming model, and a
+//! **feature store** that unifies batch and streaming features for
+//! training and inference.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::thread;
+
+/// A raw data record flowing through pipelines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Entity key (e.g. user or photo id).
+    pub entity: u64,
+    /// Event timestamp (ms).
+    pub ts_ms: u64,
+    /// Feature vector (possibly dirty before ETL).
+    pub features: Vec<f64>,
+    /// Optional label.
+    pub label: Option<u32>,
+}
+
+// -------------------------------------------------------------------- ETL
+
+/// A batch ETL pipeline: an ordered list of named transform stages.
+/// A named batch-transform stage.
+type Stage = (String, Box<dyn Fn(Vec<Record>) -> Vec<Record> + Send + Sync>);
+
+#[derive(Default)]
+pub struct EtlPipeline {
+    stages: Vec<Stage>,
+}
+
+impl std::fmt::Debug for EtlPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EtlPipeline")
+            .field("stages", &self.stages.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl EtlPipeline {
+    /// Empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage.
+    pub fn stage(
+        mut self,
+        name: &str,
+        f: impl Fn(Vec<Record>) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Self {
+        self.stages.push((name.to_string(), Box::new(f)));
+        self
+    }
+
+    /// Run the batch through every stage; returns the output and the
+    /// per-stage row counts (the lineage the lab logs).
+    pub fn run(&self, input: Vec<Record>) -> (Vec<Record>, Vec<(String, usize)>) {
+        let mut rows = input;
+        let mut lineage = vec![("input".to_string(), rows.len())];
+        for (name, f) in &self.stages {
+            rows = f(rows);
+            lineage.push((name.clone(), rows.len()));
+        }
+        (rows, lineage)
+    }
+}
+
+/// Standard cleaning stage: drop records with non-finite features or
+/// missing labels.
+pub fn drop_invalid(rows: Vec<Record>) -> Vec<Record> {
+    rows.into_iter()
+        .filter(|r| r.label.is_some() && r.features.iter().all(|x| x.is_finite()))
+        .collect()
+}
+
+/// Fit feature-wise mean/std on a batch (for a normalize stage). Returns
+/// `(means, stds)`; stds of constant features are 1 to avoid division by
+/// zero.
+pub fn fit_normalizer(rows: &[Record]) -> (Vec<f64>, Vec<f64>) {
+    assert!(!rows.is_empty(), "cannot fit a normalizer on no rows");
+    let dim = rows[0].features.len();
+    let n = rows.len() as f64;
+    let mut means = vec![0.0; dim];
+    for r in rows {
+        for (m, &x) in means.iter_mut().zip(&r.features) {
+            *m += x / n;
+        }
+    }
+    let mut vars = vec![0.0; dim];
+    for r in rows {
+        for ((v, &m), &x) in vars.iter_mut().zip(&means).zip(&r.features) {
+            *v += (x - m) * (x - m) / n;
+        }
+    }
+    let stds = vars.into_iter().map(|v| if v > 1e-12 { v.sqrt() } else { 1.0 }).collect();
+    (means, stds)
+}
+
+/// Apply a fitted normalizer.
+pub fn normalize(rows: Vec<Record>, means: &[f64], stds: &[f64]) -> Vec<Record> {
+    rows.into_iter()
+        .map(|mut r| {
+            for ((x, &m), &s) in r.features.iter_mut().zip(means).zip(stds) {
+                *x = (*x - m) / s;
+            }
+            r
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- streaming
+
+/// A topic-based message broker over bounded channels (the
+/// broker–producer–consumer model from the lecture). Each topic has one
+/// queue; consumers in the same group share it (work-queue semantics).
+#[derive(Debug)]
+pub struct Broker {
+    topics: HashMap<String, (Sender<Record>, Receiver<Record>)>,
+    capacity: usize,
+}
+
+impl Broker {
+    /// Broker with per-topic queue capacity (backpressure bound).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Broker { topics: HashMap::new(), capacity }
+    }
+
+    /// Create (or get) a topic.
+    pub fn topic(&mut self, name: &str) {
+        let cap = self.capacity;
+        self.topics.entry(name.to_string()).or_insert_with(|| bounded(cap));
+    }
+
+    /// A producer handle for a topic.
+    pub fn producer(&self, topic: &str) -> Sender<Record> {
+        self.topics.get(topic).expect("unknown topic").0.clone()
+    }
+
+    /// A consumer handle for a topic (consumers sharing the handle form a
+    /// consumer group: each record is delivered to exactly one of them).
+    pub fn consumer(&self, topic: &str) -> Receiver<Record> {
+        self.topics.get(topic).expect("unknown topic").1.clone()
+    }
+
+    /// Drop the broker's own ends of a topic so consumers see EOF once
+    /// producers finish.
+    pub fn seal(&mut self, topic: &str) {
+        self.topics.remove(topic);
+    }
+}
+
+/// Run a complete streaming job: `producers` threads each emit their
+/// records to the topic; `consumers` threads drain it, applying `f` to
+/// each record; returns every processed record (order unspecified across
+/// consumers, so the caller sorts if needed).
+pub fn run_streaming_job(
+    records_per_producer: Vec<Vec<Record>>,
+    consumers: usize,
+    f: impl Fn(Record) -> Record + Send + Sync + Copy,
+) -> Vec<Record> {
+    assert!(consumers > 0);
+    let mut broker = Broker::new(64);
+    broker.topic("events");
+    let rx = broker.consumer("events");
+    let txs: Vec<Sender<Record>> =
+        records_per_producer.iter().map(|_| broker.producer("events")).collect();
+    broker.seal("events");
+    thread::scope(|s| {
+        for (tx, records) in txs.into_iter().zip(records_per_producer) {
+            s.spawn(move || {
+                for r in records {
+                    tx.send(r).expect("consumer hung up");
+                }
+                drop(tx);
+            });
+        }
+        let handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let rx = rx.clone();
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Ok(r) = rx.recv() {
+                        out.push(f(r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        drop(rx);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer panicked"))
+            .collect()
+    })
+}
+
+// ----------------------------------------------------------- feature store
+
+/// A feature store with an offline (historical, point-in-time correct)
+/// view for training and an online (latest-value) view for inference.
+#[derive(Debug, Default)]
+pub struct FeatureStore {
+    offline: Vec<Record>,
+    online: HashMap<u64, Vec<f64>>,
+}
+
+impl FeatureStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a batch into the offline store (kept sorted by `(entity,
+    /// ts)` for point-in-time queries).
+    pub fn ingest_batch(&mut self, rows: Vec<Record>) {
+        self.offline.extend(rows);
+        self.offline.sort_by_key(|r| (r.entity, r.ts_ms));
+    }
+
+    /// Point-in-time lookup for training: the latest features for
+    /// `entity` with `ts_ms <= as_of` (prevents label leakage from the
+    /// future — the training/serving-skew lesson).
+    pub fn get_historical(&self, entity: u64, as_of: u64) -> Option<&Record> {
+        self.offline
+            .iter()
+            .filter(|r| r.entity == entity && r.ts_ms <= as_of)
+            .max_by_key(|r| r.ts_ms)
+    }
+
+    /// Materialize the online view: latest features per entity.
+    pub fn materialize(&mut self) {
+        self.online.clear();
+        for r in &self.offline {
+            // offline is sorted by (entity, ts) — later rows overwrite.
+            self.online.insert(r.entity, r.features.clone());
+        }
+    }
+
+    /// Online lookup for serving.
+    pub fn get_online(&self, entity: u64) -> Option<&Vec<f64>> {
+        self.online.get(&entity)
+    }
+
+    /// Number of offline rows.
+    pub fn offline_len(&self) -> usize {
+        self.offline.len()
+    }
+
+    /// Number of online entities.
+    pub fn online_len(&self) -> usize {
+        self.online.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(entity: u64, ts: u64, f0: f64, label: Option<u32>) -> Record {
+        Record { entity, ts_ms: ts, features: vec![f0, f0 * 2.0], label }
+    }
+
+    #[test]
+    fn etl_pipeline_lineage() {
+        let pipeline = EtlPipeline::new()
+            .stage("drop_invalid", drop_invalid)
+            .stage("double", |rows| {
+                rows.into_iter()
+                    .map(|mut r| {
+                        for x in &mut r.features {
+                            *x *= 2.0;
+                        }
+                        r
+                    })
+                    .collect()
+            });
+        let input = vec![
+            rec(1, 0, 1.0, Some(0)),
+            rec(2, 0, f64::NAN, Some(1)), // dropped: NaN
+            rec(3, 0, 2.0, None),         // dropped: no label
+            rec(4, 0, 3.0, Some(1)),
+        ];
+        let (out, lineage) = pipeline.run(input);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].features[0], 2.0);
+        assert_eq!(
+            lineage,
+            vec![
+                ("input".to_string(), 4),
+                ("drop_invalid".to_string(), 2),
+                ("double".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn normalizer_fit_transform() {
+        let rows = vec![rec(1, 0, 0.0, Some(0)), rec(2, 0, 10.0, Some(0))];
+        let (means, stds) = fit_normalizer(&rows);
+        assert_eq!(means, vec![5.0, 10.0]);
+        let out = normalize(rows, &means, &stds);
+        assert!((out[0].features[0] + 1.0).abs() < 1e-9);
+        assert!((out[1].features[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_feature_normalizes_safely() {
+        let rows = vec![rec(1, 0, 7.0, Some(0)), rec(2, 0, 7.0, Some(0))];
+        let (means, stds) = fit_normalizer(&rows);
+        assert_eq!(stds, vec![1.0, 1.0]);
+        let out = normalize(rows, &means, &stds);
+        assert_eq!(out[0].features[0], 0.0);
+    }
+
+    #[test]
+    fn streaming_delivers_each_record_exactly_once() {
+        // 3 producers × 100 records, 4 consumers in one group.
+        let batches: Vec<Vec<Record>> = (0..3)
+            .map(|p| (0..100).map(|i| rec(p * 1000 + i, i, i as f64, Some(0))).collect())
+            .collect();
+        let out = run_streaming_job(batches, 4, |mut r| {
+            r.features[0] += 1.0;
+            r
+        });
+        assert_eq!(out.len(), 300);
+        let mut entities: Vec<u64> = out.iter().map(|r| r.entity).collect();
+        entities.sort_unstable();
+        entities.dedup();
+        assert_eq!(entities.len(), 300, "duplicate or lost deliveries");
+        // Transform applied to every record.
+        assert!(out.iter().all(|r| r.features[0] >= 1.0));
+    }
+
+    #[test]
+    fn streaming_single_consumer_preserves_per_producer_order() {
+        let batches = vec![(0..50).map(|i| rec(i, i, i as f64, Some(0))).collect()];
+        let out = run_streaming_job(batches, 1, |r| r);
+        let ts: Vec<u64> = out.iter().map(|r| r.ts_ms).collect();
+        assert_eq!(ts, (0..50).collect::<Vec<_>>(), "FIFO violated");
+    }
+
+    #[test]
+    fn feature_store_point_in_time() {
+        let mut fs = FeatureStore::new();
+        fs.ingest_batch(vec![
+            rec(1, 100, 1.0, None),
+            rec(1, 200, 2.0, None),
+            rec(1, 300, 3.0, None),
+            rec(2, 150, 9.0, None),
+        ]);
+        // Training query at t=250 must NOT see the t=300 row.
+        let r = fs.get_historical(1, 250).unwrap();
+        assert_eq!(r.features[0], 2.0);
+        assert_eq!(fs.get_historical(1, 99), None);
+        assert_eq!(fs.get_historical(42, 1000), None);
+    }
+
+    #[test]
+    fn online_view_serves_latest() {
+        let mut fs = FeatureStore::new();
+        fs.ingest_batch(vec![rec(1, 100, 1.0, None), rec(1, 300, 3.0, None)]);
+        fs.materialize();
+        assert_eq!(fs.get_online(1).unwrap()[0], 3.0);
+        assert_eq!(fs.online_len(), 1);
+        assert_eq!(fs.offline_len(), 2);
+        // New batch + re-materialize updates the online view.
+        fs.ingest_batch(vec![rec(1, 400, 4.0, None)]);
+        fs.materialize();
+        assert_eq!(fs.get_online(1).unwrap()[0], 4.0);
+    }
+
+    #[test]
+    fn training_serving_consistency() {
+        // The value served online equals the latest point-in-time value —
+        // the skew the feature store exists to prevent.
+        let mut fs = FeatureStore::new();
+        fs.ingest_batch((0..20).map(|i| rec(7, i * 10, i as f64, None)).collect());
+        fs.materialize();
+        let online = fs.get_online(7).unwrap().clone();
+        let historical = fs.get_historical(7, u64::MAX).unwrap().features.clone();
+        assert_eq!(online, historical);
+    }
+}

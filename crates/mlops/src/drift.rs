@@ -1,0 +1,213 @@
+//! Data-drift detection — the Unit 7 lab's "drift detection" step and the
+//! lecture's core warning: "the difficulty of detecting performance
+//! degradation due to data drift when ground truth labels are not readily
+//! available" (§3.7).
+//!
+//! The detector watches a *label-free* signal (feature values or model
+//! confidence) in a sliding window and compares it against a frozen
+//! reference window using the two-sample Kolmogorov–Smirnov test and the
+//! Population Stability Index from `opml-simkernel::stats`.
+
+use opml_simkernel::stats::{ks_critical, ks_statistic, psi};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Drift verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftStatus {
+    /// Distribution consistent with the reference.
+    Stable,
+    /// PSI in the conventional warning band (0.1–0.25).
+    Warning,
+    /// KS significant at α and/or PSI > 0.25.
+    Drift,
+}
+
+/// One evaluation of the current window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Verdict.
+    pub status: DriftStatus,
+    /// KS statistic against the reference.
+    pub ks: f64,
+    /// KS critical value at the configured α.
+    pub ks_critical: f64,
+    /// PSI against the reference.
+    pub psi: f64,
+    /// Window size evaluated.
+    pub n: usize,
+}
+
+/// Sliding-window drift detector over a scalar signal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftDetector {
+    reference: Vec<f64>,
+    window: VecDeque<f64>,
+    window_size: usize,
+    alpha: f64,
+    bins: usize,
+}
+
+impl DriftDetector {
+    /// Build from a non-empty reference sample.
+    ///
+    /// `window_size` observations are held in the sliding window; reports
+    /// are produced once the window is full. `alpha` is the KS test
+    /// significance level (0.01 is a sane default for per-window checks).
+    pub fn new(reference: Vec<f64>, window_size: usize, alpha: f64) -> Self {
+        assert!(!reference.is_empty(), "reference must be non-empty");
+        assert!(window_size >= 10, "window too small to test");
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
+        DriftDetector { reference, window: VecDeque::new(), window_size, alpha, bins: 10 }
+    }
+
+    /// Feed one observation; returns a report once the window is full
+    /// (and on every observation thereafter).
+    pub fn push(&mut self, x: f64) -> Option<DriftReport> {
+        if self.window.len() == self.window_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+        if self.window.len() < self.window_size {
+            return None;
+        }
+        Some(self.evaluate())
+    }
+
+    /// Evaluate the current (full or partial) window.
+    pub fn evaluate(&self) -> DriftReport {
+        let current: Vec<f64> = self.window.iter().copied().collect();
+        let ks = ks_statistic(&self.reference, &current);
+        let crit = ks_critical(self.reference.len(), current.len(), self.alpha);
+        let p = psi(&self.reference, &current, self.bins);
+        let status = if ks > crit || p > 0.25 {
+            DriftStatus::Drift
+        } else if p > 0.1 {
+            DriftStatus::Warning
+        } else {
+            DriftStatus::Stable
+        };
+        DriftReport { status, ks, ks_critical: crit, psi: p, n: current.len() }
+    }
+
+    /// Number of observations currently windowed.
+    pub fn fill(&self) -> usize {
+        self.window.len()
+    }
+}
+
+/// Chi-squared statistic for label/prediction-distribution shift between
+/// two count vectors (e.g. predicted-class histograms week over week).
+pub fn label_shift_chi2(reference: &[u64], current: &[u64]) -> f64 {
+    assert_eq!(reference.len(), current.len(), "class-count length mismatch");
+    let rn: u64 = reference.iter().sum();
+    let cn: u64 = current.iter().sum();
+    assert!(rn > 0 && cn > 0, "empty count vectors");
+    let mut chi2 = 0.0;
+    for (&r, &c) in reference.iter().zip(current) {
+        let expected = (r as f64 / rn as f64) * cn as f64;
+        if expected > 0.0 {
+            let d = c as f64 - expected;
+            chi2 += d * d / expected;
+        } else if c > 0 {
+            // A class never seen in reference appearing now is maximal
+            // evidence; give it a large finite contribution.
+            chi2 += c as f64 * 10.0;
+        }
+    }
+    chi2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opml_simkernel::Rng;
+
+    fn normal_sample(n: usize, shift: f64, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.normal() + shift).collect()
+    }
+
+    #[test]
+    fn stable_stream_stays_stable() {
+        let mut det = DriftDetector::new(normal_sample(2000, 0.0, 1), 500, 0.01);
+        let stream = normal_sample(1000, 0.0, 2);
+        let mut last = None;
+        for x in stream {
+            if let Some(r) = det.push(x) {
+                last = Some(r);
+            }
+        }
+        let r = last.expect("window filled");
+        assert_eq!(r.status, DriftStatus::Stable, "ks={} psi={}", r.ks, r.psi);
+    }
+
+    #[test]
+    fn shifted_stream_detected() {
+        let mut det = DriftDetector::new(normal_sample(2000, 0.0, 3), 500, 0.01);
+        let mut detected_at = None;
+        // 500 in-distribution, then shifted by 1.5σ.
+        for (i, x) in normal_sample(500, 0.0, 4).into_iter().enumerate() {
+            if let Some(r) = det.push(x) {
+                assert_ne!(r.status, DriftStatus::Drift, "false alarm at {i}");
+            }
+        }
+        for (i, x) in normal_sample(1500, 1.5, 5).into_iter().enumerate() {
+            if let Some(r) = det.push(x) {
+                if r.status == DriftStatus::Drift {
+                    detected_at = Some(i);
+                    break;
+                }
+            }
+        }
+        let at = detected_at.expect("drift never detected");
+        assert!(at < 600, "detection too slow: {at} observations after onset");
+    }
+
+    #[test]
+    fn report_not_emitted_until_window_full() {
+        let mut det = DriftDetector::new(normal_sample(100, 0.0, 6), 50, 0.05);
+        for (i, x) in normal_sample(49, 0.0, 7).into_iter().enumerate() {
+            assert!(det.push(x).is_none(), "report before full window at {i}");
+        }
+        assert_eq!(det.fill(), 49);
+        assert!(det.push(0.0).is_some());
+    }
+
+    #[test]
+    fn warning_band_between_stable_and_drift() {
+        // A small shift lands in Warning (PSI 0.1–0.25) for this window.
+        let reference = normal_sample(5000, 0.0, 8);
+        let mut det = DriftDetector::new(reference, 1000, 1e-6); // KS ~ off
+        for x in normal_sample(1000, 0.35, 9) {
+            det.push(x);
+        }
+        let r = det.evaluate();
+        assert!(
+            r.status == DriftStatus::Warning || r.status == DriftStatus::Drift,
+            "psi={} status={:?}",
+            r.psi,
+            r.status
+        );
+        assert!(r.psi > 0.1);
+    }
+
+    #[test]
+    fn label_shift_chi2_behaviour() {
+        let reference = [100u64, 100, 100, 100];
+        // Identical distribution → 0.
+        assert!(label_shift_chi2(&reference, &[50, 50, 50, 50]) < 1e-9);
+        // Mild shift → small; collapse onto one class → large.
+        let mild = label_shift_chi2(&reference, &[60, 50, 45, 45]);
+        let collapse = label_shift_chi2(&reference, &[200, 0, 0, 0]);
+        assert!(mild < 10.0, "mild {mild}");
+        assert!(collapse > 100.0, "collapse {collapse}");
+        assert!(collapse > mild);
+    }
+
+    #[test]
+    fn unseen_class_is_flagged() {
+        let chi2 = label_shift_chi2(&[100, 0], &[50, 50]);
+        assert!(chi2 > 100.0);
+    }
+}

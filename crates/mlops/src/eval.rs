@@ -1,0 +1,547 @@
+//! Offline and online evaluation — Unit 7's first two lab parts (§3.7):
+//! domain metrics and slice evaluation, template-based behavioural tests,
+//! and the online modalities the lecture covers (A/B testing, canary
+//! comparison, shadow deployment).
+
+use crate::model::{Dataset, Mlp};
+use opml_simkernel::stats::two_proportion_z;
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------- offline
+
+/// Per-class precision/recall/F1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Class index.
+    pub class: usize,
+    /// Precision (0 when the class is never predicted).
+    pub precision: f64,
+    /// Recall (0 when the class has no examples).
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+    /// Ground-truth examples of this class.
+    pub support: usize,
+}
+
+/// Full offline evaluation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Per-class metrics.
+    pub per_class: Vec<ClassMetrics>,
+    /// Confusion matrix `confusion[truth][predicted]`.
+    pub confusion: Vec<Vec<usize>>,
+}
+
+impl EvalReport {
+    /// Macro-averaged F1.
+    pub fn macro_f1(&self) -> f64 {
+        if self.per_class.is_empty() {
+            return 0.0;
+        }
+        self.per_class.iter().map(|c| c.f1).sum::<f64>() / self.per_class.len() as f64
+    }
+
+    /// The class with the lowest recall — the "known failure mode" slice
+    /// the lab tells students to watch.
+    pub fn weakest_class(&self) -> Option<&ClassMetrics> {
+        self.per_class
+            .iter()
+            .filter(|c| c.support > 0)
+            .min_by(|a, b| a.recall.partial_cmp(&b.recall).expect("recall NaN"))
+    }
+}
+
+/// Evaluate a model on a dataset.
+pub fn evaluate(model: &mut Mlp, data: &Dataset) -> EvalReport {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let preds = model.predict(&data.x);
+    let k = data.classes;
+    let mut confusion = vec![vec![0usize; k]; k];
+    for (&p, &t) in preds.iter().zip(&data.y) {
+        confusion[t][p] += 1;
+    }
+    let correct: usize = (0..k).map(|c| confusion[c][c]).sum();
+    let per_class = (0..k)
+        .map(|c| {
+            let tp = confusion[c][c];
+            let fp: usize = (0..k).filter(|&t| t != c).map(|t| confusion[t][c]).sum();
+            let fn_: usize = (0..k).filter(|&p| p != c).map(|p| confusion[c][p]).sum();
+            let support = tp + fn_;
+            let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+            let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+            let f1 = if precision + recall == 0.0 {
+                0.0
+            } else {
+                2.0 * precision * recall / (precision + recall)
+            };
+            ClassMetrics { class: c, precision, recall, f1, support }
+        })
+        .collect();
+    EvalReport { accuracy: correct as f64 / data.len() as f64, per_class, confusion }
+}
+
+/// A named slice predicate over `(label, features)`.
+pub type SlicePredicate<'a> = (&'a str, Box<dyn Fn(usize, &[f32]) -> bool>);
+
+/// Evaluate on named data slices: each slice selects example indices.
+/// Returns `(slice name, accuracy, n)` rows.
+pub fn evaluate_slices(
+    model: &mut Mlp,
+    data: &Dataset,
+    slices: &[SlicePredicate<'_>],
+) -> Vec<(String, f64, usize)> {
+    slices
+        .iter()
+        .map(|(name, pred)| {
+            let idx: Vec<usize> = (0..data.len()).filter(|&i| pred(data.y[i], data.x.row(i))).collect();
+            if idx.is_empty() {
+                return (name.to_string(), 0.0, 0);
+            }
+            let slice = data.subset(&idx);
+            (name.to_string(), slice.accuracy(model), idx.len())
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ behavioural
+
+/// A template-based behavioural test (CheckList-style, which the lecture
+/// cites): perturb inputs and assert prediction behaviour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BehavioralTest {
+    /// Predictions must be invariant to small feature noise: the flip
+    /// rate under `N(0, noise)` perturbation must not exceed
+    /// `max_flip_rate`.
+    NoiseInvariance {
+        /// Perturbation standard deviation.
+        noise: f64,
+        /// Maximum tolerated prediction-flip rate.
+        max_flip_rate: f64,
+    },
+    /// Predictions must be invariant to dropping (zeroing) each single
+    /// feature, on at least `1 − max_flip_rate` of examples.
+    FeatureDropout {
+        /// Which feature to zero.
+        feature: usize,
+        /// Maximum tolerated prediction-flip rate.
+        max_flip_rate: f64,
+    },
+    /// Duplicating an example must give the same prediction
+    /// (determinism check).
+    Determinism,
+}
+
+/// Result of one behavioural test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BehavioralResult {
+    /// Test description.
+    pub name: String,
+    /// Whether it passed.
+    pub passed: bool,
+    /// Measured flip rate (0 for determinism pass).
+    pub flip_rate: f64,
+}
+
+/// Run a behavioural suite against a model.
+pub fn run_behavioral_suite(
+    model: &mut Mlp,
+    data: &Dataset,
+    tests: &[BehavioralTest],
+    seed: u64,
+) -> Vec<BehavioralResult> {
+    let base = model.predict(&data.x);
+    let mut rng = Rng::new(seed);
+    tests
+        .iter()
+        .map(|t| match t {
+            BehavioralTest::NoiseInvariance { noise, max_flip_rate } => {
+                let mut x = data.x.clone();
+                for v in x.as_mut_slice() {
+                    *v += rng.normal_with(0.0, *noise) as f32;
+                }
+                let perturbed = model.predict(&x);
+                let flips = base.iter().zip(&perturbed).filter(|(a, b)| a != b).count();
+                let rate = flips as f64 / base.len() as f64;
+                BehavioralResult {
+                    name: format!("noise-invariance(σ={noise})"),
+                    passed: rate <= *max_flip_rate,
+                    flip_rate: rate,
+                }
+            }
+            BehavioralTest::FeatureDropout { feature, max_flip_rate } => {
+                let mut x = data.x.clone();
+                for r in 0..x.rows() {
+                    x.set(r, *feature, 0.0);
+                }
+                let perturbed = model.predict(&x);
+                let flips = base.iter().zip(&perturbed).filter(|(a, b)| a != b).count();
+                let rate = flips as f64 / base.len() as f64;
+                BehavioralResult {
+                    name: format!("feature-dropout({feature})"),
+                    passed: rate <= *max_flip_rate,
+                    flip_rate: rate,
+                }
+            }
+            BehavioralTest::Determinism => {
+                let again = model.predict(&data.x);
+                let flips = base.iter().zip(&again).filter(|(a, b)| a != b).count();
+                BehavioralResult {
+                    name: "determinism".into(),
+                    passed: flips == 0,
+                    flip_rate: flips as f64 / base.len() as f64,
+                }
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- online
+
+/// A two-arm A/B test accumulating binary outcomes (e.g. "user accepted
+/// the suggested tag").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AbTest {
+    /// Successes in arm A.
+    pub a_success: u64,
+    /// Trials in arm A.
+    pub a_n: u64,
+    /// Successes in arm B.
+    pub b_success: u64,
+    /// Trials in arm B.
+    pub b_n: u64,
+}
+
+impl AbTest {
+    /// Record one outcome.
+    pub fn record(&mut self, arm_b: bool, success: bool) {
+        if arm_b {
+            self.b_n += 1;
+            self.b_success += u64::from(success);
+        } else {
+            self.a_n += 1;
+            self.a_success += u64::from(success);
+        }
+    }
+
+    /// Pooled two-proportion z statistic (B − A is positive when B wins).
+    pub fn z(&self) -> f64 {
+        if self.a_n == 0 || self.b_n == 0 {
+            return 0.0;
+        }
+        -two_proportion_z(self.a_success, self.a_n, self.b_success, self.b_n)
+    }
+
+    /// Whether B is significantly better than A at ~95% (z > 1.96).
+    pub fn b_wins(&self) -> bool {
+        self.z() > 1.96
+    }
+
+    /// Whether B is significantly worse (z < −1.96).
+    pub fn b_loses(&self) -> bool {
+        self.z() < -1.96
+    }
+}
+
+/// Canary verdict comparing the canary's operational+quality metrics
+/// against production's over the same window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CanaryVerdict {
+    /// Promote the canary.
+    Promote,
+    /// Keep watching (insufficient data).
+    Continue,
+    /// Roll the canary back.
+    Rollback,
+}
+
+/// Canary analysis configuration: tolerated regressions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CanaryPolicy {
+    /// Max tolerated relative latency regression (e.g. 0.2 = +20%).
+    pub max_latency_regression: f64,
+    /// Max tolerated absolute accuracy drop (e.g. 0.02).
+    pub max_accuracy_drop: f64,
+    /// Minimum samples per side before judging.
+    pub min_samples: usize,
+}
+
+/// Compare canary vs production windows.
+pub fn canary_analysis(
+    policy: &CanaryPolicy,
+    prod_latency: &[f64],
+    prod_accuracy: f64,
+    canary_latency: &[f64],
+    canary_accuracy: f64,
+) -> CanaryVerdict {
+    if prod_latency.len() < policy.min_samples || canary_latency.len() < policy.min_samples {
+        return CanaryVerdict::Continue;
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let lat_reg = (mean(canary_latency) - mean(prod_latency)) / mean(prod_latency).max(1e-9);
+    let acc_drop = prod_accuracy - canary_accuracy;
+    if lat_reg > policy.max_latency_regression || acc_drop > policy.max_accuracy_drop {
+        CanaryVerdict::Rollback
+    } else {
+        CanaryVerdict::Promote
+    }
+}
+
+/// Shadow deployment: run the challenger on mirrored traffic and measure
+/// agreement with the incumbent (no user impact). Returns the agreement
+/// rate in `[0, 1]`.
+pub fn shadow_agreement(incumbent: &mut Mlp, challenger: &mut Mlp, traffic: &Dataset) -> f64 {
+    assert!(!traffic.is_empty());
+    let a = incumbent.predict(&traffic.x);
+    let b = challenger.predict(&traffic.x);
+    a.iter().zip(&b).filter(|(x, y)| x == y).count() as f64 / a.len() as f64
+}
+
+// --------------------------------------------------------------- fairness
+
+/// Per-group fairness audit (the §3.7 lecture's "assessments for
+/// fairness and bias" over key population slices).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// `(group name, accuracy, positive-prediction rate, n)` rows.
+    pub groups: Vec<(String, f64, f64, usize)>,
+    /// Max absolute accuracy gap between any two groups.
+    pub accuracy_gap: f64,
+    /// Max absolute positive-rate gap (demographic-parity distance, for
+    /// the designated "positive" class).
+    pub demographic_parity_gap: f64,
+}
+
+/// Audit a model across groups. `group_of` maps an example index to a
+/// group name; `positive_class` defines the outcome whose rate
+/// demographic parity compares.
+pub fn fairness_audit(
+    model: &mut Mlp,
+    data: &Dataset,
+    group_of: impl Fn(usize) -> String,
+    positive_class: usize,
+) -> FairnessReport {
+    assert!(!data.is_empty());
+    let preds = model.predict(&data.x);
+    use std::collections::BTreeMap;
+    let mut stats: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new(); // (n, correct, positive)
+    for (i, &pred) in preds.iter().enumerate() {
+        let e = stats.entry(group_of(i)).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += usize::from(pred == data.y[i]);
+        e.2 += usize::from(pred == positive_class);
+    }
+    let groups: Vec<(String, f64, f64, usize)> = stats
+        .into_iter()
+        .map(|(g, (n, c, p))| (g, c as f64 / n as f64, p as f64 / n as f64, n))
+        .collect();
+    type GroupRow = (String, f64, f64, usize);
+    let gap = |f: &dyn Fn(&GroupRow) -> f64| -> f64 {
+        let vals: Vec<f64> = groups.iter().map(f).collect();
+        vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min)
+    };
+    FairnessReport {
+        accuracy_gap: gap(&|r| r.1),
+        demographic_parity_gap: gap(&|r| r.2),
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{train_epoch, Sgd};
+
+    fn trained(seed: u64) -> (Mlp, Dataset) {
+        let data = Dataset::blobs(440, 8, 11, 0.6, seed);
+        let mut rng = Rng::new(seed + 1);
+        let mut model = Mlp::new(&[8, 32, 11], &mut rng);
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..25 {
+            train_epoch(&mut model, &data, &mut opt, 32, &mut rng);
+        }
+        (model, data)
+    }
+
+    #[test]
+    fn eval_report_consistency() {
+        let (mut model, data) = trained(60);
+        let report = evaluate(&mut model, &data);
+        assert!(report.accuracy > 0.9);
+        // Confusion matrix totals match the dataset.
+        let total: usize = report.confusion.iter().flatten().sum();
+        assert_eq!(total, data.len());
+        // Supports sum to the dataset size.
+        let support: usize = report.per_class.iter().map(|c| c.support).sum();
+        assert_eq!(support, data.len());
+        assert!(report.macro_f1() > 0.85);
+        assert!(report.weakest_class().is_some());
+    }
+
+    #[test]
+    fn perfect_predictions_metrics() {
+        // A dataset the model classifies perfectly ⇒ all ones.
+        let (mut model, data) = trained(61);
+        let preds = model.predict(&data.x);
+        let idx: Vec<usize> =
+            (0..data.len()).filter(|&i| preds[i] == data.y[i]).collect();
+        let clean = data.subset(&idx);
+        let report = evaluate(&mut model, &clean);
+        assert!((report.accuracy - 1.0).abs() < 1e-12);
+        for c in report.per_class.iter().filter(|c| c.support > 0) {
+            assert!((c.recall - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slice_evaluation() {
+        let (mut model, data) = trained(62);
+        let slices: Vec<SlicePredicate<'_>> = vec![
+            ("all", Box::new(|_, _| true)),
+            ("class-0", Box::new(|y, _| y == 0)),
+            ("feature0-positive", Box::new(|_, x| x[0] > 0.0)),
+            ("empty", Box::new(|_, _| false)),
+        ];
+        let rows = evaluate_slices(&mut model, &data, &slices);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].2, data.len());
+        assert!(rows[1].2 > 0 && rows[1].1 > 0.8);
+        assert_eq!(rows[3].2, 0);
+    }
+
+    #[test]
+    fn behavioural_suite_passes_on_healthy_model() {
+        let (mut model, data) = trained(63);
+        let results = run_behavioral_suite(
+            &mut model,
+            &data,
+            &[
+                BehavioralTest::NoiseInvariance { noise: 0.05, max_flip_rate: 0.05 },
+                BehavioralTest::Determinism,
+            ],
+            7,
+        );
+        for r in &results {
+            assert!(r.passed, "{} failed with flip rate {}", r.name, r.flip_rate);
+        }
+    }
+
+    #[test]
+    fn behavioural_suite_catches_fragility() {
+        let (mut model, data) = trained(64);
+        // Huge noise must flip many predictions → the invariance test
+        // (correctly) fails.
+        let results = run_behavioral_suite(
+            &mut model,
+            &data,
+            &[BehavioralTest::NoiseInvariance { noise: 5.0, max_flip_rate: 0.05 }],
+            8,
+        );
+        assert!(!results[0].passed);
+        assert!(results[0].flip_rate > 0.2);
+    }
+
+    #[test]
+    fn ab_test_significance() {
+        let mut ab = AbTest::default();
+        for i in 0..2000 {
+            ab.record(false, i % 2 == 0); // A: 50%
+            ab.record(true, i % 5 != 0); // B: 80%
+        }
+        assert!(ab.b_wins());
+        assert!(!ab.b_loses());
+        let mut even = AbTest::default();
+        for i in 0..2000 {
+            even.record(false, i % 2 == 0);
+            even.record(true, i % 2 == 0);
+        }
+        assert!(!even.b_wins() && !even.b_loses());
+    }
+
+    #[test]
+    fn canary_rolls_back_on_latency_regression() {
+        let policy = CanaryPolicy {
+            max_latency_regression: 0.2,
+            max_accuracy_drop: 0.02,
+            min_samples: 10,
+        };
+        let prod: Vec<f64> = vec![100.0; 50];
+        let slow: Vec<f64> = vec![140.0; 50];
+        assert_eq!(
+            canary_analysis(&policy, &prod, 0.9, &slow, 0.9),
+            CanaryVerdict::Rollback
+        );
+        let ok: Vec<f64> = vec![105.0; 50];
+        assert_eq!(
+            canary_analysis(&policy, &prod, 0.9, &ok, 0.895),
+            CanaryVerdict::Promote
+        );
+        // Accuracy collapse also rolls back.
+        assert_eq!(
+            canary_analysis(&policy, &prod, 0.9, &ok, 0.8),
+            CanaryVerdict::Rollback
+        );
+        // Not enough data yet.
+        assert_eq!(
+            canary_analysis(&policy, &prod[..5], 0.9, &ok, 0.9),
+            CanaryVerdict::Continue
+        );
+    }
+
+    #[test]
+    fn fairness_audit_detects_group_disparity() {
+        let (mut model, data) = trained(66);
+        // Group by a feature split correlated with model difficulty:
+        // examples with feature-0 above the median vs below. A healthy
+        // model should be nearly fair; corrupting one group's features
+        // should open the gap.
+        let median = {
+            let mut v: Vec<f32> = (0..data.len()).map(|i| data.x.get(i, 0)).collect();
+            v.sort_by(f32::total_cmp);
+            v[v.len() / 2]
+        };
+        let groups: Vec<String> = (0..data.len())
+            .map(|i| if data.x.get(i, 0) > median { "high".into() } else { "low".into() })
+            .collect();
+        let fair =
+            fairness_audit(&mut model, &data, |i| groups[i].clone(), 0);
+        assert_eq!(fair.groups.len(), 2);
+        assert!(fair.accuracy_gap < 0.15, "healthy model gap {}", fair.accuracy_gap);
+        // Corrupt the "low" group's inputs → disparity appears.
+        let mut corrupted = data.clone();
+        for (i, group) in groups.iter().enumerate() {
+            if group == "low" {
+                for d in 0..corrupted.x.cols() {
+                    let v = corrupted.x.get(i, d);
+                    corrupted.x.set(i, d, v + 3.0);
+                }
+            }
+        }
+        let unfair = fairness_audit(&mut model, &corrupted, |i| groups[i].clone(), 0);
+        assert!(
+            unfair.accuracy_gap > fair.accuracy_gap + 0.1,
+            "corruption should open the gap: {} -> {}",
+            fair.accuracy_gap,
+            unfair.accuracy_gap
+        );
+        // Sample counts conserved.
+        let n: usize = unfair.groups.iter().map(|g| g.3).sum();
+        assert_eq!(n, data.len());
+    }
+
+    #[test]
+    fn shadow_agreement_bounds() {
+        let (mut a, data) = trained(65);
+        let mut b = a.clone();
+        assert_eq!(shadow_agreement(&mut a, &mut b, &data), 1.0);
+        // An untrained challenger disagrees a lot.
+        let mut rng = Rng::new(66);
+        let mut fresh = Mlp::new(&[8, 32, 11], &mut rng);
+        let agreement = shadow_agreement(&mut a, &mut fresh, &data);
+        assert!(agreement < 0.6, "agreement with random model {agreement}");
+    }
+}

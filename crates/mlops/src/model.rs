@@ -1,0 +1,544 @@
+//! Real (small) neural models with exact gradients.
+//!
+//! The course's GourmetGram example is an 11-class food photo classifier;
+//! our stand-in is an MLP over synthetic Gaussian-blob features
+//! ([`Dataset::blobs`]) — small enough to train in milliseconds, real
+//! enough that quantization, pruning, LoRA, distributed gradient averaging
+//! and drift detection all act on genuine learned parameters.
+
+use crate::tensor::Matrix;
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer `y = x·W + b` with cached activations for the
+/// backward pass and accumulated gradients (supports gradient
+/// accumulation across micro-batches — Unit 4's first memory trick).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weights, shape `(in, out)`.
+    pub w: Matrix,
+    /// Bias, length `out`.
+    pub b: Vec<f32>,
+    /// Accumulated weight gradient.
+    pub grad_w: Matrix,
+    /// Accumulated bias gradient.
+    pub grad_b: Vec<f32>,
+    #[serde(skip)]
+    input: Option<Matrix>,
+}
+
+impl Dense {
+    /// New layer with Kaiming-uniform weights and zero bias.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut Rng) -> Self {
+        Dense {
+            w: Matrix::kaiming(inputs, outputs, rng),
+            b: vec![0.0; outputs],
+            grad_w: Matrix::zeros(inputs, outputs),
+            grad_b: vec![0.0; outputs],
+            input: None,
+        }
+    }
+
+    /// Forward pass; caches the input for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        self.input = Some(x.clone());
+        y
+    }
+
+    /// Backward pass: accumulates `grad_w`, `grad_b`; returns `dL/dx`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.input.as_ref().expect("backward before forward");
+        // grad_w += xᵀ · dy
+        self.grad_w.axpy(1.0, &x.transpose().matmul(dy));
+        for r in 0..dy.rows() {
+            for (g, &d) in self.grad_b.iter_mut().zip(dy.row(r)) {
+                *g += d;
+            }
+        }
+        dy.matmul(&self.w.transpose())
+    }
+
+    /// Reset accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.fill(0.0);
+    }
+
+    /// Parameter count.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// An MLP with ReLU activations between layers and a linear head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layers in order.
+    pub layers: Vec<Dense>,
+    #[serde(skip)]
+    relu_masks: Vec<Vec<bool>>,
+}
+
+impl Mlp {
+    /// Build an MLP; `sizes` is `[input, hidden…, output]`.
+    pub fn new(sizes: &[usize], rng: &mut Rng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
+        Mlp { layers, relu_masks: Vec::new() }
+    }
+
+    /// Forward pass producing logits, shape `(batch, classes)`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.relu_masks.clear();
+        let mut h = x.clone();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                let mut mask = vec![false; h.len()];
+                for (v, m) in h.as_mut_slice().iter_mut().zip(&mut mask) {
+                    if *v > 0.0 {
+                        *m = true;
+                    } else {
+                        *v = 0.0;
+                    }
+                }
+                self.relu_masks.push(mask);
+            }
+        }
+        h
+    }
+
+    /// Backward pass from `dL/dlogits`; accumulates into layer grads.
+    pub fn backward(&mut self, dlogits: &Matrix) {
+        let mut d = dlogits.clone();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if i + 1 < n {
+                let mask = &self.relu_masks[i];
+                for (v, &m) in d.as_mut_slice().iter_mut().zip(mask) {
+                    if !m {
+                        *v = 0.0;
+                    }
+                }
+            }
+            d = layer.backward(&d);
+        }
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Copy all parameters into a flat buffer (order: per layer, W then b).
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(l.w.as_slice());
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat buffer.
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_params(), "flat parameter size mismatch");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wl = l.w.len();
+            l.w.as_mut_slice().copy_from_slice(&flat[off..off + wl]);
+            off += wl;
+            let bl = l.b.len();
+            l.b.copy_from_slice(&flat[off..off + bl]);
+            off += bl;
+        }
+    }
+
+    /// Copy all accumulated gradients into a flat buffer (same layout).
+    pub fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(l.grad_w.as_slice());
+            out.extend_from_slice(&l.grad_b);
+        }
+        out
+    }
+
+    /// Overwrite all accumulated gradients from a flat buffer.
+    pub fn set_grads_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_params(), "flat gradient size mismatch");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wl = l.grad_w.len();
+            l.grad_w.as_mut_slice().copy_from_slice(&flat[off..off + wl]);
+            off += wl;
+            let bl = l.grad_b.len();
+            l.grad_b.copy_from_slice(&flat[off..off + bl]);
+            off += bl;
+        }
+    }
+
+    /// Class predictions (argmax of logits).
+    pub fn predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let logits = self.forward(x);
+        (0..logits.rows())
+            .map(|r| {
+                logits
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("logit NaN"))
+                    .expect("non-empty row")
+                    .0
+            })
+            .collect()
+    }
+}
+
+/// Softmax cross-entropy; returns `(mean loss, dL/dlogits)`.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "labels/batch mismatch");
+    let batch = logits.rows() as f32;
+    let mut dlogits = logits.clone();
+    let mut loss = 0.0;
+    for r in 0..logits.rows() {
+        let row = dlogits.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+        let p = row[labels[r]].max(1e-12);
+        loss -= p.ln();
+        row[labels[r]] -= 1.0;
+        for v in row.iter_mut() {
+            *v /= batch;
+        }
+    }
+    (loss / batch, dlogits)
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 = vanilla SGD).
+    pub momentum: f32,
+    velocity: Option<Vec<f32>>,
+}
+
+impl Sgd {
+    /// New optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: None }
+    }
+
+    /// Apply one update from the model's accumulated gradients, then zero
+    /// them.
+    pub fn step(&mut self, model: &mut Mlp) {
+        let grads = model.grads_flat();
+        let mut params = model.params_flat();
+        if self.momentum > 0.0 {
+            let v = self.velocity.get_or_insert_with(|| vec![0.0; grads.len()]);
+            assert_eq!(v.len(), grads.len(), "optimizer bound to another model");
+            for ((p, g), vel) in params.iter_mut().zip(&grads).zip(v.iter_mut()) {
+                *vel = self.momentum * *vel + g;
+                *p -= self.lr * *vel;
+            }
+        } else {
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= self.lr * g;
+            }
+        }
+        model.set_params_flat(&params);
+        model.zero_grads();
+    }
+}
+
+/// A labelled dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Features, shape `(n, dim)`.
+    pub x: Matrix,
+    /// Labels in `0..classes`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Gaussian blobs: `classes` clusters in `dim` dimensions with the
+    /// given within-cluster spread. The GourmetGram stand-in uses 11
+    /// classes ("food-11").
+    pub fn blobs(n: usize, dim: usize, classes: usize, spread: f64, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        // Cluster centres on a scaled hypercube-ish lattice.
+        let centres: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..dim).map(|_| rng.range_f64(-3.0, 3.0) as f32).collect())
+            .collect();
+        let mut x = Matrix::zeros(n, dim);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            y.push(c);
+            for (d, &centre) in centres[c].iter().enumerate() {
+                x.set(i, d, centre + rng.normal_with(0.0, spread) as f32);
+            }
+        }
+        Dataset { x, y, classes }
+    }
+
+    /// Shift every feature by `delta` — the synthetic "data drift" used by
+    /// the Unit 7 lab substrate.
+    pub fn shifted(&self, delta: f32) -> Dataset {
+        let mut x = self.x.clone();
+        for v in x.as_mut_slice() {
+            *v += delta;
+        }
+        Dataset { x, y: self.y.clone(), classes: self.classes }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Row subset by indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let mut x = Matrix::zeros(idx.len(), self.x.cols());
+        let mut y = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(self.x.row(i));
+            y.push(self.y[i]);
+        }
+        Dataset { x, y, classes: self.classes }
+    }
+
+    /// Split into `k` contiguous shards (data-parallel workers).
+    pub fn shards(&self, k: usize) -> Vec<Dataset> {
+        assert!(k > 0);
+        let per = self.len().div_ceil(k);
+        (0..k)
+            .map(|w| {
+                let lo = (w * per).min(self.len());
+                let hi = ((w + 1) * per).min(self.len());
+                self.subset(&(lo..hi).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+
+    /// Train/test split at `frac` (shuffled deterministically).
+    pub fn split(&self, frac: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        Rng::new(seed).shuffle(&mut idx);
+        let cut = (self.len() as f64 * frac) as usize;
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Accuracy of a model on this dataset.
+    pub fn accuracy(&self, model: &mut Mlp) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let preds = model.predict(&self.x);
+        let hits = preds.iter().zip(&self.y).filter(|(p, y)| p == y).count();
+        hits as f64 / self.len() as f64
+    }
+}
+
+/// One epoch of minibatch SGD; returns `(mean loss, train accuracy)`.
+pub fn train_epoch(
+    model: &mut Mlp,
+    data: &Dataset,
+    opt: &mut Sgd,
+    batch_size: usize,
+    rng: &mut Rng,
+) -> (f32, f64) {
+    assert!(batch_size > 0);
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut idx);
+    let mut total_loss = 0.0;
+    let mut batches = 0;
+    for chunk in idx.chunks(batch_size) {
+        let batch = data.subset(chunk);
+        let logits = model.forward(&batch.x);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &batch.y);
+        model.backward(&dlogits);
+        opt.step(model);
+        total_loss += loss;
+        batches += 1;
+    }
+    let acc = data.accuracy(model);
+    (total_loss / batches.max(1) as f32, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_check_finite_differences() {
+        // Exact gradients vs central differences on a tiny model.
+        let mut rng = Rng::new(1);
+        let mut model = Mlp::new(&[3, 4, 2], &mut rng);
+        let data = Dataset::blobs(8, 3, 2, 0.5, 2);
+        let logits = model.forward(&data.x);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &data.y);
+        model.zero_grads();
+        let logits = model.forward(&data.x);
+        let (_, dlogits2) = softmax_cross_entropy(&logits, &data.y);
+        assert_eq!(dlogits.as_slice(), dlogits2.as_slice());
+        model.backward(&dlogits);
+        let analytic = model.grads_flat();
+        let mut params = model.params_flat();
+        let eps = 1e-3f32;
+        // Check a spread of parameter indices.
+        for &i in &[0usize, 3, 7, 11, params.len() - 1, params.len() / 2] {
+            let orig = params[i];
+            params[i] = orig + eps;
+            model.set_params_flat(&params);
+            let (lp, _) = softmax_cross_entropy(&model.forward(&data.x), &data.y);
+            params[i] = orig - eps;
+            model.set_params_flat(&params);
+            let (lm, _) = softmax_cross_entropy(&model.forward(&data.x), &data.y);
+            params[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[i]).abs() < 2e-2,
+                "param {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_learns_blobs() {
+        let mut rng = Rng::new(10);
+        let data = Dataset::blobs(440, 8, 11, 0.6, 11);
+        let (train, test) = data.split(0.8, 12);
+        let mut model = Mlp::new(&[8, 32, 11], &mut rng);
+        let before = test.accuracy(&mut model);
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..30 {
+            let (loss, _) = train_epoch(&mut model, &train, &mut opt, 32, &mut rng);
+            last_loss = loss;
+        }
+        let after = test.accuracy(&mut model);
+        assert!(after > 0.9, "test accuracy {after} (before {before})");
+        assert!(last_loss < 0.5, "final loss {last_loss}");
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut rng = Rng::new(2);
+        let mut model = Mlp::new(&[4, 8, 3], &mut rng);
+        let flat = model.params_flat();
+        assert_eq!(flat.len(), model.num_params());
+        assert_eq!(model.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        let mut doubled = flat.clone();
+        for v in &mut doubled {
+            *v *= 2.0;
+        }
+        model.set_params_flat(&doubled);
+        assert_eq!(model.params_flat(), doubled);
+    }
+
+    #[test]
+    fn grad_accumulation_equals_sum() {
+        // backward twice without zero_grads accumulates (micro-batching).
+        let mut rng = Rng::new(3);
+        let mut model = Mlp::new(&[3, 2], &mut rng);
+        let data = Dataset::blobs(6, 3, 2, 0.4, 4);
+        let logits = model.forward(&data.x);
+        let (_, d) = softmax_cross_entropy(&logits, &data.y);
+        model.backward(&d);
+        let once = model.grads_flat();
+        model.forward(&data.x);
+        model.backward(&d);
+        let twice = model.grads_flat();
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((2.0 * a - b).abs() < 1e-4, "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn softmax_xent_prefers_correct_class() {
+        // Logits strongly favouring the right class → low loss.
+        let logits = Matrix::from_vec(2, 3, vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]);
+        let (loss, d) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 0.01);
+        // Gradient points away from the true class (negative there).
+        assert!(d.get(0, 0) < 0.0 && d.get(1, 1) < 0.0);
+    }
+
+    #[test]
+    fn dataset_shards_cover_everything() {
+        let data = Dataset::blobs(103, 4, 5, 0.5, 9);
+        let shards = data.shards(4);
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 103);
+        assert_eq!(shards.len(), 4);
+        // Labels preserved.
+        let mut rebuilt: Vec<usize> = shards.iter().flat_map(|s| s.y.clone()).collect();
+        assert_eq!(rebuilt.len(), data.y.len());
+        rebuilt.sort_unstable();
+        let mut orig = data.y.clone();
+        orig.sort_unstable();
+        assert_eq!(rebuilt, orig);
+    }
+
+    #[test]
+    fn shifted_moves_features_only() {
+        let d = Dataset::blobs(10, 2, 2, 0.1, 1);
+        let s = d.shifted(5.0);
+        assert_eq!(s.y, d.y);
+        assert!((s.x.get(0, 0) - d.x.get(0, 0) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_differs_from_vanilla() {
+        let rng = Rng::new(4);
+        let data = Dataset::blobs(64, 4, 2, 0.5, 5);
+        let make = |rng: &mut Rng| Mlp::new(&[4, 8, 2], rng);
+        let mut rng_a = Rng::new(7);
+        let mut a = make(&mut rng_a);
+        let mut rng_b = Rng::new(7);
+        let mut b = make(&mut rng_b);
+        assert_eq!(a.params_flat(), b.params_flat());
+        let mut opt_a = Sgd::new(0.05, 0.0);
+        let mut opt_b = Sgd::new(0.05, 0.9);
+        for _ in 0..3 {
+            let mut r1 = Rng::new(8);
+            train_epoch(&mut a, &data, &mut opt_a, 16, &mut r1);
+            let mut r2 = Rng::new(8);
+            train_epoch(&mut b, &data, &mut opt_b, 16, &mut r2);
+        }
+        assert_ne!(a.params_flat(), b.params_flat());
+        let _ = rng;
+    }
+}

@@ -1,0 +1,376 @@
+//! Pipeline model parallelism — the third distributed-training paradigm
+//! the Unit 4 lecture covers alongside DDP and FSDP (§3.4: "distributed
+//! data parallelism, fully sharded data parallelism, and model
+//! parallelism").
+//!
+//! The model's layers are partitioned into **stages**, one worker thread
+//! per stage, connected by channels. Micro-batches stream through the
+//! pipeline GPipe-style: all forwards, then all backwards, with each
+//! stage accumulating gradients across micro-batches before a
+//! synchronized update. The implementation measures the **pipeline
+//! bubble**: with `S` stages and `M` micro-batches, each stage is busy
+//! for `M` of `M + S − 1` forward slots — the classic `(S−1)/(M+S−1)`
+//! idle fraction the lecture derives.
+
+use crate::model::{softmax_cross_entropy, Dataset, Mlp};
+use crate::tensor::Matrix;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use opml_simkernel::{split_seed, Rng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a pipeline-parallel run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Layer sizes `[input, hidden…, classes]`.
+    pub sizes: Vec<usize>,
+    /// Pipeline stages (layers are split as evenly as possible).
+    pub stages: usize,
+    /// Micro-batches per step (GPipe's M).
+    pub micro_batches: usize,
+    /// Examples per micro-batch.
+    pub micro_batch_size: usize,
+    /// Steps (mini-batches) per epoch × epochs, flattened.
+    pub steps: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Outcome of a pipeline-parallel run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Final training accuracy.
+    pub accuracy: f64,
+    /// Mean loss of the last step.
+    pub final_loss: f32,
+    /// Parameters held per stage (max).
+    pub max_params_per_stage: usize,
+    /// Theoretical bubble fraction `(S−1)/(M+S−1)`.
+    pub bubble_fraction: f64,
+    /// Activations (f32 elements) sent stage-to-stage per step.
+    pub activations_sent_per_step: usize,
+}
+
+/// Split `n_layers` into `stages` contiguous groups (balanced).
+pub fn partition_layers(n_layers: usize, stages: usize) -> Vec<(usize, usize)> {
+    assert!(stages >= 1 && stages <= n_layers, "need 1..=n_layers stages");
+    let base = n_layers / stages;
+    let rem = n_layers % stages;
+    let mut out = Vec::with_capacity(stages);
+    let mut start = 0;
+    for s in 0..stages {
+        let len = base + usize::from(s < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+enum Flow {
+    /// Forward activation for micro-batch `m`.
+    Forward(usize, Matrix),
+    /// Backward gradient for micro-batch `m`.
+    Backward(usize, Matrix),
+    /// Apply the accumulated update and start the next step.
+    Step,
+    /// Drain and stop.
+    Stop,
+}
+
+/// Train with pipeline parallelism; returns the assembled model and the
+/// report. Worker threads own disjoint layer groups; the driver feeds
+/// micro-batches into stage 0 and receives losses from the last stage.
+pub fn train_pipeline(cfg: &PipelineConfig, data: &Dataset) -> (Mlp, PipelineReport) {
+    assert!(cfg.micro_batches >= 1 && cfg.micro_batch_size >= 1 && cfg.steps >= 1);
+    let mut init_rng = Rng::new(cfg.seed);
+    let model = Mlp::new(&cfg.sizes, &mut init_rng);
+    let n_layers = model.layers.len();
+    let parts = partition_layers(n_layers, cfg.stages);
+    let max_params_per_stage = parts
+        .iter()
+        .map(|&(lo, hi)| {
+            model.layers[lo..hi].iter().map(crate::model::Dense::num_params).sum::<usize>()
+        })
+        .max()
+        .expect("at least one stage");
+
+    // One inbox per stage carries forwards (from stage−1), backwards
+    // (from stage+1), and control messages; the driver has its own inbox
+    // receiving the last stage's forwards and stage 0's backwards. The
+    // GPipe schedule strictly separates the phases, so a single inbox
+    // per endpoint is unambiguous.
+    let (inbox_txs, mut inbox_rxs): (Vec<Sender<Flow>>, Vec<Option<Receiver<Flow>>>) =
+        (0..cfg.stages).map(|_| unbounded()).map(|(t, r)| (t, Some(r))).unzip();
+    let (driver_tx, driver_rx) = unbounded::<Flow>();
+
+    let mut stage_models: Vec<Vec<crate::model::Dense>> = Vec::new();
+    {
+        let mut layers = model.layers.clone();
+        for &(lo, hi) in &parts {
+            stage_models.push(layers.drain(..hi - lo).collect());
+            let _ = lo;
+        }
+    }
+
+    let last_layer_is = |stage: usize| stage == cfg.stages - 1;
+    let activations_per_micro: usize = parts
+        .iter()
+        .take(cfg.stages - 1)
+        .map(|&(_, hi)| cfg.micro_batch_size * cfg.sizes[hi])
+        .sum();
+
+    let result: (Vec<Vec<crate::model::Dense>>, Vec<(f32, f64)>) = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (stage, mut layers) in stage_models.into_iter().enumerate() {
+            let inbox = inbox_rxs[stage].take().expect("taken once");
+            let fwd_out = if stage + 1 < cfg.stages {
+                inbox_txs[stage + 1].clone()
+            } else {
+                driver_tx.clone()
+            };
+            let bwd_out = if stage == 0 {
+                driver_tx.clone()
+            } else {
+                inbox_txs[stage - 1].clone()
+            };
+            let is_last_overall = last_layer_is(stage);
+            let n_stage_layers = layers.len();
+            let lr = cfg.lr;
+            let micro = cfg.micro_batches;
+            handles.push(s.spawn(move || {
+                // Per-micro-batch caches: relu masks per layer.
+                let mut masks: Vec<Vec<Vec<bool>>> = vec![Vec::new(); micro];
+                let mut inputs: Vec<Vec<Matrix>> = vec![Vec::new(); micro];
+                loop {
+                    match inbox.recv().expect("pipeline open") {
+                        Flow::Forward(m, x) => {
+                            let mut h = x;
+                            masks[m].clear();
+                            inputs[m].clear();
+                            for (li, layer) in layers.iter_mut().enumerate() {
+                                inputs[m].push(h.clone());
+                                h = layer.forward(&h);
+                                let apply_relu =
+                                    !(is_last_overall && li + 1 == n_stage_layers);
+                                if apply_relu {
+                                    let mut mask = vec![false; h.len()];
+                                    for (v, mk) in
+                                        h.as_mut_slice().iter_mut().zip(&mut mask)
+                                    {
+                                        if *v > 0.0 {
+                                            *mk = true;
+                                        } else {
+                                            *v = 0.0;
+                                        }
+                                    }
+                                    masks[m].push(mask);
+                                } else {
+                                    masks[m].push(Vec::new());
+                                }
+                            }
+                            fwd_out.send(Flow::Forward(m, h)).expect("next stage open");
+                        }
+                        Flow::Backward(m, dy) => {
+                            let mut d = dy;
+                            for li in (0..layers.len()).rev() {
+                                let mask = &masks[m][li];
+                                if !mask.is_empty() {
+                                    for (v, &mk) in d.as_mut_slice().iter_mut().zip(mask) {
+                                        if !mk {
+                                            *v = 0.0;
+                                        }
+                                    }
+                                }
+                                // Re-prime the layer's cached input for
+                                // this micro-batch before backward.
+                                layers[li].forward(&inputs[m][li]);
+                                d = layers[li].backward(&d);
+                            }
+                            bwd_out.send(Flow::Backward(m, d)).expect("prev stage open");
+                        }
+                        Flow::Step => {
+                            for layer in &mut layers {
+                                let gw = layer.grad_w.clone();
+                                layer.w.axpy(-lr, &gw);
+                                for (b, g) in layer.b.iter_mut().zip(layer.grad_b.clone()) {
+                                    *b -= lr * g;
+                                }
+                                layer.zero_grads();
+                            }
+                            fwd_out.send(Flow::Step).expect("next stage open");
+                        }
+                        Flow::Stop => {
+                            fwd_out.send(Flow::Stop).expect("next stage open");
+                            return layers;
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Driver: stream micro-batches, collect logits, push gradients.
+        let to_first = inbox_txs[0].clone();
+        let to_last = inbox_txs[cfg.stages - 1].clone();
+        drop(driver_tx); // stages hold their own clones
+        let mut history = Vec::new();
+        let mut drv_rng = Rng::new(split_seed(cfg.seed, 0xD1));
+        let mut eval_model = model.clone();
+        for step in 0..cfg.steps {
+            // Sample micro-batches.
+            let micro: Vec<Dataset> = (0..cfg.micro_batches)
+                .map(|_| {
+                    let idx: Vec<usize> = (0..cfg.micro_batch_size)
+                        .map(|_| drv_rng.below(data.len() as u64) as usize)
+                        .collect();
+                    data.subset(&idx)
+                })
+                .collect();
+            // GPipe schedule: all forwards…
+            for (m, mb) in micro.iter().enumerate() {
+                to_first.send(Flow::Forward(m, mb.x.clone())).expect("stage 0 open");
+            }
+            let mut step_loss = 0.0f32;
+            let mut grads: Vec<(usize, Matrix)> = Vec::new();
+            for _ in 0..cfg.micro_batches {
+                let Flow::Forward(m, logits) = driver_rx.recv().expect("last stage open")
+                else {
+                    unreachable!("driver receives only forwards here");
+                };
+                let (loss, mut dlogits) = softmax_cross_entropy(&logits, &micro[m].y);
+                // Average across micro-batches.
+                dlogits.scale(1.0 / cfg.micro_batches as f32);
+                step_loss += loss / cfg.micro_batches as f32;
+                grads.push((m, dlogits));
+            }
+            // …then all backwards.
+            for (m, d) in grads {
+                to_last.send(Flow::Backward(m, d)).expect("last stage open");
+            }
+            for _ in 0..cfg.micro_batches {
+                let Flow::Backward(..) = driver_rx.recv().expect("stage 0 open") else {
+                    unreachable!("driver receives only backwards here");
+                };
+            }
+            // Synchronized update.
+            to_first.send(Flow::Step).expect("stage 0 open");
+            let Flow::Step = driver_rx.recv().expect("last stage open") else {
+                unreachable!("step barrier returns Step");
+            };
+            if step + 1 == cfg.steps {
+                history.push((step_loss, 0.0));
+            }
+        }
+        to_first.send(Flow::Stop).expect("stage 0 open");
+        let Flow::Stop = driver_rx.recv().expect("last stage open") else {
+            unreachable!("stop marker propagates");
+        };
+        let stage_layers: Vec<Vec<crate::model::Dense>> =
+            handles.into_iter().map(|h| h.join().expect("stage panicked")).collect();
+        // Assemble the final model for evaluation.
+        let mut all = Vec::new();
+        for sl in &stage_layers {
+            all.extend(sl.iter().cloned());
+        }
+        eval_model.layers = all;
+        let acc = data.accuracy(&mut eval_model);
+        if let Some(last) = history.last_mut() {
+            last.1 = acc;
+        }
+        (stage_layers, history)
+    });
+
+    let (stage_layers, history) = result;
+    let mut final_model = model;
+    final_model.layers = stage_layers.into_iter().flatten().collect();
+    let (final_loss, accuracy) = *history.last().expect("at least one step");
+    let report = PipelineReport {
+        accuracy,
+        final_loss,
+        max_params_per_stage,
+        bubble_fraction: (cfg.stages as f64 - 1.0)
+            / (cfg.micro_batches as f64 + cfg.stages as f64 - 1.0),
+        activations_sent_per_step: activations_per_micro * cfg.micro_batches * 2,
+    };
+    (final_model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(stages: usize, micro: usize) -> PipelineConfig {
+        PipelineConfig {
+            sizes: vec![8, 24, 24, 11],
+            stages,
+            micro_batches: micro,
+            micro_batch_size: 16,
+            steps: 150,
+            lr: 0.1,
+            seed: 400,
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced_and_complete() {
+        assert_eq!(partition_layers(3, 2), vec![(0, 2), (2, 3)]);
+        assert_eq!(partition_layers(4, 4), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = partition_layers(7, 3);
+        assert_eq!(p.last().unwrap().1, 7);
+        let sizes: Vec<usize> = p.iter().map(|&(a, b)| b - a).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn pipeline_learns_the_task() {
+        let data = Dataset::blobs(440, 8, 11, 0.6, 401);
+        let (mut model, report) = train_pipeline(&cfg(3, 4), &data);
+        assert!(report.accuracy > 0.85, "accuracy {}", report.accuracy);
+        assert!(data.accuracy(&mut model) > 0.85);
+        assert!(report.final_loss < 1.0);
+    }
+
+    #[test]
+    fn stage_memory_is_partitioned() {
+        let data = Dataset::blobs(110, 8, 11, 0.6, 402);
+        let mut c = cfg(3, 2);
+        c.steps = 2;
+        let (model, report) = train_pipeline(&c, &data);
+        assert!(
+            report.max_params_per_stage < model.num_params(),
+            "stages must hold strictly less than the whole model"
+        );
+    }
+
+    #[test]
+    fn bubble_shrinks_with_more_micro_batches() {
+        let data = Dataset::blobs(110, 8, 11, 0.6, 403);
+        let mut a = cfg(3, 2);
+        a.steps = 2;
+        let mut b = cfg(3, 8);
+        b.steps = 2;
+        let (_, ra) = train_pipeline(&a, &data);
+        let (_, rb) = train_pipeline(&b, &data);
+        assert!((ra.bubble_fraction - 2.0 / 4.0).abs() < 1e-12);
+        assert!((rb.bubble_fraction - 2.0 / 10.0).abs() < 1e-12);
+        assert!(rb.bubble_fraction < ra.bubble_fraction);
+    }
+
+    #[test]
+    fn single_stage_degenerates_to_plain_training() {
+        let data = Dataset::blobs(440, 8, 11, 0.6, 404);
+        let (_, report) = train_pipeline(&cfg(1, 2), &data);
+        assert_eq!(report.bubble_fraction, 0.0);
+        assert!(report.accuracy > 0.85, "accuracy {}", report.accuracy);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = Dataset::blobs(220, 8, 11, 0.6, 405);
+        let mut c = cfg(2, 3);
+        c.steps = 30;
+        let (a, _) = train_pipeline(&c, &data);
+        let (b, _) = train_pipeline(&c, &data);
+        assert_eq!(a.params_flat(), b.params_flat());
+    }
+}

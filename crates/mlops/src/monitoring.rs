@@ -1,0 +1,324 @@
+//! Metrics time-series store and alerting — the Unit 7 lab's "live
+//! monitoring of operational metrics (e.g., latency, throughput) and
+//! model-specific metrics (e.g., output distribution)" (§3.7).
+//!
+//! A Prometheus-style store: named series of `(t_ms, value)` points held
+//! in bounded ring buffers, windowed aggregation queries, and threshold
+//! alert rules evaluated over trailing windows.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Maximum points retained per series (ring-buffer retention).
+const DEFAULT_RETENTION: usize = 100_000;
+
+/// One observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Timestamp in milliseconds (monotone per series).
+    pub t_ms: f64,
+    /// Value.
+    pub value: f64,
+}
+
+/// Bounded time series.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: VecDeque<Sample>,
+    retention: usize,
+}
+
+impl Series {
+    fn new(retention: usize) -> Self {
+        Series { points: VecDeque::new(), retention }
+    }
+
+    fn push(&mut self, s: Sample) {
+        if let Some(last) = self.points.back() {
+            assert!(s.t_ms >= last.t_ms, "series timestamps must be monotone");
+        }
+        if self.points.len() == self.retention {
+            self.points.pop_front();
+        }
+        self.points.push_back(s);
+    }
+
+    /// Points with `t_ms >= since`.
+    pub fn window(&self, since: f64) -> impl Iterator<Item = &Sample> {
+        // Ring is time-ordered: binary-search-ish scan from the back would
+        // also work; linear filter keeps it simple and is O(window).
+        self.points.iter().filter(move |s| s.t_ms >= since)
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff no points retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// The metrics store.
+#[derive(Debug, Default)]
+pub struct MetricsStore {
+    series: BTreeMap<String, Series>,
+    retention: usize,
+}
+
+impl MetricsStore {
+    /// Store with default retention.
+    pub fn new() -> Self {
+        MetricsStore { series: BTreeMap::new(), retention: DEFAULT_RETENTION }
+    }
+
+    /// Store with custom per-series retention.
+    pub fn with_retention(retention: usize) -> Self {
+        assert!(retention > 0);
+        MetricsStore { series: BTreeMap::new(), retention }
+    }
+
+    /// Record a point.
+    pub fn record(&mut self, name: &str, t_ms: f64, value: f64) {
+        let retention = self.retention;
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(retention))
+            .push(Sample { t_ms, value });
+    }
+
+    /// A series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Mean over the trailing window `[now − window_ms, ∞)`.
+    pub fn window_mean(&self, name: &str, now: f64, window_ms: f64) -> Option<f64> {
+        let s = self.series.get(name)?;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in s.window(now - window_ms) {
+            sum += p.value;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Max over the trailing window.
+    pub fn window_max(&self, name: &str, now: f64, window_ms: f64) -> Option<f64> {
+        let s = self.series.get(name)?;
+        s.window(now - window_ms).map(|p| p.value).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Count of points in the trailing window.
+    pub fn window_count(&self, name: &str, now: f64, window_ms: f64) -> usize {
+        self.series
+            .get(name)
+            .map(|s| s.window(now - window_ms).count())
+            .unwrap_or(0)
+    }
+
+    /// Downsample a series into fixed buckets of `bucket_ms`, returning
+    /// `(bucket_start, mean)` rows — the dashboards' rollup query.
+    pub fn rollup(&self, name: &str, bucket_ms: f64) -> Vec<(f64, f64)> {
+        let Some(s) = self.series.get(name) else {
+            return Vec::new();
+        };
+        assert!(bucket_ms > 0.0);
+        let mut out: Vec<(f64, f64, usize)> = Vec::new();
+        for p in &s.points {
+            let bucket = (p.t_ms / bucket_ms).floor() * bucket_ms;
+            match out.last_mut() {
+                Some((b, sum, n)) if *b == bucket => {
+                    *sum += p.value;
+                    *n += 1;
+                }
+                _ => out.push((bucket, p.value, 1)),
+            }
+        }
+        out.into_iter().map(|(b, sum, n)| (b, sum / n as f64)).collect()
+    }
+
+    /// Registered series names.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+}
+
+/// Alert comparison direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// Fire when the aggregate exceeds the threshold.
+    Above,
+    /// Fire when the aggregate falls below the threshold.
+    Below,
+}
+
+/// A threshold alert over a trailing window mean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Rule name (used in the fired alert).
+    pub name: String,
+    /// Metric to watch.
+    pub metric: String,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Direction.
+    pub cmp: Cmp,
+    /// Trailing window length (ms).
+    pub window_ms: f64,
+    /// Minimum samples in the window before the rule may fire (avoids
+    /// alerting on a single noisy point).
+    pub min_samples: usize,
+}
+
+/// A fired alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Rule that fired.
+    pub rule: String,
+    /// Metric value (window mean) at evaluation.
+    pub value: f64,
+    /// Evaluation time.
+    pub at_ms: f64,
+}
+
+/// Evaluate rules against a store at `now`.
+pub fn evaluate_alerts(store: &MetricsStore, rules: &[AlertRule], now: f64) -> Vec<Alert> {
+    let mut fired = Vec::new();
+    for rule in rules {
+        if store.window_count(&rule.metric, now, rule.window_ms) < rule.min_samples {
+            continue;
+        }
+        let Some(mean) = store.window_mean(&rule.metric, now, rule.window_ms) else {
+            continue;
+        };
+        let breach = match rule.cmp {
+            Cmp::Above => mean > rule.threshold,
+            Cmp::Below => mean < rule.threshold,
+        };
+        if breach {
+            fired.push(Alert { rule: rule.name.clone(), value: mean, at_ms: now });
+        }
+    }
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat_rule() -> AlertRule {
+        AlertRule {
+            name: "high-latency".into(),
+            metric: "latency_ms".into(),
+            threshold: 100.0,
+            cmp: Cmp::Above,
+            window_ms: 1000.0,
+            min_samples: 5,
+        }
+    }
+
+    #[test]
+    fn record_and_window_queries() {
+        let mut s = MetricsStore::new();
+        for i in 0..10 {
+            s.record("latency_ms", i as f64 * 100.0, 50.0 + i as f64);
+        }
+        assert_eq!(s.window_count("latency_ms", 900.0, 1000.0), 10);
+        assert_eq!(s.window_count("latency_ms", 900.0, 200.0), 3); // t in {700,800,900}
+        let mean = s.window_mean("latency_ms", 900.0, 200.0).unwrap();
+        assert!((mean - 58.0).abs() < 1e-9);
+        assert_eq!(s.window_max("latency_ms", 900.0, 1000.0), Some(59.0));
+    }
+
+    #[test]
+    fn missing_series_queries() {
+        let s = MetricsStore::new();
+        assert_eq!(s.window_mean("nope", 0.0, 100.0), None);
+        assert_eq!(s.window_count("nope", 0.0, 100.0), 0);
+        assert!(s.rollup("nope", 10.0).is_empty());
+    }
+
+    #[test]
+    fn retention_caps_memory() {
+        let mut s = MetricsStore::with_retention(100);
+        for i in 0..1000 {
+            s.record("m", i as f64, i as f64);
+        }
+        let series = s.series("m").unwrap();
+        assert_eq!(series.len(), 100);
+        // Oldest retained point is t=900.
+        assert_eq!(series.window(0.0).next().unwrap().t_ms, 900.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_time_travel() {
+        let mut s = MetricsStore::new();
+        s.record("m", 100.0, 1.0);
+        s.record("m", 50.0, 1.0);
+    }
+
+    #[test]
+    fn rollup_buckets_means() {
+        let mut s = MetricsStore::new();
+        for (t, v) in [(0.0, 10.0), (5.0, 20.0), (10.0, 30.0), (19.0, 50.0), (20.0, 7.0)] {
+            s.record("m", t, v);
+        }
+        let r = s.rollup("m", 10.0);
+        assert_eq!(r, vec![(0.0, 15.0), (10.0, 40.0), (20.0, 7.0)]);
+    }
+
+    #[test]
+    fn alert_fires_on_breach_only() {
+        let mut s = MetricsStore::new();
+        for i in 0..10 {
+            s.record("latency_ms", i as f64 * 50.0, 80.0);
+        }
+        assert!(evaluate_alerts(&s, &[lat_rule()], 500.0).is_empty());
+        for i in 10..20 {
+            s.record("latency_ms", i as f64 * 50.0, 200.0);
+        }
+        let fired = evaluate_alerts(&s, &[lat_rule()], 950.0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "high-latency");
+        assert!(fired[0].value > 100.0);
+    }
+
+    #[test]
+    fn alert_needs_min_samples() {
+        let mut s = MetricsStore::new();
+        s.record("latency_ms", 0.0, 500.0);
+        s.record("latency_ms", 1.0, 500.0);
+        // Mean is way over threshold but only 2 samples < min 5.
+        assert!(evaluate_alerts(&s, &[lat_rule()], 10.0).is_empty());
+    }
+
+    #[test]
+    fn below_alerts_for_quality_metrics() {
+        let rule = AlertRule {
+            name: "accuracy-collapse".into(),
+            metric: "accuracy".into(),
+            threshold: 0.7,
+            cmp: Cmp::Below,
+            window_ms: 1000.0,
+            min_samples: 3,
+        };
+        let mut s = MetricsStore::new();
+        for i in 0..5 {
+            s.record("accuracy", i as f64 * 10.0, 0.5);
+        }
+        let fired = evaluate_alerts(&s, &[rule], 50.0);
+        assert_eq!(fired.len(), 1);
+    }
+}

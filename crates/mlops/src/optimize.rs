@@ -1,0 +1,394 @@
+//! Model-level serving optimizations — the first part of Unit 6.
+//!
+//! The lab applies "graph optimizations, INT8 quantization, and use of
+//! hardware-specific execution providers" (§3.6). Here the optimizations
+//! are applied to the *actual* models from [`crate::model`]:
+//!
+//! * [`QuantizedMlp`] — symmetric per-tensor INT8 post-training
+//!   quantization, with the real ¼ size reduction and a measurable (small)
+//!   accuracy delta,
+//! * [`fused_predict`] — operator fusion: the linear→ReLU pair executes in
+//!   one pass over preallocated buffers instead of materializing each
+//!   intermediate (the mechanism graph compilers exploit),
+//! * [`prune_magnitude`] — magnitude pruning to a target sparsity,
+//! * [`distill`] — knowledge distillation of a large teacher into a small
+//!   student using soft targets.
+
+use crate::model::{softmax_cross_entropy, Dataset, Mlp, Sgd};
+use crate::tensor::Matrix;
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+
+// ------------------------------------------------------------ quantization
+
+/// A symmetric per-tensor INT8 quantized matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    /// Dequantization scale (`f32 ≈ scale · i8`).
+    pub scale: f32,
+    /// Quantized values.
+    pub data: Vec<i8>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantize an f32 matrix (symmetric, per-tensor).
+    pub fn quantize(m: &Matrix) -> Self {
+        let max_abs = m.as_slice().iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedMatrix { scale, data, rows: m.rows(), cols: m.cols() }
+    }
+
+    /// Reconstruct the f32 matrix.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&q| q as f32 * self.scale).collect(),
+        )
+    }
+
+    /// Storage bytes (1 per element + the scale).
+    pub fn bytes(&self) -> usize {
+        self.data.len() + 4
+    }
+
+    /// Worst-case absolute quantization error for this tensor.
+    pub fn max_error_bound(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// An INT8-quantized MLP for inference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    layers: Vec<(QuantizedMatrix, Vec<f32>)>, // (weights, fp32 bias)
+}
+
+impl QuantizedMlp {
+    /// Post-training quantization of a trained model.
+    pub fn from_model(model: &Mlp) -> Self {
+        QuantizedMlp {
+            layers: model
+                .layers
+                .iter()
+                .map(|l| (QuantizedMatrix::quantize(&l.w), l.b.clone()))
+                .collect(),
+        }
+    }
+
+    /// Storage bytes of the quantized parameters.
+    pub fn bytes(&self) -> usize {
+        self.layers.iter().map(|(w, b)| w.bytes() + b.len() * 4).sum()
+    }
+
+    /// Class predictions (dequantize-on-the-fly inference).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, (qw, b)) in self.layers.iter().enumerate() {
+            let w = qw.dequantize();
+            let mut y = h.matmul(&w);
+            for r in 0..y.rows() {
+                for (v, bias) in y.row_mut(r).iter_mut().zip(b) {
+                    *v += bias;
+                }
+            }
+            if i + 1 < n {
+                for v in y.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            h = y;
+        }
+        (0..h.rows())
+            .map(|r| {
+                h.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("non-empty row")
+                    .0
+            })
+            .collect()
+    }
+
+    /// Accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(&data.x);
+        preds.iter().zip(&data.y).filter(|(p, y)| p == y).count() as f64 / data.len() as f64
+    }
+}
+
+/// FP32 parameter bytes of a model.
+pub fn model_bytes(model: &Mlp) -> usize {
+    model.num_params() * 4
+}
+
+// ----------------------------------------------------------------- fusion
+
+/// Fused linear→ReLU inference: one pass per layer into reused buffers;
+/// no intermediate activation matrices are allocated per layer pair.
+/// Produces bit-identical predictions to `Mlp::predict`.
+pub fn fused_predict(model: &Mlp, x: &Matrix) -> Vec<usize> {
+    let n = model.layers.len();
+    let rows = x.rows();
+    let mut cur: Vec<f32> = x.as_slice().to_vec();
+    let mut cur_cols = x.cols();
+    let mut next: Vec<f32> = Vec::new();
+    for (i, layer) in model.layers.iter().enumerate() {
+        let out_cols = layer.w.cols();
+        next.clear();
+        next.resize(rows * out_cols, 0.0);
+        let relu = i + 1 < n;
+        for r in 0..rows {
+            let a_row = &cur[r * cur_cols..(r + 1) * cur_cols];
+            let out_row = &mut next[r * out_cols..(r + 1) * out_cols];
+            out_row.copy_from_slice(&layer.b);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let w_row = layer.w.row(k);
+                for (o, &w) in out_row.iter_mut().zip(w_row) {
+                    *o += a * w;
+                }
+            }
+            if relu {
+                for o in out_row.iter_mut() {
+                    if *o < 0.0 {
+                        *o = 0.0;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+        cur_cols = out_cols;
+    }
+    (0..rows)
+        .map(|r| {
+            cur[r * cur_cols..(r + 1) * cur_cols]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty row")
+                .0
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- pruning
+
+/// Zero out the smallest-magnitude fraction `sparsity` of each layer's
+/// weights (per-layer magnitude pruning). Returns achieved sparsity.
+pub fn prune_magnitude(model: &mut Mlp, sparsity: f64) -> f64 {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0,1)");
+    let mut zeroed = 0usize;
+    let mut total = 0usize;
+    for layer in &mut model.layers {
+        let w = layer.w.as_mut_slice();
+        total += w.len();
+        let mut mags: Vec<f32> = w.iter().map(|x| x.abs()).collect();
+        mags.sort_by(f32::total_cmp);
+        let k = (w.len() as f64 * sparsity) as usize;
+        if k == 0 {
+            continue;
+        }
+        let threshold = mags[k - 1];
+        for v in w.iter_mut() {
+            if v.abs() <= threshold && zeroed < total {
+                *v = 0.0;
+                zeroed += 1;
+            }
+        }
+    }
+    zeroed as f64 / total.max(1) as f64
+}
+
+/// Fraction of exactly-zero weights.
+pub fn sparsity(model: &Mlp) -> f64 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for layer in &model.layers {
+        zeros += layer.w.as_slice().iter().filter(|&&x| x == 0.0).count();
+        total += layer.w.len();
+    }
+    zeros as f64 / total.max(1) as f64
+}
+
+// ------------------------------------------------------------ distillation
+
+/// Distill `teacher` into a fresh student with the given layer sizes by
+/// matching temperature-softened teacher probabilities (plus the hard
+/// labels, equally weighted).
+pub fn distill(
+    teacher: &mut Mlp,
+    student_sizes: &[usize],
+    data: &Dataset,
+    temperature: f32,
+    epochs: usize,
+    seed: u64,
+) -> Mlp {
+    assert!(temperature > 0.0);
+    let mut rng = Rng::new(seed);
+    let mut student = Mlp::new(student_sizes, &mut rng);
+    let mut opt = Sgd::new(0.1, 0.9);
+    // Precompute teacher soft targets.
+    let tlogits = teacher.forward(&data.x);
+    let mut soft = tlogits.clone();
+    for r in 0..soft.rows() {
+        let row = soft.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = ((*v - max) / temperature).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    for epoch in 0..epochs {
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        Rng::new(seed ^ (epoch as u64 + 1)).shuffle(&mut idx);
+        for chunk in idx.chunks(32) {
+            let batch = data.subset(chunk);
+            let logits = student.forward(&batch.x);
+            // Hard-label gradient.
+            let (_, mut d) = softmax_cross_entropy(&logits, &batch.y);
+            // Soft-target gradient: (student_softmax − teacher_soft)/n.
+            let mut sd = logits.clone();
+            for (r, &orig) in chunk.iter().enumerate() {
+                let row = sd.row_mut(r);
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (*v / sum - soft.get(orig, c)) / chunk.len() as f32;
+                }
+            }
+            d.axpy(1.0, &sd);
+            d.scale(0.5);
+            student.backward(&d);
+            opt.step(&mut student);
+        }
+    }
+    student
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::train_epoch;
+
+    fn trained_model(seed: u64) -> (Mlp, Dataset) {
+        let data = Dataset::blobs(440, 8, 11, 0.6, seed);
+        let mut rng = Rng::new(seed + 1);
+        let mut model = Mlp::new(&[8, 32, 11], &mut rng);
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..25 {
+            train_epoch(&mut model, &data, &mut opt, 32, &mut rng);
+        }
+        (model, data)
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let mut rng = Rng::new(1);
+        let m = Matrix::kaiming(32, 16, &mut rng);
+        let q = QuantizedMatrix::quantize(&m);
+        let back = q.dequantize();
+        let bound = q.max_error_bound();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= bound + 1e-7, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn quantized_model_is_almost_4x_smaller() {
+        // Weights shrink 4×; fp32 biases and per-tensor scales keep the
+        // overall ratio a bit below 4 on small models.
+        let (model, _) = trained_model(50);
+        let q = QuantizedMlp::from_model(&model);
+        let ratio = model_bytes(&model) as f64 / q.bytes() as f64;
+        assert!(ratio > 3.0, "compression ratio {ratio}");
+        assert!(ratio <= 4.0, "ratio {ratio} cannot exceed the weight-only bound");
+    }
+
+    #[test]
+    fn quantized_accuracy_close_to_fp32() {
+        let (mut model, data) = trained_model(51);
+        let fp32 = data.accuracy(&mut model);
+        let q = QuantizedMlp::from_model(&model);
+        let int8 = q.accuracy(&data);
+        assert!(fp32 > 0.9);
+        assert!(fp32 - int8 < 0.05, "fp32 {fp32} vs int8 {int8}");
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_safely() {
+        let m = Matrix::zeros(4, 4);
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.dequantize().as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn fused_predict_matches_unfused() {
+        let (mut model, data) = trained_model(52);
+        let unfused = model.predict(&data.x);
+        let fused = fused_predict(&model, &data.x);
+        assert_eq!(unfused, fused);
+    }
+
+    #[test]
+    fn pruning_hits_target_and_degrades_gracefully() {
+        let (mut model, data) = trained_model(53);
+        let before = data.accuracy(&mut model);
+        let achieved = prune_magnitude(&mut model, 0.5);
+        assert!((achieved - 0.5).abs() < 0.05, "achieved sparsity {achieved}");
+        assert!((sparsity(&model) - achieved).abs() < 1e-9);
+        let after = data.accuracy(&mut model);
+        // Half the weights gone: accuracy drops but the model is not dead.
+        assert!(after > 0.5, "pruned accuracy {after} (before {before})");
+        // Heavy pruning is much worse than moderate pruning.
+        let (mut model2, _) = trained_model(53);
+        prune_magnitude(&mut model2, 0.95);
+        let wrecked = data.accuracy(&mut model2);
+        assert!(wrecked <= after + 0.05, "95% pruned {wrecked} vs 50% pruned {after}");
+    }
+
+    #[test]
+    fn pruning_zero_sparsity_is_noop() {
+        let (mut model, _) = trained_model(54);
+        let before = model.params_flat();
+        prune_magnitude(&mut model, 0.0);
+        assert_eq!(model.params_flat(), before);
+    }
+
+    #[test]
+    fn distilled_student_learns_from_teacher() {
+        let (mut teacher, data) = trained_model(55);
+        let teacher_acc = data.accuracy(&mut teacher);
+        let mut student = distill(&mut teacher, &[8, 8, 11], &data, 2.0, 25, 56);
+        let student_acc = data.accuracy(&mut student);
+        assert!(student.num_params() < teacher.num_params() / 2);
+        assert!(
+            student_acc > teacher_acc - 0.15,
+            "student {student_acc} vs teacher {teacher_acc}"
+        );
+    }
+}

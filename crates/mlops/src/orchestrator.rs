@@ -1,0 +1,501 @@
+//! A Kubernetes-like container orchestrator — the backbone tool of
+//! Units 2 and 3 (§3.2–§3.3): students "installed Kubernetes using
+//! Kubespray and deployed their containerized application using replicas,
+//! load balancing, and horizontal scaling", then "used Argo CD to
+//! declaratively manage the deployment".
+//!
+//! The mechanism implemented here is the reconciliation loop:
+//!
+//! * a [`DeploymentSpec`] declares desired state (image, replica count,
+//!   update strategy);
+//! * the [`Orchestrator`] owns live [`Pod`]s and, each [`tick`], moves
+//!   actual state toward desired state: creating/deleting pods,
+//!   restarting crashed ones (self-healing), and performing **rolling
+//!   updates** that never drop below `replicas − max_unavailable` ready
+//!   pods of any image;
+//! * a [`Service`] load-balances requests round-robin across ready pods;
+//! * an [`Autoscaler`] (HPA-style) adjusts the declared replica count
+//!   from observed per-pod load;
+//! * [`Orchestrator::apply`] is the Argo-CD-style declarative sync: hand
+//!   it the manifest set, it diffs against live state and reconciles.
+//!
+//! [`tick`]: Orchestrator::tick
+
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Desired state for one deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    /// Deployment name.
+    pub name: String,
+    /// Container image (e.g. `gourmetgram:v2`).
+    pub image: String,
+    /// Desired replicas.
+    pub replicas: u32,
+    /// Rolling-update bound: how many replicas may be unavailable during
+    /// an update (Kubernetes' `maxUnavailable`).
+    pub max_unavailable: u32,
+}
+
+/// Pod lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodPhase {
+    /// Scheduled, still starting (becomes Ready after its startup ticks).
+    Pending,
+    /// Serving traffic.
+    Ready,
+    /// Crashed; will be restarted by the reconciler.
+    Crashed,
+}
+
+/// A running container instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pod {
+    /// Unique pod id.
+    pub id: u64,
+    /// Owning deployment.
+    pub deployment: String,
+    /// Image this pod runs.
+    pub image: String,
+    /// Phase.
+    pub phase: PodPhase,
+    /// Ticks remaining until Ready (startup latency).
+    pub startup_remaining: u32,
+    /// Restart count (for crash-loop visibility).
+    pub restarts: u32,
+}
+
+/// Ticks a new pod takes to become Ready.
+const STARTUP_TICKS: u32 = 2;
+
+/// The orchestrator: desired specs + live pods + a reconciliation loop.
+///
+/// ```
+/// use opml_mlops::orchestrator::{DeploymentSpec, Orchestrator};
+/// use opml_simkernel::Rng;
+/// let mut orch = Orchestrator::new();
+/// let mut rng = Rng::new(7);
+/// orch.apply(&[DeploymentSpec {
+///     name: "api".into(), image: "v1".into(), replicas: 2, max_unavailable: 1,
+/// }]);
+/// for _ in 0..4 { orch.tick(&mut rng); }
+/// assert_eq!(orch.ready_pods("api").len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Orchestrator {
+    specs: BTreeMap<String, DeploymentSpec>,
+    pods: Vec<Pod>,
+    next_pod_id: u64,
+    /// Per-tick probability that any Ready pod crashes (failure
+    /// injection; 0 disables).
+    pub crash_probability: f64,
+    events: Vec<String>,
+}
+
+impl Orchestrator {
+    /// Empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declarative sync (Argo-CD style): make this manifest set the
+    /// desired state. Deployments absent from the set are deleted.
+    pub fn apply(&mut self, manifests: &[DeploymentSpec]) {
+        let names: Vec<String> = manifests.iter().map(|m| m.name.clone()).collect();
+        let removed: Vec<String> =
+            self.specs.keys().filter(|k| !names.contains(k)).cloned().collect();
+        for name in removed {
+            self.specs.remove(&name);
+            self.events.push(format!("pruned deployment {name}"));
+        }
+        for m in manifests {
+            let changed = self.specs.get(&m.name) != Some(m);
+            if changed {
+                self.events.push(format!(
+                    "synced {} (image {}, replicas {})",
+                    m.name, m.image, m.replicas
+                ));
+            }
+            self.specs.insert(m.name.clone(), m.clone());
+        }
+    }
+
+    /// Update one deployment's replica count (what the autoscaler calls).
+    pub fn scale(&mut self, name: &str, replicas: u32) {
+        if let Some(spec) = self.specs.get_mut(name) {
+            if spec.replicas != replicas {
+                self.events.push(format!("scaled {name} to {replicas}"));
+                spec.replicas = replicas;
+            }
+        }
+    }
+
+    /// One reconciliation step. `rng` drives failure injection.
+    pub fn tick(&mut self, rng: &mut Rng) {
+        // 1. Progress startups; inject crashes.
+        for pod in &mut self.pods {
+            match pod.phase {
+                PodPhase::Pending => {
+                    pod.startup_remaining = pod.startup_remaining.saturating_sub(1);
+                    if pod.startup_remaining == 0 {
+                        pod.phase = PodPhase::Ready;
+                    }
+                }
+                PodPhase::Ready => {
+                    if self.crash_probability > 0.0 && rng.chance(self.crash_probability) {
+                        pod.phase = PodPhase::Crashed;
+                        self.events.push(format!(
+                            "pod {} ({}) crashed",
+                            pod.id, pod.deployment
+                        ));
+                    }
+                }
+                PodPhase::Crashed => {}
+            }
+        }
+        // 2. Self-heal: restart crashed pods (as Pending).
+        for pod in &mut self.pods {
+            if pod.phase == PodPhase::Crashed {
+                pod.phase = PodPhase::Pending;
+                pod.startup_remaining = STARTUP_TICKS;
+                pod.restarts += 1;
+            }
+        }
+        // 3. Reconcile each deployment.
+        let specs: Vec<DeploymentSpec> = self.specs.values().cloned().collect();
+        for spec in specs {
+            self.reconcile(&spec);
+        }
+        // 4. Garbage-collect pods of deleted deployments.
+        let live: Vec<String> = self.specs.keys().cloned().collect();
+        self.pods.retain(|p| live.contains(&p.deployment));
+    }
+
+    fn reconcile(&mut self, spec: &DeploymentSpec) {
+        // Split this deployment's pods by image currency.
+        let current: Vec<usize> = self
+            .pods
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.deployment == spec.name && p.image == spec.image)
+            .map(|(i, _)| i)
+            .collect();
+        let stale: Vec<usize> = self
+            .pods
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.deployment == spec.name && p.image != spec.image)
+            .map(|(i, _)| i)
+            .collect();
+        let total = current.len() + stale.len();
+
+        // Scale up with current-image pods until the replica count holds.
+        let mut to_create = (spec.replicas as usize).saturating_sub(total);
+        while to_create > 0 {
+            let id = self.next_pod_id;
+            self.next_pod_id += 1;
+            self.pods.push(Pod {
+                id,
+                deployment: spec.name.clone(),
+                image: spec.image.clone(),
+                phase: PodPhase::Pending,
+                startup_remaining: STARTUP_TICKS,
+                restarts: 0,
+            });
+            to_create -= 1;
+        }
+        // Scale down: prefer deleting stale pods, then current ones.
+        let mut to_delete = total.saturating_sub(spec.replicas as usize);
+        if to_delete > 0 {
+            let mut doomed: Vec<usize> = stale.iter().chain(current.iter()).copied().collect();
+            doomed.truncate(to_delete);
+            to_delete = 0;
+            let _ = to_delete;
+            let mut idx = 0usize;
+            self.pods.retain(|_| {
+                let keep = !doomed.contains(&idx);
+                idx += 1;
+                keep
+            });
+        }
+        // Rolling update: replace stale pods while keeping availability.
+        // We may take down at most `max_unavailable` pods beyond those
+        // already not Ready.
+        let ready_now = self
+            .pods
+            .iter()
+            .filter(|p| p.deployment == spec.name && p.phase == PodPhase::Ready)
+            .count() as u32;
+        let min_ready = spec.replicas.saturating_sub(spec.max_unavailable);
+        let mut budget = ready_now.saturating_sub(min_ready);
+        if budget > 0 {
+            // Replace up to `budget` stale pods this tick.
+            let stale_ids: Vec<u64> = self
+                .pods
+                .iter()
+                .filter(|p| p.deployment == spec.name && p.image != spec.image)
+                .map(|p| p.id)
+                .collect();
+            for id in stale_ids {
+                if budget == 0 {
+                    break;
+                }
+                let pos = self.pods.iter().position(|p| p.id == id).expect("just listed");
+                let was_ready = self.pods[pos].phase == PodPhase::Ready;
+                self.pods.remove(pos);
+                let new_id = self.next_pod_id;
+                self.next_pod_id += 1;
+                self.pods.push(Pod {
+                    id: new_id,
+                    deployment: spec.name.clone(),
+                    image: spec.image.clone(),
+                    phase: PodPhase::Pending,
+                    startup_remaining: STARTUP_TICKS,
+                    restarts: 0,
+                });
+                if was_ready {
+                    budget -= 1;
+                }
+            }
+        }
+    }
+
+    /// Pods of a deployment.
+    pub fn pods_of(&self, deployment: &str) -> Vec<&Pod> {
+        self.pods.iter().filter(|p| p.deployment == deployment).collect()
+    }
+
+    /// Ready pods of a deployment.
+    pub fn ready_pods(&self, deployment: &str) -> Vec<&Pod> {
+        self.pods
+            .iter()
+            .filter(|p| p.deployment == deployment && p.phase == PodPhase::Ready)
+            .collect()
+    }
+
+    /// Images currently Ready, with counts (for update-progress checks).
+    pub fn ready_images(&self, deployment: &str) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for p in self.ready_pods(deployment) {
+            *out.entry(p.image.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Drain the event log.
+    pub fn take_events(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Round-robin service over a deployment's ready pods.
+#[derive(Debug, Default)]
+pub struct Service {
+    cursor: usize,
+}
+
+impl Service {
+    /// New service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route one request; returns the pod id serving it, or `None` if no
+    /// pod is ready (an outage).
+    pub fn route(&mut self, orch: &Orchestrator, deployment: &str) -> Option<u64> {
+        let ready = orch.ready_pods(deployment);
+        if ready.is_empty() {
+            return None;
+        }
+        let pod = ready[self.cursor % ready.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(pod.id)
+    }
+}
+
+/// HPA-style autoscaler: keeps per-pod load near the target.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Autoscaler {
+    /// Minimum replicas.
+    pub min_replicas: u32,
+    /// Maximum replicas.
+    pub max_replicas: u32,
+    /// Target load (requests/sec) per ready pod.
+    pub target_load_per_pod: f64,
+}
+
+impl Autoscaler {
+    /// Desired replica count for an offered load (the HPA formula:
+    /// `ceil(current_load / target)`, clamped).
+    pub fn desired_replicas(&self, offered_rps: f64) -> u32 {
+        let raw = (offered_rps / self.target_load_per_pod).ceil() as u32;
+        raw.clamp(self.min_replicas, self.max_replicas)
+    }
+
+    /// Observe load and scale the deployment.
+    pub fn reconcile(&self, orch: &mut Orchestrator, deployment: &str, offered_rps: f64) {
+        let desired = self.desired_replicas(offered_rps);
+        orch.scale(deployment, desired);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(image: &str, replicas: u32) -> DeploymentSpec {
+        DeploymentSpec {
+            name: "gourmetgram".into(),
+            image: image.into(),
+            replicas,
+            max_unavailable: 1,
+        }
+    }
+
+    fn settle(orch: &mut Orchestrator, rng: &mut Rng, ticks: usize) {
+        for _ in 0..ticks {
+            orch.tick(rng);
+        }
+    }
+
+    #[test]
+    fn deploy_reaches_desired_replicas() {
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(1);
+        orch.apply(&[spec("v1", 3)]);
+        settle(&mut orch, &mut rng, 4);
+        assert_eq!(orch.ready_pods("gourmetgram").len(), 3);
+        assert!(orch.pods_of("gourmetgram").iter().all(|p| p.image == "v1"));
+    }
+
+    #[test]
+    fn self_healing_restarts_crashed_pods() {
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(2);
+        orch.apply(&[spec("v1", 3)]);
+        settle(&mut orch, &mut rng, 4);
+        // Everything crashes.
+        orch.crash_probability = 1.0;
+        orch.tick(&mut rng);
+        orch.crash_probability = 0.0;
+        // The reconciler brings them back without operator action.
+        settle(&mut orch, &mut rng, 4);
+        let pods = orch.ready_pods("gourmetgram");
+        assert_eq!(pods.len(), 3);
+        assert!(pods.iter().all(|p| p.restarts >= 1), "restart counters must record healing");
+    }
+
+    #[test]
+    fn rolling_update_preserves_availability() {
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(3);
+        orch.apply(&[spec("v1", 4)]);
+        settle(&mut orch, &mut rng, 4);
+        // Roll to v2; with max_unavailable = 1, at least 3 pods must stay
+        // Ready at every tick.
+        orch.apply(&[spec("v2", 4)]);
+        for _ in 0..20 {
+            orch.tick(&mut rng);
+            let ready = orch.ready_pods("gourmetgram").len();
+            assert!(ready >= 3, "availability dropped to {ready} during rollout");
+        }
+        let images = orch.ready_images("gourmetgram");
+        assert_eq!(images.get("v2"), Some(&4), "rollout incomplete: {images:?}");
+        assert_eq!(images.get("v1"), None);
+    }
+
+    #[test]
+    fn declarative_prune_removes_undeclared_deployments() {
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(4);
+        orch.apply(&[
+            spec("v1", 2),
+            DeploymentSpec {
+                name: "staging".into(),
+                image: "v1".into(),
+                replicas: 1,
+                max_unavailable: 1,
+            },
+        ]);
+        settle(&mut orch, &mut rng, 4);
+        assert_eq!(orch.ready_pods("staging").len(), 1);
+        // New manifest set omits staging → Argo-style prune.
+        orch.apply(&[spec("v1", 2)]);
+        settle(&mut orch, &mut rng, 2);
+        assert!(orch.pods_of("staging").is_empty());
+        assert_eq!(orch.ready_pods("gourmetgram").len(), 2);
+    }
+
+    #[test]
+    fn service_round_robins_across_ready_pods() {
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(5);
+        orch.apply(&[spec("v1", 3)]);
+        settle(&mut orch, &mut rng, 4);
+        let mut svc = Service::new();
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+        for _ in 0..300 {
+            let pod = svc.route(&orch, "gourmetgram").expect("pods ready");
+            *counts.entry(pod).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        assert!(counts.values().all(|&c| c == 100), "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn service_reports_outage_when_nothing_ready() {
+        let orch = Orchestrator::new();
+        let mut svc = Service::new();
+        assert_eq!(svc.route(&orch, "ghost"), None);
+    }
+
+    #[test]
+    fn autoscaler_tracks_load_curve() {
+        let hpa = Autoscaler { min_replicas: 1, max_replicas: 8, target_load_per_pod: 50.0 };
+        assert_eq!(hpa.desired_replicas(10.0), 1);
+        assert_eq!(hpa.desired_replicas(120.0), 3);
+        assert_eq!(hpa.desired_replicas(1e6), 8); // clamped
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(6);
+        orch.apply(&[spec("v1", 1)]);
+        settle(&mut orch, &mut rng, 3);
+        // Morning rush: 220 rps → 5 pods.
+        hpa.reconcile(&mut orch, "gourmetgram", 220.0);
+        settle(&mut orch, &mut rng, 4);
+        assert_eq!(orch.ready_pods("gourmetgram").len(), 5);
+        // Overnight: back down to the floor.
+        hpa.reconcile(&mut orch, "gourmetgram", 5.0);
+        settle(&mut orch, &mut rng, 2);
+        assert_eq!(orch.ready_pods("gourmetgram").len(), 1);
+    }
+
+    #[test]
+    fn scale_to_zero_and_back() {
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(7);
+        orch.apply(&[spec("v1", 3)]);
+        settle(&mut orch, &mut rng, 4);
+        orch.scale("gourmetgram", 0);
+        settle(&mut orch, &mut rng, 2);
+        assert!(orch.ready_pods("gourmetgram").is_empty());
+        orch.scale("gourmetgram", 2);
+        settle(&mut orch, &mut rng, 4);
+        assert_eq!(orch.ready_pods("gourmetgram").len(), 2);
+    }
+
+    #[test]
+    fn events_record_the_story() {
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(8);
+        orch.apply(&[spec("v1", 2)]);
+        settle(&mut orch, &mut rng, 3);
+        orch.scale("gourmetgram", 4);
+        settle(&mut orch, &mut rng, 3);
+        let events = orch.take_events();
+        assert!(events.iter().any(|e| e.contains("synced gourmetgram")));
+        assert!(events.iter().any(|e| e.contains("scaled gourmetgram to 4")));
+        assert!(orch.take_events().is_empty(), "take_events drains");
+    }
+}

@@ -1,0 +1,422 @@
+//! Training-side memory/precision techniques from the Unit 4 lecture:
+//! reduced/mixed precision (bfloat16), gradient accumulation, LoRA
+//! parameter-efficient fine-tuning, and the training-memory model that
+//! motivates all of them ("training models with billions of parameters …
+//! beyond the memory limitations of a single GPU", §3.4).
+
+use crate::model::{softmax_cross_entropy, Dataset, Mlp, Sgd};
+use crate::tensor::Matrix;
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+
+// --------------------------------------------------------------- bfloat16
+
+/// Round an `f32` to the nearest `bfloat16` value (round-to-nearest-even),
+/// returned as `f32`. bfloat16 keeps the f32 exponent and truncates the
+/// mantissa to 7 bits — exactly why it trains stably where fp16 overflows.
+#[inline]
+pub fn bf16_round(x: f32) -> f32 {
+    let bits = x.to_bits();
+    // Round-to-nearest-even on the low 16 bits.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    f32::from_bits(((bits.wrapping_add(rounding_bias)) >> 16) << 16)
+}
+
+/// Round a whole buffer to bfloat16 precision, in place.
+pub fn bf16_round_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = bf16_round(*x);
+    }
+}
+
+/// One mixed-precision training epoch: forward/backward run on
+/// bf16-rounded weights, the fp32 master copy receives the update
+/// (the standard mixed-precision recipe).
+pub fn train_epoch_bf16(
+    model: &mut Mlp,
+    data: &Dataset,
+    opt: &mut Sgd,
+    batch_size: usize,
+    rng: &mut Rng,
+) -> (f32, f64) {
+    assert!(batch_size > 0);
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut idx);
+    let mut total_loss = 0.0;
+    let mut batches = 0;
+    for chunk in idx.chunks(batch_size) {
+        let master = model.params_flat();
+        let mut low = master.clone();
+        bf16_round_slice(&mut low);
+        model.set_params_flat(&low);
+        let batch = data.subset(chunk);
+        let logits = model.forward(&batch.x);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &batch.y);
+        model.backward(&dlogits);
+        // Restore the fp32 master before the optimizer update.
+        let grads = model.grads_flat();
+        model.set_params_flat(&master);
+        model.set_grads_flat(&grads);
+        opt.step(model);
+        total_loss += loss;
+        batches += 1;
+    }
+    (total_loss / batches.max(1) as f32, data.accuracy(model))
+}
+
+// ------------------------------------------------- training-memory model
+
+/// Bytes per element for a training dtype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dtype {
+    /// 32-bit float.
+    F32,
+    /// bfloat16 / fp16.
+    Bf16,
+    /// 8-bit quantized (QLoRA-style frozen base).
+    Int8,
+    /// 4-bit quantized (QLoRA NF4-style frozen base).
+    Int4,
+}
+
+impl Dtype {
+    /// Bytes per parameter.
+    pub fn bytes(self) -> f64 {
+        match self {
+            Dtype::F32 => 4.0,
+            Dtype::Bf16 => 2.0,
+            Dtype::Int8 => 1.0,
+            Dtype::Int4 => 0.5,
+        }
+    }
+}
+
+/// Configuration of a training run for the memory estimator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingMemoryConfig {
+    /// Total model parameters.
+    pub params: f64,
+    /// Dtype the (frozen or trainable) base weights are held in.
+    pub weight_dtype: Dtype,
+    /// Fraction of parameters that are trainable (1.0 = full fine-tune;
+    /// LoRA at rank r on a d×d layer trains ≈ 2rd/d² of it).
+    pub trainable_fraction: f64,
+    /// Optimizer state multiplier per trainable parameter, in f32 units
+    /// (Adam keeps m and v → 2.0; SGD+momentum → 1.0; plain SGD → 0.0).
+    pub optimizer_states: f64,
+    /// Micro-batch size actually resident on the device.
+    pub micro_batch: f64,
+    /// Activation bytes per example per parameter-sqrt-ish unit; we use
+    /// the common rule of thumb: activations ≈ `act_factor · params^0.5 ·
+    /// hidden · batch`. To stay simple and testable we model activations
+    /// as `bytes_per_example · micro_batch`.
+    pub activation_bytes_per_example: f64,
+    /// Number of devices the optimizer/gradient/parameter states are
+    /// sharded across (FSDP/ZeRO-3); 1 = no sharding (DDP replicates).
+    pub shards: u32,
+}
+
+/// Estimated peak training memory per device, in GB.
+///
+/// `weights + gradients(trainable, f32) + optimizer states(trainable,
+/// f32) + activations(micro_batch)`, with states divided across shards.
+/// Reproduces the Unit 4 story: a 13B model in f32 with Adam needs ~208
+/// GB of states alone — hence bf16 + LoRA + sharding.
+pub fn training_memory_gb(cfg: &TrainingMemoryConfig) -> f64 {
+    let gb = 1e9;
+    let trainable = cfg.params * cfg.trainable_fraction;
+    let weights = cfg.params * cfg.weight_dtype.bytes();
+    let grads = trainable * 4.0;
+    let states = trainable * 4.0 * cfg.optimizer_states;
+    let sharded = (weights + grads + states) / cfg.shards as f64;
+    let activations = cfg.activation_bytes_per_example * cfg.micro_batch;
+    (sharded + activations) / gb
+}
+
+impl TrainingMemoryConfig {
+    /// The lab's 13-billion-parameter LLM fine-tune, full precision, Adam.
+    pub fn llm_13b_full_f32() -> Self {
+        TrainingMemoryConfig {
+            params: 13e9,
+            weight_dtype: Dtype::F32,
+            trainable_fraction: 1.0,
+            optimizer_states: 2.0,
+            micro_batch: 1.0,
+            activation_bytes_per_example: 2e9,
+            shards: 1,
+        }
+    }
+
+    /// The same model with the lab's single-GPU recipe: bf16 weights +
+    /// LoRA (≈0.5% trainable) + gradient accumulation (micro-batch 1).
+    pub fn llm_13b_qlora() -> Self {
+        TrainingMemoryConfig {
+            params: 13e9,
+            weight_dtype: Dtype::Int4,
+            trainable_fraction: 0.005,
+            optimizer_states: 2.0,
+            micro_batch: 1.0,
+            activation_bytes_per_example: 2e9,
+            shards: 1,
+        }
+    }
+}
+
+// ------------------------------------------------------------------ LoRA
+
+/// A LoRA adapter around a frozen dense layer: `y = x·W_frozen +
+/// (α/r)·x·A·B`, training only `A` (in×r) and `B` (r×out).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoraDense {
+    /// Frozen base weights.
+    pub frozen_w: Matrix,
+    /// Frozen base bias.
+    pub frozen_b: Vec<f32>,
+    /// Low-rank factor A (in × r), trainable.
+    pub a: Matrix,
+    /// Low-rank factor B (r × out), trainable.
+    pub b: Matrix,
+    /// Scaling α.
+    pub alpha: f32,
+    /// Gradient of A.
+    pub grad_a: Matrix,
+    /// Gradient of B.
+    pub grad_b: Matrix,
+    #[serde(skip)]
+    cache: Option<(Matrix, Matrix)>, // (x, x·A)
+}
+
+impl LoraDense {
+    /// Wrap frozen weights with a rank-`r` adapter. `A` starts small and
+    /// random, `B` at zero (so the adapter initially contributes nothing —
+    /// the standard LoRA init).
+    pub fn new(frozen_w: Matrix, frozen_b: Vec<f32>, r: usize, alpha: f32, rng: &mut Rng) -> Self {
+        let (inputs, outputs) = (frozen_w.rows(), frozen_w.cols());
+        LoraDense {
+            a: Matrix::kaiming(inputs, r, rng),
+            b: Matrix::zeros(r, outputs),
+            grad_a: Matrix::zeros(inputs, r),
+            grad_b: Matrix::zeros(r, outputs),
+            frozen_w,
+            frozen_b,
+            alpha,
+            cache: None,
+        }
+    }
+
+    /// Rank of the adapter.
+    pub fn rank(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Trainable parameter count (A + B only).
+    pub fn trainable_params(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+
+    /// Total parameter count including frozen weights.
+    pub fn total_params(&self) -> usize {
+        self.frozen_w.len() + self.frozen_b.len() + self.trainable_params()
+    }
+
+    fn scaling(&self) -> f32 {
+        self.alpha / self.rank() as f32
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.frozen_w);
+        let xa = x.matmul(&self.a);
+        let adapter = xa.matmul(&self.b);
+        y.axpy(self.scaling(), &adapter);
+        for r in 0..y.rows() {
+            for (v, bias) in y.row_mut(r).iter_mut().zip(&self.frozen_b) {
+                *v += bias;
+            }
+        }
+        self.cache = Some((x.clone(), xa));
+        y
+    }
+
+    /// Backward pass: accumulates adapter grads only; returns `dL/dx`
+    /// (through both the frozen path and the adapter path).
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (x, xa) = self.cache.as_ref().expect("backward before forward");
+        let s = self.scaling();
+        // grad_b += s · (x·A)ᵀ · dy
+        let mut gb = xa.transpose().matmul(dy);
+        gb.scale(s);
+        self.grad_b.axpy(1.0, &gb);
+        // grad_a += s · xᵀ · dy · Bᵀ
+        let mut ga = x.transpose().matmul(&dy.matmul(&self.b.transpose()));
+        ga.scale(s);
+        self.grad_a.axpy(1.0, &ga);
+        // dx = dy·Wᵀ + s · dy·Bᵀ·Aᵀ
+        let mut dx = dy.matmul(&self.frozen_w.transpose());
+        let mut adapter_dx = dy.matmul(&self.b.transpose()).matmul(&self.a.transpose());
+        adapter_dx.scale(s);
+        dx.axpy(1.0, &adapter_dx);
+        dx
+    }
+
+    /// SGD step on the adapter factors; zeroes adapter grads.
+    pub fn step(&mut self, lr: f32) {
+        self.a.axpy(-lr, &self.grad_a.clone());
+        self.b.axpy(-lr, &self.grad_b.clone());
+        self.grad_a.fill_zero();
+        self.grad_b.fill_zero();
+    }
+
+    /// Merge the adapter into the frozen weights (deployment-time fold-in)
+    /// and return the resulting plain weight matrix.
+    pub fn merged_weights(&self) -> Matrix {
+        let mut w = self.frozen_w.clone();
+        let delta = self.a.matmul(&self.b);
+        w.axpy(self.scaling(), &delta);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::train_epoch;
+
+    #[test]
+    fn bf16_is_coarser_but_close() {
+        let x = std::f32::consts::PI;
+        let r = bf16_round(x);
+        assert_ne!(x, r);
+        assert!((x - r).abs() / x < 0.01, "bf16 error too large");
+        // Values exactly representable survive.
+        assert_eq!(bf16_round(1.0), 1.0);
+        assert_eq!(bf16_round(-2.5), -2.5);
+        assert_eq!(bf16_round(0.0), 0.0);
+    }
+
+    #[test]
+    fn bf16_preserves_exponent_range() {
+        // fp16 would overflow at 65504; bf16 keeps the f32 exponent.
+        let big = 1e30f32;
+        let r = bf16_round(big);
+        assert!(r.is_finite());
+        assert!((r - big).abs() / big < 0.01);
+    }
+
+    #[test]
+    fn bf16_training_still_converges() {
+        let data = Dataset::blobs(330, 6, 11, 0.5, 21);
+        let mut rng = Rng::new(22);
+        let mut model = Mlp::new(&[6, 24, 11], &mut rng);
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..25 {
+            train_epoch_bf16(&mut model, &data, &mut opt, 32, &mut rng);
+        }
+        let acc = data.accuracy(&mut model);
+        assert!(acc > 0.85, "bf16 accuracy {acc}");
+    }
+
+    #[test]
+    fn memory_model_reproduces_unit4_story() {
+        // Full f32 + Adam on 13B: far beyond one A100-80GB.
+        let full = training_memory_gb(&TrainingMemoryConfig::llm_13b_full_f32());
+        assert!(full > 200.0, "full fine-tune estimate {full} GB");
+        // The lab's QLoRA recipe fits on a single 80 GB GPU.
+        let qlora = training_memory_gb(&TrainingMemoryConfig::llm_13b_qlora());
+        assert!(qlora < 80.0, "QLoRA estimate {qlora} GB");
+        // Sharding across 4 GPUs divides the state term.
+        let mut sharded = TrainingMemoryConfig::llm_13b_full_f32();
+        sharded.shards = 4;
+        let per_dev = training_memory_gb(&sharded);
+        assert!(per_dev < full / 2.0, "sharded {per_dev} vs full {full}");
+    }
+
+    #[test]
+    fn lora_initially_identity() {
+        let mut rng = Rng::new(30);
+        let w = Matrix::kaiming(6, 4, &mut rng);
+        let bias = vec![0.1; 4];
+        let mut lora = LoraDense::new(w.clone(), bias.clone(), 2, 8.0, &mut rng);
+        let x = Matrix::from_fn(5, 6, |r, c| (r + c) as f32 * 0.1);
+        let y_lora = lora.forward(&x);
+        // B = 0 ⇒ adapter contributes nothing at init.
+        let mut y_base = x.matmul(&w);
+        for r in 0..y_base.rows() {
+            for (v, b) in y_base.row_mut(r).iter_mut().zip(&bias) {
+                *v += b;
+            }
+        }
+        for (a, b) in y_lora.as_slice().iter().zip(y_base.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lora_trains_far_fewer_params() {
+        let mut rng = Rng::new(31);
+        let w = Matrix::kaiming(64, 64, &mut rng);
+        let lora = LoraDense::new(w, vec![0.0; 64], 4, 8.0, &mut rng);
+        assert_eq!(lora.trainable_params(), 64 * 4 + 4 * 64);
+        assert!(lora.trainable_params() * 8 <= lora.total_params(),
+            "LoRA should train ≤ 1/8 of parameters here");
+    }
+
+    #[test]
+    fn lora_adapts_a_frozen_model() {
+        // Train a base layer on blobs; freeze it; shift the data; LoRA
+        // fine-tuning must recover most of the lost accuracy.
+        let mut rng = Rng::new(32);
+        let data = Dataset::blobs(240, 5, 4, 0.4, 33);
+        let mut base = Mlp::new(&[5, 4], &mut rng);
+        let mut opt = Sgd::new(0.2, 0.9);
+        for _ in 0..40 {
+            train_epoch(&mut base, &data, &mut opt, 32, &mut rng);
+        }
+        assert!(data.accuracy(&mut base) > 0.9);
+        let drifted = data.shifted(4.0);
+        let degraded = drifted.accuracy(&mut base);
+        assert!(degraded < 0.85, "shift failed to degrade the model ({degraded})");
+        // Wrap the (single) layer in LoRA and fine-tune on drifted data.
+        let layer = &base.layers[0];
+        let mut lora =
+            LoraDense::new(layer.w.clone(), layer.b.clone(), 2, 8.0, &mut rng);
+        for _ in 0..200 {
+            let logits = lora.forward(&drifted.x);
+            let (_, d) = softmax_cross_entropy(&logits, &drifted.y);
+            lora.backward(&d);
+            lora.step(0.02);
+        }
+        let logits = lora.forward(&drifted.x);
+        let preds: Vec<usize> = (0..logits.rows())
+            .map(|r| {
+                logits.row(r).iter().enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+            })
+            .collect();
+        let adapted =
+            preds.iter().zip(&drifted.y).filter(|(p, y)| p == y).count() as f64
+                / drifted.len() as f64;
+        assert!(
+            adapted > degraded + 0.05 && adapted > 0.9,
+            "LoRA adapted {adapted} vs degraded {degraded}"
+        );
+    }
+
+    #[test]
+    fn lora_merge_matches_adapter_forward() {
+        let mut rng = Rng::new(34);
+        let w = Matrix::kaiming(6, 3, &mut rng);
+        let mut lora = LoraDense::new(w, vec![0.0; 3], 2, 4.0, &mut rng);
+        // Give B some non-zero values so the adapter path is active.
+        for v in lora.b.as_mut_slice() {
+            *v = 0.3;
+        }
+        let x = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as f32 * 0.05);
+        let y_adapter = lora.forward(&x);
+        let merged = lora.merged_weights();
+        let y_merged = x.matmul(&merged);
+        for (a, b) in y_adapter.as_slice().iter().zip(y_merged.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

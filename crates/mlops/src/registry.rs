@@ -1,0 +1,279 @@
+//! Model registry with staged promotion — the Unit 3 lab substrate.
+//!
+//! The lab "used Argo CD to … deploy GourmetGram's staging, canary, and
+//! production services" and built a pipeline "to simulate the model
+//! lifecycle, including model registration and promotion" (§3.3). This
+//! registry implements those semantics: versioned model artifacts, one
+//! live version per stage, an auditable transition history, and rollback.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Deployment stage of a model version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Registered but not deployed.
+    None,
+    /// Deployed to the staging environment.
+    Staging,
+    /// Serving a small slice of production traffic.
+    Canary,
+    /// Serving all production traffic.
+    Production,
+    /// Replaced; kept for rollback.
+    Archived,
+}
+
+/// A registered model version.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelVersion {
+    /// Model name (e.g. `gourmetgram-food11`).
+    pub name: String,
+    /// Monotonic version number within the model name.
+    pub version: u32,
+    /// Serialized parameters (see `tracking::params_to_artifact`).
+    pub artifact: Vec<u8>,
+    /// Evaluation metrics recorded at registration.
+    pub metrics: BTreeMap<String, f64>,
+    /// Current stage.
+    pub stage: Stage,
+}
+
+/// One promotion/demotion, for the audit trail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transition {
+    /// Model name.
+    pub name: String,
+    /// Version moved.
+    pub version: u32,
+    /// Stage before.
+    pub from: Stage,
+    /// Stage after.
+    pub to: Stage,
+    /// Monotonic sequence number (the registry's logical clock).
+    pub seq: u64,
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Unknown model name.
+    NoSuchModel,
+    /// Unknown version for the model.
+    NoSuchVersion,
+    /// No archived predecessor to roll back to.
+    NothingToRollBack,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NoSuchModel => write!(f, "no such model"),
+            RegistryError::NoSuchVersion => write!(f, "no such version"),
+            RegistryError::NothingToRollBack => write!(f, "no archived version to roll back to"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Vec<ModelVersion>>,
+    history: Vec<Transition>,
+    seq: u64,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new version; returns its version number.
+    pub fn register(
+        &mut self,
+        name: &str,
+        artifact: Vec<u8>,
+        metrics: BTreeMap<String, f64>,
+    ) -> u32 {
+        let versions = self.models.entry(name.to_string()).or_default();
+        let version = versions.len() as u32 + 1;
+        versions.push(ModelVersion {
+            name: name.to_string(),
+            version,
+            artifact,
+            metrics,
+            stage: Stage::None,
+        });
+        version
+    }
+
+    /// Move a version to a stage. Promoting to a stage that already has a
+    /// live version archives the incumbent (at most one version per stage,
+    /// like MLflow's registry).
+    pub fn transition(
+        &mut self,
+        name: &str,
+        version: u32,
+        to: Stage,
+    ) -> Result<(), RegistryError> {
+        let versions = self.models.get_mut(name).ok_or(RegistryError::NoSuchModel)?;
+        if !versions.iter().any(|v| v.version == version) {
+            return Err(RegistryError::NoSuchVersion);
+        }
+        let mut pending: Vec<(u32, Stage, Stage)> = Vec::new();
+        if matches!(to, Stage::Staging | Stage::Canary | Stage::Production) {
+            for v in versions.iter_mut() {
+                if v.stage == to && v.version != version {
+                    pending.push((v.version, v.stage, Stage::Archived));
+                    v.stage = Stage::Archived;
+                }
+            }
+        }
+        let v = versions
+            .iter_mut()
+            .find(|v| v.version == version)
+            .expect("checked above");
+        pending.push((version, v.stage, to));
+        v.stage = to;
+        for (ver, from, to) in pending {
+            self.seq += 1;
+            self.history.push(Transition { name: name.to_string(), version: ver, from, to, seq: self.seq });
+        }
+        Ok(())
+    }
+
+    /// The live version in a stage, if any.
+    pub fn in_stage(&self, name: &str, stage: Stage) -> Option<&ModelVersion> {
+        self.models.get(name)?.iter().find(|v| v.stage == stage)
+    }
+
+    /// A specific version.
+    pub fn get(&self, name: &str, version: u32) -> Option<&ModelVersion> {
+        self.models.get(name)?.iter().find(|v| v.version == version)
+    }
+
+    /// Latest registered version number.
+    pub fn latest_version(&self, name: &str) -> Option<u32> {
+        self.models.get(name).and_then(|v| v.last()).map(|v| v.version)
+    }
+
+    /// Roll production back to the most recently archived ex-production
+    /// version. Returns the version now in production.
+    pub fn rollback_production(&mut self, name: &str) -> Result<u32, RegistryError> {
+        // Find the newest transition that archived a then-production
+        // version.
+        let candidate = self
+            .history
+            .iter()
+            .rev()
+            .find(|t| t.name == name && t.from == Stage::Production && t.to == Stage::Archived)
+            .map(|t| t.version)
+            .ok_or(RegistryError::NothingToRollBack)?;
+        self.transition(name, candidate, Stage::Production)?;
+        Ok(candidate)
+    }
+
+    /// Full transition history, oldest first.
+    pub fn history(&self) -> &[Transition] {
+        &self.history
+    }
+
+    /// All versions of a model.
+    pub fn versions(&self, name: &str) -> &[ModelVersion] {
+        self.models.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(acc: f64) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("accuracy".to_string(), acc);
+        m
+    }
+
+    #[test]
+    fn register_assigns_monotonic_versions() {
+        let mut r = ModelRegistry::new();
+        assert_eq!(r.register("m", vec![1], metrics(0.8)), 1);
+        assert_eq!(r.register("m", vec![2], metrics(0.9)), 2);
+        assert_eq!(r.register("other", vec![3], metrics(0.5)), 1);
+        assert_eq!(r.latest_version("m"), Some(2));
+    }
+
+    #[test]
+    fn promotion_archives_incumbent() {
+        let mut r = ModelRegistry::new();
+        r.register("m", vec![1], metrics(0.8));
+        r.register("m", vec![2], metrics(0.9));
+        r.transition("m", 1, Stage::Production).unwrap();
+        assert_eq!(r.in_stage("m", Stage::Production).unwrap().version, 1);
+        r.transition("m", 2, Stage::Production).unwrap();
+        assert_eq!(r.in_stage("m", Stage::Production).unwrap().version, 2);
+        assert_eq!(r.get("m", 1).unwrap().stage, Stage::Archived);
+    }
+
+    #[test]
+    fn staged_rollout_path() {
+        let mut r = ModelRegistry::new();
+        r.register("m", vec![1], metrics(0.85));
+        for stage in [Stage::Staging, Stage::Canary, Stage::Production] {
+            r.transition("m", 1, stage).unwrap();
+            assert_eq!(r.in_stage("m", stage).unwrap().version, 1);
+        }
+        // History records the whole path.
+        let stages: Vec<Stage> = r.history().iter().map(|t| t.to).collect();
+        assert_eq!(stages, vec![Stage::Staging, Stage::Canary, Stage::Production]);
+    }
+
+    #[test]
+    fn rollback_restores_previous_production() {
+        let mut r = ModelRegistry::new();
+        r.register("m", vec![1], metrics(0.9));
+        r.register("m", vec![2], metrics(0.95));
+        r.transition("m", 1, Stage::Production).unwrap();
+        r.transition("m", 2, Stage::Production).unwrap();
+        let restored = r.rollback_production("m").unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(r.in_stage("m", Stage::Production).unwrap().version, 1);
+        assert_eq!(r.get("m", 2).unwrap().stage, Stage::Archived);
+    }
+
+    #[test]
+    fn rollback_without_predecessor_fails() {
+        let mut r = ModelRegistry::new();
+        r.register("m", vec![1], metrics(0.9));
+        r.transition("m", 1, Stage::Production).unwrap();
+        assert_eq!(r.rollback_production("m").unwrap_err(), RegistryError::NothingToRollBack);
+    }
+
+    #[test]
+    fn errors_on_unknown_names_and_versions() {
+        let mut r = ModelRegistry::new();
+        assert_eq!(
+            r.transition("ghost", 1, Stage::Staging).unwrap_err(),
+            RegistryError::NoSuchModel
+        );
+        r.register("m", vec![1], metrics(0.9));
+        assert_eq!(
+            r.transition("m", 9, Stage::Staging).unwrap_err(),
+            RegistryError::NoSuchVersion
+        );
+    }
+
+    #[test]
+    fn canary_and_production_coexist() {
+        let mut r = ModelRegistry::new();
+        r.register("m", vec![1], metrics(0.9));
+        r.register("m", vec![2], metrics(0.92));
+        r.transition("m", 1, Stage::Production).unwrap();
+        r.transition("m", 2, Stage::Canary).unwrap();
+        assert_eq!(r.in_stage("m", Stage::Production).unwrap().version, 1);
+        assert_eq!(r.in_stage("m", Stage::Canary).unwrap().version, 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Safeguarding ML systems — Unit 9 (§3.9).
+//!
+//! The unit has no lab ("to accommodate project work"), but its lecture
+//! content — risk categories, red-teaming, filtering, and their
+//! limitations — maps onto concrete mechanisms we can implement against
+//! the real models:
+//!
+//! * [`fgsm_attack`] — a gradient-sign adversarial attack using the
+//!   models' *exact* gradients (the red-team tool);
+//! * [`RobustnessReport`] — attack-success measurement across an ε
+//!   sweep, plus the standard mitigation ([`adversarial_finetune`]) and
+//!   its measured effect — including the lecture's point that
+//!   mitigations are partial;
+//! * [`ConfidenceGate`] — a deployment-time filter that abstains on
+//!   low-confidence inputs (an "overreliance" mitigation), with the
+//!   coverage/risk trade-off it induces.
+
+use crate::model::{softmax_cross_entropy, Dataset, Mlp, Sgd};
+use crate::tensor::Matrix;
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fast Gradient Sign Method: perturb inputs by `ε·sign(∂L/∂x)`.
+///
+/// Returns the adversarial feature matrix. Uses the true input gradient
+/// computed through the network (the backward pass returns `dL/dx`).
+pub fn fgsm_attack(model: &mut Mlp, data: &Dataset, epsilon: f32) -> Matrix {
+    assert!(epsilon >= 0.0);
+    let logits = model.forward(&data.x);
+    let (_, dlogits) = softmax_cross_entropy(&logits, &data.y);
+    model.zero_grads();
+    // Input gradient: run backward through every layer; the Mlp's
+    // backward returns dL/dx of the first layer via layer chaining, so
+    // we reimplement the chain here to capture it.
+    let dx = {
+        // Mlp::backward consumes masks internally; replicate by calling
+        // backward on a clone and capturing the returned gradient of the
+        // first layer through a manual chain.
+        let mut d = dlogits;
+        let n = model.layers.len();
+        // Recompute masks by a fresh forward (cheap, keeps API simple).
+        let mut activations = vec![data.x.clone()];
+        let mut h = data.x.clone();
+        for (i, layer) in model.layers.iter_mut().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                for v in h.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            activations.push(h.clone());
+        }
+        for (i, layer) in model.layers.iter_mut().enumerate().rev() {
+            if i + 1 < n {
+                // ReLU mask from the stored activation (output of layer i
+                // after ReLU): zero gradient where activation was zero.
+                let act = &activations[i + 1];
+                for (v, &a) in d.as_mut_slice().iter_mut().zip(act.as_slice()) {
+                    if a <= 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            // Prime the layer's input cache, then backprop.
+            layer.forward(&activations[i]);
+            d = layer.backward(&d);
+        }
+        model.zero_grads();
+        d
+    };
+    let mut adv = data.x.clone();
+    for (x, g) in adv.as_mut_slice().iter_mut().zip(dx.as_slice()) {
+        *x += epsilon * g.signum();
+    }
+    adv
+}
+
+/// Attack-success measurement across an ε sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// `(ε, accuracy under attack)` rows, ε ascending.
+    pub sweep: Vec<(f32, f64)>,
+    /// Clean accuracy.
+    pub clean_accuracy: f64,
+}
+
+impl RobustnessReport {
+    /// Accuracy at a given ε (must be in the sweep).
+    pub fn at(&self, epsilon: f32) -> Option<f64> {
+        self.sweep.iter().find(|&&(e, _)| (e - epsilon).abs() < 1e-9).map(|&(_, a)| a)
+    }
+}
+
+/// Red-team a model: measure accuracy under FGSM at each ε.
+pub fn red_team(model: &mut Mlp, data: &Dataset, epsilons: &[f32]) -> RobustnessReport {
+    let clean_accuracy = data.accuracy(model);
+    let sweep = epsilons
+        .iter()
+        .map(|&eps| {
+            let adv = fgsm_attack(model, data, eps);
+            let adv_data = Dataset { x: adv, y: data.y.clone(), classes: data.classes };
+            (eps, adv_data.accuracy(model))
+        })
+        .collect();
+    RobustnessReport { sweep, clean_accuracy }
+}
+
+/// Adversarial fine-tuning: continue training on a mix of clean and
+/// FGSM examples (the standard, partial mitigation).
+pub fn adversarial_finetune(
+    model: &mut Mlp,
+    data: &Dataset,
+    epsilon: f32,
+    epochs: usize,
+    seed: u64,
+) {
+    let mut rng = Rng::new(seed);
+    let mut opt = Sgd::new(0.05, 0.9);
+    for _ in 0..epochs {
+        // Clean pass.
+        train_epoch_like(model, data, &mut opt, &mut rng);
+        // Adversarial pass on fresh perturbations.
+        let adv = fgsm_attack(model, data, epsilon);
+        let adv_data = Dataset { x: adv, y: data.y.clone(), classes: data.classes };
+        train_epoch_like(model, &adv_data, &mut opt, &mut rng);
+    }
+}
+
+fn train_epoch_like(model: &mut Mlp, data: &Dataset, opt: &mut Sgd, rng: &mut Rng) {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut idx);
+    for chunk in idx.chunks(32) {
+        let batch = data.subset(chunk);
+        let logits = model.forward(&batch.x);
+        let (_, d) = softmax_cross_entropy(&logits, &batch.y);
+        model.zero_grads();
+        model.forward(&batch.x);
+        model.backward(&d);
+        opt.step(model);
+    }
+}
+
+/// Deployment-time confidence gate: predictions whose softmax confidence
+/// is below the threshold are abstained (routed to a human — the
+/// "dedicated human annotators" of §3.7's supervision-signal lab part).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConfidenceGate {
+    /// Minimum softmax probability to auto-accept.
+    pub threshold: f64,
+}
+
+/// Outcome of gated inference on a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatedReport {
+    /// Fraction of inputs the system answered (did not abstain).
+    pub coverage: f64,
+    /// Accuracy on the answered subset.
+    pub selective_accuracy: f64,
+    /// Accuracy if forced to answer everything (no gate).
+    pub full_accuracy: f64,
+}
+
+impl ConfidenceGate {
+    /// Run gated inference.
+    pub fn evaluate(&self, model: &mut Mlp, data: &Dataset) -> GatedReport {
+        assert!(!data.is_empty());
+        let logits = model.forward(&data.x);
+        let mut answered = 0usize;
+        let mut answered_correct = 0usize;
+        let mut correct = 0usize;
+        for r in 0..logits.rows() {
+            let row = logits.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let sum: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+            let (pred, conf) = row
+                .iter()
+                .enumerate()
+                .map(|(c, &v)| (c, ((v - max).exp() / sum) as f64))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("confidence finite"))
+                .expect("non-empty row");
+            let is_correct = pred == data.y[r];
+            correct += usize::from(is_correct);
+            if conf >= self.threshold {
+                answered += 1;
+                answered_correct += usize::from(is_correct);
+            }
+        }
+        GatedReport {
+            coverage: answered as f64 / data.len() as f64,
+            selective_accuracy: if answered == 0 {
+                0.0
+            } else {
+                answered_correct as f64 / answered as f64
+            },
+            full_accuracy: correct as f64 / data.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::train_epoch;
+
+    fn trained(seed: u64) -> (Mlp, Dataset) {
+        let data = Dataset::blobs(440, 8, 11, 0.6, seed);
+        let mut rng = Rng::new(seed + 1);
+        let mut model = Mlp::new(&[8, 32, 11], &mut rng);
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..25 {
+            train_epoch(&mut model, &data, &mut opt, 32, &mut rng);
+        }
+        (model, data)
+    }
+
+    #[test]
+    fn fgsm_degrades_accuracy_monotonically_in_epsilon() {
+        let (mut model, data) = trained(500);
+        let report = red_team(&mut model, &data, &[0.0, 0.2, 0.5, 1.0]);
+        assert!(report.clean_accuracy > 0.9);
+        // ε = 0 is the clean accuracy.
+        assert!((report.at(0.0).unwrap() - report.clean_accuracy).abs() < 1e-9);
+        // Stronger attacks hurt more.
+        let accs: Vec<f64> = report.sweep.iter().map(|&(_, a)| a).collect();
+        for w in accs.windows(2) {
+            assert!(w[1] <= w[0] + 0.02, "non-monotone attack: {accs:?}");
+        }
+        // A strong attack on an undefended model does real damage.
+        assert!(
+            report.at(1.0).unwrap() < report.clean_accuracy - 0.2,
+            "attack too weak: {accs:?}"
+        );
+    }
+
+    #[test]
+    fn fgsm_zero_epsilon_is_identity() {
+        let (mut model, data) = trained(501);
+        let adv = fgsm_attack(&mut model, &data, 0.0);
+        assert_eq!(adv.as_slice(), data.x.as_slice());
+    }
+
+    #[test]
+    fn adversarial_finetuning_helps_but_is_partial() {
+        let (mut model, data) = trained(502);
+        let eps = 0.5;
+        let before = red_team(&mut model, &data, &[eps]).at(eps).unwrap();
+        adversarial_finetune(&mut model, &data, eps, 10, 503);
+        let after_report = red_team(&mut model, &data, &[eps]);
+        let after = after_report.at(eps).unwrap();
+        assert!(
+            after > before + 0.1,
+            "fine-tuning should improve robustness: {before:.3} -> {after:.3}"
+        );
+        // …while the lecture's caveat holds: robust accuracy still trails
+        // clean accuracy.
+        assert!(after < after_report.clean_accuracy + 1e-9);
+    }
+
+    #[test]
+    fn confidence_gate_trades_coverage_for_accuracy() {
+        let (mut model, base) = trained(504);
+        // Mix in drifted (harder) traffic so the model has real errors.
+        let hard = base.shifted(1.2);
+        let mut x = Matrix::zeros(base.len() + hard.len(), base.x.cols());
+        let mut y = Vec::new();
+        for i in 0..base.len() {
+            x.row_mut(i).copy_from_slice(base.x.row(i));
+            y.push(base.y[i]);
+        }
+        for i in 0..hard.len() {
+            x.row_mut(base.len() + i).copy_from_slice(hard.x.row(i));
+            y.push(hard.y[i]);
+        }
+        let mixed = Dataset { x, y, classes: base.classes };
+        let open = ConfidenceGate { threshold: 0.0 }.evaluate(&mut model, &mixed);
+        let gated = ConfidenceGate { threshold: 0.9 }.evaluate(&mut model, &mixed);
+        assert!((open.coverage - 1.0).abs() < 1e-9);
+        assert!(gated.coverage < 1.0, "gate must abstain sometimes");
+        assert!(gated.coverage > 0.2, "gate abstains on everything");
+        assert!(
+            gated.selective_accuracy > open.full_accuracy,
+            "answered subset should be more accurate: {:.3} vs {:.3}",
+            gated.selective_accuracy,
+            open.full_accuracy
+        );
+    }
+
+    #[test]
+    fn gate_thresholds_are_monotone_in_coverage() {
+        let (mut model, data) = trained(505);
+        let mixed = data.shifted(0.8);
+        let mut last_coverage = 1.1;
+        for t in [0.0, 0.5, 0.8, 0.95, 0.999] {
+            let r = ConfidenceGate { threshold: t }.evaluate(&mut model, &mixed);
+            assert!(r.coverage <= last_coverage + 1e-9, "coverage not monotone at {t}");
+            last_coverage = r.coverage;
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Experiment tracking — the Unit 5 lab substrate.
+//!
+//! The lab deploys "an MLFlow tracking server … configured a training
+//! script to log experiment metadata, system metrics, hyperparameters, ML
+//! metrics, and models" (§3.5). This module is that server's mechanism: a
+//! concurrent store of runs with parameters, stepped metric series, system
+//! metrics, and binary artifacts, plus the comparison/best-run queries the
+//! lab uses to "identify training bottlenecks, compare experiment results,
+//! and inspect model artifacts".
+//!
+//! The tracker is `Clone + Send + Sync` (an `Arc<RwLock<…>>` like the real
+//! server's backend store) so trainer threads log concurrently.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Opaque run identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RunId(pub u64);
+
+/// Terminal state of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// Still logging.
+    Running,
+    /// Completed successfully.
+    Finished,
+    /// Failed (still queryable — §3.5's case studies require storing
+    /// records for *every* run, including crashed ones).
+    Failed,
+}
+
+/// One metric observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// Training step (or poll index for system metrics).
+    pub step: u64,
+    /// Value.
+    pub value: f64,
+}
+
+/// A stored artifact (e.g. serialized model parameters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Artifact path/name.
+    pub name: String,
+    /// Raw bytes.
+    pub data: Vec<u8>,
+}
+
+/// One tracked run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Run {
+    /// Identifier.
+    pub id: RunId,
+    /// Experiment this run belongs to.
+    pub experiment: String,
+    /// Logged hyperparameters.
+    pub params: BTreeMap<String, String>,
+    /// ML metric series by name.
+    pub metrics: HashMap<String, Vec<MetricPoint>>,
+    /// System metric series by name (GPU util, throughput, …).
+    pub system_metrics: HashMap<String, Vec<MetricPoint>>,
+    /// Artifacts.
+    pub artifacts: Vec<Artifact>,
+    /// Status.
+    pub status: RunStatus,
+}
+
+impl Run {
+    /// Last value of a metric, if logged.
+    pub fn last_metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).and_then(|s| s.last()).map(|p| p.value)
+    }
+
+    /// Fetch an artifact by name.
+    pub fn artifact(&self, name: &str) -> Option<&Artifact> {
+        self.artifacts.iter().find(|a| a.name == name)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    runs: Vec<Run>,
+}
+
+/// The tracking server handle (cheap to clone; thread-safe).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTracker {
+    store: Arc<RwLock<Store>>,
+}
+
+impl ExperimentTracker {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a run under an experiment name.
+    pub fn start_run(&self, experiment: &str) -> RunId {
+        let mut s = self.store.write();
+        let id = RunId(s.runs.len() as u64);
+        s.runs.push(Run {
+            id,
+            experiment: experiment.to_string(),
+            params: BTreeMap::new(),
+            metrics: HashMap::new(),
+            system_metrics: HashMap::new(),
+            artifacts: Vec::new(),
+            status: RunStatus::Running,
+        });
+        id
+    }
+
+    fn with_run<R>(&self, id: RunId, f: impl FnOnce(&mut Run) -> R) -> R {
+        let mut s = self.store.write();
+        let run = s
+            .runs
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("unknown run {id:?}"));
+        f(run)
+    }
+
+    /// Log a hyperparameter.
+    pub fn log_param(&self, id: RunId, key: &str, value: &str) {
+        self.with_run(id, |r| {
+            r.params.insert(key.to_string(), value.to_string());
+        });
+    }
+
+    /// Log an ML metric point.
+    pub fn log_metric(&self, id: RunId, name: &str, step: u64, value: f64) {
+        self.with_run(id, |r| {
+            r.metrics
+                .entry(name.to_string())
+                .or_default()
+                .push(MetricPoint { step, value });
+        });
+    }
+
+    /// Log a system metric point (GPU util, samples/sec, host RAM…).
+    pub fn log_system_metric(&self, id: RunId, name: &str, step: u64, value: f64) {
+        self.with_run(id, |r| {
+            r.system_metrics
+                .entry(name.to_string())
+                .or_default()
+                .push(MetricPoint { step, value });
+        });
+    }
+
+    /// Store an artifact.
+    pub fn log_artifact(&self, id: RunId, name: &str, data: Vec<u8>) {
+        self.with_run(id, |r| r.artifacts.push(Artifact { name: name.to_string(), data }));
+    }
+
+    /// Mark a run finished/failed.
+    pub fn end_run(&self, id: RunId, status: RunStatus) {
+        assert_ne!(status, RunStatus::Running, "end_run needs a terminal status");
+        self.with_run(id, |r| r.status = status);
+    }
+
+    /// Snapshot of one run.
+    pub fn run(&self, id: RunId) -> Option<Run> {
+        self.store.read().runs.get(id.0 as usize).cloned()
+    }
+
+    /// All runs in an experiment, in creation order.
+    pub fn runs_in(&self, experiment: &str) -> Vec<Run> {
+        self.store
+            .read()
+            .runs
+            .iter()
+            .filter(|r| r.experiment == experiment)
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of runs.
+    pub fn run_count(&self) -> usize {
+        self.store.read().runs.len()
+    }
+
+    /// Best finished run in an experiment by the last value of `metric`.
+    pub fn best_run(&self, experiment: &str, metric: &str, maximize: bool) -> Option<Run> {
+        let runs = self.runs_in(experiment);
+        runs.into_iter()
+            .filter(|r| r.status == RunStatus::Finished)
+            .filter_map(|r| r.last_metric(metric).map(|v| (r, v)))
+            .max_by(|a, b| {
+                let ord = a.1.partial_cmp(&b.1).expect("metric NaN");
+                if maximize {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            })
+            .map(|(r, _)| r)
+    }
+
+    /// Compare the last value of a metric across runs:
+    /// `(run id, param snapshot, value)` sorted best-first.
+    pub fn compare(
+        &self,
+        experiment: &str,
+        metric: &str,
+        maximize: bool,
+    ) -> Vec<(RunId, BTreeMap<String, String>, f64)> {
+        let mut rows: Vec<_> = self
+            .runs_in(experiment)
+            .into_iter()
+            .filter_map(|r| r.last_metric(metric).map(|v| (r.id, r.params, v)))
+            .collect();
+        rows.sort_by(|a, b| {
+            let ord = a.2.partial_cmp(&b.2).expect("metric NaN");
+            if maximize {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        rows
+    }
+
+    /// Bottleneck heuristic the lab teaches: if mean GPU utilization is low
+    /// while the input pipeline's wait share is high, training is
+    /// input-bound.
+    pub fn diagnose_bottleneck(&self, id: RunId) -> Option<&'static str> {
+        let run = self.run(id)?;
+        let mean = |series: Option<&Vec<MetricPoint>>| {
+            series.and_then(|s| {
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(s.iter().map(|p| p.value).sum::<f64>() / s.len() as f64)
+                }
+            })
+        };
+        let gpu = mean(run.system_metrics.get("gpu_util"))?;
+        let wait = mean(run.system_metrics.get("data_wait_frac"))?;
+        Some(if gpu < 0.5 && wait > 0.3 {
+            "input-bound: GPU starved by the data pipeline"
+        } else if gpu > 0.9 {
+            "compute-bound: GPU saturated"
+        } else {
+            "balanced"
+        })
+    }
+}
+
+/// Serialize model parameters as a little-endian f32 artifact payload.
+pub fn params_to_artifact(params: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(params.len() * 4);
+    for p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`params_to_artifact`].
+pub fn artifact_to_params(data: &[u8]) -> Vec<f32> {
+    assert_eq!(data.len() % 4, 0, "artifact length not a multiple of 4");
+    data.chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_run_lifecycle() {
+        let t = ExperimentTracker::new();
+        let id = t.start_run("food11");
+        t.log_param(id, "lr", "0.1");
+        t.log_metric(id, "loss", 0, 2.4);
+        t.log_metric(id, "loss", 1, 1.1);
+        t.log_system_metric(id, "gpu_util", 0, 0.92);
+        t.log_artifact(id, "model.bin", vec![1, 2, 3, 4]);
+        t.end_run(id, RunStatus::Finished);
+        let run = t.run(id).unwrap();
+        assert_eq!(run.params["lr"], "0.1");
+        assert_eq!(run.last_metric("loss"), Some(1.1));
+        assert_eq!(run.artifact("model.bin").unwrap().data, vec![1, 2, 3, 4]);
+        assert_eq!(run.status, RunStatus::Finished);
+    }
+
+    #[test]
+    fn best_run_ignores_failed() {
+        let t = ExperimentTracker::new();
+        let good = t.start_run("exp");
+        t.log_metric(good, "acc", 0, 0.8);
+        t.end_run(good, RunStatus::Finished);
+        let better_but_failed = t.start_run("exp");
+        t.log_metric(better_but_failed, "acc", 0, 0.99);
+        t.end_run(better_but_failed, RunStatus::Failed);
+        let best = t.best_run("exp", "acc", true).unwrap();
+        assert_eq!(best.id, good);
+    }
+
+    #[test]
+    fn best_run_minimize() {
+        let t = ExperimentTracker::new();
+        for (i, loss) in [0.5, 0.2, 0.9].iter().enumerate() {
+            let id = t.start_run("exp");
+            t.log_param(id, "trial", &i.to_string());
+            t.log_metric(id, "loss", 0, *loss);
+            t.end_run(id, RunStatus::Finished);
+        }
+        let best = t.best_run("exp", "loss", false).unwrap();
+        assert_eq!(best.params["trial"], "1");
+    }
+
+    #[test]
+    fn compare_sorts_best_first() {
+        let t = ExperimentTracker::new();
+        for acc in [0.7, 0.9, 0.8] {
+            let id = t.start_run("exp");
+            t.log_metric(id, "acc", 0, acc);
+            t.end_run(id, RunStatus::Finished);
+        }
+        let rows = t.compare("exp", "acc", true);
+        let accs: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        assert_eq!(accs, vec![0.9, 0.8, 0.7]);
+    }
+
+    #[test]
+    fn concurrent_logging_is_safe_and_complete() {
+        let t = ExperimentTracker::new();
+        let ids: Vec<RunId> = (0..8).map(|_| t.start_run("parallel")).collect();
+        std::thread::scope(|s| {
+            for &id in &ids {
+                let t = t.clone();
+                s.spawn(move || {
+                    for step in 0..500u64 {
+                        t.log_metric(id, "loss", step, 1.0 / (step + 1) as f64);
+                    }
+                    t.end_run(id, RunStatus::Finished);
+                });
+            }
+        });
+        for id in ids {
+            let run = t.run(id).unwrap();
+            assert_eq!(run.metrics["loss"].len(), 500);
+            // Steps arrive in order (single writer per run).
+            let steps: Vec<u64> = run.metrics["loss"].iter().map(|p| p.step).collect();
+            assert_eq!(steps, (0..500).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn bottleneck_diagnosis() {
+        let t = ExperimentTracker::new();
+        let starved = t.start_run("exp");
+        for step in 0..10 {
+            t.log_system_metric(starved, "gpu_util", step, 0.3);
+            t.log_system_metric(starved, "data_wait_frac", step, 0.6);
+        }
+        assert!(t.diagnose_bottleneck(starved).unwrap().starts_with("input-bound"));
+        let busy = t.start_run("exp");
+        for step in 0..10 {
+            t.log_system_metric(busy, "gpu_util", step, 0.97);
+            t.log_system_metric(busy, "data_wait_frac", step, 0.02);
+        }
+        assert!(t.diagnose_bottleneck(busy).unwrap().starts_with("compute-bound"));
+    }
+
+    #[test]
+    fn params_artifact_roundtrip() {
+        let params = vec![1.5f32, -2.25, 0.0, 3.125e-3];
+        let bytes = params_to_artifact(&params);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(artifact_to_params(&bytes), params);
+    }
+
+    #[test]
+    fn runs_in_filters_by_experiment() {
+        let t = ExperimentTracker::new();
+        t.start_run("a");
+        t.start_run("b");
+        t.start_run("a");
+        assert_eq!(t.runs_in("a").len(), 2);
+        assert_eq!(t.runs_in("b").len(), 1);
+        assert_eq!(t.run_count(), 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the ML substrate's core invariants.
+
+use opml_mlops::allreduce::{all_reduce, chunk_bounds, sequential_sum, ReduceAlgo};
+use opml_mlops::model::{softmax_cross_entropy, Dataset, Mlp};
+use opml_mlops::optimize::QuantizedMatrix;
+use opml_mlops::precision::bf16_round;
+use opml_mlops::tensor::Matrix;
+use opml_simkernel::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// chunk_bounds partitions [0, len) exactly: contiguous, complete,
+    /// and balanced within one element.
+    #[test]
+    fn chunk_bounds_partitions(len in 0usize..10_000, n in 1usize..64) {
+        let bounds = chunk_bounds(len, n);
+        prop_assert_eq!(bounds.len(), n);
+        prop_assert_eq!(bounds[0].0, 0);
+        prop_assert_eq!(bounds[n - 1].1, len);
+        for w in bounds.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        let sizes: Vec<usize> = bounds.iter().map(|&(a, b)| b - a).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced: {sizes:?}");
+    }
+
+    /// Every collective computes the element-wise sum, for arbitrary
+    /// worker counts and lengths (including len < workers).
+    #[test]
+    fn all_reduce_equals_sequential(
+        n in 1usize..7,
+        len in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let original: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..len).map(|_| rng.range_f64(-10.0, 10.0) as f32).collect())
+            .collect();
+        let expected = sequential_sum(&original);
+        for algo in ReduceAlgo::ALL {
+            let mut bufs = original.clone();
+            all_reduce(&mut bufs, algo);
+            for (w, b) in bufs.iter().enumerate() {
+                for (j, (&got, &want)) in b.iter().zip(&expected).enumerate() {
+                    prop_assert!(
+                        (got - want).abs() <= 1e-3 * (1.0 + want.abs()),
+                        "{} worker {w} elem {j}: {got} vs {want}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Transpose is an involution and matmul respects transposition
+    /// shapes.
+    #[test]
+    fn transpose_involution(rows in 1usize..20, cols in 1usize..20, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.range_f64(-1.0, 1.0) as f32);
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let t = m.transpose();
+        let sq = m.matmul(&t);
+        prop_assert_eq!(sq.rows(), rows);
+        prop_assert_eq!(sq.cols(), rows);
+        // Diagonal of M·Mᵀ is a sum of squares — non-negative.
+        for i in 0..rows {
+            prop_assert!(sq.get(i, i) >= -1e-5);
+        }
+    }
+
+    /// Softmax cross-entropy gradient rows sum to ~0 (probabilities sum
+    /// to one), and the loss is non-negative.
+    #[test]
+    fn softmax_gradient_rows_sum_zero(
+        batch in 1usize..16,
+        classes in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let logits = Matrix::from_fn(batch, classes, |_, _| rng.range_f64(-5.0, 5.0) as f32);
+        let labels: Vec<usize> = (0..batch).map(|_| rng.below(classes as u64) as usize).collect();
+        let (loss, d) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        for r in 0..batch {
+            let s: f32 = d.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} gradient sum {s}");
+        }
+    }
+
+    /// Parameter flatten/unflatten is lossless for arbitrary layer shapes.
+    #[test]
+    fn params_roundtrip_any_shape(
+        sizes in prop::collection::vec(1usize..12, 2..5),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut model = Mlp::new(&sizes, &mut rng);
+        let flat = model.params_flat();
+        prop_assert_eq!(flat.len(), model.num_params());
+        model.set_params_flat(&flat);
+        prop_assert_eq!(model.params_flat(), flat);
+    }
+
+    /// INT8 quantization error is bounded by scale/2 per element.
+    #[test]
+    fn quantization_error_bounded(rows in 1usize..12, cols in 1usize..12, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.range_f64(-8.0, 8.0) as f32);
+        let q = QuantizedMatrix::quantize(&m);
+        let back = q.dequantize();
+        let bound = q.max_error_bound() + 1e-6;
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= bound, "{a} vs {b}, bound {bound}");
+        }
+    }
+
+    /// bf16 rounding is idempotent and monotone-safe on magnitude.
+    #[test]
+    fn bf16_idempotent(x in -1e30f32..1e30) {
+        let once = bf16_round(x);
+        prop_assert_eq!(bf16_round(once), once, "not idempotent for {}", x);
+        // Relative error bounded by 2^-8 for normal values.
+        if x.abs() > 1e-30 {
+            prop_assert!(((once - x) / x).abs() < 0.01, "{} -> {}", x, once);
+        }
+    }
+
+    /// Dataset shards partition examples exactly.
+    #[test]
+    fn shards_partition(n in 1usize..200, k in 1usize..8) {
+        let data = Dataset::blobs(n, 3, 4, 0.5, 9);
+        let shards = data.shards(k);
+        prop_assert_eq!(shards.len(), k);
+        prop_assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), n);
+    }
+
+    /// The serving simulator completes every request with ordered
+    /// percentiles under arbitrary batching configurations.
+    #[test]
+    fn serving_completes_all_requests(
+        replicas in 1usize..4,
+        max_batch in 1usize..16,
+        delay_ms in 0.0f64..20.0,
+        rps in 5.0f64..300.0,
+        seed in any::<u64>(),
+    ) {
+        use opml_mlops::serving::{simulate, LoadSpec, ModelProfile, ServerConfig};
+        let r = simulate(
+            ModelProfile::fp32_server_gpu(),
+            ServerConfig { replicas, max_batch, max_queue_delay_ms: delay_ms },
+            LoadSpec { rps, requests: 400 },
+            seed,
+        );
+        prop_assert_eq!(r.completed, 400);
+        prop_assert!(r.p50_latency_ms <= r.p95_latency_ms + 1e-9);
+        prop_assert!(r.p95_latency_ms <= r.p99_latency_ms + 1e-9);
+        prop_assert!(r.mean_batch_size >= 1.0 - 1e-9);
+        prop_assert!(r.mean_batch_size <= max_batch as f64 + 1e-9);
+        prop_assert!(r.throughput_rps > 0.0);
+    }
+
+    /// The orchestrator's rolling update never violates the availability
+    /// bound, under arbitrary replica counts and crash probabilities.
+    #[test]
+    fn rolling_update_availability(
+        replicas in 2u32..8,
+        max_unavailable in 1u32..3,
+        crash_p in 0.0f64..0.15,
+        seed in any::<u64>(),
+    ) {
+        use opml_mlops::orchestrator::{DeploymentSpec, Orchestrator};
+        use opml_simkernel::Rng;
+        let spec = |image: &str| DeploymentSpec {
+            name: "app".into(),
+            image: image.into(),
+            replicas,
+            max_unavailable,
+        };
+        let mut orch = Orchestrator::new();
+        let mut rng = Rng::new(seed);
+        orch.apply(&[spec("v1")]);
+        for _ in 0..6 {
+            orch.tick(&mut rng);
+        }
+        prop_assert_eq!(orch.ready_pods("app").len() as u32, replicas);
+        // Roll with crashes happening: ready count may drop from crashes
+        // (which no orchestrator can prevent) but the *update itself*
+        // must never take down more than max_unavailable ready pods in a
+        // single tick beyond crashes.
+        orch.crash_probability = crash_p;
+        orch.apply(&[spec("v2")]);
+        let mut prev_ready = replicas;
+        for _ in 0..40 {
+            orch.tick(&mut rng);
+            let ready = orch.ready_pods("app").len() as u32;
+            // Between consecutive ticks, ready can fall by at most
+            // max_unavailable (update) + crashed pods; with crash_p = 0
+            // this bound is exactly max_unavailable.
+            if crash_p == 0.0 {
+                prop_assert!(
+                    prev_ready.saturating_sub(ready) <= max_unavailable,
+                    "ready dropped {prev_ready} -> {ready}"
+                );
+            }
+            prev_ready = ready;
+        }
+        // Update converges even under crashes.
+        orch.crash_probability = 0.0;
+        for _ in 0..10 {
+            orch.tick(&mut rng);
+        }
+        let images = orch.ready_images("app");
+        prop_assert_eq!(images.get("v2"), Some(&(replicas as usize)));
+        prop_assert_eq!(images.get("v1"), None);
+    }
+}

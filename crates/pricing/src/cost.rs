@@ -1,0 +1,122 @@
+//! Price-arithmetic primitives shared by the estimators.
+
+use crate::catalog::Provider;
+use opml_testbed::flavor::FlavorId;
+
+/// Floating-IP / public-IPv4 hourly rate — $0.005/h on both providers
+/// (AWS public IPv4 since Feb 2024; GCP in-use external IP).
+pub const FIP_HOURLY_USD: f64 = 0.005;
+
+/// Block-storage $/GB-month (EBS gp3 vs PD balanced).
+pub fn block_storage_gb_month(provider: Provider) -> f64 {
+    match provider {
+        Provider::Aws => 0.08,
+        Provider::Gcp => 0.10,
+    }
+}
+
+/// Object-storage $/GB-month (S3 standard vs GCS standard).
+pub fn object_storage_gb_month(provider: Provider) -> f64 {
+    match provider {
+        Provider::Aws => 0.023,
+        Provider::Gcp => 0.020,
+    }
+}
+
+/// Hours in a billing month (730 is the cloud-billing convention).
+pub const HOURS_PER_MONTH: f64 = 730.0;
+
+/// Cost of holding a floating IP for `hours`.
+pub fn fip_cost(hours: f64) -> f64 {
+    hours * FIP_HOURLY_USD
+}
+
+/// Cost of `gb` of block storage held for `hours`.
+pub fn block_storage_cost(provider: Provider, gb: f64, hours: f64) -> f64 {
+    gb * block_storage_gb_month(provider) * hours / HOURS_PER_MONTH
+}
+
+/// Cost of `gb` of object storage held for `hours`.
+pub fn object_storage_cost(provider: Provider, gb: f64, hours: f64) -> f64 {
+    gb * object_storage_gb_month(provider) * hours / HOURS_PER_MONTH
+}
+
+/// Hourly rate used to price **project-phase** usage of a testbed flavor
+/// (the per-flavor blended assumptions of §5's "less precise" project
+/// estimate; see DESIGN.md). Returns `None` for edge devices, which have
+/// no commercial equivalent.
+pub fn project_flavor_rate(provider: Provider, flavor: FlavorId) -> Option<f64> {
+    use FlavorId::*;
+    let (aws, gcp): (f64, f64) = match flavor {
+        M1Small => (0.0104, 0.0168),
+        // Projects run multi-service stacks: GCP priced on dedicated n2.
+        M1Medium => (0.0416, 0.1005),
+        M1Large => (0.1664, 0.1942),
+        M1Xlarge => (0.3328, 0.3885),
+        // Single-GPU composable nodes.
+        ComputeGigaio | ComputeLiqid => (1.46, 1.147),
+        // Dual-GPU nodes.
+        ComputeLiqid2 | GpuMi100 | GpuP100 => (4.617, 2.0),
+        // 4×GPU training nodes.
+        GpuA100Pcie | GpuV100 => (17.919, 14.701),
+        // Large bare-metal CPU nodes (data processing pipelines).
+        ComputeCascadeLake => (4.08, 3.1321),
+        RaspberryPi5 => return None,
+    };
+    Some(match provider {
+        Provider::Aws => aws,
+        Provider::Gcp => gcp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fip_rate_matches_table1_derivation() {
+        // Lab 1: 2,620 instance hours at t3.micro + 2,620 FIP hours =
+        // $40.(sub-dollar rounding) on AWS.
+        let total = 2620.0 * 0.0104 + fip_cost(2620.0);
+        assert!((total - 40.0).abs() < 0.5, "lab1 AWS total {total}");
+    }
+
+    #[test]
+    fn storage_costs_scale_linearly() {
+        let c1 = block_storage_cost(Provider::Aws, 100.0, HOURS_PER_MONTH);
+        assert!((c1 - 8.0).abs() < 1e-9);
+        let c2 = block_storage_cost(Provider::Aws, 200.0, HOURS_PER_MONTH / 2.0);
+        assert!((c1 - c2).abs() < 1e-9);
+        assert!(object_storage_cost(Provider::Gcp, 1541.0, HOURS_PER_MONTH * 1.5) < 50.0);
+    }
+
+    #[test]
+    fn edge_has_no_commercial_rate() {
+        for p in Provider::ALL {
+            assert_eq!(project_flavor_rate(p, FlavorId::RaspberryPi5), None);
+        }
+    }
+
+    #[test]
+    fn every_other_flavor_has_rates() {
+        for f in FlavorId::ALL {
+            if f == FlavorId::RaspberryPi5 {
+                continue;
+            }
+            for p in Provider::ALL {
+                let r = project_flavor_rate(p, f).unwrap();
+                assert!(r > 0.0, "{f} on {}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_rates_ordered_by_gpu_count() {
+        for p in Provider::ALL {
+            let one = project_flavor_rate(p, FlavorId::ComputeGigaio).unwrap();
+            let two = project_flavor_rate(p, FlavorId::GpuMi100).unwrap();
+            let four = project_flavor_rate(p, FlavorId::GpuA100Pcie).unwrap();
+            assert!(one < two && two < four, "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Cheapest-adequate-instance selection.
+
+use crate::catalog::{catalog, CloudInstance, Provider};
+use crate::requirement::{pin_for, AssignmentPricing, Requirement};
+
+/// Whether an instance meets a requirement.
+pub fn adequate(inst: &CloudInstance, req: &Requirement) -> bool {
+    if inst.vcpus < req.min_vcpus || inst.ram_gb < req.min_ram_gb {
+        return false;
+    }
+    if inst.gpus < req.min_gpus {
+        return false;
+    }
+    if req.dedicated_cores && inst.shared_core {
+        return false;
+    }
+    if req.min_gpus > 0 {
+        let Some(class_req) = req.gpu_class else {
+            return true;
+        };
+        let Some(gpu) = inst.gpu else {
+            return false;
+        };
+        if !class_req.satisfied_by(gpu) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The cheapest adequate instance in a provider's catalog
+/// (ties broken by name for determinism).
+pub fn cheapest_adequate(provider: Provider, req: &Requirement) -> Option<CloudInstance> {
+    catalog(provider)
+        .into_iter()
+        .filter(|i| adequate(i, req))
+        .min_by(|a, b| {
+            a.hourly_usd
+                .partial_cmp(&b.hourly_usd)
+                .expect("prices are finite")
+                .then(a.name.cmp(b.name))
+        })
+}
+
+/// Resolve the instance used to price an assignment: the paper's pinned
+/// choice when recoverable, otherwise generic cheapest-adequate.
+///
+/// Panics if a pin names a missing catalog entry (checked by tests).
+pub fn resolve(pricing: &AssignmentPricing, provider: Provider) -> Option<CloudInstance> {
+    if pricing.edge {
+        return None;
+    }
+    if let Some(pin) = pin_for(pricing, provider) {
+        let inst = catalog(provider)
+            .into_iter()
+            .find(|i| i.name == pin)
+            .unwrap_or_else(|| panic!("pinned instance {pin} missing from catalog"));
+        return Some(inst);
+    }
+    cheapest_adequate(provider, &pricing.requirement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requirement::{assignment_table, GpuClassReq};
+
+    #[test]
+    fn vm_selection_matches_public_prices() {
+        // 2 vCPU / 4 GB, shared-core OK → t3.medium / e2-medium.
+        let req = Requirement::vm(2, 4, false);
+        assert_eq!(cheapest_adequate(Provider::Aws, &req).unwrap().name, "t3.medium");
+        assert_eq!(cheapest_adequate(Provider::Gcp, &req).unwrap().name, "e2-medium");
+    }
+
+    #[test]
+    fn dedicated_cores_excludes_shared_shapes() {
+        let req = Requirement::vm(2, 4, true);
+        let gcp = cheapest_adequate(Provider::Gcp, &req).unwrap();
+        assert!(!gcp.shared_core);
+        assert_eq!(gcp.name, "e2-standard-2"); // cheapest dedicated ≥2/4
+    }
+
+    #[test]
+    fn a100_class_is_enforced() {
+        let req = Requirement::gpu(4, GpuClassReq::A100Large);
+        for p in Provider::ALL {
+            let inst = cheapest_adequate(p, &req).unwrap();
+            assert!(inst.gpus >= 4, "{}", inst.name);
+            assert_eq!(inst.gpu, Some(crate::catalog::CloudGpu::A100_80), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn any_gpu_picks_cheapest_gpu() {
+        let req = Requirement::gpu(1, GpuClassReq::Any);
+        let aws = cheapest_adequate(Provider::Aws, &req).unwrap();
+        assert!(aws.gpus >= 1);
+        // g5.2xlarge ($1.46) is the cheapest adequate AWS GPU shape.
+        assert_eq!(aws.name, "g5.2xlarge");
+    }
+
+    #[test]
+    fn impossible_requirement_returns_none() {
+        let req = Requirement::vm(10_000, 1, false);
+        assert!(cheapest_adequate(Provider::Aws, &req).is_none());
+    }
+
+    #[test]
+    fn resolve_uses_pins_and_excludes_edge() {
+        let table = assignment_table();
+        let lab2 = table.iter().find(|a| a.tag == "lab2").unwrap();
+        assert_eq!(resolve(lab2, Provider::Gcp).unwrap().name, "n2-standard-2");
+        let edge = table.iter().find(|a| a.tag == "lab6-edge").unwrap();
+        assert!(resolve(edge, Provider::Aws).is_none());
+    }
+
+    #[test]
+    fn every_non_edge_assignment_resolves_on_both_providers() {
+        for a in assignment_table() {
+            if a.edge {
+                continue;
+            }
+            for p in Provider::ALL {
+                let inst = resolve(&a, p)
+                    .unwrap_or_else(|| panic!("{} has no {} equivalent", a.tag, p.name()));
+                assert!(adequate(&inst, &a.requirement) || a.pin.is_some(),
+                    "{}: resolved {} inadequate without a pin", a.tag, inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generic_vs_pinned_deviations_are_known() {
+        // Document exactly where the paper's choices deviate from the
+        // generic rule — the set must not silently grow.
+        let mut deviations = Vec::new();
+        for a in assignment_table() {
+            if a.edge {
+                continue;
+            }
+            for p in Provider::ALL {
+                let pinned = resolve(&a, p).unwrap();
+                if let Some(generic) = cheapest_adequate(p, &a.requirement) {
+                    if generic.name != pinned.name {
+                        deviations.push(format!("{}/{}", a.tag, p.name()));
+                    }
+                }
+            }
+        }
+        // lab1: paper used e2-small though e2-micro is cheaper (RAM
+        // judgement); lab2/3 GCP: n2 over e2-standard-2 (sustained-CPU
+        // judgement); lab6-system AWS: a pricier 2-GPU shape; lab8: AWS
+        // sized by vCPU (t3.xlarge) while GCP sized by RAM
+        // (e2-standard-2).
+        for expected in
+            ["lab1/GCP", "lab2/GCP", "lab3/GCP", "lab6-system/AWS", "lab8/GCP"]
+        {
+            assert!(
+                deviations.contains(&expected.to_string()),
+                "expected deviation {expected} missing from {deviations:?}"
+            );
+        }
+        assert!(deviations.len() <= 8, "unexpected deviations: {deviations:?}");
+    }
+}

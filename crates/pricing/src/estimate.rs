@@ -1,0 +1,421 @@
+//! Cost estimators: Table 1, Fig. 2's per-student distribution, the
+//! expected-cost baseline, and the project-phase estimate.
+
+use crate::catalog::Provider;
+use crate::cost::{
+    block_storage_cost, fip_cost, object_storage_cost, project_flavor_rate, FIP_HOURLY_USD,
+};
+use crate::equivalence::resolve;
+use crate::requirement::{assignment_table, for_tag};
+use opml_metering::rollup::{AssignmentRollup, PerStudentUsage};
+use opml_testbed::flavor::FlavorId;
+use opml_testbed::ledger::{Ledger, UsageKind};
+use serde::{Deserialize, Serialize};
+
+/// One priced Table 1 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostRow {
+    /// Assignment tag.
+    pub tag: String,
+    /// Table 1 row title.
+    pub title: String,
+    /// Chameleon flavor (Table 1's "Instance Type" column).
+    pub flavor: FlavorId,
+    /// Instance hours.
+    pub instance_hours: f64,
+    /// Floating-IP hours.
+    pub fip_hours: f64,
+    /// AWS cost (None for the edge row, as in the paper: "NA").
+    pub aws_usd: Option<f64>,
+    /// GCP cost (None for the edge row).
+    pub gcp_usd: Option<f64>,
+    /// AWS instance used for pricing.
+    pub aws_instance: Option<String>,
+    /// GCP instance used for pricing.
+    pub gcp_instance: Option<String>,
+}
+
+/// Table 1 totals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Total {
+    /// Total instance hours (including the unpriced edge row, as in the
+    /// paper's 109,837 total).
+    pub instance_hours: f64,
+    /// Total FIP hours.
+    pub fip_hours: f64,
+    /// Total AWS cost.
+    pub aws_usd: f64,
+    /// Total GCP cost.
+    pub gcp_usd: f64,
+    /// AWS cost per student.
+    pub aws_per_student: f64,
+    /// GCP cost per student.
+    pub gcp_per_student: f64,
+}
+
+/// The full priced table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in paper order (assignment order, then flavor).
+    pub rows: Vec<CostRow>,
+    /// Totals.
+    pub total: Table1Total,
+    /// Enrollment used for per-student figures.
+    pub enrollment: usize,
+}
+
+/// Price the lab-assignment rollup into Table 1.
+///
+/// Rollup rows whose tag is not a lab assignment (project usage) are
+/// ignored here — they are priced by [`price_project`].
+pub fn price_lab_assignments(rollup: &AssignmentRollup) -> Table1 {
+    let order: Vec<&'static str> = assignment_table().iter().map(|a| a.tag).collect();
+    let mut rows: Vec<CostRow> = Vec::new();
+    for usage in &rollup.rows {
+        let Some(pricing) = for_tag(&usage.tag) else {
+            continue; // project usage
+        };
+        let price = |provider: Provider| -> (Option<f64>, Option<String>) {
+            match resolve(&pricing, provider) {
+                None => (None, None),
+                Some(inst) => (
+                    Some(usage.instance_hours * inst.hourly_usd + fip_cost(usage.fip_hours)),
+                    Some(inst.name.to_string()),
+                ),
+            }
+        };
+        let (aws_usd, aws_instance) = price(Provider::Aws);
+        let (gcp_usd, gcp_instance) = price(Provider::Gcp);
+        rows.push(CostRow {
+            tag: usage.tag.clone(),
+            title: pricing.title.to_string(),
+            flavor: usage.flavor,
+            instance_hours: usage.instance_hours,
+            fip_hours: usage.fip_hours,
+            aws_usd,
+            gcp_usd,
+            aws_instance,
+            gcp_instance,
+        });
+    }
+    rows.sort_by_key(|r| {
+        (
+            order.iter().position(|&t| t == r.tag).unwrap_or(usize::MAX),
+            r.flavor,
+        )
+    });
+    let total = Table1Total {
+        instance_hours: rows.iter().map(|r| r.instance_hours).sum(),
+        fip_hours: rows.iter().map(|r| r.fip_hours).sum(),
+        aws_usd: rows.iter().filter_map(|r| r.aws_usd).sum(),
+        gcp_usd: rows.iter().filter_map(|r| r.gcp_usd).sum(),
+        aws_per_student: rows.iter().filter_map(|r| r.aws_usd).sum::<f64>()
+            / rollup.enrollment as f64,
+        gcp_per_student: rows.iter().filter_map(|r| r.gcp_usd).sum::<f64>()
+            / rollup.enrollment as f64,
+    };
+    Table1 { rows, total, enrollment: rollup.enrollment }
+}
+
+/// Per-student lab cost on one provider (edge usage excluded, matching
+/// the paper's exclusion of "Serving from the Edge"). Returns
+/// `(student, cost)` sorted by student id.
+pub fn per_student_lab_costs(per: &PerStudentUsage, provider: Provider) -> Vec<(u32, f64)> {
+    let mut out: Vec<(u32, f64)> = per
+        .students
+        .iter()
+        .map(|(&student, cells)| {
+            let mut cost = 0.0;
+            for cell in cells {
+                let Some(pricing) = for_tag(&cell.tag) else {
+                    continue;
+                };
+                if let Some(inst) = resolve(&pricing, provider) {
+                    cost += cell.instance_hours * inst.hourly_usd + fip_cost(cell.fip_hours);
+                }
+            }
+            (student, cost)
+        })
+        .collect();
+    out.sort_by_key(|&(s, _)| s);
+    out
+}
+
+/// Expected per-deployment usage of one assignment, per student.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpectedUsage {
+    /// Assignment tag.
+    pub tag: String,
+    /// Expected instance hours per student.
+    pub instance_hours: f64,
+    /// Expected FIP hours per student.
+    pub fip_hours: f64,
+}
+
+/// The per-student cost if every student used exactly the expected
+/// durations (§5's $79.80 AWS / $58.85 GCP baseline).
+pub fn expected_student_cost(expected: &[ExpectedUsage], provider: Provider) -> f64 {
+    expected
+        .iter()
+        .filter_map(|e| {
+            let pricing = for_tag(&e.tag)?;
+            let inst = resolve(&pricing, provider)?;
+            Some(e.instance_hours * inst.hourly_usd + fip_cost(e.fip_hours))
+        })
+        .sum()
+}
+
+/// Aggregated project-phase usage (names starting with `proj`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProjectUsageSummary {
+    /// VM hours without GPU.
+    pub vm_hours: f64,
+    /// GPU instance hours.
+    pub gpu_hours: f64,
+    /// Bare-metal CPU hours.
+    pub baremetal_cpu_hours: f64,
+    /// Edge-device hours.
+    pub edge_hours: f64,
+    /// Floating-IP hours.
+    pub fip_hours: f64,
+    /// Block-storage GB-hours.
+    pub block_gb_hours: f64,
+    /// Object storage stored (GB, final) and its GB-hours.
+    pub object_gb: f64,
+    /// Object-storage GB-hours.
+    pub object_gb_hours: f64,
+    /// Peak simultaneous block storage GB.
+    pub peak_block_gb: u64,
+    /// Hours per flavor (Fig. 3's bars).
+    pub by_flavor: Vec<(FlavorId, f64)>,
+}
+
+impl ProjectUsageSummary {
+    /// Build from a ledger, considering only `proj*` records.
+    pub fn from_ledger(ledger: &Ledger) -> ProjectUsageSummary {
+        use std::collections::HashMap;
+        let mut by_flavor: HashMap<FlavorId, f64> = HashMap::new();
+        let mut fip_hours = 0.0;
+        let mut block_gb_hours = 0.0;
+        let mut object_gb = 0.0;
+        let mut object_gb_hours = 0.0;
+        let mut block_deltas: Vec<(opml_simkernel::SimTime, i64)> = Vec::new();
+        for r in ledger.records() {
+            if !r.name.starts_with("proj") {
+                continue;
+            }
+            match r.kind {
+                UsageKind::Instance { flavor, .. } => {
+                    *by_flavor.entry(flavor).or_insert(0.0) += r.hours();
+                }
+                UsageKind::FloatingIp => fip_hours += r.hours(),
+                UsageKind::Volume { size_gb } => {
+                    block_gb_hours += size_gb as f64 * r.hours();
+                    block_deltas.push((r.start, size_gb as i64));
+                    block_deltas.push((r.end, -(size_gb as i64)));
+                }
+                UsageKind::ObjectStorage { gb } => {
+                    object_gb += gb;
+                    object_gb_hours += gb * r.hours();
+                }
+            }
+        }
+        block_deltas.sort_by_key(|&(t, d)| (t, d));
+        let mut cur = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in block_deltas {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        let hours_of = |pred: fn(FlavorId) -> bool| -> f64 {
+            by_flavor.iter().filter(|(f, _)| pred(**f)).map(|(_, h)| h).sum()
+        };
+        use opml_testbed::flavor::SiteKind;
+        let vm_hours = hours_of(|f| matches!(f.site(), SiteKind::Vm));
+        let gpu_hours = hours_of(|f| f.has_gpu());
+        let baremetal_cpu_hours =
+            hours_of(|f| matches!(f.site(), SiteKind::BareMetal) && !f.has_gpu());
+        let edge_hours = hours_of(|f| matches!(f.site(), SiteKind::Edge));
+        let mut by_flavor: Vec<(FlavorId, f64)> = by_flavor.into_iter().collect();
+        by_flavor.sort_by_key(|&(f, _)| f);
+        ProjectUsageSummary {
+            vm_hours,
+            gpu_hours,
+            baremetal_cpu_hours,
+            edge_hours,
+            fip_hours,
+            block_gb_hours,
+            object_gb,
+            object_gb_hours,
+            peak_block_gb: peak as u64,
+            by_flavor,
+        }
+    }
+
+    /// Total instance hours (VM + GPU + bare-metal + edge).
+    pub fn total_instance_hours(&self) -> f64 {
+        self.vm_hours + self.gpu_hours + self.baremetal_cpu_hours + self.edge_hours
+    }
+}
+
+/// Price the project phase on one provider (edge hours unpriced; storage
+/// included — §5: storage "will be significant for project work").
+pub fn price_project(summary: &ProjectUsageSummary, provider: Provider) -> f64 {
+    let mut total = 0.0;
+    for &(flavor, hours) in &summary.by_flavor {
+        if let Some(rate) = project_flavor_rate(provider, flavor) {
+            total += hours * rate;
+        }
+    }
+    total += summary.fip_hours * FIP_HOURLY_USD;
+    total += block_storage_cost(provider, 1.0, summary.block_gb_hours); // gb folded into gb-hours
+    total += object_storage_cost(provider, 1.0, summary.object_gb_hours);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opml_simkernel::SimTime;
+    use opml_testbed::ledger::UsageRecord;
+
+    fn t(h: u64) -> SimTime {
+        SimTime(h * 60)
+    }
+
+    fn push_inst(l: &mut Ledger, name: &str, flavor: FlavorId, hours: u64) {
+        l.push(UsageRecord {
+            name: name.into(),
+            kind: UsageKind::Instance { flavor, auto_terminated: false },
+            start: t(0),
+            end: t(hours),
+        });
+        l.push(UsageRecord {
+            name: name.into(),
+            kind: UsageKind::FloatingIp,
+            start: t(0),
+            end: t(hours),
+        });
+    }
+
+    #[test]
+    fn table1_row_pricing_matches_paper_formula() {
+        // Reconstruct the paper's lab 1 row: 2,620 instance hours and
+        // 2,620 FIP hours on m1.small → $40 AWS / $57 GCP.
+        let mut l = Ledger::new();
+        for s in 0..131 {
+            push_inst(&mut l, &format!("lab1-s{s:03}"), FlavorId::M1Small, 20);
+        }
+        let rollup = AssignmentRollup::from_ledger(&l, 191);
+        let table = price_lab_assignments(&rollup);
+        assert_eq!(table.rows.len(), 1);
+        let row = &table.rows[0];
+        assert_eq!(row.instance_hours, 2620.0);
+        assert!((row.aws_usd.unwrap() - 40.0).abs() < 1.0, "{:?}", row.aws_usd);
+        assert!((row.gcp_usd.unwrap() - 57.0).abs() < 1.5, "{:?}", row.gcp_usd);
+        assert_eq!(row.aws_instance.as_deref(), Some("t3.micro"));
+        assert_eq!(row.gcp_instance.as_deref(), Some("e2-small"));
+    }
+
+    #[test]
+    fn edge_row_is_unpriced_but_counted_in_hours() {
+        let mut l = Ledger::new();
+        push_inst(&mut l, "lab6-edge-s001", FlavorId::RaspberryPi5, 492);
+        let table = price_lab_assignments(&AssignmentRollup::from_ledger(&l, 191));
+        let row = &table.rows[0];
+        assert_eq!(row.aws_usd, None);
+        assert_eq!(row.gcp_usd, None);
+        assert_eq!(table.total.instance_hours, 492.0);
+        assert_eq!(table.total.aws_usd, 0.0);
+    }
+
+    #[test]
+    fn project_rows_excluded_from_table1() {
+        let mut l = Ledger::new();
+        push_inst(&mut l, "lab1-s001", FlavorId::M1Small, 2);
+        push_inst(&mut l, "proj-g01-api", FlavorId::M1Medium, 100);
+        let table = price_lab_assignments(&AssignmentRollup::from_ledger(&l, 191));
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].tag, "lab1");
+    }
+
+    #[test]
+    fn per_student_costs_separate_students() {
+        let mut l = Ledger::new();
+        push_inst(&mut l, "lab1-s001", FlavorId::M1Small, 2);
+        push_inst(&mut l, "lab1-s002", FlavorId::M1Small, 200); // neglected VM
+        let per = PerStudentUsage::from_ledger(&l);
+        let costs = per_student_lab_costs(&per, Provider::Aws);
+        assert_eq!(costs.len(), 2);
+        let c1 = costs.iter().find(|(s, _)| *s == 1).unwrap().1;
+        let c2 = costs.iter().find(|(s, _)| *s == 2).unwrap().1;
+        assert!(c2 > 50.0 * c1, "neglect must dominate: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn expected_cost_baseline() {
+        // Single assignment: lab1 at 2 expected hours.
+        let expected = vec![ExpectedUsage {
+            tag: "lab1".into(),
+            instance_hours: 2.0,
+            fip_hours: 2.0,
+        }];
+        let aws = expected_student_cost(&expected, Provider::Aws);
+        assert!((aws - (2.0 * 0.0104 + 0.01)).abs() < 1e-9);
+        // Edge rows contribute nothing.
+        let edge = vec![ExpectedUsage {
+            tag: "lab6-edge".into(),
+            instance_hours: 2.0,
+            fip_hours: 2.0,
+        }];
+        assert_eq!(expected_student_cost(&edge, Provider::Aws), 0.0);
+    }
+
+    #[test]
+    fn project_summary_classifies_hours() {
+        let mut l = Ledger::new();
+        push_inst(&mut l, "proj-g01-api", FlavorId::M1Medium, 100);
+        push_inst(&mut l, "proj-g01-train", FlavorId::ComputeGigaio, 10);
+        push_inst(&mut l, "proj-g02-etl", FlavorId::ComputeCascadeLake, 5);
+        push_inst(&mut l, "proj-g02-edge", FlavorId::RaspberryPi5, 3);
+        l.push(UsageRecord {
+            name: "proj-g01-vol".into(),
+            kind: UsageKind::Volume { size_gb: 100 },
+            start: t(0),
+            end: t(10),
+        });
+        l.push(UsageRecord {
+            name: "proj-g01-bucket".into(),
+            kind: UsageKind::ObjectStorage { gb: 50.0 },
+            start: t(0),
+            end: t(20),
+        });
+        let s = ProjectUsageSummary::from_ledger(&l);
+        assert_eq!(s.vm_hours, 100.0);
+        assert_eq!(s.gpu_hours, 10.0);
+        assert_eq!(s.baremetal_cpu_hours, 5.0);
+        assert_eq!(s.edge_hours, 3.0);
+        assert_eq!(s.block_gb_hours, 1000.0);
+        assert_eq!(s.object_gb, 50.0);
+        assert_eq!(s.peak_block_gb, 100);
+        assert_eq!(s.total_instance_hours(), 118.0);
+        // Pricing includes VM + GPU + BM + storage but not edge.
+        let aws = price_project(&s, Provider::Aws);
+        let expected = 100.0 * 0.0416
+            + 10.0 * 1.46
+            + 5.0 * 4.08
+            + 118.0 * FIP_HOURLY_USD
+            + block_storage_cost(Provider::Aws, 1.0, 1000.0)
+            + object_storage_cost(Provider::Aws, 1.0, 1000.0);
+        assert!((aws - expected).abs() < 1e-9, "{aws} vs {expected}");
+    }
+
+    #[test]
+    fn lab_usage_excluded_from_project_summary() {
+        let mut l = Ledger::new();
+        push_inst(&mut l, "lab2-s001", FlavorId::M1Medium, 50);
+        push_inst(&mut l, "proj-g01-api", FlavorId::M1Medium, 10);
+        let s = ProjectUsageSummary::from_ledger(&l);
+        assert_eq!(s.vm_hours, 10.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # opml-pricing
+//!
+//! Commercial-cloud cost model for the course's testbed usage — the §5
+//! analysis: "we translated the resources consumed on the Chameleon
+//! testbed into their equivalent costs on commercial cloud platforms …
+//! an 'equivalent' resource was defined as the most cost-effective cloud
+//! instance that met the specific needs of each assignment."
+//!
+//! * [`catalog`] — AWS (us-east-1) and GCP (us-central1) on-demand
+//!   instance catalogs, pinned to the paper's July-2025 snapshot. Common
+//!   VM rates are public knowledge; GPU rates are **implied** from
+//!   Table 1 (`(cost − FIP cost) / hours`) because the calculators cannot
+//!   be re-queried — every derivation is documented on the entry.
+//! * [`requirement`] — what each assignment actually needs (vCPUs, RAM,
+//!   GPU class/count, dedicated cores), and the per-assignment table.
+//! * [`equivalence`] — the cheapest-adequate-instance selection
+//!   algorithm.
+//! * [`cost`] — hourly/storage pricing arithmetic (floating IPs at
+//!   $0.005/h on both providers; EBS/PD and S3/GCS for project storage).
+//! * [`estimate`] — Table 1 reproduction (per-assignment and total cost),
+//!   per-student cost distributions (Fig. 2), expected-cost baselines,
+//!   and project-phase estimates.
+//! * [`spot`] — an extension: spot/preemptible pricing with the
+//!   interruption tax measured by Monte Carlo.
+
+pub mod catalog;
+pub mod cost;
+pub mod equivalence;
+pub mod estimate;
+pub mod requirement;
+pub mod spot;
+
+pub use catalog::{CloudInstance, Provider};
+pub use equivalence::cheapest_adequate;
+pub use estimate::{price_lab_assignments, CostRow, Table1};
+pub use requirement::Requirement;

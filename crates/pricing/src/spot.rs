@@ -1,0 +1,211 @@
+//! Spot/preemptible pricing — an extension of the paper's cost analysis.
+//!
+//! §6 concludes that on-demand commercial pricing makes the course
+//! "risky and potentially cost-prohibitive". The obvious rejoinder is
+//! spot/preemptible capacity at a deep discount; this module prices that
+//! correctly, i.e. **including the interruption tax**: an interrupted
+//! training session loses the work since its last checkpoint, so the
+//! effective hours consumed exceed the useful hours — and short-slot lab
+//! work (2–3 hours, no checkpoints, a student mid-exercise) is exactly
+//! the workload spot handles worst.
+//!
+//! The model: interruptions arrive Poisson at `interruptions_per_hour`;
+//! on interruption the job redoes the work since the last checkpoint
+//! (checkpoint interval `checkpoint_h`; a lab session effectively has
+//! `checkpoint_h = session length`). [`simulate_spot_session`] measures
+//! the effective-hours multiplier by Monte Carlo; [`SpotQuote`] combines
+//! it with the discount.
+
+use crate::catalog::Provider;
+use opml_simkernel::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spot-market parameters for one provider (July-2025-snapshot-style
+/// figures: deep discounts, provider-dependent reclaim rates).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpotMarket {
+    /// Price as a fraction of on-demand (e.g. 0.33 = 67% off).
+    pub price_fraction: f64,
+    /// Mean interruptions per instance-hour.
+    pub interruptions_per_hour: f64,
+}
+
+impl SpotMarket {
+    /// Representative market for a provider's GPU spot pools.
+    pub fn gpu(provider: Provider) -> SpotMarket {
+        match provider {
+            Provider::Aws => SpotMarket { price_fraction: 0.33, interruptions_per_hour: 0.05 },
+            // GCP preemptible: cheaper, reclaimed more aggressively (and
+            // hard-capped at 24 h, irrelevant at lab scale).
+            Provider::Gcp => SpotMarket { price_fraction: 0.25, interruptions_per_hour: 0.08 },
+        }
+    }
+}
+
+/// Result of the Monte-Carlo session simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpotOverhead {
+    /// Effective hours consumed per useful hour (≥ 1).
+    pub hours_multiplier: f64,
+    /// Fraction of sessions interrupted at least once.
+    pub interrupted_fraction: f64,
+}
+
+/// Simulate `trials` spot sessions needing `useful_h` hours of work with
+/// checkpoints every `checkpoint_h` hours; returns the measured overhead.
+///
+/// Work lost at an interruption is the time since the last checkpoint;
+/// the instance is re-acquired immediately (generous to spot — real
+/// re-acquisition adds queueing on top).
+pub fn simulate_spot_session(
+    useful_h: f64,
+    checkpoint_h: f64,
+    market: SpotMarket,
+    trials: usize,
+    seed: u64,
+) -> SpotOverhead {
+    assert!(useful_h > 0.0 && checkpoint_h > 0.0 && trials > 0);
+    let mut rng = Rng::new(seed);
+    let mut total_effective = 0.0;
+    let mut interrupted = 0usize;
+    for _ in 0..trials {
+        let mut progress = 0.0f64; // checkpointed progress
+        let mut since_ckpt = 0.0f64; // uncheckpointed progress
+        let mut effective = 0.0f64;
+        let mut hit = false;
+        while progress + since_ckpt < useful_h {
+            // Time to the next interruption.
+            let next_int = rng.exponential(1.0 / market.interruptions_per_hour.max(1e-12));
+            // Work until the next checkpoint, completion, or interruption.
+            let until_ckpt = checkpoint_h - since_ckpt;
+            let until_done = useful_h - progress - since_ckpt;
+            let step = until_ckpt.min(until_done);
+            if next_int < step {
+                // Interrupted: lose the uncheckpointed work.
+                effective += next_int;
+                since_ckpt = 0.0;
+                hit = true;
+            } else {
+                effective += step;
+                since_ckpt += step;
+                if since_ckpt >= checkpoint_h - 1e-12 {
+                    progress += since_ckpt;
+                    since_ckpt = 0.0;
+                }
+            }
+        }
+        total_effective += effective;
+        interrupted += usize::from(hit);
+    }
+    SpotOverhead {
+        hours_multiplier: total_effective / (useful_h * trials as f64),
+        interrupted_fraction: interrupted as f64 / trials as f64,
+    }
+}
+
+/// A priced spot-vs-on-demand comparison for one workload class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpotQuote {
+    /// Provider.
+    pub provider: Provider,
+    /// On-demand cost for the workload.
+    pub on_demand_usd: f64,
+    /// Spot cost including the interruption-overhead multiplier.
+    pub spot_usd: f64,
+    /// Effective-hours multiplier applied.
+    pub hours_multiplier: f64,
+    /// Fraction of sessions hit by at least one interruption — the
+    /// student-experience cost the dollar figure hides.
+    pub interrupted_fraction: f64,
+}
+
+impl SpotQuote {
+    /// Quote a workload of `useful_hours` at an on-demand `rate`, with
+    /// sessions of `session_h` and checkpoints every `checkpoint_h`.
+    pub fn quote(
+        provider: Provider,
+        useful_hours: f64,
+        rate: f64,
+        session_h: f64,
+        checkpoint_h: f64,
+        seed: u64,
+    ) -> SpotQuote {
+        let market = SpotMarket::gpu(provider);
+        let overhead = simulate_spot_session(session_h, checkpoint_h, market, 2_000, seed);
+        SpotQuote {
+            provider,
+            on_demand_usd: useful_hours * rate,
+            spot_usd: useful_hours * rate * market.price_fraction * overhead.hours_multiplier,
+            hours_multiplier: overhead.hours_multiplier,
+            interrupted_fraction: overhead.interrupted_fraction,
+        }
+    }
+
+    /// Relative saving vs on-demand (0.6 = 60% cheaper).
+    pub fn saving(&self) -> f64 {
+        1.0 - self.spot_usd / self.on_demand_usd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interruptions_means_no_overhead() {
+        let market = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.0 };
+        let o = simulate_spot_session(3.0, 1.0, market, 200, 1);
+        assert!((o.hours_multiplier - 1.0).abs() < 1e-9);
+        assert_eq!(o.interrupted_fraction, 0.0);
+    }
+
+    #[test]
+    fn overhead_grows_with_checkpoint_interval() {
+        let market = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.2 };
+        let fine = simulate_spot_session(6.0, 0.25, market, 2_000, 2);
+        let coarse = simulate_spot_session(6.0, 6.0, market, 2_000, 2);
+        assert!(fine.hours_multiplier < coarse.hours_multiplier,
+            "fine {} vs coarse {}", fine.hours_multiplier, coarse.hours_multiplier);
+        assert!(fine.hours_multiplier < 1.1, "fine checkpoints nearly free: {}", fine.hours_multiplier);
+        assert!(coarse.hours_multiplier > 1.25, "checkpoint-free sessions pay: {}", coarse.hours_multiplier);
+    }
+
+    #[test]
+    fn overhead_grows_with_interruption_rate() {
+        let calm = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.02 };
+        let angry = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.5 };
+        let a = simulate_spot_session(3.0, 3.0, calm, 2_000, 3);
+        let b = simulate_spot_session(3.0, 3.0, angry, 2_000, 3);
+        assert!(b.hours_multiplier > a.hours_multiplier + 0.1);
+        assert!(b.interrupted_fraction > a.interrupted_fraction);
+    }
+
+    #[test]
+    fn spot_saves_money_despite_overhead_for_checkpointed_training() {
+        // Project-style training with 15-minute checkpoints.
+        let q = SpotQuote::quote(Provider::Aws, 1_000.0, 1.46, 6.0, 0.25, 4);
+        assert!(q.saving() > 0.5, "saving {}", q.saving());
+        assert!(q.hours_multiplier < 1.15);
+    }
+
+    #[test]
+    fn uncheckpointed_lab_sessions_still_save_but_interrupt_students() {
+        // A 3-hour lab session with no checkpointing: the dollar saving
+        // persists (the discount is deep) but a meaningful share of
+        // students get kicked mid-lab — the §6 "risk" in another form.
+        let q = SpotQuote::quote(Provider::Gcp, 1_000.0, 2.0, 3.0, 3.0, 5);
+        assert!(q.saving() > 0.4, "saving {}", q.saving());
+        assert!(
+            q.interrupted_fraction > 0.15,
+            "interruption pain underestimated: {}",
+            q.interrupted_fraction
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SpotQuote::quote(Provider::Aws, 100.0, 1.0, 3.0, 1.0, 6);
+        let b = SpotQuote::quote(Provider::Aws, 100.0, 1.0, 3.0, 1.0, 6);
+        assert_eq!(a.spot_usd, b.spot_usd);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for pricing invariants.
+
+use opml_pricing::catalog::Provider;
+use opml_pricing::equivalence::{adequate, cheapest_adequate};
+use opml_pricing::requirement::{GpuClassReq, Requirement};
+use proptest::prelude::*;
+
+proptest! {
+    /// The selected instance is always adequate, and no adequate
+    /// instance is cheaper — for arbitrary CPU requirements.
+    #[test]
+    fn selection_is_cheapest_adequate(
+        vcpus in 1u32..16,
+        ram in 1u32..64,
+        dedicated in any::<bool>(),
+    ) {
+        let req = Requirement::vm(vcpus, ram, dedicated);
+        for provider in Provider::ALL {
+            if let Some(chosen) = cheapest_adequate(provider, &req) {
+                prop_assert!(adequate(&chosen, &req), "{} inadequate", chosen.name);
+                for other in opml_pricing::catalog::catalog(provider) {
+                    if adequate(&other, &req) {
+                        prop_assert!(
+                            other.hourly_usd >= chosen.hourly_usd,
+                            "{} (${}) beats chosen {} (${})",
+                            other.name, other.hourly_usd, chosen.name, chosen.hourly_usd
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Requirement monotonicity: asking for more never gets cheaper.
+    #[test]
+    fn more_requirements_never_cheaper(
+        vcpus in 1u32..8,
+        ram in 1u32..32,
+        extra_vcpus in 0u32..8,
+        extra_ram in 0u32..32,
+    ) {
+        for provider in Provider::ALL {
+            let base = cheapest_adequate(provider, &Requirement::vm(vcpus, ram, false));
+            let bigger =
+                cheapest_adequate(provider, &Requirement::vm(vcpus + extra_vcpus, ram + extra_ram, false));
+            if let (Some(a), Some(b)) = (base, bigger) {
+                prop_assert!(b.hourly_usd >= a.hourly_usd);
+            }
+        }
+    }
+
+    /// GPU selections always carry enough GPUs of an allowed class.
+    #[test]
+    fn gpu_selection_class_correct(count in 1u32..5, strict in any::<bool>()) {
+        let class = if strict { GpuClassReq::A100Large } else { GpuClassReq::Any };
+        let req = Requirement::gpu(count, class);
+        for provider in Provider::ALL {
+            if let Some(inst) = cheapest_adequate(provider, &req) {
+                prop_assert!(inst.gpus >= count);
+                let gpu = inst.gpu.expect("gpu instance");
+                prop_assert!(class.satisfied_by(gpu));
+            }
+        }
+    }
+}

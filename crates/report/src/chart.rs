@@ -1,0 +1,119 @@
+//! Text bar charts and histograms — the harness's reproduction of the
+//! paper's figures renders with these.
+
+/// Horizontal bar chart: one labelled bar per `(label, value)` row,
+/// scaled to `width` characters, with the numeric value appended.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    assert!(width >= 4);
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.1}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Paired bar chart for expected-vs-actual figures (Fig. 1): each row
+/// shows the expected bar (`.`) and the actual bar (`#`).
+pub fn paired_bar_chart(rows: &[(String, f64, f64)], width: usize) -> String {
+    assert!(width >= 4);
+    let max = rows
+        .iter()
+        .flat_map(|&(_, a, b)| [a, b])
+        .fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, expected, actual) in rows {
+        let len = |v: f64| -> usize {
+            if max > 0.0 {
+                ((v / max) * width as f64).round() as usize
+            } else {
+                0
+            }
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} expected |{:<width$} {expected:.1}\n",
+            ".".repeat(len(*expected))
+        ));
+        out.push_str(&format!(
+            "{:<label_w$} actual   |{:<width$} {actual:.1}\n",
+            "",
+            "#".repeat(len(*actual))
+        ));
+    }
+    out
+}
+
+/// Histogram rendering from `(bucket_lo, bucket_hi, count)` rows.
+pub fn histogram_chart(buckets: &[(f64, f64, u64)], width: usize) -> String {
+    assert!(width >= 4);
+    let max = buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(0);
+    let mut out = String::new();
+    for &(lo, hi, count) in buckets {
+        let bar_len = if max > 0 {
+            ((count as f64 / max as f64) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "[{lo:>8.1},{hi:>8.1}) |{} {count}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0)];
+        let s = bar_chart(&rows, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains(&"#".repeat(5)));
+        // Labels padded to common width.
+        assert!(lines[0].starts_with("a  |"));
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let rows = vec![("x".to_string(), 0.0)];
+        let s = bar_chart(&rows, 10);
+        assert!(s.contains("| 0.0"));
+    }
+
+    #[test]
+    fn paired_chart_has_two_lines_per_row() {
+        let rows = vec![("lab1".to_string(), 2.0, 13.7)];
+        let s = paired_bar_chart(&rows, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("expected"));
+        assert!(lines[1].contains("actual"));
+        // Actual bar longer than expected bar.
+        let hashes = lines[1].matches('#').count();
+        let dots = lines[0].matches('.').count();
+        assert!(hashes > dots);
+    }
+
+    #[test]
+    fn histogram_renders_counts() {
+        let buckets = vec![(0.0, 50.0, 100u64), (50.0, 100.0, 25)];
+        let s = histogram_chart(&buckets, 8);
+        assert!(s.contains("100"));
+        assert!(s.lines().count() == 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Paper-vs-measured comparison records.
+//!
+//! Every experiment emits [`Comparison`] rows; EXPERIMENTS.md is the
+//! rendered [`ComparisonSet`]. A comparison can carry a tolerance: the
+//! reproduction is judged on *shape* (who wins, by what factor), so each
+//! row declares how close it is expected to land.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured quantity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being compared (e.g. "Table 1 total instance hours").
+    pub name: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Relative tolerance for the pass/fail verdict (e.g. 0.1 = ±10%).
+    pub rel_tolerance: f64,
+    /// Unit label for rendering.
+    pub unit: String,
+}
+
+impl Comparison {
+    /// Build a comparison.
+    pub fn new(name: &str, paper: f64, measured: f64, rel_tolerance: f64, unit: &str) -> Self {
+        Comparison {
+            name: name.to_string(),
+            paper,
+            measured,
+            rel_tolerance,
+            unit: unit.to_string(),
+        }
+    }
+
+    /// measured / paper.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.paper
+        }
+    }
+
+    /// Whether the measured value is within the declared tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        (self.ratio() - 1.0).abs() <= self.rel_tolerance
+    }
+
+    /// Markdown table row.
+    pub fn to_markdown_row(&self) -> String {
+        format!(
+            "| {} | {:.4} {} | {:.4} {} | {:.3} | {} |",
+            self.name,
+            self.paper,
+            self.unit,
+            self.measured,
+            self.unit,
+            self.ratio(),
+            if self.within_tolerance() { "✅" } else { "⚠️" }
+        )
+    }
+}
+
+/// A named set of comparisons (one per experiment).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ComparisonSet {
+    /// Experiment id (e.g. "table1").
+    pub experiment: String,
+    /// Rows.
+    pub rows: Vec<Comparison>,
+}
+
+impl ComparisonSet {
+    /// Empty set for an experiment.
+    pub fn new(experiment: &str) -> Self {
+        ComparisonSet { experiment: experiment.to_string(), rows: Vec::new() }
+    }
+
+    /// Add a row.
+    pub fn push(&mut self, c: Comparison) {
+        self.rows.push(c);
+    }
+
+    /// Fraction of rows within tolerance.
+    pub fn pass_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        self.rows.iter().filter(|c| c.within_tolerance()).count() as f64
+            / self.rows.len() as f64
+    }
+
+    /// Render as a Markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### `{}`\n\n", self.experiment);
+        out.push_str("| quantity | paper | measured | ratio | ok |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for c in &self.rows {
+            out.push_str(&c.to_markdown_row());
+            out.push('\n');
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_tolerance() {
+        let c = Comparison::new("hours", 100.0, 103.0, 0.05, "h");
+        assert!((c.ratio() - 1.03).abs() < 1e-12);
+        assert!(c.within_tolerance());
+        let far = Comparison::new("hours", 100.0, 150.0, 0.05, "h");
+        assert!(!far.within_tolerance());
+    }
+
+    #[test]
+    fn zero_paper_value() {
+        assert_eq!(Comparison::new("z", 0.0, 0.0, 0.1, "").ratio(), 1.0);
+        assert!(Comparison::new("z", 0.0, 5.0, 0.1, "").ratio().is_infinite());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut set = ComparisonSet::new("table1");
+        set.push(Comparison::new("total hours", 109_837.0, 111_000.0, 0.05, "h"));
+        set.push(Comparison::new("AWS cost", 23_698.0, 40_000.0, 0.10, "$"));
+        let md = set.to_markdown();
+        assert!(md.contains("### `table1`"));
+        assert!(md.contains("✅"));
+        assert!(md.contains("⚠️"));
+        assert!((set.pass_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_pass_rate() {
+        assert_eq!(ComparisonSet::new("x").pass_rate(), 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! # opml-report
+//!
+//! Presentation layer for the experiment harness: ASCII tables
+//! ([`table`]), text histograms and bar charts ([`chart`]), and
+//! paper-vs-measured comparison records ([`compare`]) that EXPERIMENTS.md
+//! is generated from.
+
+pub mod chart;
+pub mod compare;
+pub mod table;
+
+pub use chart::{bar_chart, histogram_chart};
+pub use compare::{Comparison, ComparisonSet};
+pub use table::Table;

@@ -1,0 +1,215 @@
+//! Plain-text table rendering with box-drawing-free ASCII (pipes and
+//! dashes), right-aligned numeric columns, and a footer row.
+
+use serde::{Deserialize, Serialize};
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Align {
+    /// Left-aligned (text).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An ASCII table builder.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    footer: Option<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with headers; alignment defaults to Left for the
+    /// first column and Right for the rest (the usual stats-table shape).
+    pub fn new(headers: &[&str]) -> Self {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+            footer: None,
+        }
+    }
+
+    /// Override column alignments (must match the header count).
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a data row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Set the footer (totals) row.
+    pub fn footer(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "footer cell count mismatch");
+        self.footer = Some(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in self.rows.iter().chain(self.footer.iter()) {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                let cell = &cells[i];
+                let pad = widths[i] - cell.len();
+                match self.aligns[i] {
+                    Align::Left => {
+                        line.push(' ');
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(pad + 1));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad + 1));
+                        line.push_str(cell);
+                        line.push(' ');
+                    }
+                }
+                line.push('|');
+            }
+            line
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        if let Some(f) = &self.footer {
+            out.push_str(&sep);
+            out.push('\n');
+            out.push_str(&fmt_row(f));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+/// Format a float with thousands separators and the given decimals
+/// (`12,345.7`).
+pub fn fmt_num(x: f64, decimals: usize) -> String {
+    let neg = x < 0.0;
+    let s = format!("{:.*}", decimals, x.abs());
+    let (int_part, frac_part) = match s.split_once('.') {
+        Some((i, f)) => (i.to_string(), Some(f.to_string())),
+        None => (s, None),
+    };
+    let mut grouped = String::new();
+    let bytes = int_part.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(*b as char);
+    }
+    let mut out = String::new();
+    if neg {
+        out.push('-');
+    }
+    out.push_str(&grouped);
+    if let Some(f) = frac_part {
+        out.push('.');
+        out.push_str(&f);
+    }
+    out
+}
+
+/// Format a dollar amount (`$1,234` or `$12.34` for small values).
+pub fn fmt_usd(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("${}", fmt_num(x, 0))
+    } else {
+        format!("${}", fmt_num(x, 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(&["name", "hours", "cost"]);
+        t.row(&["lab1".into(), "2,620".into(), "$40".into()]);
+        t.row(&["lab2-longer-name".into(), "52,332".into(), "$2,264".into()]);
+        t.footer(&["Total".into(), "54,952".into(), "$2,304".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // All lines have equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        assert!(s.contains("| lab1 "));
+        assert!(s.contains(" $2,264 |"));
+        assert!(s.contains("Total"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_num_grouping() {
+        assert_eq!(fmt_num(1234567.891, 1), "1,234,567.9");
+        assert_eq!(fmt_num(999.0, 0), "999");
+        assert_eq!(fmt_num(1000.0, 0), "1,000");
+        assert_eq!(fmt_num(0.5, 2), "0.50");
+        assert_eq!(fmt_num(-12345.0, 0), "-12,345");
+    }
+
+    #[test]
+    fn fmt_usd_scales_decimals() {
+        assert_eq!(fmt_usd(23698.0), "$23,698");
+        assert_eq!(fmt_usd(0.21), "$0.21");
+        assert_eq!(fmt_usd(124.0), "$124");
+        assert_eq!(fmt_usd(12.0), "$12.00");
+    }
+}

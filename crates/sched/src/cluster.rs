@@ -1,0 +1,190 @@
+//! The GPU cluster and gang placement.
+//!
+//! Every job is allocated **gang-style**: all of its GPUs are claimed
+//! atomically or the job does not start (§3.5's "gang scheduling"). The
+//! [`Placement`] policy decides *which* nodes supply the GPUs:
+//!
+//! * [`Placement::Packed`] fills the fullest nodes first, minimizing the
+//!   number of nodes a job spans (good for all-reduce locality, reduces
+//!   fragmentation for future large jobs).
+//! * [`Placement::Spread`] fills the emptiest nodes first (what naive
+//!   load-balancers do; fragments the cluster — the ablation bench shows
+//!   large jobs starving under it).
+
+use serde::{Deserialize, Serialize};
+
+/// Which nodes supply a job's GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Fewest nodes / fullest-first (anti-fragmentation).
+    Packed,
+    /// Emptiest-first (fragments; baseline for the ablation).
+    Spread,
+}
+
+/// A cluster of GPU nodes.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// GPUs per node (total capacity).
+    capacity: Vec<u32>,
+    /// GPUs currently free per node.
+    free: Vec<u32>,
+}
+
+impl Cluster {
+    /// `nodes` identical nodes with `gpus_per_node` GPUs each.
+    pub fn homogeneous(nodes: usize, gpus_per_node: u32) -> Self {
+        Cluster { capacity: vec![gpus_per_node; nodes], free: vec![gpus_per_node; nodes] }
+    }
+
+    /// Heterogeneous cluster from explicit per-node GPU counts.
+    pub fn from_nodes(gpus: Vec<u32>) -> Self {
+        Cluster { free: gpus.clone(), capacity: gpus }
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.capacity.iter().sum()
+    }
+
+    /// GPUs currently free across all nodes.
+    pub fn free_gpus(&self) -> u32 {
+        self.free.iter().sum()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Free GPUs on one node.
+    pub fn free_on(&self, node: usize) -> u32 {
+        self.free[node]
+    }
+
+    /// Plan a gang allocation of `gpus` without committing it.
+    ///
+    /// Returns `(node, count)` pairs or `None` if the job cannot start now.
+    /// With `Packed`, a job that fits on one node never spans two.
+    pub fn plan(&self, gpus: u32, placement: Placement) -> Option<Vec<(usize, u32)>> {
+        if gpus == 0 || gpus > self.free_gpus() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..self.nodes()).filter(|&n| self.free[n] > 0).collect();
+        match placement {
+            // Fullest (least free) first; ties by index for determinism.
+            Placement::Packed => order.sort_by_key(|&n| (self.free[n], n)),
+            // Emptiest (most free) first.
+            Placement::Spread => order.sort_by_key(|&n| (u32::MAX - self.free[n], n)),
+        }
+        // Packed refinement: if any single node can hold the whole job,
+        // use the *tightest* such node (best-fit) instead of splitting.
+        if placement == Placement::Packed {
+            if let Some(&best) = order
+                .iter()
+                .filter(|&&n| self.free[n] >= gpus)
+                .min_by_key(|&&n| (self.free[n], n))
+            {
+                return Some(vec![(best, gpus)]);
+            }
+        }
+        let mut remaining = gpus;
+        let mut alloc = Vec::new();
+        for n in order {
+            if remaining == 0 {
+                break;
+            }
+            let take = self.free[n].min(remaining);
+            alloc.push((n, take));
+            remaining -= take;
+        }
+        if remaining == 0 {
+            Some(alloc)
+        } else {
+            None
+        }
+    }
+
+    /// Commit a planned allocation.
+    pub fn allocate(&mut self, alloc: &[(usize, u32)]) {
+        for &(n, g) in alloc {
+            assert!(self.free[n] >= g, "allocation exceeds free GPUs on node {n}");
+            self.free[n] -= g;
+        }
+    }
+
+    /// Release an allocation.
+    pub fn release(&mut self, alloc: &[(usize, u32)]) {
+        for &(n, g) in alloc {
+            self.free[n] += g;
+            assert!(self.free[n] <= self.capacity[n], "released more than capacity on node {n}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_prefers_single_tight_node() {
+        let mut c = Cluster::from_nodes(vec![4, 4, 4]);
+        c.allocate(&[(0, 2)]); // node 0 has 2 free, others 4
+        // A 2-GPU job best-fits node 0 exactly.
+        let plan = c.plan(2, Placement::Packed).unwrap();
+        assert_eq!(plan, vec![(0, 2)]);
+        // A 3-GPU job cannot fit node 0, takes a 4-free node.
+        let plan3 = c.plan(3, Placement::Packed).unwrap();
+        assert_eq!(plan3.len(), 1);
+        assert_ne!(plan3[0].0, 0);
+    }
+
+    #[test]
+    fn spread_uses_emptiest_first() {
+        let mut c = Cluster::from_nodes(vec![4, 4]);
+        c.allocate(&[(0, 3)]); // node0: 1 free, node1: 4 free
+        let plan = c.plan(2, Placement::Spread).unwrap();
+        assert_eq!(plan, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn gang_spans_nodes_when_needed() {
+        let c = Cluster::homogeneous(3, 4);
+        let plan = c.plan(10, Placement::Packed).unwrap();
+        let total: u32 = plan.iter().map(|&(_, g)| g).sum();
+        assert_eq!(total, 10);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn refuses_oversized_jobs() {
+        let c = Cluster::homogeneous(2, 4);
+        assert!(c.plan(9, Placement::Packed).is_none());
+        assert!(c.plan(0, Placement::Packed).is_none());
+    }
+
+    #[test]
+    fn allocate_release_roundtrip() {
+        let mut c = Cluster::homogeneous(2, 4);
+        let plan = c.plan(6, Placement::Packed).unwrap();
+        c.allocate(&plan);
+        assert_eq!(c.free_gpus(), 2);
+        c.release(&plan);
+        assert_eq!(c.free_gpus(), 8);
+    }
+
+    #[test]
+    fn fragmentation_blocks_gang_on_packed_cluster() {
+        // 2 nodes × 4 GPUs; two 2-GPU jobs spread out leave 2+2 free: a
+        // 4-GPU job that must be gang-placed still *can* run (spanning),
+        // but a job needing 4 on one node conceptually can't. Our model
+        // allows spanning, so verify free accounting instead.
+        let mut c = Cluster::homogeneous(2, 4);
+        c.allocate(&c.plan(2, Placement::Spread).unwrap());
+        c.allocate(&c.plan(2, Placement::Spread).unwrap());
+        assert_eq!(c.free_on(0), 2);
+        assert_eq!(c.free_on(1), 2);
+        let plan = c.plan(4, Placement::Packed).unwrap();
+        assert_eq!(plan.len(), 2, "must span both nodes");
+    }
+}

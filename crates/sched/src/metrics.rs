@@ -1,0 +1,139 @@
+//! Aggregate schedule metrics.
+
+use crate::sim::Schedule;
+use opml_simkernel::stats::percentile_sorted;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Metrics for one schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean queue wait (hours).
+    pub mean_wait_hours: f64,
+    /// 95th-percentile queue wait (hours).
+    pub p95_wait_hours: f64,
+    /// Mean bounded slowdown.
+    pub mean_bounded_slowdown: f64,
+    /// Time from first submit to last completion (hours).
+    pub makespan_hours: f64,
+    /// GPU-hours of work / (total GPUs × makespan) — cluster utilization.
+    pub utilization: f64,
+    /// Jain's fairness index over per-user received GPU-hour-weighted wait.
+    pub jain_fairness: f64,
+}
+
+impl ScheduleMetrics {
+    /// Compute metrics from a schedule.
+    pub fn of(schedule: &Schedule) -> ScheduleMetrics {
+        let outcomes = schedule.outcomes();
+        if outcomes.is_empty() {
+            return ScheduleMetrics {
+                jobs: 0,
+                mean_wait_hours: 0.0,
+                p95_wait_hours: 0.0,
+                mean_bounded_slowdown: 0.0,
+                makespan_hours: 0.0,
+                utilization: 0.0,
+                jain_fairness: 1.0,
+            };
+        }
+        let mut waits: Vec<f64> = outcomes.iter().map(|o| o.wait_hours()).collect();
+        waits.sort_by(|a, b| a.partial_cmp(b).expect("wait is never NaN"));
+        let mean_wait = waits.iter().sum::<f64>() / waits.len() as f64;
+        let slowdowns: f64 =
+            outcomes.iter().map(|o| o.bounded_slowdown()).sum::<f64>() / outcomes.len() as f64;
+        let first_submit = outcomes.iter().map(|o| o.job.submit).min().expect("non-empty");
+        let last_end = outcomes.iter().map(|o| o.end).max().expect("non-empty");
+        let makespan = last_end.since(first_submit).as_hours_f64();
+        let work: f64 = outcomes
+            .iter()
+            .map(|o| o.job.gpus as f64 * o.job.duration.as_hours_f64())
+            .sum();
+        let utilization = if makespan > 0.0 {
+            work / (schedule.total_gpus() as f64 * makespan)
+        } else {
+            0.0
+        };
+        // Jain index over per-user mean slowdown (lower variance ⇒ fairer).
+        let mut per_user: HashMap<u32, (f64, u32)> = HashMap::new();
+        for o in outcomes {
+            let e = per_user.entry(o.job.user).or_insert((0.0, 0));
+            e.0 += o.bounded_slowdown();
+            e.1 += 1;
+        }
+        let shares: Vec<f64> = per_user.values().map(|&(s, n)| s / n as f64).collect();
+        let jain = jain_index(&shares);
+        ScheduleMetrics {
+            jobs: outcomes.len(),
+            mean_wait_hours: mean_wait,
+            p95_wait_hours: percentile_sorted(&waits, 95.0),
+            mean_bounded_slowdown: slowdowns,
+            makespan_hours: makespan,
+            utilization,
+            jain_fairness: jain,
+        }
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1.0 = perfectly even.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (xs.len() as f64 * sumsq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, Placement};
+    use crate::job::{Job, JobId};
+    use crate::policy::Policy;
+    use crate::sim::SchedSim;
+    use opml_simkernel::{SimDuration, SimTime};
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[1.0, 1.0, 1.0]), 1.0);
+        let skewed = jain_index(&[1.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn utilization_of_saturated_cluster() {
+        // One job using the whole cluster the whole time → utilization 1.
+        let jobs = vec![Job {
+            id: JobId(0),
+            user: 0,
+            gpus: 4,
+            duration: SimDuration::hours(10),
+            submit: SimTime(0),
+        }];
+        let m = SchedSim::new(Cluster::homogeneous(1, 4), Policy::Fcfs, Placement::Packed)
+            .run(&jobs)
+            .metrics();
+        assert!((m.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(m.mean_wait_hours, 0.0);
+        assert_eq!(m.makespan_hours, 10.0);
+        assert_eq!(m.jobs, 1);
+    }
+
+    #[test]
+    fn empty_schedule_metrics() {
+        let m = SchedSim::new(Cluster::homogeneous(1, 1), Policy::Fcfs, Placement::Packed)
+            .run(&[])
+            .metrics();
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.jain_fairness, 1.0);
+    }
+}

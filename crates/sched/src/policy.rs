@@ -1,0 +1,59 @@
+//! Scheduling policies: FCFS, EASY backfilling, fair share.
+
+use serde::{Deserialize, Serialize};
+
+/// Which ordering/backfill discipline the simulator applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// First-come-first-served with strict head-of-line blocking: if the
+    /// oldest queued job does not fit, nothing behind it may start.
+    Fcfs,
+    /// EASY backfilling (Lifka '95): the head job receives a *shadow-time*
+    /// reservation (the earliest instant enough GPUs will be free, from
+    /// user-supplied runtime estimates); any later job may start now iff it
+    /// fits now **and** either (a) it will finish before the shadow time,
+    /// or (b) it uses no more than the GPUs left over once the head's
+    /// reservation is honoured.
+    EasyBackfill,
+    /// Fair share: the queue is reordered by each user's consumed
+    /// GPU-hours (least-served first, FIFO within a user) before applying
+    /// the discipline; with `backfill` the EASY rule runs on the reordered
+    /// queue.
+    FairShare {
+        /// Also apply EASY backfilling after fair-share ordering.
+        backfill: bool,
+    },
+}
+
+impl Policy {
+    /// Stable display name for reports/benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fcfs => "fcfs",
+            Policy::EasyBackfill => "easy-backfill",
+            Policy::FairShare { backfill: false } => "fair-share",
+            Policy::FairShare { backfill: true } => "fair-share+backfill",
+        }
+    }
+
+    /// All policies, for sweeps.
+    pub const ALL: [Policy; 4] = [
+        Policy::Fcfs,
+        Policy::EasyBackfill,
+        Policy::FairShare { backfill: false },
+        Policy::FairShare { backfill: true },
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Policy::ALL.len());
+    }
+}

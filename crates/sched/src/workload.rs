@@ -1,0 +1,124 @@
+//! Synthetic ML training traces.
+//!
+//! Modelled on the workload analysis the Unit 5 lecture uses as a case
+//! study (Weng et al., "MLaaS in the Wild", NSDI '22): the vast majority of
+//! jobs are short and use a single GPU, while a small fraction of large
+//! multi-GPU jobs dominate GPU-hours. Durations are lognormal with a heavy
+//! tail; arrivals are Poisson with rate set from a target offered load.
+
+use crate::job::{Job, JobId};
+use opml_simkernel::{Rng, SimDuration, SimTime};
+
+/// GPU-count distribution: (gpus, weight). ~63% of jobs are 1-GPU,
+/// mirroring the MLaaS trace's skew.
+const GPU_MIX: [(u32, f64); 5] = [(1, 0.63), (2, 0.15), (4, 0.12), (8, 0.08), (16, 0.02)];
+
+/// Duration lognormal parameters: median 30 min, σ = 1.4 → mean ≈ 1.3 h,
+/// p99 ≈ 13 h (clamped at 48 h).
+// ln(0.5 h) — median duration of 30 minutes.
+const DUR_MU: f64 = -std::f64::consts::LN_2;
+const DUR_SIGMA: f64 = 1.4;
+const DUR_MAX_HOURS: f64 = 48.0;
+
+/// Number of distinct users submitting.
+const USERS: u32 = 24;
+
+/// Generate a trace sized for a cluster with `total_gpus` GPUs.
+///
+/// `load` is the offered load: the ratio of mean offered GPU-hours per
+/// hour to cluster capacity (0.7 ⇒ the cluster is ~70% subscribed).
+pub fn ml_trace_for(n_jobs: usize, load: f64, total_gpus: u32, seed: u64) -> Vec<Job> {
+    assert!(load > 0.0, "load must be positive");
+    assert!(total_gpus > 0);
+    let mut rng = Rng::new(seed);
+    // Expected GPU-hours per job under the mix and duration model.
+    let mean_dur = (DUR_MU + DUR_SIGMA * DUR_SIGMA / 2.0).exp();
+    let mean_gpus: f64 = GPU_MIX.iter().map(|&(g, w)| g as f64 * w).sum();
+    let mean_work = mean_dur * mean_gpus;
+    // Poisson arrivals with rate λ jobs/hour s.t. λ·mean_work = load·GPUs.
+    let rate = load * total_gpus as f64 / mean_work;
+    let mean_interarrival_h = 1.0 / rate;
+
+    let weights: Vec<f64> = GPU_MIX.iter().map(|&(_, w)| w).collect();
+    let mut t_hours = 0.0;
+    (0..n_jobs)
+        .map(|i| {
+            t_hours += rng.exponential(mean_interarrival_h);
+            let gpus = GPU_MIX[rng.weighted_index(&weights)].0.min(total_gpus);
+            let dur_h = rng.lognormal(DUR_MU, DUR_SIGMA).clamp(1.0 / 60.0, DUR_MAX_HOURS);
+            Job {
+                id: JobId(i as u64),
+                user: rng.below(USERS as u64) as u32,
+                gpus,
+                duration: SimDuration::from_hours_f64(dur_h),
+                submit: SimTime::from_hours_f64(t_hours),
+            }
+        })
+        .collect()
+}
+
+/// [`ml_trace_for`] against a reference 32-GPU cluster.
+pub fn ml_trace(n_jobs: usize, load: f64, seed: u64) -> Vec<Job> {
+    ml_trace_for(n_jobs, load, 32, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_shape() {
+        let jobs = ml_trace(2000, 0.7, 1);
+        assert_eq!(jobs.len(), 2000);
+        // Mostly 1-GPU jobs.
+        let one_gpu = jobs.iter().filter(|j| j.gpus == 1).count() as f64 / 2000.0;
+        assert!((0.55..0.72).contains(&one_gpu), "1-GPU fraction {one_gpu}");
+        // Submissions are nondecreasing.
+        for w in jobs.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+        // Every job fits the reference cluster.
+        assert!(jobs.iter().all(|j| j.gpus <= 32 && j.duration.0 >= 1));
+    }
+
+    #[test]
+    fn heavy_tail_dominates_gpu_hours() {
+        let jobs = ml_trace(5000, 0.7, 2);
+        let mut work: Vec<f64> =
+            jobs.iter().map(|j| j.gpus as f64 * j.duration.as_hours_f64()).collect();
+        work.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        let total: f64 = work.iter().sum();
+        let top10: f64 = work[..500].iter().sum();
+        assert!(top10 / total > 0.5, "top 10% of jobs should dominate GPU-hours");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = ml_trace(100, 0.5, 7);
+        let b = ml_trace(100, 0.5, 7);
+        assert_eq!(
+            a.iter().map(|j| (j.submit.0, j.gpus)).collect::<Vec<_>>(),
+            b.iter().map(|j| (j.submit.0, j.gpus)).collect::<Vec<_>>()
+        );
+        let c = ml_trace(100, 0.5, 8);
+        assert_ne!(
+            a.iter().map(|j| j.submit.0).collect::<Vec<_>>(),
+            c.iter().map(|j| j.submit.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn load_scales_arrival_density() {
+        let light = ml_trace(1000, 0.3, 3);
+        let heavy = ml_trace(1000, 1.2, 3);
+        let span = |jobs: &[Job]| jobs.last().unwrap().submit.as_hours_f64();
+        // Same work arriving under higher load ⇒ compressed into less time.
+        assert!(span(&heavy) < span(&light) / 2.0);
+    }
+
+    #[test]
+    fn gpus_clamped_to_cluster() {
+        let jobs = ml_trace_for(500, 0.7, 4, 5);
+        assert!(jobs.iter().all(|j| j.gpus <= 4));
+    }
+}

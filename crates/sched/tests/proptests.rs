@@ -1,0 +1,97 @@
+//! Property-based tests for scheduler invariants on random traces.
+
+use opml_sched::{workload, Cluster, Placement, Policy, SchedSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under every policy and random trace: every job runs exactly once,
+    /// never before submission, and the cluster is never oversubscribed.
+    #[test]
+    fn scheduler_invariants(
+        n_jobs in 1usize..150,
+        load in 0.2f64..1.5,
+        seed in any::<u64>(),
+        nodes in 1usize..6,
+        gpus_per_node in 1u32..5,
+    ) {
+        let total = nodes as u32 * gpus_per_node;
+        let jobs = workload::ml_trace_for(n_jobs, load, total, seed);
+        for policy in Policy::ALL {
+            for placement in [Placement::Packed, Placement::Spread] {
+                let schedule = SchedSim::new(
+                    Cluster::homogeneous(nodes, gpus_per_node),
+                    policy,
+                    placement,
+                )
+                .run(&jobs);
+                prop_assert_eq!(schedule.outcomes().len(), jobs.len());
+                // No early starts; allocations complete.
+                for o in schedule.outcomes() {
+                    prop_assert!(o.start >= o.job.submit);
+                    let allocated: u32 = o.allocation.iter().map(|&(_, g)| g).sum();
+                    prop_assert_eq!(allocated, o.job.gpus);
+                }
+                // Capacity at every start instant.
+                for o in schedule.outcomes() {
+                    let t = o.start;
+                    let busy: u32 = schedule
+                        .outcomes()
+                        .iter()
+                        .filter(|x| x.start <= t && t < x.end)
+                        .map(|x| x.job.gpus)
+                        .sum();
+                    prop_assert!(busy <= total, "{}: {busy} > {total}", policy.name());
+                }
+                // Per-node capacity too.
+                for o in schedule.outcomes() {
+                    let t = o.start;
+                    for node in 0..nodes {
+                        let node_busy: u32 = schedule
+                            .outcomes()
+                            .iter()
+                            .filter(|x| x.start <= t && t < x.end)
+                            .flat_map(|x| &x.allocation)
+                            .filter(|&&(n, _)| n == node)
+                            .map(|&(_, g)| g)
+                            .sum();
+                        prop_assert!(node_busy <= gpus_per_node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backfilling never increases total makespan versus FCFS (it only
+    /// fills holes) and never hurts mean wait.
+    #[test]
+    fn backfill_dominates_fcfs(n_jobs in 10usize..120, seed in any::<u64>()) {
+        let jobs = workload::ml_trace(n_jobs, 0.9, seed);
+        let cluster = Cluster::homogeneous(4, 4);
+        let fcfs = SchedSim::new(cluster.clone(), Policy::Fcfs, Placement::Packed)
+            .run(&jobs)
+            .metrics();
+        let easy = SchedSim::new(cluster, Policy::EasyBackfill, Placement::Packed)
+            .run(&jobs)
+            .metrics();
+        prop_assert!(easy.mean_wait_hours <= fcfs.mean_wait_hours + 1e-9);
+    }
+
+    /// Metrics are internally consistent.
+    #[test]
+    fn metrics_consistency(n_jobs in 1usize..120, seed in any::<u64>()) {
+        let jobs = workload::ml_trace(n_jobs, 0.8, seed);
+        let m = SchedSim::new(Cluster::homogeneous(4, 4), Policy::EasyBackfill, Placement::Packed)
+            .run(&jobs)
+            .metrics();
+        prop_assert_eq!(m.jobs, n_jobs);
+        prop_assert!(m.mean_wait_hours >= 0.0);
+        prop_assert!(m.p95_wait_hours + 1e-9 >= m.mean_wait_hours || m.p95_wait_hours >= 0.0);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&m.utilization));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&m.jain_fairness));
+        // Tiny jobs (run < the 10-minute floor) can have bounded
+        // slowdown below 1 even with zero wait.
+        prop_assert!(m.mean_bounded_slowdown > 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! A generic time-ordered event queue with stable FIFO tie-breaking, plus a
+//! small process clock used by subsystem simulations (serving, scheduler).
+//!
+//! The queue is a `BinaryHeap` over `(Reverse(time), Reverse(seq))` so that
+//! (a) the earliest event pops first and (b) events scheduled at the same
+//! instant pop in insertion order — important for determinism when, e.g.,
+//! several reservations end at the top of the hour.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert so earliest (time, seq) is the maximum.
+        (Reverse(self.time), Reverse(self.seq)).cmp(&(Reverse(other.time), Reverse(other.seq)))
+    }
+}
+
+/// Time-ordered event queue.
+///
+/// ```
+/// use opml_simkernel::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime(10), "later");
+/// q.push(SimTime(5), "sooner");
+/// q.push(SimTime(5), "sooner-but-second");
+/// assert_eq!(q.pop().unwrap(), (SimTime(5), "sooner"));
+/// assert_eq!(q.pop().unwrap(), (SimTime(5), "sooner-but-second"));
+/// assert_eq!(q.pop().unwrap(), (SimTime(10), "later"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The timestamp of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain all events scheduled at or before `now`, in order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        let mut due = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= now) {
+            due.push(self.pop().expect("peeked event must pop"));
+        }
+        due
+    }
+}
+
+/// A monotone simulation clock with convenience advancing.
+///
+/// Subsystems that simulate wall-clock-like progress (the serving simulator,
+/// the job scheduler) own one of these; the semester driver owns another.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessClock {
+    now: SimTime,
+}
+
+impl ProcessClock {
+    /// A clock at semester start.
+    pub fn new() -> Self {
+        ProcessClock { now: SimTime::ZERO }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance by `d` and return the new time.
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Jump forward to `t` (no-op if `t` is in the past — the clock is
+    /// monotone by construction).
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), 3);
+        q.push(SimTime(10), 1);
+        q.push(SimTime(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_splits_correctly() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 'a');
+        q.push(SimTime(10), 'b');
+        q.push(SimTime(15), 'c');
+        let due = q.pop_due(SimTime(10));
+        assert_eq!(due.iter().map(|(_, e)| *e).collect::<Vec<_>>(), vec!['a', 'b']);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime(15)));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = ProcessClock::new();
+        c.advance(SimDuration::hours(2));
+        assert_eq!(c.now(), SimTime(120));
+        c.advance_to(SimTime(60)); // backwards jump ignored
+        assert_eq!(c.now(), SimTime(120));
+        c.advance_to(SimTime(240));
+        assert_eq!(c.now(), SimTime(240));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        assert!(q.pop_due(SimTime(100)).is_empty());
+    }
+}

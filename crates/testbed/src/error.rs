@@ -1,0 +1,79 @@
+//! Error types for testbed operations.
+
+use crate::flavor::FlavorId;
+use std::fmt;
+
+/// Why a testbed operation was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// A project quota would be exceeded.
+    QuotaExceeded {
+        /// Which quota dimension (e.g. "cores", "instances", "floating_ips").
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// What the total would have been after the request.
+        requested: u64,
+    },
+    /// No free node of the requested bare-metal/edge flavor in the window.
+    NoCapacity {
+        /// The contended flavor.
+        flavor: FlavorId,
+        /// Nodes that exist for this flavor.
+        capacity: u32,
+    },
+    /// The flavor requires an advance reservation but none covers `now`.
+    LeaseRequired(FlavorId),
+    /// Provisioning attempted outside the lease window.
+    OutsideLease,
+    /// Unknown instance id.
+    NoSuchInstance,
+    /// Unknown lease id.
+    NoSuchLease,
+    /// Unknown volume id.
+    NoSuchVolume,
+    /// Instance already deleted.
+    AlreadyDeleted,
+    /// A lease must end after it starts.
+    InvalidLeaseWindow,
+    /// Volume is attached and cannot be deleted.
+    VolumeInUse,
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::QuotaExceeded { resource, limit, requested } => {
+                write!(f, "quota exceeded for {resource}: requested {requested} > limit {limit}")
+            }
+            CloudError::NoCapacity { flavor, capacity } => {
+                write!(f, "no capacity for {flavor} (only {capacity} nodes exist)")
+            }
+            CloudError::LeaseRequired(flavor) => {
+                write!(f, "{flavor} requires an advance reservation")
+            }
+            CloudError::OutsideLease => write!(f, "operation outside the lease window"),
+            CloudError::NoSuchInstance => write!(f, "no such instance"),
+            CloudError::NoSuchLease => write!(f, "no such lease"),
+            CloudError::NoSuchVolume => write!(f, "no such volume"),
+            CloudError::AlreadyDeleted => write!(f, "instance already deleted"),
+            CloudError::InvalidLeaseWindow => write!(f, "lease must end after it starts"),
+            CloudError::VolumeInUse => write!(f, "volume is attached to an instance"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CloudError::QuotaExceeded { resource: "cores", limit: 1200, requested: 1300 };
+        let s = e.to_string();
+        assert!(s.contains("cores") && s.contains("1200") && s.contains("1300"));
+        assert!(CloudError::LeaseRequired(FlavorId::GpuV100).to_string().contains("gpu_v100"));
+    }
+}

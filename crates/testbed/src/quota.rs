@@ -1,0 +1,268 @@
+//! Project quotas and their enforcement.
+//!
+//! §4 of the paper lists the quota increase requested for the class project
+//! on KVM\@TACC; [`Quota::paper_course`] encodes it. Quotas are enforced at
+//! provision time and released at deletion, exactly like OpenStack's
+//! `nova`/`neutron`/`cinder` quota engines.
+
+use crate::error::CloudError;
+use serde::{Deserialize, Serialize};
+
+/// Limits for one project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quota {
+    /// Maximum simultaneous VM instances.
+    pub instances: u64,
+    /// Maximum simultaneous vCPU cores.
+    pub cores: u64,
+    /// Maximum simultaneous RAM in GB.
+    pub ram_gb: u64,
+    /// Maximum simultaneous floating IPs.
+    pub floating_ips: u64,
+    /// Maximum simultaneous routers.
+    pub routers: u64,
+    /// Maximum simultaneous private networks (u64::MAX = unlimited).
+    pub networks: u64,
+    /// Maximum simultaneous security groups.
+    pub security_groups: u64,
+    /// Maximum simultaneous block-storage volumes.
+    pub volumes: u64,
+    /// Maximum total block storage in GB.
+    pub block_storage_gb: u64,
+}
+
+impl Quota {
+    /// The quota the course negotiated for KVM\@TACC (§4): 600 instances,
+    /// 1,200 cores, 2.5 TB RAM; unlimited networks, 200 routers, 300
+    /// floating IPs, 100 security groups; 200 volumes, 10 TB block storage.
+    pub fn paper_course() -> Quota {
+        Quota {
+            instances: 600,
+            cores: 1_200,
+            ram_gb: 2_560,
+            floating_ips: 300,
+            routers: 200,
+            networks: u64::MAX,
+            security_groups: 100,
+            volumes: 200,
+            block_storage_gb: 10_240,
+        }
+    }
+
+    /// The default per-project quota before the increase (representative
+    /// Chameleon defaults) — used by the capacity-planning example to show
+    /// why the increase was needed.
+    pub fn chameleon_default() -> Quota {
+        Quota {
+            instances: 10,
+            cores: 20,
+            ram_gb: 50,
+            floating_ips: 2,
+            routers: 1,
+            networks: 1,
+            security_groups: 10,
+            volumes: 10,
+            block_storage_gb: 1_000,
+        }
+    }
+
+    /// An effectively unlimited quota (for unit tests of other subsystems).
+    pub fn unlimited() -> Quota {
+        Quota {
+            instances: u64::MAX,
+            cores: u64::MAX,
+            ram_gb: u64::MAX,
+            floating_ips: u64::MAX,
+            routers: u64::MAX,
+            networks: u64::MAX,
+            security_groups: u64::MAX,
+            volumes: u64::MAX,
+            block_storage_gb: u64::MAX,
+        }
+    }
+}
+
+/// Current consumption against a [`Quota`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuotaUsage {
+    /// Active VM instances.
+    pub instances: u64,
+    /// vCPUs of active VM instances.
+    pub cores: u64,
+    /// RAM (GB) of active VM instances.
+    pub ram_gb: u64,
+    /// Allocated floating IPs.
+    pub floating_ips: u64,
+    /// Active routers.
+    pub routers: u64,
+    /// Active private networks.
+    pub networks: u64,
+    /// Active security groups.
+    pub security_groups: u64,
+    /// Existing volumes.
+    pub volumes: u64,
+    /// Total GB across existing volumes.
+    pub block_storage_gb: u64,
+}
+
+impl QuotaUsage {
+    fn check_one(
+        current: u64,
+        delta: u64,
+        limit: u64,
+        resource: &'static str,
+    ) -> Result<(), CloudError> {
+        let requested = current.saturating_add(delta);
+        if requested > limit {
+            Err(CloudError::QuotaExceeded { resource, limit, requested })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Check that a VM of the given shape fits; on success, consume it.
+    pub fn take_instance(
+        &mut self,
+        quota: &Quota,
+        vcpus: u64,
+        ram_gb: u64,
+    ) -> Result<(), CloudError> {
+        Self::check_one(self.instances, 1, quota.instances, "instances")?;
+        Self::check_one(self.cores, vcpus, quota.cores, "cores")?;
+        Self::check_one(self.ram_gb, ram_gb, quota.ram_gb, "ram_gb")?;
+        self.instances += 1;
+        self.cores += vcpus;
+        self.ram_gb += ram_gb;
+        Ok(())
+    }
+
+    /// Release a VM's resources.
+    pub fn release_instance(&mut self, vcpus: u64, ram_gb: u64) {
+        self.instances = self.instances.saturating_sub(1);
+        self.cores = self.cores.saturating_sub(vcpus);
+        self.ram_gb = self.ram_gb.saturating_sub(ram_gb);
+    }
+
+    /// Allocate one floating IP.
+    pub fn take_fip(&mut self, quota: &Quota) -> Result<(), CloudError> {
+        Self::check_one(self.floating_ips, 1, quota.floating_ips, "floating_ips")?;
+        self.floating_ips += 1;
+        Ok(())
+    }
+
+    /// Release one floating IP.
+    pub fn release_fip(&mut self) {
+        self.floating_ips = self.floating_ips.saturating_sub(1);
+    }
+
+    /// Allocate one router.
+    pub fn take_router(&mut self, quota: &Quota) -> Result<(), CloudError> {
+        Self::check_one(self.routers, 1, quota.routers, "routers")?;
+        self.routers += 1;
+        Ok(())
+    }
+
+    /// Release one router.
+    pub fn release_router(&mut self) {
+        self.routers = self.routers.saturating_sub(1);
+    }
+
+    /// Allocate one private network.
+    pub fn take_network(&mut self, quota: &Quota) -> Result<(), CloudError> {
+        Self::check_one(self.networks, 1, quota.networks, "networks")?;
+        self.networks += 1;
+        Ok(())
+    }
+
+    /// Release one private network.
+    pub fn release_network(&mut self) {
+        self.networks = self.networks.saturating_sub(1);
+    }
+
+    /// Create a volume of `gb`.
+    pub fn take_volume(&mut self, quota: &Quota, gb: u64) -> Result<(), CloudError> {
+        Self::check_one(self.volumes, 1, quota.volumes, "volumes")?;
+        Self::check_one(self.block_storage_gb, gb, quota.block_storage_gb, "block_storage_gb")?;
+        self.volumes += 1;
+        self.block_storage_gb += gb;
+        Ok(())
+    }
+
+    /// Delete a volume of `gb`.
+    pub fn release_volume(&mut self, gb: u64) {
+        self.volumes = self.volumes.saturating_sub(1);
+        self.block_storage_gb = self.block_storage_gb.saturating_sub(gb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_quota_enforced() {
+        let quota = Quota { instances: 2, cores: 100, ram_gb: 100, ..Quota::unlimited() };
+        let mut u = QuotaUsage::default();
+        u.take_instance(&quota, 2, 4).unwrap();
+        u.take_instance(&quota, 2, 4).unwrap();
+        let err = u.take_instance(&quota, 2, 4).unwrap_err();
+        assert!(matches!(err, CloudError::QuotaExceeded { resource: "instances", .. }));
+        u.release_instance(2, 4);
+        u.take_instance(&quota, 2, 4).unwrap();
+    }
+
+    #[test]
+    fn core_quota_enforced_independently() {
+        let quota = Quota { instances: 100, cores: 8, ram_gb: 1000, ..Quota::unlimited() };
+        let mut u = QuotaUsage::default();
+        u.take_instance(&quota, 6, 1).unwrap();
+        let err = u.take_instance(&quota, 4, 1).unwrap_err();
+        assert!(matches!(err, CloudError::QuotaExceeded { resource: "cores", limit: 8, requested: 10 }));
+        // A smaller request still fits.
+        u.take_instance(&quota, 2, 1).unwrap();
+    }
+
+    #[test]
+    fn failed_take_consumes_nothing() {
+        let quota = Quota { instances: 10, cores: 4, ram_gb: 2, ..Quota::unlimited() };
+        let mut u = QuotaUsage::default();
+        // RAM check fails after instance+core checks pass — nothing consumed.
+        assert!(u.take_instance(&quota, 2, 4).is_err());
+        assert_eq!(u, QuotaUsage::default());
+    }
+
+    #[test]
+    fn block_storage_tracks_gb() {
+        let quota = Quota { volumes: 3, block_storage_gb: 100, ..Quota::unlimited() };
+        let mut u = QuotaUsage::default();
+        u.take_volume(&quota, 60).unwrap();
+        assert!(matches!(
+            u.take_volume(&quota, 50),
+            Err(CloudError::QuotaExceeded { resource: "block_storage_gb", .. })
+        ));
+        u.take_volume(&quota, 40).unwrap();
+        u.release_volume(60);
+        assert_eq!(u.block_storage_gb, 40);
+        assert_eq!(u.volumes, 1);
+    }
+
+    #[test]
+    fn paper_course_quota_values() {
+        let q = Quota::paper_course();
+        assert_eq!(q.instances, 600);
+        assert_eq!(q.cores, 1200);
+        assert_eq!(q.ram_gb, 2560); // 2.5 TB
+        assert_eq!(q.floating_ips, 300);
+        assert_eq!(q.routers, 200);
+        assert_eq!(q.block_storage_gb, 10_240); // 10 TB
+    }
+
+    #[test]
+    fn release_never_underflows() {
+        let mut u = QuotaUsage::default();
+        u.release_instance(4, 8);
+        u.release_fip();
+        u.release_volume(100);
+        assert_eq!(u, QuotaUsage::default());
+    }
+}

@@ -1,0 +1,172 @@
+//! GourmetGram end-to-end: the course's running example as one program.
+//!
+//! Students play ML engineers at a food-photo-sharing startup. This
+//! example drives the full operational loop the course teaches, on the
+//! real substrates: train (distributed) → track → register → optimize →
+//! serve (dynamic batching) → monitor → detect drift → retrain → canary →
+//! promote/rollback.
+//!
+//! ```sh
+//! cargo run --release --example gourmetgram
+//! ```
+
+use ml_ops_course::mlops::allreduce::ReduceAlgo;
+use ml_ops_course::mlops::ddp::{train_ddp, DdpConfig};
+use ml_ops_course::mlops::drift::{DriftDetector, DriftStatus};
+use ml_ops_course::mlops::eval::{canary_analysis, evaluate, CanaryPolicy, CanaryVerdict};
+use ml_ops_course::mlops::model::Dataset;
+use ml_ops_course::mlops::monitoring::{evaluate_alerts, AlertRule, Cmp, MetricsStore};
+use ml_ops_course::mlops::optimize::{model_bytes, QuantizedMlp};
+use ml_ops_course::mlops::registry::{ModelRegistry, Stage};
+use ml_ops_course::mlops::serving::{simulate, LoadSpec, ModelProfile, ServerConfig};
+use ml_ops_course::mlops::tracking::{params_to_artifact, ExperimentTracker, RunStatus};
+use std::collections::BTreeMap;
+
+fn main() {
+    let seed = 7;
+    let tracker = ExperimentTracker::new();
+    let mut registry = ModelRegistry::new();
+
+    // ---- 1. Data: the "food-11" stand-in ---------------------------
+    let data = Dataset::blobs(550, 8, 11, 0.6, seed);
+    let (train, holdout) = data.split(0.8, seed + 1);
+    println!("GourmetGram food-11: {} train / {} holdout examples", train.len(), holdout.len());
+
+    // ---- 2. Distributed training (Unit 4), tracked (Unit 5) --------
+    let run = tracker.start_run("gourmetgram");
+    tracker.log_param(run, "workers", "4");
+    tracker.log_param(run, "collective", "ring");
+    let (mut model, report) = train_ddp(
+        &DdpConfig {
+            sizes: vec![8, 32, 11],
+            workers: 4,
+            epochs: 20,
+            batch_size: 16,
+            lr: 0.1,
+            momentum: 0.9,
+            algo: ReduceAlgo::Ring,
+            seed,
+        },
+        &train,
+    );
+    for (epoch, &(loss, acc)) in report.history.iter().enumerate() {
+        tracker.log_metric(run, "loss", epoch as u64, f64::from(loss));
+        tracker.log_metric(run, "train_acc", epoch as u64, acc);
+    }
+    let eval_report = evaluate(&mut model, &holdout);
+    tracker.log_metric(run, "holdout_acc", report.history.len() as u64, eval_report.accuracy);
+    tracker.log_artifact(run, "model.bin", params_to_artifact(&model.params_flat()));
+    tracker.end_run(run, RunStatus::Finished);
+    println!(
+        "trained with 4-way DDP (replicas in sync: {}); holdout accuracy {:.3}, macro-F1 {:.3}",
+        report.in_sync,
+        eval_report.accuracy,
+        eval_report.macro_f1()
+    );
+
+    // ---- 3. Register and stage (Unit 3) -----------------------------
+    let mut metrics = BTreeMap::new();
+    metrics.insert("holdout_acc".to_string(), eval_report.accuracy);
+    let v1 = registry.register("food11", params_to_artifact(&model.params_flat()), metrics);
+    registry.transition("food11", v1, Stage::Production).expect("fresh registry");
+    println!("registered food11 v{v1} → production");
+
+    // ---- 4. Serving optimizations (Unit 6) --------------------------
+    let quant = QuantizedMlp::from_model(&model);
+    println!(
+        "INT8 quantization: {}x smaller, accuracy {:.3} (fp32 {:.3})",
+        model_bytes(&model) / quant.bytes(),
+        quant.accuracy(&holdout),
+        eval_report.accuracy
+    );
+    let load = LoadSpec { rps: 150.0, requests: 3000 };
+    let baseline = simulate(ModelProfile::fp32_server_gpu(), ServerConfig::baseline(), load, seed);
+    let optimized = simulate(
+        ModelProfile::int8_server_gpu(),
+        ServerConfig { replicas: 2, max_batch: 8, max_queue_delay_ms: 5.0 },
+        load,
+        seed,
+    );
+    println!(
+        "serving at 150 rps: baseline p95 {:.1} ms → int8+batching p95 {:.1} ms (mean batch {:.1})",
+        baseline.p95_latency_ms, optimized.p95_latency_ms, optimized.mean_batch_size
+    );
+
+    // ---- 5. Monitoring + drift (Unit 7) ------------------------------
+    let mut store = MetricsStore::new();
+    for (i, _) in (0..200).enumerate() {
+        store.record("latency_ms", i as f64 * 10.0, optimized.p50_latency_ms);
+    }
+    let alerts = evaluate_alerts(
+        &store,
+        &[AlertRule {
+            name: "latency-slo".into(),
+            metric: "latency_ms".into(),
+            threshold: 100.0,
+            cmp: Cmp::Above,
+            window_ms: 500.0,
+            min_samples: 5,
+        }],
+        1990.0,
+    );
+    println!("monitoring: {} alerts under healthy traffic", alerts.len());
+
+    // Drift arrives: users start uploading different food.
+    let drifted = data.shifted(2.0);
+    let reference: Vec<f64> = (0..train.len()).map(|i| f64::from(train.x.get(i, 0))).collect();
+    let mut detector = DriftDetector::new(reference, 120, 0.01);
+    let mut detected = None;
+    for i in 0..drifted.len() {
+        if let Some(r) = detector.push(f64::from(drifted.x.get(i, 0))) {
+            if r.status == DriftStatus::Drift {
+                detected = Some((i, r));
+                break;
+            }
+        }
+    }
+    let (at, drift_report) = detected.expect("drift must be detected");
+    println!(
+        "drift detected after {at} requests (KS {:.3} > {:.3}, PSI {:.2})",
+        drift_report.ks, drift_report.ks_critical, drift_report.psi
+    );
+
+    // ---- 6. Retrain on drifted data, canary, promote ---------------
+    let (drift_train, drift_holdout) = drifted.split(0.8, seed + 2);
+    let (mut model_v2, _) = train_ddp(
+        &DdpConfig {
+            sizes: vec![8, 32, 11],
+            workers: 4,
+            epochs: 20,
+            batch_size: 16,
+            lr: 0.1,
+            momentum: 0.9,
+            algo: ReduceAlgo::Ring,
+            seed: seed + 3,
+        },
+        &drift_train,
+    );
+    let old_on_drifted = drift_holdout.accuracy(&mut model);
+    let new_on_drifted = drift_holdout.accuracy(&mut model_v2);
+    let mut metrics = BTreeMap::new();
+    metrics.insert("holdout_acc".to_string(), new_on_drifted);
+    let v2 = registry.register("food11", params_to_artifact(&model_v2.params_flat()), metrics);
+    registry.transition("food11", v2, Stage::Canary).expect("canary");
+    let verdict = canary_analysis(
+        &CanaryPolicy { max_latency_regression: 0.25, max_accuracy_drop: 0.02, min_samples: 10 },
+        &vec![optimized.p50_latency_ms; 50],
+        old_on_drifted,
+        &vec![optimized.p50_latency_ms; 50],
+        new_on_drifted,
+    );
+    println!(
+        "retrained v{v2}: accuracy on drifted traffic {:.3} (old model: {:.3}); canary verdict {:?}",
+        new_on_drifted, old_on_drifted, verdict
+    );
+    assert_eq!(verdict, CanaryVerdict::Promote);
+    registry.transition("food11", v2, Stage::Production).expect("promote");
+    println!(
+        "food11 v{} now in production; registry history has {} transitions",
+        registry.in_stage("food11", Stage::Production).expect("promoted").version,
+        registry.history().len()
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: simulate the paper's 191-student semester, roll up the
+//! usage ledger, and price it on commercial clouds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ml_ops_course::prelude::*;
+use ml_ops_course::pricing::catalog::Provider;
+use ml_ops_course::pricing::estimate::{per_student_lab_costs, price_project, ProjectUsageSummary};
+use ml_ops_course::report::table::{fmt_num, fmt_usd};
+
+fn main() {
+    let seed = 42;
+    println!("Simulating 'Machine Learning Systems Engineering and Operations'…");
+    let config = SemesterConfig::paper_course();
+    let outcome = simulate_semester(&config, seed);
+    println!(
+        "  {} usage records, {} quota denials, {} reservation pushbacks",
+        outcome.ledger.records().len(),
+        outcome.quota_denials,
+        outcome.slot_pushbacks
+    );
+
+    let rollup = AssignmentRollup::from_ledger(&outcome.ledger, config.enrollment as usize);
+    let table = price_lab_assignments(&rollup);
+    println!("\nLab assignments (Table 1 scope):");
+    println!("  instance hours : {}", fmt_num(table.total.instance_hours, 0));
+    println!("  floating-IP hrs: {}", fmt_num(table.total.fip_hours, 0));
+    println!(
+        "  commercial cost: {} AWS ({} / student), {} GCP ({} / student)",
+        fmt_usd(table.total.aws_usd),
+        fmt_usd(table.total.aws_per_student),
+        fmt_usd(table.total.gcp_usd),
+        fmt_usd(table.total.gcp_per_student),
+    );
+
+    let project = ProjectUsageSummary::from_ledger(&outcome.ledger);
+    println!("\nOpen-ended projects:");
+    println!(
+        "  {} VM h, {} GPU h, {} bare-metal h, {} edge h",
+        fmt_num(project.vm_hours, 0),
+        fmt_num(project.gpu_hours, 0),
+        fmt_num(project.baremetal_cpu_hours, 0),
+        fmt_num(project.edge_hours, 0),
+    );
+    println!(
+        "  storage: {} GB block (peak), {} GB object",
+        fmt_num(project.peak_block_gb as f64, 0),
+        fmt_num(project.object_gb, 0)
+    );
+    let proj_aws = price_project(&project, Provider::Aws);
+    let proj_gcp = price_project(&project, Provider::Gcp);
+    println!("  cost: {} AWS / {} GCP", fmt_usd(proj_aws), fmt_usd(proj_gcp));
+
+    let per_student = ml_ops_course::metering::rollup::PerStudentUsage::from_ledger(&outcome.ledger);
+    let costs = per_student_lab_costs(&per_student, Provider::Aws);
+    let max = costs.iter().map(|&(_, c)| c).fold(0.0f64, f64::max);
+    let total_per_student =
+        table.total.aws_per_student + proj_aws / config.enrollment as f64;
+    println!("\nHeadlines:");
+    println!(
+        "  total instance hours: {}",
+        fmt_num(table.total.instance_hours + project.total_instance_hours(), 0)
+    );
+    println!("  all-in per student (AWS): {}", fmt_usd(total_per_student));
+    println!("  most expensive student (labs, AWS): {}", fmt_usd(max));
+}
