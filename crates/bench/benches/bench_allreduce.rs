@@ -22,7 +22,11 @@ fn bench_allreduce(c: &mut Criterion) {
         for algo in ReduceAlgo::ALL {
             let mut bufs = buffers(n, 1_000_000, 1);
             let stats = all_reduce(&mut bufs, algo);
-            line.push_str(&format!(" {}={}", algo.name(), stats.max_bytes_per_worker()));
+            line.push_str(&format!(
+                " {}={}",
+                algo.name(),
+                stats.max_bytes_per_worker()
+            ));
         }
         println!("{line}");
     }

@@ -14,7 +14,11 @@ fn bench_sched(c: &mut Criterion) {
                 .metrics();
             println!(
                 "  {:<20} wait {:6.2} h  p95 {:7.2} h  util {:.3}  jain {:.3}",
-                policy.name(), m.mean_wait_hours, m.p95_wait_hours, m.utilization, m.jain_fairness
+                policy.name(),
+                m.mean_wait_hours,
+                m.p95_wait_hours,
+                m.utilization,
+                m.jain_fairness
             );
         }
     }
@@ -24,7 +28,10 @@ fn bench_sched(c: &mut Criterion) {
         let m = SchedSim::new(Cluster::homogeneous(8, 4), Policy::EasyBackfill, placement)
             .run(&jobs)
             .metrics();
-        println!("[sched] placement {placement:?}: wait {:.2} h util {:.3}", m.mean_wait_hours, m.utilization);
+        println!(
+            "[sched] placement {placement:?}: wait {:.2} h util {:.3}",
+            m.mean_wait_hours, m.utilization
+        );
     }
     let mut group = c.benchmark_group("sched");
     group.sample_size(10);

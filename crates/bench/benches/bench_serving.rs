@@ -9,8 +9,15 @@ fn bench_serving(c: &mut Criterion) {
     for batch in [1usize, 2, 4, 8, 16] {
         let r = simulate(
             ModelProfile::fp32_server_gpu(),
-            ServerConfig { replicas: 1, max_batch: batch, max_queue_delay_ms: 5.0 },
-            LoadSpec { rps: 150.0, requests: 5000 },
+            ServerConfig {
+                replicas: 1,
+                max_batch: batch,
+                max_queue_delay_ms: 5.0,
+            },
+            LoadSpec {
+                rps: 150.0,
+                requests: 5000,
+            },
             42,
         );
         println!(
@@ -27,11 +34,21 @@ fn bench_serving(c: &mut Criterion) {
     ] {
         let r = simulate(
             p,
-            ServerConfig { replicas: 1, max_batch: 8, max_queue_delay_ms: 5.0 },
-            LoadSpec { rps: 80.0, requests: 3000 },
+            ServerConfig {
+                replicas: 1,
+                max_batch: 8,
+                max_queue_delay_ms: 5.0,
+            },
+            LoadSpec {
+                rps: 80.0,
+                requests: 3000,
+            },
             42,
         );
-        println!("  {name:<9} p95 {:8.1} ms  thru {:6.1} rps", r.p95_latency_ms, r.throughput_rps);
+        println!(
+            "  {name:<9} p95 {:8.1} ms  thru {:6.1} rps",
+            r.p95_latency_ms, r.throughput_rps
+        );
     }
     let mut group = c.benchmark_group("serving");
     group.sample_size(20);
@@ -40,8 +57,15 @@ fn bench_serving(c: &mut Criterion) {
             b.iter(|| {
                 simulate(
                     ModelProfile::fp32_server_gpu(),
-                    ServerConfig { replicas: 2, max_batch: k, max_queue_delay_ms: 5.0 },
-                    LoadSpec { rps: 120.0, requests: 2000 },
+                    ServerConfig {
+                        replicas: 2,
+                        max_batch: k,
+                        max_queue_delay_ms: 5.0,
+                    },
+                    LoadSpec {
+                        rps: 120.0,
+                        requests: 2000,
+                    },
                     7,
                 )
                 .p95_latency_ms

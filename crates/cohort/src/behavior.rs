@@ -97,8 +97,7 @@ impl StudentProfile {
     /// sampled from the calibrated model.
     pub fn vm_wall_hours(&self, spec: &LabSpec, rng: &mut Rng) -> f64 {
         debug_assert!(!spec.is_leased(), "vm_wall_hours on a leased lab");
-        let target = observed_mean_wall(spec.tag)
-            .unwrap_or(spec.expected_hours * 2.0);
+        let target = observed_mean_wall(spec.tag).unwrap_or(spec.expected_hours * 2.0);
         let work = spec.expected_hours
             * WORK_MEAN_FACTOR
             * self.speed
@@ -214,9 +213,11 @@ mod tests {
         let students = cohort(2000, 1);
         let tidy = students.iter().filter(|(p, _)| p.tidy).count() as f64 / 2000.0;
         assert!((tidy - P_TIDY).abs() < 0.03, "tidy fraction {tidy}");
-        let mean_neglect: f64 =
-            students.iter().map(|(p, _)| p.neglect).sum::<f64>() / 2000.0;
-        assert!((mean_neglect - 0.4).abs() < 0.02, "mean neglect {mean_neglect}");
+        let mean_neglect: f64 = students.iter().map(|(p, _)| p.neglect).sum::<f64>() / 2000.0;
+        assert!(
+            (mean_neglect - 0.4).abs() < 0.02,
+            "mean neglect {mean_neglect}"
+        );
     }
 
     #[test]

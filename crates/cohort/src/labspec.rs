@@ -203,7 +203,10 @@ pub fn lab_specs() -> Vec<LabSpec> {
             node_count: 1,
             expected_hours: 3.0,
             slot_hours: 0,
-            storage: Some(StorageSpec { block_gb: 2, object_gb: 1.2 }),
+            storage: Some(StorageSpec {
+                block_gb: 2,
+                object_gb: 1.2,
+            }),
             private_network: false,
         },
     ]
@@ -310,6 +313,9 @@ mod tests {
         for pair in specs.windows(2) {
             assert!(pair[0].week <= pair[1].week);
         }
-        assert!(specs.iter().all(|s| s.week < 10), "labs run in the first 10 weeks");
+        assert!(
+            specs.iter().all(|s| s.week < 10),
+            "labs run in the first 10 weeks"
+        );
     }
 }

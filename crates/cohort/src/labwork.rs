@@ -8,7 +8,9 @@
 
 use opml_mlops::allreduce::ReduceAlgo;
 use opml_mlops::cicd::{CicdConfig, CicdSystem, Commit, DeployOutcome};
-use opml_mlops::data::{drop_invalid, fit_normalizer, normalize, run_streaming_job, EtlPipeline, FeatureStore, Record};
+use opml_mlops::data::{
+    drop_invalid, fit_normalizer, normalize, run_streaming_job, EtlPipeline, FeatureStore, Record,
+};
 use opml_mlops::ddp::{train_ddp, DdpConfig};
 use opml_mlops::drift::{DriftDetector, DriftStatus};
 use opml_mlops::eval::{evaluate, run_behavioral_suite, BehavioralTest};
@@ -94,13 +96,17 @@ pub fn unit2_cloud_computing(seed: u64) -> LabWorkOutcome {
     }
     let healed = orch.ready_pods("gourmetgram").len() == 3;
     // Horizontal scaling under a traffic spike.
-    let hpa = Autoscaler { min_replicas: 3, max_replicas: 8, target_load_per_pod: 40.0 };
+    let hpa = Autoscaler {
+        min_replicas: 3,
+        max_replicas: 8,
+        target_load_per_pod: 40.0,
+    };
     hpa.reconcile(&mut orch, "gourmetgram", 260.0);
     for _ in 0..4 {
         orch.tick(&mut rng);
     }
     let scaled = orch.ready_pods("gourmetgram").len() == 7; // ceil(260/40)
-    // Teardown (the tidy-student path).
+                                                            // Teardown (the tidy-student path).
     for id in ids {
         cloud.delete_instance(id).expect("active instance");
     }
@@ -111,7 +117,10 @@ pub fn unit2_cloud_computing(seed: u64) -> LabWorkOutcome {
         metrics: vec![
             ("vms_provisioned".into(), 3.0),
             ("replicas_ready".into(), 3.0),
-            ("replicas_after_spike".into(), orch.ready_pods("gourmetgram").len() as f64),
+            (
+                "replicas_after_spike".into(),
+                orch.ready_pods("gourmetgram").len() as f64,
+            ),
         ],
         passed: provisioned && deployed && balanced && crashed && healed && scaled,
     }
@@ -134,7 +143,9 @@ pub fn unit3_mlops(seed: u64) -> LabWorkOutcome {
     })
     .expect("fresh name");
     wf.add_task("promote", &["register"], 0, |ctx| {
-        ctx.get("version").map(|_| ()).ok_or_else(|| "missing version".into())
+        ctx.get("version")
+            .map(|_| ())
+            .ok_or_else(|| "missing version".into())
     })
     .expect("fresh name");
     let wf_ok = wf.run(&Context::new()).succeeded();
@@ -257,16 +268,22 @@ pub fn unit5_training_infra(seed: u64) -> LabWorkOutcome {
     let fcfs = SchedSim::new(Cluster::homogeneous(8, 4), Policy::Fcfs, Placement::Packed)
         .run(&jobs)
         .metrics();
-    let easy =
-        SchedSim::new(Cluster::homogeneous(8, 4), Policy::EasyBackfill, Placement::Packed)
-            .run(&jobs)
-            .metrics();
+    let easy = SchedSim::new(
+        Cluster::homogeneous(8, 4),
+        Policy::EasyBackfill,
+        Placement::Packed,
+    )
+    .run(&jobs)
+    .metrics();
     LabWorkOutcome {
         unit: 5,
         metrics: vec![
             ("best_sweep_accuracy".into(), best_acc),
             ("ray_tune_best_accuracy".into(), tune_report.best_accuracy),
-            ("ray_tune_early_stopped".into(), tune_report.early_stopped as f64),
+            (
+                "ray_tune_early_stopped".into(),
+                tune_report.early_stopped as f64,
+            ),
             ("fcfs_mean_wait_h".into(), fcfs.mean_wait_hours),
             ("backfill_mean_wait_h".into(), easy.mean_wait_hours),
         ],
@@ -291,18 +308,33 @@ pub fn unit6_serving(seed: u64) -> LabWorkOutcome {
     let int8_acc = q.accuracy(&data);
     let compression = model_bytes(&model) as f64 / q.bytes() as f64;
     let fused_same = fused_predict(&model, &data.x) == model.predict(&data.x);
-    let load = LoadSpec { rps: 150.0, requests: 2000 };
-    let base = simulate(ModelProfile::fp32_server_gpu(), ServerConfig::baseline(), load, seed);
+    let load = LoadSpec {
+        rps: 150.0,
+        requests: 2000,
+    };
+    let base = simulate(
+        ModelProfile::fp32_server_gpu(),
+        ServerConfig::baseline(),
+        load,
+        seed,
+    );
     let batched = simulate(
         ModelProfile::int8_server_gpu(),
-        ServerConfig { replicas: 2, max_batch: 8, max_queue_delay_ms: 5.0 },
+        ServerConfig {
+            replicas: 2,
+            max_batch: 8,
+            max_queue_delay_ms: 5.0,
+        },
         load,
         seed,
     );
     let edge = simulate(
         ModelProfile::int8_edge_pi5(),
         ServerConfig::baseline(),
-        LoadSpec { rps: 2.0, requests: 100 },
+        LoadSpec {
+            rps: 2.0,
+            requests: 100,
+        },
         seed,
     );
     LabWorkOutcome {
@@ -337,8 +369,13 @@ pub fn unit7_monitoring(seed: u64) -> LabWorkOutcome {
     let behav = run_behavioral_suite(
         &mut model,
         &data,
-        &[BehavioralTest::NoiseInvariance { noise: 0.05, max_flip_rate: 0.05 },
-          BehavioralTest::Determinism],
+        &[
+            BehavioralTest::NoiseInvariance {
+                noise: 0.05,
+                max_flip_rate: 0.05,
+            },
+            BehavioralTest::Determinism,
+        ],
         seed,
     );
     // Live monitoring: latency degrades, alert fires.
@@ -400,7 +437,11 @@ pub fn unit8_data(seed: u64) -> LabWorkOutcome {
             } else {
                 vec![rng.normal() * 3.0 + 5.0, rng.normal()]
             },
-            label: if i % 17 == 0 { None } else { Some((i % 11) as u32) },
+            label: if i % 17 == 0 {
+                None
+            } else {
+                Some((i % 11) as u32)
+            },
         })
         .collect();
     let cleaned_input = raw.clone();
@@ -410,8 +451,10 @@ pub fn unit8_data(seed: u64) -> LabWorkOutcome {
     let normalized = normalize(cleaned.clone(), &means, &stds);
     let (post_means, _) = fit_normalizer(&normalized);
     // Streaming: 3 producers, 4 consumers, exactly-once.
-    let batches: Vec<Vec<Record>> =
-        cleaned.chunks(cleaned.len() / 3 + 1).map(<[Record]>::to_vec).collect();
+    let batches: Vec<Vec<Record>> = cleaned
+        .chunks(cleaned.len() / 3 + 1)
+        .map(<[Record]>::to_vec)
+        .collect();
     let n_in: usize = batches.iter().map(Vec::len).sum();
     let streamed = run_streaming_job(batches, 4, |r| r);
     // Feature store: point-in-time correctness.

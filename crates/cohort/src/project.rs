@@ -123,8 +123,7 @@ pub fn plan_projects(
         let gname = |suffix: &str| format!("proj-g{g:02}-{suffix}");
 
         // ---- VM services -------------------------------------------
-        let mut vm_budget =
-            targets::VM_HOURS / GROUPS as f64 * m * rng.lognormal(-0.06125, 0.35);
+        let mut vm_budget = targets::VM_HOURS / GROUPS as f64 * m * rng.lognormal(-0.06125, 0.35);
         let mut svc = 0;
         while vm_budget > 1.0 {
             let hours = rng.range_f64(150.0, 900.0).min(vm_budget).min(window_h);
@@ -146,14 +145,13 @@ pub fn plan_projects(
         }
 
         // ---- GPU training sessions ---------------------------------
-        let mut gpu_budget =
-            targets::GPU_HOURS / GROUPS as f64 * m * rng.lognormal(-0.125, 0.5);
+        let mut gpu_budget = targets::GPU_HOURS / GROUPS as f64 * m * rng.lognormal(-0.125, 0.5);
         let mut session = 0;
         while gpu_budget > 0.5 {
             let hours = rng.range_f64(2.0, 8.0).min(gpu_budget.max(2.0));
             let flavor = GPU_MIX[rng.weighted_index(&gpu_weights)].0;
-            let preferred = window_start
-                + SimDuration::from_hours_f64(rng.range_f64(0.0, window_h - hours));
+            let preferred =
+                window_start + SimDuration::from_hours_f64(rng.range_f64(0.0, window_h - hours));
             let dur = SimDuration::from_hours_f64(hours);
             if let Some(start) = cloud.earliest_slot(flavor, 1, dur, preferred) {
                 if start + dur <= window_end + SimDuration::weeks(1) {
@@ -174,9 +172,8 @@ pub fn plan_projects(
 
         // ---- Bare-metal data processing (≈25% of groups) -----------
         if rng.chance(0.25) {
-            let mut bm_budget = targets::BAREMETAL_HOURS / GROUPS as f64 / 0.25
-                * m
-                * rng.lognormal(-0.08, 0.4);
+            let mut bm_budget =
+                targets::BAREMETAL_HOURS / GROUPS as f64 / 0.25 * m * rng.lognormal(-0.08, 0.4);
             let mut batch = 0;
             while bm_budget > 1.0 {
                 let hours = rng.range_f64(4.0, 12.0).min(bm_budget.max(4.0));
@@ -187,7 +184,13 @@ pub fn plan_projects(
                     cloud.earliest_slot(FlavorId::ComputeCascadeLake, 1, dur, preferred)
                 {
                     let lease = cloud
-                        .reserve(FlavorId::ComputeCascadeLake, 1, start, start + dur, &gname("etl"))
+                        .reserve(
+                            FlavorId::ComputeCascadeLake,
+                            1,
+                            start,
+                            start + dur,
+                            &gname("etl"),
+                        )
                         .expect("slot search admitted");
                     plan.leases.push(PlannedLease {
                         name: gname(&format!("etl{batch}")),
@@ -211,11 +214,16 @@ pub fn plan_projects(
                 let preferred = window_start
                     + SimDuration::from_hours_f64(rng.range_f64(0.0, window_h - hours));
                 let dur = SimDuration::from_hours_f64(hours);
-                if let Some(start) =
-                    cloud.earliest_slot(FlavorId::RaspberryPi5, 1, dur, preferred)
+                if let Some(start) = cloud.earliest_slot(FlavorId::RaspberryPi5, 1, dur, preferred)
                 {
                     let lease = cloud
-                        .reserve(FlavorId::RaspberryPi5, 1, start, start + dur, &gname("edge"))
+                        .reserve(
+                            FlavorId::RaspberryPi5,
+                            1,
+                            start,
+                            start + dur,
+                            &gname("edge"),
+                        )
                         .expect("slot search admitted");
                     plan.leases.push(PlannedLease {
                         name: gname(&format!("edge{dev}")),
@@ -230,8 +238,7 @@ pub fn plan_projects(
         }
 
         // ---- Storage ------------------------------------------------
-        let want_gb =
-            (targets::BLOCK_GB / GROUPS as f64 * m * rng.lognormal(-0.08, 0.4)) as u64;
+        let want_gb = (targets::BLOCK_GB / GROUPS as f64 * m * rng.lognormal(-0.08, 0.4)) as u64;
         // Respect the 10 TB project quota across all groups.
         let gb = want_gb.min(10_240u64.saturating_sub(total_block_gb)).max(2);
         total_block_gb += gb;
@@ -327,7 +334,11 @@ mod tests {
     fn leases_admitted_in_calendar() {
         let (cloud, plan) = plan_fixture(5);
         for l in &plan.leases {
-            assert!(cloud.calendar().get(l.lease).is_some(), "{} lease missing", l.name);
+            assert!(
+                cloud.calendar().get(l.lease).is_some(),
+                "{} lease missing",
+                l.name
+            );
         }
     }
 

@@ -98,7 +98,10 @@ impl SemesterConfig {
 
     /// Labs only (the Table 1 scope).
     pub fn labs_only() -> SemesterConfig {
-        SemesterConfig { run_projects: false, ..SemesterConfig::paper_course() }
+        SemesterConfig {
+            run_projects: false,
+            ..SemesterConfig::paper_course()
+        }
     }
 }
 
@@ -122,11 +125,18 @@ enum Ev {
         net: Option<NetworkId>,
         vol: Option<VolumeId>,
     },
-    LeaseUp { name: String, lease: LeaseId, fip_until: SimTime },
+    LeaseUp {
+        name: String,
+        lease: LeaseId,
+        fip_until: SimTime,
+    },
     FipDown(FloatingIpId),
     VolUp(PlannedVolume),
     VolDown(VolumeId),
-    BucketPut { name: String, gb: f64 },
+    BucketPut {
+        name: String,
+        gb: f64,
+    },
 }
 
 /// Simulate a full semester; returns the closed ledger and counters.
@@ -162,13 +172,16 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
                         .expect("earliest_slot admitted this window");
                     queue.push(
                         start,
-                        Ev::LeaseUp { name, lease: lease.id, fip_until: start + dur },
+                        Ev::LeaseUp {
+                            name,
+                            lease: lease.id,
+                            fip_until: start + dur,
+                        },
                     );
                     earliest = start + dur;
                 }
             } else {
-                let mut wall =
-                    SimDuration::from_hours_f64(profile.vm_wall_hours(spec, &mut rng));
+                let mut wall = SimDuration::from_hours_f64(profile.vm_wall_hours(spec, &mut rng));
                 if let Some(cap) = config.vm_auto_terminate_after {
                     wall = wall.min(cap);
                 }
@@ -198,7 +211,10 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
                     );
                     queue.push(
                         preferred + SimDuration::minutes(30),
-                        Ev::BucketPut { name: format!("{name}-bucket"), gb: storage.object_gb },
+                        Ev::BucketPut {
+                            name: format!("{name}-bucket"),
+                            gb: storage.object_gb,
+                        },
                     );
                 }
             }
@@ -217,7 +233,11 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
         for l in plan.leases {
             queue.push(
                 l.start,
-                Ev::LeaseUp { name: l.name, lease: l.lease, fip_until: l.end },
+                Ev::LeaseUp {
+                    name: l.name,
+                    lease: l.lease,
+                    fip_until: l.end,
+                },
             );
         }
         for v in plan.volumes {
@@ -266,7 +286,11 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
                     let _ = cloud.delete_volume(v);
                 }
             }
-            Ev::LeaseUp { name, lease, fip_until } => {
+            Ev::LeaseUp {
+                name,
+                lease,
+                fip_until,
+            } => {
                 // Bare-metal provisioning per §4: student claims the node
                 // at slot start; auto-termination reclaims it.
                 let inst = cloud
@@ -299,11 +323,19 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
         }
     }
     cloud.finalize(semester_end);
-    SemesterOutcome { ledger: cloud.into_ledger(), quota_denials, slot_pushbacks }
+    SemesterOutcome {
+        ledger: cloud.into_ledger(),
+        quota_denials,
+        slot_pushbacks,
+    }
 }
 
-type Deployed =
-    (Vec<InstanceId>, Option<FloatingIpId>, Option<NetworkId>, Option<VolumeId>);
+type Deployed = (
+    Vec<InstanceId>,
+    Option<FloatingIpId>,
+    Option<NetworkId>,
+    Option<VolumeId>,
+);
 
 /// Create a VM deployment atomically; on quota failure, roll back any
 /// partial allocation so the retry starts clean.
@@ -371,11 +403,21 @@ mod tests {
         };
         let outcome = simulate_semester(&config, 7);
         assert!(outcome.ledger.instance_hours(None) > 0.0);
-        assert_eq!(outcome.quota_denials, 0, "12 students should never hit quota");
+        assert_eq!(
+            outcome.quota_denials, 0,
+            "12 students should never hit quota"
+        );
         let rollup = AssignmentRollup::from_ledger(&outcome.ledger, 12);
         // Every lab family appears.
         for tag in [
-            "lab1", "lab2", "lab3", "lab4-multi", "lab5-multi", "lab6-edge", "lab7", "lab8",
+            "lab1",
+            "lab2",
+            "lab3",
+            "lab4-multi",
+            "lab5-multi",
+            "lab6-edge",
+            "lab7",
+            "lab8",
         ] {
             assert!(
                 rollup.rows.iter().any(|r| r.tag == tag),
@@ -469,7 +511,11 @@ mod tests {
         assert!(proj_hours > 10_000.0, "project usage missing: {proj_hours}");
         // Project records never start before the project window.
         for r in outcome.ledger.with_prefix("proj-") {
-            assert!(r.start >= SimTime::at(8, 3, 0, 0), "{} starts early", r.name);
+            assert!(
+                r.start >= SimTime::at(8, 3, 0, 0),
+                "{} starts early",
+                r.name
+            );
         }
     }
 }

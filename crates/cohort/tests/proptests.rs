@@ -64,3 +64,39 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Replay equivalence at the cohort level: a seeded semester and its
+    /// rollups serialize identically whether rayon runs on 1 thread or 8.
+    #[test]
+    fn rollup_invariant_to_thread_count(enrollment in 4u32..12, seed in any::<u64>()) {
+        let config = SemesterConfig {
+            enrollment,
+            weeks: 14,
+            run_projects: false,
+            vm_auto_terminate_after: None,
+        };
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build pool");
+            pool.install(|| {
+                let outcome = simulate_semester(&config, seed);
+                let rollup = AssignmentRollup::from_ledger(&outcome.ledger, enrollment as usize);
+                let per_student =
+                    opml_metering::rollup::PerStudentUsage::from_ledger(&outcome.ledger);
+                (
+                    outcome.ledger.records().len(),
+                    serde_json::to_string(&rollup).expect("serialize rollup"),
+                    serde_json::to_string(&per_student).expect("serialize per-student"),
+                )
+            })
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,325 @@
+//! A comment- and string-stripping tokenizer for Rust source.
+//!
+//! The lexer produces a flat token stream (identifiers, literals,
+//! punctuation with `::` fused) annotated with 1-based line numbers, plus
+//! the list of `// detlint::allow(rule-id): reason` suppression
+//! directives found in comments. String and char literal *contents* are
+//! discarded so rule passes never match inside text; comments are
+//! discarded except for suppression directives.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (string/char literals are dropped entirely).
+    Literal,
+    /// Punctuation; `::` is fused into a single token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Source text (empty for stripped literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `// detlint::allow(rule): reason` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the directive comment sits on.
+    pub line: u32,
+    /// Rule id as written (e.g. `DL002`), not yet validated.
+    pub rule: String,
+    /// Free-text justification after the colon; empty if omitted.
+    pub reason: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream with comments/strings stripped.
+    pub tokens: Vec<Token>,
+    /// Suppression directives harvested from comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Tokenize `source`, stripping comments and literal contents.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (and suppression directives).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && bytes[j] != '\n' {
+                j += 1;
+            }
+            let text: String = bytes[start..j].iter().collect();
+            if let Some(dir) = parse_allow(&text, line) {
+                out.allows.push(dir);
+            }
+            i = j;
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Identifier — with raw-string / byte-string prefix detection.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident_cont(bytes[j]) {
+                j += 1;
+            }
+            let ident: String = bytes[start..j].iter().collect();
+            // r"...", r#"..."#, b"...", br#"..."# — the ident was a
+            // literal prefix, not an identifier.
+            if (ident == "r" || ident == "b" || ident == "br") && j < n {
+                if bytes[j] == '"' {
+                    i = if ident == "b" {
+                        skip_string(&bytes, j, &mut line)
+                    } else {
+                        skip_raw_string(&bytes, j, 0, &mut line)
+                    };
+                    continue;
+                }
+                if bytes[j] == '#' && ident != "b" {
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while k < n && bytes[k] == '#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && bytes[k] == '"' {
+                        i = skip_raw_string(&bytes, k, hashes, &mut line);
+                        continue;
+                    }
+                    // r#ident raw identifier: emit the ident without `r#`.
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal: digits plus alphanumeric suffix chars; a `.`
+        // continues the literal only when followed by a digit (so `1..n`
+        // and `x.0.iter()` tokenize usefully).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n {
+                let ch = bytes[j];
+                if ch.is_alphanumeric() || ch == '_' {
+                    j += 1;
+                } else if ch == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: bytes[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // String literal: strip contents.
+        if c == '"' {
+            i = skip_string(&bytes, i, &mut line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && (is_ident_start(bytes[i + 1])) && !(i + 2 < n && bytes[i + 2] == '\'') {
+                // Lifetime: skip the quote and the ident.
+                let mut j = i + 1;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                i = j;
+            } else {
+                // Char literal: skip to the closing quote.
+                let mut j = i + 1;
+                while j < n && bytes[j] != '\'' {
+                    if bytes[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                i = (j + 1).min(n);
+            }
+            continue;
+        }
+        // Punctuation; fuse `::`.
+        if c == ':' && i + 1 < n && bytes[i + 1] == ':' {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: "::".into(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Skip a normal (escaped) string literal starting at the opening quote;
+/// returns the index just past the closing quote.
+fn skip_string(bytes: &[char], open: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = open + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skip a raw string literal whose opening quote is at `open` preceded by
+/// `hashes` `#` characters; returns the index just past the terminator.
+fn skip_raw_string(bytes: &[char], open: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = open + 1;
+    while j < n {
+        if bytes[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && bytes[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Parse `detlint::allow(rule): reason` out of a line-comment body.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
+    let trimmed = comment.trim();
+    let rest = trimmed.strip_prefix("detlint::allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let reason = after
+        .strip_prefix(':')
+        .map(str::trim)
+        .unwrap_or("")
+        .to_string();
+    Some(AllowDirective { line, rule, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"Instant::now\"; // trailing\n/* block\nInstant */ let y = 1;";
+        let lexed = lex(src);
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", ";", "let", "y", "=", "1", ";"]);
+        assert_eq!(lexed.tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn fuses_path_separator_and_keeps_lines() {
+        let lexed = lex("a::b\nc");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "::", "b", "c"]);
+        assert_eq!(lexed.tokens[3].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"Instant::now()\"#; let c = 'x'; }";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "Instant"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn parses_allow_directive() {
+        let src = "foo(); // detlint::allow(DL002): keys feed an order-insensitive count\nbar(); // detlint::allow(DL001)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "DL002");
+        assert_eq!(
+            lexed.allows[0].reason,
+            "keys feed an order-insensitive count"
+        );
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[1].rule, "DL001");
+        assert_eq!(lexed.allows[1].reason, "");
+    }
+}

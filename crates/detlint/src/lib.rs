@@ -1,0 +1,382 @@
+//! # opml-detlint
+//!
+//! Static-analysis pass enforcing the workspace determinism contract
+//! (DESIGN.md §7). Scans every `.rs` file of the workspace (excluding
+//! `target/` and the `vendor/` shims) with a comment/string-stripping
+//! tokenizer and runs heuristic rule passes:
+//!
+//! - **DL001** — banned nondeterminism APIs: `Instant::now`,
+//!   `SystemTime::now`, `thread_rng` / `rand::rng`, `from_entropy`,
+//!   `RandomState`, `process::id`.
+//! - **DL002** — HashMap/HashSet iteration order leaking into ordered or
+//!   order-sensitive sinks (collects, pushes, folds, `.next()` picks,
+//!   serialized hash-typed fields).
+//! - **DL003** — rayon hazards: order-sensitive `reduce`/`fold`/`sum`
+//!   over parallel iterators, `par_bridge`.
+//! - **DL004** — lock-order cycles across `Mutex`/`RwLock` field
+//!   acquisitions (potential deadlocks).
+//! - **DL005** — malformed suppressions (missing reason, unknown rule).
+//!
+//! Intentional exceptions are suppressed in-source with
+//! `// detlint::allow(DL00x): reason`, placed on the flagged line or the
+//! line directly above it. The reason is mandatory.
+//!
+//! The `detlint` binary prints an opml-report table (or `--json`) and
+//! exits nonzero on any unsuppressed finding; the root-package test
+//! `tests/detlint_clean.rs` makes the same check part of tier-1.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+pub mod lexer;
+pub mod locks;
+pub mod rules;
+
+/// One diagnostic produced by a rule pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Rule id (`DL001`…`DL005`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation with a suggested fix.
+    pub message: String,
+    /// Trimmed source line (empty for file-spanning findings).
+    pub excerpt: String,
+}
+
+/// A finding silenced by a `detlint::allow` directive.
+#[derive(Debug, Clone, Serialize)]
+pub struct SuppressedFinding {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The justification written in the directive.
+    pub reason: String,
+}
+
+/// Result of analyzing a set of sources.
+#[derive(Debug, Default, Serialize)]
+pub struct Analysis {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by valid `detlint::allow` directives.
+    pub suppressed: Vec<SuppressedFinding>,
+}
+
+impl Analysis {
+    /// True when the scan is clean (no unsuppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the findings as an opml-report ASCII table.
+    pub fn to_table(&self) -> String {
+        let mut table = opml_report::Table::new(&["rule", "location", "message"]).aligns(&[
+            opml_report::table::Align::Left,
+            opml_report::table::Align::Left,
+            opml_report::table::Align::Left,
+        ]);
+        for f in &self.findings {
+            table.row(&[
+                f.rule.clone(),
+                format!("{}:{}", f.file, f.line),
+                f.message.clone(),
+            ]);
+        }
+        table.footer(&[
+            "total".to_string(),
+            format!("{} files", self.files_scanned),
+            format!(
+                "{} findings, {} suppressed",
+                self.findings.len(),
+                self.suppressed.len()
+            ),
+        ]);
+        table.render()
+    }
+
+    /// Render as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+    }
+}
+
+/// Analyze in-memory sources: `(path-label, source)` pairs.
+///
+/// This is the core entry point; [`analyze_workspace`] feeds it from the
+/// filesystem and unit tests feed it fixture strings.
+pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
+    let lexed: Vec<(&str, &str, lexer::Lexed)> = sources
+        .iter()
+        .map(|(path, src)| (path.as_str(), src.as_str(), lexer::lex(src)))
+        .collect();
+
+    let mut findings = Vec::new();
+
+    // DL004 needs a whole-workspace view: fields first, then acquisitions.
+    let mut graph = locks::LockGraph::default();
+    for (_, _, lx) in &lexed {
+        graph.collect_fields(lx);
+    }
+    for (path, _, lx) in &lexed {
+        graph.collect_acquisitions(path, lx);
+    }
+    graph.check(&mut findings);
+
+    // Per-file passes.
+    for (path, src, lx) in &lexed {
+        let lines: Vec<&str> = src.lines().collect();
+        rules::check_file(path, lx, &lines, &mut findings);
+    }
+
+    // Apply suppressions: a valid allow(rule) on the finding's line or the
+    // line directly above silences it. DL005 (malformed suppression) is
+    // itself unsuppressible.
+    let allows_by_file: BTreeMap<&str, &[lexer::AllowDirective]> = lexed
+        .iter()
+        .map(|(path, _, lx)| (*path, lx.allows.as_slice()))
+        .collect();
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let reason = if f.rule == "DL005" {
+            None
+        } else {
+            allows_by_file.get(f.file.as_str()).and_then(|allows| {
+                allows
+                    .iter()
+                    .find(|a| {
+                        a.rule.eq_ignore_ascii_case(&f.rule)
+                            && !a.reason.is_empty()
+                            && (a.line == f.line || a.line + 1 == f.line)
+                    })
+                    .map(|a| a.reason.clone())
+            })
+        };
+        match reason {
+            Some(reason) => suppressed.push(SuppressedFinding { finding: f, reason }),
+            None => active.push(f),
+        }
+    }
+    let key = |f: &Finding| (f.file.clone(), f.line, f.rule.clone());
+    active.sort_by_key(key);
+    suppressed.sort_by_key(|s| key(&s.finding));
+
+    Analysis {
+        files_scanned: sources.len(),
+        findings: active,
+        suppressed,
+    }
+}
+
+/// Scan the workspace rooted at `root`: every `.rs` file outside
+/// `target/`, `vendor/`, and `.git/`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .display()
+            .to_string();
+        let src = std::fs::read_to_string(&path)?;
+        sources.push((rel, src));
+    }
+    Ok(analyze_sources(&sources))
+}
+
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Ascend from `start` to the first directory whose `Cargo.toml` declares
+/// a `[workspace]`; falls back to `start` itself.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_one(src: &str) -> Analysis {
+        analyze_sources(&[("fixture.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn dl001_banned_apis() {
+        let a = analyze_one(
+            "fn f() { let t = Instant::now(); let r = rand::rng(); let h = RandomState::new(); }",
+        );
+        let rules: Vec<&str> = a.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["DL001", "DL001", "DL001"]);
+        assert_eq!(a.findings[0].line, 1);
+    }
+
+    #[test]
+    fn dl001_not_in_strings_or_comments() {
+        let a = analyze_one("fn f() { let s = \"Instant::now\"; } // thread_rng\n");
+        assert!(a.is_clean(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn dl002_hash_iter_into_collect() {
+        let a = analyze_one(
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, f64>) -> Vec<u32> {\n    m.keys().copied().collect::<Vec<u32>>()\n}",
+        );
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert_eq!(a.findings[0].rule, "DL002");
+        assert_eq!(a.findings[0].line, 3);
+    }
+
+    #[test]
+    fn dl002_sorted_collect_is_clean() {
+        let a = analyze_one(
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, f64>) -> Vec<u32> {\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort_unstable();\n    v\n}",
+        );
+        assert!(a.is_clean(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn dl002_collect_into_btree_is_clean() {
+        let a = analyze_one(
+            "use std::collections::{BTreeMap, HashMap};\nfn f(m: &HashMap<u32, f64>) -> BTreeMap<u32, f64> {\n    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u32, f64>>()\n}",
+        );
+        assert!(a.is_clean(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn dl002_next_pick_flagged() {
+        let a = analyze_one(
+            "use std::collections::HashMap;\nfn f(m: &HashMap<String, u32>) -> Option<u32> {\n    m.iter().filter(|(k, _)| k.starts_with(\"x\")).map(|(_, v)| *v).next()\n}",
+        );
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert!(a.findings[0].message.contains("next"));
+    }
+
+    #[test]
+    fn dl002_for_loop_push_flagged_and_count_clean() {
+        let flagged = analyze_one(
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {\n    let mut out = Vec::new();\n    for (k, v) in m.iter() {\n        out.push(*k + *v);\n    }\n}",
+        );
+        assert_eq!(flagged.findings.len(), 1, "{:?}", flagged.findings);
+        let clean = analyze_one(
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> usize {\n    let mut n = 0usize;\n    for (_, v) in m.iter() {\n        if *v > 3 { n += 1; }\n    }\n    n\n}",
+        );
+        assert!(clean.is_clean(), "{:?}", clean.findings);
+    }
+
+    #[test]
+    fn dl002_serialized_hash_field() {
+        let a = analyze_one(
+            "#[derive(Debug, Serialize)]\npub struct Report {\n    pub by_id: HashMap<u32, f64>,\n}\n",
+        );
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert!(a.findings[0].message.contains("Serialize"));
+        assert_eq!(a.findings[0].line, 3);
+    }
+
+    #[test]
+    fn dl003_par_reduce_and_bridge() {
+        let a = analyze_one(
+            "fn f(v: &[f64]) -> f64 {\n    let s: f64 = v.par_iter().map(|x| x * 2.0).sum();\n    v.iter().par_bridge();\n    s\n}",
+        );
+        let rules: Vec<&str> = a.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["DL003", "DL003"], "{:?}", a.findings);
+    }
+
+    #[test]
+    fn dl004_lock_cycle() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                   fn f(&self) { let _x = self.a.lock(); let _y = self.b.lock(); }\n\
+                   fn g(&self) { let _y = self.b.lock(); let _x = self.a.lock(); }\n\
+                   }\n";
+        let a = analyze_one(src);
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert_eq!(a.findings[0].rule, "DL004");
+        assert!(
+            a.findings[0].message.contains("a -> b") || a.findings[0].message.contains("b -> a")
+        );
+    }
+
+    #[test]
+    fn dl004_consistent_order_clean() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                   fn f(&self) { let _x = self.a.lock(); let _y = self.b.lock(); }\n\
+                   fn g(&self) { let _x = self.a.lock(); let _y = self.b.lock(); }\n\
+                   }\n";
+        assert!(analyze_one(src).is_clean());
+    }
+
+    #[test]
+    fn suppression_with_reason_works() {
+        let a = analyze_one(
+            "fn f() {\n    // detlint::allow(DL001): fixture exercising the suppression path\n    let t = Instant::now();\n}",
+        );
+        assert!(a.is_clean(), "{:?}", a.findings);
+        assert_eq!(a.suppressed.len(), 1);
+        assert_eq!(
+            a.suppressed[0].reason,
+            "fixture exercising the suppression path"
+        );
+    }
+
+    #[test]
+    fn suppression_without_reason_rejected() {
+        let a = analyze_one("fn f() {\n    let t = Instant::now(); // detlint::allow(DL001)\n}");
+        // The DL001 stays active AND a DL005 flags the reasonless allow.
+        let rules: Vec<&str> = a.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["DL001", "DL005"], "{:?}", a.findings);
+    }
+
+    #[test]
+    fn suppression_unknown_rule_rejected() {
+        let a = analyze_one("fn f() {} // detlint::allow(DL999): nope\n");
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "DL005");
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let a = analyze_one("fn f() { let t = Instant::now(); }");
+        assert!(a.to_table().contains("DL001"));
+        assert!(a.to_json().contains("\"rule\": \"DL001\""));
+    }
+}

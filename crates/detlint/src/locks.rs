@@ -1,0 +1,223 @@
+//! DL004: lock-order graph analysis.
+//!
+//! Pass 1 collects every struct field whose type mentions `Mutex` or
+//! `RwLock` (std or parking_lot, possibly behind `Arc`). Pass 2 records,
+//! per function, the order in which those fields are acquired
+//! (`.lock()` / `.read()` / `.write()`). Each ordered pair within one
+//! function becomes an edge `a -> b` ("a is held while b is taken" —
+//! approximated, since guard drops are not tracked). A cycle in the
+//! resulting graph is a potential deadlock: two functions that take the
+//! same locks in opposite orders can each hold one and wait forever on
+//! the other.
+//!
+//! Names are matched per field identifier across the whole workspace;
+//! witnesses (file, function) are attached to every edge so a reported
+//! cycle can be audited by hand.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::rules::for_each_struct_field;
+use crate::Finding;
+
+/// Where an edge was observed.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    file: String,
+    function: String,
+    line: u32,
+}
+
+/// Accumulated lock-order state across the workspace.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Field names with lock-bearing types.
+    fields: BTreeSet<String>,
+    /// `a -> b` edges with their first witness.
+    edges: BTreeMap<(String, String), EdgeWitness>,
+}
+
+impl LockGraph {
+    /// Pass 1: harvest lock-typed field names from one file.
+    pub fn collect_fields(&mut self, lexed: &Lexed) {
+        for_each_struct_field(&lexed.tokens, |field, ty| {
+            if ty.iter().any(|t| t == "Mutex" || t == "RwLock") {
+                self.fields.insert(field.to_string());
+            }
+        });
+    }
+
+    /// Pass 2: record per-function acquisition orders from one file.
+    pub fn collect_acquisitions(&mut self, file: &str, lexed: &Lexed) {
+        if self.fields.is_empty() {
+            return;
+        }
+        let toks = &lexed.tokens;
+        // Reuse the function discovery from rules by scanning for `fn`
+        // bodies directly (kept local: the shapes differ slightly).
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].text == "fn" && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+                let name = toks[i + 1].text.clone();
+                let mut paren = 0i32;
+                let mut j = i + 2;
+                let mut open = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        "{" if paren == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        ";" if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    let close = crate::rules::match_brace(toks, open);
+                    self.scan_body(file, &name, lexed, open, close);
+                    // Continue after the signature; nested fns are caught
+                    // again but their edges are a subset, deduplicated by
+                    // the map.
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn scan_body(&mut self, file: &str, function: &str, lexed: &Lexed, open: usize, close: usize) {
+        let toks = &lexed.tokens;
+        let mut acquired: Vec<(String, u32)> = Vec::new();
+        let mut k = open;
+        while k + 2 <= close {
+            // `field.lock(` / `field.read(` / `field.write(`
+            if toks[k].kind == TokenKind::Ident
+                && self.fields.contains(&toks[k].text)
+                && toks.get(k + 1).map(|t| t.text.as_str()) == Some(".")
+                && toks
+                    .get(k + 2)
+                    .is_some_and(|t| matches!(t.text.as_str(), "lock" | "read" | "write"))
+                && toks.get(k + 3).map(|t| t.text.as_str()) == Some("(")
+            {
+                acquired.push((toks[k].text.clone(), toks[k].line));
+                k += 4;
+                continue;
+            }
+            k += 1;
+        }
+        for a in 0..acquired.len() {
+            for b in (a + 1)..acquired.len() {
+                let (ref la, _) = acquired[a];
+                let (ref lb, line_b) = acquired[b];
+                if la != lb {
+                    self.edges
+                        .entry((la.clone(), lb.clone()))
+                        .or_insert_with(|| EdgeWitness {
+                            file: file.to_string(),
+                            function: function.to_string(),
+                            line: line_b,
+                        });
+                }
+            }
+        }
+    }
+
+    /// Cycle detection; one finding per distinct cycle.
+    pub fn check(&self, findings: &mut Vec<Finding>) {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in self.edges.keys() {
+            adj.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        // Iterative DFS with tri-color marking; back edges close cycles.
+        let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white, 1 grey, 2 black
+        let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+        let nodes: Vec<&str> = adj.keys().copied().collect();
+        for &start in &nodes {
+            if color.get(start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+            let mut path: Vec<&str> = vec![start];
+            color.insert(start, 1);
+            while let Some(&(node, next)) = stack.last() {
+                let succs = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+                if next < succs.len() {
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    let succ = succs[next];
+                    match color.get(succ).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(succ, 1);
+                            stack.push((succ, 0));
+                            path.push(succ);
+                        }
+                        1 => {
+                            // Back edge: the cycle is path[pos..] + succ.
+                            if let Some(pos) = path.iter().position(|&n| n == succ) {
+                                let cycle: Vec<String> =
+                                    path[pos..].iter().map(|s| s.to_string()).collect();
+                                let canon = canonical_rotation(&cycle);
+                                if reported.insert(canon.clone()) {
+                                    findings.push(self.cycle_finding(&cycle));
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(node, 2);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+
+    fn cycle_finding(&self, cycle: &[String]) -> Finding {
+        // Describe the cycle a -> b -> … -> a with the witness function
+        // for each edge.
+        let mut legs = Vec::new();
+        let mut first_witness: Option<&EdgeWitness> = None;
+        for i in 0..cycle.len() {
+            let a = &cycle[i];
+            let b = &cycle[(i + 1) % cycle.len()];
+            if let Some(w) = self.edges.get(&(a.clone(), b.clone())) {
+                legs.push(format!("{a}->{b} in {}::{}", w.file, w.function));
+                if first_witness.is_none() {
+                    first_witness = Some(w);
+                }
+            }
+        }
+        let (file, line) = first_witness
+            .map(|w| (w.file.clone(), w.line))
+            .unwrap_or_default();
+        Finding {
+            rule: "DL004".to_string(),
+            file,
+            line,
+            message: format!(
+                "lock-order cycle ({}); functions acquire these locks in conflicting orders \
+                 and can deadlock: {}",
+                cycle.join(" -> "),
+                legs.join("; ")
+            ),
+            excerpt: String::new(),
+        }
+    }
+}
+
+/// Rotate a cycle so its lexicographically smallest node comes first,
+/// giving a canonical key for deduplication.
+fn canonical_rotation(cycle: &[String]) -> Vec<String> {
+    let min_pos = cycle
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_pos..]);
+    out.extend_from_slice(&cycle[..min_pos]);
+    out
+}

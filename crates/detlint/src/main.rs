@@ -1,0 +1,82 @@
+//! `detlint` — command-line front end for the determinism lint pass.
+//!
+//! Usage:
+//!
+//! ```text
+//! detlint [--root PATH] [--json]
+//! ```
+//!
+//! Scans the workspace (auto-discovered by walking up to the first
+//! `Cargo.toml` with a `[workspace]` section), prints the findings as an
+//! ASCII table — or JSON with `--json` — and exits nonzero if any
+//! unsuppressed finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("detlint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: detlint [--root PATH] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        opml_detlint::find_workspace_root(&cwd)
+    });
+
+    let analysis = match opml_detlint::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("detlint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", analysis.to_json());
+    } else if analysis.is_clean() {
+        println!(
+            "detlint: clean — {} files scanned, 0 findings, {} suppressed",
+            analysis.files_scanned,
+            analysis.suppressed.len()
+        );
+        for s in &analysis.suppressed {
+            println!(
+                "  allowed {} at {}:{} — {}",
+                s.finding.rule, s.finding.file, s.finding.line, s.reason
+            );
+        }
+    } else {
+        println!("{}", analysis.to_table());
+        for f in &analysis.findings {
+            if !f.excerpt.is_empty() {
+                println!("  {}:{}  {}", f.file, f.line, f.excerpt);
+            }
+        }
+    }
+
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

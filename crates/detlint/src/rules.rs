@@ -1,0 +1,909 @@
+//! Rule passes over the lexed token stream.
+//!
+//! | Rule  | What it catches |
+//! |-------|-----------------|
+//! | DL001 | Banned nondeterminism APIs (wall clock, ambient RNG, random hasher state, process ids) |
+//! | DL002 | HashMap/HashSet iteration order leaking into ordered or order-sensitive sinks |
+//! | DL003 | Rayon hazards: order-sensitive reductions over parallel iterators, `par_bridge` |
+//! | DL005 | Malformed suppressions: missing reason or unknown rule id |
+//!
+//! (DL004, the lock-order cycle pass, lives in [`crate::locks`] because
+//! it is a whole-workspace graph analysis rather than a per-file scan.)
+//!
+//! All passes are heuristic token-level analyses: no type information,
+//! intra-function only. They are tuned so that a true positive is worth
+//! a `// detlint::allow(rule): reason` annotation when intentional.
+
+use crate::lexer::{AllowDirective, Lexed, Token, TokenKind};
+use crate::Finding;
+
+/// Known rule ids, for validating `detlint::allow(...)` directives.
+pub const KNOWN_RULES: &[&str] = &["DL001", "DL002", "DL003", "DL004", "DL005"];
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ORDERED_TYPES: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
+/// Iterator-source methods that expose hash-table ordering.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+/// Chain adapters that bake the incoming order into the output.
+const ORDER_BAKING_ADAPTERS: &[&str] = &[
+    "enumerate",
+    "zip",
+    "take",
+    "skip",
+    "step_by",
+    "nth",
+    "chain",
+];
+/// Chain terminals whose result depends on element order.
+const ORDER_SENSITIVE_TERMINALS: &[&str] = &[
+    "collect", "fold", "sum", "product", "for_each", "next", "last", "position", "find",
+    "find_map", "reduce", "min_by", "max_by", "try_fold", "scan",
+];
+/// Statements inside a `for`-over-hash body that accumulate in order.
+const ORDER_SENSITIVE_BODY_CALLS: &[&str] = &[
+    "push",
+    "push_str",
+    "push_back",
+    "push_front",
+    "extend",
+    "write",
+    "writeln",
+    "format",
+];
+
+/// A function body located in the token stream.
+struct FnSpan {
+    /// Index of the opening `{` of the body.
+    open: usize,
+    /// Index of the matching `}`.
+    close: usize,
+    /// Index of the `fn` keyword (signature start).
+    fn_kw: usize,
+}
+
+/// Run every per-file rule pass, appending findings.
+pub fn check_file(file: &str, lexed: &Lexed, lines: &[&str], findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    check_banned_apis(file, toks, lines, findings);
+    let hash_fields = collect_hash_fields(toks);
+    check_serialized_hash_fields(file, toks, lines, findings);
+    for span in find_functions(toks) {
+        check_hash_iteration(file, toks, &span, &hash_fields, lines, findings);
+        check_rayon(file, toks, &span, lines, findings);
+    }
+    check_allow_directives(file, &lexed.allows, findings);
+}
+
+/// Excerpt of a 1-based source line, trimmed and capped.
+fn excerpt(lines: &[&str], line: u32) -> String {
+    let text = lines.get(line as usize - 1).map(|l| l.trim()).unwrap_or("");
+    let mut out: String = text.chars().take(96).collect();
+    if text.chars().count() > 96 {
+        out.push('…');
+    }
+    out
+}
+
+fn finding(rule: &str, file: &str, line: u32, message: String, lines: &[&str]) -> Finding {
+    Finding {
+        rule: rule.to_string(),
+        file: file.to_string(),
+        line,
+        message,
+        excerpt: excerpt(lines, line),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DL001: banned APIs
+// ---------------------------------------------------------------------------
+
+fn check_banned_apis(file: &str, toks: &[Token], lines: &[&str], findings: &mut Vec<Finding>) {
+    // (token sequence, message) — matched anywhere in the stream.
+    let patterns: &[(&[&str], &str)] = &[
+        (
+            &["Instant", "::", "now"],
+            "wall-clock read (Instant::now); simulation code must use the simulated clock",
+        ),
+        (
+            &["SystemTime", "::", "now"],
+            "wall-clock read (SystemTime::now); derive timestamps from the simulated clock",
+        ),
+        (
+            &["thread_rng"],
+            "ambient-entropy RNG (thread_rng); use a per-entity seeded simkernel Rng",
+        ),
+        (
+            &["rand", "::", "rng"],
+            "ambient-entropy RNG (rand::rng); use a per-entity seeded simkernel Rng",
+        ),
+        (
+            &["from_entropy"],
+            "entropy-seeded RNG construction; seeds must be explicit and logged",
+        ),
+        (
+            &["RandomState"],
+            "randomized hasher state; hash iteration order would vary between runs",
+        ),
+        (
+            &["process", "::", "id"],
+            "process id read; run-dependent value breaks replay equivalence",
+        ),
+    ];
+    for i in 0..toks.len() {
+        for (pat, msg) in patterns {
+            if matches_seq(toks, i, pat) {
+                // `rand::rng` must not also fire on `rand::rngs::...` paths.
+                if pat.len() == 3
+                    && pat[2] == "rng"
+                    && toks.get(i + 3).is_some_and(|t| t.text == "::")
+                {
+                    continue;
+                }
+                findings.push(finding("DL001", file, toks[i].line, msg.to_string(), lines));
+            }
+        }
+    }
+}
+
+fn matches_seq(toks: &[Token], at: usize, pat: &[&str]) -> bool {
+    pat.len() <= toks.len() - at && pat.iter().enumerate().all(|(k, p)| toks[at + k].text == *p)
+}
+
+// ---------------------------------------------------------------------------
+// Struct-field collection (shared by DL002 and DL004)
+// ---------------------------------------------------------------------------
+
+/// Names of struct fields whose type mentions HashMap/HashSet, file-wide.
+fn collect_hash_fields(toks: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for_each_struct_field(toks, |field, ty| {
+        if ty.iter().any(|t| HASH_TYPES.contains(&t.as_str())) {
+            out.insert(field.to_string());
+        }
+    });
+    out
+}
+
+/// Invoke `f(field_name, type_tokens)` for each named field of each
+/// `struct` item in the stream.
+pub(crate) fn for_each_struct_field(toks: &[Token], mut f: impl FnMut(&str, &[String])) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "struct" && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            // Skip generics after the name, then require a brace body
+            // (tuple/unit structs have no named fields).
+            let mut j = i + 2;
+            if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+                let mut depth = 1;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    match toks[j].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if toks.get(j).map(|t| t.text.as_str()) == Some("{") {
+                let close = match_brace(toks, j);
+                let mut k = j + 1;
+                while k < close {
+                    // A field is `ident :` at brace depth 1 where the
+                    // previous token is `,`, `{`, `]` (attr end) or `pub…)`.
+                    if toks[k].kind == TokenKind::Ident
+                        && toks.get(k + 1).map(|t| t.text.as_str()) == Some(":")
+                    {
+                        let (ty, next) = type_tokens(toks, k + 2, close);
+                        let ty_texts: Vec<String> = ty.iter().map(|t| t.text.clone()).collect();
+                        f(&toks[k].text, &ty_texts);
+                        k = next;
+                        continue;
+                    }
+                    k += 1;
+                }
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collect the tokens of a field type starting at `start`, stopping at the
+/// `,` that ends the field (at angle/paren depth 0) or at `end`.
+fn type_tokens(toks: &[Token], start: usize, end: usize) -> (Vec<Token>, usize) {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < end {
+        match toks[j].text.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            "," if depth == 0 => break,
+            _ => {}
+        }
+        out.push(toks[j].clone());
+        j += 1;
+    }
+    (out, j + 1)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub(crate) fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------------
+// DL002a: hash-typed fields on Serialize-derived structs
+// ---------------------------------------------------------------------------
+
+fn check_serialized_hash_fields(
+    file: &str,
+    toks: &[Token],
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    // Find `derive(...)` lists containing Serialize, then attach to the
+    // next `struct` item and inspect its fields.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "derive" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+            let mut j = i + 2;
+            let mut has_serialize = false;
+            while j < toks.len() && toks[j].text != ")" {
+                if toks[j].text == "Serialize" {
+                    has_serialize = true;
+                }
+                j += 1;
+            }
+            if has_serialize {
+                // Scan forward to the struct this derive is attached to
+                // (skipping further attributes and visibility tokens).
+                let mut k = j;
+                while k < toks.len() && toks[k].text != "struct" && toks[k].text != "enum" {
+                    // Bail if we hit another item boundary first.
+                    if toks[k].text == "fn" || toks[k].text == "impl" {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].text == "struct" {
+                    // Bound the scan to this struct's brace body so later
+                    // structs in the file are not attributed to this derive.
+                    let mut m = k + 2;
+                    if toks.get(m).map(|t| t.text.as_str()) == Some("<") {
+                        let mut depth = 1;
+                        m += 1;
+                        while m < toks.len() && depth > 0 {
+                            match toks[m].text.as_str() {
+                                "<" => depth += 1,
+                                ">" => depth -= 1,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                    }
+                    if toks.get(m).map(|t| t.text.as_str()) != Some("{") {
+                        // Tuple/unit struct: no named fields to inspect.
+                        i = k + 1;
+                        continue;
+                    }
+                    let close = match_brace(toks, m);
+                    let slice = &toks[k..=close];
+                    for_each_struct_field(slice, |field, ty| {
+                        if let Some(h) = ty.iter().find(|t| HASH_TYPES.contains(&t.as_str())) {
+                            let line = slice
+                                .iter()
+                                .find(|t| t.text == *field)
+                                .map(|t| t.line)
+                                .unwrap_or(toks[k].line);
+                            findings.push(finding(
+                                "DL002",
+                                file,
+                                line,
+                                format!(
+                                    "field `{field}: {h}<…>` on a Serialize-derived struct: \
+                                     serialization order follows hash order; use BTreeMap/BTreeSet \
+                                     or sort at the emission point"
+                                ),
+                                lines,
+                            ));
+                        }
+                    });
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function discovery
+// ---------------------------------------------------------------------------
+
+fn find_functions(toks: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "fn" && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            // Find the body `{`: first brace at paren depth 0; a `;`
+            // first means a bodyless trait/extern declaration.
+            let mut paren = 0i32;
+            let mut j = i + 2;
+            let mut open = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "{" if paren == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(toks, open);
+                out.push(FnSpan {
+                    open,
+                    close,
+                    fn_kw: i,
+                });
+                // Nested fns are re-discovered by the scan, which is fine:
+                // they get their own (smaller) span too.
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// DL002b: hash iteration flowing into order-sensitive sinks
+// ---------------------------------------------------------------------------
+
+fn check_hash_iteration(
+    file: &str,
+    toks: &[Token],
+    span: &FnSpan,
+    hash_fields: &std::collections::BTreeSet<String>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    let body = &toks[span.open..=span.close];
+    let hash_names = collect_hash_bindings(toks, span);
+
+    let is_hash_expr = |body: &[Token], at: usize| -> Option<usize> {
+        // Returns the index just past the hash-valued expression head
+        // (`name` or `self.field` / `x.field`), i.e. where `.method` starts.
+        let t = &body[at];
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        // `self.field` / `binding.field` where field is hash-typed.
+        if body.get(at + 1).map(|t| t.text.as_str()) == Some(".")
+            && body.get(at + 2).map(|t| t.kind) == Some(TokenKind::Ident)
+            && hash_fields.contains(&body[at + 2].text)
+            && body.get(at + 3).map(|t| t.text.as_str()) == Some(".")
+        {
+            return Some(at + 3);
+        }
+        if hash_names.contains(&t.text) && body.get(at + 1).map(|t| t.text.as_str()) == Some(".") {
+            // Not a field access consumed above.
+            return Some(at + 1);
+        }
+        None
+    };
+
+    let mut i = 0;
+    while i < body.len() {
+        // `for pat in <expr-with-hash> { body }`
+        if body[i].text == "for" {
+            if let Some((iter_end, body_open)) = for_loop_shape(body, i) {
+                let iterable = &body[i..iter_end];
+                let hash_sourced = (i..iter_end).any(|k| {
+                    is_hash_expr(body, k).is_some()
+                        || (body[k].kind == TokenKind::Ident && hash_names.contains(&body[k].text))
+                }) && !iterable
+                    .iter()
+                    .any(|t| ORDERED_TYPES.contains(&t.text.as_str()));
+                if hash_sourced {
+                    let close = match_brace(body, body_open);
+                    if let Some(line_msg) =
+                        order_sensitive_loop_body(body, body_open, close, span, toks)
+                    {
+                        findings.push(finding(
+                            "DL002",
+                            file,
+                            body[i].line,
+                            format!(
+                                "for-loop over hash-table contents feeds {line_msg}; iterate a \
+                                 sorted view (BTreeMap or collect-and-sort) before accumulating"
+                            ),
+                            lines,
+                        ));
+                    }
+                    i = body_open;
+                    continue;
+                }
+            }
+        }
+        // `name.iter()...` / `self.field.keys()...` chains.
+        if let Some(dot) = is_hash_expr(body, i) {
+            let method = body.get(dot + 1);
+            if let Some(m) = method {
+                if HASH_ITER_METHODS.contains(&m.text.as_str())
+                    && body.get(dot + 2).map(|t| t.text.as_str()) == Some("(")
+                {
+                    if let Some(msg) = classify_chain(body, dot + 2, span, toks) {
+                        findings.push(finding(
+                            "DL002",
+                            file,
+                            body[i].line,
+                            format!("hash-table iteration {msg}"),
+                            lines,
+                        ));
+                    }
+                    i = dot + 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collect names of let-bindings and parameters whose type or initializer
+/// mentions HashMap/HashSet, within the function span.
+fn collect_hash_bindings(toks: &[Token], span: &FnSpan) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    // Parameters: scan the signature between `fn` and the body `{`.
+    let sig = &toks[span.fn_kw..span.open];
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].kind == TokenKind::Ident && sig.get(i + 1).map(|t| t.text.as_str()) == Some(":") {
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < sig.len() {
+                match sig[j].text.as_str() {
+                    "<" | "(" => depth += 1,
+                    ">" | ")" => depth -= 1,
+                    "," if depth <= 0 => break,
+                    _ => {}
+                }
+                if HASH_TYPES.contains(&sig[j].text.as_str()) {
+                    names.insert(sig[i].text.clone());
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    // Let-bindings in the body.
+    let body = &toks[span.open..=span.close];
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].text == "let" {
+            let mut j = i + 1;
+            if body.get(j).map(|t| t.text.as_str()) == Some("mut") {
+                j += 1;
+            }
+            if body.get(j).map(|t| t.kind) == Some(TokenKind::Ident) {
+                let name = body[j].text.clone();
+                // Scan the statement (to `;` at relative depth 0) for a
+                // hash type in the annotation or initializer.
+                let mut depth = 0i32;
+                let mut k = j + 1;
+                let mut is_hash = false;
+                while k < body.len() {
+                    match body[k].text.as_str() {
+                        "{" | "(" | "[" => depth += 1,
+                        "}" | ")" | "]" => depth -= 1,
+                        ";" if depth <= 0 => break,
+                        t if HASH_TYPES.contains(&t) => is_hash = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if is_hash {
+                    names.insert(name);
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Returns `(index-past-iterable, index-of-body-open-brace)` for the `for`
+/// at `at`, or `None` if it doesn't look like a for-loop.
+fn for_loop_shape(body: &[Token], at: usize) -> Option<(usize, usize)> {
+    // Find `in` at depth 0 after the pattern.
+    let mut j = at + 1;
+    let mut depth = 0i32;
+    while j < body.len() {
+        match body[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => break,
+            "{" | ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= body.len() {
+        return None;
+    }
+    // Iterable runs to the first `{` at depth 0 (struct literals are not
+    // permitted unparenthesized in for-expressions).
+    let mut k = j + 1;
+    let mut depth = 0i32;
+    while k < body.len() {
+        match body[k].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some((k, k)),
+            ";" => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Check a for-body for order-sensitive accumulation. Returns a
+/// description of the sink, or `None` if the body looks order-insensitive
+/// (or every accumulation target is sorted later in the function).
+fn order_sensitive_loop_body(
+    body: &[Token],
+    open: usize,
+    close: usize,
+    span: &FnSpan,
+    toks: &[Token],
+) -> Option<String> {
+    let mut targets: Vec<String> = Vec::new();
+    let mut sink = None;
+    let mut k = open;
+    while k < close {
+        let t = &body[k];
+        if t.kind == TokenKind::Ident
+            && ORDER_SENSITIVE_BODY_CALLS.contains(&t.text.as_str())
+            && body.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+            && k >= 2
+            && body[k - 1].text == "."
+        {
+            targets.push(body[k - 2].text.clone());
+            sink.get_or_insert_with(|| format!("`.{}(…)` accumulation", t.text));
+        }
+        // `acc += expr` — order-sensitive for floats; `+= 1` counters are
+        // commutative and skipped.
+        if t.text == "+"
+            && body.get(k + 1).map(|t| t.text.as_str()) == Some("=")
+            && body.get(k + 2).map(|t| t.text.as_str()) != Some("1")
+            && k >= 1
+            && body[k - 1].kind == TokenKind::Ident
+        {
+            targets.push(body[k - 1].text.clone());
+            sink.get_or_insert_with(|| "`+=` accumulation".to_string());
+        }
+        k += 1;
+    }
+    let sink = sink?;
+    // Benign if every accumulation target is sorted later in the function.
+    let fn_body = &toks[span.open..=span.close];
+    let all_sorted =
+        !targets.is_empty() && targets.iter().all(|target| sorted_later(fn_body, target));
+    if all_sorted {
+        None
+    } else {
+        Some(sink)
+    }
+}
+
+/// True if `target.sort…(` appears anywhere in the function body.
+fn sorted_later(fn_body: &[Token], target: &str) -> bool {
+    fn_body
+        .windows(3)
+        .any(|w| w[0].text == *target && w[1].text == "." && w[2].text.starts_with("sort"))
+}
+
+/// Walk a method chain whose first call's `(` is at `open`. Returns a
+/// message if the chain is order-sensitive, else `None`.
+fn classify_chain(body: &[Token], open: usize, span: &FnSpan, toks: &[Token]) -> Option<String> {
+    let mut methods: Vec<String> = Vec::new();
+    let mut collect_turbofish: Vec<String> = Vec::new();
+    let mut j = open;
+    loop {
+        // Skip the balanced call parens.
+        let mut depth = 0i32;
+        while j < body.len() {
+            match body[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Chain continues with `.method` (turbofish allowed).
+        if body.get(j).map(|t| t.text.as_str()) == Some("?") {
+            j += 1;
+        }
+        if body.get(j).map(|t| t.text.as_str()) != Some(".") {
+            break;
+        }
+        let m = body.get(j + 1)?;
+        if m.kind != TokenKind::Ident {
+            break;
+        }
+        let name = m.text.clone();
+        j += 2;
+        if body.get(j).map(|t| t.text.as_str()) == Some("::") {
+            // Turbofish: `::< … >`.
+            if body.get(j + 1).map(|t| t.text.as_str()) == Some("<") {
+                let mut depth = 1i32;
+                let mut k = j + 2;
+                while k < body.len() && depth > 0 {
+                    match body[k].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        t => {
+                            if name == "collect" {
+                                collect_turbofish.push(t.to_string());
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                j = k;
+            }
+        }
+        methods.push(name);
+        if body.get(j).map(|t| t.text.as_str()) != Some("(") {
+            break;
+        }
+    }
+
+    // Order-baking adapters make the chain sensitive regardless of terminal.
+    if let Some(a) = methods
+        .iter()
+        .find(|m| ORDER_BAKING_ADAPTERS.contains(&m.as_str()))
+    {
+        return Some(format!(
+            "passes through `.{a}(…)`, which bakes the arbitrary hash order into the result"
+        ));
+    }
+    let terminal = methods.last()?;
+    if !ORDER_SENSITIVE_TERMINALS.contains(&terminal.as_str()) {
+        return None;
+    }
+    if terminal == "collect" {
+        // Collecting back into an unordered or self-ordering container is
+        // benign: the destination imposes (or removes) its own order.
+        let benign = collect_turbofish
+            .iter()
+            .any(|t| ORDERED_TYPES.contains(&t.as_str()) || HASH_TYPES.contains(&t.as_str()));
+        if benign {
+            return None;
+        }
+        if collect_turbofish.is_empty() {
+            // Destination type unknown: check the let-binding annotation,
+            // and whether the collected binding is sorted afterwards.
+            if let Some(b) = chain_binding(body, open) {
+                if b.ty_has_ordered_or_hash {
+                    return None;
+                }
+                if sorted_later(&toks[span.open..=span.close], &b.name) {
+                    return None;
+                }
+            }
+        }
+        return Some(
+            "collects into an ordered container without sorting; hash order becomes the \
+             element order"
+                .to_string(),
+        );
+    }
+    Some(format!(
+        "terminates in order-sensitive `.{terminal}(…)`; sort the entries (or use BTreeMap) first"
+    ))
+}
+
+struct ChainBinding {
+    name: String,
+    ty_has_ordered_or_hash: bool,
+}
+
+/// If the chain whose first `(` is at `open` is the initializer of a
+/// `let [mut] name[: ty] = …` statement, return the binding.
+fn chain_binding(body: &[Token], open: usize) -> Option<ChainBinding> {
+    // Walk backwards from the chain head to the statement's `=` then `let`.
+    let mut j = open;
+    while j > 0 {
+        j -= 1;
+        match body[j].text.as_str() {
+            "=" => break,
+            ";" | "{" | "}" => return None,
+            _ => {}
+        }
+    }
+    if j == 0 {
+        return None;
+    }
+    let eq = j;
+    // Scan back to `let`.
+    let mut k = eq;
+    while k > 0 {
+        k -= 1;
+        match body[k].text.as_str() {
+            "let" => {
+                let mut m = k + 1;
+                if body.get(m).map(|t| t.text.as_str()) == Some("mut") {
+                    m += 1;
+                }
+                let name = body.get(m)?.text.clone();
+                let ty_has = body[m..eq].iter().any(|t| {
+                    ORDERED_TYPES.contains(&t.text.as_str())
+                        || HASH_TYPES.contains(&t.text.as_str())
+                });
+                return Some(ChainBinding {
+                    name,
+                    ty_has_ordered_or_hash: ty_has,
+                });
+            }
+            ";" | "{" | "}" => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// DL003: rayon hazards
+// ---------------------------------------------------------------------------
+
+fn check_rayon(
+    file: &str,
+    toks: &[Token],
+    span: &FnSpan,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    let body = &toks[span.open..=span.close];
+    let par_sources = [
+        "par_iter",
+        "into_par_iter",
+        "par_iter_mut",
+        "par_chunks",
+        "par_chunks_mut",
+    ];
+    let mut i = 0;
+    while i < body.len() {
+        let t = &body[i];
+        if t.text == "par_bridge" {
+            findings.push(finding(
+                "DL003",
+                file,
+                t.line,
+                "par_bridge() yields items in nondeterministic order; use an indexed parallel \
+                 iterator instead"
+                    .to_string(),
+                lines,
+            ));
+            i += 1;
+            continue;
+        }
+        if par_sources.contains(&t.text.as_str())
+            && body.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            // Scan the rest of the statement for order-sensitive reductions:
+            // rayon's reduce/fold regroup elements per thread count, so
+            // non-associative ops (notably float sums) diverge.
+            let mut depth = 0i32;
+            let mut k = i + 1;
+            while k < body.len() {
+                match body[k].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    "reduce" | "fold" | "sum" | "product" if depth == 0 => {
+                        findings.push(finding(
+                            "DL003",
+                            file,
+                            body[k].line,
+                            format!(
+                                "`.{}(…)` over a parallel iterator regroups elements by thread \
+                                 count; collect in index order and reduce sequentially",
+                                body[k].text
+                            ),
+                            lines,
+                        ));
+                    }
+                    _ => {}
+                }
+                if depth < 0 {
+                    break;
+                }
+                k += 1;
+            }
+            i = k;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DL005: malformed suppressions
+// ---------------------------------------------------------------------------
+
+fn check_allow_directives(file: &str, allows: &[AllowDirective], findings: &mut Vec<Finding>) {
+    for a in allows {
+        let canonical = a.rule.to_ascii_uppercase();
+        if !KNOWN_RULES.contains(&canonical.as_str()) {
+            findings.push(Finding {
+                rule: "DL005".to_string(),
+                file: file.to_string(),
+                line: a.line,
+                message: format!(
+                    "detlint::allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    KNOWN_RULES.join(", ")
+                ),
+                excerpt: String::new(),
+            });
+        }
+        if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: "DL005".to_string(),
+                file: file.to_string(),
+                line: a.line,
+                message: format!(
+                    "detlint::allow({}) has no reason; write `// detlint::allow({}): why`",
+                    a.rule, a.rule
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+}

@@ -83,8 +83,10 @@ pub fn run(seed: u64, enrollment: u32) -> (String, ComparisonSet, Vec<PolicyArm>
     cmp.push(Comparison::new(
         "caps are monotone (1=true)",
         1.0,
-        f64::from(arms[2].instance_hours <= arms[1].instance_hours
-            && arms[1].instance_hours <= arms[0].instance_hours),
+        f64::from(
+            arms[2].instance_hours <= arms[1].instance_hours
+                && arms[1].instance_hours <= arms[0].instance_hours,
+        ),
         0.0,
         "",
     ));

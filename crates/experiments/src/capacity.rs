@@ -25,13 +25,19 @@ pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
         "Simultaneous instances".into(),
         fmt_num(quota.instances as f64, 0),
         fmt_num(peak_instances as f64, 0),
-        format!("{:.0}%", (1.0 - peak_instances as f64 / quota.instances as f64) * 100.0),
+        format!(
+            "{:.0}%",
+            (1.0 - peak_instances as f64 / quota.instances as f64) * 100.0
+        ),
     ]);
     table.row(&[
         "Simultaneous cores".into(),
         fmt_num(quota.cores as f64, 0),
         fmt_num(peak_cores as f64, 0),
-        format!("{:.0}%", (1.0 - peak_cores as f64 / quota.cores as f64) * 100.0),
+        format!(
+            "{:.0}%",
+            (1.0 - peak_cores as f64 / quota.cores as f64) * 100.0
+        ),
     ]);
     table.row(&[
         "Quota denials over the semester".into(),
@@ -85,12 +91,7 @@ mod tests {
         let (text, cmp) = run(&ctx);
         assert!(text.contains("Simultaneous instances"));
         for c in &cmp.rows {
-            assert!(
-                c.within_tolerance(),
-                "{}: measured {}",
-                c.name,
-                c.measured
-            );
+            assert!(c.within_tolerance(), "{}: measured {}", c.name, c.measured);
         }
     }
 }

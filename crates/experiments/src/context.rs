@@ -30,7 +30,14 @@ pub fn run_paper_course(seed: u64) -> ExperimentContext {
     let per_student = PerStudentUsage::from_ledger(&outcome.ledger);
     let table = price_lab_assignments(&rollup);
     let project = ProjectUsageSummary::from_ledger(&outcome.ledger);
-    ExperimentContext { outcome, rollup, per_student, table, project, seed }
+    ExperimentContext {
+        outcome,
+        rollup,
+        per_student,
+        table,
+        project,
+        seed,
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,11 @@ pub fn stats(ctx: &ExperimentContext, provider: Provider) -> Fig2Stats {
         .collect();
     let expected_rows: Vec<ExpectedUsage> = expected_usage_per_student()
         .into_iter()
-        .map(|(tag, ih, fh)| ExpectedUsage { tag, instance_hours: ih, fip_hours: fh })
+        .map(|(tag, ih, fh)| ExpectedUsage {
+            tag,
+            instance_hours: ih,
+            fip_hours: fh,
+        })
         .collect();
     let expected = expected_student_cost(&expected_rows, provider);
     Fig2Stats {
@@ -80,8 +84,20 @@ pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
             ),
         };
         let p = provider.name();
-        cmp.push(Comparison::new(&format!("{p} mean cost/student"), paper_mean, s.summary.mean, 0.12, "$"));
-        cmp.push(Comparison::new(&format!("{p} expected cost/student"), paper_expected, s.expected, 0.10, "$"));
+        cmp.push(Comparison::new(
+            &format!("{p} mean cost/student"),
+            paper_mean,
+            s.summary.mean,
+            0.12,
+            "$",
+        ));
+        cmp.push(Comparison::new(
+            &format!("{p} expected cost/student"),
+            paper_expected,
+            s.expected,
+            0.10,
+            "$",
+        ));
         cmp.push(Comparison::new(
             &format!("{p} fraction above expected"),
             paper_frac,
@@ -138,7 +154,10 @@ mod tests {
             aws.expected
         );
         let gcp = stats(&ctx, Provider::Gcp);
-        assert!(gcp.summary.mean < aws.summary.mean, "GCP labs are cheaper overall");
+        assert!(
+            gcp.summary.mean < aws.summary.mean,
+            "GCP labs are cheaper overall"
+        );
     }
 
     #[test]

@@ -31,8 +31,20 @@ pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
     text.push_str(&bar_chart(&gpu_rows, 50));
 
     let mut cmp = ComparisonSet::new("fig3");
-    cmp.push(Comparison::new("project VM hours", paper::PROJECT_VM_HOURS, p.vm_hours, 0.15, "h"));
-    cmp.push(Comparison::new("project GPU hours", paper::PROJECT_GPU_HOURS, p.gpu_hours, 0.25, "h"));
+    cmp.push(Comparison::new(
+        "project VM hours",
+        paper::PROJECT_VM_HOURS,
+        p.vm_hours,
+        0.15,
+        "h",
+    ));
+    cmp.push(Comparison::new(
+        "project GPU hours",
+        paper::PROJECT_GPU_HOURS,
+        p.gpu_hours,
+        0.25,
+        "h",
+    ));
     cmp.push(Comparison::new(
         "project bare-metal CPU hours",
         paper::PROJECT_BAREMETAL_HOURS,

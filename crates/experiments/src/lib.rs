@@ -17,6 +17,7 @@
 //! | [`seeds`] | seed-robustness of the headline quantities |
 //! | [`capacity`] | §4 quota validation via peak concurrency |
 //! | [`spot_ablation`] | extension — spot pricing with the interruption tax |
+//! | [`verify`] | replay-equivalence verifier (`verify-determinism`) |
 
 pub mod ablation;
 pub mod capacity;
@@ -30,5 +31,6 @@ pub mod project_cost;
 pub mod seeds;
 pub mod spot_ablation;
 pub mod table1;
+pub mod verify;
 
 pub use context::{run_paper_course, ExperimentContext};

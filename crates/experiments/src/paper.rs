@@ -19,22 +19,134 @@ pub struct PaperRow {
 
 /// Table 1, row for row.
 pub const TABLE1: [PaperRow; 16] = [
-    PaperRow { tag: "lab1", flavor: "m1.small", instance_hours: 2_620.0, fip_hours: 2_620.0, aws_usd: Some(40.0), gcp_usd: Some(57.0) },
-    PaperRow { tag: "lab2", flavor: "m1.medium", instance_hours: 52_332.0, fip_hours: 17_444.0, aws_usd: Some(2_264.0), gcp_usd: Some(5_347.0) },
-    PaperRow { tag: "lab3", flavor: "m1.medium", instance_hours: 32_344.0, fip_hours: 10_781.0, aws_usd: Some(1_399.0), gcp_usd: Some(3_305.0) },
-    PaperRow { tag: "lab4-multi", flavor: "gpu_a100_pcie", instance_hours: 167.0, fip_hours: 167.0, aws_usd: Some(2_993.0), gcp_usd: Some(2_456.0) },
-    PaperRow { tag: "lab4-multi", flavor: "gpu_v100", instance_hours: 210.0, fip_hours: 210.0, aws_usd: Some(3_764.0), gcp_usd: Some(3_088.0) },
-    PaperRow { tag: "lab4-single", flavor: "compute_gigaio", instance_hours: 218.0, fip_hours: 218.0, aws_usd: Some(722.0), gcp_usd: Some(1_106.0) },
-    PaperRow { tag: "lab5-multi", flavor: "compute_liqid_2", instance_hours: 330.0, fip_hours: 330.0, aws_usd: Some(1_524.0), gcp_usd: Some(662.0) },
-    PaperRow { tag: "lab5-multi", flavor: "gpu_mi100", instance_hours: 1_002.0, fip_hours: 1_002.0, aws_usd: Some(4_627.0), gcp_usd: Some(2_009.0) },
-    PaperRow { tag: "lab5-single", flavor: "compute_gigaio", instance_hours: 28.0, fip_hours: 28.0, aws_usd: Some(41.0), gcp_usd: Some(32.0) },
-    PaperRow { tag: "lab5-single", flavor: "compute_liqid", instance_hours: 130.0, fip_hours: 130.0, aws_usd: Some(190.0), gcp_usd: Some(150.0) },
-    PaperRow { tag: "lab6-opt", flavor: "compute_gigaio", instance_hours: 215.0, fip_hours: 215.0, aws_usd: Some(191.0), gcp_usd: Some(154.0) },
-    PaperRow { tag: "lab6-opt", flavor: "compute_liqid", instance_hours: 460.0, fip_hours: 460.0, aws_usd: Some(410.0), gcp_usd: Some(329.0) },
-    PaperRow { tag: "lab6-edge", flavor: "raspberrypi5", instance_hours: 492.0, fip_hours: 492.0, aws_usd: None, gcp_usd: None },
-    PaperRow { tag: "lab6-system", flavor: "gpu_p100", instance_hours: 707.0, fip_hours: 707.0, aws_usd: Some(3_582.0), gcp_usd: Some(1_417.0) },
-    PaperRow { tag: "lab7", flavor: "m1.medium", instance_hours: 9_889.0, fip_hours: 9_889.0, aws_usd: Some(461.0), gcp_usd: Some(381.0) },
-    PaperRow { tag: "lab8", flavor: "m1.large", instance_hours: 8_693.0, fip_hours: 8_693.0, aws_usd: Some(1_490.0), gcp_usd: Some(626.0) },
+    PaperRow {
+        tag: "lab1",
+        flavor: "m1.small",
+        instance_hours: 2_620.0,
+        fip_hours: 2_620.0,
+        aws_usd: Some(40.0),
+        gcp_usd: Some(57.0),
+    },
+    PaperRow {
+        tag: "lab2",
+        flavor: "m1.medium",
+        instance_hours: 52_332.0,
+        fip_hours: 17_444.0,
+        aws_usd: Some(2_264.0),
+        gcp_usd: Some(5_347.0),
+    },
+    PaperRow {
+        tag: "lab3",
+        flavor: "m1.medium",
+        instance_hours: 32_344.0,
+        fip_hours: 10_781.0,
+        aws_usd: Some(1_399.0),
+        gcp_usd: Some(3_305.0),
+    },
+    PaperRow {
+        tag: "lab4-multi",
+        flavor: "gpu_a100_pcie",
+        instance_hours: 167.0,
+        fip_hours: 167.0,
+        aws_usd: Some(2_993.0),
+        gcp_usd: Some(2_456.0),
+    },
+    PaperRow {
+        tag: "lab4-multi",
+        flavor: "gpu_v100",
+        instance_hours: 210.0,
+        fip_hours: 210.0,
+        aws_usd: Some(3_764.0),
+        gcp_usd: Some(3_088.0),
+    },
+    PaperRow {
+        tag: "lab4-single",
+        flavor: "compute_gigaio",
+        instance_hours: 218.0,
+        fip_hours: 218.0,
+        aws_usd: Some(722.0),
+        gcp_usd: Some(1_106.0),
+    },
+    PaperRow {
+        tag: "lab5-multi",
+        flavor: "compute_liqid_2",
+        instance_hours: 330.0,
+        fip_hours: 330.0,
+        aws_usd: Some(1_524.0),
+        gcp_usd: Some(662.0),
+    },
+    PaperRow {
+        tag: "lab5-multi",
+        flavor: "gpu_mi100",
+        instance_hours: 1_002.0,
+        fip_hours: 1_002.0,
+        aws_usd: Some(4_627.0),
+        gcp_usd: Some(2_009.0),
+    },
+    PaperRow {
+        tag: "lab5-single",
+        flavor: "compute_gigaio",
+        instance_hours: 28.0,
+        fip_hours: 28.0,
+        aws_usd: Some(41.0),
+        gcp_usd: Some(32.0),
+    },
+    PaperRow {
+        tag: "lab5-single",
+        flavor: "compute_liqid",
+        instance_hours: 130.0,
+        fip_hours: 130.0,
+        aws_usd: Some(190.0),
+        gcp_usd: Some(150.0),
+    },
+    PaperRow {
+        tag: "lab6-opt",
+        flavor: "compute_gigaio",
+        instance_hours: 215.0,
+        fip_hours: 215.0,
+        aws_usd: Some(191.0),
+        gcp_usd: Some(154.0),
+    },
+    PaperRow {
+        tag: "lab6-opt",
+        flavor: "compute_liqid",
+        instance_hours: 460.0,
+        fip_hours: 460.0,
+        aws_usd: Some(410.0),
+        gcp_usd: Some(329.0),
+    },
+    PaperRow {
+        tag: "lab6-edge",
+        flavor: "raspberrypi5",
+        instance_hours: 492.0,
+        fip_hours: 492.0,
+        aws_usd: None,
+        gcp_usd: None,
+    },
+    PaperRow {
+        tag: "lab6-system",
+        flavor: "gpu_p100",
+        instance_hours: 707.0,
+        fip_hours: 707.0,
+        aws_usd: Some(3_582.0),
+        gcp_usd: Some(1_417.0),
+    },
+    PaperRow {
+        tag: "lab7",
+        flavor: "m1.medium",
+        instance_hours: 9_889.0,
+        fip_hours: 9_889.0,
+        aws_usd: Some(461.0),
+        gcp_usd: Some(381.0),
+    },
+    PaperRow {
+        tag: "lab8",
+        flavor: "m1.large",
+        instance_hours: 8_693.0,
+        fip_hours: 8_693.0,
+        aws_usd: Some(1_490.0),
+        gcp_usd: Some(626.0),
+    },
 ];
 
 /// Enrollment.
@@ -108,10 +220,8 @@ mod tests {
 
     #[test]
     fn headline_total_is_labs_plus_projects() {
-        let projects = PROJECT_VM_HOURS
-            + PROJECT_GPU_HOURS
-            + PROJECT_BAREMETAL_HOURS
-            + PROJECT_EDGE_HOURS;
+        let projects =
+            PROJECT_VM_HOURS + PROJECT_GPU_HOURS + PROJECT_BAREMETAL_HOURS + PROJECT_EDGE_HOURS;
         assert!((LAB_INSTANCE_HOURS + projects - TOTAL_INSTANCE_HOURS).abs() < 1.0);
     }
 

@@ -17,9 +17,15 @@ pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
     let mut table = Table::new(&["Quantity", "Value"]);
     table.row(&["VM hours (no GPU)".into(), fmt_num(p.vm_hours, 0)]);
     table.row(&["GPU instance hours".into(), fmt_num(p.gpu_hours, 0)]);
-    table.row(&["Bare-metal CPU hours".into(), fmt_num(p.baremetal_cpu_hours, 0)]);
+    table.row(&[
+        "Bare-metal CPU hours".into(),
+        fmt_num(p.baremetal_cpu_hours, 0),
+    ]);
     table.row(&["Edge device hours".into(), fmt_num(p.edge_hours, 0)]);
-    table.row(&["Peak block storage (GB)".into(), fmt_num(p.peak_block_gb as f64, 0)]);
+    table.row(&[
+        "Peak block storage (GB)".into(),
+        fmt_num(p.peak_block_gb as f64, 0),
+    ]);
     table.row(&["Object storage (GB)".into(), fmt_num(p.object_gb, 0)]);
     table.row(&[
         "AWS cost".into(),
@@ -31,8 +37,20 @@ pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
     ]);
 
     let mut cmp = ComparisonSet::new("project_cost");
-    cmp.push(Comparison::new("project AWS cost", paper::PROJECT_AWS_USD, aws, 0.15, "$"));
-    cmp.push(Comparison::new("project GCP cost", paper::PROJECT_GCP_USD, gcp, 0.15, "$"));
+    cmp.push(Comparison::new(
+        "project AWS cost",
+        paper::PROJECT_AWS_USD,
+        aws,
+        0.15,
+        "$",
+    ));
+    cmp.push(Comparison::new(
+        "project GCP cost",
+        paper::PROJECT_GCP_USD,
+        gcp,
+        0.15,
+        "$",
+    ));
     cmp.push(Comparison::new(
         "project block storage",
         paper::PROJECT_BLOCK_GB,

@@ -29,8 +29,7 @@ pub fn run(master_seed: u64, n_seeds: usize) -> (String, ComparisonSet, Vec<Seed
     assert!(n_seeds >= 2);
     let results: Vec<SeedResult> = replications(n_seeds, master_seed, |seed| {
         let outcome = simulate_semester(&SemesterConfig::labs_only(), seed);
-        let rollup =
-            AssignmentRollup::from_ledger(&outcome.ledger, paper::ENROLLMENT);
+        let rollup = AssignmentRollup::from_ledger(&outcome.ledger, paper::ENROLLMENT);
         let table = price_lab_assignments(&rollup);
         SeedResult {
             instance_hours: table.total.instance_hours,
@@ -42,7 +41,14 @@ pub fn run(master_seed: u64, n_seeds: usize) -> (String, ComparisonSet, Vec<Seed
     let aws = Summary::of(&results.iter().map(|r| r.aws_usd).collect::<Vec<_>>());
     let gcp = Summary::of(&results.iter().map(|r| r.gcp_usd).collect::<Vec<_>>());
 
-    let mut table = Table::new(&["Quantity", "Paper", "Mean over seeds", "Std dev", "Min", "Max"]);
+    let mut table = Table::new(&[
+        "Quantity",
+        "Paper",
+        "Mean over seeds",
+        "Std dev",
+        "Min",
+        "Max",
+    ]);
     for (name, paper_v, s) in [
         ("lab instance hours", paper::LAB_INSTANCE_HOURS, &hours),
         ("lab AWS cost ($)", paper::LAB_AWS_USD, &aws),
@@ -65,8 +71,20 @@ pub fn run(master_seed: u64, n_seeds: usize) -> (String, ComparisonSet, Vec<Seed
         0.10,
         "h",
     ));
-    cmp.push(Comparison::new("seed-mean AWS cost", paper::LAB_AWS_USD, aws.mean, 0.10, "$"));
-    cmp.push(Comparison::new("seed-mean GCP cost", paper::LAB_GCP_USD, gcp.mean, 0.10, "$"));
+    cmp.push(Comparison::new(
+        "seed-mean AWS cost",
+        paper::LAB_AWS_USD,
+        aws.mean,
+        0.10,
+        "$",
+    ));
+    cmp.push(Comparison::new(
+        "seed-mean GCP cost",
+        paper::LAB_GCP_USD,
+        gcp.mean,
+        0.10,
+        "$",
+    ));
     // The paper's value should sit inside our simulated range.
     cmp.push(Comparison::new(
         "paper hours within simulated range (1=true)",

@@ -50,8 +50,20 @@ pub fn run(ctx: &ExperimentContext) -> (String, ComparisonSet) {
         0.10,
         "h",
     ));
-    cmp.push(Comparison::new("total AWS cost", paper::LAB_AWS_USD, t.aws_usd, 0.12, "$"));
-    cmp.push(Comparison::new("total GCP cost", paper::LAB_GCP_USD, t.gcp_usd, 0.12, "$"));
+    cmp.push(Comparison::new(
+        "total AWS cost",
+        paper::LAB_AWS_USD,
+        t.aws_usd,
+        0.12,
+        "$",
+    ));
+    cmp.push(Comparison::new(
+        "total GCP cost",
+        paper::LAB_GCP_USD,
+        t.gcp_usd,
+        0.12,
+        "$",
+    ));
     cmp.push(Comparison::new(
         "AWS cost per student",
         paper::LAB_AWS_PER_STUDENT,

@@ -64,7 +64,10 @@ pub fn parse_name(name: &str) -> Attribution {
             }
         }
     }
-    Attribution { tag: name.to_string(), owner: Owner::Unknown }
+    Attribution {
+        tag: name.to_string(),
+        owner: Owner::Unknown,
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +110,13 @@ mod tests {
 
     #[test]
     fn unattributable_names() {
-        for name in ["my-test-vm", "server", "lab2-student17", "lab2-s", "lab2-sabc"] {
+        for name in [
+            "my-test-vm",
+            "server",
+            "lab2-student17",
+            "lab2-s",
+            "lab2-sabc",
+        ] {
             let a = parse_name(name);
             assert_eq!(a.owner, Owner::Unknown, "{name}");
             assert_eq!(a.tag, name);

@@ -4,7 +4,7 @@ use crate::attribution::{parse_name, Owner};
 use opml_testbed::flavor::FlavorId;
 use opml_testbed::ledger::{Ledger, UsageKind};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Usage of one `(assignment, flavor)` cell — one row of Table 1.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,8 +41,10 @@ impl AssignmentRollup {
     /// — mirroring how the paper's authors joined the two data sources.
     pub fn from_ledger(ledger: &Ledger, enrollment: usize) -> AssignmentRollup {
         assert!(enrollment > 0);
-        // Deployment name → flavor (from instance records).
-        let mut deployment_flavor: HashMap<&str, FlavorId> = HashMap::new();
+        // Deployment name → flavor (from instance records). Ordered map:
+        // the prefix-fallback below takes the *first* matching entry, so
+        // iteration order must be deterministic (DL002).
+        let mut deployment_flavor: BTreeMap<&str, FlavorId> = BTreeMap::new();
         for r in ledger.records() {
             if let UsageKind::Instance { flavor, .. } = r.kind {
                 deployment_flavor.entry(r.name.as_str()).or_insert(flavor);
@@ -58,7 +60,10 @@ impl AssignmentRollup {
         let mut cells: HashMap<(String, FlavorId), Cell> = HashMap::new();
         for r in ledger.records() {
             match r.kind {
-                UsageKind::Instance { flavor, auto_terminated } => {
+                UsageKind::Instance {
+                    flavor,
+                    auto_terminated,
+                } => {
                     let a = parse_name(&r.name);
                     let cell = cells.entry((a.tag, flavor)).or_default();
                     cell.instance_hours += r.hours();
@@ -120,7 +125,10 @@ impl AssignmentRollup {
 
     /// Per-student mean hours for a tag (Fig. 1's y-axis).
     pub fn per_student_hours(&self, tag: &str) -> f64 {
-        self.rows_for(tag).iter().map(|r| r.instance_hours).sum::<f64>()
+        self.rows_for(tag)
+            .iter()
+            .map(|r| r.instance_hours)
+            .sum::<f64>()
             / self.enrollment as f64
     }
 }
@@ -142,13 +150,16 @@ pub struct StudentLabUsage {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerStudentUsage {
     /// `student → usage cells` (students with zero usage are absent).
-    pub students: HashMap<u32, Vec<StudentLabUsage>>,
+    /// Ordered map: this struct is serialized, so entry order must not
+    /// depend on hasher state.
+    pub students: BTreeMap<u32, Vec<StudentLabUsage>>,
 }
 
 impl PerStudentUsage {
     /// Build from a ledger (only `Owner::Student` records).
     pub fn from_ledger(ledger: &Ledger) -> PerStudentUsage {
-        let mut deployment_flavor: HashMap<&str, FlavorId> = HashMap::new();
+        // Ordered for a deterministic prefix-fallback pick (DL002).
+        let mut deployment_flavor: BTreeMap<&str, FlavorId> = BTreeMap::new();
         for r in ledger.records() {
             if let UsageKind::Instance { flavor, .. } = r.kind {
                 deployment_flavor.entry(r.name.as_str()).or_insert(flavor);
@@ -190,24 +201,23 @@ impl PerStudentUsage {
                 _ => {}
             }
         }
-        PerStudentUsage {
-            students: students
-                .into_iter()
-                .map(|(id, cells)| {
-                    let mut rows: Vec<StudentLabUsage> = cells
-                        .into_iter()
-                        .map(|((tag, flavor), (ih, fh))| StudentLabUsage {
-                            tag,
-                            flavor,
-                            instance_hours: ih,
-                            fip_hours: fh,
-                        })
-                        .collect();
-                    rows.sort_by(|a, b| a.tag.cmp(&b.tag).then(a.flavor.cmp(&b.flavor)));
-                    (id, rows)
-                })
-                .collect(),
-        }
+        let students: BTreeMap<u32, Vec<StudentLabUsage>> = students
+            .into_iter()
+            .map(|(id, cells)| {
+                let mut rows: Vec<StudentLabUsage> = cells
+                    .into_iter()
+                    .map(|((tag, flavor), (ih, fh))| StudentLabUsage {
+                        tag,
+                        flavor,
+                        instance_hours: ih,
+                        fip_hours: fh,
+                    })
+                    .collect();
+                rows.sort_by(|a, b| a.tag.cmp(&b.tag).then(a.flavor.cmp(&b.flavor)));
+                (id, rows)
+            })
+            .collect();
+        PerStudentUsage { students }
     }
 
     /// Hours a student spent on a tag.
@@ -215,7 +225,10 @@ impl PerStudentUsage {
         self.students
             .get(&student)
             .map(|rows| {
-                rows.iter().filter(|r| r.tag == tag).map(|r| r.instance_hours).sum()
+                rows.iter()
+                    .filter(|r| r.tag == tag)
+                    .map(|r| r.instance_hours)
+                    .sum()
             })
             .unwrap_or(0.0)
     }
@@ -254,7 +267,10 @@ mod tests {
         // Student 2: lab4 multi on v100 for 3h, auto-terminated.
         l.push(UsageRecord {
             name: "lab4-multi-s002".into(),
-            kind: UsageKind::Instance { flavor: FlavorId::GpuV100, auto_terminated: true },
+            kind: UsageKind::Instance {
+                flavor: FlavorId::GpuV100,
+                auto_terminated: true,
+            },
             start: t(0),
             end: t(3),
         });
@@ -267,7 +283,10 @@ mod tests {
         // A project group's instance.
         l.push(UsageRecord {
             name: "proj-g03-serve".into(),
-            kind: UsageKind::Instance { flavor: FlavorId::M1Large, auto_terminated: false },
+            kind: UsageKind::Instance {
+                flavor: FlavorId::M1Large,
+                auto_terminated: false,
+            },
             start: t(0),
             end: t(100),
         });

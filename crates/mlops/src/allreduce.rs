@@ -43,8 +43,11 @@ impl ReduceAlgo {
     }
 
     /// All algorithms, for sweeps.
-    pub const ALL: [ReduceAlgo; 3] =
-        [ReduceAlgo::Ring, ReduceAlgo::Tree, ReduceAlgo::ParameterServer];
+    pub const ALL: [ReduceAlgo; 3] = [
+        ReduceAlgo::Ring,
+        ReduceAlgo::Tree,
+        ReduceAlgo::ParameterServer,
+    ];
 }
 
 /// Measured communication behaviour of one collective invocation.
@@ -108,10 +111,15 @@ pub fn all_reduce(buffers: &mut [Vec<f32>], algo: ReduceAlgo) -> AllReduceStats 
         "all_reduce buffers must have equal length"
     );
     if n == 1 || len == 0 {
-        return AllReduceStats { bytes_sent: vec![0; n], rounds: 0 };
+        return AllReduceStats {
+            bytes_sent: vec![0; n],
+            rounds: 0,
+        };
     }
-    let (txs, mut rxs): (Vec<Sender<Msg>>, Vec<Option<Receiver<Msg>>>) =
-        (0..n).map(|_| unbounded()).map(|(t, r)| (t, Some(r))).unzip();
+    let (txs, mut rxs): (Vec<Sender<Msg>>, Vec<Option<Receiver<Msg>>>) = (0..n)
+        .map(|_| unbounded())
+        .map(|(t, r)| (t, Some(r)))
+        .unzip();
 
     let rounds = match algo {
         ReduceAlgo::Ring => 2 * (n - 1),
@@ -133,14 +141,26 @@ pub fn all_reduce(buffers: &mut [Vec<f32>], algo: ReduceAlgo) -> AllReduceStats 
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
-    AllReduceStats { bytes_sent: bytes, rounds }
+    AllReduceStats {
+        bytes_sent: bytes,
+        rounds,
+    }
 }
 
 /// Ring collective for worker `i` of `n`. Sends to `(i+1) % n`, receives
 /// from `(i−1) % n`.
-fn ring_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Receiver<Msg>) -> usize {
+fn ring_worker(
+    i: usize,
+    n: usize,
+    buf: &mut [f32],
+    txs: &[Sender<Msg>],
+    rx: &Receiver<Msg>,
+) -> usize {
     let bounds = chunk_bounds(buf.len(), n);
     let right = (i + 1) % n;
     let mut sent = 0usize;
@@ -149,7 +169,9 @@ fn ring_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Re
     for s in 0..n - 1 {
         let send_c = (i + n - s % n) % n;
         let (lo, hi) = bounds[send_c];
-        txs[right].send((send_c, buf[lo..hi].to_vec())).expect("ring send");
+        txs[right]
+            .send((send_c, buf[lo..hi].to_vec()))
+            .expect("ring send");
         sent += (hi - lo) * 4;
         let (recv_c, data) = rx.recv().expect("ring recv");
         debug_assert_eq!(recv_c, (i + n - (s + 1) % n) % n % n);
@@ -164,7 +186,9 @@ fn ring_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Re
     for s in 0..n - 1 {
         let send_c = (i + 1 + n - s % n) % n;
         let (lo, hi) = bounds[send_c];
-        txs[right].send((send_c, buf[lo..hi].to_vec())).expect("ring send");
+        txs[right]
+            .send((send_c, buf[lo..hi].to_vec()))
+            .expect("ring send");
         sent += (hi - lo) * 4;
         let (recv_c, data) = rx.recv().expect("ring recv");
         let (lo, hi) = bounds[recv_c];
@@ -175,7 +199,13 @@ fn ring_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Re
 
 /// Binary-tree collective for worker `i` of `n` (handles non-powers of 2:
 /// ranks ≥ the stride simply sit out rounds that don't involve them).
-fn tree_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Receiver<Msg>) -> usize {
+fn tree_worker(
+    i: usize,
+    n: usize,
+    buf: &mut [f32],
+    txs: &[Sender<Msg>],
+    rx: &Receiver<Msg>,
+) -> usize {
     let mut sent = 0usize;
     // Reduce up the tree.
     let mut stride = 1;
@@ -196,7 +226,9 @@ fn tree_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Re
     let mut stride = n.next_power_of_two() / 2;
     while stride >= 1 {
         if i.is_multiple_of(2 * stride) && i + stride < n {
-            txs[i + stride].send((0, buf.to_vec())).expect("tree bcast send");
+            txs[i + stride]
+                .send((0, buf.to_vec()))
+                .expect("tree bcast send");
             sent += buf.len() * 4;
         } else if i % (2 * stride) == stride {
             let (_, data) = rx.recv().expect("tree bcast recv");
@@ -211,7 +243,13 @@ fn tree_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Re
 }
 
 /// Parameter-server collective: rank 0 is the server.
-fn ps_worker(i: usize, n: usize, buf: &mut [f32], txs: &[Sender<Msg>], rx: &Receiver<Msg>) -> usize {
+fn ps_worker(
+    i: usize,
+    n: usize,
+    buf: &mut [f32],
+    txs: &[Sender<Msg>],
+    rx: &Receiver<Msg>,
+) -> usize {
     let mut sent = 0usize;
     if i == 0 {
         // Receive from all workers in arrival order; tag identifies sender

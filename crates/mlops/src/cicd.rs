@@ -147,8 +147,10 @@ impl CicdSystem {
         }
         // --- Train (tracked) ------------------------------------------
         let run = self.tracker.start_run(&self.model_name);
-        self.tracker.log_param(run, "commit", &commit.id.to_string());
-        self.tracker.log_param(run, "epochs", &self.config.epochs.to_string());
+        self.tracker
+            .log_param(run, "commit", &commit.id.to_string());
+        self.tracker
+            .log_param(run, "epochs", &self.config.epochs.to_string());
         let mut rng = Rng::new(self.config.seed ^ commit.id);
         let mut data = train_data.clone();
         if commit.label_corruption > 0.0 {
@@ -161,15 +163,20 @@ impl CicdSystem {
         let mut opt = Sgd::new(0.1, 0.9);
         for epoch in 0..self.config.epochs {
             let (loss, acc) = train_epoch(&mut model, &data, &mut opt, 32, &mut rng);
-            self.tracker.log_metric(run, "loss", epoch as u64, loss as f64);
+            self.tracker
+                .log_metric(run, "loss", epoch as u64, loss as f64);
             self.tracker.log_metric(run, "train_acc", epoch as u64, acc);
         }
         // --- Offline evaluation gate ----------------------------------
         let accuracy = holdout.accuracy(&mut model);
-        self.tracker.log_metric(run, "holdout_acc", self.config.epochs as u64, accuracy);
+        self.tracker
+            .log_metric(run, "holdout_acc", self.config.epochs as u64, accuracy);
         if accuracy < self.config.gate_accuracy {
             self.tracker.end_run(run, RunStatus::Failed);
-            return DeployOutcome::GateFailed { accuracy, required: self.config.gate_accuracy };
+            return DeployOutcome::GateFailed {
+                accuracy,
+                required: self.config.gate_accuracy,
+            };
         }
         self.tracker
             .log_artifact(run, "model.bin", params_to_artifact(&model.params_flat()));
@@ -197,13 +204,19 @@ impl CicdSystem {
         // Operational canary signals: latency windows (production baseline
         // 100 ms; the commit's regression applies to the canary).
         let mut sim_rng = Rng::new(self.config.seed ^ commit.id ^ 0xCAFE);
-        let prod_lat: Vec<f64> =
-            (0..50).map(|_| 100.0 + sim_rng.normal_with(0.0, 3.0)).collect();
+        let prod_lat: Vec<f64> = (0..50)
+            .map(|_| 100.0 + sim_rng.normal_with(0.0, 3.0))
+            .collect();
         let canary_lat: Vec<f64> = (0..50)
             .map(|_| 100.0 * (1.0 + commit.latency_regression) + sim_rng.normal_with(0.0, 3.0))
             .collect();
-        let verdict =
-            canary_analysis(&self.config.canary, &prod_lat, prod_acc, &canary_lat, accuracy);
+        let verdict = canary_analysis(
+            &self.config.canary,
+            &prod_lat,
+            prod_acc,
+            &canary_lat,
+            accuracy,
+        );
         match verdict {
             CanaryVerdict::Rollback => {
                 // Archive the canary; production (if any) is untouched.
@@ -248,7 +261,13 @@ mod tests {
             }
             other => panic!("expected promotion, got {other:?}"),
         }
-        assert_eq!(sys.registry.in_stage("gourmetgram", Stage::Production).unwrap().version, 1);
+        assert_eq!(
+            sys.registry
+                .in_stage("gourmetgram", Stage::Production)
+                .unwrap()
+                .version,
+            1
+        );
         // The tracked run exists with artifacts.
         let runs = sys.tracker.runs_in("gourmetgram");
         assert_eq!(runs.len(), 1);
@@ -261,7 +280,10 @@ mod tests {
         let mut sys = CicdSystem::new("m", CicdConfig::default());
         let mut commit = Commit::healthy(2, "oops");
         commit.tests_pass = false;
-        assert_eq!(sys.run_commit(&commit, &train, &holdout), DeployOutcome::CiFailed);
+        assert_eq!(
+            sys.run_commit(&commit, &train, &holdout),
+            DeployOutcome::CiFailed
+        );
         assert_eq!(sys.tracker.run_count(), 0);
         assert!(sys.registry.latest_version("m").is_none());
     }
@@ -300,7 +322,13 @@ mod tests {
             other => panic!("expected rollback, got {other:?}"),
         }
         // v1 still serves production; v2 archived.
-        assert_eq!(sys.registry.in_stage("m", Stage::Production).unwrap().version, 1);
+        assert_eq!(
+            sys.registry
+                .in_stage("m", Stage::Production)
+                .unwrap()
+                .version,
+            1
+        );
         assert_eq!(sys.registry.get("m", 2).unwrap().stage, Stage::Archived);
     }
 
@@ -314,7 +342,13 @@ mod tests {
                 DeployOutcome::Promoted { .. }
             ));
         }
-        assert_eq!(sys.registry.in_stage("m", Stage::Production).unwrap().version, 3);
+        assert_eq!(
+            sys.registry
+                .in_stage("m", Stage::Production)
+                .unwrap()
+                .version,
+            3
+        );
         assert_eq!(sys.registry.versions("m").len(), 3);
         // History shows the archival chain.
         assert!(sys.registry.history().len() >= 9);
@@ -340,6 +374,12 @@ mod tests {
             DeployOutcome::GateFailed { .. } => {} // also acceptable safety net
             other => panic!("bad model deployed: {other:?}"),
         }
-        assert_eq!(sys.registry.in_stage("m", Stage::Production).unwrap().version, 1);
+        assert_eq!(
+            sys.registry
+                .in_stage("m", Stage::Production)
+                .unwrap()
+                .version,
+            1
+        );
     }
 }

@@ -25,7 +25,10 @@ pub struct Record {
 
 /// A batch ETL pipeline: an ordered list of named transform stages.
 /// A named batch-transform stage.
-type Stage = (String, Box<dyn Fn(Vec<Record>) -> Vec<Record> + Send + Sync>);
+type Stage = (
+    String,
+    Box<dyn Fn(Vec<Record>) -> Vec<Record> + Send + Sync>,
+);
 
 #[derive(Default)]
 pub struct EtlPipeline {
@@ -35,7 +38,10 @@ pub struct EtlPipeline {
 impl std::fmt::Debug for EtlPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EtlPipeline")
-            .field("stages", &self.stages.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .field(
+                "stages",
+                &self.stages.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -96,7 +102,10 @@ pub fn fit_normalizer(rows: &[Record]) -> (Vec<f64>, Vec<f64>) {
             *v += (x - m) * (x - m) / n;
         }
     }
-    let stds = vars.into_iter().map(|v| if v > 1e-12 { v.sqrt() } else { 1.0 }).collect();
+    let stds = vars
+        .into_iter()
+        .map(|v| if v > 1e-12 { v.sqrt() } else { 1.0 })
+        .collect();
     (means, stds)
 }
 
@@ -127,13 +136,18 @@ impl Broker {
     /// Broker with per-topic queue capacity (backpressure bound).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Broker { topics: HashMap::new(), capacity }
+        Broker {
+            topics: HashMap::new(),
+            capacity,
+        }
     }
 
     /// Create (or get) a topic.
     pub fn topic(&mut self, name: &str) {
         let cap = self.capacity;
-        self.topics.entry(name.to_string()).or_insert_with(|| bounded(cap));
+        self.topics
+            .entry(name.to_string())
+            .or_insert_with(|| bounded(cap));
     }
 
     /// A producer handle for a topic.
@@ -167,8 +181,10 @@ pub fn run_streaming_job(
     let mut broker = Broker::new(64);
     broker.topic("events");
     let rx = broker.consumer("events");
-    let txs: Vec<Sender<Record>> =
-        records_per_producer.iter().map(|_| broker.producer("events")).collect();
+    let txs: Vec<Sender<Record>> = records_per_producer
+        .iter()
+        .map(|_| broker.producer("events"))
+        .collect();
     broker.seal("events");
     thread::scope(|s| {
         for (tx, records) in txs.into_iter().zip(records_per_producer) {
@@ -262,7 +278,12 @@ mod tests {
     use super::*;
 
     fn rec(entity: u64, ts: u64, f0: f64, label: Option<u32>) -> Record {
-        Record { entity, ts_ms: ts, features: vec![f0, f0 * 2.0], label }
+        Record {
+            entity,
+            ts_ms: ts,
+            features: vec![f0, f0 * 2.0],
+            label,
+        }
     }
 
     #[test]
@@ -321,7 +342,11 @@ mod tests {
     fn streaming_delivers_each_record_exactly_once() {
         // 3 producers × 100 records, 4 consumers in one group.
         let batches: Vec<Vec<Record>> = (0..3)
-            .map(|p| (0..100).map(|i| rec(p * 1000 + i, i, i as f64, Some(0))).collect())
+            .map(|p| {
+                (0..100)
+                    .map(|i| rec(p * 1000 + i, i, i as f64, Some(0)))
+                    .collect()
+            })
             .collect();
         let out = run_streaming_job(batches, 4, |mut r| {
             r.features[0] += 1.0;

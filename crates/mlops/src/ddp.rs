@@ -54,8 +54,9 @@ pub fn train_ddp(cfg: &DdpConfig, data: &Dataset) -> (Mlp, DdpReport) {
     let mut init_rng = Rng::new(cfg.seed);
     let template = Mlp::new(&cfg.sizes, &mut init_rng);
     let mut replicas: Vec<Mlp> = (0..cfg.workers).map(|_| template.clone()).collect();
-    let mut opts: Vec<Sgd> =
-        (0..cfg.workers).map(|_| Sgd::new(cfg.lr, cfg.momentum)).collect();
+    let mut opts: Vec<Sgd> = (0..cfg.workers)
+        .map(|_| Sgd::new(cfg.lr, cfg.momentum))
+        .collect();
     let shards = data.shards(cfg.workers);
 
     let mut history = Vec::with_capacity(cfg.epochs);
@@ -72,8 +73,11 @@ pub fn train_ddp(cfg: &DdpConfig, data: &Dataset) -> (Mlp, DdpReport) {
                 idx
             })
             .collect();
-        let steps_this_epoch =
-            orders.iter().map(|o| o.len().div_ceil(cfg.batch_size)).max().unwrap_or(0);
+        let steps_this_epoch = orders
+            .iter()
+            .map(|o| o.len().div_ceil(cfg.batch_size))
+            .max()
+            .unwrap_or(0);
 
         let mut epoch_loss = 0.0f32;
         for step in 0..steps_this_epoch {
@@ -104,21 +108,24 @@ pub fn train_ddp(cfg: &DdpConfig, data: &Dataset) -> (Mlp, DdpReport) {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("ddp worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ddp worker panicked"))
+                    .collect()
             });
             epoch_loss += losses.iter().sum::<f32>() / cfg.workers as f32;
 
             // Average gradients with the chosen collective.
-            let mut grads: Vec<Vec<f32>> =
-                replicas.iter().map(Mlp::grads_flat).collect();
+            let mut grads: Vec<Vec<f32>> = replicas.iter().map(Mlp::grads_flat).collect();
             let stats: AllReduceStats = all_reduce(&mut grads, cfg.algo);
             for (acc, &b) in comm_bytes.iter_mut().zip(&stats.bytes_sent) {
                 *acc += b;
             }
             steps += 1;
             let scale = 1.0 / cfg.workers as f32;
-            for (model, (grad, opt)) in
-                replicas.iter_mut().zip(grads.iter_mut().zip(opts.iter_mut()))
+            for (model, (grad, opt)) in replicas
+                .iter_mut()
+                .zip(grads.iter_mut().zip(opts.iter_mut()))
             {
                 for g in grad.iter_mut() {
                     *g *= scale;
@@ -136,7 +143,12 @@ pub fn train_ddp(cfg: &DdpConfig, data: &Dataset) -> (Mlp, DdpReport) {
     let model = replicas.swap_remove(0);
     (
         model,
-        DdpReport { history, in_sync, comm_bytes_per_worker: comm_bytes, steps },
+        DdpReport {
+            history,
+            in_sync,
+            comm_bytes_per_worker: comm_bytes,
+            steps,
+        },
     )
 }
 
@@ -170,7 +182,11 @@ mod tests {
     fn ddp_learns_the_task() {
         let data = Dataset::blobs(440, 8, 11, 0.6, 71);
         let (mut model, report) = train_ddp(&config(4, ReduceAlgo::Ring), &data);
-        assert!(report.history.last().unwrap().1 > 0.85, "{:?}", report.history.last());
+        assert!(
+            report.history.last().unwrap().1 > 0.85,
+            "{:?}",
+            report.history.last()
+        );
         assert!(data.accuracy(&mut model) > 0.85);
     }
 

@@ -58,7 +58,13 @@ impl DriftDetector {
         assert!(!reference.is_empty(), "reference must be non-empty");
         assert!(window_size >= 10, "window too small to test");
         assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
-        DriftDetector { reference, window: VecDeque::new(), window_size, alpha, bins: 10 }
+        DriftDetector {
+            reference,
+            window: VecDeque::new(),
+            window_size,
+            alpha,
+            bins: 10,
+        }
     }
 
     /// Feed one observation; returns a report once the window is full
@@ -87,7 +93,13 @@ impl DriftDetector {
         } else {
             DriftStatus::Stable
         };
-        DriftReport { status, ks, ks_critical: crit, psi: p, n: current.len() }
+        DriftReport {
+            status,
+            ks,
+            ks_critical: crit,
+            psi: p,
+            n: current.len(),
+        }
     }
 
     /// Number of observations currently windowed.
@@ -99,7 +111,11 @@ impl DriftDetector {
 /// Chi-squared statistic for label/prediction-distribution shift between
 /// two count vectors (e.g. predicted-class histograms week over week).
 pub fn label_shift_chi2(reference: &[u64], current: &[u64]) -> f64 {
-    assert_eq!(reference.len(), current.len(), "class-count length mismatch");
+    assert_eq!(
+        reference.len(),
+        current.len(),
+        "class-count length mismatch"
+    );
     let rn: u64 = reference.iter().sum();
     let cn: u64 = current.iter().sum();
     assert!(rn > 0 && cn > 0, "empty count vectors");
@@ -161,7 +177,10 @@ mod tests {
             }
         }
         let at = detected_at.expect("drift never detected");
-        assert!(at < 600, "detection too slow: {at} observations after onset");
+        assert!(
+            at < 600,
+            "detection too slow: {at} observations after onset"
+        );
     }
 
     #[test]

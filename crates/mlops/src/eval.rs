@@ -71,17 +71,35 @@ pub fn evaluate(model: &mut Mlp, data: &Dataset) -> EvalReport {
             let fp: usize = (0..k).filter(|&t| t != c).map(|t| confusion[t][c]).sum();
             let fn_: usize = (0..k).filter(|&p| p != c).map(|p| confusion[c][p]).sum();
             let support = tp + fn_;
-            let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-            let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+            let precision = if tp + fp == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            };
+            let recall = if support == 0 {
+                0.0
+            } else {
+                tp as f64 / support as f64
+            };
             let f1 = if precision + recall == 0.0 {
                 0.0
             } else {
                 2.0 * precision * recall / (precision + recall)
             };
-            ClassMetrics { class: c, precision, recall, f1, support }
+            ClassMetrics {
+                class: c,
+                precision,
+                recall,
+                f1,
+                support,
+            }
         })
         .collect();
-    EvalReport { accuracy: correct as f64 / data.len() as f64, per_class, confusion }
+    EvalReport {
+        accuracy: correct as f64 / data.len() as f64,
+        per_class,
+        confusion,
+    }
 }
 
 /// A named slice predicate over `(label, features)`.
@@ -97,7 +115,9 @@ pub fn evaluate_slices(
     slices
         .iter()
         .map(|(name, pred)| {
-            let idx: Vec<usize> = (0..data.len()).filter(|&i| pred(data.y[i], data.x.row(i))).collect();
+            let idx: Vec<usize> = (0..data.len())
+                .filter(|&i| pred(data.y[i], data.x.row(i)))
+                .collect();
             if idx.is_empty() {
                 return (name.to_string(), 0.0, 0);
             }
@@ -158,7 +178,10 @@ pub fn run_behavioral_suite(
     tests
         .iter()
         .map(|t| match t {
-            BehavioralTest::NoiseInvariance { noise, max_flip_rate } => {
+            BehavioralTest::NoiseInvariance {
+                noise,
+                max_flip_rate,
+            } => {
                 let mut x = data.x.clone();
                 for v in x.as_mut_slice() {
                     *v += rng.normal_with(0.0, *noise) as f32;
@@ -172,7 +195,10 @@ pub fn run_behavioral_suite(
                     flip_rate: rate,
                 }
             }
-            BehavioralTest::FeatureDropout { feature, max_flip_rate } => {
+            BehavioralTest::FeatureDropout {
+                feature,
+                max_flip_rate,
+            } => {
                 let mut x = data.x.clone();
                 for r in 0..x.rows() {
                     x.set(r, *feature, 0.0);
@@ -387,8 +413,7 @@ mod tests {
         // A dataset the model classifies perfectly ⇒ all ones.
         let (mut model, data) = trained(61);
         let preds = model.predict(&data.x);
-        let idx: Vec<usize> =
-            (0..data.len()).filter(|&i| preds[i] == data.y[i]).collect();
+        let idx: Vec<usize> = (0..data.len()).filter(|&i| preds[i] == data.y[i]).collect();
         let clean = data.subset(&idx);
         let report = evaluate(&mut model, &clean);
         assert!((report.accuracy - 1.0).abs() < 1e-12);
@@ -420,7 +445,10 @@ mod tests {
             &mut model,
             &data,
             &[
-                BehavioralTest::NoiseInvariance { noise: 0.05, max_flip_rate: 0.05 },
+                BehavioralTest::NoiseInvariance {
+                    noise: 0.05,
+                    max_flip_rate: 0.05,
+                },
                 BehavioralTest::Determinism,
             ],
             7,
@@ -438,7 +466,10 @@ mod tests {
         let results = run_behavioral_suite(
             &mut model,
             &data,
-            &[BehavioralTest::NoiseInvariance { noise: 5.0, max_flip_rate: 0.05 }],
+            &[BehavioralTest::NoiseInvariance {
+                noise: 5.0,
+                max_flip_rate: 0.05,
+            }],
             8,
         );
         assert!(!results[0].passed);
@@ -505,12 +536,21 @@ mod tests {
             v[v.len() / 2]
         };
         let groups: Vec<String> = (0..data.len())
-            .map(|i| if data.x.get(i, 0) > median { "high".into() } else { "low".into() })
+            .map(|i| {
+                if data.x.get(i, 0) > median {
+                    "high".into()
+                } else {
+                    "low".into()
+                }
+            })
             .collect();
-        let fair =
-            fairness_audit(&mut model, &data, |i| groups[i].clone(), 0);
+        let fair = fairness_audit(&mut model, &data, |i| groups[i].clone(), 0);
         assert_eq!(fair.groups.len(), 2);
-        assert!(fair.accuracy_gap < 0.15, "healthy model gap {}", fair.accuracy_gap);
+        assert!(
+            fair.accuracy_gap < 0.15,
+            "healthy model gap {}",
+            fair.accuracy_gap
+        );
         // Corrupt the "low" group's inputs → disparity appears.
         let mut corrupted = data.clone();
         for (i, group) in groups.iter().enumerate() {

@@ -62,8 +62,10 @@ pub fn train_fsdp(cfg: &FsdpConfig, data: &Dataset) -> (Mlp, FsdpReport) {
 
     // Persistent state: parameter shards + momentum shards.
     let full_init = model.params_flat();
-    let mut param_shards: Vec<Vec<f32>> =
-        bounds.iter().map(|&(lo, hi)| full_init[lo..hi].to_vec()).collect();
+    let mut param_shards: Vec<Vec<f32>> = bounds
+        .iter()
+        .map(|&(lo, hi)| full_init[lo..hi].to_vec())
+        .collect();
     let mut momentum_shards: Vec<Vec<f32>> =
         bounds.iter().map(|&(lo, hi)| vec![0.0; hi - lo]).collect();
 
@@ -72,7 +74,11 @@ pub fn train_fsdp(cfg: &FsdpConfig, data: &Dataset) -> (Mlp, FsdpReport) {
     let mut comm_bytes_per_worker = 0usize;
     // Ring all-gather and reduce-scatter each move (K−1)/K of the buffer
     // per worker per invocation.
-    let per_collective = if k > 1 { (k - 1) * (total / k).max(1) * 4 } else { 0 };
+    let per_collective = if k > 1 {
+        (k - 1) * (total / k).max(1) * 4
+    } else {
+        0
+    };
 
     for epoch in 0..cfg.epochs {
         let orders: Vec<Vec<usize>> = (0..k)
@@ -82,7 +88,11 @@ pub fn train_fsdp(cfg: &FsdpConfig, data: &Dataset) -> (Mlp, FsdpReport) {
                 idx
             })
             .collect();
-        let steps = orders.iter().map(|o| o.len().div_ceil(cfg.batch_size)).max().unwrap_or(0);
+        let steps = orders
+            .iter()
+            .map(|o| o.len().div_ceil(cfg.batch_size))
+            .max()
+            .unwrap_or(0);
         let mut epoch_loss = 0.0f32;
 
         for step in 0..steps {
@@ -118,7 +128,10 @@ pub fn train_fsdp(cfg: &FsdpConfig, data: &Dataset) -> (Mlp, FsdpReport) {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("fsdp worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fsdp worker panicked"))
+                    .collect()
             });
             epoch_loss += grads.iter().map(|(l, _)| l).sum::<f32>() / k as f32;
 
@@ -166,8 +179,8 @@ pub fn train_fsdp(cfg: &FsdpConfig, data: &Dataset) -> (Mlp, FsdpReport) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ddp::{train_ddp, DdpConfig};
     use crate::allreduce::ReduceAlgo;
+    use crate::ddp::{train_ddp, DdpConfig};
 
     fn cfg(workers: usize) -> FsdpConfig {
         FsdpConfig {
@@ -185,7 +198,11 @@ mod tests {
     fn fsdp_learns_the_task() {
         let data = Dataset::blobs(440, 8, 11, 0.6, 80);
         let (mut model, report) = train_fsdp(&cfg(4), &data);
-        assert!(report.history.last().unwrap().1 > 0.85, "{:?}", report.history.last());
+        assert!(
+            report.history.last().unwrap().1 > 0.85,
+            "{:?}",
+            report.history.last()
+        );
         assert!(data.accuracy(&mut model) > 0.85);
     }
 
@@ -198,7 +215,10 @@ mod tests {
         let total = model.num_params();
         assert!(report.persistent_params_per_worker <= total.div_ceil(4) + 4);
         assert_eq!(report.peak_params_per_worker, total);
-        assert_eq!(report.optimizer_state_per_worker, report.persistent_params_per_worker);
+        assert_eq!(
+            report.optimizer_state_per_worker,
+            report.persistent_params_per_worker
+        );
     }
 
     #[test]
@@ -218,7 +238,10 @@ mod tests {
             seed: 88,
         };
         let (_, ddp) = train_ddp(&ddp_cfg, &data);
-        let (fa, da) = (fsdp.history.last().unwrap().1, ddp.history.last().unwrap().1);
+        let (fa, da) = (
+            fsdp.history.last().unwrap().1,
+            ddp.history.last().unwrap().1,
+        );
         assert!((fa - da).abs() < 0.12, "fsdp {fa} vs ddp {da}");
     }
 
@@ -231,7 +254,10 @@ mod tests {
         c4.epochs = 2;
         let (_, r1) = train_fsdp(&c1, &data);
         let (_, r4) = train_fsdp(&c4, &data);
-        assert_eq!(r1.comm_bytes_per_worker, 0, "single worker needs no collectives");
+        assert_eq!(
+            r1.comm_bytes_per_worker, 0,
+            "single worker needs no collectives"
+        );
         assert!(r4.comm_bytes_per_worker > 0);
     }
 

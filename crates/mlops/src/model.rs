@@ -90,8 +90,14 @@ impl Mlp {
     /// Build an MLP; `sizes` is `[input, hidden…, output]`.
     pub fn new(sizes: &[usize], rng: &mut Rng) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
-        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], rng)).collect();
-        Mlp { layers, relu_masks: Vec::new() }
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            relu_masks: Vec::new(),
+        }
     }
 
     /// Forward pass producing logits, shape `(batch, classes)`.
@@ -157,7 +163,11 @@ impl Mlp {
 
     /// Overwrite all parameters from a flat buffer.
     pub fn set_params_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_params(), "flat parameter size mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "flat parameter size mismatch"
+        );
         let mut off = 0;
         for l in &mut self.layers {
             let wl = l.w.len();
@@ -185,7 +195,9 @@ impl Mlp {
         let mut off = 0;
         for l in &mut self.layers {
             let wl = l.grad_w.len();
-            l.grad_w.as_mut_slice().copy_from_slice(&flat[off..off + wl]);
+            l.grad_w
+                .as_mut_slice()
+                .copy_from_slice(&flat[off..off + wl]);
             off += wl;
             let bl = l.grad_b.len();
             l.grad_b.copy_from_slice(&flat[off..off + bl]);
@@ -250,7 +262,11 @@ pub struct Sgd {
 impl Sgd {
     /// New optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: None }
+        Sgd {
+            lr,
+            momentum,
+            velocity: None,
+        }
     }
 
     /// Apply one update from the model's accumulated gradients, then zero
@@ -315,7 +331,11 @@ impl Dataset {
         for v in x.as_mut_slice() {
             *v += delta;
         }
-        Dataset { x, y: self.y.clone(), classes: self.classes }
+        Dataset {
+            x,
+            y: self.y.clone(),
+            classes: self.classes,
+        }
     }
 
     /// Number of examples.
@@ -336,7 +356,11 @@ impl Dataset {
             x.row_mut(r).copy_from_slice(self.x.row(i));
             y.push(self.y[i]);
         }
-        Dataset { x, y, classes: self.classes }
+        Dataset {
+            x,
+            y,
+            classes: self.classes,
+        }
     }
 
     /// Split into `k` contiguous shards (data-parallel workers).

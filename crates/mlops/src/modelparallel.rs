@@ -54,7 +54,10 @@ pub struct PipelineReport {
 
 /// Split `n_layers` into `stages` contiguous groups (balanced).
 pub fn partition_layers(n_layers: usize, stages: usize) -> Vec<(usize, usize)> {
-    assert!(stages >= 1 && stages <= n_layers, "need 1..=n_layers stages");
+    assert!(
+        stages >= 1 && stages <= n_layers,
+        "need 1..=n_layers stages"
+    );
     let base = n_layers / stages;
     let rem = n_layers % stages;
     let mut out = Vec::with_capacity(stages);
@@ -90,7 +93,10 @@ pub fn train_pipeline(cfg: &PipelineConfig, data: &Dataset) -> (Mlp, PipelineRep
     let max_params_per_stage = parts
         .iter()
         .map(|&(lo, hi)| {
-            model.layers[lo..hi].iter().map(crate::model::Dense::num_params).sum::<usize>()
+            model.layers[lo..hi]
+                .iter()
+                .map(crate::model::Dense::num_params)
+                .sum::<usize>()
         })
         .max()
         .expect("at least one stage");
@@ -100,8 +106,11 @@ pub fn train_pipeline(cfg: &PipelineConfig, data: &Dataset) -> (Mlp, PipelineRep
     // receiving the last stage's forwards and stage 0's backwards. The
     // GPipe schedule strictly separates the phases, so a single inbox
     // per endpoint is unambiguous.
-    let (inbox_txs, mut inbox_rxs): (Vec<Sender<Flow>>, Vec<Option<Receiver<Flow>>>) =
-        (0..cfg.stages).map(|_| unbounded()).map(|(t, r)| (t, Some(r))).unzip();
+    let (inbox_txs, mut inbox_rxs): (Vec<Sender<Flow>>, Vec<Option<Receiver<Flow>>>) = (0..cfg
+        .stages)
+        .map(|_| unbounded())
+        .map(|(t, r)| (t, Some(r)))
+        .unzip();
     let (driver_tx, driver_rx) = unbounded::<Flow>();
 
     let mut stage_models: Vec<Vec<crate::model::Dense>> = Vec::new();
@@ -151,13 +160,10 @@ pub fn train_pipeline(cfg: &PipelineConfig, data: &Dataset) -> (Mlp, PipelineRep
                             for (li, layer) in layers.iter_mut().enumerate() {
                                 inputs[m].push(h.clone());
                                 h = layer.forward(&h);
-                                let apply_relu =
-                                    !(is_last_overall && li + 1 == n_stage_layers);
+                                let apply_relu = !(is_last_overall && li + 1 == n_stage_layers);
                                 if apply_relu {
                                     let mut mask = vec![false; h.len()];
-                                    for (v, mk) in
-                                        h.as_mut_slice().iter_mut().zip(&mut mask)
-                                    {
+                                    for (v, mk) in h.as_mut_slice().iter_mut().zip(&mut mask) {
                                         if *v > 0.0 {
                                             *mk = true;
                                         } else {
@@ -228,13 +234,14 @@ pub fn train_pipeline(cfg: &PipelineConfig, data: &Dataset) -> (Mlp, PipelineRep
                 .collect();
             // GPipe schedule: all forwards…
             for (m, mb) in micro.iter().enumerate() {
-                to_first.send(Flow::Forward(m, mb.x.clone())).expect("stage 0 open");
+                to_first
+                    .send(Flow::Forward(m, mb.x.clone()))
+                    .expect("stage 0 open");
             }
             let mut step_loss = 0.0f32;
             let mut grads: Vec<(usize, Matrix)> = Vec::new();
             for _ in 0..cfg.micro_batches {
-                let Flow::Forward(m, logits) = driver_rx.recv().expect("last stage open")
-                else {
+                let Flow::Forward(m, logits) = driver_rx.recv().expect("last stage open") else {
                     unreachable!("driver receives only forwards here");
                 };
                 let (loss, mut dlogits) = softmax_cross_entropy(&logits, &micro[m].y);
@@ -265,8 +272,10 @@ pub fn train_pipeline(cfg: &PipelineConfig, data: &Dataset) -> (Mlp, PipelineRep
         let Flow::Stop = driver_rx.recv().expect("last stage open") else {
             unreachable!("stop marker propagates");
         };
-        let stage_layers: Vec<Vec<crate::model::Dense>> =
-            handles.into_iter().map(|h| h.join().expect("stage panicked")).collect();
+        let stage_layers: Vec<Vec<crate::model::Dense>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("stage panicked"))
+            .collect();
         // Assemble the final model for evaluation.
         let mut all = Vec::new();
         for sl in &stage_layers {

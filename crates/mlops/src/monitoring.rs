@@ -31,7 +31,10 @@ pub struct Series {
 
 impl Series {
     fn new(retention: usize) -> Self {
-        Series { points: VecDeque::new(), retention }
+        Series {
+            points: VecDeque::new(),
+            retention,
+        }
     }
 
     fn push(&mut self, s: Sample) {
@@ -72,13 +75,19 @@ pub struct MetricsStore {
 impl MetricsStore {
     /// Store with default retention.
     pub fn new() -> Self {
-        MetricsStore { series: BTreeMap::new(), retention: DEFAULT_RETENTION }
+        MetricsStore {
+            series: BTreeMap::new(),
+            retention: DEFAULT_RETENTION,
+        }
     }
 
     /// Store with custom per-series retention.
     pub fn with_retention(retention: usize) -> Self {
         assert!(retention > 0);
-        MetricsStore { series: BTreeMap::new(), retention }
+        MetricsStore {
+            series: BTreeMap::new(),
+            retention,
+        }
     }
 
     /// Record a point.
@@ -114,9 +123,9 @@ impl MetricsStore {
     /// Max over the trailing window.
     pub fn window_max(&self, name: &str, now: f64, window_ms: f64) -> Option<f64> {
         let s = self.series.get(name)?;
-        s.window(now - window_ms).map(|p| p.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        s.window(now - window_ms)
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Count of points in the trailing window.
@@ -145,7 +154,9 @@ impl MetricsStore {
                 _ => out.push((bucket, p.value, 1)),
             }
         }
-        out.into_iter().map(|(b, sum, n)| (b, sum / n as f64)).collect()
+        out.into_iter()
+            .map(|(b, sum, n)| (b, sum / n as f64))
+            .collect()
     }
 
     /// Registered series names.
@@ -207,7 +218,11 @@ pub fn evaluate_alerts(store: &MetricsStore, rules: &[AlertRule], now: f64) -> V
             Cmp::Below => mean < rule.threshold,
         };
         if breach {
-            fired.push(Alert { rule: rule.name.clone(), value: mean, at_ms: now });
+            fired.push(Alert {
+                rule: rule.name.clone(),
+                value: mean,
+                at_ms: now,
+            });
         }
     }
     fired
@@ -272,7 +287,13 @@ mod tests {
     #[test]
     fn rollup_buckets_means() {
         let mut s = MetricsStore::new();
-        for (t, v) in [(0.0, 10.0), (5.0, 20.0), (10.0, 30.0), (19.0, 50.0), (20.0, 7.0)] {
+        for (t, v) in [
+            (0.0, 10.0),
+            (5.0, 20.0),
+            (10.0, 30.0),
+            (19.0, 50.0),
+            (20.0, 7.0),
+        ] {
             s.record("m", t, v);
         }
         let r = s.rollup("m", 10.0);

@@ -42,7 +42,12 @@ impl QuantizedMatrix {
             .iter()
             .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
             .collect();
-        QuantizedMatrix { scale, data, rows: m.rows(), cols: m.cols() }
+        QuantizedMatrix {
+            scale,
+            data,
+            rows: m.rows(),
+            cols: m.cols(),
+        }
     }
 
     /// Reconstruct the f32 matrix.
@@ -85,7 +90,10 @@ impl QuantizedMlp {
 
     /// Storage bytes of the quantized parameters.
     pub fn bytes(&self) -> usize {
-        self.layers.iter().map(|(w, b)| w.bytes() + b.len() * 4).sum()
+        self.layers
+            .iter()
+            .map(|(w, b)| w.bytes() + b.len() * 4)
+            .sum()
     }
 
     /// Class predictions (dequantize-on-the-fly inference).
@@ -326,7 +334,10 @@ mod tests {
         let q = QuantizedMlp::from_model(&model);
         let ratio = model_bytes(&model) as f64 / q.bytes() as f64;
         assert!(ratio > 3.0, "compression ratio {ratio}");
-        assert!(ratio <= 4.0, "ratio {ratio} cannot exceed the weight-only bound");
+        assert!(
+            ratio <= 4.0,
+            "ratio {ratio} cannot exceed the weight-only bound"
+        );
     }
 
     #[test]
@@ -359,7 +370,10 @@ mod tests {
         let (mut model, data) = trained_model(53);
         let before = data.accuracy(&mut model);
         let achieved = prune_magnitude(&mut model, 0.5);
-        assert!((achieved - 0.5).abs() < 0.05, "achieved sparsity {achieved}");
+        assert!(
+            (achieved - 0.5).abs() < 0.05,
+            "achieved sparsity {achieved}"
+        );
         assert!((sparsity(&model) - achieved).abs() < 1e-9);
         let after = data.accuracy(&mut model);
         // Half the weights gone: accuracy drops but the model is not dead.
@@ -368,7 +382,10 @@ mod tests {
         let (mut model2, _) = trained_model(53);
         prune_magnitude(&mut model2, 0.95);
         let wrecked = data.accuracy(&mut model2);
-        assert!(wrecked <= after + 0.05, "95% pruned {wrecked} vs 50% pruned {after}");
+        assert!(
+            wrecked <= after + 0.05,
+            "95% pruned {wrecked} vs 50% pruned {after}"
+        );
     }
 
     #[test]

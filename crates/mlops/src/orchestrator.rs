@@ -104,8 +104,12 @@ impl Orchestrator {
     /// desired state. Deployments absent from the set are deleted.
     pub fn apply(&mut self, manifests: &[DeploymentSpec]) {
         let names: Vec<String> = manifests.iter().map(|m| m.name.clone()).collect();
-        let removed: Vec<String> =
-            self.specs.keys().filter(|k| !names.contains(k)).cloned().collect();
+        let removed: Vec<String> = self
+            .specs
+            .keys()
+            .filter(|k| !names.contains(k))
+            .cloned()
+            .collect();
         for name in removed {
             self.specs.remove(&name);
             self.events.push(format!("pruned deployment {name}"));
@@ -146,10 +150,8 @@ impl Orchestrator {
                 PodPhase::Ready => {
                     if self.crash_probability > 0.0 && rng.chance(self.crash_probability) {
                         pod.phase = PodPhase::Crashed;
-                        self.events.push(format!(
-                            "pod {} ({}) crashed",
-                            pod.id, pod.deployment
-                        ));
+                        self.events
+                            .push(format!("pod {} ({}) crashed", pod.id, pod.deployment));
                     }
                 }
                 PodPhase::Crashed => {}
@@ -242,7 +244,11 @@ impl Orchestrator {
                 if budget == 0 {
                     break;
                 }
-                let pos = self.pods.iter().position(|p| p.id == id).expect("just listed");
+                let pos = self
+                    .pods
+                    .iter()
+                    .position(|p| p.id == id)
+                    .expect("just listed");
                 let was_ready = self.pods[pos].phase == PodPhase::Ready;
                 self.pods.remove(pos);
                 let new_id = self.next_pod_id;
@@ -264,7 +270,10 @@ impl Orchestrator {
 
     /// Pods of a deployment.
     pub fn pods_of(&self, deployment: &str) -> Vec<&Pod> {
-        self.pods.iter().filter(|p| p.deployment == deployment).collect()
+        self.pods
+            .iter()
+            .filter(|p| p.deployment == deployment)
+            .collect()
     }
 
     /// Ready pods of a deployment.
@@ -384,7 +393,10 @@ mod tests {
         settle(&mut orch, &mut rng, 4);
         let pods = orch.ready_pods("gourmetgram");
         assert_eq!(pods.len(), 3);
-        assert!(pods.iter().all(|p| p.restarts >= 1), "restart counters must record healing");
+        assert!(
+            pods.iter().all(|p| p.restarts >= 1),
+            "restart counters must record healing"
+        );
     }
 
     #[test]
@@ -453,7 +465,11 @@ mod tests {
 
     #[test]
     fn autoscaler_tracks_load_curve() {
-        let hpa = Autoscaler { min_replicas: 1, max_replicas: 8, target_load_per_pod: 50.0 };
+        let hpa = Autoscaler {
+            min_replicas: 1,
+            max_replicas: 8,
+            target_load_per_pod: 50.0,
+        };
         assert_eq!(hpa.desired_replicas(10.0), 1);
         assert_eq!(hpa.desired_replicas(120.0), 3);
         assert_eq!(hpa.desired_replicas(1e6), 8); // clamped

@@ -137,7 +137,10 @@ pub struct Workflow {
 impl fmt::Debug for Workflow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Workflow")
-            .field("tasks", &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>())
+            .field(
+                "tasks",
+                &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -213,7 +216,10 @@ impl Workflow {
                         continue;
                     }
                     let dead = self.tasks[i].deps.iter().any(|&d| {
-                        matches!(status[d], Some(TaskStatus::Failed(_)) | Some(TaskStatus::Skipped))
+                        matches!(
+                            status[d],
+                            Some(TaskStatus::Failed(_)) | Some(TaskStatus::Skipped)
+                        )
                     });
                     if dead {
                         status[i] = Some(TaskStatus::Skipped);
@@ -254,7 +260,10 @@ impl Workflow {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("task panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("task panicked"))
+                    .collect()
             });
             for (&i, (st, att)) in ready.iter().zip(results) {
                 status[i] = Some(st);
@@ -322,7 +331,8 @@ mod tests {
         for name in ["a", "b", "c"] {
             wf.add_task(name, &[], 0, |_| Ok(())).unwrap();
         }
-        wf.add_task("join", &["a", "b", "c"], 0, |_| Ok(())).unwrap();
+        wf.add_task("join", &["a", "b", "c"], 0, |_| Ok(()))
+            .unwrap();
         let result = wf.run(&Context::new());
         assert_eq!(result.waves, 2);
         for name in ["a", "b", "c"] {
@@ -335,14 +345,24 @@ mod tests {
     fn failure_skips_dependents_only() {
         let mut wf = Workflow::new();
         wf.add_task("ok", &[], 0, |_| Ok(())).unwrap();
-        wf.add_task("boom", &[], 0, |_| Err("kaput".into())).unwrap();
+        wf.add_task("boom", &[], 0, |_| Err("kaput".into()))
+            .unwrap();
         wf.add_task("after_boom", &["boom"], 0, |_| Ok(())).unwrap();
         wf.add_task("after_ok", &["ok"], 0, |_| Ok(())).unwrap();
         let result = wf.run(&Context::new());
         assert!(!result.succeeded());
-        assert_eq!(result.task("boom").unwrap().status, TaskStatus::Failed("kaput".into()));
-        assert_eq!(result.task("after_boom").unwrap().status, TaskStatus::Skipped);
-        assert_eq!(result.task("after_ok").unwrap().status, TaskStatus::Succeeded);
+        assert_eq!(
+            result.task("boom").unwrap().status,
+            TaskStatus::Failed("kaput".into())
+        );
+        assert_eq!(
+            result.task("after_boom").unwrap().status,
+            TaskStatus::Skipped
+        );
+        assert_eq!(
+            result.task("after_ok").unwrap().status,
+            TaskStatus::Succeeded
+        );
         assert_eq!(result.task("after_boom").unwrap().attempts, 0);
     }
 
@@ -367,10 +387,14 @@ mod tests {
     #[test]
     fn retry_budget_exhausted() {
         let mut wf = Workflow::new();
-        wf.add_task("hopeless", &[], 2, |_| Err("always".into())).unwrap();
+        wf.add_task("hopeless", &[], 2, |_| Err("always".into()))
+            .unwrap();
         let result = wf.run(&Context::new());
         assert_eq!(result.task("hopeless").unwrap().attempts, 3);
-        assert!(matches!(result.task("hopeless").unwrap().status, TaskStatus::Failed(_)));
+        assert!(matches!(
+            result.task("hopeless").unwrap().status,
+            TaskStatus::Failed(_)
+        ));
     }
 
     #[test]
@@ -383,7 +407,10 @@ mod tests {
         );
         assert_eq!(
             wf.add_task("b", &["ghost"], 0, |_| Ok(())).unwrap_err(),
-            WorkflowError::UnknownDependency { task: "b".into(), dep: "ghost".into() }
+            WorkflowError::UnknownDependency {
+                task: "b".into(),
+                dep: "ghost".into()
+            }
         );
     }
 

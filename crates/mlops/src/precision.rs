@@ -357,8 +357,10 @@ mod tests {
         let w = Matrix::kaiming(64, 64, &mut rng);
         let lora = LoraDense::new(w, vec![0.0; 64], 4, 8.0, &mut rng);
         assert_eq!(lora.trainable_params(), 64 * 4 + 4 * 64);
-        assert!(lora.trainable_params() * 8 <= lora.total_params(),
-            "LoRA should train ≤ 1/8 of parameters here");
+        assert!(
+            lora.trainable_params() * 8 <= lora.total_params(),
+            "LoRA should train ≤ 1/8 of parameters here"
+        );
     }
 
     #[test]
@@ -375,11 +377,13 @@ mod tests {
         assert!(data.accuracy(&mut base) > 0.9);
         let drifted = data.shifted(4.0);
         let degraded = drifted.accuracy(&mut base);
-        assert!(degraded < 0.85, "shift failed to degrade the model ({degraded})");
+        assert!(
+            degraded < 0.85,
+            "shift failed to degrade the model ({degraded})"
+        );
         // Wrap the (single) layer in LoRA and fine-tune on drifted data.
         let layer = &base.layers[0];
-        let mut lora =
-            LoraDense::new(layer.w.clone(), layer.b.clone(), 2, 8.0, &mut rng);
+        let mut lora = LoraDense::new(layer.w.clone(), layer.b.clone(), 2, 8.0, &mut rng);
         for _ in 0..200 {
             let logits = lora.forward(&drifted.x);
             let (_, d) = softmax_cross_entropy(&logits, &drifted.y);
@@ -389,13 +393,17 @@ mod tests {
         let logits = lora.forward(&drifted.x);
         let preds: Vec<usize> = (0..logits.rows())
             .map(|r| {
-                logits.row(r).iter().enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+                logits
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .unwrap()
+                    .0
             })
             .collect();
-        let adapted =
-            preds.iter().zip(&drifted.y).filter(|(p, y)| p == y).count() as f64
-                / drifted.len() as f64;
+        let adapted = preds.iter().zip(&drifted.y).filter(|(p, y)| p == y).count() as f64
+            / drifted.len() as f64;
         assert!(
             adapted > degraded + 0.05 && adapted > 0.9,
             "LoRA adapted {adapted} vs degraded {degraded}"

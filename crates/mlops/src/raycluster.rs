@@ -284,10 +284,18 @@ pub fn tune(
     let rung = cluster.execute(tasks);
     let mut scored: Vec<(f64, &Trial)> = rung
         .iter()
-        .map(|r| (r.value.expect("trials do not fail here"), &trials[r.id as usize]))
+        .map(|r| {
+            (
+                r.value.expect("trials do not fail here"),
+                &trials[r.id as usize],
+            )
+        })
         .collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("accuracy finite"));
-    let survivors: Vec<&Trial> = scored[..n_trials.div_ceil(2)].iter().map(|&(_, t)| t).collect();
+    let survivors: Vec<&Trial> = scored[..n_trials.div_ceil(2)]
+        .iter()
+        .map(|&(_, t)| t)
+        .collect();
     let early_stopped = n_trials - survivors.len();
 
     // Rung 2: survivors train to the full budget; tracked.
@@ -306,7 +314,12 @@ pub fn tune(
         }
     }
     let (best_accuracy, best) = best.expect("at least one survivor");
-    TuneReport { best, best_accuracy, early_stopped, trials: n_trials }
+    TuneReport {
+        best,
+        best_accuracy,
+        early_stopped,
+        trials: n_trials,
+    }
 }
 
 #[cfg(test)]
@@ -351,7 +364,10 @@ mod tests {
             })
             .collect();
         let records = cluster.execute(tasks);
-        assert!(records.iter().all(|r| r.worker == 1), "GPU task on CPU worker");
+        assert!(
+            records.iter().all(|r| r.worker == 1),
+            "GPU task on CPU worker"
+        );
     }
 
     #[test]
@@ -440,7 +456,9 @@ mod tests {
         assert_eq!(runs.len(), 4);
         assert!(runs.iter().all(|r| r.params.contains_key("lr")));
         // The tracker's best-run agrees with the report.
-        let best = tracker.best_run("ray-tune", "val_acc", true).expect("runs exist");
+        let best = tracker
+            .best_run("ray-tune", "val_acc", true)
+            .expect("runs exist");
         assert!(
             (best.last_metric("val_acc").expect("logged") - report.best_accuracy).abs() < 1e-12
         );

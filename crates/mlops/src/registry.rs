@@ -113,13 +113,11 @@ impl ModelRegistry {
     /// Move a version to a stage. Promoting to a stage that already has a
     /// live version archives the incumbent (at most one version per stage,
     /// like MLflow's registry).
-    pub fn transition(
-        &mut self,
-        name: &str,
-        version: u32,
-        to: Stage,
-    ) -> Result<(), RegistryError> {
-        let versions = self.models.get_mut(name).ok_or(RegistryError::NoSuchModel)?;
+    pub fn transition(&mut self, name: &str, version: u32, to: Stage) -> Result<(), RegistryError> {
+        let versions = self
+            .models
+            .get_mut(name)
+            .ok_or(RegistryError::NoSuchModel)?;
         if !versions.iter().any(|v| v.version == version) {
             return Err(RegistryError::NoSuchVersion);
         }
@@ -140,7 +138,13 @@ impl ModelRegistry {
         v.stage = to;
         for (ver, from, to) in pending {
             self.seq += 1;
-            self.history.push(Transition { name: name.to_string(), version: ver, from, to, seq: self.seq });
+            self.history.push(Transition {
+                name: name.to_string(),
+                version: ver,
+                from,
+                to,
+                seq: self.seq,
+            });
         }
         Ok(())
     }
@@ -157,7 +161,10 @@ impl ModelRegistry {
 
     /// Latest registered version number.
     pub fn latest_version(&self, name: &str) -> Option<u32> {
-        self.models.get(name).and_then(|v| v.last()).map(|v| v.version)
+        self.models
+            .get(name)
+            .and_then(|v| v.last())
+            .map(|v| v.version)
     }
 
     /// Roll production back to the most recently archived ex-production
@@ -228,7 +235,10 @@ mod tests {
         }
         // History records the whole path.
         let stages: Vec<Stage> = r.history().iter().map(|t| t.to).collect();
-        assert_eq!(stages, vec![Stage::Staging, Stage::Canary, Stage::Production]);
+        assert_eq!(
+            stages,
+            vec![Stage::Staging, Stage::Canary, Stage::Production]
+        );
     }
 
     #[test]
@@ -249,7 +259,10 @@ mod tests {
         let mut r = ModelRegistry::new();
         r.register("m", vec![1], metrics(0.9));
         r.transition("m", 1, Stage::Production).unwrap();
-        assert_eq!(r.rollback_production("m").unwrap_err(), RegistryError::NothingToRollBack);
+        assert_eq!(
+            r.rollback_production("m").unwrap_err(),
+            RegistryError::NothingToRollBack
+        );
     }
 
     #[test]

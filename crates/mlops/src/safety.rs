@@ -89,7 +89,10 @@ pub struct RobustnessReport {
 impl RobustnessReport {
     /// Accuracy at a given ε (must be in the sweep).
     pub fn at(&self, epsilon: f32) -> Option<f64> {
-        self.sweep.iter().find(|&&(e, _)| (e - epsilon).abs() < 1e-9).map(|&(_, a)| a)
+        self.sweep
+            .iter()
+            .find(|&&(e, _)| (e - epsilon).abs() < 1e-9)
+            .map(|&(_, a)| a)
     }
 }
 
@@ -100,11 +103,18 @@ pub fn red_team(model: &mut Mlp, data: &Dataset, epsilons: &[f32]) -> Robustness
         .iter()
         .map(|&eps| {
             let adv = fgsm_attack(model, data, eps);
-            let adv_data = Dataset { x: adv, y: data.y.clone(), classes: data.classes };
+            let adv_data = Dataset {
+                x: adv,
+                y: data.y.clone(),
+                classes: data.classes,
+            };
             (eps, adv_data.accuracy(model))
         })
         .collect();
-    RobustnessReport { sweep, clean_accuracy }
+    RobustnessReport {
+        sweep,
+        clean_accuracy,
+    }
 }
 
 /// Adversarial fine-tuning: continue training on a mix of clean and
@@ -123,7 +133,11 @@ pub fn adversarial_finetune(
         train_epoch_like(model, data, &mut opt, &mut rng);
         // Adversarial pass on fresh perturbations.
         let adv = fgsm_attack(model, data, epsilon);
-        let adv_data = Dataset { x: adv, y: data.y.clone(), classes: data.classes };
+        let adv_data = Dataset {
+            x: adv,
+            y: data.y.clone(),
+            classes: data.classes,
+        };
         train_epoch_like(model, &adv_data, &mut opt, &mut rng);
     }
 }
@@ -273,7 +287,11 @@ mod tests {
             x.row_mut(base.len() + i).copy_from_slice(hard.x.row(i));
             y.push(hard.y[i]);
         }
-        let mixed = Dataset { x, y, classes: base.classes };
+        let mixed = Dataset {
+            x,
+            y,
+            classes: base.classes,
+        };
         let open = ConfidenceGate { threshold: 0.0 }.evaluate(&mut model, &mixed);
         let gated = ConfidenceGate { threshold: 0.9 }.evaluate(&mut model, &mixed);
         assert!((open.coverage - 1.0).abs() < 1e-9);
@@ -294,7 +312,10 @@ mod tests {
         let mut last_coverage = 1.1;
         for t in [0.0, 0.5, 0.8, 0.95, 0.999] {
             let r = ConfidenceGate { threshold: t }.evaluate(&mut model, &mixed);
-            assert!(r.coverage <= last_coverage + 1e-9, "coverage not monotone at {t}");
+            assert!(
+                r.coverage <= last_coverage + 1e-9,
+                "coverage not monotone at {t}"
+            );
             last_coverage = r.coverage;
         }
     }

@@ -38,25 +38,37 @@ pub struct ModelProfile {
 impl ModelProfile {
     /// FP32 image classifier on a server GPU (A100/A30 class).
     pub fn fp32_server_gpu() -> Self {
-        ModelProfile { base_ms: 8.0, per_item_ms: 1.2 }
+        ModelProfile {
+            base_ms: 8.0,
+            per_item_ms: 1.2,
+        }
     }
 
     /// The same model graph-optimized + INT8-quantized (ONNX Runtime path
     /// in the lab): lower fixed and marginal cost.
     pub fn int8_server_gpu() -> Self {
-        ModelProfile { base_ms: 4.5, per_item_ms: 0.55 }
+        ModelProfile {
+            base_ms: 4.5,
+            per_item_ms: 0.55,
+        }
     }
 
     /// FP32 on a server CPU.
     pub fn fp32_server_cpu() -> Self {
-        ModelProfile { base_ms: 15.0, per_item_ms: 22.0 }
+        ModelProfile {
+            base_ms: 15.0,
+            per_item_ms: 22.0,
+        }
     }
 
     /// INT8 on a Raspberry Pi 5 (the CHI\@Edge lab part): big fixed and
     /// marginal costs; batching barely helps because compute, not launch
     /// overhead, dominates.
     pub fn int8_edge_pi5() -> Self {
-        ModelProfile { base_ms: 25.0, per_item_ms: 95.0 }
+        ModelProfile {
+            base_ms: 25.0,
+            per_item_ms: 95.0,
+        }
     }
 
     /// Service time of a batch of `k` requests, in ms.
@@ -86,7 +98,11 @@ pub struct ServerConfig {
 impl ServerConfig {
     /// No batching, single instance — the lab's baseline configuration.
     pub fn baseline() -> Self {
-        ServerConfig { replicas: 1, max_batch: 1, max_queue_delay_ms: 0.0 }
+        ServerConfig {
+            replicas: 1,
+            max_batch: 1,
+            max_queue_delay_ms: 0.0,
+        }
     }
 }
 
@@ -153,7 +169,7 @@ pub fn simulate(
 
     let mut next_arrival = 0usize; // index into arrivals
     let mut queue: VecDeque<f64> = VecDeque::new(); // arrival times of queued requests
-    // Min-heap of replica completion times (f64 as ordered bits).
+                                                    // Min-heap of replica completion times (f64 as ordered bits).
     let mut busy: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut free_replicas = server.replicas;
     let mut latencies: Vec<f64> = Vec::with_capacity(load.requests);
@@ -205,8 +221,7 @@ pub fn simulate(
         // Next event: arrival, completion, or batching timer.
         let t_arrival = arrivals.get(next_arrival).copied();
         let t_completion = busy.peek().map(|&Reverse(b)| from_bits(b));
-        let t_timer = if free_replicas > 0 && !queue.is_empty() && server.max_queue_delay_ms > 0.0
-        {
+        let t_timer = if free_replicas > 0 && !queue.is_empty() && server.max_queue_delay_ms > 0.0 {
             queue.front().map(|&a| a + server.max_queue_delay_ms)
         } else {
             None
@@ -263,8 +278,15 @@ mod tests {
     fn all_requests_complete() {
         let r = simulate(
             ModelProfile::fp32_server_gpu(),
-            ServerConfig { replicas: 2, max_batch: 8, max_queue_delay_ms: 5.0 },
-            LoadSpec { rps: 200.0, requests: 2000 },
+            ServerConfig {
+                replicas: 2,
+                max_batch: 8,
+                max_queue_delay_ms: 5.0,
+            },
+            LoadSpec {
+                rps: 200.0,
+                requests: 2000,
+            },
             1,
         );
         assert_eq!(r.completed, 2000);
@@ -276,11 +298,23 @@ mod tests {
     fn batching_survives_overload_where_baseline_collapses() {
         // Offered 150 rps; baseline capacity = 1000/9.2 ≈ 109 rps → queue
         // grows without bound; batched capacity at batch 8 ≈ 455 rps.
-        let load = LoadSpec { rps: 150.0, requests: 3000 };
-        let base = simulate(ModelProfile::fp32_server_gpu(), ServerConfig::baseline(), load, 2);
+        let load = LoadSpec {
+            rps: 150.0,
+            requests: 3000,
+        };
+        let base = simulate(
+            ModelProfile::fp32_server_gpu(),
+            ServerConfig::baseline(),
+            load,
+            2,
+        );
         let batched = simulate(
             ModelProfile::fp32_server_gpu(),
-            ServerConfig { replicas: 1, max_batch: 8, max_queue_delay_ms: 10.0 },
+            ServerConfig {
+                replicas: 1,
+                max_batch: 8,
+                max_queue_delay_ms: 10.0,
+            },
             load,
             2,
         );
@@ -297,11 +331,23 @@ mod tests {
     fn at_low_load_batching_costs_little_latency() {
         // 20 rps on a 109-rps server: batches rarely fill; the delay bound
         // caps added latency at ~max_queue_delay.
-        let load = LoadSpec { rps: 20.0, requests: 1000 };
-        let base = simulate(ModelProfile::fp32_server_gpu(), ServerConfig::baseline(), load, 3);
+        let load = LoadSpec {
+            rps: 20.0,
+            requests: 1000,
+        };
+        let base = simulate(
+            ModelProfile::fp32_server_gpu(),
+            ServerConfig::baseline(),
+            load,
+            3,
+        );
         let batched = simulate(
             ModelProfile::fp32_server_gpu(),
-            ServerConfig { replicas: 1, max_batch: 8, max_queue_delay_ms: 4.0 },
+            ServerConfig {
+                replicas: 1,
+                max_batch: 8,
+                max_queue_delay_ms: 4.0,
+            },
             load,
             3,
         );
@@ -310,16 +356,27 @@ mod tests {
 
     #[test]
     fn more_replicas_cut_queueing() {
-        let load = LoadSpec { rps: 180.0, requests: 2500 };
+        let load = LoadSpec {
+            rps: 180.0,
+            requests: 2500,
+        };
         let one = simulate(
             ModelProfile::fp32_server_gpu(),
-            ServerConfig { replicas: 1, max_batch: 1, max_queue_delay_ms: 0.0 },
+            ServerConfig {
+                replicas: 1,
+                max_batch: 1,
+                max_queue_delay_ms: 0.0,
+            },
             load,
             4,
         );
         let two = simulate(
             ModelProfile::fp32_server_gpu(),
-            ServerConfig { replicas: 2, max_batch: 1, max_queue_delay_ms: 0.0 },
+            ServerConfig {
+                replicas: 2,
+                max_batch: 1,
+                max_queue_delay_ms: 0.0,
+            },
             load,
             4,
         );
@@ -333,8 +390,15 @@ mod tests {
 
     #[test]
     fn int8_beats_fp32_everywhere() {
-        let load = LoadSpec { rps: 100.0, requests: 1500 };
-        let cfg = ServerConfig { replicas: 1, max_batch: 4, max_queue_delay_ms: 3.0 };
+        let load = LoadSpec {
+            rps: 100.0,
+            requests: 1500,
+        };
+        let cfg = ServerConfig {
+            replicas: 1,
+            max_batch: 4,
+            max_queue_delay_ms: 3.0,
+        };
         let fp32 = simulate(ModelProfile::fp32_server_gpu(), cfg, load, 5);
         let int8 = simulate(ModelProfile::int8_server_gpu(), cfg, load, 5);
         assert!(int8.mean_latency_ms < fp32.mean_latency_ms);
@@ -343,7 +407,10 @@ mod tests {
 
     #[test]
     fn edge_profile_is_orders_slower() {
-        let load = LoadSpec { rps: 2.0, requests: 200 };
+        let load = LoadSpec {
+            rps: 2.0,
+            requests: 200,
+        };
         let cfg = ServerConfig::baseline();
         let server = simulate(ModelProfile::int8_server_gpu(), cfg, load, 6);
         let edge = simulate(ModelProfile::int8_edge_pi5(), cfg, load, 6);
@@ -352,8 +419,15 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let load = LoadSpec { rps: 80.0, requests: 800 };
-        let cfg = ServerConfig { replicas: 2, max_batch: 4, max_queue_delay_ms: 2.0 };
+        let load = LoadSpec {
+            rps: 80.0,
+            requests: 800,
+        };
+        let cfg = ServerConfig {
+            replicas: 2,
+            max_batch: 4,
+            max_queue_delay_ms: 2.0,
+        };
         let a = simulate(ModelProfile::fp32_server_gpu(), cfg, load, 7);
         let b = simulate(ModelProfile::fp32_server_gpu(), cfg, load, 7);
         assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
@@ -366,8 +440,15 @@ mod tests {
     fn latency_ordering_invariants() {
         let r = simulate(
             ModelProfile::fp32_server_gpu(),
-            ServerConfig { replicas: 2, max_batch: 8, max_queue_delay_ms: 5.0 },
-            LoadSpec { rps: 120.0, requests: 1000 },
+            ServerConfig {
+                replicas: 2,
+                max_batch: 8,
+                max_queue_delay_ms: 5.0,
+            },
+            LoadSpec {
+                rps: 120.0,
+                requests: 1000,
+            },
             9,
         );
         assert!(r.p50_latency_ms <= r.p95_latency_ms);

@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a function of `(row, col)`.
@@ -46,7 +50,9 @@ impl Matrix {
     /// Kaiming-uniform initialization (the standard for ReLU nets).
     pub fn kaiming(rows: usize, cols: usize, rng: &mut Rng) -> Self {
         let bound = (6.0 / rows as f64).sqrt() as f32;
-        Matrix::from_fn(rows, cols, |_, _| rng.range_f64(-bound as f64, bound as f64) as f32)
+        Matrix::from_fn(rows, cols, |_, _| {
+            rng.range_f64(-bound as f64, bound as f64) as f32
+        })
     }
 
     /// Row count.
@@ -132,7 +138,11 @@ impl Matrix {
 
     /// Element-wise `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -214,7 +224,7 @@ mod tests {
         let a = Matrix::from_fn(96, 80, |_, _| rng.range_f64(-1.0, 1.0) as f32);
         let b = Matrix::from_fn(80, 96, |_, _| rng.range_f64(-1.0, 1.0) as f32);
         let par = a.matmul(&b); // 96*96 > cutoff → parallel
-        // Naive reference.
+                                // Naive reference.
         let mut naive = Matrix::zeros(96, 96);
         for r in 0..96 {
             for c in 0..96 {

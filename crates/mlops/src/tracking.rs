@@ -13,7 +13,7 @@
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Opaque run identifier.
@@ -59,10 +59,11 @@ pub struct Run {
     pub experiment: String,
     /// Logged hyperparameters.
     pub params: BTreeMap<String, String>,
-    /// ML metric series by name.
-    pub metrics: HashMap<String, Vec<MetricPoint>>,
+    /// ML metric series by name. Ordered maps: runs are serialized into
+    /// reports, so series order must not depend on hasher state (DL002).
+    pub metrics: BTreeMap<String, Vec<MetricPoint>>,
     /// System metric series by name (GPU util, throughput, …).
-    pub system_metrics: HashMap<String, Vec<MetricPoint>>,
+    pub system_metrics: BTreeMap<String, Vec<MetricPoint>>,
     /// Artifacts.
     pub artifacts: Vec<Artifact>,
     /// Status.
@@ -72,7 +73,10 @@ pub struct Run {
 impl Run {
     /// Last value of a metric, if logged.
     pub fn last_metric(&self, name: &str) -> Option<f64> {
-        self.metrics.get(name).and_then(|s| s.last()).map(|p| p.value)
+        self.metrics
+            .get(name)
+            .and_then(|s| s.last())
+            .map(|p| p.value)
     }
 
     /// Fetch an artifact by name.
@@ -106,8 +110,8 @@ impl ExperimentTracker {
             id,
             experiment: experiment.to_string(),
             params: BTreeMap::new(),
-            metrics: HashMap::new(),
-            system_metrics: HashMap::new(),
+            metrics: BTreeMap::new(),
+            system_metrics: BTreeMap::new(),
             artifacts: Vec::new(),
             status: RunStatus::Running,
         });
@@ -152,12 +156,21 @@ impl ExperimentTracker {
 
     /// Store an artifact.
     pub fn log_artifact(&self, id: RunId, name: &str, data: Vec<u8>) {
-        self.with_run(id, |r| r.artifacts.push(Artifact { name: name.to_string(), data }));
+        self.with_run(id, |r| {
+            r.artifacts.push(Artifact {
+                name: name.to_string(),
+                data,
+            })
+        });
     }
 
     /// Mark a run finished/failed.
     pub fn end_run(&self, id: RunId, status: RunStatus) {
-        assert_ne!(status, RunStatus::Running, "end_run needs a terminal status");
+        assert_ne!(
+            status,
+            RunStatus::Running,
+            "end_run needs a terminal status"
+        );
         self.with_run(id, |r| r.status = status);
     }
 
@@ -358,13 +371,19 @@ mod tests {
             t.log_system_metric(starved, "gpu_util", step, 0.3);
             t.log_system_metric(starved, "data_wait_frac", step, 0.6);
         }
-        assert!(t.diagnose_bottleneck(starved).unwrap().starts_with("input-bound"));
+        assert!(t
+            .diagnose_bottleneck(starved)
+            .unwrap()
+            .starts_with("input-bound"));
         let busy = t.start_run("exp");
         for step in 0..10 {
             t.log_system_metric(busy, "gpu_util", step, 0.97);
             t.log_system_metric(busy, "data_wait_frac", step, 0.02);
         }
-        assert!(t.diagnose_bottleneck(busy).unwrap().starts_with("compute-bound"));
+        assert!(t
+            .diagnose_bottleneck(busy)
+            .unwrap()
+            .starts_with("compute-bound"));
     }
 
     #[test]

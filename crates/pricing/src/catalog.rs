@@ -104,13 +104,73 @@ pub fn aws_catalog() -> Vec<CloudInstance> {
         inst!(Aws, "c5.xlarge", 4, 8, 0, None, false, 0.17, false),
         inst!(Aws, "c5.24xlarge", 96, 192, 0, None, false, 4.08, false),
         // GPU shapes. Implied rates per the module docs.
-        inst!(Aws, "g5.2xlarge", 8, 32, 1, Some(ServingClass), false, 1.46, true),
-        inst!(Aws, "g5.12xlarge", 48, 192, 2, Some(ServingClass), false, 4.617, true),
-        inst!(Aws, "g5.16xlarge", 64, 256, 2, Some(ServingClass), false, 5.062, true),
-        inst!(Aws, "p4de.6xlarge (est)", 24, 280, 1, Some(A100_80), false, 3.307, true),
-        inst!(Aws, "p4de.12xlarge (est)", 48, 560, 4, Some(A100_80), false, 17.919, true),
+        inst!(
+            Aws,
+            "g5.2xlarge",
+            8,
+            32,
+            1,
+            Some(ServingClass),
+            false,
+            1.46,
+            true
+        ),
+        inst!(
+            Aws,
+            "g5.12xlarge",
+            48,
+            192,
+            2,
+            Some(ServingClass),
+            false,
+            4.617,
+            true
+        ),
+        inst!(
+            Aws,
+            "g5.16xlarge",
+            64,
+            256,
+            2,
+            Some(ServingClass),
+            false,
+            5.062,
+            true
+        ),
+        inst!(
+            Aws,
+            "p4de.6xlarge (est)",
+            24,
+            280,
+            1,
+            Some(A100_80),
+            false,
+            3.307,
+            true
+        ),
+        inst!(
+            Aws,
+            "p4de.12xlarge (est)",
+            48,
+            560,
+            4,
+            Some(A100_80),
+            false,
+            17.919,
+            true
+        ),
         inst!(Aws, "p3.2xlarge", 8, 61, 1, Some(V100), false, 3.06, false),
-        inst!(Aws, "p4d.24xlarge", 96, 1152, 8, Some(A100_40), false, 32.77, false),
+        inst!(
+            Aws,
+            "p4d.24xlarge",
+            96,
+            1152,
+            8,
+            Some(A100_40),
+            false,
+            32.77,
+            false
+        ),
     ]
 }
 
@@ -129,14 +189,84 @@ pub fn gcp_catalog() -> Vec<CloudInstance> {
         inst!(Gcp, "n2-standard-2", 2, 8, 0, None, false, 0.1005, true),
         inst!(Gcp, "n2-standard-4", 4, 16, 0, None, false, 0.1942, false),
         inst!(Gcp, "n2-standard-8", 8, 32, 0, None, false, 0.3885, false),
-        inst!(Gcp, "c2-standard-60", 60, 240, 0, None, false, 3.1321, false),
+        inst!(
+            Gcp,
+            "c2-standard-60",
+            60,
+            240,
+            0,
+            None,
+            false,
+            3.1321,
+            false
+        ),
         // GPU shapes.
-        inst!(Gcp, "g2-standard-12", 12, 48, 1, Some(ServingClass), false, 1.1474, true),
-        inst!(Gcp, "g2-standard-24", 24, 96, 2, Some(ServingClass), false, 2.0, true),
-        inst!(Gcp, "a2-ultragpu-1g", 12, 170, 1, Some(A100_80), false, 5.068, true),
-        inst!(Gcp, "a2-highgpu-4g", 48, 340, 4, Some(A100_80), false, 14.701, true),
-        inst!(Gcp, "a2-highgpu-1g", 12, 85, 1, Some(A100_40), false, 3.673, false),
-        inst!(Gcp, "n1-standard-8+V100", 8, 30, 1, Some(V100), false, 2.86, false),
+        inst!(
+            Gcp,
+            "g2-standard-12",
+            12,
+            48,
+            1,
+            Some(ServingClass),
+            false,
+            1.1474,
+            true
+        ),
+        inst!(
+            Gcp,
+            "g2-standard-24",
+            24,
+            96,
+            2,
+            Some(ServingClass),
+            false,
+            2.0,
+            true
+        ),
+        inst!(
+            Gcp,
+            "a2-ultragpu-1g",
+            12,
+            170,
+            1,
+            Some(A100_80),
+            false,
+            5.068,
+            true
+        ),
+        inst!(
+            Gcp,
+            "a2-highgpu-4g",
+            48,
+            340,
+            4,
+            Some(A100_80),
+            false,
+            14.701,
+            true
+        ),
+        inst!(
+            Gcp,
+            "a2-highgpu-1g",
+            12,
+            85,
+            1,
+            Some(A100_40),
+            false,
+            3.673,
+            false
+        ),
+        inst!(
+            Gcp,
+            "n1-standard-8+V100",
+            8,
+            30,
+            1,
+            Some(V100),
+            false,
+            2.86,
+            false
+        ),
     ]
 }
 
@@ -193,7 +323,10 @@ mod tests {
     fn implied_rates_match_table1_derivations() {
         // Spot-check the derivations documented in DESIGN.md §5.
         let aws = aws_catalog();
-        let a100x4 = aws.iter().find(|i| i.name.contains("p4de.12xlarge")).unwrap();
+        let a100x4 = aws
+            .iter()
+            .find(|i| i.name.contains("p4de.12xlarge"))
+            .unwrap();
         // lab4 multi-GPU row: (2993 − 0.005·167)/167 = 17.919.
         assert!((a100x4.hourly_usd - (2993.0 - 0.005 * 167.0) / 167.0).abs() < 0.01);
         let gcp = gcp_catalog();

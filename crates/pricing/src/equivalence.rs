@@ -69,8 +69,14 @@ mod tests {
     fn vm_selection_matches_public_prices() {
         // 2 vCPU / 4 GB, shared-core OK → t3.medium / e2-medium.
         let req = Requirement::vm(2, 4, false);
-        assert_eq!(cheapest_adequate(Provider::Aws, &req).unwrap().name, "t3.medium");
-        assert_eq!(cheapest_adequate(Provider::Gcp, &req).unwrap().name, "e2-medium");
+        assert_eq!(
+            cheapest_adequate(Provider::Aws, &req).unwrap().name,
+            "t3.medium"
+        );
+        assert_eq!(
+            cheapest_adequate(Provider::Gcp, &req).unwrap().name,
+            "e2-medium"
+        );
     }
 
     #[test]
@@ -87,7 +93,12 @@ mod tests {
         for p in Provider::ALL {
             let inst = cheapest_adequate(p, &req).unwrap();
             assert!(inst.gpus >= 4, "{}", inst.name);
-            assert_eq!(inst.gpu, Some(crate::catalog::CloudGpu::A100_80), "{}", inst.name);
+            assert_eq!(
+                inst.gpu,
+                Some(crate::catalog::CloudGpu::A100_80),
+                "{}",
+                inst.name
+            );
         }
     }
 
@@ -124,8 +135,12 @@ mod tests {
             for p in Provider::ALL {
                 let inst = resolve(&a, p)
                     .unwrap_or_else(|| panic!("{} has no {} equivalent", a.tag, p.name()));
-                assert!(adequate(&inst, &a.requirement) || a.pin.is_some(),
-                    "{}: resolved {} inadequate without a pin", a.tag, inst.name);
+                assert!(
+                    adequate(&inst, &a.requirement) || a.pin.is_some(),
+                    "{}: resolved {} inadequate without a pin",
+                    a.tag,
+                    inst.name
+                );
             }
         }
     }
@@ -153,14 +168,21 @@ mod tests {
         // judgement); lab6-system AWS: a pricier 2-GPU shape; lab8: AWS
         // sized by vCPU (t3.xlarge) while GCP sized by RAM
         // (e2-standard-2).
-        for expected in
-            ["lab1/GCP", "lab2/GCP", "lab3/GCP", "lab6-system/AWS", "lab8/GCP"]
-        {
+        for expected in [
+            "lab1/GCP",
+            "lab2/GCP",
+            "lab3/GCP",
+            "lab6-system/AWS",
+            "lab8/GCP",
+        ] {
             assert!(
                 deviations.contains(&expected.to_string()),
                 "expected deviation {expected} missing from {deviations:?}"
             );
         }
-        assert!(deviations.len() <= 8, "unexpected deviations: {deviations:?}");
+        assert!(
+            deviations.len() <= 8,
+            "unexpected deviations: {deviations:?}"
+        );
     }
 }

@@ -114,7 +114,11 @@ pub fn price_lab_assignments(rollup: &AssignmentRollup) -> Table1 {
         gcp_per_student: rows.iter().filter_map(|r| r.gcp_usd).sum::<f64>()
             / rollup.enrollment as f64,
     };
-    Table1 { rows, total, enrollment: rollup.enrollment }
+    Table1 {
+        rows,
+        total,
+        enrollment: rollup.enrollment,
+    }
 }
 
 /// Per-student lab cost on one provider (edge usage excluded, matching
@@ -193,8 +197,11 @@ pub struct ProjectUsageSummary {
 impl ProjectUsageSummary {
     /// Build from a ledger, considering only `proj*` records.
     pub fn from_ledger(ledger: &Ledger) -> ProjectUsageSummary {
-        use std::collections::HashMap;
-        let mut by_flavor: HashMap<FlavorId, f64> = HashMap::new();
+        use std::collections::BTreeMap;
+        // Ordered map: `hours_of` below sums f64 hours over this map, and
+        // float addition is not associative — iteration order must be
+        // deterministic (DL002).
+        let mut by_flavor: BTreeMap<FlavorId, f64> = BTreeMap::new();
         let mut fip_hours = 0.0;
         let mut block_gb_hours = 0.0;
         let mut object_gb = 0.0;
@@ -228,7 +235,11 @@ impl ProjectUsageSummary {
             peak = peak.max(cur);
         }
         let hours_of = |pred: fn(FlavorId) -> bool| -> f64 {
-            by_flavor.iter().filter(|(f, _)| pred(**f)).map(|(_, h)| h).sum()
+            by_flavor
+                .iter()
+                .filter(|(f, _)| pred(**f))
+                .map(|(_, h)| h)
+                .sum()
         };
         use opml_testbed::flavor::SiteKind;
         let vm_hours = hours_of(|f| matches!(f.site(), SiteKind::Vm));
@@ -236,8 +247,8 @@ impl ProjectUsageSummary {
         let baremetal_cpu_hours =
             hours_of(|f| matches!(f.site(), SiteKind::BareMetal) && !f.has_gpu());
         let edge_hours = hours_of(|f| matches!(f.site(), SiteKind::Edge));
-        let mut by_flavor: Vec<(FlavorId, f64)> = by_flavor.into_iter().collect();
-        by_flavor.sort_by_key(|&(f, _)| f);
+        // BTreeMap iteration is already sorted by flavor.
+        let by_flavor: Vec<(FlavorId, f64)> = by_flavor.into_iter().collect();
         ProjectUsageSummary {
             vm_hours,
             gpu_hours,
@@ -286,7 +297,10 @@ mod tests {
     fn push_inst(l: &mut Ledger, name: &str, flavor: FlavorId, hours: u64) {
         l.push(UsageRecord {
             name: name.into(),
-            kind: UsageKind::Instance { flavor, auto_terminated: false },
+            kind: UsageKind::Instance {
+                flavor,
+                auto_terminated: false,
+            },
             start: t(0),
             end: t(hours),
         });
@@ -311,8 +325,16 @@ mod tests {
         assert_eq!(table.rows.len(), 1);
         let row = &table.rows[0];
         assert_eq!(row.instance_hours, 2620.0);
-        assert!((row.aws_usd.unwrap() - 40.0).abs() < 1.0, "{:?}", row.aws_usd);
-        assert!((row.gcp_usd.unwrap() - 57.0).abs() < 1.5, "{:?}", row.gcp_usd);
+        assert!(
+            (row.aws_usd.unwrap() - 40.0).abs() < 1.0,
+            "{:?}",
+            row.aws_usd
+        );
+        assert!(
+            (row.gcp_usd.unwrap() - 57.0).abs() < 1.5,
+            "{:?}",
+            row.gcp_usd
+        );
         assert_eq!(row.aws_instance.as_deref(), Some("t3.micro"));
         assert_eq!(row.gcp_instance.as_deref(), Some("e2-small"));
     }

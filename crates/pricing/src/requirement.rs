@@ -52,7 +52,13 @@ pub struct Requirement {
 impl Requirement {
     /// CPU-only requirement.
     pub const fn vm(min_vcpus: u32, min_ram_gb: u32, dedicated_cores: bool) -> Self {
-        Requirement { min_vcpus, min_ram_gb, min_gpus: 0, gpu_class: None, dedicated_cores }
+        Requirement {
+            min_vcpus,
+            min_ram_gb,
+            min_gpus: 0,
+            gpu_class: None,
+            dedicated_cores,
+        }
     }
 
     /// GPU requirement.

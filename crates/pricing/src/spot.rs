@@ -34,10 +34,16 @@ impl SpotMarket {
     /// Representative market for a provider's GPU spot pools.
     pub fn gpu(provider: Provider) -> SpotMarket {
         match provider {
-            Provider::Aws => SpotMarket { price_fraction: 0.33, interruptions_per_hour: 0.05 },
+            Provider::Aws => SpotMarket {
+                price_fraction: 0.33,
+                interruptions_per_hour: 0.05,
+            },
             // GCP preemptible: cheaper, reclaimed more aggressively (and
             // hard-capped at 24 h, irrelevant at lab scale).
-            Provider::Gcp => SpotMarket { price_fraction: 0.25, interruptions_per_hour: 0.08 },
+            Provider::Gcp => SpotMarket {
+                price_fraction: 0.25,
+                interruptions_per_hour: 0.08,
+            },
         }
     }
 }
@@ -153,7 +159,10 @@ mod tests {
 
     #[test]
     fn no_interruptions_means_no_overhead() {
-        let market = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.0 };
+        let market = SpotMarket {
+            price_fraction: 0.3,
+            interruptions_per_hour: 0.0,
+        };
         let o = simulate_spot_session(3.0, 1.0, market, 200, 1);
         assert!((o.hours_multiplier - 1.0).abs() < 1e-9);
         assert_eq!(o.interrupted_fraction, 0.0);
@@ -161,19 +170,40 @@ mod tests {
 
     #[test]
     fn overhead_grows_with_checkpoint_interval() {
-        let market = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.2 };
+        let market = SpotMarket {
+            price_fraction: 0.3,
+            interruptions_per_hour: 0.2,
+        };
         let fine = simulate_spot_session(6.0, 0.25, market, 2_000, 2);
         let coarse = simulate_spot_session(6.0, 6.0, market, 2_000, 2);
-        assert!(fine.hours_multiplier < coarse.hours_multiplier,
-            "fine {} vs coarse {}", fine.hours_multiplier, coarse.hours_multiplier);
-        assert!(fine.hours_multiplier < 1.1, "fine checkpoints nearly free: {}", fine.hours_multiplier);
-        assert!(coarse.hours_multiplier > 1.25, "checkpoint-free sessions pay: {}", coarse.hours_multiplier);
+        assert!(
+            fine.hours_multiplier < coarse.hours_multiplier,
+            "fine {} vs coarse {}",
+            fine.hours_multiplier,
+            coarse.hours_multiplier
+        );
+        assert!(
+            fine.hours_multiplier < 1.1,
+            "fine checkpoints nearly free: {}",
+            fine.hours_multiplier
+        );
+        assert!(
+            coarse.hours_multiplier > 1.25,
+            "checkpoint-free sessions pay: {}",
+            coarse.hours_multiplier
+        );
     }
 
     #[test]
     fn overhead_grows_with_interruption_rate() {
-        let calm = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.02 };
-        let angry = SpotMarket { price_fraction: 0.3, interruptions_per_hour: 0.5 };
+        let calm = SpotMarket {
+            price_fraction: 0.3,
+            interruptions_per_hour: 0.02,
+        };
+        let angry = SpotMarket {
+            price_fraction: 0.3,
+            interruptions_per_hour: 0.5,
+        };
         let a = simulate_spot_session(3.0, 3.0, calm, 2_000, 3);
         let b = simulate_spot_session(3.0, 3.0, angry, 2_000, 3);
         assert!(b.hours_multiplier > a.hours_multiplier + 0.1);

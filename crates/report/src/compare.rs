@@ -62,7 +62,11 @@ impl Comparison {
             self.measured,
             self.unit,
             self.ratio(),
-            if self.within_tolerance() { "✅" } else { "⚠️" }
+            if self.within_tolerance() {
+                "✅"
+            } else {
+                "⚠️"
+            }
         )
     }
 }
@@ -79,7 +83,10 @@ pub struct ComparisonSet {
 impl ComparisonSet {
     /// Empty set for an experiment.
     pub fn new(experiment: &str) -> Self {
-        ComparisonSet { experiment: experiment.to_string(), rows: Vec::new() }
+        ComparisonSet {
+            experiment: experiment.to_string(),
+            rows: Vec::new(),
+        }
     }
 
     /// Add a row.
@@ -92,8 +99,7 @@ impl ComparisonSet {
         if self.rows.is_empty() {
             return 1.0;
         }
-        self.rows.iter().filter(|c| c.within_tolerance()).count() as f64
-            / self.rows.len() as f64
+        self.rows.iter().filter(|c| c.within_tolerance()).count() as f64 / self.rows.len() as f64
     }
 
     /// Render as a Markdown section.
@@ -126,13 +132,21 @@ mod tests {
     #[test]
     fn zero_paper_value() {
         assert_eq!(Comparison::new("z", 0.0, 0.0, 0.1, "").ratio(), 1.0);
-        assert!(Comparison::new("z", 0.0, 5.0, 0.1, "").ratio().is_infinite());
+        assert!(Comparison::new("z", 0.0, 5.0, 0.1, "")
+            .ratio()
+            .is_infinite());
     }
 
     #[test]
     fn markdown_rendering() {
         let mut set = ComparisonSet::new("table1");
-        set.push(Comparison::new("total hours", 109_837.0, 111_000.0, 0.05, "h"));
+        set.push(Comparison::new(
+            "total hours",
+            109_837.0,
+            111_000.0,
+            0.05,
+            "h",
+        ));
         set.push(Comparison::new("AWS cost", 23_698.0, 40_000.0, 0.10, "$"));
         let md = set.to_markdown();
         assert!(md.contains("### `table1`"));

@@ -54,7 +54,11 @@ impl Table {
 
     /// Set the footer (totals) row.
     pub fn footer(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "footer cell count mismatch");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "footer cell count mismatch"
+        );
         self.footer = Some(cells.to_vec());
         self
     }

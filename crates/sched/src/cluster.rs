@@ -34,12 +34,18 @@ pub struct Cluster {
 impl Cluster {
     /// `nodes` identical nodes with `gpus_per_node` GPUs each.
     pub fn homogeneous(nodes: usize, gpus_per_node: u32) -> Self {
-        Cluster { capacity: vec![gpus_per_node; nodes], free: vec![gpus_per_node; nodes] }
+        Cluster {
+            capacity: vec![gpus_per_node; nodes],
+            free: vec![gpus_per_node; nodes],
+        }
     }
 
     /// Heterogeneous cluster from explicit per-node GPU counts.
     pub fn from_nodes(gpus: Vec<u32>) -> Self {
-        Cluster { free: gpus.clone(), capacity: gpus }
+        Cluster {
+            free: gpus.clone(),
+            capacity: gpus,
+        }
     }
 
     /// Total GPUs in the cluster.
@@ -108,7 +114,10 @@ impl Cluster {
     /// Commit a planned allocation.
     pub fn allocate(&mut self, alloc: &[(usize, u32)]) {
         for &(n, g) in alloc {
-            assert!(self.free[n] >= g, "allocation exceeds free GPUs on node {n}");
+            assert!(
+                self.free[n] >= g,
+                "allocation exceeds free GPUs on node {n}"
+            );
             self.free[n] -= g;
         }
     }
@@ -117,7 +126,10 @@ impl Cluster {
     pub fn release(&mut self, alloc: &[(usize, u32)]) {
         for &(n, g) in alloc {
             self.free[n] += g;
-            assert!(self.free[n] <= self.capacity[n], "released more than capacity on node {n}");
+            assert!(
+                self.free[n] <= self.capacity[n],
+                "released more than capacity on node {n}"
+            );
         }
     }
 }
@@ -130,7 +142,7 @@ mod tests {
     fn packed_prefers_single_tight_node() {
         let mut c = Cluster::from_nodes(vec![4, 4, 4]);
         c.allocate(&[(0, 2)]); // node 0 has 2 free, others 4
-        // A 2-GPU job best-fits node 0 exactly.
+                               // A 2-GPU job best-fits node 0 exactly.
         let plan = c.plan(2, Placement::Packed).unwrap();
         assert_eq!(plan, vec![(0, 2)]);
         // A 3-GPU job cannot fit node 0, takes a 4-free node.

@@ -3,7 +3,7 @@
 use crate::sim::Schedule;
 use opml_simkernel::stats::percentile_sorted;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Metrics for one schedule.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,7 +44,11 @@ impl ScheduleMetrics {
         let mean_wait = waits.iter().sum::<f64>() / waits.len() as f64;
         let slowdowns: f64 =
             outcomes.iter().map(|o| o.bounded_slowdown()).sum::<f64>() / outcomes.len() as f64;
-        let first_submit = outcomes.iter().map(|o| o.job.submit).min().expect("non-empty");
+        let first_submit = outcomes
+            .iter()
+            .map(|o| o.job.submit)
+            .min()
+            .expect("non-empty");
         let last_end = outcomes.iter().map(|o| o.end).max().expect("non-empty");
         let makespan = last_end.since(first_submit).as_hours_f64();
         let work: f64 = outcomes
@@ -57,7 +61,9 @@ impl ScheduleMetrics {
             0.0
         };
         // Jain index over per-user mean slowdown (lower variance ⇒ fairer).
-        let mut per_user: HashMap<u32, (f64, u32)> = HashMap::new();
+        // Ordered map: the float sums inside jain_index depend on the order
+        // `shares` is built in (DL002).
+        let mut per_user: BTreeMap<u32, (f64, u32)> = BTreeMap::new();
         for o in outcomes {
             let e = per_user.entry(o.job.user).or_insert((0.0, 0));
             e.0 += o.bounded_slowdown();

@@ -49,7 +49,11 @@ struct Running {
 impl SchedSim {
     /// Build a simulator.
     pub fn new(cluster: Cluster, policy: Policy, placement: Placement) -> Self {
-        SchedSim { cluster, policy, placement }
+        SchedSim {
+            cluster,
+            policy,
+            placement,
+        }
     }
 
     /// Run the trace to completion and return the schedule.
@@ -104,7 +108,10 @@ impl SchedSim {
             );
         }
         debug_assert!(queue.is_empty(), "jobs left queued at end of trace");
-        Schedule { outcomes, total_gpus }
+        Schedule {
+            outcomes,
+            total_gpus,
+        }
     }
 
     /// Queue order for this policy: indices into `queue`.
@@ -141,12 +148,20 @@ impl SchedSim {
     ) {
         self.cluster.allocate(&alloc);
         let end = now + job.duration;
-        *usage.entry(job.user).or_insert(0.0) +=
-            job.gpus as f64 * job.duration.as_hours_f64();
+        *usage.entry(job.user).or_insert(0.0) += job.gpus as f64 * job.duration.as_hours_f64();
         let idx = outcomes.len();
-        running.push(Running { end, gpus: job.gpus, outcome_idx: idx });
+        running.push(Running {
+            end,
+            gpus: job.gpus,
+            outcome_idx: idx,
+        });
         completions.push(end, idx);
-        outcomes.push(JobOutcome { job, start: now, end, allocation: alloc });
+        outcomes.push(JobOutcome {
+            job,
+            start: now,
+            end,
+            allocation: alloc,
+        });
     }
 
     fn try_start(
@@ -206,8 +221,7 @@ impl SchedSim {
             unreachable!("head job larger than cluster capacity");
         };
         // Scan the rest of the queue (policy order) for backfill starts.
-        let candidates: Vec<crate::job::JobId> =
-            order[1..].iter().map(|&i| queue[i].id).collect();
+        let candidates: Vec<crate::job::JobId> = order[1..].iter().map(|&i| queue[i].id).collect();
         for id in candidates {
             let Some(pos) = queue.iter().position(|j| j.id == id) else {
                 continue;
@@ -254,13 +268,20 @@ mod tests {
         let jobs = vec![job(0, 0, 3, 4, 0), job(1, 1, 4, 2, 1), job(2, 2, 1, 1, 1)];
         let cluster = Cluster::homogeneous(1, 4);
         let fcfs = SchedSim::new(cluster.clone(), Policy::Fcfs, Placement::Packed).run(&jobs);
-        let o2 = fcfs.outcomes().iter().find(|o| o.job.id == JobId(2)).unwrap();
+        let o2 = fcfs
+            .outcomes()
+            .iter()
+            .find(|o| o.job.id == JobId(2))
+            .unwrap();
         // FCFS: j2 waits for j1 which waits for j0's release at t=4h.
         assert!(o2.start >= SimTime(4 * 60), "j2 started at {:?}", o2.start);
 
-        let easy =
-            SchedSim::new(cluster, Policy::EasyBackfill, Placement::Packed).run(&jobs);
-        let o2 = easy.outcomes().iter().find(|o| o.job.id == JobId(2)).unwrap();
+        let easy = SchedSim::new(cluster, Policy::EasyBackfill, Placement::Packed).run(&jobs);
+        let o2 = easy
+            .outcomes()
+            .iter()
+            .find(|o| o.job.id == JobId(2))
+            .unwrap();
         // EASY: j2 fits in the free GPU and ends (t=2h) before the shadow
         // time (t=4h) → backfills immediately at its arrival.
         assert_eq!(o2.start, SimTime(60));
@@ -271,10 +292,17 @@ mod tests {
         // The backfilled job must not push the head job's start later.
         let jobs = vec![job(0, 0, 3, 4, 0), job(1, 1, 4, 2, 1), job(2, 2, 1, 10, 1)];
         let cluster = Cluster::homogeneous(1, 4);
-        let easy =
-            SchedSim::new(cluster, Policy::EasyBackfill, Placement::Packed).run(&jobs);
-        let o1 = easy.outcomes().iter().find(|o| o.job.id == JobId(1)).unwrap();
-        let o2 = easy.outcomes().iter().find(|o| o.job.id == JobId(2)).unwrap();
+        let easy = SchedSim::new(cluster, Policy::EasyBackfill, Placement::Packed).run(&jobs);
+        let o1 = easy
+            .outcomes()
+            .iter()
+            .find(|o| o.job.id == JobId(1))
+            .unwrap();
+        let o2 = easy
+            .outcomes()
+            .iter()
+            .find(|o| o.job.id == JobId(2))
+            .unwrap();
         // j2 runs 10h > shadow (4h) and extra = (4+3)-4 = ... after j0's
         // release avail=4, head takes 4, extra=0 → j2 may NOT backfill.
         assert_eq!(o1.start, SimTime(4 * 60), "head delayed by backfill");
@@ -283,11 +311,11 @@ mod tests {
 
     #[test]
     fn jobs_all_complete_exactly_once() {
-        let jobs: Vec<Job> =
-            (0..50).map(|i| job(i, (i % 5) as u32, 1 + (i % 4) as u32, 1 + i % 3, i / 2)).collect();
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| job(i, (i % 5) as u32, 1 + (i % 4) as u32, 1 + i % 3, i / 2))
+            .collect();
         for policy in Policy::ALL {
-            let s = SchedSim::new(Cluster::homogeneous(2, 4), policy, Placement::Packed)
-                .run(&jobs);
+            let s = SchedSim::new(Cluster::homogeneous(2, 4), policy, Placement::Packed).run(&jobs);
             assert_eq!(s.outcomes().len(), jobs.len(), "{}", policy.name());
             let mut ids: Vec<u64> = s.outcomes().iter().map(|o| o.job.id.0).collect();
             ids.sort_unstable();
@@ -299,8 +327,12 @@ mod tests {
     #[test]
     fn no_start_before_submit() {
         let jobs: Vec<Job> = (0..40).map(|i| job(i, 0, 2, 2, 5 + i)).collect();
-        let s = SchedSim::new(Cluster::homogeneous(2, 2), Policy::EasyBackfill, Placement::Packed)
-            .run(&jobs);
+        let s = SchedSim::new(
+            Cluster::homogeneous(2, 2),
+            Policy::EasyBackfill,
+            Placement::Packed,
+        )
+        .run(&jobs);
         for o in s.outcomes() {
             assert!(o.start >= o.job.submit);
             assert_eq!(o.end, o.start + o.job.duration);
@@ -309,10 +341,15 @@ mod tests {
 
     #[test]
     fn gpu_capacity_never_exceeded() {
-        let jobs: Vec<Job> =
-            (0..60).map(|i| job(i, (i % 7) as u32, 1 + (i % 8) as u32, 1 + i % 5, i / 3)).collect();
-        let s = SchedSim::new(Cluster::homogeneous(2, 4), Policy::EasyBackfill, Placement::Packed)
-            .run(&jobs);
+        let jobs: Vec<Job> = (0..60)
+            .map(|i| job(i, (i % 7) as u32, 1 + (i % 8) as u32, 1 + i % 5, i / 3))
+            .collect();
+        let s = SchedSim::new(
+            Cluster::homogeneous(2, 4),
+            Policy::EasyBackfill,
+            Placement::Packed,
+        )
+        .run(&jobs);
         // Sweep: at every start instant, the sum of overlapping jobs' GPUs
         // must be within capacity.
         for o in s.outcomes() {
@@ -357,15 +394,20 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let jobs: Vec<Job> =
-            (0..80).map(|i| job(i, (i % 6) as u32, 1 + (i % 4) as u32, 1 + i % 6, i / 4)).collect();
+        let jobs: Vec<Job> = (0..80)
+            .map(|i| job(i, (i % 6) as u32, 1 + (i % 4) as u32, 1 + i % 6, i / 4))
+            .collect();
         let run = || {
-            SchedSim::new(Cluster::homogeneous(4, 4), Policy::EasyBackfill, Placement::Packed)
-                .run(&jobs)
-                .outcomes()
-                .iter()
-                .map(|o| (o.job.id.0, o.start.0))
-                .collect::<Vec<_>>()
+            SchedSim::new(
+                Cluster::homogeneous(4, 4),
+                Policy::EasyBackfill,
+                Placement::Packed,
+            )
+            .run(&jobs)
+            .outcomes()
+            .iter()
+            .map(|o| (o.job.id.0, o.start.0))
+            .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

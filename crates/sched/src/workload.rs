@@ -45,7 +45,9 @@ pub fn ml_trace_for(n_jobs: usize, load: f64, total_gpus: u32, seed: u64) -> Vec
         .map(|i| {
             t_hours += rng.exponential(mean_interarrival_h);
             let gpus = GPU_MIX[rng.weighted_index(&weights)].0.min(total_gpus);
-            let dur_h = rng.lognormal(DUR_MU, DUR_SIGMA).clamp(1.0 / 60.0, DUR_MAX_HOURS);
+            let dur_h = rng
+                .lognormal(DUR_MU, DUR_SIGMA)
+                .clamp(1.0 / 60.0, DUR_MAX_HOURS);
             Job {
                 id: JobId(i as u64),
                 user: rng.below(USERS as u64) as u32,
@@ -84,12 +86,17 @@ mod tests {
     #[test]
     fn heavy_tail_dominates_gpu_hours() {
         let jobs = ml_trace(5000, 0.7, 2);
-        let mut work: Vec<f64> =
-            jobs.iter().map(|j| j.gpus as f64 * j.duration.as_hours_f64()).collect();
+        let mut work: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.gpus as f64 * j.duration.as_hours_f64())
+            .collect();
         work.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
         let total: f64 = work.iter().sum();
         let top10: f64 = work[..500].iter().sum();
-        assert!(top10 / total > 0.5, "top 10% of jobs should dominate GPU-hours");
+        assert!(
+            top10 / total > 0.5,
+            "top 10% of jobs should dominate GPU-hours"
+        );
     }
 
     #[test]

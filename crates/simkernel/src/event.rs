@@ -63,7 +63,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `payload` at `time`.
@@ -170,7 +173,10 @@ mod tests {
         q.push(SimTime(10), 'b');
         q.push(SimTime(15), 'c');
         let due = q.pop_due(SimTime(10));
-        assert_eq!(due.iter().map(|(_, e)| *e).collect::<Vec<_>>(), vec!['a', 'b']);
+        assert_eq!(
+            due.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec!['a', 'b']
+        );
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime(15)));
     }

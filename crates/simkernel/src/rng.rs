@@ -63,10 +63,7 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -186,9 +183,7 @@ impl Rng {
                 continue;
             }
             let u = self.f64_open();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * theta;
             }
         }
@@ -289,7 +284,10 @@ mod tests {
             counts[r.below(10) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_500..11_500).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_500..11_500).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

@@ -27,7 +27,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -217,7 +223,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Record one observation.
@@ -311,7 +324,10 @@ pub fn ks_critical(n: usize, m: usize, alpha: f64) -> f64 {
 /// Population Stability Index between two samples over shared equal-width
 /// buckets. PSI < 0.1 is conventionally "no shift"; > 0.25 "major shift".
 pub fn psi(expected: &[f64], actual: &[f64], bins: usize) -> f64 {
-    assert!(!expected.is_empty() && !actual.is_empty(), "PSI needs non-empty samples");
+    assert!(
+        !expected.is_empty() && !actual.is_empty(),
+        "PSI needs non-empty samples"
+    );
     assert!(bins > 0);
     let lo = expected
         .iter()
@@ -503,7 +519,10 @@ mod tests {
         assert!(d > ks_critical(2000, 2000, 0.05), "shift undetected: D={d}");
         let c: Vec<f64> = (0..2000).map(|_| r.normal()).collect();
         let d0 = ks_statistic(&a, &c);
-        assert!(d0 < ks_critical(2000, 2000, 0.001), "false positive: D={d0}");
+        assert!(
+            d0 < ks_critical(2000, 2000, 0.001),
+            "false positive: D={d0}"
+        );
     }
 
     #[test]

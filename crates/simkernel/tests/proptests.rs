@@ -1,8 +1,9 @@
 //! Property-based tests for the simulation kernel.
 
 use opml_simkernel::event::EventQueue;
+use opml_simkernel::parallel::indexed_map;
 use opml_simkernel::rng::{split_seed, Rng};
-use opml_simkernel::stats::{percentile_sorted, fraction_above, Histogram, OnlineStats, Summary};
+use opml_simkernel::stats::{fraction_above, percentile_sorted, Histogram, OnlineStats, Summary};
 use opml_simkernel::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -143,5 +144,47 @@ proptest! {
         let dur = SimDuration(d);
         prop_assert_eq!((base + dur) - base, dur);
         prop_assert_eq!((base + dur).since(base), dur);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Per-entity streams: `indexed_map` results equal the sequential
+    /// per-stream computation, at any rayon thread count (DESIGN.md §7).
+    #[test]
+    fn indexed_map_matches_sequential_at_any_thread_count(
+        master in any::<u64>(),
+        n in 1usize..48,
+    ) {
+        let sequential: Vec<(u64, u64)> = (0..n)
+            .map(|i| {
+                let mut rng = Rng::for_stream(master, i as u64);
+                (rng.next_u64(), rng.below(1000))
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build pool");
+            let parallel = pool.install(|| {
+                indexed_map(n, master, |_, seed| {
+                    let mut rng = Rng::new(seed);
+                    (rng.next_u64(), rng.below(1000))
+                })
+            });
+            prop_assert_eq!(&parallel, &sequential, "threads={}", threads);
+        }
+    }
+
+    /// Adding entities never perturbs existing streams: the first `m`
+    /// results of an `n`-entity fan-out equal the `m`-entity fan-out.
+    #[test]
+    fn streams_are_prefix_stable(master in any::<u64>(), m in 1usize..24, extra in 0usize..24) {
+        let n = m + extra;
+        let small = indexed_map(m, master, |i, seed| (i, Rng::new(seed).next_u64()));
+        let large = indexed_map(n, master, |i, seed| (i, Rng::new(seed).next_u64()));
+        prop_assert_eq!(&large[..m], &small[..]);
     }
 }

@@ -191,12 +191,16 @@ impl Cloud {
     }
 
     fn close_instance(&mut self, id: InstanceId, at: SimTime, state: InstanceState) {
-        let inst = self.instances.get_mut(&id).expect("close_instance: unknown id");
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .expect("close_instance: unknown id");
         inst.deleted = Some(at);
         inst.state = state;
         let spec = inst.flavor.spec();
         if spec.site == SiteKind::Vm {
-            self.usage.release_instance(spec.vcpus as u64, spec.ram_gb as u64);
+            self.usage
+                .release_instance(spec.vcpus as u64, spec.ram_gb as u64);
         }
         self.ledger.push(UsageRecord {
             name: inst.name.clone(),
@@ -314,7 +318,10 @@ impl Cloud {
 
     /// Delete a private network + its router.
     pub fn delete_network(&mut self, id: NetworkId) -> Result<(), CloudError> {
-        let net = self.networks.get_mut(&id).ok_or(CloudError::NoSuchInstance)?;
+        let net = self
+            .networks
+            .get_mut(&id)
+            .ok_or(CloudError::NoSuchInstance)?;
         if net.deleted.is_some() {
             return Err(CloudError::AlreadyDeleted);
         }
@@ -402,13 +409,15 @@ impl Cloud {
     /// Create (or get) an object-store bucket.
     pub fn bucket(&mut self, name: &str) -> &mut Bucket {
         let now = self.now;
-        self.buckets.entry(name.to_string()).or_insert_with(|| Bucket {
-            name: name.to_string(),
-            stored_gb: 0.0,
-            created: now,
-            object_count: 0,
-            mounted_on: Vec::new(),
-        })
+        self.buckets
+            .entry(name.to_string())
+            .or_insert_with(|| Bucket {
+                name: name.to_string(),
+                stored_gb: 0.0,
+                created: now,
+                object_count: 0,
+                mounted_on: Vec::new(),
+            })
     }
 
     /// Mount a bucket as a filesystem on an instance (Unit 8 lab step).
@@ -427,26 +436,35 @@ impl Cloud {
     /// one object-storage record per bucket.
     pub fn finalize(&mut self, end: SimTime) {
         self.advance_to(end);
-        let open: Vec<InstanceId> = self
+        // Close in id order: closing appends ledger records, so the order
+        // must not follow hash-map iteration (DL002).
+        let mut open: Vec<InstanceId> = self
             .instances
             .values()
             .filter(|i| i.is_active())
             .map(|i| i.id)
             .collect();
+        open.sort_unstable();
         for id in open {
             self.close_instance(id, end, InstanceState::Deleted);
         }
-        let open_fips: Vec<FloatingIpId> =
-            self.fips.values().filter(|f| f.is_held()).map(|f| f.id).collect();
+        let mut open_fips: Vec<FloatingIpId> = self
+            .fips
+            .values()
+            .filter(|f| f.is_held())
+            .map(|f| f.id)
+            .collect();
+        open_fips.sort_unstable();
         for id in open_fips {
             self.release_fip(id).expect("open fip must release");
         }
-        let open_vols: Vec<VolumeId> = self
+        let mut open_vols: Vec<VolumeId> = self
             .volumes
             .values()
             .filter(|v| v.state != VolumeState::Deleted)
             .map(|v| v.id)
             .collect();
+        open_vols.sort_unstable();
         for id in open_vols {
             let _ = self.detach_volume(id);
             self.delete_volume(id).expect("open volume must delete");
@@ -487,7 +505,9 @@ mod tests {
     #[test]
     fn vm_lifecycle_and_metering() {
         let mut cloud = Cloud::new(Quota::unlimited());
-        let id = cloud.create_instance("lab1-alice", FlavorId::M1Small).unwrap();
+        let id = cloud
+            .create_instance("lab1-alice", FlavorId::M1Small)
+            .unwrap();
         cloud.advance(SimDuration::hours(3));
         cloud.delete_instance(id).unwrap();
         assert_eq!(cloud.ledger().instance_hours(None), 3.0);
@@ -498,7 +518,9 @@ mod tests {
     fn vm_runs_until_finalize_if_neglected() {
         // The core mechanism of the paper's long tail.
         let mut cloud = Cloud::new(Quota::unlimited());
-        cloud.create_instance("lab2-forgetful", FlavorId::M1Medium).unwrap();
+        cloud
+            .create_instance("lab2-forgetful", FlavorId::M1Medium)
+            .unwrap();
         cloud.finalize(t(500));
         assert_eq!(cloud.ledger().instance_hours(None), 500.0);
     }
@@ -506,7 +528,9 @@ mod tests {
     #[test]
     fn bare_metal_requires_lease() {
         let mut cloud = Cloud::paper_course();
-        let err = cloud.create_instance("lab4-x", FlavorId::GpuA100Pcie).unwrap_err();
+        let err = cloud
+            .create_instance("lab4-x", FlavorId::GpuA100Pcie)
+            .unwrap_err();
         assert_eq!(err, CloudError::LeaseRequired(FlavorId::GpuA100Pcie));
     }
 
@@ -516,13 +540,18 @@ mod tests {
         let lease = cloud
             .reserve(FlavorId::GpuA100Pcie, 1, t(0), t(3), "lab4-alice")
             .unwrap();
-        let id = cloud.create_leased_instance("lab4-alice", lease.id).unwrap();
+        let id = cloud
+            .create_leased_instance("lab4-alice", lease.id)
+            .unwrap();
         // Student walks away; the lease ends at hour 3 and the node is
         // reclaimed even though the clock advances to hour 10.
         cloud.advance_to(t(10));
         let inst = cloud.instance(id).unwrap();
         assert_eq!(inst.state, InstanceState::AutoTerminated);
-        assert_eq!(cloud.ledger().instance_hours(Some(FlavorId::GpuA100Pcie)), 3.0);
+        assert_eq!(
+            cloud.ledger().instance_hours(Some(FlavorId::GpuA100Pcie)),
+            3.0
+        );
     }
 
     #[test]
@@ -532,7 +561,9 @@ mod tests {
             .reserve(FlavorId::GpuV100, 1, t(5), t(8), "lab4-bob")
             .unwrap();
         assert_eq!(
-            cloud.create_leased_instance("lab4-bob", lease.id).unwrap_err(),
+            cloud
+                .create_leased_instance("lab4-bob", lease.id)
+                .unwrap_err(),
             CloudError::OutsideLease
         );
         cloud.advance_to(t(5));
@@ -541,7 +572,10 @@ mod tests {
 
     #[test]
     fn quota_blocks_and_releases() {
-        let quota = Quota { instances: 1, ..Quota::unlimited() };
+        let quota = Quota {
+            instances: 1,
+            ..Quota::unlimited()
+        };
         let mut cloud = Cloud::new(quota);
         let a = cloud.create_instance("a", FlavorId::M1Small).unwrap();
         assert!(cloud.create_instance("b", FlavorId::M1Small).is_err());
@@ -561,7 +595,11 @@ mod tests {
 
     #[test]
     fn network_router_quota_pairs() {
-        let quota = Quota { networks: 5, routers: 1, ..Quota::unlimited() };
+        let quota = Quota {
+            networks: 5,
+            routers: 1,
+            ..Quota::unlimited()
+        };
         let mut cloud = Cloud::new(quota);
         let n = cloud.create_network("net1").unwrap();
         // Router quota (1) is exhausted; network allocation must roll back.
@@ -573,12 +611,17 @@ mod tests {
     #[test]
     fn volume_lifecycle_unit8() {
         let mut cloud = Cloud::new(Quota::unlimited());
-        let inst = cloud.create_instance("lab8-dan", FlavorId::M1Large).unwrap();
+        let inst = cloud
+            .create_instance("lab8-dan", FlavorId::M1Large)
+            .unwrap();
         let vol = cloud.create_volume("lab8-dan-vol", 2).unwrap();
         cloud.attach_volume(vol, inst).unwrap();
         cloud.format_volume(vol).unwrap();
         // Deleting while attached is refused.
-        assert_eq!(cloud.delete_volume(vol).unwrap_err(), CloudError::VolumeInUse);
+        assert_eq!(
+            cloud.delete_volume(vol).unwrap_err(),
+            CloudError::VolumeInUse
+        );
         cloud.detach_volume(vol).unwrap();
         cloud.advance(SimDuration::hours(4));
         cloud.delete_volume(vol).unwrap();
@@ -626,7 +669,9 @@ mod tests {
                 .reserve(FlavorId::GpuA100Pcie, 1, t(0), t(3), &format!("s{i}"))
                 .unwrap();
         }
-        assert!(cloud.reserve(FlavorId::GpuA100Pcie, 1, t(1), t(4), "s4").is_err());
+        assert!(cloud
+            .reserve(FlavorId::GpuA100Pcie, 1, t(1), t(4), "s4")
+            .is_err());
         let slot = cloud
             .earliest_slot(FlavorId::GpuA100Pcie, 1, SimDuration::hours(3), t(0))
             .unwrap();

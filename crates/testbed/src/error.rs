@@ -43,8 +43,15 @@ pub enum CloudError {
 impl fmt::Display for CloudError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CloudError::QuotaExceeded { resource, limit, requested } => {
-                write!(f, "quota exceeded for {resource}: requested {requested} > limit {limit}")
+            CloudError::QuotaExceeded {
+                resource,
+                limit,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "quota exceeded for {resource}: requested {requested} > limit {limit}"
+                )
             }
             CloudError::NoCapacity { flavor, capacity } => {
                 write!(f, "no capacity for {flavor} (only {capacity} nodes exist)")
@@ -71,9 +78,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CloudError::QuotaExceeded { resource: "cores", limit: 1200, requested: 1300 };
+        let e = CloudError::QuotaExceeded {
+            resource: "cores",
+            limit: 1200,
+            requested: 1300,
+        };
         let s = e.to_string();
         assert!(s.contains("cores") && s.contains("1200") && s.contains("1300"));
-        assert!(CloudError::LeaseRequired(FlavorId::GpuV100).to_string().contains("gpu_v100"));
+        assert!(CloudError::LeaseRequired(FlavorId::GpuV100)
+            .to_string()
+            .contains("gpu_v100"));
     }
 }

@@ -6,9 +6,7 @@ use opml_simkernel::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Opaque instance identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct InstanceId(pub u64);
 
 /// Lifecycle state of an instance.

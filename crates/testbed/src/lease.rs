@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Opaque lease identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LeaseId(pub u64);
 
 /// An admitted reservation.
@@ -118,14 +116,27 @@ impl ReservationCalendar {
         }
         let cap = self.capacity(flavor);
         if count > cap {
-            return Err(CloudError::NoCapacity { flavor, capacity: cap });
+            return Err(CloudError::NoCapacity {
+                flavor,
+                capacity: cap,
+            });
         }
         if self.peak_reserved(flavor, start, end) + count > cap {
-            return Err(CloudError::NoCapacity { flavor, capacity: cap });
+            return Err(CloudError::NoCapacity {
+                flavor,
+                capacity: cap,
+            });
         }
         let id = LeaseId(self.next_id);
         self.next_id += 1;
-        let lease = Lease { id, flavor, count, start, end, owner: owner.to_string() };
+        let lease = Lease {
+            id,
+            flavor,
+            count,
+            start,
+            end,
+            owner: owner.to_string(),
+        };
         self.leases.entry(flavor).or_default().push(lease.clone());
         Ok(lease)
     }
@@ -164,12 +175,18 @@ impl ReservationCalendar {
 
     /// Look up an admitted lease.
     pub fn get(&self, id: LeaseId) -> Option<&Lease> {
+        // Lease ids are unique, so `find` matches at most one element and
+        // traversal order cannot change the result.
+        // detlint::allow(DL002): unique lease id, at most one match
         self.leases.values().flatten().find(|l| l.id == id)
     }
 
     /// All leases for a flavor, in admission order.
     pub fn leases_for(&self, flavor: FlavorId) -> &[Lease] {
-        self.leases.get(&flavor).map(|v| v.as_slice()).unwrap_or(&[])
+        self.leases
+            .get(&flavor)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 }
 
@@ -186,20 +203,33 @@ mod tests {
     fn reserve_within_capacity() {
         let mut cal = ReservationCalendar::new();
         cal.set_capacity(FlavorId::GpuA100Pcie, 2);
-        cal.reserve(FlavorId::GpuA100Pcie, 1, t(0), t(3), "a").unwrap();
-        cal.reserve(FlavorId::GpuA100Pcie, 1, t(1), t(4), "b").unwrap();
+        cal.reserve(FlavorId::GpuA100Pcie, 1, t(0), t(3), "a")
+            .unwrap();
+        cal.reserve(FlavorId::GpuA100Pcie, 1, t(1), t(4), "b")
+            .unwrap();
         // Both nodes busy in [1,3): a third overlapping lease is refused.
-        let err = cal.reserve(FlavorId::GpuA100Pcie, 1, t(2), t(5), "c").unwrap_err();
+        let err = cal
+            .reserve(FlavorId::GpuA100Pcie, 1, t(2), t(5), "c")
+            .unwrap_err();
         assert!(matches!(err, CloudError::NoCapacity { .. }));
         // Back-to-back is fine (end is exclusive).
-        cal.reserve(FlavorId::GpuA100Pcie, 2, t(4), t(6), "d").unwrap();
+        cal.reserve(FlavorId::GpuA100Pcie, 2, t(4), t(6), "d")
+            .unwrap();
     }
 
     #[test]
     fn unregistered_flavor_has_no_capacity() {
         let mut cal = ReservationCalendar::new();
-        let err = cal.reserve(FlavorId::GpuV100, 1, t(0), t(1), "x").unwrap_err();
-        assert_eq!(err, CloudError::NoCapacity { flavor: FlavorId::GpuV100, capacity: 0 });
+        let err = cal
+            .reserve(FlavorId::GpuV100, 1, t(0), t(1), "x")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CloudError::NoCapacity {
+                flavor: FlavorId::GpuV100,
+                capacity: 0
+            }
+        );
     }
 
     #[test]
@@ -207,7 +237,8 @@ mod tests {
         let mut cal = ReservationCalendar::new();
         cal.set_capacity(FlavorId::GpuV100, 1);
         assert_eq!(
-            cal.reserve(FlavorId::GpuV100, 1, t(5), t(5), "x").unwrap_err(),
+            cal.reserve(FlavorId::GpuV100, 1, t(5), t(5), "x")
+                .unwrap_err(),
             CloudError::InvalidLeaseWindow
         );
     }
@@ -227,7 +258,8 @@ mod tests {
     fn earliest_slot_skips_busy_windows() {
         let mut cal = ReservationCalendar::new();
         cal.set_capacity(FlavorId::ComputeGigaio, 1);
-        cal.reserve(FlavorId::ComputeGigaio, 1, t(0), t(5), "a").unwrap();
+        cal.reserve(FlavorId::ComputeGigaio, 1, t(0), t(5), "a")
+            .unwrap();
         let slot = cal
             .earliest_slot(FlavorId::ComputeGigaio, 1, SimDuration::hours(2), t(1))
             .unwrap();
@@ -253,7 +285,9 @@ mod tests {
     fn lease_covers() {
         let mut cal = ReservationCalendar::new();
         cal.set_capacity(FlavorId::RaspberryPi5, 7);
-        let lease = cal.reserve(FlavorId::RaspberryPi5, 1, t(2), t(4), "edge").unwrap();
+        let lease = cal
+            .reserve(FlavorId::RaspberryPi5, 1, t(2), t(4), "edge")
+            .unwrap();
         assert!(!lease.covers(t(1)));
         assert!(lease.covers(t(2)));
         assert!(lease.covers(t(3)));

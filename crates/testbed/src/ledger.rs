@@ -9,7 +9,7 @@
 use crate::flavor::FlavorId;
 use opml_simkernel::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What kind of resource a record meters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -122,10 +122,9 @@ impl Ledger {
             .records
             .iter()
             .filter_map(|r| match r.kind {
-                UsageKind::Volume { size_gb } => Some([
-                    (r.start, size_gb as i64),
-                    (r.end, -(size_gb as i64)),
-                ]),
+                UsageKind::Volume { size_gb } => {
+                    Some([(r.start, size_gb as i64), (r.end, -(size_gb as i64))])
+                }
                 _ => None,
             })
             .flatten()
@@ -146,7 +145,7 @@ impl Ledger {
 
     /// Instance-hours grouped by flavor, in [`FlavorId::ALL`] order.
     pub fn hours_by_flavor(&self) -> Vec<(FlavorId, f64)> {
-        let mut map: HashMap<FlavorId, f64> = HashMap::new();
+        let mut map: BTreeMap<FlavorId, f64> = BTreeMap::new();
         for r in &self.records {
             if let UsageKind::Instance { flavor, .. } = r.kind {
                 *map.entry(flavor).or_insert(0.0) += r.hours();
@@ -191,7 +190,9 @@ impl Ledger {
 
     /// Records whose name starts with `prefix` (assignment attribution).
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a UsageRecord> {
-        self.records.iter().filter(move |r| r.name.starts_with(prefix))
+        self.records
+            .iter()
+            .filter(move |r| r.name.starts_with(prefix))
     }
 }
 
@@ -220,7 +221,10 @@ mod tests {
     fn inst(name: &str, flavor: FlavorId, s: u64, e: u64) -> UsageRecord {
         UsageRecord {
             name: name.into(),
-            kind: UsageKind::Instance { flavor, auto_terminated: false },
+            kind: UsageKind::Instance {
+                flavor,
+                auto_terminated: false,
+            },
             start: t(s),
             end: t(e),
         }

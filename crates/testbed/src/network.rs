@@ -33,7 +33,10 @@ pub struct FloatingIp {
 impl FloatingIp {
     /// Hold time in hours as of `now` (or total if released).
     pub fn hold_hours(&self, now: SimTime) -> f64 {
-        self.released.unwrap_or(now).since(self.allocated).as_hours_f64()
+        self.released
+            .unwrap_or(now)
+            .since(self.allocated)
+            .as_hours_f64()
     }
 
     /// Whether the IP is still held.

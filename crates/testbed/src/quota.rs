@@ -114,7 +114,11 @@ impl QuotaUsage {
     ) -> Result<(), CloudError> {
         let requested = current.saturating_add(delta);
         if requested > limit {
-            Err(CloudError::QuotaExceeded { resource, limit, requested })
+            Err(CloudError::QuotaExceeded {
+                resource,
+                limit,
+                requested,
+            })
         } else {
             Ok(())
         }
@@ -182,7 +186,12 @@ impl QuotaUsage {
     /// Create a volume of `gb`.
     pub fn take_volume(&mut self, quota: &Quota, gb: u64) -> Result<(), CloudError> {
         Self::check_one(self.volumes, 1, quota.volumes, "volumes")?;
-        Self::check_one(self.block_storage_gb, gb, quota.block_storage_gb, "block_storage_gb")?;
+        Self::check_one(
+            self.block_storage_gb,
+            gb,
+            quota.block_storage_gb,
+            "block_storage_gb",
+        )?;
         self.volumes += 1;
         self.block_storage_gb += gb;
         Ok(())
@@ -201,30 +210,58 @@ mod tests {
 
     #[test]
     fn instance_quota_enforced() {
-        let quota = Quota { instances: 2, cores: 100, ram_gb: 100, ..Quota::unlimited() };
+        let quota = Quota {
+            instances: 2,
+            cores: 100,
+            ram_gb: 100,
+            ..Quota::unlimited()
+        };
         let mut u = QuotaUsage::default();
         u.take_instance(&quota, 2, 4).unwrap();
         u.take_instance(&quota, 2, 4).unwrap();
         let err = u.take_instance(&quota, 2, 4).unwrap_err();
-        assert!(matches!(err, CloudError::QuotaExceeded { resource: "instances", .. }));
+        assert!(matches!(
+            err,
+            CloudError::QuotaExceeded {
+                resource: "instances",
+                ..
+            }
+        ));
         u.release_instance(2, 4);
         u.take_instance(&quota, 2, 4).unwrap();
     }
 
     #[test]
     fn core_quota_enforced_independently() {
-        let quota = Quota { instances: 100, cores: 8, ram_gb: 1000, ..Quota::unlimited() };
+        let quota = Quota {
+            instances: 100,
+            cores: 8,
+            ram_gb: 1000,
+            ..Quota::unlimited()
+        };
         let mut u = QuotaUsage::default();
         u.take_instance(&quota, 6, 1).unwrap();
         let err = u.take_instance(&quota, 4, 1).unwrap_err();
-        assert!(matches!(err, CloudError::QuotaExceeded { resource: "cores", limit: 8, requested: 10 }));
+        assert!(matches!(
+            err,
+            CloudError::QuotaExceeded {
+                resource: "cores",
+                limit: 8,
+                requested: 10
+            }
+        ));
         // A smaller request still fits.
         u.take_instance(&quota, 2, 1).unwrap();
     }
 
     #[test]
     fn failed_take_consumes_nothing() {
-        let quota = Quota { instances: 10, cores: 4, ram_gb: 2, ..Quota::unlimited() };
+        let quota = Quota {
+            instances: 10,
+            cores: 4,
+            ram_gb: 2,
+            ..Quota::unlimited()
+        };
         let mut u = QuotaUsage::default();
         // RAM check fails after instance+core checks pass — nothing consumed.
         assert!(u.take_instance(&quota, 2, 4).is_err());
@@ -233,12 +270,19 @@ mod tests {
 
     #[test]
     fn block_storage_tracks_gb() {
-        let quota = Quota { volumes: 3, block_storage_gb: 100, ..Quota::unlimited() };
+        let quota = Quota {
+            volumes: 3,
+            block_storage_gb: 100,
+            ..Quota::unlimited()
+        };
         let mut u = QuotaUsage::default();
         u.take_volume(&quota, 60).unwrap();
         assert!(matches!(
             u.take_volume(&quota, 50),
-            Err(CloudError::QuotaExceeded { resource: "block_storage_gb", .. })
+            Err(CloudError::QuotaExceeded {
+                resource: "block_storage_gb",
+                ..
+            })
         ));
         u.take_volume(&quota, 40).unwrap();
         u.release_volume(60);

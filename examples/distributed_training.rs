@@ -24,13 +24,26 @@ fn main() {
     // ---- 1. Collective bandwidth ------------------------------------
     println!("Per-worker bytes to all-reduce a 4 MB gradient buffer:\n");
     let elements = 1_000_000; // 4 MB of f32
-    let mut table = Table::new(&["Workers", "ring max B/worker", "tree max", "param-server max"]);
+    let mut table = Table::new(&[
+        "Workers",
+        "ring max B/worker",
+        "tree max",
+        "param-server max",
+    ]);
     for n in [2usize, 4, 8] {
         let mut row = vec![n.to_string()];
-        for algo in [ReduceAlgo::Ring, ReduceAlgo::Tree, ReduceAlgo::ParameterServer] {
+        for algo in [
+            ReduceAlgo::Ring,
+            ReduceAlgo::Tree,
+            ReduceAlgo::ParameterServer,
+        ] {
             let mut rng = Rng::new(n as u64);
             let mut bufs: Vec<Vec<f32>> = (0..n)
-                .map(|_| (0..elements).map(|_| rng.range_f64(-1.0, 1.0) as f32).collect())
+                .map(|_| {
+                    (0..elements)
+                        .map(|_| rng.range_f64(-1.0, 1.0) as f32)
+                        .collect()
+                })
                 .collect();
             let stats = all_reduce(&mut bufs, algo);
             row.push(fmt_num(stats.max_bytes_per_worker() as f64, 0));
@@ -71,7 +84,11 @@ fn main() {
         &data,
     );
     let _ = (ddp_model, fsdp_model);
-    println!("DDP  (4 workers): accuracy {:.3}, in sync: {}", ddp.history.last().unwrap().1, ddp.in_sync);
+    println!(
+        "DDP  (4 workers): accuracy {:.3}, in sync: {}",
+        ddp.history.last().unwrap().1,
+        ddp.in_sync
+    );
     println!(
         "FSDP (4 workers): accuracy {:.3}, persistent params/worker {} of {} total",
         fsdp.history.last().unwrap().1,
@@ -106,8 +123,14 @@ fn main() {
     let qlora = TrainingMemoryConfig::llm_13b_qlora();
     let mut sharded = full.clone();
     sharded.shards = 4;
-    println!("  full fine-tune, f32 + Adam, 1 GPU : {:>8.0} GB  (impossible)", training_memory_gb(&full));
-    println!("  FSDP across 4 GPUs                : {:>8.0} GB/GPU", training_memory_gb(&sharded));
+    println!(
+        "  full fine-tune, f32 + Adam, 1 GPU : {:>8.0} GB  (impossible)",
+        training_memory_gb(&full)
+    );
+    println!(
+        "  FSDP across 4 GPUs                : {:>8.0} GB/GPU",
+        training_memory_gb(&sharded)
+    );
     println!(
         "  QLoRA (int4 base + LoRA adapters) : {:>8.0} GB  (fits one A100-80GB — the lab's recipe)",
         training_memory_gb(&qlora)

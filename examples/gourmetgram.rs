@@ -30,7 +30,11 @@ fn main() {
     // ---- 1. Data: the "food-11" stand-in ---------------------------
     let data = Dataset::blobs(550, 8, 11, 0.6, seed);
     let (train, holdout) = data.split(0.8, seed + 1);
-    println!("GourmetGram food-11: {} train / {} holdout examples", train.len(), holdout.len());
+    println!(
+        "GourmetGram food-11: {} train / {} holdout examples",
+        train.len(),
+        holdout.len()
+    );
 
     // ---- 2. Distributed training (Unit 4), tracked (Unit 5) --------
     let run = tracker.start_run("gourmetgram");
@@ -54,7 +58,12 @@ fn main() {
         tracker.log_metric(run, "train_acc", epoch as u64, acc);
     }
     let eval_report = evaluate(&mut model, &holdout);
-    tracker.log_metric(run, "holdout_acc", report.history.len() as u64, eval_report.accuracy);
+    tracker.log_metric(
+        run,
+        "holdout_acc",
+        report.history.len() as u64,
+        eval_report.accuracy,
+    );
     tracker.log_artifact(run, "model.bin", params_to_artifact(&model.params_flat()));
     tracker.end_run(run, RunStatus::Finished);
     println!(
@@ -68,7 +77,9 @@ fn main() {
     let mut metrics = BTreeMap::new();
     metrics.insert("holdout_acc".to_string(), eval_report.accuracy);
     let v1 = registry.register("food11", params_to_artifact(&model.params_flat()), metrics);
-    registry.transition("food11", v1, Stage::Production).expect("fresh registry");
+    registry
+        .transition("food11", v1, Stage::Production)
+        .expect("fresh registry");
     println!("registered food11 v{v1} → production");
 
     // ---- 4. Serving optimizations (Unit 6) --------------------------
@@ -79,11 +90,23 @@ fn main() {
         quant.accuracy(&holdout),
         eval_report.accuracy
     );
-    let load = LoadSpec { rps: 150.0, requests: 3000 };
-    let baseline = simulate(ModelProfile::fp32_server_gpu(), ServerConfig::baseline(), load, seed);
+    let load = LoadSpec {
+        rps: 150.0,
+        requests: 3000,
+    };
+    let baseline = simulate(
+        ModelProfile::fp32_server_gpu(),
+        ServerConfig::baseline(),
+        load,
+        seed,
+    );
     let optimized = simulate(
         ModelProfile::int8_server_gpu(),
-        ServerConfig { replicas: 2, max_batch: 8, max_queue_delay_ms: 5.0 },
+        ServerConfig {
+            replicas: 2,
+            max_batch: 8,
+            max_queue_delay_ms: 5.0,
+        },
         load,
         seed,
     );
@@ -113,7 +136,9 @@ fn main() {
 
     // Drift arrives: users start uploading different food.
     let drifted = data.shifted(2.0);
-    let reference: Vec<f64> = (0..train.len()).map(|i| f64::from(train.x.get(i, 0))).collect();
+    let reference: Vec<f64> = (0..train.len())
+        .map(|i| f64::from(train.x.get(i, 0)))
+        .collect();
     let mut detector = DriftDetector::new(reference, 120, 0.01);
     let mut detected = None;
     for i in 0..drifted.len() {
@@ -149,10 +174,20 @@ fn main() {
     let new_on_drifted = drift_holdout.accuracy(&mut model_v2);
     let mut metrics = BTreeMap::new();
     metrics.insert("holdout_acc".to_string(), new_on_drifted);
-    let v2 = registry.register("food11", params_to_artifact(&model_v2.params_flat()), metrics);
-    registry.transition("food11", v2, Stage::Canary).expect("canary");
+    let v2 = registry.register(
+        "food11",
+        params_to_artifact(&model_v2.params_flat()),
+        metrics,
+    );
+    registry
+        .transition("food11", v2, Stage::Canary)
+        .expect("canary");
     let verdict = canary_analysis(
-        &CanaryPolicy { max_latency_regression: 0.25, max_accuracy_drop: 0.02, min_samples: 10 },
+        &CanaryPolicy {
+            max_latency_regression: 0.25,
+            max_accuracy_drop: 0.02,
+            min_samples: 10,
+        },
         &vec![optimized.p50_latency_ms; 50],
         old_on_drifted,
         &vec![optimized.p50_latency_ms; 50],
@@ -163,10 +198,15 @@ fn main() {
         new_on_drifted, old_on_drifted, verdict
     );
     assert_eq!(verdict, CanaryVerdict::Promote);
-    registry.transition("food11", v2, Stage::Production).expect("promote");
+    registry
+        .transition("food11", v2, Stage::Production)
+        .expect("promote");
     println!(
         "food11 v{} now in production; registry history has {} transitions",
-        registry.in_stage("food11", Stage::Production).expect("promoted").version,
+        registry
+            .in_stage("food11", Stage::Production)
+            .expect("promoted")
+            .version,
         registry.history().len()
     );
 }

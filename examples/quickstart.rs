@@ -25,7 +25,10 @@ fn main() {
     let rollup = AssignmentRollup::from_ledger(&outcome.ledger, config.enrollment as usize);
     let table = price_lab_assignments(&rollup);
     println!("\nLab assignments (Table 1 scope):");
-    println!("  instance hours : {}", fmt_num(table.total.instance_hours, 0));
+    println!(
+        "  instance hours : {}",
+        fmt_num(table.total.instance_hours, 0)
+    );
     println!("  floating-IP hrs: {}", fmt_num(table.total.fip_hours, 0));
     println!(
         "  commercial cost: {} AWS ({} / student), {} GCP ({} / student)",
@@ -51,17 +54,24 @@ fn main() {
     );
     let proj_aws = price_project(&project, Provider::Aws);
     let proj_gcp = price_project(&project, Provider::Gcp);
-    println!("  cost: {} AWS / {} GCP", fmt_usd(proj_aws), fmt_usd(proj_gcp));
+    println!(
+        "  cost: {} AWS / {} GCP",
+        fmt_usd(proj_aws),
+        fmt_usd(proj_gcp)
+    );
 
-    let per_student = ml_ops_course::metering::rollup::PerStudentUsage::from_ledger(&outcome.ledger);
+    let per_student =
+        ml_ops_course::metering::rollup::PerStudentUsage::from_ledger(&outcome.ledger);
     let costs = per_student_lab_costs(&per_student, Provider::Aws);
     let max = costs.iter().map(|&(_, c)| c).fold(0.0f64, f64::max);
-    let total_per_student =
-        table.total.aws_per_student + proj_aws / config.enrollment as f64;
+    let total_per_student = table.total.aws_per_student + proj_aws / config.enrollment as f64;
     println!("\nHeadlines:");
     println!(
         "  total instance hours: {}",
-        fmt_num(table.total.instance_hours + project.total_instance_hours(), 0)
+        fmt_num(
+            table.total.instance_hours + project.total_instance_hours(),
+            0
+        )
     );
     println!("  all-in per student (AWS): {}", fmt_usd(total_per_student));
     println!("  most expensive student (labs, AWS): {}", fmt_usd(max));

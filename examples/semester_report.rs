@@ -8,7 +8,9 @@
 //! cargo run --release --example semester_report
 //! ```
 
-use ml_ops_course::experiments::{fig1, fig2, fig3, headline, project_cost, run_paper_course, table1};
+use ml_ops_course::experiments::{
+    fig1, fig2, fig3, headline, project_cost, run_paper_course, table1,
+};
 
 fn main() {
     let seed = std::env::args()

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Full local gate: format, build, lint, test.
+#
+# Mirrors what CI (and the tier-1 harness) runs; `detlint` is also a
+# tier-1 test, but running it here gives the readable table on failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> detlint"
+cargo run --release -q -p opml-detlint --bin detlint
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "all checks passed"

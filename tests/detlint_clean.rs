@@ -1,0 +1,35 @@
+//! Tier-1 gate: the workspace must be `opml-detlint`-clean.
+//!
+//! Every unsuppressed finding — banned nondeterminism API, hash-order
+//! leak, rayon hazard, lock-order cycle, or malformed suppression — fails
+//! this test. Intentional exceptions need an in-source
+//! `// detlint::allow(DL00x): reason` with a written justification.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_detlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let analysis = opml_detlint::analyze_workspace(root).expect("scan workspace sources");
+    assert!(
+        analysis.files_scanned > 50,
+        "scan looks truncated: {} files",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.is_clean(),
+        "detlint found {} unsuppressed finding(s):\n{}",
+        analysis.findings.len(),
+        analysis.to_table()
+    );
+    // Every suppression must carry a reason (enforced at match time — a
+    // reasonless allow never suppresses — so just assert the invariant).
+    for s in &analysis.suppressed {
+        assert!(
+            !s.reason.is_empty(),
+            "suppression without reason at {}:{}",
+            s.finding.file,
+            s.finding.line
+        );
+    }
+}

@@ -2,12 +2,10 @@
 //! check the paper's headline shape — across crate boundaries, through
 //! the facade's public API only.
 
-use ml_ops_course::prelude::*;
 use ml_ops_course::metering::rollup::PerStudentUsage;
+use ml_ops_course::prelude::*;
 use ml_ops_course::pricing::catalog::Provider;
-use ml_ops_course::pricing::estimate::{
-    per_student_lab_costs, price_project, ProjectUsageSummary,
-};
+use ml_ops_course::pricing::estimate::{per_student_lab_costs, price_project, ProjectUsageSummary};
 use ml_ops_course::simkernel::stats::Summary;
 
 fn small_course(enrollment: u32, projects: bool, seed: u64) -> SemesterOutcome {
@@ -46,13 +44,32 @@ fn vm_labs_dominate_instance_hours() {
     let rollup = AssignmentRollup::from_ledger(&outcome.ledger, 32);
     let vm_hours: f64 = ["lab1", "lab2", "lab3", "lab7", "lab8"]
         .iter()
-        .map(|t| rollup.rows_for(t).iter().map(|r| r.instance_hours).sum::<f64>())
+        .map(|t| {
+            rollup
+                .rows_for(t)
+                .iter()
+                .map(|r| r.instance_hours)
+                .sum::<f64>()
+        })
         .sum();
-    let leased_hours: f64 = ["lab4-multi", "lab4-single", "lab5-multi", "lab5-single",
-        "lab6-opt", "lab6-edge", "lab6-system"]
-        .iter()
-        .map(|t| rollup.rows_for(t).iter().map(|r| r.instance_hours).sum::<f64>())
-        .sum();
+    let leased_hours: f64 = [
+        "lab4-multi",
+        "lab4-single",
+        "lab5-multi",
+        "lab5-single",
+        "lab6-opt",
+        "lab6-edge",
+        "lab6-system",
+    ]
+    .iter()
+    .map(|t| {
+        rollup
+            .rows_for(t)
+            .iter()
+            .map(|r| r.instance_hours)
+            .sum::<f64>()
+    })
+    .sum();
     assert!(
         vm_hours > 10.0 * leased_hours,
         "VM {vm_hours:.0} h vs leased {leased_hours:.0} h"
@@ -68,7 +85,12 @@ fn gpu_labs_cost_more_per_hour_but_less_overall_than_k8s_labs() {
     let rollup = AssignmentRollup::from_ledger(&outcome.ledger, 48);
     let table = price_lab_assignments(&rollup);
     let cost = |tag: &str| -> f64 {
-        table.rows.iter().filter(|r| r.tag == tag).filter_map(|r| r.aws_usd).sum()
+        table
+            .rows
+            .iter()
+            .filter(|r| r.tag == tag)
+            .filter_map(|r| r.aws_usd)
+            .sum()
     };
     let lab2 = cost("lab2");
     let lab4 = cost("lab4-multi");

@@ -33,7 +33,10 @@ fn cicd_artifacts_are_loadable_models() {
         DeployOutcome::Promoted { .. } => {}
         other => panic!("expected promotion: {other:?}"),
     }
-    let prod = sys.registry.in_stage("m", Stage::Production).expect("production");
+    let prod = sys
+        .registry
+        .in_stage("m", Stage::Production)
+        .expect("production");
     let params = artifact_to_params(&prod.artifact);
     // [8, 32, 11] → 8·32 + 32 + 32·11 + 11 parameters.
     assert_eq!(params.len(), 8 * 32 + 32 + 32 * 11 + 11);
@@ -72,7 +75,10 @@ fn scheduler_policies_preserve_work_conservation() {
     // Whatever the policy, total executed GPU-hours are identical — only
     // waiting changes.
     let jobs = workload::ml_trace(400, 0.8, 2004);
-    let work: f64 = jobs.iter().map(|j| j.gpus as f64 * j.duration.as_hours_f64()).sum();
+    let work: f64 = jobs
+        .iter()
+        .map(|j| j.gpus as f64 * j.duration.as_hours_f64())
+        .sum();
     for policy in Policy::ALL {
         let schedule =
             SchedSim::new(Cluster::homogeneous(8, 4), policy, Placement::Packed).run(&jobs);
@@ -81,7 +87,11 @@ fn scheduler_policies_preserve_work_conservation() {
             .iter()
             .map(|o| o.job.gpus as f64 * o.job.duration.as_hours_f64())
             .sum();
-        assert!((executed - work).abs() < 1e-6, "{} lost work", policy.name());
+        assert!(
+            (executed - work).abs() < 1e-6,
+            "{} lost work",
+            policy.name()
+        );
     }
 }
 
@@ -113,12 +123,11 @@ fn fair_share_protects_light_users() {
     let light_user_wait = |policy: Policy, seed: u64| -> f64 {
         use std::collections::HashMap;
         let jobs = workload::ml_trace(600, 1.1, seed);
-        let schedule = SchedSim::new(Cluster::homogeneous(8, 4), policy, Placement::Packed)
-            .run(&jobs);
+        let schedule =
+            SchedSim::new(Cluster::homogeneous(8, 4), policy, Placement::Packed).run(&jobs);
         let mut demand: HashMap<u32, f64> = HashMap::new();
         for j in &jobs {
-            *demand.entry(j.user).or_insert(0.0) +=
-                j.gpus as f64 * j.duration.as_hours_f64();
+            *demand.entry(j.user).or_insert(0.0) += j.gpus as f64 * j.duration.as_hours_f64();
         }
         let mut users: Vec<(u32, f64)> = demand.into_iter().collect();
         users.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
@@ -132,9 +141,11 @@ fn fair_share_protects_light_users() {
         waits.iter().sum::<f64>() / waits.len().max(1) as f64
     };
     let seeds = [2006u64, 2007, 2008, 2009, 2010];
-    let easy: f64 =
-        seeds.iter().map(|&s| light_user_wait(Policy::EasyBackfill, s)).sum::<f64>()
-            / seeds.len() as f64;
+    let easy: f64 = seeds
+        .iter()
+        .map(|&s| light_user_wait(Policy::EasyBackfill, s))
+        .sum::<f64>()
+        / seeds.len() as f64;
     let fair: f64 = seeds
         .iter()
         .map(|&s| light_user_wait(Policy::FairShare { backfill: true }, s))

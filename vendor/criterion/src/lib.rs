@@ -1,0 +1,205 @@
+//! Offline shim for `criterion`.
+//!
+//! Compiles and runs the workspace's `harness = false` benches without
+//! crates.io access. Measurement is intentionally simple: each benchmark
+//! runs a fixed warm-up plus `sample_size` timed samples and prints the
+//! median per-iteration time. No statistics, plots, or baselines.
+//!
+//! Wall-clock use (`std::time::Instant`) is confined to this vendored
+//! crate; workspace simulation code stays on simulated time per the
+//! determinism contract (`vendor/` is outside `opml-detlint`'s scan scope
+//! for exactly this reason).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark context handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the work per iteration (printed, not analyzed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Bytes(b) => println!("  throughput: {b} bytes/iter"),
+            Throughput::Elements(e) => println!("  throughput: {e} elements/iter"),
+        }
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&id.to_string(), self.criterion.sample_size, &mut f);
+    }
+
+    /// Benchmark a function with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&id.to_string(), self.criterion.sample_size, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Finish the group (printing only).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Declared per-iteration work, for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (accepted, not used by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input of one batch per sample.
+    PerIteration,
+}
+
+/// Timing driver passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` once per sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Time `routine` on a fresh `setup()` value per sample, excluding
+    /// setup time.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    // Warm-up sample, discarded.
+    f(&mut b);
+    b.samples.clear();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!("  bench {id}: median {median:?} over {samples} samples");
+}
+
+/// Group benchmark targets into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

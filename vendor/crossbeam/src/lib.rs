@@ -1,0 +1,337 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides `crossbeam::channel` — multi-producer multi-consumer channels
+//! with bounded backpressure and disconnect semantics — implemented over
+//! `Mutex<VecDeque>` + two `Condvar`s. Not as fast as crossbeam's lock-free
+//! queues, but semantically faithful for the workspace's pipeline-parallel
+//! and streaming workloads.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Inner<T> {
+        fn new(capacity: Option<usize>) -> Arc<Self> {
+            Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+                capacity,
+                senders: AtomicUsize::new(1),
+                receivers: AtomicUsize::new(1),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            })
+        }
+    }
+
+    /// Sending half; clone freely (multi-producer).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clone freely (multi-consumer work-queue semantics).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The channel is disconnected (all receivers dropped); payload
+    /// returned.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like upstream crossbeam, Debug does not require `T: Debug` (the
+    // payload is elided), so `.expect()` works for any payload type.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The channel is empty and all senders dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Outcome of [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue currently empty.
+        Empty,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+    impl<T> std::error::Error for SendError<T> {}
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+    impl std::error::Error for RecvError {}
+
+    /// Unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Inner::new(None);
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Bounded MPMC channel (`cap > 0`; rendezvous channels unsupported by
+    /// the shim).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            cap > 0,
+            "crossbeam shim: zero-capacity (rendezvous) channels unsupported"
+        );
+        let inner = Inner::new(Some(cap));
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the queue is at capacity. Errors if all
+        /// receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let inner = &self.inner;
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match inner.capacity {
+                    Some(cap) if q.len() >= cap => {
+                        q = inner.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            inner.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while empty. Errors once empty with all
+        /// senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let inner = &self.inner;
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = inner.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let inner = &self.inner;
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let (guard, res) = inner
+                    .not_empty
+                    .wait_timeout(q, timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+                if res.timed_out() {
+                    return match q.pop_front() {
+                        Some(v) => {
+                            drop(q);
+                            inner.not_full.notify_one();
+                            Ok(v)
+                        }
+                        None if inner.senders.load(Ordering::SeqCst) == 0 => {
+                            Err(RecvTimeoutError::Disconnected)
+                        }
+                        None => Err(RecvTimeoutError::Timeout),
+                    };
+                }
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let inner = &self.inner;
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake all blocked receivers so they observe
+                // the disconnect.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mpmc_drains_everything_once() {
+            let (tx, rx) = bounded::<u32>(4);
+            let total: u32 = std::thread::scope(|s| {
+                for p in 0..3u32 {
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        for i in 0..100 {
+                            tx.send(p * 1000 + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                let consumers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move || {
+                            let mut n = 0u32;
+                            while rx.recv().is_ok() {
+                                n += 1;
+                            }
+                            n
+                        })
+                    })
+                    .collect();
+                drop(rx);
+                consumers.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, 300);
+        }
+
+        #[test]
+        fn recv_errors_after_senders_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_receivers_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline shim for `rand`.
+//!
+//! The workspace's determinism contract (DESIGN.md §7, enforced by
+//! `opml-detlint`) forbids ambient-entropy RNGs — all simulation code uses
+//! `opml_simkernel::rng::Rng`, seeded per entity with SplitMix64. This
+//! placeholder exists only so manifests declaring a `rand` dependency
+//! resolve offline; it deliberately provides **no** `thread_rng()` /
+//! `rng()` entry points (both are detlint rule `DL001` violations).
+//!
+//! A seedable generator is provided for any future test scaffolding that
+//! genuinely needs the `rand` crate name.
+
+/// Minimal explicitly-seeded generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Construct from an explicit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

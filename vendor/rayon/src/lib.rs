@@ -1,0 +1,530 @@
+//! Offline shim for `rayon`.
+//!
+//! Implements the subset of rayon the workspace uses — `into_par_iter` on
+//! ranges, `par_iter` on slices, `par_chunks_mut`, with `map` / `enumerate`
+//! / `collect` / `for_each` — over `std::thread::scope`. Work is split into
+//! contiguous index chunks, one per worker, and results are reassembled
+//! **in index order**, so output is identical at any thread count (the
+//! property `run-experiments verify-determinism` checks end to end).
+//!
+//! Thread count resolution order:
+//! 1. an active [`ThreadPool::install`] override (innermost wins),
+//! 2. the `RAYON_NUM_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide override installed by [`ThreadPool::install`] /
+/// [`ThreadPoolBuilder::build_global`]. Zero means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel operations will use right now.
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring rayon's, so callers can pin a thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for API parity; building the shim pool cannot fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon shim: thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the number of worker threads (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build a pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or(0),
+        })
+    }
+
+    /// Install the thread count process-wide.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        THREAD_OVERRIDE.store(self.num_threads.unwrap_or(0), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A handle carrying a pinned thread count. The shim spawns scoped threads
+/// per operation rather than keeping a pool alive; `install` scopes the
+/// thread-count override for the duration of the closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count active (restored afterwards,
+    /// also on panic).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _restore = Restore(THREAD_OVERRIDE.swap(self.num_threads, Ordering::Relaxed));
+        f()
+    }
+
+    /// The pinned thread count (0 = auto).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// Run `f(i)` for `i in 0..n` across worker threads; results in index order.
+fn run_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let nt = current_num_threads().min(n.max(1));
+    if nt <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(nt);
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(nt);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nt)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Indexed parallel-iterator model
+// ---------------------------------------------------------------------------
+
+/// Internal random-access source: every shim iterator is index-addressable,
+/// which is what makes collection order-stable by construction.
+pub trait IndexedParallelSource: Sync + Sized {
+    /// Element type.
+    type Item: Send;
+    /// Number of elements.
+    fn par_len(&self) -> usize;
+    /// Fetch element `i`. Must be safe to call concurrently.
+    fn par_get(&self, i: usize) -> Self::Item;
+}
+
+/// Consumer-side adapters and terminals, blanket-implemented for every
+/// source. This mirrors rayon's `ParallelIterator`.
+pub trait ParallelIterator: IndexedParallelSource {
+    /// Map each element.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair each element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// No-op splitting hint, for API parity.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Run a side-effecting closure for every element.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_indexed(self.par_len(), |i| f(self.par_get(i)));
+    }
+
+    /// Collect into a container, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(run_indexed(self.par_len(), |i| self.par_get(i)))
+    }
+
+    /// Sum elements. The reduction itself runs in index order, so float
+    /// sums are reproducible at any thread count.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_indexed(self.par_len(), |i| self.par_get(i))
+            .into_iter()
+            .sum()
+    }
+
+    /// Sequential-order fold. **Not** rayon's tree reduction: the shim
+    /// reduces in index order, trading parallel speedup of the reduce step
+    /// for bit-stable results.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run_indexed(self.par_len(), |i| self.par_get(i))
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+impl<T: IndexedParallelSource> ParallelIterator for T {}
+
+/// Containers collectible from an index-ordered element vector.
+pub trait FromParallelIterator<T> {
+    /// Build from elements already in index order.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+impl FromParallelIterator<String> for String {
+    fn from_par_vec(v: Vec<String>) -> Self {
+        v.concat()
+    }
+}
+
+/// `map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+impl<S, R, F> IndexedParallelSource for Map<S, F>
+where
+    S: IndexedParallelSource,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_get(&self, i: usize) -> R {
+        (self.f)(self.base.par_get(i))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<S> {
+    base: S,
+}
+impl<S: IndexedParallelSource> IndexedParallelSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_get(&self, i: usize) -> (usize, S::Item) {
+        (i, self.base.par_get(i))
+    }
+}
+
+// --- sources ---------------------------------------------------------------
+
+/// Parallel integer range.
+pub struct ParRange<T> {
+    start: T,
+    len: usize,
+}
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl IndexedParallelSource for ParRange<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize { self.len }
+            fn par_get(&self, i: usize) -> $t { self.start + i as $t }
+        }
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParRange { start: self.start, len }
+            }
+        }
+    )*};
+}
+impl_par_range!(usize, u64, u32, i64, i32);
+
+/// Parallel shared-slice iterator.
+pub struct ParSlice<'a, T: Sync> {
+    slice: &'a [T],
+}
+impl<'a, T: Sync> IndexedParallelSource for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Owned-`Vec` source (elements cloned into workers; rayon moves them, but
+/// the shim keeps random access, which the workspace's uses never notice).
+pub struct ParVec<T: Clone + Sync> {
+    items: Vec<T>,
+}
+impl<T: Clone + Send + Sync> IndexedParallelSource for ParVec<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn par_get(&self, i: usize) -> T {
+        self.items[i].clone()
+    }
+}
+
+/// Conversion into a parallel iterator (rayon API).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// `par_iter` on slices (rayon's `IntoParallelRefIterator` spelling).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParSlice<'_, T>;
+}
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Disjoint mutable chunks of `chunk_size` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be > 0");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Mutable-chunk iterator. Chunks are disjoint `&mut [T]`, so they can be
+/// dispatched to scoped threads directly; `enumerate` preserves the chunk
+/// index for order-stable writes.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Run `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated mutable-chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let indexed: Vec<(usize, &'a mut [T])> = self.chunks.into_iter().enumerate().collect();
+        let n = indexed.len();
+        let nt = current_num_threads().min(n.max(1));
+        if nt <= 1 || n <= 1 {
+            for pair in indexed {
+                f(pair);
+            }
+            return;
+        }
+        let f = &f;
+        let per = n.div_ceil(nt);
+        let mut groups: Vec<Vec<(usize, &'a mut [T])>> = Vec::with_capacity(nt);
+        let mut rest = indexed;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let tail = rest.split_off(take);
+            groups.push(std::mem::replace(&mut rest, tail));
+        }
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for group in groups {
+                handles.push(s.spawn(move || {
+                    for pair in group {
+                        f(pair);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("rayon shim worker panicked");
+            }
+        });
+    }
+}
+
+/// Rayon-style prelude.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_is_index_ordered() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_enumerate_map() {
+        let items = vec![5u64, 6, 7];
+        let out: Vec<u64> = items
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x + i as u64)
+            .collect();
+        assert_eq!(out, vec![5, 7, 9]);
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_chunk() {
+        let mut data = vec![0u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(idx, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = idx as u32 + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn same_result_at_any_thread_count() {
+        let compute = || -> Vec<f64> {
+            (0..257usize)
+                .into_par_iter()
+                .map(|i| (i as f64).sqrt())
+                .collect()
+        };
+        let one = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(compute);
+        let eight = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(compute);
+        assert_eq!(one, eight);
+    }
+}

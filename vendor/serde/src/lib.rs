@@ -1,0 +1,241 @@
+//! Offline shim for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal serde facade. Instead of real serde's visitor-based data model,
+//! serialization funnels through one JSON-shaped tree, [`Node`]; the derive
+//! macros (see `vendor/serde_derive`) generate `to_node` implementations,
+//! and the vendored `serde_json` renders a `Node` as JSON text.
+//!
+//! Determinism note: map-like containers serialize in **sorted key order**
+//! (`HashMap` keys are sorted before emission), so serialized output never
+//! depends on hash iteration order. This mirrors the workspace-wide
+//! determinism contract that `opml-detlint` enforces statically.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+///
+/// `Map` preserves insertion order (derives emit fields in declaration
+/// order, like real serde_json with `preserve_order`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Node>),
+    /// Object, in emission order.
+    Map(Vec<(String, Node)>),
+}
+
+/// Types that can serialize themselves into the [`Node`] data model.
+pub trait Serialize {
+    /// Convert to the JSON-shaped data model.
+    fn to_node(&self) -> Node;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+///
+/// Nothing in the workspace deserializes, so the shim carries no methods;
+/// the derive exists so `#[derive(Serialize, Deserialize)]` lines compile
+/// unchanged.
+pub trait Deserialize {}
+
+/// Module alias matching real serde's layout (`serde::ser::Serialize`).
+pub mod ser {
+    pub use super::{Node, Serialize};
+}
+
+// --- primitives -----------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node { Node::U64(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node { Node::I64(*self as i64) }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_node(&self) -> Node {
+        Node::F64(f64::from(*self))
+    }
+}
+impl Serialize for f64 {
+    fn to_node(&self) -> Node {
+        Node::F64(*self)
+    }
+}
+impl Serialize for bool {
+    fn to_node(&self) -> Node {
+        Node::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn to_node(&self) -> Node {
+        Node::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_node(&self) -> Node {
+        Node::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_node(&self) -> Node {
+        Node::Str(self.to_string())
+    }
+}
+impl Serialize for () {
+    fn to_node(&self) -> Node {
+        Node::Null
+    }
+}
+
+// --- containers -----------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_node(&self) -> Node {
+        (**self).to_node()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn to_node(&self) -> Node {
+        (**self).to_node()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_node(&self) -> Node {
+        (**self).to_node()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_node(&self) -> Node {
+        match self {
+            Some(v) => v.to_node(),
+            None => Node::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_node(&self) -> Node {
+                Node::Seq(vec![$(self.$n.to_node()),+])
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Types usable as JSON object keys (rendered as strings, like serde_json).
+pub trait MapKey {
+    /// Render the key.
+    fn to_key(&self) -> String;
+}
+macro_rules! impl_mapkey_display {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+        }
+    )*};
+}
+impl_mapkey_display!(String, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, char);
+impl MapKey for str {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+}
+impl<T: MapKey + ?Sized> MapKey for &T {
+    fn to_key(&self) -> String {
+        (**self).to_key()
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_node(&self) -> Node {
+        Node::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_node()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_node(&self) -> Node {
+        // Sort keys so hash iteration order never leaks into output.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Node::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_node()))
+                .collect(),
+        )
+    }
+}
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+impl<T: Serialize + Ord, S> Serialize for HashSet<T, S> {
+    fn to_node(&self) -> Node {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Node::Seq(items.into_iter().map(|v| v.to_node()).collect())
+    }
+}
+
+impl Serialize for Node {
+    fn to_node(&self) -> Node {
+        self.clone()
+    }
+}

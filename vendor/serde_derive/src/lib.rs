@@ -1,0 +1,409 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal serde facade (see `vendor/serde`). This crate provides the
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for that facade
+//! without `syn`/`quote`: the input item is parsed directly from the
+//! `proc_macro` token stream and the impl is emitted as a string.
+//!
+//! Supported shapes — everything the workspace actually derives on:
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple structs (single-field newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde).
+//!
+//! Generic types are intentionally rejected with a compile error: the
+//! workspace has none, and silently mis-handling them would be worse.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (or tuple index) plus whether `#[serde(skip)]` was
+/// present.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("serde_derive: generated code parses"),
+        Err(e) => error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = match &item {
+                Item::NamedStruct(n, _)
+                | Item::TupleStruct(n, _)
+                | Item::UnitStruct(n)
+                | Item::Enum(n, _) => n,
+            };
+            // Nothing in the workspace deserializes; the impl is a marker.
+            format!("impl ::serde::Deserialize for {name} {{}}")
+                .parse()
+                .expect("serde_derive: generated code parses")
+        }
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct(name, parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct(name, count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct(name)),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum(name, parse_variants(g.stream())?))
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+/// Advance past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Does an attribute group (the `[...]` part) spell `serde(skip)` or
+/// `serde(skip, ...)`?
+fn attr_is_serde_skip(group: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream().into_iter().any(|t| match t {
+                TokenTree::Ident(id) => id.to_string() == "skip",
+                _ => false,
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists, tracking `#[serde(skip)]`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Attributes.
+        let mut skip = false;
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                        if attr_is_serde_skip(&g.stream()) {
+                            skip = true;
+                        }
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Count fields of a tuple struct / tuple variant: commas at depth 0, plus
+/// one (ignoring a trailing comma).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Attributes on the variant.
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional explicit discriminant: `= <expr>` until comma at depth 0.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                let mut angle = 0i32;
+                while i < toks.len() {
+                    match &toks[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+        }
+        // The comma between variants.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "m.push(({:?}.to_string(), ::serde::Serialize::to_node(&self.{})));",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_node(&self) -> ::serde::Node {{\n\
+                 let mut m: Vec<(String, ::serde::Node)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Node::Map(m)\n}}\n}}"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_node(&self) -> ::serde::Node {{ ::serde::Serialize::to_node(&self.0) }}\n}}"
+        ),
+        Item::TupleStruct(name, n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_node(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_node(&self) -> ::serde::Node {{ ::serde::Node::Seq(vec![{}]) }}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_node(&self) -> ::serde::Node {{ ::serde::Node::Null }}\n}}"
+        ),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Node::Str({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Node::Map(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_node(x0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let nodes: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_node({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Node::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Node::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            nodes.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let all_binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<String> = live
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_node({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Node::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Node::Map(vec![{}]))]),\n",
+                            all_binds.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_node(&self) -> ::serde::Node {{\n\
+                 #[allow(unused_variables)]\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
