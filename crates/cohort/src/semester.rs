@@ -11,6 +11,7 @@ use crate::labspec::lab_specs;
 use crate::project::{plan_projects, ProjectPlan};
 use opml_metering::attribution::student_name;
 use opml_simkernel::{split_seed, EventQueue, Rng, SimDuration, SimTime};
+use opml_telemetry::Telemetry;
 use opml_testbed::error::CloudError;
 use opml_testbed::flavor::FlavorId;
 use opml_testbed::instance::InstanceId;
@@ -139,11 +140,46 @@ enum Ev {
     },
 }
 
+impl Ev {
+    /// Stable variant tag for the `queue.pop` telemetry event.
+    fn kind(&self) -> &'static str {
+        match self {
+            Ev::VmUp(_) => "vm_up",
+            Ev::VmDown { .. } => "vm_down",
+            Ev::LeaseUp { .. } => "lease_up",
+            Ev::FipDown(_) => "fip_down",
+            Ev::VolUp(_) => "vol_up",
+            Ev::VolDown(_) => "vol_down",
+            Ev::BucketPut { .. } => "bucket_put",
+        }
+    }
+}
+
 /// Simulate a full semester; returns the closed ledger and counters.
 pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome {
-    let mut cloud = Cloud::paper_course();
+    simulate_semester_with(config, seed, &Telemetry::disabled())
+}
+
+/// Simulate a full semester like [`simulate_semester`], emitting the
+/// semester trace through `telemetry`: `semester.plan`/`semester.exec`
+/// spans, per-pop `queue.pop` instants, `slot.pushback`/`vm.retry`
+/// events, weekly `semester.week_start` transitions, and the cloud's own
+/// instance/lease/quota events.
+pub fn simulate_semester_with(
+    config: &SemesterConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> SemesterOutcome {
+    let mut cloud = Cloud::paper_course().with_telemetry(telemetry.clone());
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut slot_pushbacks = 0u64;
+    let plan_span = telemetry.span(SimTime::ZERO, "semester.plan", || {
+        vec![
+            ("enrollment", config.enrollment.into()),
+            ("weeks", config.weeks.into()),
+            ("projects", config.run_projects.into()),
+        ]
+    });
 
     // ------------------------------------------------ plan student labs
     let specs = lab_specs();
@@ -165,6 +201,15 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
                     };
                     if start > earliest {
                         slot_pushbacks += 1;
+                        telemetry.instant(SimTime::ZERO, "slot.pushback", || {
+                            vec![
+                                ("name", student_name(spec.tag, sid).into()),
+                                ("flavor", flavor.name().into()),
+                                ("wanted_min", earliest.0.into()),
+                                ("got_min", start.0.into()),
+                            ]
+                        });
+                        telemetry.counter_add("semester.slot_pushbacks", 1);
                     }
                     let name = student_name(spec.tag, sid);
                     let lease = cloud
@@ -225,6 +270,9 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
     if config.run_projects {
         let window_start = SimTime::at(8, 3, 12, 0);
         let window_end = SimTime::at(config.weeks + 1, 0, 0, 0);
+        telemetry.instant(window_start, "project.window_open", || {
+            vec![("until_min", window_end.0.into())]
+        });
         let plan: ProjectPlan =
             plan_projects(&mut cloud, window_start, window_end, seed ^ 0x1234_5678);
         for vm in plan.vms {
@@ -249,9 +297,24 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
     }
 
     // -------------------------------------------------------- execution
+    plan_span.end(SimTime::ZERO);
+    let exec_span = telemetry.span(SimTime::ZERO, "semester.exec", Vec::new);
     let semester_end = SimTime::at(config.weeks + 1, 0, 0, 0);
     let mut quota_denials = 0u64;
+    let mut last_week: Option<u64> = None;
     while let Some((t, ev)) = queue.pop() {
+        if telemetry.is_enabled() {
+            let week = t.week();
+            if last_week != Some(week) {
+                last_week = Some(week);
+                telemetry.instant(t, "semester.week_start", || vec![("week", week.into())]);
+            }
+            let kind = ev.kind();
+            let depth = queue.len();
+            telemetry.instant(t, "queue.pop", || {
+                vec![("kind", kind.into()), ("depth", depth.into())]
+            });
+        }
         cloud.advance_to(t);
         match ev {
             Ev::VmUp(mut vm) => {
@@ -263,6 +326,12 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
                         quota_denials += 1;
                         vm.attempts += 1;
                         if vm.attempts < 100 {
+                            telemetry.instant(t, "vm.retry", || {
+                                vec![
+                                    ("name", vm.name.as_str().into()),
+                                    ("attempt", vm.attempts.into()),
+                                ]
+                            });
                             // Student tries again later in the day.
                             queue.push(t + SimDuration::hours(4), Ev::VmUp(vm));
                         }
@@ -323,6 +392,15 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
         }
     }
     cloud.finalize(semester_end);
+    exec_span.end(semester_end);
+    telemetry.instant(semester_end, "semester.finalize", || {
+        vec![("quota_denials", quota_denials.into())]
+    });
+    let stats = queue.stats();
+    telemetry.counter_add("semester.queue_pushes", stats.pushes);
+    telemetry.counter_add("semester.queue_pops", stats.pops);
+    telemetry.gauge_set("semester.queue_high_water", stats.high_water as f64);
+    telemetry.counter_add("semester.quota_denials", quota_denials);
     SemesterOutcome {
         ledger: cloud.into_ledger(),
         quota_denials,
@@ -491,6 +569,42 @@ mod tests {
         assert_eq!(a.ledger.instance_hours(None), b.ledger.instance_hours(None));
         let c = simulate_semester(&config, 12);
         assert_ne!(a.ledger.instance_hours(None), c.ledger.instance_hours(None));
+    }
+
+    #[test]
+    fn telemetry_trace_is_byte_identical_across_runs() {
+        use opml_telemetry::{export_jsonl, MemorySink, Telemetry};
+        let config = SemesterConfig {
+            enrollment: 3,
+            weeks: 14,
+            run_projects: false,
+            vm_auto_terminate_after: None,
+        };
+        let trace = |seed: u64| {
+            let sink = MemorySink::new();
+            let telemetry = Telemetry::with_sink(sink.clone());
+            let outcome = simulate_semester_with(&config, seed, &telemetry);
+            (export_jsonl(&sink.events()), outcome, telemetry)
+        };
+        let (a, outcome, telemetry) = trace(7);
+        let (b, _, _) = trace(7);
+        assert_eq!(a, b, "same seed must produce identical trace bytes");
+        assert!(!a.is_empty());
+        let (c, _, _) = trace(8);
+        assert_ne!(a, c, "different seed must change the trace");
+
+        // The spans balance and the metrics agree with the outcome.
+        assert!(a.contains("\"name\":\"semester.plan\""));
+        assert!(a.contains("\"name\":\"semester.finalize\""));
+        let metrics = telemetry.metrics_snapshot();
+        assert_eq!(
+            metrics.counters["semester.queue_pushes"], metrics.counters["semester.queue_pops"],
+            "every scheduled event must execute"
+        );
+        assert_eq!(
+            metrics.counters.get("semester.quota_denials").copied(),
+            Some(outcome.quota_denials)
+        );
     }
 
     #[test]

@@ -1,57 +1,161 @@
 //! Regenerate every table and figure in the paper's evaluation and print
 //! paper-vs-measured comparisons. With `--write-md <path>` the comparison
 //! sections are also written as Markdown (used to refresh
-//! EXPERIMENTS.md); with `--seed <n>` the semester seed changes.
+//! EXPERIMENTS.md); with `--seed <n>` the semester seed changes; with
+//! `--metrics` the telemetry metrics summary is appended; `--quiet`
+//! silences all stderr narration.
 //!
 //! The `verify-determinism` subcommand runs the replay-equivalence
 //! verifier instead: `table1` and `fig2` twice per rayon thread count
 //! (1 and the machine's parallelism, or `--threads a,b,…`), asserting
 //! byte-identical serialized results across all runs.
+//!
+//! The `trace` subcommand captures a full telemetry trace of one
+//! semester and writes `trace.jsonl` (one event per line, sequence
+//! order) and `trace_chrome.json` (Chrome trace-event format, loadable
+//! in Perfetto / `chrome://tracing`) to `--out <dir>`.
 
 use opml_experiments::{
     ablation, capacity, fig1, fig2, fig3, headline, project_cost, seeds, spot_ablation, table1,
-    verify,
+    trace, verify,
 };
 use opml_report::compare::ComparisonSet;
+use opml_simkernel::SimTime;
+use opml_telemetry::{narrate, StderrNarrationSink, Telemetry};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed = arg_value(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let want_metrics = args.iter().any(|a| a == "--metrics");
+    let seed = parse_seed(&args);
     let write_md = arg_value(&args, "--write-md");
 
-    if args.get(1).map(String::as_str) == Some("verify-determinism") {
-        let threads: Vec<usize> = arg_value(&args, "--threads")
-            .map(|list| {
-                list.split(',')
-                    .map(|t| match t.trim().parse() {
-                        Ok(n) if n > 0 => n,
-                        _ => {
-                            eprintln!(
-                                "run-experiments: --threads takes a comma-separated list of \
-                                 positive integers, got `{t}`"
-                            );
-                            std::process::exit(2);
-                        }
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        eprintln!("verifying replay equivalence (seed {seed})…");
-        let outcome = verify::verify_determinism(seed, &threads);
-        println!("{}", outcome.to_table());
-        if !outcome.is_equivalent() {
-            eprintln!("verify-determinism: FAILED — results differ across runs/thread counts");
-            std::process::exit(1);
-        }
-        eprintln!("verify-determinism: all runs byte-identical");
-        return;
-    }
+    // Harness narration goes through telemetry too, so `--quiet`
+    // silences the runner and the simulator uniformly.
+    let narrator = if quiet {
+        Telemetry::disabled()
+    } else {
+        Telemetry::with_sink(StderrNarrationSink)
+    };
 
-    eprintln!("simulating the 191-student semester (seed {seed})…");
-    let ctx = opml_experiments::run_paper_course(seed);
-    eprintln!(
+    match args.get(1).map(String::as_str) {
+        Some("verify-determinism") => run_verify(&args, seed, &narrator),
+        Some("trace") => run_trace(&args, seed, want_metrics, &narrator),
+        _ => run_full(seed, want_metrics, write_md, &narrator),
+    }
+}
+
+/// Parse `--seed`, exiting with a diagnostic on malformed input instead
+/// of silently falling back to the default.
+fn parse_seed(args: &[String]) -> u64 {
+    match arg_value(args, "--seed") {
+        None => 42,
+        Some(raw) => match raw.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("run-experiments: --seed takes a non-negative integer, got `{raw}`");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn run_verify(args: &[String], seed: u64, narrator: &Telemetry) {
+    let threads: Vec<usize> = arg_value(args, "--threads")
+        .map(|list| {
+            list.split(',')
+                .map(|t| match t.trim().parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!(
+                            "run-experiments: --threads takes a comma-separated list of \
+                             positive integers, got `{t}`"
+                        );
+                        std::process::exit(2);
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "verifying replay equivalence (seed {seed})…"
+    );
+    let outcome = verify::verify_determinism(seed, &threads);
+    println!("{}", outcome.to_table());
+    if !outcome.is_equivalent() {
+        eprintln!("verify-determinism: FAILED — results differ across runs/thread counts");
+        std::process::exit(1);
+    }
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "verify-determinism: all runs byte-identical"
+    );
+}
+
+fn run_trace(args: &[String], seed: u64, want_metrics: bool, narrator: &Telemetry) {
+    let out_dir = arg_value(args, "--out").unwrap_or_else(|| String::from("trace_out"));
+    let enrollment: u32 = match arg_value(args, "--enrollment") {
+        None => 191,
+        Some(raw) => match raw.trim().parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("run-experiments: --enrollment takes a positive integer, got `{raw}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let labs_only = args.iter().any(|a| a == "--labs-only");
+    let config = trace::TraceConfig {
+        seed,
+        enrollment,
+        labs_only,
+    };
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "tracing a {enrollment}-student semester (seed {seed}, projects {})…",
+        if labs_only { "off" } else { "on" }
+    );
+    let artifacts = trace::capture_trace(&config);
+    std::fs::create_dir_all(&out_dir).expect("create trace output directory");
+    let jsonl_path = format!("{out_dir}/trace.jsonl");
+    let chrome_path = format!("{out_dir}/trace_chrome.json");
+    std::fs::write(&jsonl_path, &artifacts.jsonl).expect("write trace.jsonl");
+    std::fs::write(&chrome_path, &artifacts.chrome).expect("write trace_chrome.json");
+    println!(
+        "captured {} events ({} ledger records, {} quota denials)",
+        artifacts.events,
+        artifacts.outcome.ledger.records().len(),
+        artifacts.outcome.quota_denials
+    );
+    println!("wrote {jsonl_path}");
+    println!("wrote {chrome_path}");
+    if want_metrics {
+        println!("\n== Telemetry metrics ==\n");
+        println!("{}", opml_report::metrics_summary(&artifacts.metrics));
+    }
+}
+
+fn run_full(seed: u64, want_metrics: bool, write_md: Option<String>, narrator: &Telemetry) {
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "simulating the 191-student semester (seed {seed})…"
+    );
+    let sim_telemetry = if want_metrics {
+        // Metrics live in the registry; no event sink is needed, so the
+        // per-event cost stays near zero.
+        Telemetry::with_sink(opml_telemetry::NullSink)
+    } else {
+        Telemetry::disabled()
+    };
+    let ctx = opml_experiments::run_paper_course_with(seed, &sim_telemetry);
+    narrate!(
+        narrator,
+        SimTime::ZERO,
         "done: {} ledger records, {} quota denials, {} slot pushbacks\n",
         ctx.outcome.ledger.records().len(),
         ctx.outcome.quota_denials,
@@ -88,7 +192,11 @@ fn main() {
     println!("== Capacity: quota validation ==\n{text}");
     sections.push((text, cmp));
 
-    eprintln!("running seed-robustness sweep (5 seeds, labs only)…");
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "running seed-robustness sweep (5 seeds, labs only)…"
+    );
     let (text, cmp, _) = seeds::run(seed, 5);
     println!("== Seed robustness ==\n{text}");
     sections.push((text, cmp));
@@ -97,7 +205,11 @@ fn main() {
     println!("== Ablation: spot/preemptible GPU pricing ==\n{text}");
     sections.push((text, cmp));
 
-    eprintln!("running VM auto-termination ablation (reduced cohort)…");
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "running VM auto-termination ablation (reduced cohort)…"
+    );
     let (text, cmp, _) = ablation::run(seed, 64);
     println!("== Ablation: VM advance reservations ==\n{text}");
     sections.push((text, cmp));
@@ -116,6 +228,15 @@ fn main() {
         all_pass as f64 / all_rows.max(1) as f64 * 100.0
     );
 
+    let metrics_md = if want_metrics {
+        let summary = opml_report::metrics_summary(&sim_telemetry.metrics_snapshot());
+        println!("== Telemetry metrics ==\n");
+        println!("{summary}");
+        Some(summary)
+    } else {
+        None
+    };
+
     if let Some(path) = write_md {
         let mut md = String::from(
             "<!-- generated by `cargo run -p opml-experiments --bin run-experiments -- --write-md` -->\n\n",
@@ -123,8 +244,16 @@ fn main() {
         for (_, cmp) in &sections {
             md.push_str(&cmp.to_markdown());
         }
+        if let Some(summary) = &metrics_md {
+            md.push_str("## Telemetry metrics\n\n");
+            md.push_str(summary);
+        }
         std::fs::write(&path, md).expect("write markdown");
-        eprintln!("comparison sections written to {path}");
+        narrate!(
+            narrator,
+            SimTime::ZERO,
+            "comparison sections written to {path}"
+        );
     }
 
     let json = serde_json::json!({
@@ -139,7 +268,11 @@ fn main() {
         serde_json::to_string_pretty(&json).expect("serialize"),
     )
     .expect("write results json");
-    eprintln!("structured results written to experiments_results.json");
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "structured results written to experiments_results.json"
+    );
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {

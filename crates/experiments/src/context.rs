@@ -1,8 +1,9 @@
 //! Shared experiment context: one simulated semester plus its rollups.
 
-use opml_cohort::semester::{simulate_semester, SemesterConfig, SemesterOutcome};
+use opml_cohort::semester::{simulate_semester_with, SemesterConfig, SemesterOutcome};
 use opml_metering::rollup::{AssignmentRollup, PerStudentUsage};
 use opml_pricing::estimate::{price_lab_assignments, ProjectUsageSummary, Table1};
+use opml_telemetry::Telemetry;
 
 /// Everything the figure/table reproductions consume.
 #[derive(Debug)]
@@ -24,8 +25,14 @@ pub struct ExperimentContext {
 /// Simulate the paper's course (191 students, projects on) and derive
 /// every rollup the experiments need.
 pub fn run_paper_course(seed: u64) -> ExperimentContext {
+    run_paper_course_with(seed, &Telemetry::disabled())
+}
+
+/// Like [`run_paper_course`], with the semester simulation emitting its
+/// trace and metrics through `telemetry`.
+pub fn run_paper_course_with(seed: u64, telemetry: &Telemetry) -> ExperimentContext {
     let config = SemesterConfig::paper_course();
-    let outcome = simulate_semester(&config, seed);
+    let outcome = simulate_semester_with(&config, seed, telemetry);
     let rollup = AssignmentRollup::from_ledger(&outcome.ledger, config.enrollment as usize);
     let per_student = PerStudentUsage::from_ledger(&outcome.ledger);
     let table = price_lab_assignments(&rollup);

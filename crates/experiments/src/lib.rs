@@ -18,6 +18,7 @@
 //! | [`capacity`] | §4 quota validation via peak concurrency |
 //! | [`spot_ablation`] | extension — spot pricing with the interruption tax |
 //! | [`verify`] | replay-equivalence verifier (`verify-determinism`) |
+//! | [`trace`] | telemetry trace capture (`run-experiments trace`) |
 
 pub mod ablation;
 pub mod capacity;
@@ -31,6 +32,7 @@ pub mod project_cost;
 pub mod seeds;
 pub mod spot_ablation;
 pub mod table1;
+pub mod trace;
 pub mod verify;
 
-pub use context::{run_paper_course, ExperimentContext};
+pub use context::{run_paper_course, run_paper_course_with, ExperimentContext};

@@ -10,6 +10,8 @@
 //! Tasks communicate through a shared key-value context (`Arc<RwLock<…>>`),
 //! the way Argo tasks pass parameters/artifacts.
 
+use opml_simkernel::SimTime;
+use opml_telemetry::Telemetry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -200,6 +202,18 @@ impl Workflow {
     /// tasks, the graph is acyclic by construction; waves are computed by
     /// repeated readiness sweeps.
     pub fn run(&self, ctx: &Context) -> WorkflowResult {
+        self.run_traced(ctx, SimTime::ZERO, &Telemetry::disabled())
+    }
+
+    /// Execute the DAG like [`Workflow::run`], emitting one
+    /// `workflow.wave` span per parallel wave and one `workflow.task`
+    /// instant per executed task.
+    ///
+    /// The engine has no clock of its own, so every event is stamped with
+    /// the caller's simulated time `at`. Task events are emitted *after*
+    /// the wave's threads have joined, in ready-index (definition) order —
+    /// thread completion order never leaks into the trace.
+    pub fn run_traced(&self, ctx: &Context, at: SimTime, telemetry: &Telemetry) -> WorkflowResult {
         let n = self.tasks.len();
         let mut status: Vec<Option<TaskStatus>> = vec![None; n];
         let mut attempts = vec![0u32; n];
@@ -265,11 +279,42 @@ impl Workflow {
                     .map(|h| h.join().expect("task panicked"))
                     .collect()
             });
+            let ready_count = ready.len();
+            let span = telemetry.span(at, "workflow.wave", || {
+                vec![("wave", wave.into()), ("tasks", ready_count.into())]
+            });
             for (&i, (st, att)) in ready.iter().zip(results) {
+                telemetry.instant(at, "workflow.task", || {
+                    vec![
+                        ("name", self.tasks[i].name.as_str().into()),
+                        ("wave", wave.into()),
+                        ("attempts", att.into()),
+                        (
+                            "status",
+                            match &st {
+                                TaskStatus::Succeeded => "succeeded".into(),
+                                TaskStatus::Failed(_) => "failed".into(),
+                                TaskStatus::Skipped => "skipped".into(),
+                            },
+                        ),
+                    ]
+                });
+                telemetry.counter_add(
+                    match &st {
+                        TaskStatus::Succeeded => "workflow.tasks_succeeded",
+                        TaskStatus::Failed(_) => "workflow.tasks_failed",
+                        TaskStatus::Skipped => "workflow.tasks_skipped",
+                    },
+                    1,
+                );
+                if att > 1 {
+                    telemetry.counter_add("workflow.task_retries", u64::from(att) - 1);
+                }
                 status[i] = Some(st);
                 attempts[i] = att;
                 wave_of[i] = Some(wave);
             }
+            span.end(at);
             wave += 1;
         }
 
@@ -436,6 +481,45 @@ mod tests {
         let ctx = Context::new();
         assert!(wf.run(&ctx).succeeded());
         assert_eq!(ctx.get("total").unwrap(), "4");
+    }
+
+    #[test]
+    fn traced_run_emits_waves_and_tasks_in_definition_order() {
+        use opml_telemetry::MemorySink;
+        let mut wf = Workflow::new();
+        for name in ["a", "b", "c"] {
+            wf.add_task(name, &[], 0, |_| Ok(())).unwrap();
+        }
+        wf.add_task("join", &["a", "b", "c"], 0, |_| Ok(()))
+            .unwrap();
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let result = wf.run_traced(&Context::new(), SimTime(300), &telemetry);
+        assert!(result.succeeded());
+        // Task events come out in definition order within each wave, never
+        // in thread completion order.
+        let task_names: Vec<String> = sink
+            .events()
+            .iter()
+            .filter(|e| e.name == "workflow.task")
+            .map(|e| {
+                e.attr("name")
+                    .and_then(opml_telemetry::AttrValue::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(task_names, vec!["a", "b", "c", "join"]);
+        let waves = sink
+            .events()
+            .iter()
+            .filter(|e| e.name == "workflow.wave" && e.phase == opml_telemetry::EventPhase::Begin)
+            .count();
+        assert_eq!(waves, 2);
+        assert_eq!(
+            telemetry.metrics_snapshot().counters["workflow.tasks_succeeded"],
+            4
+        );
     }
 
     #[test]

@@ -7,8 +7,10 @@
 
 pub mod chart;
 pub mod compare;
+pub mod metrics;
 pub mod table;
 
 pub use chart::{bar_chart, histogram_chart};
 pub use compare::{Comparison, ComparisonSet};
+pub use metrics::metrics_summary;
 pub use table::Table;

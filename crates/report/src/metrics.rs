@@ -1,0 +1,77 @@
+//! Rendering of telemetry metrics snapshots as summary tables
+//! (the `--metrics` flag of `run-experiments`).
+
+use crate::table::Table;
+use opml_telemetry::MetricsSnapshot;
+
+/// Render a metrics snapshot as ASCII tables: counters, gauges, and one
+/// row per histogram (count/mean/max). Sections with no entries are
+/// omitted; an entirely empty snapshot renders a placeholder line.
+pub fn metrics_summary(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.is_empty() {
+        return "(no metrics recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let mut t = Table::new(&["counter", "value"]);
+        for (name, value) in &snapshot.counters {
+            t.row(&[name.clone(), value.to_string()]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    if !snapshot.gauges.is_empty() {
+        let mut t = Table::new(&["gauge", "value"]);
+        for (name, value) in &snapshot.gauges {
+            t.row(&[name.clone(), format!("{value:.1}")]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    if !snapshot.histograms.is_empty() {
+        let mut t = Table::new(&["histogram (sim time)", "count", "mean h", "max h"]);
+        for (name, h) in &snapshot.histograms {
+            t.row(&[
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.2}", h.mean_hours()),
+                format!("{:.2}", h.max_minutes as f64 / 60.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opml_simkernel::SimDuration;
+    use opml_telemetry::{NullSink, Telemetry};
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert_eq!(
+            metrics_summary(&MetricsSnapshot::default()),
+            "(no metrics recorded)\n"
+        );
+    }
+
+    #[test]
+    fn sections_render_sorted_and_stable() {
+        let t = Telemetry::with_sink(NullSink);
+        t.counter_add("z.count", 2);
+        t.counter_add("a.count", 40);
+        t.gauge_set("depth", 3.0);
+        t.observe("wait", SimDuration::hours(2));
+        t.observe("wait", SimDuration::hours(4));
+        let out = metrics_summary(&t.metrics_snapshot());
+        let a = out.find("a.count").expect("a.count rendered");
+        let z = out.find("z.count").expect("z.count rendered");
+        assert!(a < z, "counters must render name-sorted");
+        assert!(out.contains("depth"));
+        assert!(out.contains("3.00"), "mean of 2h and 4h is 3.00: {out}");
+        assert_eq!(out, metrics_summary(&t.metrics_snapshot()));
+    }
+}

@@ -5,6 +5,7 @@ use crate::job::{Job, JobOutcome};
 use crate::metrics::ScheduleMetrics;
 use crate::policy::Policy;
 use opml_simkernel::{EventQueue, SimTime};
+use opml_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// The result of running a trace through a policy.
@@ -37,6 +38,7 @@ pub struct SchedSim {
     cluster: Cluster,
     policy: Policy,
     placement: Placement,
+    telemetry: Telemetry,
 }
 
 /// A job running on the cluster (for shadow-time computation).
@@ -53,7 +55,16 @@ impl SchedSim {
             cluster,
             policy,
             placement,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle (builder style). The simulator emits
+    /// `job.start`/`job.complete` events, a `sched.wait` histogram, and a
+    /// `sched.queue_depth.max` gauge through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Run the trace to completion and return the schedule.
@@ -91,13 +102,23 @@ impl SchedSim {
                 (Some(a), Some(c)) => a.min(c),
             };
             // Free completed jobs first so arrivals at `now` can use them.
-            for (_, idx) in completions.pop_due(now) {
+            for (end, idx) in completions.pop_due(now) {
                 self.cluster.release(&outcomes[idx].allocation);
                 running.retain(|r| r.outcome_idx != idx);
+                let o = &outcomes[idx];
+                self.telemetry.instant(end, "job.complete", || {
+                    vec![
+                        ("id", o.job.id.0.into()),
+                        ("user", o.job.user.into()),
+                        ("gpus", o.job.gpus.into()),
+                    ]
+                });
             }
             while arrivals.peek().is_some_and(|j| j.submit <= now) {
                 queue.push(arrivals.next().expect("peeked"));
             }
+            self.telemetry
+                .gauge_max("sched.queue_depth.max", queue.len() as f64);
             self.try_start(
                 now,
                 &mut queue,
@@ -149,6 +170,17 @@ impl SchedSim {
         self.cluster.allocate(&alloc);
         let end = now + job.duration;
         *usage.entry(job.user).or_insert(0.0) += job.gpus as f64 * job.duration.as_hours_f64();
+        let wait = now.since(job.submit);
+        self.telemetry.instant(now, "job.start", || {
+            vec![
+                ("id", job.id.0.into()),
+                ("user", job.user.into()),
+                ("gpus", job.gpus.into()),
+                ("wait_min", wait.0.into()),
+            ]
+        });
+        self.telemetry.observe("sched.wait", wait);
+        self.telemetry.counter_add("sched.jobs_started", 1);
         let idx = outcomes.len();
         running.push(Running {
             end,
@@ -410,6 +442,27 @@ mod tests {
             .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_balances_starts_and_completions() {
+        use opml_telemetry::MemorySink;
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, 0, 2, 2, i)).collect();
+        let s = SchedSim::new(Cluster::homogeneous(1, 4), Policy::Fcfs, Placement::Packed)
+            .with_telemetry(telemetry.clone())
+            .run(&jobs);
+        assert_eq!(s.outcomes().len(), 10);
+        let events = sink.events();
+        let starts = events.iter().filter(|e| e.name == "job.start").count();
+        let completes = events.iter().filter(|e| e.name == "job.complete").count();
+        assert_eq!(starts, 10);
+        assert_eq!(completes, 10);
+        let metrics = telemetry.metrics_snapshot();
+        assert_eq!(metrics.counters["sched.jobs_started"], 10);
+        assert_eq!(metrics.histograms["sched.wait"].count, 10);
+        assert!(metrics.gauges["sched.queue_depth.max"] >= 1.0);
     }
 
     #[test]

@@ -52,6 +52,22 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    pops: u64,
+    high_water: usize,
+}
+
+/// Lifetime statistics of an [`EventQueue`], for the telemetry layer.
+/// The kernel deliberately has no telemetry dependency (telemetry
+/// depends on the kernel for `SimTime`); callers read these counters
+/// into their metrics registry instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Total events ever scheduled.
+    pub pushes: u64,
+    /// Total events ever dequeued.
+    pub pops: u64,
+    /// Largest number of simultaneously pending events.
+    pub high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -66,6 +82,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            pops: 0,
+            high_water: 0,
         }
     }
 
@@ -74,11 +92,25 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        let popped = self.heap.pop().map(|e| (e.time, e.payload));
+        if popped.is_some() {
+            self.pops += 1;
+        }
+        popped
+    }
+
+    /// Lifetime push/pop/high-water statistics.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushes: self.next_seq,
+            pops: self.pops,
+            high_water: self.high_water,
+        }
     }
 
     /// The timestamp of the earliest event, if any.
@@ -190,6 +222,26 @@ mod tests {
         assert_eq!(c.now(), SimTime(120));
         c.advance_to(SimTime(240));
         assert_eq!(c.now(), SimTime(240));
+    }
+
+    #[test]
+    fn stats_track_pushes_pops_high_water() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        q.push(SimTime(1), 'a');
+        q.push(SimTime(2), 'b');
+        q.push(SimTime(3), 'c');
+        let _ = q.pop();
+        q.push(SimTime(4), 'd');
+        let stats = q.stats();
+        assert_eq!(stats.pushes, 4);
+        assert_eq!(stats.pops, 1);
+        assert_eq!(stats.high_water, 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.stats().pops, 4);
+        // Popping empty does not count.
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().pops, 4);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, ProcessClock};
+pub use event::{EventQueue, ProcessClock, QueueStats};
 pub use rng::{split_seed, Rng};
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,305 @@
+//! `opml-telemetry` — deterministic sim-time tracing and metrics for the
+//! semester simulator.
+//!
+//! # Determinism contract
+//!
+//! Every event is stamped with the **simulated** clock ([`SimTime`]) and
+//! a stable per-handle sequence number; nothing in this crate reads wall
+//! clock or ambient entropy, so a trace of a deterministic simulation is
+//! byte-identical across runs and rayon thread counts. The rules:
+//!
+//! 1. **Sim-time only.** Timestamps come from the caller's simulation
+//!    clock. Harness-level stages that have no simulated time use
+//!    synthetic monotone stamps on a separate track (see
+//!    [`event::HARNESS_TRACK`]).
+//! 2. **One handle per run.** A [`Telemetry`] handle is owned by one
+//!    simulation run. Parallel sweeps (rayon) give each run its own
+//!    handle (usually [`Telemetry::disabled`]) so sequence numbers never
+//!    interleave across threads.
+//! 3. **Stable iteration.** The metrics registry is `BTreeMap`-backed;
+//!    snapshots render identically regardless of registration order.
+//!
+//! # Cost when disabled
+//!
+//! [`Telemetry::disabled`] is a `None` — emission is a branch on an
+//! `Option`, and attribute vectors are built behind a closure that never
+//! runs. `crates/bench/benches/bench_telemetry.rs` gates the disabled
+//! path at <5% overhead against uninstrumented code.
+//!
+//! ```
+//! use opml_telemetry::{Telemetry, sink::MemorySink};
+//! use opml_simkernel::{SimTime, SimDuration};
+//!
+//! let sink = MemorySink::new();
+//! let t = Telemetry::with_sink(sink.clone());
+//! t.instant(SimTime(90), "instance.launch", || vec![("flavor", "g1.xlarge".into())]);
+//! t.counter_add("cloud.instances_launched", 1);
+//! t.observe("instance.lifetime", SimDuration::hours(3));
+//! assert_eq!(sink.events().len(), 1);
+//! assert_eq!(t.metrics_snapshot().counters["cloud.instances_launched"], 1);
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use event::{Attr, AttrValue, EventPhase, TelemetryEvent, HARNESS_TRACK, NARRATE, TRACK_ATTR};
+pub use export::{export_chrome_trace, export_jsonl};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, SimTimeHistogram};
+pub use sink::{FanoutSink, MemorySink, NullSink, StderrNarrationSink, TelemetrySink};
+pub use span::SpanGuard;
+
+use opml_simkernel::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    sink: Box<dyn TelemetrySink>,
+    /// Next sequence number. Relaxed is sufficient: a handle belongs to
+    /// one simulation run, which emits from a single thread; the atomic
+    /// only exists so `Telemetry` stays `Sync` for storage in shared
+    /// structs.
+    seq: AtomicU64,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+/// Handle to the telemetry pipeline. Cheap to clone (an `Option<Arc>`);
+/// a disabled handle is a `None` and every operation on it is a single
+/// branch.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Telemetry({})",
+            if self.inner.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        )
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle: events are never constructed, metrics never
+    /// recorded. This is the default everywhere instrumentation is
+    /// threaded through.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle sending events to `sink`.
+    pub fn with_sink(sink: impl TelemetrySink + 'static) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(sink),
+                seq: AtomicU64::new(0),
+                metrics: Mutex::new(MetricsRegistry::new()),
+            })),
+        }
+    }
+
+    /// Whether events will actually be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event. `attrs` is a closure so that argument
+    /// construction is skipped entirely on the disabled path; the
+    /// enabled path is outlined (`#[cold]`) so a disabled emit inlines
+    /// to a single test-and-skip at the call site.
+    #[inline]
+    pub fn emit<F>(&self, time: SimTime, phase: EventPhase, name: &str, attrs: F)
+    where
+        F: FnOnce() -> Vec<Attr>,
+    {
+        if let Some(inner) = &self.inner {
+            emit_enabled(inner, time, phase, name, attrs);
+        }
+    }
+
+    /// Emit a point event (`"i"`).
+    #[inline]
+    pub fn instant<F>(&self, time: SimTime, name: &str, attrs: F)
+    where
+        F: FnOnce() -> Vec<Attr>,
+    {
+        self.emit(time, EventPhase::Instant, name, attrs);
+    }
+
+    /// Open a span at `time`; close it with [`SpanGuard::end`].
+    pub fn span<F>(&self, time: SimTime, name: &'static str, attrs: F) -> SpanGuard
+    where
+        F: FnOnce() -> Vec<Attr>,
+    {
+        self.emit(time, EventPhase::Begin, name, attrs);
+        SpanGuard::new(self.clone(), name)
+    }
+
+    /// Emit a narration event (progress line). Routed to stderr by
+    /// [`StderrNarrationSink`]; dropped by every other sink unless it
+    /// chooses to record it.
+    pub fn narrate(&self, time: SimTime, message: impl Into<String>) {
+        if self.is_enabled() {
+            let msg = message.into();
+            self.instant(time, NARRATE, move || vec![("message", msg.into())]);
+        }
+    }
+
+    /// Add `delta` to a counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().counter_add(name, delta);
+        }
+    }
+
+    /// Set a gauge (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().gauge_set(name, value);
+        }
+    }
+
+    /// Raise a gauge high-water mark.
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().gauge_max(name, value);
+        }
+    }
+
+    /// Record a sim-duration histogram sample.
+    pub fn observe(&self, name: &str, d: SimDuration) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().observe(name, d);
+        }
+    }
+
+    /// Snapshot of the metrics registry (empty for a disabled handle).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.metrics.lock().snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+}
+
+/// The recording half of [`Telemetry::emit`], kept out of line so the
+/// disabled fast path stays a bare branch (verified by
+/// `bench_telemetry`'s overhead gate).
+#[cold]
+#[inline(never)]
+fn emit_enabled<F>(inner: &Inner, time: SimTime, phase: EventPhase, name: &str, attrs: F)
+where
+    F: FnOnce() -> Vec<Attr>,
+{
+    let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+    inner.sink.record(&TelemetryEvent {
+        seq,
+        time,
+        phase,
+        name: name.to_string(),
+        attrs: attrs(),
+    });
+}
+
+/// Format-and-narrate convenience: `narrate!(t, time, "sweep {n} done")`.
+///
+/// The format arguments are only evaluated when the handle is enabled.
+#[macro_export]
+macro_rules! narrate {
+    ($telemetry:expr, $time:expr, $($fmt:tt)*) => {
+        if $telemetry.is_enabled() {
+            $telemetry.narrate($time, format!($($fmt)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_dense_and_ordered() {
+        let sink = MemorySink::new();
+        let t = Telemetry::with_sink(sink.clone());
+        for i in 0..10u64 {
+            t.instant(SimTime(i * 10), "tick", Vec::new);
+        }
+        let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disabled_handle_skips_attr_construction() {
+        let t = Telemetry::disabled();
+        let mut called = false;
+        t.instant(SimTime::ZERO, "x", || {
+            called = true;
+            Vec::new()
+        });
+        assert!(!called);
+        assert!(t.metrics_snapshot().is_empty());
+    }
+
+    #[test]
+    fn narrate_macro_formats_lazily() {
+        let sink = MemorySink::new();
+        let t = Telemetry::with_sink(sink.clone());
+        narrate!(t, SimTime(5), "step {} of {}", 2, 3);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, NARRATE);
+        assert_eq!(
+            events[0].attr("message").and_then(AttrValue::as_str),
+            Some("step 2 of 3")
+        );
+
+        fn boom() -> u32 {
+            unreachable!("format args must not evaluate when disabled")
+        }
+        let off = Telemetry::disabled();
+        narrate!(off, SimTime(5), "never {}", boom());
+    }
+
+    #[test]
+    fn metrics_via_handle() {
+        let t = Telemetry::with_sink(NullSink);
+        t.counter_add("c", 1);
+        t.counter_add("c", 2);
+        t.gauge_set("g", 1.5);
+        t.gauge_max("m", 3.0);
+        t.gauge_max("m", 2.0);
+        t.observe("h", SimDuration::hours(1));
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counters["c"], 3);
+        assert_eq!(snap.gauges["g"], 1.5);
+        assert_eq!(snap.gauges["m"], 3.0);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn clones_share_sequence_space() {
+        let sink = MemorySink::new();
+        let t = Telemetry::with_sink(sink.clone());
+        let t2 = t.clone();
+        t.instant(SimTime(1), "a", Vec::new);
+        t2.instant(SimTime(2), "b", Vec::new);
+        let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Deterministic metrics: counters, gauges, and sim-time histograms.
+//!
+//! Every map is a `BTreeMap` so iteration (and therefore rendering and
+//! serialization) is stable by metric name regardless of registration
+//! order. Values are only ever derived from simulation state — never
+//! wall clock — so two identical runs produce identical snapshots.
+
+use opml_simkernel::SimDuration;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Histogram bucket upper bounds, in simulated minutes. Chosen to
+/// resolve the durations the paper cares about: minutes-long API calls
+/// up through multi-day reservations.
+pub const HISTOGRAM_BOUNDS_MIN: [u64; 10] = [15, 30, 60, 120, 240, 480, 960, 1920, 3840, 10080];
+
+/// A histogram over simulated durations with fixed minute buckets
+/// (plus an implicit overflow bucket).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SimTimeHistogram {
+    /// Per-bucket counts; `buckets[i]` counts samples `<=
+    /// HISTOGRAM_BOUNDS_MIN[i]`, the final slot counts the overflow.
+    pub buckets: Vec<u64>,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, in minutes.
+    pub sum_minutes: u64,
+    /// Largest recorded sample, in minutes.
+    pub max_minutes: u64,
+}
+
+impl Default for SimTimeHistogram {
+    fn default() -> Self {
+        SimTimeHistogram {
+            buckets: vec![0; HISTOGRAM_BOUNDS_MIN.len() + 1],
+            count: 0,
+            sum_minutes: 0,
+            max_minutes: 0,
+        }
+    }
+}
+
+impl SimTimeHistogram {
+    /// Record one duration sample.
+    pub fn observe(&mut self, d: SimDuration) {
+        let idx = HISTOGRAM_BOUNDS_MIN
+            .iter()
+            .position(|&b| d.0 <= b)
+            .unwrap_or(HISTOGRAM_BOUNDS_MIN.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_minutes += d.0;
+        self.max_minutes = self.max_minutes.max(d.0);
+    }
+
+    /// Mean sample in fractional hours (0 when empty).
+    pub fn mean_hours(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_minutes as f64 / self.count as f64 / 60.0
+        }
+    }
+}
+
+/// The mutable metrics store behind a [`crate::Telemetry`] handle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, SimTimeHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter (created at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raise the named gauge to `value` if larger (high-water mark).
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(f64::MIN);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Record a duration sample in the named histogram.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(d);
+    }
+
+    /// Immutable, name-sorted snapshot for rendering/export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, name-sorted and serializable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Monotone event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value / high-water readings.
+    pub gauges: BTreeMap<String, f64>,
+    /// Sim-duration distributions.
+    pub histograms: BTreeMap<String, SimTimeHistogram>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b.count", 2);
+        m.counter_add("a.count", 1);
+        m.counter_add("b.count", 3);
+        m.gauge_set("depth", 4.0);
+        m.gauge_max("depth.max", 2.0);
+        m.gauge_max("depth.max", 7.0);
+        m.gauge_max("depth.max", 5.0);
+        let snap = m.snapshot();
+        // BTreeMap: names iterate sorted.
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["a.count", "b.count"]);
+        assert_eq!(snap.counters["b.count"], 5);
+        assert_eq!(snap.gauges["depth"], 4.0);
+        assert_eq!(snap.gauges["depth.max"], 7.0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = SimTimeHistogram::default();
+        h.observe(SimDuration::minutes(10)); // bucket 0 (<=15)
+        h.observe(SimDuration::minutes(15)); // bucket 0 (inclusive bound)
+        h.observe(SimDuration::minutes(90)); // bucket 3 (<=120)
+        h.observe(SimDuration::weeks(3)); // overflow
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[HISTOGRAM_BOUNDS_MIN.len()], 1);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max_minutes, 3 * 7 * 24 * 60);
+    }
+
+    #[test]
+    fn mean_hours() {
+        let mut h = SimTimeHistogram::default();
+        assert_eq!(h.mean_hours(), 0.0);
+        h.observe(SimDuration::hours(1));
+        h.observe(SimDuration::hours(3));
+        assert!((h.mean_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        // Different insertion orders, same content.
+        a.counter_add("x", 1);
+        a.counter_add("y", 2);
+        b.counter_add("y", 2);
+        b.counter_add("x", 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+}

@@ -1,0 +1,156 @@
+//! Telemetry sinks: where emitted events go.
+//!
+//! The sink is behind a trait object so the instrumented crates never
+//! know (or care) whether events are recorded, narrated, or dropped.
+//! [`MemorySink`] is the recording sink used by the exporters and the
+//! golden-trace tests; [`StderrNarrationSink`] renders only narration
+//! events, replacing the ad-hoc `eprintln!` progress lines the
+//! experiments runner used to have; [`FanoutSink`] composes several.
+
+use crate::event::{TelemetryEvent, NARRATE};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Receives every event emitted through an enabled [`crate::Telemetry`]
+/// handle, in sequence order.
+pub trait TelemetrySink: Send + Sync {
+    /// Record one event. Called synchronously from the emitting thread;
+    /// implementations must not reorder events.
+    fn record(&self, event: &TelemetryEvent);
+}
+
+/// Drops every event. Useful to run the metrics registry without
+/// recording a trace (`run-experiments --metrics`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&self, _event: &TelemetryEvent) {}
+}
+
+/// Records every event in memory, in emission order.
+///
+/// Cloning shares the buffer, so keep a clone before handing the sink to
+/// [`crate::Telemetry::with_sink`] and read the events back afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TelemetryEvent>>>,
+}
+
+impl MemorySink {
+    /// Empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the recorded events (clone; the buffer keeps
+    /// recording).
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: &TelemetryEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Prints narration events (name == [`NARRATE`]) to stderr and ignores
+/// everything else. This is the uniform replacement for scattered
+/// `eprintln!` progress lines: `--quiet` swaps the whole handle for
+/// [`crate::Telemetry::disabled`] and every narration line vanishes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrNarrationSink;
+
+impl TelemetrySink for StderrNarrationSink {
+    fn record(&self, event: &TelemetryEvent) {
+        if event.name == NARRATE {
+            if let Some(msg) = event.attr("message").and_then(crate::AttrValue::as_str) {
+                eprintln!("{msg}");
+            }
+        }
+    }
+}
+
+/// Sends every event to each inner sink, in registration order.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FanoutSink({} sinks)", self.sinks.len())
+    }
+}
+
+impl FanoutSink {
+    /// Empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sink (builder style).
+    pub fn with(mut self, sink: impl TelemetrySink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&self, event: &TelemetryEvent) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventPhase;
+    use opml_simkernel::SimTime;
+
+    fn ev(seq: u64, name: &str) -> TelemetryEvent {
+        TelemetryEvent {
+            seq,
+            time: SimTime(seq),
+            phase: EventPhase::Instant,
+            name: name.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let sink = MemorySink::new();
+        for i in 0..5 {
+            sink.record(&ev(i, "x"));
+        }
+        let got: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sink.len(), 5);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let fan = FanoutSink::new().with(a.clone()).with(b.clone());
+        fan.record(&ev(0, "x"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

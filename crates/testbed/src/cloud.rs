@@ -21,6 +21,7 @@ use crate::network::{FloatingIp, FloatingIpId, NetworkId, PrivateNetwork};
 use crate::quota::{Quota, QuotaUsage};
 use crate::storage::{Bucket, Volume, VolumeId, VolumeState};
 use opml_simkernel::{EventQueue, SimDuration, SimTime};
+use opml_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// The simulated research cloud.
@@ -39,6 +40,7 @@ pub struct Cloud {
     lease_ends: EventQueue<LeaseId>,
     ledger: Ledger,
     next_id: u64,
+    telemetry: Telemetry,
 }
 
 impl Cloud {
@@ -59,7 +61,21 @@ impl Cloud {
             lease_ends: EventQueue::new(),
             ledger: Ledger::new(),
             next_id: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle (builder style). The cloud emits
+    /// `instance.launch`/`instance.terminate`, `lease.accept`/`lease.deny`
+    /// and `quota.deny` events plus the `cloud.*` counters through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// A cloud configured like the paper's course: the §4 KVM\@TACC quota
@@ -132,8 +148,13 @@ impl Cloud {
             return Err(CloudError::LeaseRequired(flavor));
         }
         let spec = flavor.spec();
-        self.usage
-            .take_instance(&self.quota, spec.vcpus as u64, spec.ram_gb as u64)?;
+        if let Err(e) = self
+            .usage
+            .take_instance(&self.quota, spec.vcpus as u64, spec.ram_gb as u64)
+        {
+            self.quota_deny("instance", name);
+            return Err(e);
+        }
         let id = InstanceId(self.fresh_id());
         self.instances.insert(
             id,
@@ -147,6 +168,7 @@ impl Cloud {
                 lease: None,
             },
         );
+        self.note_launch(name, flavor, false);
         Ok(id)
     }
 
@@ -175,7 +197,26 @@ impl Cloud {
             },
         );
         self.lease_instances.entry(lease_id).or_default().push(id);
+        self.note_launch(name, flavor, true);
         Ok(id)
+    }
+
+    fn note_launch(&self, name: &str, flavor: FlavorId, leased: bool) {
+        self.telemetry.instant(self.now, "instance.launch", || {
+            vec![
+                ("name", name.into()),
+                ("flavor", flavor.name().into()),
+                ("leased", leased.into()),
+            ]
+        });
+        self.telemetry.counter_add("cloud.instances_launched", 1);
+    }
+
+    fn quota_deny(&self, resource: &'static str, name: &str) {
+        self.telemetry.instant(self.now, "quota.deny", || {
+            vec![("resource", resource.into()), ("name", name.into())]
+        });
+        self.telemetry.counter_add("cloud.quota_denials", 1);
     }
 
     /// Delete an instance now.
@@ -211,6 +252,21 @@ impl Cloud {
             start: inst.created,
             end: at,
         });
+        let (name, flavor, created) = (inst.name.clone(), inst.flavor, inst.created);
+        let auto = state == InstanceState::AutoTerminated;
+        self.telemetry.instant(at, "instance.terminate", || {
+            vec![
+                ("name", name.into()),
+                ("flavor", flavor.name().into()),
+                ("auto_terminated", auto.into()),
+                ("lifetime_min", at.since(created).0.into()),
+            ]
+        });
+        self.telemetry
+            .observe("instance.lifetime", at.since(created));
+        if auto {
+            self.telemetry.counter_add("cloud.auto_terminations", 1);
+        }
     }
 
     /// Look up an instance.
@@ -239,9 +295,34 @@ impl Cloud {
             // experiment turns this on by reserving VM flavors — so it is
             // allowed, and VMs created under the lease auto-terminate.
         }
-        let lease = self.calendar.reserve(flavor, count, start, end, owner)?;
-        self.lease_ends.push(lease.end, lease.id);
-        Ok(lease)
+        match self.calendar.reserve(flavor, count, start, end, owner) {
+            Ok(lease) => {
+                self.lease_ends.push(lease.end, lease.id);
+                self.telemetry.instant(self.now, "lease.accept", || {
+                    vec![
+                        ("owner", owner.into()),
+                        ("flavor", flavor.name().into()),
+                        ("count", count.into()),
+                        ("start_min", start.0.into()),
+                        ("end_min", end.0.into()),
+                    ]
+                });
+                self.telemetry.counter_add("cloud.leases_accepted", 1);
+                Ok(lease)
+            }
+            Err(e) => {
+                self.telemetry.instant(self.now, "lease.deny", || {
+                    vec![
+                        ("owner", owner.into()),
+                        ("flavor", flavor.name().into()),
+                        ("count", count.into()),
+                        ("start_min", start.0.into()),
+                    ]
+                });
+                self.telemetry.counter_add("cloud.lease_denials", 1);
+                Err(e)
+            }
+        }
     }
 
     /// Earliest admissible slot for a reservation (student "next free slot"
@@ -265,7 +346,10 @@ impl Cloud {
 
     /// Allocate a floating IP (counts against quota; metered on release).
     pub fn allocate_fip(&mut self, name: &str) -> Result<FloatingIpId, CloudError> {
-        self.usage.take_fip(&self.quota)?;
+        if let Err(e) = self.usage.take_fip(&self.quota) {
+            self.quota_deny("floating_ip", name);
+            return Err(e);
+        }
         let id = FloatingIpId(self.fresh_id());
         self.fips.insert(
             id,
@@ -298,9 +382,13 @@ impl Cloud {
 
     /// Create a private network + router pair.
     pub fn create_network(&mut self, name: &str) -> Result<NetworkId, CloudError> {
-        self.usage.take_network(&self.quota)?;
+        if let Err(e) = self.usage.take_network(&self.quota) {
+            self.quota_deny("network", name);
+            return Err(e);
+        }
         if let Err(e) = self.usage.take_router(&self.quota) {
             self.usage.release_network();
+            self.quota_deny("router", name);
             return Err(e);
         }
         let id = NetworkId(self.fresh_id());
@@ -335,7 +423,10 @@ impl Cloud {
 
     /// Create a block volume.
     pub fn create_volume(&mut self, name: &str, size_gb: u64) -> Result<VolumeId, CloudError> {
-        self.usage.take_volume(&self.quota, size_gb)?;
+        if let Err(e) = self.usage.take_volume(&self.quota, size_gb) {
+            self.quota_deny("volume", name);
+            return Err(e);
+        }
         let id = VolumeId(self.fresh_id());
         self.volumes.insert(
             id,
@@ -657,6 +748,31 @@ mod tests {
         assert_eq!(l.instance_hours(None), 10.0);
         assert_eq!(l.fip_hours(), 10.0);
         assert_eq!(l.peak_block_gb(), 10);
+    }
+
+    #[test]
+    fn telemetry_records_lifecycle_and_denials() {
+        use opml_telemetry::MemorySink;
+        let sink = MemorySink::new();
+        let quota = Quota {
+            instances: 1,
+            ..Quota::unlimited()
+        };
+        let mut cloud = Cloud::new(quota).with_telemetry(Telemetry::with_sink(sink.clone()));
+        let id = cloud.create_instance("a", FlavorId::M1Small).unwrap();
+        assert!(cloud.create_instance("b", FlavorId::M1Small).is_err());
+        cloud.advance(SimDuration::hours(2));
+        cloud.delete_instance(id).unwrap();
+
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec!["instance.launch", "quota.deny", "instance.terminate"]
+        );
+        let metrics = cloud.telemetry.metrics_snapshot();
+        assert_eq!(metrics.counters["cloud.instances_launched"], 1);
+        assert_eq!(metrics.counters["cloud.quota_denials"], 1);
+        assert_eq!(metrics.histograms["instance.lifetime"].sum_minutes, 120);
     }
 
     #[test]

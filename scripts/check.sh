@@ -16,7 +16,24 @@ cargo build --release
 echo "==> detlint"
 cargo run --release -q -p opml-detlint --bin detlint
 
+echo "==> detlint (telemetry crate, readable table)"
+cargo run --release -q -p opml-detlint --bin detlint -- --root crates/telemetry
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> trace smoke run (tiny cohort, byte-stability)"
+trace_dir=$(mktemp -d)
+cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    trace --seed 7 --enrollment 3 --labs-only --quiet --out "$trace_dir/a"
+cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    trace --seed 7 --enrollment 3 --labs-only --quiet --out "$trace_dir/b"
+cmp "$trace_dir/a/trace.jsonl" "$trace_dir/b/trace.jsonl"
+cmp "$trace_dir/a/trace_chrome.json" "$trace_dir/b/trace_chrome.json"
+cmp "$trace_dir/a/trace.jsonl" tests/golden/trace_tiny_seed7.jsonl
+rm -rf "$trace_dir"
+
+echo "==> telemetry overhead bench (<5% disabled-cost gate)"
+cargo bench -p opml-bench --bench bench_telemetry
 
 echo "all checks passed"

@@ -15,6 +15,8 @@
 //!   cost model.
 //! * [`cohort`] — course structure, student behaviour model, semester driver.
 //! * [`metering`] — usage-ledger aggregation and attribution.
+//! * [`telemetry`] — deterministic sim-time tracing, metrics registry,
+//!   JSONL / Chrome trace-event export.
 //! * [`report`] — tables, histograms, comparison records.
 //! * [`experiments`] — one entry point per paper table/figure.
 //!
@@ -39,6 +41,7 @@ pub use opml_pricing as pricing;
 pub use opml_report as report;
 pub use opml_sched as sched;
 pub use opml_simkernel as simkernel;
+pub use opml_telemetry as telemetry;
 pub use opml_testbed as testbed;
 
 /// The most common imports for driving a full simulation.
@@ -47,5 +50,6 @@ pub mod prelude {
     pub use opml_metering::rollup::AssignmentRollup;
     pub use opml_pricing::estimate::price_lab_assignments;
     pub use opml_simkernel::{Rng, SimDuration, SimTime};
+    pub use opml_telemetry::{MemorySink, Telemetry};
     pub use opml_testbed::cloud::Cloud;
 }

@@ -1,0 +1,61 @@
+//! Golden-file contract for the telemetry trace: the JSONL export of a
+//! small fixed-seed scenario must be byte-identical to the committed
+//! fixture. Any change to event ordering, attribute sets, or JSON
+//! rendering shows up as a diff here and must be made deliberately (by
+//! regenerating the fixture with
+//! `run-experiments trace --seed 7 --enrollment 3 --labs-only`).
+
+use ml_ops_course::experiments::trace::{capture_trace, TraceConfig};
+
+const GOLDEN: &str = include_str!("golden/trace_tiny_seed7.jsonl");
+
+fn tiny() -> TraceConfig {
+    TraceConfig {
+        seed: 7,
+        enrollment: 3,
+        labs_only: true,
+    }
+}
+
+#[test]
+fn jsonl_trace_matches_golden_file() {
+    let artifacts = capture_trace(&tiny());
+    if artifacts.jsonl != GOLDEN {
+        // Point at the first differing line so the failure is actionable.
+        let mut line = 0usize;
+        for (got, want) in artifacts.jsonl.lines().zip(GOLDEN.lines()) {
+            line += 1;
+            assert_eq!(
+                got, want,
+                "trace diverges from tests/golden/trace_tiny_seed7.jsonl at line {line}"
+            );
+        }
+        panic!(
+            "trace length changed: got {} lines, golden has {}",
+            artifacts.jsonl.lines().count(),
+            GOLDEN.lines().count()
+        );
+    }
+}
+
+#[test]
+fn golden_scenario_covers_the_event_vocabulary() {
+    // The fixture should keep exercising the hot-seam event names; if a
+    // rename drops one, fail here rather than silently shrinking coverage.
+    for name in [
+        "stage.semester",
+        "semester.plan",
+        "semester.exec",
+        "semester.week_start",
+        "semester.finalize",
+        "lease.accept",
+        "instance.launch",
+        "instance.terminate",
+        "queue.pop",
+    ] {
+        assert!(
+            GOLDEN.contains(&format!("\"name\":\"{name}\"")),
+            "golden trace no longer contains event `{name}`"
+        );
+    }
+}
