@@ -30,6 +30,7 @@ pub fn labs_semester(enrollment: u32, seed: u64) -> SemesterOutcome {
         weeks: 14,
         run_projects: false,
         vm_auto_terminate_after: None,
+        faults: opml_faults::FaultProfile::none(),
     };
     simulate_semester(&config, seed)
 }

@@ -467,9 +467,9 @@ pub fn unit8_data(seed: u64) -> LabWorkOutcome {
         .all(|r| fs.get_historical(r.entity, r.ts_ms).is_some());
     let consistency = fs
         .get_online(normalized[0].entity)
-        .map(|online| {
-            let hist = fs.get_historical(normalized[0].entity, u64::MAX).unwrap();
-            online == &hist.features
+        .and_then(|online| {
+            let hist = fs.get_historical(normalized[0].entity, u64::MAX)?;
+            Some(online == &hist.features)
         })
         .unwrap_or(false);
     LabWorkOutcome {

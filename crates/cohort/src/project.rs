@@ -139,6 +139,7 @@ pub fn plan_projects(
                 fip: svc % 3 == 0, // every third service is public-facing
                 network: svc == 0, // one private network per group
                 attempts: 0,
+                fault_attempts: 0,
             });
             vm_budget -= hours;
             svc += 1;
@@ -155,15 +156,18 @@ pub fn plan_projects(
             let dur = SimDuration::from_hours_f64(hours);
             if let Some(start) = cloud.earliest_slot(flavor, 1, dur, preferred) {
                 if start + dur <= window_end + SimDuration::weeks(1) {
-                    let lease = cloud
-                        .reserve(flavor, 1, start, start + dur, &gname("train"))
-                        .expect("slot search admitted");
-                    plan.leases.push(PlannedLease {
-                        name: gname(&format!("train{session}")),
-                        lease: lease.id,
-                        start,
-                        end: start + dur,
-                    });
+                    // Slot search admitted this window, so the reserve
+                    // should succeed; if it races anything, skip the
+                    // session rather than abort the plan.
+                    if let Ok(lease) = cloud.reserve(flavor, 1, start, start + dur, &gname("train"))
+                    {
+                        plan.leases.push(PlannedLease {
+                            name: gname(&format!("train{session}")),
+                            lease: lease.id,
+                            start,
+                            end: start + dur,
+                        });
+                    }
                 }
             }
             gpu_budget -= hours;
@@ -183,21 +187,20 @@ pub fn plan_projects(
                 if let Some(start) =
                     cloud.earliest_slot(FlavorId::ComputeCascadeLake, 1, dur, preferred)
                 {
-                    let lease = cloud
-                        .reserve(
-                            FlavorId::ComputeCascadeLake,
-                            1,
-                            start,
-                            start + dur,
-                            &gname("etl"),
-                        )
-                        .expect("slot search admitted");
-                    plan.leases.push(PlannedLease {
-                        name: gname(&format!("etl{batch}")),
-                        lease: lease.id,
+                    if let Ok(lease) = cloud.reserve(
+                        FlavorId::ComputeCascadeLake,
+                        1,
                         start,
-                        end: start + dur,
-                    });
+                        start + dur,
+                        &gname("etl"),
+                    ) {
+                        plan.leases.push(PlannedLease {
+                            name: gname(&format!("etl{batch}")),
+                            lease: lease.id,
+                            start,
+                            end: start + dur,
+                        });
+                    }
                 }
                 bm_budget -= hours;
                 batch += 1;
@@ -216,21 +219,20 @@ pub fn plan_projects(
                 let dur = SimDuration::from_hours_f64(hours);
                 if let Some(start) = cloud.earliest_slot(FlavorId::RaspberryPi5, 1, dur, preferred)
                 {
-                    let lease = cloud
-                        .reserve(
-                            FlavorId::RaspberryPi5,
-                            1,
-                            start,
-                            start + dur,
-                            &gname("edge"),
-                        )
-                        .expect("slot search admitted");
-                    plan.leases.push(PlannedLease {
-                        name: gname(&format!("edge{dev}")),
-                        lease: lease.id,
+                    if let Ok(lease) = cloud.reserve(
+                        FlavorId::RaspberryPi5,
+                        1,
                         start,
-                        end: start + dur,
-                    });
+                        start + dur,
+                        &gname("edge"),
+                    ) {
+                        plan.leases.push(PlannedLease {
+                            name: gname(&format!("edge{dev}")),
+                            lease: lease.id,
+                            start,
+                            end: start + dur,
+                        });
+                    }
                 }
                 edge_budget -= hours;
                 dev += 1;
@@ -247,6 +249,7 @@ pub fn plan_projects(
             gb,
             start: window_start + SimDuration::hours(rng.range_u64(0, 48)),
             end: window_end,
+            attempts: 0,
         });
         plan.buckets.push((
             gname("bucket"),

@@ -9,6 +9,7 @@
 use crate::behavior::StudentProfile;
 use crate::labspec::lab_specs;
 use crate::project::{plan_projects, ProjectPlan};
+use opml_faults::{site_key, CircuitBreaker, FaultKind, FaultPlan, FaultProfile, FaultStats};
 use opml_metering::attribution::student_name;
 use opml_simkernel::{split_seed, EventQueue, Rng, SimDuration, SimTime};
 use opml_telemetry::Telemetry;
@@ -41,6 +42,9 @@ pub struct PlannedVm {
     pub network: bool,
     /// Quota-retry attempts so far.
     pub attempts: u32,
+    /// Injected-fault retries/relaunches so far (also the attempt index
+    /// for fault-plan draws, so each retry re-rolls independently).
+    pub fault_attempts: u32,
 }
 
 /// A planned lease-backed deployment (instance created at lease start,
@@ -68,6 +72,8 @@ pub struct PlannedVolume {
     pub start: SimTime,
     /// Deletion time.
     pub end: SimTime,
+    /// Injected-fault retries so far.
+    pub attempts: u32,
 }
 
 /// Semester configuration.
@@ -84,6 +90,9 @@ pub struct SemesterConfig {
     /// duration, emulating Chameleon's later addition of VM advance
     /// reservations with automatic termination (§5).
     pub vm_auto_terminate_after: Option<SimDuration>,
+    /// Fault injection and recovery policy. [`FaultProfile::none`] (the
+    /// default) reproduces the fault-free semester byte-identically.
+    pub faults: FaultProfile,
 }
 
 impl SemesterConfig {
@@ -94,6 +103,7 @@ impl SemesterConfig {
             weeks: 14,
             run_projects: true,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -116,6 +126,8 @@ pub struct SemesterOutcome {
     /// Reservations that could not be placed at the preferred time and
     /// were pushed to a later slot.
     pub slot_pushbacks: u64,
+    /// What the failure path did (all zeros under an inert profile).
+    pub faults: FaultStats,
 }
 
 enum Ev {
@@ -126,10 +138,28 @@ enum Ev {
         net: Option<NetworkId>,
         vol: Option<VolumeId>,
     },
+    /// An injected mid-lab crash of a running deployment (fault path
+    /// only; never scheduled under an inert plan).
+    VmCrash {
+        vm: PlannedVm,
+        ids: Vec<InstanceId>,
+        fip: Option<FloatingIpId>,
+        net: Option<NetworkId>,
+        vol: Option<VolumeId>,
+        down_at: SimTime,
+    },
     LeaseUp {
         name: String,
         lease: LeaseId,
         fip_until: SimTime,
+        attempt: u32,
+    },
+    /// An injected lease revocation (fault path only).
+    LeaseRevoked {
+        name: String,
+        lease: LeaseId,
+        end: SimTime,
+        attempt: u32,
     },
     FipDown(FloatingIpId),
     VolUp(PlannedVolume),
@@ -146,12 +176,60 @@ impl Ev {
         match self {
             Ev::VmUp(_) => "vm_up",
             Ev::VmDown { .. } => "vm_down",
+            Ev::VmCrash { .. } => "vm_crash",
             Ev::LeaseUp { .. } => "lease_up",
+            Ev::LeaseRevoked { .. } => "lease_revoked",
             Ev::FipDown(_) => "fip_down",
             Ev::VolUp(_) => "vol_up",
             Ev::VolDown(_) => "vol_down",
             Ev::BucketPut { .. } => "bucket_put",
         }
+    }
+}
+
+/// Stream id deriving the fault-plan seed from the semester seed (keeps
+/// fault decisions decorrelated from every student stream).
+const FAULT_STREAM: u64 = 0xFA57_0001;
+/// Stream tag for the walk-away (leak) decision.
+const LEAK_TAG: u64 = 0x1EAC;
+
+/// Runtime fault state for one semester run: the immutable plan plus the
+/// mutable breaker and counters.
+struct FaultEngine {
+    plan: FaultPlan,
+    profile: FaultProfile,
+    breaker: Option<CircuitBreaker>,
+    stats: FaultStats,
+}
+
+impl FaultEngine {
+    fn new(profile: &FaultProfile, seed: u64) -> FaultEngine {
+        FaultEngine {
+            plan: FaultPlan::new(split_seed(seed, FAULT_STREAM), profile.rates.clone()),
+            // An inert profile must reproduce the fault-free semester
+            // byte-identically, so the breaker (which would reshape the
+            // quota-retry schedule) only arms when something can inject.
+            breaker: if profile.is_inert() {
+                None
+            } else {
+                profile.breaker.as_ref().map(|b| b.build())
+            },
+            profile: profile.clone(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Does the student walk away without cleaning up? Deterministic
+    /// per-site draw; never consulted when `leak_prob` is zero.
+    fn leaks(&self, site: u64, attempt: u32) -> bool {
+        if self.profile.leak_prob <= 0.0 {
+            return false;
+        }
+        Rng::for_stream(
+            split_seed(self.plan.seed() ^ LEAK_TAG, site),
+            u64::from(attempt),
+        )
+        .chance(self.profile.leak_prob)
     }
 }
 
@@ -173,6 +251,7 @@ pub fn simulate_semester_with(
     let mut cloud = Cloud::paper_course().with_telemetry(telemetry.clone());
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut slot_pushbacks = 0u64;
+    let mut fe = FaultEngine::new(&config.faults, seed);
     let plan_span = telemetry.span(SimTime::ZERO, "semester.plan", || {
         vec![
             ("enrollment", config.enrollment.into()),
@@ -212,15 +291,18 @@ pub fn simulate_semester_with(
                         telemetry.counter_add("semester.slot_pushbacks", 1);
                     }
                     let name = student_name(spec.tag, sid);
-                    let lease = cloud
-                        .reserve(flavor, 1, start, start + dur, &name)
-                        .expect("earliest_slot admitted this window");
+                    // earliest_slot admitted this window; if the reserve
+                    // is refused anyway, the student just loses the slot.
+                    let Ok(lease) = cloud.reserve(flavor, 1, start, start + dur, &name) else {
+                        continue;
+                    };
                     queue.push(
                         start,
                         Ev::LeaseUp {
                             name,
                             lease: lease.id,
                             fip_until: start + dur,
+                            attempt: 0,
                         },
                     );
                     earliest = start + dur;
@@ -241,6 +323,7 @@ pub fn simulate_semester_with(
                         fip: true,
                         network: spec.private_network,
                         attempts: 0,
+                        fault_attempts: 0,
                     }),
                 );
                 if let Some(storage) = spec.storage {
@@ -252,6 +335,7 @@ pub fn simulate_semester_with(
                             gb: storage.block_gb,
                             start: preferred,
                             end: preferred + wall,
+                            attempts: 0,
                         }),
                     );
                     queue.push(
@@ -285,6 +369,7 @@ pub fn simulate_semester_with(
                     name: l.name,
                     lease: l.lease,
                     fip_until: l.end,
+                    attempt: 0,
                 },
             );
         }
@@ -318,25 +403,159 @@ pub fn simulate_semester_with(
         cloud.advance_to(t);
         match ev {
             Ev::VmUp(mut vm) => {
-                match deploy_vm(&mut cloud, &vm) {
-                    Ok((ids, fip, net, vol)) => {
-                        queue.push(t + vm.wall, Ev::VmDown { ids, fip, net, vol });
+                let site = site_key(&vm.name);
+                // Retry drift must not outlive the books: a requeued
+                // deployment that can no longer finish before finalize is
+                // abandoned. First attempts are untouched (legacy path).
+                if (vm.attempts > 0 || vm.fault_attempts > 0 || fe.breaker.is_some())
+                    && t + vm.wall > semester_end
+                {
+                    fe.stats.abandoned += 1;
+                    telemetry.instant(t, "vm.abandon", || {
+                        vec![
+                            ("name", vm.name.as_str().into()),
+                            ("cause", "term_end".into()),
+                            ("leaked", false.into()),
+                        ]
+                    });
+                    continue;
+                }
+                // An open quota breaker defers the whole attempt ("staff
+                // said stop launching") without burning a retry.
+                if let Some(at) = fe.breaker.as_ref().and_then(|b| b.retry_at(t)) {
+                    telemetry.instant(t, "retry.attempt", || {
+                        vec![
+                            ("name", vm.name.as_str().into()),
+                            ("cause", "breaker".into()),
+                        ]
+                    });
+                    queue.push(at, Ev::VmUp(vm));
+                    continue;
+                }
+                match deploy_vm(&mut cloud, &vm, &fe.plan) {
+                    Ok(((ids, fip, net, vol), degraded)) => {
+                        if let Some(b) = fe.breaker.as_mut() {
+                            b.record_success();
+                        }
+                        if degraded {
+                            // Floating-IP allocation failed: the lab runs
+                            // on the private network only.
+                            fe.stats.injected += 1;
+                            fe.stats.degraded += 1;
+                            telemetry.instant(t, "fault.inject", || {
+                                vec![
+                                    ("kind", FaultKind::FipFail.name().into()),
+                                    ("name", vm.name.as_str().into()),
+                                ]
+                            });
+                            telemetry.instant(t, "recover.degraded", || {
+                                vec![("name", vm.name.as_str().into()), ("mode", "no_fip".into())]
+                            });
+                        }
+                        let down_at = t + vm.wall;
+                        if fe.plan.fires(
+                            FaultKind::InstanceCrash,
+                            Some(vm.flavor),
+                            site,
+                            vm.fault_attempts,
+                        ) {
+                            let frac = fe.plan.fraction(
+                                FaultKind::InstanceCrash,
+                                site,
+                                vm.fault_attempts,
+                                0.1,
+                                0.9,
+                            );
+                            let crash_in =
+                                SimDuration((vm.wall.0 as f64 * frac).ceil().max(1.0) as u64)
+                                    .min(vm.wall);
+                            queue.push(
+                                t + crash_in,
+                                Ev::VmCrash {
+                                    vm,
+                                    ids,
+                                    fip,
+                                    net,
+                                    vol,
+                                    down_at,
+                                },
+                            );
+                        } else {
+                            queue.push(down_at, Ev::VmDown { ids, fip, net, vol });
+                        }
                     }
                     Err(CloudError::QuotaExceeded { .. }) => {
                         quota_denials += 1;
                         vm.attempts += 1;
-                        if vm.attempts < 100 {
-                            telemetry.instant(t, "vm.retry", || {
-                                vec![
-                                    ("name", vm.name.as_str().into()),
-                                    ("attempt", vm.attempts.into()),
-                                ]
-                            });
-                            // Student tries again later in the day.
-                            queue.push(t + SimDuration::hours(4), Ev::VmUp(vm));
+                        let mut retry_at = fe
+                            .profile
+                            .quota_retry
+                            .backoff(fe.plan.seed(), site, vm.attempts)
+                            .map(|d| t + d);
+                        if let Some(b) = fe.breaker.as_mut() {
+                            if b.record_failure(t) {
+                                fe.stats.breaker_trips += 1;
+                                telemetry.instant(t, "breaker.open", || {
+                                    vec![("name", vm.name.as_str().into())]
+                                });
+                            }
+                            if let (Some(at), Some(open_until)) = (retry_at, b.retry_at(t)) {
+                                retry_at = Some(at.max(open_until));
+                            }
+                        }
+                        match retry_at {
+                            Some(at) => {
+                                fe.stats.retries += 1;
+                                telemetry.instant(t, "vm.retry", || {
+                                    vec![
+                                        ("name", vm.name.as_str().into()),
+                                        ("attempt", vm.attempts.into()),
+                                        ("cause", "quota".into()),
+                                    ]
+                                });
+                                // Student tries again later.
+                                queue.push(at, Ev::VmUp(vm));
+                            }
+                            None => {
+                                fe.stats.abandoned += 1;
+                                telemetry.instant(t, "vm.abandon", || {
+                                    vec![
+                                        ("name", vm.name.as_str().into()),
+                                        ("cause", "quota".into()),
+                                        ("leaked", false.into()),
+                                    ]
+                                });
+                            }
                         }
                     }
-                    Err(e) => panic!("unexpected deploy failure: {e}"),
+                    Err(e) if e.is_retryable() => {
+                        // Injected transient failure on the deploy path.
+                        if matches!(e, CloudError::TransientFault { .. }) {
+                            fe.stats.injected += 1;
+                            telemetry.instant(t, "fault.inject", || {
+                                vec![
+                                    ("kind", FaultKind::LaunchFail.name().into()),
+                                    ("name", vm.name.as_str().into()),
+                                    ("attempt", vm.fault_attempts.into()),
+                                ]
+                            });
+                        }
+                        vm.fault_attempts += 1;
+                        retry_or_abandon_vm(&mut fe, telemetry, &mut queue, t, site, vm);
+                    }
+                    Err(e) => {
+                        // Permanent refusal: retrying the identical call
+                        // can never succeed, so the student gives up.
+                        fe.stats.abandoned += 1;
+                        let msg = e.to_string();
+                        telemetry.instant(t, "vm.abandon", || {
+                            vec![
+                                ("name", vm.name.as_str().into()),
+                                ("cause", msg.as_str().into()),
+                                ("leaked", false.into()),
+                            ]
+                        });
+                    }
                 }
             }
             Ev::VmDown { ids, fip, net, vol } => {
@@ -355,33 +574,267 @@ pub fn simulate_semester_with(
                     let _ = cloud.delete_volume(v);
                 }
             }
+            Ev::VmCrash {
+                mut vm,
+                ids,
+                fip,
+                net,
+                vol,
+                down_at,
+            } => {
+                fe.stats.injected += 1;
+                telemetry.instant(t, "fault.inject", || {
+                    vec![
+                        ("kind", FaultKind::InstanceCrash.name().into()),
+                        ("name", vm.name.as_str().into()),
+                    ]
+                });
+                if let Some(&first) = ids.first() {
+                    let _ = cloud.crash_instance(first);
+                }
+                let site = site_key(&vm.name);
+                if fe.leaks(site, vm.fault_attempts) {
+                    // The paper's signature pathology: the student walks
+                    // away and the surviving nodes, floating IP, network
+                    // and volume all run until semester finalize. A leak
+                    // is an abandonment that also keeps metering.
+                    fe.stats.abandoned += 1;
+                    fe.stats.leaked += 1;
+                    telemetry.instant(t, "vm.abandon", || {
+                        vec![
+                            ("name", vm.name.as_str().into()),
+                            ("cause", "crash".into()),
+                            ("leaked", true.into()),
+                        ]
+                    });
+                    telemetry.counter_add("semester.leaks", 1);
+                } else {
+                    // Tidy recovery: tear down the survivors now, then
+                    // relaunch for the remaining wall if it is worth it.
+                    for id in ids.iter().skip(1) {
+                        let _ = cloud.delete_instance(*id);
+                    }
+                    if let Some(f) = fip {
+                        let _ = cloud.release_fip(f);
+                    }
+                    if let Some(n) = net {
+                        let _ = cloud.delete_network(n);
+                    }
+                    if let Some(v) = vol {
+                        let _ = cloud.detach_volume(v);
+                        let _ = cloud.delete_volume(v);
+                    }
+                    let remaining = down_at.since(t);
+                    vm.fault_attempts += 1;
+                    let delay =
+                        fe.profile
+                            .fault_retry
+                            .backoff(fe.plan.seed(), site, vm.fault_attempts);
+                    match delay {
+                        Some(d) if remaining >= SimDuration::minutes(30) => {
+                            fe.stats.retries += 1;
+                            vm.wall = remaining;
+                            telemetry.instant(t, "recover.relaunch", || {
+                                vec![
+                                    ("name", vm.name.as_str().into()),
+                                    ("remaining_min", remaining.0.into()),
+                                ]
+                            });
+                            queue.push(t + d, Ev::VmUp(vm));
+                        }
+                        _ => {
+                            fe.stats.abandoned += 1;
+                            telemetry.instant(t, "vm.abandon", || {
+                                vec![
+                                    ("name", vm.name.as_str().into()),
+                                    ("cause", "crash".into()),
+                                    ("leaked", false.into()),
+                                ]
+                            });
+                        }
+                    }
+                }
+            }
             Ev::LeaseUp {
                 name,
                 lease,
                 fip_until,
+                attempt,
             } => {
                 // Bare-metal provisioning per §4: student claims the node
                 // at slot start; auto-termination reclaims it.
-                let inst = cloud
-                    .create_leased_instance(&name, lease)
-                    .expect("lease covers its own start");
-                let _ = inst;
-                if let Ok(fip) = cloud.allocate_fip(&name) {
-                    queue.push(fip_until, Ev::FipDown(fip));
+                match cloud.create_leased_instance(&name, lease) {
+                    Ok(_inst) => {
+                        if let Ok(fip) = cloud.allocate_fip(&name) {
+                            queue.push(fip_until, Ev::FipDown(fip));
+                        }
+                        let site = site_key(&name);
+                        if fe.plan.fires(FaultKind::LeaseRevoke, None, site, attempt) {
+                            let frac =
+                                fe.plan
+                                    .fraction(FaultKind::LeaseRevoke, site, attempt, 0.05, 0.95);
+                            let window = fip_until.since(t);
+                            let revoke_in =
+                                SimDuration((window.0 as f64 * frac).ceil().max(1.0) as u64)
+                                    .min(window);
+                            queue.push(
+                                t + revoke_in,
+                                Ev::LeaseRevoked {
+                                    name,
+                                    lease,
+                                    end: fip_until,
+                                    attempt,
+                                },
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        // The slot no longer exists (e.g. revoked before
+                        // its start); the student loses the session.
+                        fe.stats.abandoned += 1;
+                        let msg = e.to_string();
+                        telemetry.instant(t, "lease.skip", || {
+                            vec![
+                                ("name", name.as_str().into()),
+                                ("error", msg.as_str().into()),
+                            ]
+                        });
+                    }
                 }
+            }
+            Ev::LeaseRevoked {
+                name,
+                lease,
+                end,
+                attempt,
+            } => {
+                let flavor = cloud.calendar().get(lease).map(|l| l.flavor);
+                if cloud.revoke_lease(lease).is_ok() {
+                    fe.stats.injected += 1;
+                    telemetry.instant(t, "fault.inject", || {
+                        vec![
+                            ("kind", FaultKind::LeaseRevoke.name().into()),
+                            ("name", name.as_str().into()),
+                        ]
+                    });
+                    let remaining = end.since(t);
+                    let next_attempt = attempt + 1;
+                    let rebooked = if next_attempt < fe.profile.fault_retry.max_attempts
+                        && remaining >= SimDuration::minutes(30)
+                    {
+                        flavor.and_then(|fl| {
+                            cloud
+                                .earliest_slot(fl, 1, remaining, t + SimDuration::hours(1))
+                                // The rebooked window must still close its
+                                // books before finalize.
+                                .filter(|&s| s + remaining <= semester_end)
+                                .and_then(|s| {
+                                    cloud
+                                        .reserve(fl, 1, s, s + remaining, &name)
+                                        .ok()
+                                        .map(|l2| (s, l2.id))
+                                })
+                        })
+                    } else {
+                        None
+                    };
+                    match rebooked {
+                        Some((start, lease2)) => {
+                            fe.stats.requeued += 1;
+                            telemetry.instant(t, "recover.rebook", || {
+                                vec![
+                                    ("name", name.as_str().into()),
+                                    ("start_min", start.0.into()),
+                                ]
+                            });
+                            queue.push(
+                                start,
+                                Ev::LeaseUp {
+                                    name,
+                                    lease: lease2,
+                                    fip_until: start + remaining,
+                                    attempt: next_attempt,
+                                },
+                            );
+                        }
+                        None => {
+                            fe.stats.abandoned += 1;
+                            telemetry.instant(t, "vm.abandon", || {
+                                vec![
+                                    ("name", name.as_str().into()),
+                                    ("cause", "lease_revoked".into()),
+                                    ("leaked", false.into()),
+                                ]
+                            });
+                        }
+                    }
+                }
+                // A revocation racing the natural lease end is a no-op.
             }
             Ev::FipDown(fip) => {
                 let _ = cloud.release_fip(fip);
             }
-            Ev::VolUp(v) => match cloud.create_volume(&v.name, v.gb) {
-                Ok(id) => {
-                    queue.push(v.end, Ev::VolDown(id));
+            Ev::VolUp(mut v) => {
+                let site = site_key(&v.name);
+                if fe
+                    .plan
+                    .fires(FaultKind::VolumeAttach, None, site, v.attempts)
+                {
+                    fe.stats.injected += 1;
+                    telemetry.instant(t, "fault.inject", || {
+                        vec![
+                            ("kind", FaultKind::VolumeAttach.name().into()),
+                            ("name", v.name.as_str().into()),
+                            ("attempt", v.attempts.into()),
+                        ]
+                    });
+                    v.attempts += 1;
+                    let delay = fe
+                        .profile
+                        .fault_retry
+                        .backoff(fe.plan.seed(), site, v.attempts);
+                    match delay {
+                        Some(d) if t + d < v.end => {
+                            fe.stats.retries += 1;
+                            telemetry.instant(t, "retry.attempt", || {
+                                vec![
+                                    ("name", v.name.as_str().into()),
+                                    ("cause", "fault".into()),
+                                    ("attempt", v.attempts.into()),
+                                ]
+                            });
+                            queue.push(t + d, Ev::VolUp(v));
+                        }
+                        _ => {
+                            fe.stats.abandoned += 1;
+                            telemetry.instant(t, "volume.abandon", || {
+                                vec![("name", v.name.as_str().into()), ("cause", "fault".into())]
+                            });
+                        }
+                    }
+                } else {
+                    match cloud.create_volume(&v.name, v.gb) {
+                        Ok(id) => {
+                            queue.push(v.end, Ev::VolDown(id));
+                        }
+                        Err(CloudError::QuotaExceeded { .. }) => {
+                            quota_denials += 1;
+                        }
+                        Err(e) => {
+                            // Typed failure instead of the old panic: the
+                            // student proceeds without the volume.
+                            fe.stats.abandoned += 1;
+                            let msg = e.to_string();
+                            telemetry.instant(t, "volume.abandon", || {
+                                vec![
+                                    ("name", v.name.as_str().into()),
+                                    ("cause", msg.as_str().into()),
+                                ]
+                            });
+                        }
+                    }
                 }
-                Err(CloudError::QuotaExceeded { .. }) => {
-                    quota_denials += 1;
-                }
-                Err(e) => panic!("unexpected volume failure: {e}"),
-            },
+            }
             Ev::VolDown(id) => {
                 let _ = cloud.detach_volume(id);
                 let _ = cloud.delete_volume(id);
@@ -401,10 +854,54 @@ pub fn simulate_semester_with(
     telemetry.counter_add("semester.queue_pops", stats.pops);
     telemetry.gauge_set("semester.queue_high_water", stats.high_water as f64);
     telemetry.counter_add("semester.quota_denials", quota_denials);
+    telemetry.counter_add("semester.faults_injected", fe.stats.injected);
+    telemetry.counter_add("semester.faults_abandoned", fe.stats.abandoned);
+    telemetry.counter_add("semester.faults_leaked", fe.stats.leaked);
     SemesterOutcome {
         ledger: cloud.into_ledger(),
         quota_denials,
         slot_pushbacks,
+        faults: fe.stats,
+    }
+}
+
+/// Schedule a fault-policy retry of a VM deployment, or abandon it once
+/// the policy is exhausted. `vm.fault_attempts` must already count the
+/// failure being handled.
+fn retry_or_abandon_vm(
+    fe: &mut FaultEngine,
+    telemetry: &Telemetry,
+    queue: &mut EventQueue<Ev>,
+    t: SimTime,
+    site: u64,
+    vm: PlannedVm,
+) {
+    match fe
+        .profile
+        .fault_retry
+        .backoff(fe.plan.seed(), site, vm.fault_attempts)
+    {
+        Some(delay) => {
+            fe.stats.retries += 1;
+            telemetry.instant(t, "vm.retry", || {
+                vec![
+                    ("name", vm.name.as_str().into()),
+                    ("attempt", vm.fault_attempts.into()),
+                    ("cause", "fault".into()),
+                ]
+            });
+            queue.push(t + delay, Ev::VmUp(vm));
+        }
+        None => {
+            fe.stats.abandoned += 1;
+            telemetry.instant(t, "vm.abandon", || {
+                vec![
+                    ("name", vm.name.as_str().into()),
+                    ("cause", "fault".into()),
+                    ("leaked", false.into()),
+                ]
+            });
+        }
     }
 }
 
@@ -416,8 +913,27 @@ type Deployed = (
 );
 
 /// Create a VM deployment atomically; on quota failure, roll back any
-/// partial allocation so the retry starts clean.
-fn deploy_vm(cloud: &mut Cloud, vm: &PlannedVm) -> Result<Deployed, CloudError> {
+/// partial allocation so the retry starts clean. Fault seams: the whole
+/// launch can fail transiently ([`FaultKind::LaunchFail`], surfaced as
+/// [`CloudError::TransientFault`]); floating-IP allocation can fail
+/// ([`FaultKind::FipFail`]), degrading the deployment (returned flag)
+/// rather than failing it.
+fn deploy_vm(
+    cloud: &mut Cloud,
+    vm: &PlannedVm,
+    plan: &FaultPlan,
+) -> Result<(Deployed, bool), CloudError> {
+    let site = site_key(&vm.name);
+    if plan.fires(
+        FaultKind::LaunchFail,
+        Some(vm.flavor),
+        site,
+        vm.fault_attempts,
+    ) {
+        return Err(CloudError::TransientFault {
+            op: "create_instance",
+        });
+    }
     let mut ids = Vec::with_capacity(vm.node_count as usize);
     let rollback = |cloud: &mut Cloud, ids: &[InstanceId]| {
         for &id in ids {
@@ -449,21 +965,27 @@ fn deploy_vm(cloud: &mut Cloud, vm: &PlannedVm) -> Result<Deployed, CloudError> 
     } else {
         None
     };
+    let mut degraded = false;
     let fip = if vm.fip {
-        match cloud.allocate_fip(&vm.name) {
-            Ok(f) => Some(f),
-            Err(e) => {
-                if let Some(n) = net {
-                    let _ = cloud.delete_network(n);
+        if plan.fires(FaultKind::FipFail, Some(vm.flavor), site, vm.fault_attempts) {
+            degraded = true;
+            None
+        } else {
+            match cloud.allocate_fip(&vm.name) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    if let Some(n) = net {
+                        let _ = cloud.delete_network(n);
+                    }
+                    rollback(cloud, &ids);
+                    return Err(e);
                 }
-                rollback(cloud, &ids);
-                return Err(e);
             }
         }
     } else {
         None
     };
-    Ok((ids, fip, net, None))
+    Ok(((ids, fip, net, None), degraded))
 }
 
 #[cfg(test)]
@@ -478,6 +1000,7 @@ mod tests {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let outcome = simulate_semester(&config, 7);
         assert!(outcome.ledger.instance_hours(None) > 0.0);
@@ -511,6 +1034,7 @@ mod tests {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let outcome = simulate_semester(&config, 8);
         let rollup = AssignmentRollup::from_ledger(&outcome.ledger, 8);
@@ -531,6 +1055,7 @@ mod tests {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let capped = SemesterConfig {
             vm_auto_terminate_after: Some(SimDuration::hours(8)),
@@ -562,6 +1087,7 @@ mod tests {
             weeks: 14,
             run_projects: true,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let a = simulate_semester(&config, 11);
         let b = simulate_semester(&config, 11);
@@ -579,6 +1105,7 @@ mod tests {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let trace = |seed: u64| {
             let sink = MemorySink::new();
@@ -614,6 +1141,7 @@ mod tests {
             weeks: 14,
             run_projects: true,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let outcome = simulate_semester(&config, 13);
         let proj_hours: f64 = outcome

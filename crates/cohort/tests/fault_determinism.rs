@@ -1,0 +1,50 @@
+//! Determinism of the fault-injected semester: the chaos trace must be
+//! byte-identical across rayon thread counts, and a zero-rate chaos
+//! profile must be indistinguishable from running with no faults at all.
+
+use opml_cohort::semester::{simulate_semester_with, SemesterConfig};
+use opml_faults::FaultProfile;
+use opml_telemetry::{export_jsonl, MemorySink, Telemetry};
+
+/// Run one semester under `threads` rayon threads and export its trace.
+fn trace(faults: FaultProfile, threads: usize) -> String {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool");
+    pool.install(|| {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let config = SemesterConfig {
+            enrollment: 8,
+            weeks: 14,
+            run_projects: true,
+            vm_auto_terminate_after: None,
+            faults,
+        };
+        simulate_semester_with(&config, 7, &telemetry);
+        export_jsonl(&sink.events())
+    })
+}
+
+#[test]
+fn chaos_trace_is_thread_count_invariant() {
+    let serial = trace(FaultProfile::chaos(0.2), 1);
+    let parallel = trace(FaultProfile::chaos(0.2), 8);
+    assert!(
+        serial.contains("fault.inject"),
+        "a 20% chaos run should inject something"
+    );
+    assert_eq!(serial, parallel, "chaos trace differs across thread counts");
+}
+
+#[test]
+fn zero_rate_chaos_equals_no_fault_baseline() {
+    let baseline = trace(FaultProfile::none(), 1);
+    let zero_rate = trace(FaultProfile::chaos(0.0), 8);
+    assert!(!baseline.contains("fault.inject"));
+    assert_eq!(
+        baseline, zero_rate,
+        "an inert chaos profile must reproduce the baseline byte-for-byte"
+    );
+}

@@ -1,6 +1,7 @@
 //! Property-based tests for the cohort simulator.
 
 use opml_cohort::semester::{simulate_semester, SemesterConfig};
+use opml_faults::{FaultProfile, FaultRates};
 use opml_metering::rollup::AssignmentRollup;
 use opml_simkernel::SimDuration;
 use opml_testbed::ledger::UsageKind;
@@ -19,6 +20,7 @@ proptest! {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let outcome = simulate_semester(&config, seed);
         let end = opml_simkernel::SimTime::at(15, 0, 0, 0);
@@ -48,6 +50,7 @@ proptest! {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: Some(SimDuration::hours(cap_hours)),
+            faults: FaultProfile::none(),
         };
         let outcome = simulate_semester(&config, seed);
         for r in outcome.ledger.records() {
@@ -66,6 +69,60 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under an arbitrary fault profile — any mix of injection rates and
+    /// walk-away probability, labs or the full course — the semester
+    /// never panics, every ledger record is balanced, and nothing
+    /// survives past finalize.
+    #[test]
+    fn semester_survives_arbitrary_faults(
+        seed in any::<u64>(),
+        launch in 0.0f64..1.0,
+        crash in 0.0f64..1.0,
+        fip in 0.0f64..1.0,
+        vol in 0.0f64..1.0,
+        lease in 0.0f64..1.0,
+        leak in 0.0f64..1.0,
+        projects in any::<bool>(),
+    ) {
+        let mut faults = FaultProfile::chaos(0.0);
+        faults.rates = FaultRates {
+            launch_fail: launch,
+            instance_crash: crash,
+            fip_fail: fip,
+            volume_attach: vol,
+            lease_revoke: lease,
+            spot_preempt: 0.0,
+        };
+        faults.leak_prob = leak;
+        let config = SemesterConfig {
+            enrollment: 5,
+            weeks: 14,
+            run_projects: projects,
+            vm_auto_terminate_after: None,
+            faults,
+        };
+        let outcome = simulate_semester(&config, seed);
+        let end = opml_simkernel::SimTime::at(15, 0, 0, 0);
+        for r in outcome.ledger.records() {
+            prop_assert!(r.end >= r.start, "{} ends before start", r.name);
+            prop_assert!(r.end <= end, "{} survives finalize", r.name);
+        }
+        // Counter coherence: leaks are a subset of abandonments, and
+        // nothing is counted without an injection or denial behind it.
+        let f = outcome.faults;
+        prop_assert!(f.leaked <= f.abandoned, "leaked {} > abandoned {}", f.leaked, f.abandoned);
+        if f.total() > 0 {
+            prop_assert!(
+                f.injected > 0 || outcome.quota_denials > 0,
+                "recovery work with nothing injected: {f:?}"
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// Replay equivalence at the cohort level: a seeded semester and its
@@ -77,6 +134,7 @@ proptest! {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
         };
         let run = |threads: usize| {
             let pool = rayon::ThreadPoolBuilder::new()

@@ -16,8 +16,8 @@
 //! in Perfetto / `chrome://tracing`) to `--out <dir>`.
 
 use opml_experiments::{
-    ablation, capacity, fig1, fig2, fig3, headline, project_cost, seeds, spot_ablation, table1,
-    trace, verify,
+    ablation, capacity, chaos, fig1, fig2, fig3, headline, project_cost, seeds, spot_ablation,
+    table1, trace, verify,
 };
 use opml_report::compare::ComparisonSet;
 use opml_simkernel::SimTime;
@@ -41,6 +41,7 @@ fn main() {
     match args.get(1).map(String::as_str) {
         Some("verify-determinism") => run_verify(&args, seed, &narrator),
         Some("trace") => run_trace(&args, seed, want_metrics, &narrator),
+        Some("chaos") => run_chaos(&args, seed, &narrator),
         _ => run_full(seed, want_metrics, write_md, &narrator),
     }
 }
@@ -136,6 +137,48 @@ fn run_trace(args: &[String], seed: u64, want_metrics: bool, narrator: &Telemetr
     if want_metrics {
         println!("\n== Telemetry metrics ==\n");
         println!("{}", opml_report::metrics_summary(&artifacts.metrics));
+    }
+}
+
+fn run_chaos(args: &[String], seed: u64, narrator: &Telemetry) {
+    let enrollment: u32 = match arg_value(args, "--enrollment") {
+        None => 191,
+        Some(raw) => match raw.trim().parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("run-experiments: --enrollment takes a positive integer, got `{raw}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let parse_rate = |raw: &str| -> f64 {
+        match raw.trim().parse::<f64>() {
+            Ok(r) if (0.0..=1.0).contains(&r) => r,
+            _ => {
+                eprintln!("run-experiments: fault rates must be numbers in [0, 1], got `{raw}`");
+                std::process::exit(2);
+            }
+        }
+    };
+    let rates: Vec<f64> = match (arg_value(args, "--rates"), arg_value(args, "--rate")) {
+        (Some(list), _) => list.split(',').map(|r| parse_rate(r)).collect(),
+        (None, Some(one)) => vec![parse_rate(&one)],
+        (None, None) => chaos::ChaosConfig::default().rates,
+    };
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "chaos sweep: {enrollment}-student semester (seed {seed}), rates {rates:?}…"
+    );
+    let report = chaos::run(&chaos::ChaosConfig {
+        seed,
+        enrollment,
+        rates,
+    });
+    println!("== Chaos: cost of injected faults ==\n{}", report.text);
+    if !report.zero_rate_matches_baseline {
+        eprintln!("chaos: FAILED — zero-rate plan diverged from the fault-free baseline");
+        std::process::exit(1);
     }
 }
 

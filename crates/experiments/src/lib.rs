@@ -17,11 +17,13 @@
 //! | [`seeds`] | seed-robustness of the headline quantities |
 //! | [`capacity`] | §4 quota validation via peak concurrency |
 //! | [`spot_ablation`] | extension — spot pricing with the interruption tax |
+//! | [`chaos`] | extension — fault-injection sweep (`run-experiments chaos`) |
 //! | [`verify`] | replay-equivalence verifier (`verify-determinism`) |
 //! | [`trace`] | telemetry trace capture (`run-experiments trace`) |
 
 pub mod ablation;
 pub mod capacity;
+pub mod chaos;
 pub mod context;
 pub mod fig1;
 pub mod fig2;

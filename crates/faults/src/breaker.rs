@@ -1,0 +1,148 @@
+//! Circuit breaker for repeated quota denial.
+//!
+//! When a project allocation is full, every student deployment attempt
+//! fails the same way; retrying on the normal backoff schedule just
+//! hammers the API (and, in the real course, the help queue). The
+//! breaker models the staff announcement "stop launching until
+//! capacity frees up": after `threshold` consecutive denials it opens
+//! and all retries are deferred until a cooldown has passed, then one
+//! probe attempt is allowed through (half-open) before it either closes
+//! (probe succeeded) or re-opens (probe denied).
+
+use opml_simkernel::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Tripped: requests are deferred until the cooldown passes.
+    Open,
+    /// Cooldown passed: one probe request is allowed through.
+    HalfOpen,
+}
+
+/// A sim-time circuit breaker keyed on consecutive failures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: SimDuration,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: Option<SimTime>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// holds for `cooldown`.
+    pub fn new(threshold: u32, cooldown: SimDuration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen if the cooldown passed.
+    pub fn state(&self, now: SimTime) -> BreakerState {
+        match (self.state, self.opened_at) {
+            (BreakerState::Open, Some(at)) if now.since(at) >= self.cooldown => {
+                BreakerState::HalfOpen
+            }
+            (s, _) => s,
+        }
+    }
+
+    /// Whether a request should be deferred at `now`.
+    pub fn is_open(&self, now: SimTime) -> bool {
+        self.state(now) == BreakerState::Open
+    }
+
+    /// Earliest time a deferred request may be retried (`None` when the
+    /// breaker is not open).
+    pub fn retry_at(&self, now: SimTime) -> Option<SimTime> {
+        match (self.state(now), self.opened_at) {
+            (BreakerState::Open, Some(at)) => Some(at + self.cooldown),
+            _ => None,
+        }
+    }
+
+    /// Record a failed attempt; returns `true` if this failure tripped
+    /// the breaker open (for telemetry).
+    pub fn record_failure(&mut self, now: SimTime) -> bool {
+        match self.state(now) {
+            BreakerState::HalfOpen => {
+                // Probe failed: re-open for another cooldown.
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+                true
+            }
+            BreakerState::Open => false,
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(now);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful attempt: closes the breaker and resets the
+    /// failure count.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+        self.opened_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: u64) -> SimTime {
+        SimTime(h * 60)
+    }
+
+    #[test]
+    fn opens_after_threshold_and_cools_down() {
+        let mut b = CircuitBreaker::new(3, SimDuration::hours(6));
+        assert!(!b.record_failure(t(0)));
+        assert!(!b.record_failure(t(1)));
+        assert!(b.record_failure(t(2)), "third failure trips");
+        assert!(b.is_open(t(3)));
+        assert_eq!(b.retry_at(t(3)), Some(t(8)));
+        // Cooldown passed → half-open, requests allowed.
+        assert_eq!(b.state(t(9)), BreakerState::HalfOpen);
+        assert!(!b.is_open(t(9)));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(1, SimDuration::hours(2));
+        b.record_failure(t(0));
+        assert_eq!(b.state(t(3)), BreakerState::HalfOpen);
+        assert!(b.record_failure(t(3)), "probe failure re-trips");
+        assert!(b.is_open(t(4)));
+        assert_eq!(b.retry_at(t(4)), Some(t(5)));
+    }
+
+    #[test]
+    fn success_closes_and_resets() {
+        let mut b = CircuitBreaker::new(2, SimDuration::hours(1));
+        b.record_failure(t(0));
+        b.record_failure(t(0));
+        assert!(b.is_open(t(0)));
+        b.record_success();
+        assert_eq!(b.state(t(0)), BreakerState::Closed);
+        // Count restarted: one failure does not trip again.
+        assert!(!b.record_failure(t(1)));
+    }
+}

@@ -1,0 +1,340 @@
+//! The seeded fault plan: replay-stable injection decisions.
+
+use opml_simkernel::{split_seed, Rng};
+use opml_testbed::flavor::FlavorId;
+use serde::{Deserialize, Serialize};
+
+/// Where a fault can be injected — the testbed seams the semester and
+/// scheduler simulations exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// `create_instance` fails transiently at deploy time.
+    LaunchFail,
+    /// A running instance dies partway through its planned wall time.
+    InstanceCrash,
+    /// Floating-IP allocation fails (deployment degrades to no public IP).
+    FipFail,
+    /// Block-volume attach fails transiently.
+    VolumeAttach,
+    /// An admitted lease is revoked before its window ends.
+    LeaseRevoke,
+    /// A running scheduler job is preempted (spot reclaim).
+    SpotPreempt,
+}
+
+impl FaultKind {
+    /// All kinds, in stable order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::LaunchFail,
+        FaultKind::InstanceCrash,
+        FaultKind::FipFail,
+        FaultKind::VolumeAttach,
+        FaultKind::LeaseRevoke,
+        FaultKind::SpotPreempt,
+    ];
+
+    /// Stable telemetry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::LaunchFail => "launch_fail",
+            FaultKind::InstanceCrash => "instance_crash",
+            FaultKind::FipFail => "fip_fail",
+            FaultKind::VolumeAttach => "volume_attach",
+            FaultKind::LeaseRevoke => "lease_revoke",
+            FaultKind::SpotPreempt => "spot_preempt",
+        }
+    }
+
+    /// Stable stream tag: decorrelates the per-kind decision streams.
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::LaunchFail => 0xFA01,
+            FaultKind::InstanceCrash => 0xFA02,
+            FaultKind::FipFail => 0xFA03,
+            FaultKind::VolumeAttach => 0xFA04,
+            FaultKind::LeaseRevoke => 0xFA05,
+            FaultKind::SpotPreempt => 0xFA06,
+        }
+    }
+}
+
+/// Per-kind base injection probabilities (per decision point, in `[0,1]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Launch-failure probability per deployment attempt.
+    pub launch_fail: f64,
+    /// Mid-lab crash probability per successful deployment.
+    pub instance_crash: f64,
+    /// Floating-IP allocation failure probability per allocation.
+    pub fip_fail: f64,
+    /// Volume-attach failure probability per volume creation.
+    pub volume_attach: f64,
+    /// Lease-revocation probability per provisioned lease.
+    pub lease_revoke: f64,
+    /// Spot-preemption probability per job start.
+    pub spot_preempt: f64,
+}
+
+impl FaultRates {
+    /// All rates zero — the inert plan.
+    pub fn none() -> FaultRates {
+        FaultRates::uniform(0.0)
+    }
+
+    /// The same rate for every kind (clamped to `[0,1]`).
+    pub fn uniform(rate: f64) -> FaultRates {
+        let r = rate.clamp(0.0, 1.0);
+        FaultRates {
+            launch_fail: r,
+            instance_crash: r,
+            fip_fail: r,
+            volume_attach: r,
+            lease_revoke: r,
+            spot_preempt: r,
+        }
+    }
+
+    /// Base rate for a kind.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::LaunchFail => self.launch_fail,
+            FaultKind::InstanceCrash => self.instance_crash,
+            FaultKind::FipFail => self.fip_fail,
+            FaultKind::VolumeAttach => self.volume_attach,
+            FaultKind::LeaseRevoke => self.lease_revoke,
+            FaultKind::SpotPreempt => self.spot_preempt,
+        }
+    }
+
+    /// True when every rate is zero.
+    pub fn is_zero(&self) -> bool {
+        FaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+}
+
+/// An immutable, seeded fault plan.
+///
+/// Every decision is drawn from a stream derived from the plan seed, the
+/// fault kind, a caller-supplied stable **site key** (hash the resource
+/// name with [`site_key`]), and an attempt number. Two queries with the
+/// same arguments always agree; queries at different sites never share
+/// state, so adding or removing one site cannot perturb another.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    /// Per-`(kind, flavor)` rate overrides (e.g. flaky GPU nodes), kept
+    /// sorted so serialization and iteration order are stable.
+    overrides: Vec<(FaultKind, FlavorId, f64)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and base rates.
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The inert plan: never fires, never draws.
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(0, FaultRates::none())
+    }
+
+    /// Override the rate of `kind` for one flavor (builder style).
+    pub fn with_flavor_rate(mut self, kind: FaultKind, flavor: FlavorId, rate: f64) -> FaultPlan {
+        let rate = rate.clamp(0.0, 1.0);
+        match self
+            .overrides
+            .iter_mut()
+            .find(|(k, f, _)| *k == kind && *f == flavor)
+        {
+            Some(slot) => slot.2 = rate,
+            None => {
+                self.overrides.push((kind, flavor, rate));
+                self.overrides.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            }
+        }
+        self
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Base rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Effective rate for a kind at a flavor.
+    pub fn rate(&self, kind: FaultKind, flavor: Option<FlavorId>) -> f64 {
+        flavor
+            .and_then(|f| {
+                self.overrides
+                    .iter()
+                    .find(|(k, of, _)| *k == kind && *of == f)
+                    .map(|&(_, _, r)| r)
+            })
+            .unwrap_or_else(|| self.rates.rate(kind))
+    }
+
+    /// True when no query can ever fire (zero rates, no overrides above 0).
+    pub fn is_inert(&self) -> bool {
+        self.rates.is_zero() && self.overrides.iter().all(|&(_, _, r)| r <= 0.0)
+    }
+
+    /// The decision stream for `(kind, site, attempt)`.
+    fn stream(&self, kind: FaultKind, site: u64, attempt: u32) -> Rng {
+        Rng::for_stream(split_seed(self.seed ^ kind.tag(), site), u64::from(attempt))
+    }
+
+    /// Does a fault of `kind` fire at this site/attempt?
+    ///
+    /// Zero-rate queries return `false` without constructing a stream, so
+    /// an inert plan is free and byte-identical to no plan.
+    pub fn fires(
+        &self,
+        kind: FaultKind,
+        flavor: Option<FlavorId>,
+        site: u64,
+        attempt: u32,
+    ) -> bool {
+        let rate = self.rate(kind, flavor);
+        if rate <= 0.0 {
+            return false;
+        }
+        self.stream(kind, site, attempt).chance(rate)
+    }
+
+    /// A uniform draw in `[lo, hi)` on a stream decorrelated from the
+    /// `fires` decision at the same site (used for crash/preemption
+    /// points and revocation instants).
+    pub fn fraction(&self, kind: FaultKind, site: u64, attempt: u32, lo: f64, hi: f64) -> f64 {
+        let mut rng = self.stream(kind, site, attempt);
+        // Burn the `fires` draw so the fraction is independent of it.
+        let _ = rng.f64();
+        rng.range_f64(lo, hi)
+    }
+}
+
+/// Stable 64-bit site key from a resource name (FNV-1a).
+///
+/// Deterministic across runs, platforms, and toolchains — unlike
+/// `DefaultHasher`, whose per-process keys detlint bans (DL001).
+pub fn site_key(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        for &kind in &FaultKind::ALL {
+            for site in 0..100 {
+                assert!(!plan.fires(kind, None, site, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let plan = FaultPlan::new(7, FaultRates::uniform(1.0));
+        for &kind in &FaultKind::ALL {
+            assert!(plan.fires(kind, None, 42, 3));
+        }
+    }
+
+    #[test]
+    fn decisions_are_replay_stable() {
+        let plan = FaultPlan::new(99, FaultRates::uniform(0.3));
+        for &kind in &FaultKind::ALL {
+            for site in 0..200u64 {
+                let a = plan.fires(kind, None, site, 1);
+                let b = plan.fires(kind, None, site, 1);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sites_and_attempts_decorrelate() {
+        let plan = FaultPlan::new(5, FaultRates::uniform(0.5));
+        let hits = |f: &dyn Fn(u64) -> bool| (0..1000).filter(|&i| f(i)).count();
+        let by_site = hits(&|i| plan.fires(FaultKind::LaunchFail, None, i, 0));
+        let by_attempt = hits(&|i| plan.fires(FaultKind::LaunchFail, None, 7, i as u32));
+        // Roughly half fire either way; neither collapses to all/none.
+        assert!((300..700).contains(&by_site), "{by_site}");
+        assert!((300..700).contains(&by_attempt), "{by_attempt}");
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(11, FaultRates::uniform(0.2));
+        let n = 20_000;
+        let fired = (0..n)
+            .filter(|&i| plan.fires(FaultKind::InstanceCrash, None, i, 0))
+            .count();
+        let observed = fired as f64 / n as f64;
+        assert!((observed - 0.2).abs() < 0.02, "observed {observed}");
+    }
+
+    #[test]
+    fn flavor_override_applies() {
+        let plan = FaultPlan::new(3, FaultRates::none()).with_flavor_rate(
+            FaultKind::LaunchFail,
+            FlavorId::GpuV100,
+            1.0,
+        );
+        assert!(!plan.is_inert());
+        assert!(plan.fires(FaultKind::LaunchFail, Some(FlavorId::GpuV100), 1, 0));
+        assert!(!plan.fires(FaultKind::LaunchFail, Some(FlavorId::M1Small), 1, 0));
+        assert!(!plan.fires(FaultKind::LaunchFail, None, 1, 0));
+    }
+
+    #[test]
+    fn fraction_in_bounds_and_stable() {
+        let plan = FaultPlan::new(13, FaultRates::uniform(0.5));
+        for site in 0..500 {
+            let f = plan.fraction(FaultKind::InstanceCrash, site, 0, 0.05, 0.95);
+            assert!((0.05..0.95).contains(&f));
+            assert_eq!(
+                f,
+                plan.fraction(FaultKind::InstanceCrash, site, 0, 0.05, 0.95)
+            );
+        }
+    }
+
+    #[test]
+    fn site_key_is_stable_and_spread() {
+        assert_eq!(site_key("lab2-s003"), site_key("lab2-s003"));
+        assert_ne!(site_key("lab2-s003"), site_key("lab2-s004"));
+        // Pin the FNV constant so the stream never silently changes.
+        assert_eq!(site_key(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let plan = FaultPlan::new(21, FaultRates::uniform(0.1)).with_flavor_rate(
+            FaultKind::SpotPreempt,
+            FlavorId::GpuA100Pcie,
+            0.9,
+        );
+        let a = serde_json::to_string(&plan).expect("serialize");
+        let b = serde_json::to_string(&plan.clone()).expect("serialize");
+        assert_eq!(a, b);
+        assert!(a.contains("\"seed\":21"));
+    }
+}

@@ -1,0 +1,172 @@
+//! The serializable fault configuration carried by `SemesterConfig`,
+//! and the recovery counters a simulation reports back.
+
+use crate::breaker::CircuitBreaker;
+use crate::plan::FaultRates;
+use crate::retry::RetryPolicy;
+use opml_simkernel::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Circuit-breaker settings (see [`CircuitBreaker`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerSettings {
+    /// Consecutive quota denials before the breaker opens.
+    pub threshold: u32,
+    /// How long an open breaker defers retries.
+    pub cooldown: SimDuration,
+}
+
+impl BreakerSettings {
+    /// Build the runtime breaker.
+    pub fn build(&self) -> CircuitBreaker {
+        CircuitBreaker::new(self.threshold, self.cooldown)
+    }
+}
+
+/// Everything a semester needs to know about failure handling: which
+/// faults to inject and how students recover.
+///
+/// [`FaultProfile::none`] is the exact pre-fault behaviour: zero rates,
+/// the legacy fixed 4-hour quota retry, no breaker, no leaks — a
+/// semester run with it is byte-identical to one run before this module
+/// existed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Injection rates per fault kind.
+    pub rates: FaultRates,
+    /// Retry schedule for quota denials (legacy: fixed 4 h, 100 tries).
+    pub quota_retry: RetryPolicy,
+    /// Retry schedule for injected transient faults.
+    pub fault_retry: RetryPolicy,
+    /// Optional circuit breaker on repeated quota denial.
+    pub breaker: Option<BreakerSettings>,
+    /// Probability that a student who abandons a lab after repeated
+    /// failures walks away **without** releasing held resources — the
+    /// paper's signature cost pathology (leaked instances/IPs/volumes
+    /// metered until semester finalize).
+    pub leak_prob: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+impl FaultProfile {
+    /// The fault-free profile reproducing the legacy semester exactly.
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            rates: FaultRates::none(),
+            quota_retry: RetryPolicy::fixed(SimDuration::hours(4), 100),
+            fault_retry: FaultProfile::default_fault_retry(),
+            breaker: None,
+            leak_prob: 0.0,
+        }
+    }
+
+    /// A chaos profile: every kind injected at `rate`, exponential
+    /// backoff with jitter, a quota breaker, and a 35% walk-away leak
+    /// probability on abandonment.
+    pub fn chaos(rate: f64) -> FaultProfile {
+        FaultProfile {
+            rates: FaultRates::uniform(rate),
+            quota_retry: RetryPolicy::fixed(SimDuration::hours(4), 100),
+            fault_retry: FaultProfile::default_fault_retry(),
+            breaker: Some(BreakerSettings {
+                threshold: 8,
+                cooldown: SimDuration::hours(12),
+            }),
+            leak_prob: 0.35,
+        }
+    }
+
+    /// The default transient-fault retry: 30 min doubling to an 8-hour
+    /// cap, 5 attempts, 50% jitter, two-day budget.
+    fn default_fault_retry() -> RetryPolicy {
+        RetryPolicy::exponential(SimDuration::minutes(30), 2.0, SimDuration::hours(8), 5, 0.5)
+            .with_deadline(SimDuration::days(2))
+    }
+
+    /// True when this profile cannot change a fault-free run: no
+    /// injections (retry policies only matter once something fails, and
+    /// quota denials follow `quota_retry`, which callers keep legacy).
+    pub fn is_inert(&self) -> bool {
+        self.rates.is_zero()
+    }
+}
+
+/// Counters describing what the failure path did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected (all kinds).
+    pub injected: u64,
+    /// Retry attempts scheduled (quota and fault causes).
+    pub retries: u64,
+    /// Operations abandoned after exhausting their retry policy.
+    pub abandoned: u64,
+    /// Deployments leaked by a walk-away student (metered to finalize).
+    pub leaked: u64,
+    /// Lease slots successfully rebooked after a revocation.
+    pub requeued: u64,
+    /// Deployments that degraded (e.g. continued without a floating IP).
+    pub degraded: u64,
+    /// Times the quota circuit breaker tripped open.
+    pub breaker_trips: u64,
+}
+
+impl FaultStats {
+    /// Sum of all counters (quick "anything happened?" check).
+    pub fn total(&self) -> u64 {
+        self.injected
+            + self.retries
+            + self.abandoned
+            + self.leaked
+            + self.requeued
+            + self.degraded
+            + self.breaker_trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_profile_is_inert_and_legacy_shaped() {
+        let p = FaultProfile::none();
+        assert!(p.is_inert());
+        assert_eq!(
+            p.quota_retry,
+            RetryPolicy::fixed(SimDuration::hours(4), 100)
+        );
+        assert!(p.breaker.is_none());
+        assert_eq!(p.leak_prob, 0.0);
+    }
+
+    #[test]
+    fn chaos_profile_injects() {
+        let p = FaultProfile::chaos(0.1);
+        assert!(!p.is_inert());
+        assert!(p.breaker.is_some());
+        assert!(p.leak_prob > 0.0);
+        assert_eq!(p.rates.launch_fail, 0.1);
+    }
+
+    #[test]
+    fn stats_total() {
+        let mut s = FaultStats::default();
+        assert_eq!(s.total(), 0);
+        s.injected = 2;
+        s.leaked = 1;
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let p = FaultProfile::chaos(0.25);
+        let a = serde_json::to_string(&p).expect("serialize");
+        assert_eq!(a, serde_json::to_string(&p.clone()).expect("serialize"));
+        assert!(a.contains("leak_prob"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Retry policies: bounded exponential backoff with seeded jitter.
+
+use opml_simkernel::{split_seed, Rng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Stream tag decorrelating jitter draws from fault-plan decision draws.
+const JITTER_TAG: u64 = 0x4A17;
+
+/// How a simulated actor retries a failed operation.
+///
+/// The delay before retry `n` (1-based) is
+/// `min(base · factor^(n-1), cap)`, scaled by a deterministic jitter
+/// factor in `[1 − jitter, 1]`. Retries stop after [`max_attempts`]
+/// failures or once the [`deadline`] budget (measured from the first
+/// attempt) is exhausted — the caller then abandons or degrades.
+///
+/// The legacy semester behaviour — "try again 4 hours later, up to 100
+/// times" — is exactly [`RetryPolicy::fixed`]`(4h, 100)`: factor 1 and
+/// jitter 0, so no stream is ever consulted and the schedule is
+/// byte-identical to the pre-fault code.
+///
+/// [`max_attempts`]: RetryPolicy::max_attempts
+/// [`deadline`]: RetryPolicy::deadline
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub cap: SimDuration,
+    /// Give up after this many failed attempts.
+    pub max_attempts: u32,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a uniform
+    /// draw in `[1 − jitter, 1]` (decorrelates synchronized retries).
+    pub jitter: f64,
+    /// Optional total retry budget measured from the first failure.
+    pub deadline: Option<SimDuration>,
+}
+
+impl RetryPolicy {
+    /// Fixed-interval retries: no growth, no jitter, no deadline.
+    pub fn fixed(delay: SimDuration, max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            base: delay,
+            factor: 1.0,
+            cap: delay,
+            max_attempts,
+            jitter: 0.0,
+            deadline: None,
+        }
+    }
+
+    /// Bounded exponential backoff with jitter.
+    pub fn exponential(
+        base: SimDuration,
+        factor: f64,
+        cap: SimDuration,
+        max_attempts: u32,
+        jitter: f64,
+    ) -> RetryPolicy {
+        RetryPolicy {
+            base,
+            factor: factor.max(1.0),
+            cap,
+            max_attempts,
+            jitter: jitter.clamp(0.0, 1.0),
+            deadline: None,
+        }
+    }
+
+    /// Add a total-deadline budget (builder style).
+    pub fn with_deadline(mut self, deadline: SimDuration) -> RetryPolicy {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Delay before retry number `attempt` (1-based, i.e. the number of
+    /// failures so far). `None` means give up.
+    ///
+    /// Jitter is drawn from a stream derived from `(seed, site, attempt)`
+    /// so the same retry in two runs waits exactly as long.
+    pub fn backoff(&self, seed: u64, site: u64, attempt: u32) -> Option<SimDuration> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let attempt = attempt.max(1);
+        let exp = self.base.0 as f64 * self.factor.powi(attempt as i32 - 1);
+        let capped = exp.min(self.cap.0 as f64);
+        let scaled = if self.jitter > 0.0 {
+            let mut rng = Rng::for_stream(split_seed(seed ^ JITTER_TAG, site), u64::from(attempt));
+            capped * rng.range_f64(1.0 - self.jitter, 1.0)
+        } else {
+            capped
+        };
+        // Round up so a nonzero delay never collapses to "now".
+        Some(SimDuration(scaled.ceil().max(1.0) as u64))
+    }
+
+    /// Whether the total budget is spent at `now` for a retry sequence
+    /// whose first failure happened at `first_failure`.
+    pub fn deadline_exceeded(&self, first_failure: SimTime, now: SimTime) -> bool {
+        match self.deadline {
+            None => false,
+            Some(budget) => now.since(first_failure) >= budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_reproduces_legacy_schedule() {
+        // The pre-fault semester: 4-hour fixed retry, give up at 100.
+        let p = RetryPolicy::fixed(SimDuration::hours(4), 100);
+        for attempt in 1..100 {
+            assert_eq!(p.backoff(1, 2, attempt), Some(SimDuration::hours(4)));
+        }
+        assert_eq!(p.backoff(1, 2, 100), None);
+        assert_eq!(
+            p.backoff(99, 77, 5),
+            Some(SimDuration::hours(4)),
+            "seed-free"
+        );
+    }
+
+    #[test]
+    fn exponential_grows_and_caps() {
+        let p = RetryPolicy::exponential(
+            SimDuration::minutes(30),
+            2.0,
+            SimDuration::hours(8),
+            10,
+            0.0,
+        );
+        assert_eq!(p.backoff(0, 0, 1), Some(SimDuration::minutes(30)));
+        assert_eq!(p.backoff(0, 0, 2), Some(SimDuration::hours(1)));
+        assert_eq!(p.backoff(0, 0, 3), Some(SimDuration::hours(2)));
+        // 30 min · 2^7 = 64 h, capped at 8 h.
+        assert_eq!(p.backoff(0, 0, 8), Some(SimDuration::hours(8)));
+        assert_eq!(p.backoff(0, 0, 10), None);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p =
+            RetryPolicy::exponential(SimDuration::hours(1), 2.0, SimDuration::hours(24), 20, 0.5);
+        for site in 0..200u64 {
+            let d = p.backoff(7, site, 3).expect("within attempts");
+            // Un-jittered delay is 4 h; jitter scales into [2 h, 4 h].
+            assert!(
+                d >= SimDuration::hours(2) && d <= SimDuration::hours(4),
+                "{d:?}"
+            );
+            assert_eq!(Some(d), p.backoff(7, site, 3), "jitter must replay");
+        }
+        // Different sites actually jitter differently.
+        let a = p.backoff(7, 1, 3);
+        let b = p.backoff(7, 2, 3);
+        assert!(a != b || p.backoff(7, 3, 3) != a, "jitter looks constant");
+    }
+
+    #[test]
+    fn deadline_budget() {
+        let p =
+            RetryPolicy::fixed(SimDuration::hours(1), 100).with_deadline(SimDuration::hours(12));
+        let first = SimTime::at(1, 0, 0, 0);
+        assert!(!p.deadline_exceeded(first, first + SimDuration::hours(11)));
+        assert!(p.deadline_exceeded(first, first + SimDuration::hours(12)));
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let p =
+            RetryPolicy::exponential(SimDuration::minutes(15), 1.5, SimDuration::hours(6), 5, 0.3)
+                .with_deadline(SimDuration::days(2));
+        let a = serde_json::to_string(&p).expect("serialize");
+        assert_eq!(a, serde_json::to_string(&p.clone()).expect("serialize"));
+        assert!(a.contains("\"max_attempts\":5"));
+    }
+}

@@ -34,6 +34,9 @@ pub struct JobOutcome {
     pub end: SimTime,
     /// GPUs taken from each node, as `(node_index, gpu_count)`.
     pub allocation: Vec<(usize, u32)>,
+    /// Checkpoint-restarts this job survived (spot preemptions). Zero
+    /// unless the simulator ran with a fault plan that preempts jobs.
+    pub restarts: u32,
 }
 
 impl JobOutcome {
@@ -73,6 +76,7 @@ mod tests {
             start: SimTime(60),
             end: SimTime(180),
             allocation: vec![(0, 1)],
+            restarts: 0,
         };
         assert_eq!(o.wait_hours(), 1.0);
         assert!((o.bounded_slowdown() - 1.5).abs() < 1e-12);
@@ -92,6 +96,7 @@ mod tests {
             start: SimTime(10),
             end: SimTime(11),
             allocation: vec![(0, 1)],
+            restarts: 0,
         };
         // Unbounded slowdown would be 11; bounded uses a 10-minute floor.
         assert!(o.bounded_slowdown() < 1.2);

@@ -36,4 +36,4 @@ pub use cluster::{Cluster, Placement};
 pub use job::{Job, JobId, JobOutcome};
 pub use metrics::ScheduleMetrics;
 pub use policy::Policy;
-pub use sim::{SchedSim, Schedule};
+pub use sim::{SchedError, SchedSim, Schedule};

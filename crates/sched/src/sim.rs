@@ -1,12 +1,42 @@
 //! The event-driven scheduling simulator.
 
 use crate::cluster::{Cluster, Placement};
-use crate::job::{Job, JobOutcome};
+use crate::job::{Job, JobId, JobOutcome};
 use crate::metrics::ScheduleMetrics;
 use crate::policy::Policy;
-use opml_simkernel::{EventQueue, SimTime};
+use opml_faults::{site_key, FaultKind, FaultPlan, RetryPolicy};
+use opml_simkernel::{EventQueue, SimDuration, SimTime};
 use opml_telemetry::Telemetry;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a trace was rejected before simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// A job wants more GPUs than the cluster has — it could never start
+    /// under any policy, so the trace is unrunnable.
+    OversizedJob {
+        /// The offending job.
+        id: JobId,
+        /// GPUs it asked for.
+        gpus: u32,
+        /// GPUs the cluster has in total.
+        total: u32,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::OversizedJob { id, gpus, total } => write!(
+                f,
+                "job {id:?} wants {gpus} GPUs but the cluster has {total}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
 
 /// The result of running a trace through a policy.
 #[derive(Debug, Clone)]
@@ -39,6 +69,8 @@ pub struct SchedSim {
     policy: Policy,
     placement: Placement,
     telemetry: Telemetry,
+    faults: FaultPlan,
+    restart_policy: RetryPolicy,
 }
 
 /// A job running on the cluster (for shadow-time computation).
@@ -56,7 +88,33 @@ impl SchedSim {
             policy,
             placement,
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::none(),
+            restart_policy: RetryPolicy::exponential(
+                SimDuration::minutes(5),
+                2.0,
+                SimDuration::hours(1),
+                u32::MAX,
+                0.0,
+            ),
         }
+    }
+
+    /// Attach a fault plan (builder style). A plan with a nonzero
+    /// `spot_preempt` rate reclaims running jobs partway through; the
+    /// job checkpoints and re-enters the queue with its remaining
+    /// duration after a [`RetryPolicy`] backoff. The inert plan draws
+    /// nothing and reproduces the fault-free schedule byte-identically.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Override the checkpoint-restart backoff (default: 5 min doubling
+    /// to a 1-hour cap, no jitter, never giving up — a preempted job is
+    /// requeued, not abandoned).
+    pub fn with_restart_policy(mut self, policy: RetryPolicy) -> Self {
+        self.restart_policy = policy;
+        self
     }
 
     /// Attach a telemetry handle (builder style). The simulator emits
@@ -70,17 +128,25 @@ impl SchedSim {
     /// Run the trace to completion and return the schedule.
     ///
     /// Panics if any job requests more GPUs than the cluster has (such a
-    /// job could never start under any policy).
-    pub fn run(mut self, jobs: &[Job]) -> Schedule {
+    /// job could never start under any policy); [`SchedSim::try_run`] is
+    /// the non-panicking form.
+    pub fn run(self, jobs: &[Job]) -> Schedule {
+        self.try_run(jobs)
+            .expect("trace contains a job the cluster can never run")
+    }
+
+    /// Run the trace to completion, or reject it with a typed error if
+    /// any job could never start.
+    pub fn try_run(mut self, jobs: &[Job]) -> Result<Schedule, SchedError> {
         let total_gpus = self.cluster.total_gpus();
         for j in jobs {
-            assert!(
-                j.gpus <= total_gpus,
-                "job {:?} wants {} GPUs but the cluster has {}",
-                j.id,
-                j.gpus,
-                total_gpus
-            );
+            if j.gpus > total_gpus {
+                return Err(SchedError::OversizedJob {
+                    id: j.id,
+                    gpus: j.gpus,
+                    total: total_gpus,
+                });
+            }
         }
         let mut arrivals: Vec<Job> = jobs.to_vec();
         arrivals.sort_by_key(|j| (j.submit, j.id));
@@ -91,28 +157,80 @@ impl SchedSim {
         let mut outcomes: Vec<JobOutcome> = Vec::new();
         let mut queue: Vec<Job> = Vec::new();
         let mut usage_gpu_hours: HashMap<u32, f64> = HashMap::new();
+        // Checkpoint-restart state. `requeues` holds preempted jobs
+        // waiting out their restart backoff; `preempted` maps a running
+        // outcome index to the duration left when the reclaim hits;
+        // `discarded` flags partial-segment outcomes dropped from the
+        // final schedule (the restarted run supersedes them).
+        let mut requeues: EventQueue<Job> = EventQueue::new();
+        let mut restart_counts: HashMap<JobId, u32> = HashMap::new();
+        let mut preempted: HashMap<usize, SimDuration> = HashMap::new();
+        let mut discarded: Vec<bool> = Vec::new();
 
         loop {
-            let next_arrival = arrivals.peek().map(|j| j.submit);
-            let next_completion = completions.peek_time();
-            let now = match (next_arrival, next_completion) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(c)) => c,
-                (Some(a), Some(c)) => a.min(c),
+            let Some(now) = [
+                arrivals.peek().map(|j| j.submit),
+                requeues.peek_time(),
+                completions.peek_time(),
+            ]
+            .into_iter()
+            .flatten()
+            .min() else {
+                break;
             };
             // Free completed jobs first so arrivals at `now` can use them.
             for (end, idx) in completions.pop_due(now) {
                 self.cluster.release(&outcomes[idx].allocation);
                 running.retain(|r| r.outcome_idx != idx);
-                let o = &outcomes[idx];
-                self.telemetry.instant(end, "job.complete", || {
-                    vec![
-                        ("id", o.job.id.0.into()),
-                        ("user", o.job.user.into()),
-                        ("gpus", o.job.gpus.into()),
-                    ]
-                });
+                if let Some(remaining) = preempted.remove(&idx) {
+                    // Spot reclaim: the segment checkpointed at `end`;
+                    // requeue the rest of the job after a backoff.
+                    discarded[idx] = true;
+                    let job = outcomes[idx].job.clone();
+                    let count = restart_counts.entry(job.id).or_insert(0);
+                    *count += 1;
+                    let restarts_now = *count;
+                    self.telemetry.instant(end, "fault.inject", || {
+                        vec![
+                            ("kind", FaultKind::SpotPreempt.name().into()),
+                            ("job", job.id.0.into()),
+                        ]
+                    });
+                    self.telemetry.instant(end, "job.preempt", || {
+                        vec![
+                            ("id", job.id.0.into()),
+                            ("remaining_min", remaining.0.into()),
+                            ("restarts", restarts_now.into()),
+                        ]
+                    });
+                    self.telemetry.counter_add("sched.preemptions", 1);
+                    let site = site_key(&format!("job-{}", job.id.0));
+                    let delay = self
+                        .restart_policy
+                        .backoff(self.faults.seed(), site, restarts_now)
+                        .unwrap_or(SimDuration(1));
+                    let resubmit = end + delay;
+                    requeues.push(
+                        resubmit,
+                        Job {
+                            duration: remaining,
+                            submit: resubmit,
+                            ..job
+                        },
+                    );
+                } else {
+                    let o = &outcomes[idx];
+                    self.telemetry.instant(end, "job.complete", || {
+                        vec![
+                            ("id", o.job.id.0.into()),
+                            ("user", o.job.user.into()),
+                            ("gpus", o.job.gpus.into()),
+                        ]
+                    });
+                }
+            }
+            for (_, job) in requeues.pop_due(now) {
+                queue.push(job);
             }
             while arrivals.peek().is_some_and(|j| j.submit <= now) {
                 queue.push(arrivals.next().expect("peeked"));
@@ -126,13 +244,21 @@ impl SchedSim {
                 &mut outcomes,
                 &mut completions,
                 &mut usage_gpu_hours,
+                &restart_counts,
+                &mut preempted,
+                &mut discarded,
             );
         }
         debug_assert!(queue.is_empty(), "jobs left queued at end of trace");
-        Schedule {
+        let outcomes = outcomes
+            .into_iter()
+            .zip(discarded)
+            .filter_map(|(o, d)| (!d).then_some(o))
+            .collect();
+        Ok(Schedule {
             outcomes,
             total_gpus,
-        }
+        })
     }
 
     /// Queue order for this policy: indices into `queue`.
@@ -162,14 +288,37 @@ impl SchedSim {
         now: SimTime,
         job: Job,
         alloc: Vec<(usize, u32)>,
+        restarts: u32,
         running: &mut Vec<Running>,
         outcomes: &mut Vec<JobOutcome>,
         completions: &mut EventQueue<usize>,
         usage: &mut HashMap<u32, f64>,
+        preempted: &mut HashMap<usize, SimDuration>,
+        discarded: &mut Vec<bool>,
     ) {
         self.cluster.allocate(&alloc);
-        let end = now + job.duration;
-        *usage.entry(job.user).or_insert(0.0) += job.gpus as f64 * job.duration.as_hours_f64();
+        let idx = outcomes.len();
+        let mut end = now + job.duration;
+        // Draw the spot-reclaim decision for this run segment. The
+        // reclaim lands 10–90% of the way through, so every segment
+        // makes progress and restart chains terminate.
+        let site = site_key(&format!("job-{}", job.id.0));
+        if self
+            .faults
+            .fires(FaultKind::SpotPreempt, None, site, restarts)
+        {
+            let frac = self
+                .faults
+                .fraction(FaultKind::SpotPreempt, site, restarts, 0.1, 0.9);
+            let seg = SimDuration(((job.duration.0 as f64 * frac).ceil() as u64).max(1))
+                .min(job.duration);
+            if seg < job.duration {
+                end = now + seg;
+                preempted.insert(idx, SimDuration(job.duration.0 - seg.0));
+            }
+        }
+        // Fair-share usage accrues for the time actually occupied.
+        *usage.entry(job.user).or_insert(0.0) += job.gpus as f64 * end.since(now).as_hours_f64();
         let wait = now.since(job.submit);
         self.telemetry.instant(now, "job.start", || {
             vec![
@@ -181,21 +330,23 @@ impl SchedSim {
         });
         self.telemetry.observe("sched.wait", wait);
         self.telemetry.counter_add("sched.jobs_started", 1);
-        let idx = outcomes.len();
         running.push(Running {
             end,
             gpus: job.gpus,
             outcome_idx: idx,
         });
         completions.push(end, idx);
+        discarded.push(false);
         outcomes.push(JobOutcome {
             job,
             start: now,
             end,
             allocation: alloc,
+            restarts,
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_start(
         &mut self,
         now: SimTime,
@@ -204,6 +355,9 @@ impl SchedSim {
         outcomes: &mut Vec<JobOutcome>,
         completions: &mut EventQueue<usize>,
         usage: &mut HashMap<u32, f64>,
+        restart_counts: &HashMap<JobId, u32>,
+        preempted: &mut HashMap<usize, SimDuration>,
+        discarded: &mut Vec<bool>,
     ) {
         // Greedy head-start loop: keep starting the (policy-ordered) head
         // while it fits.
@@ -216,7 +370,19 @@ impl SchedSim {
             match self.cluster.plan(queue[head].gpus, self.placement) {
                 Some(plan) => {
                     let job = queue.remove(head);
-                    self.start_job(now, job, plan, running, outcomes, completions, usage);
+                    let restarts = restart_counts.get(&job.id).copied().unwrap_or(0);
+                    self.start_job(
+                        now,
+                        job,
+                        plan,
+                        restarts,
+                        running,
+                        outcomes,
+                        completions,
+                        usage,
+                        preempted,
+                        discarded,
+                    );
                 }
                 None => break,
             }
@@ -269,7 +435,19 @@ impl SchedSim {
                     extra -= job.gpus;
                 }
                 let job = queue.remove(pos);
-                self.start_job(now, job, plan, running, outcomes, completions, usage);
+                let restarts = restart_counts.get(&job.id).copied().unwrap_or(0);
+                self.start_job(
+                    now,
+                    job,
+                    plan,
+                    restarts,
+                    running,
+                    outcomes,
+                    completions,
+                    usage,
+                    preempted,
+                    discarded,
+                );
             }
         }
     }
@@ -466,9 +644,95 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wants")]
+    #[should_panic(expected = "can never run")]
     fn oversized_job_panics() {
         let jobs = vec![job(0, 0, 99, 1, 0)];
         SchedSim::new(Cluster::homogeneous(1, 4), Policy::Fcfs, Placement::Packed).run(&jobs);
+    }
+
+    #[test]
+    fn oversized_job_is_a_typed_error() {
+        let jobs = vec![job(0, 0, 99, 1, 0)];
+        let err = SchedSim::new(Cluster::homogeneous(1, 4), Policy::Fcfs, Placement::Packed)
+            .try_run(&jobs)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::OversizedJob {
+                gpus: 99,
+                total: 4,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("wants 99 GPUs"));
+    }
+
+    #[test]
+    fn preempted_jobs_checkpoint_and_complete() {
+        use opml_faults::FaultRates;
+        let jobs: Vec<Job> = (0..25)
+            .map(|i| job(i, (i % 3) as u32, 1 + (i % 4) as u32, 2 + i % 5, i / 2))
+            .collect();
+        let mut rates = FaultRates::none();
+        rates.spot_preempt = 0.6;
+        let run = || {
+            SchedSim::new(
+                Cluster::homogeneous(2, 4),
+                Policy::EasyBackfill,
+                Placement::Packed,
+            )
+            .with_faults(FaultPlan::new(9, rates.clone()))
+            .run(&jobs)
+        };
+        let s = run();
+        // Every job completes exactly once despite reclaims.
+        assert_eq!(s.outcomes().len(), jobs.len());
+        let mut ids: Vec<u64> = s.outcomes().iter().map(|o| o.job.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len(), "duplicate or lost jobs");
+        let total_restarts: u32 = s.outcomes().iter().map(|o| o.restarts).sum();
+        assert!(total_restarts > 0, "no preemptions fired at a 60% rate");
+        // The final segment runs its remaining duration to completion.
+        for o in s.outcomes() {
+            assert_eq!(o.end, o.start + o.job.duration);
+            assert!(o.start >= o.job.submit);
+        }
+        // Faulty schedules replay deterministically.
+        let again = run();
+        let key = |s: &Schedule| {
+            s.outcomes()
+                .iter()
+                .map(|o| (o.job.id.0, o.start.0, o.end.0, o.restarts))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&s), key(&again));
+    }
+
+    #[test]
+    fn inert_plan_reproduces_fault_free_schedule() {
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, (i % 5) as u32, 1 + (i % 4) as u32, 1 + i % 6, i / 3))
+            .collect();
+        let base = SchedSim::new(
+            Cluster::homogeneous(2, 4),
+            Policy::FairShare { backfill: true },
+            Placement::Packed,
+        )
+        .run(&jobs);
+        let inert = SchedSim::new(
+            Cluster::homogeneous(2, 4),
+            Policy::FairShare { backfill: true },
+            Placement::Packed,
+        )
+        .with_faults(FaultPlan::none())
+        .run(&jobs);
+        let key = |s: &Schedule| {
+            s.outcomes()
+                .iter()
+                .map(|o| (o.job.id.0, o.start.0, o.end.0, o.restarts))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&base), key(&inert));
     }
 }

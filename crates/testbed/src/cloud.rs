@@ -121,7 +121,13 @@ impl Cloud {
                 break;
             }
             let (end_time, lease_id) = self.lease_ends.pop().expect("peeked");
-            let ids = self.lease_instances.remove(&lease_id).unwrap_or_default();
+            // `None` is legitimate here — the lease was admitted but never
+            // provisioned against, or was revoked early (revoke_lease
+            // already drained its instances). Anything else is a bug.
+            let ids = match self.lease_instances.remove(&lease_id) {
+                Some(ids) => ids,
+                None => Vec::new(),
+            };
             for id in ids {
                 if self.instances.get(&id).is_some_and(Instance::is_active) {
                     self.close_instance(id, end_time, InstanceState::AutoTerminated);
@@ -178,6 +184,9 @@ impl Cloud {
         name: &str,
         lease_id: LeaseId,
     ) -> Result<InstanceId, CloudError> {
+        if self.calendar.is_revoked(lease_id) {
+            return Err(CloudError::LeaseRevoked);
+        }
         let lease = self.calendar.get(lease_id).ok_or(CloudError::NoSuchLease)?;
         if !lease.covers(self.now) {
             return Err(CloudError::OutsideLease);
@@ -269,6 +278,26 @@ impl Cloud {
         }
     }
 
+    /// Kill a running instance mid-flight (hardware failure or injected
+    /// fault). The instance stops metering now; whatever workload it ran
+    /// is the caller's problem to relaunch.
+    pub fn crash_instance(&mut self, id: InstanceId) -> Result<(), CloudError> {
+        match self.instances.get(&id) {
+            None => Err(CloudError::NoSuchInstance),
+            Some(inst) if !inst.is_active() => Err(CloudError::AlreadyDeleted),
+            Some(inst) => {
+                let name = inst.name.clone();
+                let flavor = inst.flavor;
+                self.telemetry.instant(self.now, "instance.crash", || {
+                    vec![("name", name.into()), ("flavor", flavor.name().into())]
+                });
+                self.telemetry.counter_add("cloud.crashes", 1);
+                self.close_instance(id, self.now, InstanceState::Crashed);
+                Ok(())
+            }
+        }
+    }
+
     /// Look up an instance.
     pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
         self.instances.get(&id)
@@ -325,6 +354,34 @@ impl Cloud {
         }
     }
 
+    /// Revoke an admitted lease now: its window is truncated in the
+    /// calendar (freeing the nodes for rebooking) and any instances
+    /// running under it are auto-terminated immediately. Returns the ids
+    /// of the instances that were terminated.
+    pub fn revoke_lease(&mut self, lease_id: LeaseId) -> Result<Vec<InstanceId>, CloudError> {
+        self.calendar.revoke(lease_id, self.now)?;
+        // `None` just means nothing was provisioned against the lease yet.
+        let ids = match self.lease_instances.remove(&lease_id) {
+            Some(ids) => ids,
+            None => Vec::new(),
+        };
+        let mut terminated = Vec::new();
+        for id in ids {
+            if self.instances.get(&id).is_some_and(Instance::is_active) {
+                self.close_instance(id, self.now, InstanceState::AutoTerminated);
+                terminated.push(id);
+            }
+        }
+        self.telemetry.instant(self.now, "lease.revoke", || {
+            vec![
+                ("lease", lease_id.0.into()),
+                ("terminated", (terminated.len() as u64).into()),
+            ]
+        });
+        self.telemetry.counter_add("cloud.lease_revocations", 1);
+        Ok(terminated)
+    }
+
     /// Earliest admissible slot for a reservation (student "next free slot"
     /// workflow).
     pub fn earliest_slot(
@@ -365,7 +422,7 @@ impl Cloud {
 
     /// Release a floating IP now.
     pub fn release_fip(&mut self, id: FloatingIpId) -> Result<(), CloudError> {
-        let fip = self.fips.get_mut(&id).ok_or(CloudError::NoSuchInstance)?;
+        let fip = self.fips.get_mut(&id).ok_or(CloudError::NoSuchFip)?;
         if fip.released.is_some() {
             return Err(CloudError::AlreadyDeleted);
         }
@@ -409,7 +466,7 @@ impl Cloud {
         let net = self
             .networks
             .get_mut(&id)
-            .ok_or(CloudError::NoSuchInstance)?;
+            .ok_or(CloudError::NoSuchNetwork)?;
         if net.deleted.is_some() {
             return Err(CloudError::AlreadyDeleted);
         }
@@ -453,6 +510,9 @@ impl Cloud {
         if v.state == VolumeState::Deleted {
             return Err(CloudError::NoSuchVolume);
         }
+        if v.state == VolumeState::InUse && v.attached_to != Some(inst) {
+            return Err(CloudError::VolumeInUse);
+        }
         v.state = VolumeState::InUse;
         v.attached_to = Some(inst);
         Ok(())
@@ -461,6 +521,9 @@ impl Cloud {
     /// Detach a volume (data persists — that is the point of Unit 8).
     pub fn detach_volume(&mut self, vol: VolumeId) -> Result<(), CloudError> {
         let v = self.volumes.get_mut(&vol).ok_or(CloudError::NoSuchVolume)?;
+        if v.state != VolumeState::InUse {
+            return Err(CloudError::VolumeNotAttached);
+        }
         v.state = VolumeState::Available;
         v.attached_to = None;
         Ok(())
@@ -773,6 +836,85 @@ mod tests {
         assert_eq!(metrics.counters["cloud.instances_launched"], 1);
         assert_eq!(metrics.counters["cloud.quota_denials"], 1);
         assert_eq!(metrics.histograms["instance.lifetime"].sum_minutes, 120);
+    }
+
+    #[test]
+    fn crash_stops_metering_and_is_typed() {
+        let mut cloud = Cloud::new(Quota::unlimited());
+        let id = cloud
+            .create_instance("lab3-eve", FlavorId::M1Small)
+            .unwrap();
+        cloud.advance(SimDuration::hours(2));
+        cloud.crash_instance(id).unwrap();
+        cloud.advance(SimDuration::hours(5));
+        assert_eq!(cloud.ledger().instance_hours(None), 2.0);
+        assert_eq!(cloud.instance(id).unwrap().state, InstanceState::Crashed);
+        assert_eq!(cloud.crash_instance(id), Err(CloudError::AlreadyDeleted));
+        assert_eq!(
+            cloud.crash_instance(InstanceId(999)),
+            Err(CloudError::NoSuchInstance)
+        );
+        // Quota was released on crash: a replacement fits.
+        cloud
+            .create_instance("lab3-eve-2", FlavorId::M1Small)
+            .unwrap();
+    }
+
+    #[test]
+    fn revoke_lease_terminates_and_frees_slot() {
+        let mut cloud = Cloud::paper_course();
+        let lease = cloud
+            .reserve(FlavorId::GpuA100Pcie, 4, t(0), t(10), "staff")
+            .unwrap();
+        let id = cloud.create_leased_instance("lab4-fay", lease.id).unwrap();
+        cloud.advance_to(t(2));
+        let terminated = cloud.revoke_lease(lease.id).unwrap();
+        assert_eq!(terminated, vec![id]);
+        assert_eq!(
+            cloud.instance(id).unwrap().state,
+            InstanceState::AutoTerminated
+        );
+        assert_eq!(
+            cloud.ledger().instance_hours(Some(FlavorId::GpuA100Pcie)),
+            2.0
+        );
+        // Provisioning against the revoked lease is a typed refusal.
+        assert_eq!(
+            cloud.create_leased_instance("lab4-fay", lease.id),
+            Err(CloudError::LeaseRevoked)
+        );
+        // The nodes are free again for a rebooking.
+        cloud
+            .reserve(FlavorId::GpuA100Pcie, 4, t(3), t(6), "lab4-fay")
+            .unwrap();
+        // Passing the original lease end must not double-terminate.
+        cloud.advance_to(t(11));
+        assert_eq!(
+            cloud.ledger().instance_hours(Some(FlavorId::GpuA100Pcie)),
+            2.0
+        );
+    }
+
+    #[test]
+    fn typed_errors_on_fip_network_volume_paths() {
+        let mut cloud = Cloud::new(Quota::unlimited());
+        assert_eq!(
+            cloud.release_fip(FloatingIpId(7)),
+            Err(CloudError::NoSuchFip)
+        );
+        assert_eq!(
+            cloud.delete_network(NetworkId(7)),
+            Err(CloudError::NoSuchNetwork)
+        );
+        let vol = cloud.create_volume("v", 1).unwrap();
+        assert_eq!(cloud.detach_volume(vol), Err(CloudError::VolumeNotAttached));
+        let a = cloud.create_instance("a", FlavorId::M1Small).unwrap();
+        let b = cloud.create_instance("b", FlavorId::M1Small).unwrap();
+        cloud.attach_volume(vol, a).unwrap();
+        // Attaching an in-use volume to another instance is refused.
+        assert_eq!(cloud.attach_volume(vol, b), Err(CloudError::VolumeInUse));
+        // Re-attaching to the same instance is idempotent.
+        cloud.attach_volume(vol, a).unwrap();
     }
 
     #[test]

@@ -3,6 +3,22 @@
 use crate::flavor::FlavorId;
 use std::fmt;
 
+/// Coarse classification of a [`CloudError`] for retry decisions.
+///
+/// Transient errors are contention or timing: the same request can
+/// succeed later (quota frees up, a lease window opens, an injected
+/// infrastructure blip passes). Permanent errors are misuse or missing
+/// resources: repeating the identical call can never succeed, so the
+/// caller must change strategy (rebook, degrade, abandon) instead of
+/// retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying the same request later may succeed.
+    Transient,
+    /// Retrying the same request can never succeed.
+    Permanent,
+}
+
 /// Why a testbed operation was refused.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CloudError {
@@ -32,12 +48,53 @@ pub enum CloudError {
     NoSuchLease,
     /// Unknown volume id.
     NoSuchVolume,
+    /// Unknown floating-IP id.
+    NoSuchFip,
+    /// Unknown network id.
+    NoSuchNetwork,
     /// Instance already deleted.
     AlreadyDeleted,
     /// A lease must end after it starts.
     InvalidLeaseWindow,
-    /// Volume is attached and cannot be deleted.
+    /// Volume is attached and cannot be deleted (or attached elsewhere).
     VolumeInUse,
+    /// Volume operation requires an attachment but the volume is detached.
+    VolumeNotAttached,
+    /// The lease was revoked by the operator before its window ended.
+    LeaseRevoked,
+    /// An injected transient infrastructure failure (fault injection).
+    TransientFault {
+        /// The operation that failed (e.g. "create_instance").
+        op: &'static str,
+    },
+}
+
+impl CloudError {
+    /// Transient-vs-permanent classification (see [`ErrorClass`]).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            CloudError::QuotaExceeded { .. }
+            | CloudError::NoCapacity { .. }
+            | CloudError::OutsideLease
+            | CloudError::TransientFault { .. } => ErrorClass::Transient,
+            CloudError::LeaseRequired(_)
+            | CloudError::NoSuchInstance
+            | CloudError::NoSuchLease
+            | CloudError::NoSuchVolume
+            | CloudError::NoSuchFip
+            | CloudError::NoSuchNetwork
+            | CloudError::AlreadyDeleted
+            | CloudError::InvalidLeaseWindow
+            | CloudError::VolumeInUse
+            | CloudError::VolumeNotAttached
+            | CloudError::LeaseRevoked => ErrorClass::Permanent,
+        }
+    }
+
+    /// Whether retrying the identical request later can succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for CloudError {
@@ -63,9 +120,16 @@ impl fmt::Display for CloudError {
             CloudError::NoSuchInstance => write!(f, "no such instance"),
             CloudError::NoSuchLease => write!(f, "no such lease"),
             CloudError::NoSuchVolume => write!(f, "no such volume"),
+            CloudError::NoSuchFip => write!(f, "no such floating ip"),
+            CloudError::NoSuchNetwork => write!(f, "no such network"),
             CloudError::AlreadyDeleted => write!(f, "instance already deleted"),
             CloudError::InvalidLeaseWindow => write!(f, "lease must end after it starts"),
             CloudError::VolumeInUse => write!(f, "volume is attached to an instance"),
+            CloudError::VolumeNotAttached => write!(f, "volume is not attached"),
+            CloudError::LeaseRevoked => write!(f, "lease was revoked"),
+            CloudError::TransientFault { op } => {
+                write!(f, "transient infrastructure failure during {op}")
+            }
         }
     }
 }
@@ -88,5 +152,47 @@ mod tests {
         assert!(CloudError::LeaseRequired(FlavorId::GpuV100)
             .to_string()
             .contains("gpu_v100"));
+        assert!(CloudError::TransientFault {
+            op: "create_instance"
+        }
+        .to_string()
+        .contains("create_instance"));
+    }
+
+    #[test]
+    fn taxonomy_splits_transient_from_permanent() {
+        assert!(CloudError::QuotaExceeded {
+            resource: "cores",
+            limit: 1,
+            requested: 2
+        }
+        .is_retryable());
+        assert!(CloudError::NoCapacity {
+            flavor: FlavorId::GpuV100,
+            capacity: 0
+        }
+        .is_retryable());
+        assert!(CloudError::OutsideLease.is_retryable());
+        assert!(CloudError::TransientFault {
+            op: "attach_volume"
+        }
+        .is_retryable());
+
+        for e in [
+            CloudError::LeaseRequired(FlavorId::GpuV100),
+            CloudError::NoSuchInstance,
+            CloudError::NoSuchLease,
+            CloudError::NoSuchVolume,
+            CloudError::NoSuchFip,
+            CloudError::NoSuchNetwork,
+            CloudError::AlreadyDeleted,
+            CloudError::InvalidLeaseWindow,
+            CloudError::VolumeInUse,
+            CloudError::VolumeNotAttached,
+            CloudError::LeaseRevoked,
+        ] {
+            assert_eq!(e.class(), ErrorClass::Permanent, "{e}");
+            assert!(!e.is_retryable(), "{e}");
+        }
     }
 }

@@ -18,6 +18,8 @@ pub enum InstanceState {
     Deleted,
     /// Terminated automatically at lease end (bare metal / edge only).
     AutoTerminated,
+    /// Died mid-run (hardware failure or injected fault); stops metering.
+    Crashed,
 }
 
 /// A compute instance.

@@ -54,6 +54,8 @@ pub struct ReservationCalendar {
     /// Admitted leases per flavor (append-only; expired leases retained for
     /// the usage analysis).
     leases: HashMap<FlavorId, Vec<Lease>>,
+    /// Leases revoked before their window ended, in revocation order.
+    revoked: Vec<LeaseId>,
     next_id: u64,
 }
 
@@ -173,6 +175,34 @@ impl ReservationCalendar {
             .find(|&s| self.peak_reserved(flavor, s, s + length) + count <= cap)
     }
 
+    /// Revoke an admitted lease at `at`: its window is truncated (freeing
+    /// the nodes for rebooking) and further provisioning against it is
+    /// refused with [`CloudError::LeaseRevoked`].
+    pub fn revoke(&mut self, id: LeaseId, at: SimTime) -> Result<(), CloudError> {
+        if self.is_revoked(id) {
+            return Err(CloudError::LeaseRevoked);
+        }
+        // detlint::allow(DL002): unique lease id, at most one match
+        let lease = self
+            .leases
+            .values_mut()
+            .flatten()
+            .find(|l| l.id == id)
+            .ok_or(CloudError::NoSuchLease)?;
+        if lease.end <= at {
+            // Already over; nothing to revoke.
+            return Err(CloudError::OutsideLease);
+        }
+        lease.end = at.max(lease.start);
+        self.revoked.push(id);
+        Ok(())
+    }
+
+    /// Whether a lease has been revoked.
+    pub fn is_revoked(&self, id: LeaseId) -> bool {
+        self.revoked.contains(&id)
+    }
+
     /// Look up an admitted lease.
     pub fn get(&self, id: LeaseId) -> Option<&Lease> {
         // Lease ids are unique, so `find` matches at most one element and
@@ -279,6 +309,31 @@ mod tests {
         assert!(cal
             .earliest_slot(FlavorId::ComputeLiqid, 4, SimDuration::hours(1), t(0))
             .is_none());
+    }
+
+    #[test]
+    fn revoke_truncates_and_frees_capacity() {
+        let mut cal = ReservationCalendar::new();
+        cal.set_capacity(FlavorId::GpuV100, 1);
+        let lease = cal.reserve(FlavorId::GpuV100, 1, t(0), t(10), "a").unwrap();
+        // Node busy all decade: nobody else fits.
+        assert!(cal.reserve(FlavorId::GpuV100, 1, t(4), t(6), "b").is_err());
+        cal.revoke(lease.id, t(3)).unwrap();
+        assert!(cal.is_revoked(lease.id));
+        assert!(!cal.get(lease.id).unwrap().covers(t(5)));
+        // Window truncated at t(3): the slot is free again.
+        cal.reserve(FlavorId::GpuV100, 1, t(4), t(6), "b").unwrap();
+        // Double revocation and unknown ids are typed errors.
+        assert_eq!(cal.revoke(lease.id, t(4)), Err(CloudError::LeaseRevoked));
+        assert_eq!(cal.revoke(LeaseId(999), t(4)), Err(CloudError::NoSuchLease));
+    }
+
+    #[test]
+    fn revoke_after_end_is_refused() {
+        let mut cal = ReservationCalendar::new();
+        cal.set_capacity(FlavorId::GpuP100, 1);
+        let lease = cal.reserve(FlavorId::GpuP100, 1, t(0), t(2), "a").unwrap();
+        assert_eq!(cal.revoke(lease.id, t(2)), Err(CloudError::OutsideLease));
     }
 
     #[test]

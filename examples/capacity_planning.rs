@@ -33,6 +33,7 @@ fn main() {
             weeks: 14,
             run_projects: false,
             vm_auto_terminate_after: None,
+            faults: ml_ops_course::faults::FaultProfile::none(),
         };
         let outcome = simulate_semester(&config, 42);
         let rollup = AssignmentRollup::from_ledger(&outcome.ledger, enrollment as usize);

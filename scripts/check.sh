@@ -19,6 +19,9 @@ cargo run --release -q -p opml-detlint --bin detlint
 echo "==> detlint (telemetry crate, readable table)"
 cargo run --release -q -p opml-detlint --bin detlint -- --root crates/telemetry
 
+echo "==> detlint (faults crate, readable table)"
+cargo run --release -q -p opml-detlint --bin detlint -- --root crates/faults
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -32,6 +35,10 @@ cmp "$trace_dir/a/trace.jsonl" "$trace_dir/b/trace.jsonl"
 cmp "$trace_dir/a/trace_chrome.json" "$trace_dir/b/trace_chrome.json"
 cmp "$trace_dir/a/trace.jsonl" tests/golden/trace_tiny_seed7.jsonl
 rm -rf "$trace_dir"
+
+echo "==> chaos smoke run (zero-rate must match the fault-free baseline)"
+cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    chaos --rate 0.05 --seed 7 --quiet
 
 echo "==> telemetry overhead bench (<5% disabled-cost gate)"
 cargo bench -p opml-bench --bench bench_telemetry

@@ -13,6 +13,8 @@
 //!   monitoring, drift detection, data systems, CI/CD.
 //! * [`pricing`] — AWS/GCP pricing catalogs and the cheapest-adequate-instance
 //!   cost model.
+//! * [`faults`] — deterministic fault injection plans, retry/backoff
+//!   policies, circuit breaker.
 //! * [`cohort`] — course structure, student behaviour model, semester driver.
 //! * [`metering`] — usage-ledger aggregation and attribution.
 //! * [`telemetry`] — deterministic sim-time tracing, metrics registry,
@@ -35,6 +37,7 @@
 
 pub use opml_cohort as cohort;
 pub use opml_experiments as experiments;
+pub use opml_faults as faults;
 pub use opml_metering as metering;
 pub use opml_mlops as mlops;
 pub use opml_pricing as pricing;
@@ -47,6 +50,7 @@ pub use opml_testbed as testbed;
 /// The most common imports for driving a full simulation.
 pub mod prelude {
     pub use opml_cohort::semester::{simulate_semester, SemesterConfig, SemesterOutcome};
+    pub use opml_faults::{FaultPlan, FaultProfile, RetryPolicy};
     pub use opml_metering::rollup::AssignmentRollup;
     pub use opml_pricing::estimate::price_lab_assignments;
     pub use opml_simkernel::{Rng, SimDuration, SimTime};

@@ -14,6 +14,7 @@ fn small_course(enrollment: u32, projects: bool, seed: u64) -> SemesterOutcome {
         weeks: 14,
         run_projects: projects,
         vm_auto_terminate_after: None,
+        faults: ml_ops_course::faults::FaultProfile::none(),
     };
     simulate_semester(&config, seed)
 }
