@@ -31,6 +31,7 @@ pub fn labs_semester(enrollment: u32, seed: u64) -> SemesterOutcome {
         run_projects: false,
         vm_auto_terminate_after: None,
         faults: opml_faults::FaultProfile::none(),
+        shard_students: 191,
     };
     simulate_semester(&config, seed)
 }

@@ -100,14 +100,33 @@ pub struct ProjectPlan {
     pub buckets: Vec<(String, f64, SimTime)>,
 }
 
-/// Plan all project-phase usage. Leases are admitted against the cloud's
-/// reservation calendar here (reservations are future-dated); the
-/// semester driver executes the plan in time order.
+/// Plan all project-phase usage for groups `0..GROUPS`. Leases are
+/// admitted against the cloud's reservation calendar here (reservations
+/// are future-dated); the semester driver executes the plan in time
+/// order.
 pub fn plan_projects(
     cloud: &mut Cloud,
     window_start: SimTime,
     window_end: SimTime,
     seed: u64,
+) -> ProjectPlan {
+    plan_projects_range(cloud, window_start, window_end, seed, 0..GROUPS)
+}
+
+/// Plan project-phase usage for a contiguous range of **global** group
+/// ids (the sharded semester gives each shard its own id range).
+///
+/// Group `g`'s RNG stream, resource names (`proj-g<g>-…`) and per-group
+/// budgets depend only on `g` and `seed` — never on the range bounds —
+/// so planning groups `0..48` in one call or in two split calls against
+/// independent campuses draws identical per-group decisions (only
+/// calendar contention differs, and each shard owns its own calendar).
+pub fn plan_projects_range(
+    cloud: &mut Cloud,
+    window_start: SimTime,
+    window_end: SimTime,
+    seed: u64,
+    groups: std::ops::Range<u32>,
 ) -> ProjectPlan {
     assert!(window_end > window_start);
     let window_h = (window_end - window_start).as_hours_f64();
@@ -116,7 +135,7 @@ pub fn plan_projects(
     let gpu_weights: Vec<f64> = GPU_MIX.iter().map(|&(_, w)| w).collect();
 
     let mut total_block_gb = 0u64;
-    for g in 0..GROUPS {
+    for g in groups {
         let mut rng = Rng::new(split_seed(seed, 0x50_0000 + g as u64));
         let intensity = Intensity::sample(&mut rng);
         let m = intensity.multiplier();

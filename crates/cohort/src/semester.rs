@@ -5,14 +5,28 @@
 //! advance arrangements in §4), then every action is executed through a
 //! single time-ordered event queue so the cloud's clock stays monotone
 //! and lease auto-terminations fire exactly when they should.
+//!
+//! ## Sharded execution
+//!
+//! Cohorts larger than [`SemesterConfig::shard_students`] are split
+//! into shards of at most that many students, each simulated against
+//! its own replicated campus (own capacity calendar, quota ledger,
+//! fault engine and telemetry buffer), then merged in shard-index
+//! order. The shard structure is a pure function of the config — never
+//! of the executing thread count — so the parallel
+//! ([`simulate_semester`]) and sequential
+//! ([`simulate_semester_serial`]) drivers produce byte-identical
+//! outcomes at any rayon pool size. A cohort that fits in one shard
+//! takes the legacy single-campus path unchanged.
 
 use crate::behavior::StudentProfile;
 use crate::labspec::lab_specs;
-use crate::project::{plan_projects, ProjectPlan};
+use crate::project::{plan_projects_range, ProjectPlan, GROUPS};
 use opml_faults::{site_key, CircuitBreaker, FaultKind, FaultPlan, FaultProfile, FaultStats};
 use opml_metering::attribution::student_name;
+use opml_simkernel::parallel::map_slice;
 use opml_simkernel::{split_seed, EventQueue, Rng, SimDuration, SimTime};
-use opml_telemetry::Telemetry;
+use opml_telemetry::{MemorySink, MetricsSnapshot, Telemetry, TelemetryEvent};
 use opml_testbed::error::CloudError;
 use opml_testbed::flavor::FlavorId;
 use opml_testbed::instance::InstanceId;
@@ -93,6 +107,20 @@ pub struct SemesterConfig {
     /// Fault injection and recovery policy. [`FaultProfile::none`] (the
     /// default) reproduces the fault-free semester byte-identically.
     pub faults: FaultProfile,
+    /// Maximum students per shard. Cohorts at or below this size run on
+    /// the legacy single-campus path; larger cohorts are split into
+    /// replicated-campus shards (see the module docs). The default is
+    /// the paper's enrollment, so the paper course is always exactly
+    /// one shard.
+    #[serde(default = "default_shard_students")]
+    pub shard_students: u32,
+}
+
+/// Serde default for [`SemesterConfig::shard_students`] (configs
+/// serialized before sharding existed deserialize onto the legacy
+/// single-shard path).
+fn default_shard_students() -> u32 {
+    191
 }
 
 impl SemesterConfig {
@@ -104,6 +132,7 @@ impl SemesterConfig {
             run_projects: true,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: default_shard_students(),
         }
     }
 
@@ -113,6 +142,70 @@ impl SemesterConfig {
             run_projects: false,
             ..SemesterConfig::paper_course()
         }
+    }
+
+    /// Split the cohort into shards of at most `shard_students`
+    /// students each.
+    ///
+    /// The split is a function of the config alone — never of the
+    /// executing thread count — so the shard structure (and therefore
+    /// every byte of the merged outcome) is fixed before any execution
+    /// strategy is chosen. A cohort that fits in one shard keeps the
+    /// legacy single-campus semantics: groups `0..GROUPS` regardless of
+    /// enrollment. Multi-shard runs give every full shard all `GROUPS`
+    /// project groups and the trailing remainder shard a proportional
+    /// share, with globally unique group ids.
+    pub fn shards(&self) -> Vec<ShardSpec> {
+        let per = self.shard_students.max(1);
+        if self.enrollment <= per {
+            return vec![ShardSpec {
+                index: 0,
+                students: 0..self.enrollment,
+                groups: 0..GROUPS,
+            }];
+        }
+        let mut shards = Vec::new();
+        let mut group_base = 0u32;
+        let mut start = 0u32;
+        while start < self.enrollment {
+            let end = start.saturating_add(per).min(self.enrollment);
+            let count = end - start;
+            let groups = if count == per {
+                GROUPS
+            } else {
+                // Remainder shard: proportional share, rounded up so
+                // any non-empty shard plans at least one group.
+                ((u64::from(count) * u64::from(GROUPS)).div_ceil(u64::from(per))) as u32
+            };
+            shards.push(ShardSpec {
+                index: shards.len() as u32,
+                students: start..end,
+                groups: group_base..group_base + groups,
+            });
+            group_base += groups;
+            start = end;
+        }
+        shards
+    }
+}
+
+/// One shard of a (possibly sharded) semester run: a contiguous range
+/// of global student ids plus a contiguous range of global project
+/// group ids, executed against its own replicated campus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index; shards are merged in index order.
+    pub index: u32,
+    /// Global student ids simulated by this shard.
+    pub students: std::ops::Range<u32>,
+    /// Global project-group ids planned by this shard.
+    pub groups: std::ops::Range<u32>,
+}
+
+impl ShardSpec {
+    /// Number of students in this shard.
+    pub fn student_count(&self) -> u32 {
+        self.students.end - self.students.start
     }
 }
 
@@ -234,6 +327,11 @@ impl FaultEngine {
 }
 
 /// Simulate a full semester; returns the closed ledger and counters.
+///
+/// Cohorts larger than [`SemesterConfig::shard_students`] are split
+/// into shards executed in parallel on the ambient rayon pool and
+/// merged deterministically; the outcome is byte-identical to
+/// [`simulate_semester_serial`] at any thread count.
 pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome {
     simulate_semester_with(config, seed, &Telemetry::disabled())
 }
@@ -242,27 +340,149 @@ pub fn simulate_semester(config: &SemesterConfig, seed: u64) -> SemesterOutcome 
 /// semester trace through `telemetry`: `semester.plan`/`semester.exec`
 /// spans, per-pop `queue.pop` instants, `slot.pushback`/`vm.retry`
 /// events, weekly `semester.week_start` transitions, and the cloud's own
-/// instance/lease/quota events.
+/// instance/lease/quota events. Multi-shard runs buffer each shard's
+/// trace privately and replay the buffers through `telemetry` in
+/// shard-index order, so the merged trace is identical however the
+/// shards were scheduled.
 pub fn simulate_semester_with(
     config: &SemesterConfig,
     seed: u64,
     telemetry: &Telemetry,
+) -> SemesterOutcome {
+    let shards = config.shards();
+    if shards.len() == 1 {
+        return run_shard(config, seed, &shards[0], telemetry, false);
+    }
+    let runs = map_slice(&shards, |_, shard| {
+        run_shard_buffered(config, seed, shard, telemetry.is_enabled())
+    });
+    merge_shard_runs(runs, telemetry)
+}
+
+/// Simulate a full semester strictly sequentially: the same shards as
+/// [`simulate_semester`], executed one after another on the calling
+/// thread and folded by the same merge. This is the byte-for-byte
+/// reference the parallel driver is verified against.
+pub fn simulate_semester_serial(config: &SemesterConfig, seed: u64) -> SemesterOutcome {
+    simulate_semester_serial_with(config, seed, &Telemetry::disabled())
+}
+
+/// Sequential counterpart of [`simulate_semester_with`].
+pub fn simulate_semester_serial_with(
+    config: &SemesterConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> SemesterOutcome {
+    let shards = config.shards();
+    if shards.len() == 1 {
+        return run_shard(config, seed, &shards[0], telemetry, false);
+    }
+    let runs: Vec<ShardRun> = shards
+        .iter()
+        .map(|shard| run_shard_buffered(config, seed, shard, telemetry.is_enabled()))
+        .collect();
+    merge_shard_runs(runs, telemetry)
+}
+
+/// Everything one shard produces, ready for the deterministic merge.
+struct ShardRun {
+    outcome: SemesterOutcome,
+    events: Vec<TelemetryEvent>,
+    metrics: MetricsSnapshot,
+}
+
+/// Execute one shard against a private telemetry buffer (or fully
+/// disabled telemetry when the parent handle is disabled), so shards
+/// never contend on the parent handle and their event streams can be
+/// replayed in shard order afterwards.
+fn run_shard_buffered(
+    config: &SemesterConfig,
+    seed: u64,
+    shard: &ShardSpec,
+    record: bool,
+) -> ShardRun {
+    if record {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let outcome = run_shard(config, seed, shard, &telemetry, true);
+        ShardRun {
+            outcome,
+            events: sink.events(),
+            metrics: telemetry.metrics_snapshot(),
+        }
+    } else {
+        let outcome = run_shard(config, seed, shard, &Telemetry::disabled(), true);
+        ShardRun {
+            outcome,
+            events: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+}
+
+/// Fold per-shard runs — already in shard-index order — into one
+/// outcome.
+///
+/// Merge laws, each associative and stable under the fixed shard
+/// order: ledgers concatenate and re-sort into the canonical record
+/// order ([`Ledger::merge_sorted`]); `u64` counters sum exactly;
+/// [`FaultStats`] sum fieldwise; telemetry buffers replay through the
+/// parent handle in shard-index order (fresh, gapless sequence
+/// stamps); metric snapshots fold via [`Telemetry::merge_metrics`].
+fn merge_shard_runs(runs: Vec<ShardRun>, telemetry: &Telemetry) -> SemesterOutcome {
+    telemetry.counter_add("semester.shards", runs.len() as u64);
+    let mut quota_denials = 0u64;
+    let mut slot_pushbacks = 0u64;
+    let mut faults = FaultStats::default();
+    let mut ledgers = Vec::with_capacity(runs.len());
+    for run in runs {
+        telemetry.replay(&run.events);
+        telemetry.merge_metrics(&run.metrics);
+        quota_denials += run.outcome.quota_denials;
+        slot_pushbacks += run.outcome.slot_pushbacks;
+        faults.merge(&run.outcome.faults);
+        ledgers.push(run.outcome.ledger);
+    }
+    SemesterOutcome {
+        ledger: Ledger::merge_sorted(ledgers),
+        quota_denials,
+        slot_pushbacks,
+        faults,
+    }
+}
+
+/// Run one shard of the semester against its own replicated campus.
+///
+/// With the cohort-sized single shard this is exactly the legacy
+/// monolithic driver (and `annotate` is false so the trace bytes are
+/// unchanged); multi-shard callers set `annotate` to stamp the shard
+/// index onto the plan span.
+fn run_shard(
+    config: &SemesterConfig,
+    seed: u64,
+    shard: &ShardSpec,
+    telemetry: &Telemetry,
+    annotate: bool,
 ) -> SemesterOutcome {
     let mut cloud = Cloud::paper_course().with_telemetry(telemetry.clone());
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut slot_pushbacks = 0u64;
     let mut fe = FaultEngine::new(&config.faults, seed);
     let plan_span = telemetry.span(SimTime::ZERO, "semester.plan", || {
-        vec![
-            ("enrollment", config.enrollment.into()),
+        let mut attrs = vec![
+            ("enrollment", shard.student_count().into()),
             ("weeks", config.weeks.into()),
             ("projects", config.run_projects.into()),
-        ]
+        ];
+        if annotate {
+            attrs.push(("shard", shard.index.into()));
+        }
+        attrs
     });
 
     // ------------------------------------------------ plan student labs
     let specs = lab_specs();
-    for sid in 0..config.enrollment {
+    for sid in shard.students.clone() {
         let mut rng = Rng::new(split_seed(seed, sid as u64));
         let profile = StudentProfile::sample(sid, &mut rng);
         for spec in &specs {
@@ -351,14 +571,22 @@ pub fn simulate_semester_with(
     }
 
     // ----------------------------------------------------- plan projects
-    if config.run_projects {
+    if config.run_projects && !shard.groups.is_empty() {
         let window_start = SimTime::at(8, 3, 12, 0);
         let window_end = SimTime::at(config.weeks + 1, 0, 0, 0);
         telemetry.instant(window_start, "project.window_open", || {
             vec![("until_min", window_end.0.into())]
         });
-        let plan: ProjectPlan =
-            plan_projects(&mut cloud, window_start, window_end, seed ^ 0x1234_5678);
+        // The project seed and per-group streams are global (shard 0
+        // reproduces the legacy plan bit-for-bit); only the group range
+        // is shard-local.
+        let plan: ProjectPlan = plan_projects_range(
+            &mut cloud,
+            window_start,
+            window_end,
+            seed ^ 0x1234_5678,
+            shard.groups.clone(),
+        );
         for vm in plan.vms {
             queue.push(vm.start, Ev::VmUp(vm));
         }
@@ -1001,6 +1229,7 @@ mod tests {
             run_projects: false,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, 7);
         assert!(outcome.ledger.instance_hours(None) > 0.0);
@@ -1035,6 +1264,7 @@ mod tests {
             run_projects: false,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, 8);
         let rollup = AssignmentRollup::from_ledger(&outcome.ledger, 8);
@@ -1056,6 +1286,7 @@ mod tests {
             run_projects: false,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let capped = SemesterConfig {
             vm_auto_terminate_after: Some(SimDuration::hours(8)),
@@ -1088,6 +1319,7 @@ mod tests {
             run_projects: true,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let a = simulate_semester(&config, 11);
         let b = simulate_semester(&config, 11);
@@ -1106,6 +1338,7 @@ mod tests {
             run_projects: false,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let trace = |seed: u64| {
             let sink = MemorySink::new();
@@ -1142,6 +1375,7 @@ mod tests {
             run_projects: true,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, 13);
         let proj_hours: f64 = outcome

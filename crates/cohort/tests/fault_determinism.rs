@@ -4,15 +4,12 @@
 
 use opml_cohort::semester::{simulate_semester_with, SemesterConfig};
 use opml_faults::FaultProfile;
+use opml_simkernel::parallel::with_thread_count;
 use opml_telemetry::{export_jsonl, MemorySink, Telemetry};
 
 /// Run one semester under `threads` rayon threads and export its trace.
 fn trace(faults: FaultProfile, threads: usize) -> String {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("build pool");
-    pool.install(|| {
+    with_thread_count(threads, || {
         let sink = MemorySink::new();
         let telemetry = Telemetry::with_sink(sink.clone());
         let config = SemesterConfig {
@@ -21,10 +18,41 @@ fn trace(faults: FaultProfile, threads: usize) -> String {
             run_projects: true,
             vm_auto_terminate_after: None,
             faults,
+            shard_students: 191,
         };
         simulate_semester_with(&config, 7, &telemetry);
         export_jsonl(&sink.events())
     })
+}
+
+#[test]
+fn sharded_chaos_trace_is_thread_count_invariant() {
+    // Force multiple shards (8 students, 3 per shard) so the buffered
+    // replay path — not just the legacy single-campus path — is covered
+    // under fault injection.
+    let sharded = |threads: usize| {
+        with_thread_count(threads, || {
+            let sink = MemorySink::new();
+            let telemetry = Telemetry::with_sink(sink.clone());
+            let config = SemesterConfig {
+                enrollment: 8,
+                weeks: 14,
+                run_projects: true,
+                vm_auto_terminate_after: None,
+                faults: FaultProfile::chaos(0.2),
+                shard_students: 3,
+            };
+            simulate_semester_with(&config, 7, &telemetry);
+            export_jsonl(&sink.events())
+        })
+    };
+    let serial = sharded(1);
+    let parallel = sharded(8);
+    assert!(serial.contains("fault.inject"));
+    assert_eq!(
+        serial, parallel,
+        "sharded chaos trace differs across thread counts"
+    );
 }
 
 #[test]

@@ -21,6 +21,7 @@ proptest! {
             run_projects: false,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, seed);
         let end = opml_simkernel::SimTime::at(15, 0, 0, 0);
@@ -51,6 +52,7 @@ proptest! {
             run_projects: false,
             vm_auto_terminate_after: Some(SimDuration::hours(cap_hours)),
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, seed);
         for r in outcome.ledger.records() {
@@ -102,6 +104,7 @@ proptest! {
             run_projects: projects,
             vm_auto_terminate_after: None,
             faults,
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, seed);
         let end = opml_simkernel::SimTime::at(15, 0, 0, 0);
@@ -135,13 +138,10 @@ proptest! {
             run_projects: false,
             vm_auto_terminate_after: None,
             faults: FaultProfile::none(),
+            shard_students: 191,
         };
         let run = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("build pool");
-            pool.install(|| {
+            opml_simkernel::parallel::with_thread_count(threads, || {
                 let outcome = simulate_semester(&config, seed);
                 let rollup = AssignmentRollup::from_ledger(&outcome.ledger, enrollment as usize);
                 let per_student =

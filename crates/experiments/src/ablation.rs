@@ -38,6 +38,7 @@ pub fn run(seed: u64, enrollment: u32) -> (String, ComparisonSet, Vec<PolicyArm>
             run_projects: false,
             vm_auto_terminate_after: cap.map(SimDuration::hours),
             faults: opml_faults::FaultProfile::none(),
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, seed);
         let rollup = AssignmentRollup::from_ledger(&outcome.ledger, enrollment as usize);

@@ -31,6 +31,11 @@ pub struct ChaosConfig {
     /// Injection rates to sweep. A zero rate is always prepended so the
     /// inert-plan identity is checked on every run.
     pub rates: Vec<f64>,
+    /// Rayon threads every arm is pinned to (via
+    /// [`opml_simkernel::parallel::with_thread_count`], the shared pool
+    /// helper) so the inert-plan identity is checked under a known
+    /// schedule.
+    pub threads: usize,
 }
 
 impl Default for ChaosConfig {
@@ -39,6 +44,7 @@ impl Default for ChaosConfig {
             seed: 42,
             enrollment: 191,
             rates: vec![0.05, 0.2],
+            threads: 1,
         }
     }
 }
@@ -87,6 +93,7 @@ fn run_arm(seed: u64, enrollment: u32, rate: Option<f64>) -> ChaosArm {
             None => FaultProfile::none(),
             Some(r) => FaultProfile::chaos(r),
         },
+        shard_students: 191,
     };
     let outcome = simulate_semester_with(&config, seed, &telemetry);
     let jsonl = export_jsonl(&sink.events());
@@ -106,16 +113,20 @@ fn run_arm(seed: u64, enrollment: u32, rate: Option<f64>) -> ChaosArm {
 }
 
 /// Run the sweep: fault-free baseline, then a zero-rate chaos arm (the
-/// identity check), then each requested rate.
+/// identity check), then each requested rate. All arms execute inside
+/// one pinned pool of `config.threads` rayon threads.
 pub fn run(config: &ChaosConfig) -> ChaosReport {
-    let baseline = run_arm(config.seed, config.enrollment, None);
-    let mut arms = vec![baseline.clone()];
-    arms.push(run_arm(config.seed, config.enrollment, Some(0.0)));
-    for &rate in &config.rates {
-        if rate > 0.0 {
-            arms.push(run_arm(config.seed, config.enrollment, Some(rate)));
+    let (baseline, arms) = opml_simkernel::parallel::with_thread_count(config.threads, || {
+        let baseline = run_arm(config.seed, config.enrollment, None);
+        let mut arms = vec![baseline.clone()];
+        arms.push(run_arm(config.seed, config.enrollment, Some(0.0)));
+        for &rate in &config.rates {
+            if rate > 0.0 {
+                arms.push(run_arm(config.seed, config.enrollment, Some(rate)));
+            }
         }
-    }
+        (baseline, arms)
+    });
     let zero_rate_matches_baseline = arms[1].digest == baseline.digest;
 
     let mut table = Table::new(&[
@@ -172,6 +183,7 @@ mod tests {
             seed: 7,
             enrollment: 6,
             rates,
+            threads: 2,
         }
     }
 

@@ -1,0 +1,33 @@
+//! Shared deterministic digesting for the runtime verifiers.
+//!
+//! One hash function, used by `verify-determinism`, the chaos harness
+//! and the `scale` sweep, so every "byte-identical" claim in the repo
+//! is made against the same digest.
+
+/// FNV-1a 64-bit (deterministic, dependency-free).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(fnv1a64(b"ledger-a"), fnv1a64(b"ledger-b"));
+    }
+}

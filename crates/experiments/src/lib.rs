@@ -20,17 +20,20 @@
 //! | [`chaos`] | extension — fault-injection sweep (`run-experiments chaos`) |
 //! | [`verify`] | replay-equivalence verifier (`verify-determinism`) |
 //! | [`trace`] | telemetry trace capture (`run-experiments trace`) |
+//! | [`scale`] | extension — sharded large-cohort sweep (`run-experiments scale`) |
 
 pub mod ablation;
 pub mod capacity;
 pub mod chaos;
 pub mod context;
+pub mod digest;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod headline;
 pub mod paper;
 pub mod project_cost;
+pub mod scale;
 pub mod seeds;
 pub mod spot_ablation;
 pub mod table1;

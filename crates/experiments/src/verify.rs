@@ -58,15 +58,7 @@ impl VerifyOutcome {
     }
 }
 
-/// FNV-1a 64-bit (deterministic, dependency-free).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use crate::digest::fnv1a64;
 
 /// Run `table1` + `fig2` once — with telemetry recording — and digest
 /// every serialized artifact, including the telemetry trace bytes, so a
@@ -106,12 +98,8 @@ pub fn verify_determinism(seed: u64, threads: &[usize]) -> VerifyOutcome {
     };
     let mut digests = Vec::new();
     for &t in counts {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(t)
-            .build()
-            .expect("build thread pool");
         for rep in 0..2 {
-            let hash = pool.install(|| digest_one(seed));
+            let hash = opml_simkernel::parallel::with_thread_count(t, || digest_one(seed));
             digests.push(RunDigest {
                 threads: t,
                 rep,

@@ -126,11 +126,52 @@ impl FaultStats {
             + self.degraded
             + self.breaker_trips
     }
+
+    /// Fold another run's counters into this one (fieldwise sum).
+    ///
+    /// This is the shard-merge law for fault statistics: counter
+    /// addition over `u64` is exact, so merging per-shard stats is
+    /// associative and commutative — any grouping or ordering of shards
+    /// yields the identical struct. Property-tested in
+    /// `crates/metering/tests/shard_merge.rs`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.retries += other.retries;
+        self.abandoned += other.abandoned;
+        self.leaked += other.leaked;
+        self.requeued += other.requeued;
+        self.degraded += other.degraded;
+        self.breaker_trips += other.breaker_trips;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_merge_is_fieldwise_and_commutative() {
+        let a = FaultStats {
+            injected: 1,
+            retries: 2,
+            abandoned: 3,
+            leaked: 4,
+            requeued: 5,
+            degraded: 6,
+            breaker_trips: 7,
+        };
+        let b = FaultStats {
+            injected: 10,
+            ..FaultStats::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.injected, 11);
+        assert_eq!(ab.total(), a.total() + b.total());
+    }
 
     #[test]
     fn none_profile_is_inert_and_legacy_shaped() {

@@ -38,6 +38,22 @@ where
         .collect()
 }
 
+/// Run `f` inside a rayon pool pinned to exactly `threads` worker
+/// threads, restoring the ambient pool configuration afterwards.
+///
+/// This is the **one** sanctioned way to pin a thread count: the
+/// runtime verifiers (`verify-determinism`, the chaos zero-rate arm),
+/// the scale sweep, and the thread-invariance tests all route through
+/// it so pool construction cannot drift between callers. `threads == 0`
+/// is normalized to 1 (a zero-thread pool cannot make progress).
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("build pinned thread pool")
+        .install(f)
+}
+
 /// Parallel map over a slice with index-stable output.
 pub fn map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -92,5 +108,31 @@ mod tests {
         let items = vec![10, 20, 30, 40];
         let out = map_slice(&items, |i, &x| x + i as i32);
         assert_eq!(out, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn with_thread_count_pins_and_restores() {
+        let ambient = rayon::current_num_threads();
+        let inside = with_thread_count(3, rayon::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(rayon::current_num_threads(), ambient, "pool must restore");
+        // Nesting: the innermost pin wins, and unwinding restores outward.
+        let (outer, inner) = with_thread_count(2, || {
+            let inner = with_thread_count(5, rayon::current_num_threads);
+            (rayon::current_num_threads(), inner)
+        });
+        assert_eq!((outer, inner), (2, 5));
+        // A zero request is normalized to one worker, not a stuck pool.
+        assert_eq!(with_thread_count(0, rayon::current_num_threads), 1);
+    }
+
+    #[test]
+    fn with_thread_count_results_match_across_counts() {
+        let runs: Vec<Vec<(usize, u64)>> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| with_thread_count(t, || indexed_map(32, 9, |i, seed| (i, seed))))
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
     }
 }

@@ -164,11 +164,7 @@ proptest! {
             })
             .collect();
         for threads in [1usize, 4] {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("build pool");
-            let parallel = pool.install(|| {
+            let parallel = opml_simkernel::parallel::with_thread_count(threads, || {
                 indexed_map(n, master, |_, seed| {
                     let mut rng = Rng::new(seed);
                     (rng.next_u64(), rng.below(1000))

@@ -189,6 +189,38 @@ impl Telemetry {
         }
     }
 
+    /// Re-emit previously captured events through this handle, in input
+    /// order, restamping each with a fresh sequence number from this
+    /// handle's counter (times, phases, names and attrs are preserved).
+    ///
+    /// This is the shard-merge seam: each shard of a sharded simulation
+    /// records into its own buffer with its own dense `seq` space, and
+    /// the merger replays the buffers in shard-index order — so the
+    /// merged stream's sequence stamps depend only on the shard
+    /// structure, never on which thread finished first.
+    pub fn replay(&self, events: &[TelemetryEvent]) {
+        if let Some(inner) = &self.inner {
+            for e in events {
+                let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+                inner.sink.record(&TelemetryEvent {
+                    seq,
+                    time: e.time,
+                    phase: e.phase,
+                    name: e.name.clone(),
+                    attrs: e.attrs.clone(),
+                });
+            }
+        }
+    }
+
+    /// Fold a (per-shard) metrics snapshot into this handle's registry;
+    /// see [`MetricsRegistry::merge_snapshot`] for the merge laws.
+    pub fn merge_metrics(&self, snap: &MetricsSnapshot) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().merge_snapshot(snap);
+        }
+    }
+
     /// Snapshot of the metrics registry (empty for a disabled handle).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
@@ -290,6 +322,57 @@ mod tests {
         assert_eq!(snap.gauges["g"], 1.5);
         assert_eq!(snap.gauges["m"], 3.0);
         assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn replay_restamps_sequence_numbers() {
+        let shard_sink = MemorySink::new();
+        let shard = Telemetry::with_sink(shard_sink.clone());
+        shard.instant(SimTime(5), "a", || vec![("k", 1u64.into())]);
+        shard.instant(SimTime(9), "b", Vec::new);
+
+        let parent_sink = MemorySink::new();
+        let parent = Telemetry::with_sink(parent_sink.clone());
+        parent.instant(SimTime(1), "pre", Vec::new);
+        parent.replay(&shard_sink.events());
+        let events = parent_sink.events();
+        assert_eq!(events.len(), 3);
+        // Fresh, dense seq stamps from the parent's counter...
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // ...with times, names and attrs preserved.
+        assert_eq!(events[1].time, SimTime(5));
+        assert_eq!(events[1].name, "a");
+        assert_eq!(events[1].attr("k"), Some(&AttrValue::U64(1)));
+
+        // Replay through a disabled handle is a no-op.
+        Telemetry::disabled().replay(&shard_sink.events());
+    }
+
+    #[test]
+    fn merge_metrics_folds_shard_snapshots() {
+        let mk = |c: u64, g: f64, h_hours: u64| {
+            let t = Telemetry::with_sink(NullSink);
+            t.counter_add("n", c);
+            t.gauge_set("high_water", g);
+            t.observe("dur", SimDuration::hours(h_hours));
+            t.metrics_snapshot()
+        };
+        let (a, b) = (mk(2, 5.0, 1), mk(3, 2.0, 3));
+        let fold = |first: &MetricsSnapshot, second: &MetricsSnapshot| {
+            let t = Telemetry::with_sink(NullSink);
+            t.merge_metrics(first);
+            t.merge_metrics(second);
+            t.metrics_snapshot()
+        };
+        let ab = fold(&a, &b);
+        assert_eq!(ab.counters["n"], 5, "counters add");
+        assert_eq!(ab.gauges["high_water"], 5.0, "gauges take the max");
+        assert_eq!(ab.histograms["dur"].count, 2, "histograms merge");
+        assert_eq!(ab.histograms["dur"].sum_minutes, 4 * 60);
+        assert_eq!(ab, fold(&b, &a), "merge is order-invariant");
     }
 
     #[test]

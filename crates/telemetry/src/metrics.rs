@@ -53,6 +53,17 @@ impl SimTimeHistogram {
         self.max_minutes = self.max_minutes.max(d.0);
     }
 
+    /// Fold another histogram into this one (bucketwise sum; shared
+    /// fixed bounds make this exact and order-independent).
+    pub fn merge(&mut self, other: &SimTimeHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_minutes += other.sum_minutes;
+        self.max_minutes = self.max_minutes.max(other.max_minutes);
+    }
+
     /// Mean sample in fractional hours (0 when empty).
     pub fn mean_hours(&self) -> f64 {
         if self.count == 0 {
@@ -101,6 +112,25 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_default()
             .observe(d);
+    }
+
+    /// Fold a (per-shard) snapshot into this registry.
+    ///
+    /// Merge laws, chosen so that folding shard snapshots in any order
+    /// or grouping yields the same registry: counters **add** (exact
+    /// `u64` sums), gauges take the **high-water maximum** (every gauge
+    /// the simulator sets is a high-water reading, and `max` is the only
+    /// order-free fold for them), histograms merge **bucketwise**.
+    pub fn merge_snapshot(&mut self, snap: &MetricsSnapshot) {
+        for (name, delta) in &snap.counters {
+            self.counter_add(name, *delta);
+        }
+        for (name, value) in &snap.gauges {
+            self.gauge_max(name, *value);
+        }
+        for (name, hist) in &snap.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
     }
 
     /// Immutable, name-sorted snapshot for rendering/export.

@@ -36,6 +36,24 @@ pub enum UsageKind {
     },
 }
 
+impl UsageKind {
+    /// Stable total-order key over the variant and its payload. Float
+    /// payloads order by bit pattern (all stored values are finite), so
+    /// the order is total and two records compare equal only when their
+    /// serialized bytes are identical.
+    fn sort_key(self) -> (u8, u64, u64) {
+        match self {
+            UsageKind::Instance {
+                flavor,
+                auto_terminated,
+            } => (0, flavor as u64, u64::from(auto_terminated)),
+            UsageKind::FloatingIp => (1, 0, 0),
+            UsageKind::Volume { size_gb } => (2, size_gb, 0),
+            UsageKind::ObjectStorage { gb } => (3, gb.to_bits(), 0),
+        }
+    }
+}
+
 /// One closed usage interval.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UsageRecord {
@@ -92,6 +110,37 @@ impl Ledger {
     /// partial simulations).
     pub fn extend(&mut self, other: Ledger) {
         self.records.extend(other.records);
+    }
+
+    /// Sort records into the canonical order: `(name, start, end, kind)`
+    /// under a total key. Idempotent, and independent of the order the
+    /// records were appended in.
+    pub fn sort_canonical(&mut self) {
+        self.records.sort_by(|a, b| {
+            (a.name.as_str(), a.start, a.end, a.kind.sort_key()).cmp(&(
+                b.name.as_str(),
+                b.start,
+                b.end,
+                b.kind.sort_key(),
+            ))
+        });
+    }
+
+    /// Merge ledger fragments into one canonically-ordered ledger.
+    ///
+    /// This is the shard-merge law for usage records: concatenate, then
+    /// [`Ledger::sort_canonical`]. Because the sort key is a total order
+    /// and sorting is idempotent, the merge is associative *and*
+    /// fragment-order-invariant — any grouping of shards serializes to
+    /// identical bytes. Property-tested in
+    /// `crates/metering/tests/shard_merge.rs`.
+    pub fn merge_sorted(parts: impl IntoIterator<Item = Ledger>) -> Ledger {
+        let mut merged = Ledger::new();
+        for part in parts {
+            merged.records.extend(part.records);
+        }
+        merged.sort_canonical();
+        merged
     }
 
     /// Total instance-hours, optionally restricted to one flavor.
@@ -326,6 +375,46 @@ mod tests {
             });
         }
         assert!((l.object_gb() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sorted_is_order_invariant() {
+        let mut a = Ledger::new();
+        a.push(inst("lab2-b", FlavorId::M1Small, 3, 5));
+        a.push(inst("lab1-a", FlavorId::M1Small, 0, 1));
+        let mut b = Ledger::new();
+        b.push(UsageRecord {
+            name: "lab1-a".into(),
+            kind: UsageKind::FloatingIp,
+            start: t(0),
+            end: t(1),
+        });
+        b.push(inst("lab1-a", FlavorId::M1Medium, 0, 1));
+        let mut c = Ledger::new();
+        c.push(inst("lab1-a", FlavorId::M1Small, 0, 1)); // duplicate of a's
+        let merge = |parts: Vec<&Ledger>| {
+            let m = Ledger::merge_sorted(parts.into_iter().cloned());
+            serde_json::to_string(m.records()).expect("serialize")
+        };
+        let abc = merge(vec![&a, &b, &c]);
+        assert_eq!(abc, merge(vec![&c, &a, &b]), "order must not matter");
+        // Associativity: ((a ∪ b) ∪ c) == (a ∪ (b ∪ c)).
+        let left = Ledger::merge_sorted([Ledger::merge_sorted([a.clone(), b.clone()]), c.clone()]);
+        let right = Ledger::merge_sorted([a.clone(), Ledger::merge_sorted([b.clone(), c.clone()])]);
+        assert_eq!(
+            serde_json::to_string(left.records()).expect("serialize"),
+            serde_json::to_string(right.records()).expect("serialize"),
+        );
+        // Canonical order: name first, then start/end, then kind rank
+        // (Instance before FloatingIp at the same window).
+        let m = Ledger::merge_sorted([a, b, c]);
+        let names: Vec<&str> = m.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["lab1-a", "lab1-a", "lab1-a", "lab1-a", "lab2-b"]
+        );
+        assert!(matches!(m.records()[0].kind, UsageKind::Instance { .. }));
+        assert_eq!(m.records()[3].kind, UsageKind::FloatingIp);
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn main() {
             run_projects: false,
             vm_auto_terminate_after: None,
             faults: ml_ops_course::faults::FaultProfile::none(),
+            shard_students: 191,
         };
         let outcome = simulate_semester(&config, 42);
         let rollup = AssignmentRollup::from_ledger(&outcome.ledger, enrollment as usize);

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Scaling + overhead benches, with machine-readable output.
+#
+# `bench_semester` sweeps the sharded semester driver (10k/100k
+# enrollment x 1/2/8 threads, plus serial and pre-shard monolithic
+# references), verifies every arm's outcome digest against the serial
+# reference, and writes BENCH_semester.json at the repo root. It exits
+# nonzero if any arm diverges or the 100k speedup floor drops below 3x,
+# so this script doubles as a determinism + performance gate.
+#
+# Takes a few minutes: the 100k arms run ~25-30s each on one CPU.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> bench_semester (sharded scaling sweep -> BENCH_semester.json)"
+cargo bench -p opml-bench --bench bench_semester
+
+echo "==> bench_telemetry (<5% disabled-cost gate)"
+cargo bench -p opml-bench --bench bench_telemetry
+
+echo "benches passed; report in BENCH_semester.json"

@@ -40,6 +40,16 @@ echo "==> chaos smoke run (zero-rate must match the fault-free baseline)"
 cargo run --release -q -p opml-experiments --bin run-experiments -- \
     chaos --rate 0.05 --seed 7 --quiet
 
+echo "==> scale smoke run (100k cohort @ 2 threads vs golden digest)"
+scale_digest=$(cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    scale --enrollment 100000 --threads 2 --digest-only --quiet \
+    | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')
+golden_digest=$(cat tests/golden/scale_100k_seed42.digest)
+if [ "$scale_digest" != "$golden_digest" ]; then
+    echo "scale smoke FAILED: digest $scale_digest != golden $golden_digest" >&2
+    exit 1
+fi
+
 echo "==> telemetry overhead bench (<5% disabled-cost gate)"
 cargo bench -p opml-bench --bench bench_telemetry
 

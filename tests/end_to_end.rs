@@ -15,6 +15,7 @@ fn small_course(enrollment: u32, projects: bool, seed: u64) -> SemesterOutcome {
         run_projects: projects,
         vm_auto_terminate_after: None,
         faults: ml_ops_course::faults::FaultProfile::none(),
+        shard_students: 191,
     };
     simulate_semester(&config, seed)
 }
