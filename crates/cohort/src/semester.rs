@@ -404,14 +404,20 @@ fn run_shard_buffered(
     if record {
         let sink = MemorySink::new();
         let telemetry = Telemetry::with_sink(sink.clone());
-        let outcome = run_shard(config, seed, shard, &telemetry, true);
+        let mut outcome = run_shard(config, seed, shard, &telemetry, true);
+        // Sort here, inside the (possibly parallel) shard map, so the
+        // merge can k-way merge pre-sorted runs instead of re-sorting
+        // the concatenated whole. The single-shard legacy path never
+        // comes through here and keeps its close-order ledger.
+        outcome.ledger.sort_canonical();
         ShardRun {
             outcome,
             events: sink.events(),
             metrics: telemetry.metrics_snapshot(),
         }
     } else {
-        let outcome = run_shard(config, seed, shard, &Telemetry::disabled(), true);
+        let mut outcome = run_shard(config, seed, shard, &Telemetry::disabled(), true);
+        outcome.ledger.sort_canonical();
         ShardRun {
             outcome,
             events: Vec::new(),

@@ -54,6 +54,15 @@ pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
         .install(f)
 }
 
+/// Number of worker threads in the rayon pool the caller is running
+/// under (the pinned pool inside [`with_thread_count`], the ambient
+/// global pool otherwise). Benchmarks record this next to the requested
+/// count so a report can never silently claim parallelism it did not
+/// have.
+pub fn effective_thread_count() -> usize {
+    rayon::current_num_threads()
+}
+
 /// Parallel map over a slice with index-stable output.
 pub fn map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -113,7 +122,7 @@ mod tests {
     #[test]
     fn with_thread_count_pins_and_restores() {
         let ambient = rayon::current_num_threads();
-        let inside = with_thread_count(3, rayon::current_num_threads);
+        let inside = with_thread_count(3, effective_thread_count);
         assert_eq!(inside, 3);
         assert_eq!(rayon::current_num_threads(), ambient, "pool must restore");
         // Nesting: the innermost pin wins, and unwinding restores outward.

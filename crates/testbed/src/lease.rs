@@ -11,12 +11,43 @@
 //! nodes of a flavor over `[start, end)` is admitted iff, at every instant
 //! of the window, the sum of overlapping leases plus `count` does not
 //! exceed the flavor's node capacity.
+//!
+//! # Sweep-line profile
+//!
+//! Admission control runs on an incrementally-maintained sweep-line
+//! profile per flavor ([`FlavorProfile`]): a `BTreeMap<SimTime, Seg>`
+//! keyed by interval boundaries, where each entry carries the occupancy
+//! *delta* at that boundary and the cached occupancy *level* on the
+//! segment `[key, next_key)`. This makes
+//!
+//! * [`peak_reserved`] an `O(log L + W)` range-max (`W` = boundaries
+//!   inside the queried window),
+//! * [`reserve`] an `O(log L + W)` incremental update, and
+//! * [`earliest_slot`] a forward sweep over candidate starts with an
+//!   `O(log L + W)` feasibility check each,
+//!
+//! replacing the naive re-scan of every lease ever admitted (`O(L²)` per
+//! query, `O(L³)` per placement — see [`naive`], kept as the differential
+//! reference). Candidate starts for `earliest_slot` are tracked exactly
+//! as the naive code enumerated them — the multiset of current lease
+//! *ends* — so slot choices are byte-identical by construction, not just
+//! equivalent-by-argument.
+//!
+//! The append-only `Vec<Lease>` archive is retained solely for the usage
+//! analysis ([`leases_for`] and the Fig. 1/3 rollups read it); admission
+//! decisions never scan it.
+//!
+//! [`peak_reserved`]: ReservationCalendar::peak_reserved
+//! [`reserve`]: ReservationCalendar::reserve
+//! [`earliest_slot`]: ReservationCalendar::earliest_slot
+//! [`leases_for`]: ReservationCalendar::leases_for
 
 use crate::error::CloudError;
 use crate::flavor::FlavorId;
 use opml_simkernel::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound::{Excluded, Unbounded};
 
 /// Opaque lease identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -46,16 +77,128 @@ impl Lease {
     }
 }
 
+/// One profile boundary: the occupancy change at this instant and the
+/// cached occupancy level on the segment from here to the next boundary.
+///
+/// Invariants (checked by `debug_assert_invariants` in tests):
+/// * `delta != 0` for every stored boundary (zero-delta boundaries are
+///   merged away);
+/// * `level = predecessor.level + delta` (with an implicit level of 0
+///   before the first boundary).
+#[derive(Debug, Clone, Copy, Default)]
+struct Seg {
+    delta: i64,
+    level: i64,
+}
+
+/// Per-flavor sweep-line occupancy profile plus the exact candidate-start
+/// multiset for [`ReservationCalendar::earliest_slot`].
+#[derive(Debug, Clone, Default)]
+struct FlavorProfile {
+    /// Boundary → (delta, cached level on `[key, next_key)`).
+    segs: BTreeMap<SimTime, Seg>,
+    /// Multiset of current lease end times (refcounted). Revocation
+    /// moves a lease's end here, exactly as it truncates the archived
+    /// lease, so the candidate set matches the naive enumeration of
+    /// `l.end` over all leases byte-for-byte.
+    ends: BTreeMap<SimTime, u32>,
+}
+
+impl FlavorProfile {
+    /// Occupancy on the segment containing `t` (0 before the first
+    /// boundary).
+    fn occupancy_at(&self, t: SimTime) -> i64 {
+        self.segs
+            .range(..=t)
+            .next_back()
+            .map(|(_, s)| s.level)
+            .unwrap_or(0)
+    }
+
+    /// Max occupancy over `[start, end)`: the level at `start` plus every
+    /// boundary level strictly inside the window. `O(log L + W)`.
+    ///
+    /// An empty window (`end <= start`) still samples the instant
+    /// `start` — the naive scan always probes `start` itself — so the
+    /// two implementations agree there too.
+    fn peak(&self, start: SimTime, end: SimTime) -> i64 {
+        let mut peak = self.occupancy_at(start);
+        if start < end {
+            for (_, seg) in self.segs.range((Excluded(start), Excluded(end))) {
+                peak = peak.max(seg.level);
+            }
+        }
+        peak
+    }
+
+    /// Insert a boundary at `t` (delta 0, level inherited from the
+    /// containing segment) if none exists.
+    fn ensure_boundary(&mut self, t: SimTime) {
+        if !self.segs.contains_key(&t) {
+            let level = self.occupancy_at(t);
+            self.segs.insert(t, Seg { delta: 0, level });
+        }
+    }
+
+    /// Add `count` (may be negative, for revocation) to the occupancy on
+    /// `[start, end)`, merging away boundaries whose delta cancels to 0.
+    fn add(&mut self, start: SimTime, end: SimTime, count: i64) {
+        if start >= end || count == 0 {
+            return;
+        }
+        self.ensure_boundary(start);
+        self.ensure_boundary(end);
+        for (_, seg) in self.segs.range_mut(start..end) {
+            seg.level += count;
+        }
+        self.segs.get_mut(&start).expect("boundary at start").delta += count;
+        self.segs.get_mut(&end).expect("boundary at end").delta -= count;
+        // Only the two touched boundaries can have become redundant; a
+        // zero-delta boundary's level equals its predecessor's, so
+        // removing it preserves the step function.
+        for t in [start, end] {
+            if self.segs.get(&t).is_some_and(|s| s.delta == 0) {
+                self.segs.remove(&t);
+            }
+        }
+    }
+
+    /// Record a lease end as an `earliest_slot` candidate.
+    fn push_end(&mut self, t: SimTime) {
+        *self.ends.entry(t).or_insert(0) += 1;
+    }
+
+    /// Move one end candidate from `from` to `to` (revocation truncates
+    /// the lease window).
+    fn move_end(&mut self, from: SimTime, to: SimTime) {
+        if from == to {
+            return;
+        }
+        if let Some(n) = self.ends.get_mut(&from) {
+            *n -= 1;
+            if *n == 0 {
+                self.ends.remove(&from);
+            }
+        }
+        self.push_end(to);
+    }
+}
+
 /// Per-flavor reservation calendar with capacity admission control.
 #[derive(Debug, Default)]
 pub struct ReservationCalendar {
     /// Number of physical nodes per flavor.
     capacity: HashMap<FlavorId, u32>,
-    /// Admitted leases per flavor (append-only; expired leases retained for
-    /// the usage analysis).
+    /// Admitted leases per flavor (append-only; expired leases retained
+    /// for the usage analysis — admission control never scans this).
     leases: HashMap<FlavorId, Vec<Lease>>,
-    /// Leases revoked before their window ended, in revocation order.
-    revoked: Vec<LeaseId>,
+    /// Sweep-line occupancy profile per flavor.
+    profiles: HashMap<FlavorId, FlavorProfile>,
+    /// Lease id → (flavor, index into `leases[flavor]`) for `O(1)`
+    /// lookup; ids are unique and never reused.
+    index: HashMap<LeaseId, (FlavorId, usize)>,
+    /// Leases revoked before their window ended.
+    revoked: BTreeSet<LeaseId>,
     next_id: u64,
 }
 
@@ -79,29 +222,14 @@ impl ReservationCalendar {
     }
 
     /// Peak number of nodes of `flavor` already reserved at any instant of
-    /// `[start, end)`.
+    /// `[start, end)`. `O(log L + W)` on the sweep-line profile.
     pub fn peak_reserved(&self, flavor: FlavorId, start: SimTime, end: SimTime) -> u32 {
-        let Some(leases) = self.leases.get(&flavor) else {
+        let Some(profile) = self.profiles.get(&flavor) else {
             return 0;
         };
-        // Sweep over the boundary points of overlapping leases.
-        let mut points: Vec<SimTime> = vec![start];
-        for l in leases {
-            if l.end > start && l.start < end {
-                points.push(l.start.max(start));
-            }
-        }
-        points
-            .iter()
-            .map(|&p| {
-                leases
-                    .iter()
-                    .filter(|l| l.start <= p && p < l.end)
-                    .map(|l| l.count)
-                    .sum()
-            })
-            .max()
-            .unwrap_or(0)
+        // Occupancy is a sum of admitted counts, each bounded by the
+        // flavor capacity at admission; it is never negative and fits u32.
+        profile.peak(start, end).max(0) as u32
     }
 
     /// Try to admit a reservation; returns the lease on success.
@@ -139,7 +267,12 @@ impl ReservationCalendar {
             end,
             owner: owner.to_string(),
         };
-        self.leases.entry(flavor).or_default().push(lease.clone());
+        let archive = self.leases.entry(flavor).or_default();
+        self.index.insert(id, (flavor, archive.len()));
+        archive.push(lease.clone());
+        let profile = self.profiles.entry(flavor).or_default();
+        profile.add(start, end, i64::from(count));
+        profile.push_end(end);
         Ok(lease)
     }
 
@@ -148,7 +281,9 @@ impl ReservationCalendar {
     /// time, or `None` if `count` exceeds capacity outright.
     ///
     /// This models the student workflow of "grab the next free 3-hour GPU
-    /// slot this week".
+    /// slot this week". Candidate starts are `earliest` and every current
+    /// lease end after it — the same set the naive reference enumerates —
+    /// swept forward with an `O(log L + W)` range-max per candidate.
     pub fn earliest_slot(
         &self,
         flavor: FlavorId,
@@ -160,19 +295,19 @@ impl ReservationCalendar {
         if count > cap {
             return None;
         }
-        // Candidate starts: `earliest` and every lease end after it.
-        let mut candidates = vec![earliest];
-        if let Some(leases) = self.leases.get(&flavor) {
-            for l in leases {
-                if l.end > earliest {
-                    candidates.push(l.end);
-                }
-            }
+        let Some(profile) = self.profiles.get(&flavor) else {
+            // No leases yet: the requested time is free.
+            return Some(earliest);
+        };
+        let fits = |s: SimTime| profile.peak(s, s + length).max(0) as u32 + count <= cap;
+        if fits(earliest) {
+            return Some(earliest);
         }
-        candidates.sort_unstable();
-        candidates
-            .into_iter()
-            .find(|&s| self.peak_reserved(flavor, s, s + length) + count <= cap)
+        profile
+            .ends
+            .range((Excluded(earliest), Unbounded))
+            .map(|(&t, _)| t)
+            .find(|&s| fits(s))
     }
 
     /// Revoke an admitted lease at `at`: its window is truncated (freeing
@@ -182,19 +317,20 @@ impl ReservationCalendar {
         if self.is_revoked(id) {
             return Err(CloudError::LeaseRevoked);
         }
-        // detlint::allow(DL002): unique lease id, at most one match
-        let lease = self
-            .leases
-            .values_mut()
-            .flatten()
-            .find(|l| l.id == id)
-            .ok_or(CloudError::NoSuchLease)?;
+        let &(flavor, idx) = self.index.get(&id).ok_or(CloudError::NoSuchLease)?;
+        let lease = &mut self.leases.get_mut(&flavor).expect("indexed flavor")[idx];
         if lease.end <= at {
             // Already over; nothing to revoke.
             return Err(CloudError::OutsideLease);
         }
-        lease.end = at.max(lease.start);
-        self.revoked.push(id);
+        let old_end = lease.end;
+        let new_end = at.max(lease.start);
+        lease.end = new_end;
+        let count = i64::from(lease.count);
+        let profile = self.profiles.entry(flavor).or_default();
+        profile.add(new_end, old_end, -count);
+        profile.move_end(old_end, new_end);
+        self.revoked.insert(id);
         Ok(())
     }
 
@@ -205,10 +341,8 @@ impl ReservationCalendar {
 
     /// Look up an admitted lease.
     pub fn get(&self, id: LeaseId) -> Option<&Lease> {
-        // Lease ids are unique, so `find` matches at most one element and
-        // traversal order cannot change the result.
-        // detlint::allow(DL002): unique lease id, at most one match
-        self.leases.values().flatten().find(|l| l.id == id)
+        let &(flavor, idx) = self.index.get(&id)?;
+        self.leases.get(&flavor).and_then(|v| v.get(idx))
     }
 
     /// All leases for a flavor, in admission order.
@@ -217,6 +351,211 @@ impl ReservationCalendar {
             .get(&flavor)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Check the profile invariants against the lease archive: every
+    /// boundary has a nonzero delta, levels are running sums of deltas,
+    /// and both deltas and end candidates reconstruct exactly from the
+    /// (truncation-adjusted) archive. Test-only.
+    #[cfg(test)]
+    fn debug_assert_invariants(&self) {
+        for (&flavor, profile) in &self.profiles {
+            let mut level = 0i64;
+            for (&t, seg) in &profile.segs {
+                assert_ne!(seg.delta, 0, "zero-delta boundary at {t:?}");
+                level += seg.delta;
+                assert_eq!(seg.level, level, "stale cached level at {t:?}");
+            }
+            assert_eq!(level, 0, "profile does not return to 0 for {flavor:?}");
+            let mut deltas: BTreeMap<SimTime, i64> = BTreeMap::new();
+            let mut ends: BTreeMap<SimTime, u32> = BTreeMap::new();
+            for l in self
+                .leases
+                .get(&flavor)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[])
+            {
+                *ends.entry(l.end).or_insert(0) += 1;
+                if l.start < l.end && l.count > 0 {
+                    *deltas.entry(l.start).or_insert(0) += i64::from(l.count);
+                    *deltas.entry(l.end).or_insert(0) -= i64::from(l.count);
+                }
+            }
+            deltas.retain(|_, d| *d != 0);
+            let got: BTreeMap<SimTime, i64> =
+                profile.segs.iter().map(|(&t, s)| (t, s.delta)).collect();
+            assert_eq!(got, deltas, "profile deltas diverge from archive");
+            assert_eq!(profile.ends, ends, "end candidates diverge from archive");
+        }
+    }
+}
+
+/// The pre-sweep-line calendar, verbatim: `peak_reserved` re-scans every
+/// lease ever admitted (`O(L²)` per query) and `earliest_slot` tries
+/// every lease end against full rescans (`O(L³)`).
+///
+/// Kept as the differential reference for the sweep-line rewrite: the
+/// proptest in `crates/testbed/tests/calendar_differential.rs` drives
+/// arbitrary operation sequences through both and demands identical
+/// decisions, errors, and slot choices, and `bench_calendar` measures
+/// the speedup. Not for production use.
+#[doc(hidden)]
+pub mod naive {
+    use super::{Lease, LeaseId};
+    use crate::error::CloudError;
+    use crate::flavor::FlavorId;
+    use opml_simkernel::SimTime;
+    use std::collections::HashMap;
+
+    /// Naive reference calendar (see module docs).
+    #[derive(Debug, Default)]
+    pub struct NaiveCalendar {
+        capacity: HashMap<FlavorId, u32>,
+        leases: HashMap<FlavorId, Vec<Lease>>,
+        revoked: Vec<LeaseId>,
+        next_id: u64,
+    }
+
+    impl NaiveCalendar {
+        /// Empty calendar.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Register (or update) the number of nodes for a flavor.
+        pub fn set_capacity(&mut self, flavor: FlavorId, nodes: u32) {
+            self.capacity.insert(flavor, nodes);
+        }
+
+        /// Node count for a flavor (0 if unregistered).
+        pub fn capacity(&self, flavor: FlavorId) -> u32 {
+            self.capacity.get(&flavor).copied().unwrap_or(0)
+        }
+
+        /// Peak reserved nodes over `[start, end)` by full re-scan.
+        pub fn peak_reserved(&self, flavor: FlavorId, start: SimTime, end: SimTime) -> u32 {
+            let Some(leases) = self.leases.get(&flavor) else {
+                return 0;
+            };
+            let mut points: Vec<SimTime> = vec![start];
+            for l in leases {
+                if l.end > start && l.start < end {
+                    points.push(l.start.max(start));
+                }
+            }
+            points
+                .iter()
+                .map(|&p| {
+                    leases
+                        .iter()
+                        .filter(|l| l.start <= p && p < l.end)
+                        .map(|l| l.count)
+                        .sum()
+                })
+                .max()
+                .unwrap_or(0)
+        }
+
+        /// Try to admit a reservation.
+        pub fn reserve(
+            &mut self,
+            flavor: FlavorId,
+            count: u32,
+            start: SimTime,
+            end: SimTime,
+            owner: &str,
+        ) -> Result<Lease, CloudError> {
+            if end <= start {
+                return Err(CloudError::InvalidLeaseWindow);
+            }
+            let cap = self.capacity(flavor);
+            if count > cap {
+                return Err(CloudError::NoCapacity {
+                    flavor,
+                    capacity: cap,
+                });
+            }
+            if self.peak_reserved(flavor, start, end) + count > cap {
+                return Err(CloudError::NoCapacity {
+                    flavor,
+                    capacity: cap,
+                });
+            }
+            let id = LeaseId(self.next_id);
+            self.next_id += 1;
+            let lease = Lease {
+                id,
+                flavor,
+                count,
+                start,
+                end,
+                owner: owner.to_string(),
+            };
+            self.leases.entry(flavor).or_default().push(lease.clone());
+            Ok(lease)
+        }
+
+        /// Earliest admissible start ≥ `earliest` by candidate re-scan.
+        pub fn earliest_slot(
+            &self,
+            flavor: FlavorId,
+            count: u32,
+            length: opml_simkernel::SimDuration,
+            earliest: SimTime,
+        ) -> Option<SimTime> {
+            let cap = self.capacity(flavor);
+            if count > cap {
+                return None;
+            }
+            let mut candidates = vec![earliest];
+            if let Some(leases) = self.leases.get(&flavor) {
+                for l in leases {
+                    if l.end > earliest {
+                        candidates.push(l.end);
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            candidates
+                .into_iter()
+                .find(|&s| self.peak_reserved(flavor, s, s + length) + count <= cap)
+        }
+
+        /// Revoke an admitted lease at `at` by linear scan.
+        pub fn revoke(&mut self, id: LeaseId, at: SimTime) -> Result<(), CloudError> {
+            if self.is_revoked(id) {
+                return Err(CloudError::LeaseRevoked);
+            }
+            // detlint::allow(DL002): unique lease id, at most one match
+            let lease = self
+                .leases
+                .values_mut()
+                .flatten()
+                .find(|l| l.id == id)
+                .ok_or(CloudError::NoSuchLease)?;
+            if lease.end <= at {
+                return Err(CloudError::OutsideLease);
+            }
+            lease.end = at.max(lease.start);
+            self.revoked.push(id);
+            Ok(())
+        }
+
+        /// Whether a lease has been revoked.
+        pub fn is_revoked(&self, id: LeaseId) -> bool {
+            self.revoked.contains(&id)
+        }
+
+        /// Look up an admitted lease by linear scan.
+        pub fn get(&self, id: LeaseId) -> Option<&Lease> {
+            // detlint::allow(DL002): unique lease id, at most one match
+            self.leases.values().flatten().find(|l| l.id == id)
+        }
+
+        /// All leases ever admitted for `flavor`, in admission order.
+        pub fn leases_for(&self, flavor: FlavorId) -> &[Lease] {
+            self.leases.get(&flavor).map(Vec::as_slice).unwrap_or(&[])
+        }
     }
 }
 
@@ -245,6 +584,7 @@ mod tests {
         // Back-to-back is fine (end is exclusive).
         cal.reserve(FlavorId::GpuA100Pcie, 2, t(4), t(6), "d")
             .unwrap();
+        cal.debug_assert_invariants();
     }
 
     #[test]
@@ -282,6 +622,7 @@ mod tests {
         assert_eq!(cal.peak_reserved(FlavorId::GpuP100, t(0), t(4)), 3);
         assert_eq!(cal.peak_reserved(FlavorId::GpuP100, t(2), t(4)), 1);
         assert_eq!(cal.peak_reserved(FlavorId::GpuP100, t(3), t(4)), 0);
+        cal.debug_assert_invariants();
     }
 
     #[test]
@@ -312,6 +653,16 @@ mod tests {
     }
 
     #[test]
+    fn earliest_slot_without_any_lease_is_immediate() {
+        let mut cal = ReservationCalendar::new();
+        cal.set_capacity(FlavorId::GpuMi100, 2);
+        assert_eq!(
+            cal.earliest_slot(FlavorId::GpuMi100, 2, SimDuration::hours(3), t(7)),
+            Some(t(7))
+        );
+    }
+
+    #[test]
     fn revoke_truncates_and_frees_capacity() {
         let mut cal = ReservationCalendar::new();
         cal.set_capacity(FlavorId::GpuV100, 1);
@@ -319,6 +670,7 @@ mod tests {
         // Node busy all decade: nobody else fits.
         assert!(cal.reserve(FlavorId::GpuV100, 1, t(4), t(6), "b").is_err());
         cal.revoke(lease.id, t(3)).unwrap();
+        cal.debug_assert_invariants();
         assert!(cal.is_revoked(lease.id));
         assert!(!cal.get(lease.id).unwrap().covers(t(5)));
         // Window truncated at t(3): the slot is free again.
@@ -326,6 +678,7 @@ mod tests {
         // Double revocation and unknown ids are typed errors.
         assert_eq!(cal.revoke(lease.id, t(4)), Err(CloudError::LeaseRevoked));
         assert_eq!(cal.revoke(LeaseId(999), t(4)), Err(CloudError::NoSuchLease));
+        cal.debug_assert_invariants();
     }
 
     #[test]
@@ -334,6 +687,23 @@ mod tests {
         cal.set_capacity(FlavorId::GpuP100, 1);
         let lease = cal.reserve(FlavorId::GpuP100, 1, t(0), t(2), "a").unwrap();
         assert_eq!(cal.revoke(lease.id, t(2)), Err(CloudError::OutsideLease));
+    }
+
+    #[test]
+    fn revoke_before_start_cancels_whole_window() {
+        let mut cal = ReservationCalendar::new();
+        cal.set_capacity(FlavorId::GpuV100, 1);
+        let lease = cal.reserve(FlavorId::GpuV100, 1, t(5), t(9), "a").unwrap();
+        cal.revoke(lease.id, t(2)).unwrap();
+        cal.debug_assert_invariants();
+        // The window collapsed to zero length at its start; the whole
+        // span is free again and the truncated end is still a candidate.
+        assert_eq!(cal.get(lease.id).unwrap().end, t(5));
+        assert_eq!(cal.peak_reserved(FlavorId::GpuV100, t(0), t(12)), 0);
+        assert_eq!(
+            cal.earliest_slot(FlavorId::GpuV100, 1, SimDuration::hours(2), t(4)),
+            Some(t(4))
+        );
     }
 
     #[test]
@@ -348,5 +718,87 @@ mod tests {
         assert!(lease.covers(t(3)));
         assert!(!lease.covers(t(4)));
         assert_eq!(cal.get(lease.id).unwrap().owner, "edge");
+    }
+
+    #[test]
+    fn profile_boundaries_merge_on_adjacent_leases() {
+        let mut cal = ReservationCalendar::new();
+        cal.set_capacity(FlavorId::GpuP100, 2);
+        // Back-to-back equal-count leases: the shared boundary's delta
+        // cancels and the profile stores a single [0, 4) plateau.
+        cal.reserve(FlavorId::GpuP100, 2, t(0), t(2), "a").unwrap();
+        cal.reserve(FlavorId::GpuP100, 2, t(2), t(4), "b").unwrap();
+        cal.debug_assert_invariants();
+        let profile = &cal.profiles[&FlavorId::GpuP100];
+        assert_eq!(profile.segs.len(), 2, "shared boundary must merge away");
+        assert_eq!(cal.peak_reserved(FlavorId::GpuP100, t(0), t(4)), 2);
+        assert_eq!(cal.peak_reserved(FlavorId::GpuP100, t(1), t(3)), 2);
+    }
+
+    #[test]
+    fn matches_naive_on_a_scripted_sequence() {
+        let flavor = FlavorId::GpuA100Pcie;
+        let mut fast = ReservationCalendar::new();
+        let mut slow = naive::NaiveCalendar::new();
+        fast.set_capacity(flavor, 3);
+        slow.set_capacity(flavor, 3);
+        let script: [(u32, u64, u64); 7] = [
+            (1, 0, 3),
+            (2, 1, 4),
+            (1, 2, 5),
+            (3, 4, 6),
+            (1, 3, 4),
+            (2, 6, 8),
+            (1, 0, 10),
+        ];
+        let mut ids = Vec::new();
+        for (count, s, e) in script {
+            let a = fast.reserve(flavor, count, t(s), t(e), "x");
+            let b = slow.reserve(flavor, count, t(s), t(e), "x");
+            assert_eq!(a.is_ok(), b.is_ok(), "admission diverged at {s}..{e}");
+            assert_eq!(a.clone().err(), b.err());
+            if let Ok(l) = a {
+                ids.push(l.id);
+            }
+        }
+        assert_eq!(fast.revoke(ids[1], t(2)), slow.revoke(ids[1], t(2)));
+        for (s, e) in [(0, 10), (1, 2), (3, 7), (9, 12)] {
+            assert_eq!(
+                fast.peak_reserved(flavor, t(s), t(e)),
+                slow.peak_reserved(flavor, t(s), t(e)),
+                "peak diverged on {s}..{e}"
+            );
+        }
+        for from in 0..10 {
+            assert_eq!(
+                fast.earliest_slot(flavor, 2, SimDuration::hours(2), t(from)),
+                slow.earliest_slot(flavor, 2, SimDuration::hours(2), t(from)),
+                "slot choice diverged from t({from})"
+            );
+        }
+        fast.debug_assert_invariants();
+    }
+
+    /// Regression found by `tests/calendar_differential.rs`: an empty
+    /// query window (`end <= start`) panicked the sweep-line range-max,
+    /// while the naive scan answers with the occupancy at `start`.
+    #[test]
+    fn peak_over_empty_window_samples_the_instant() {
+        let flavor = FlavorId::GpuV100;
+        let mut fast = ReservationCalendar::new();
+        let mut slow = naive::NaiveCalendar::new();
+        fast.set_capacity(flavor, 4);
+        slow.set_capacity(flavor, 4);
+        fast.reserve(flavor, 3, t(1), t(5), "x").unwrap();
+        slow.reserve(flavor, 3, t(1), t(5), "x").unwrap();
+        for (s, e) in [(2, 2), (5, 2), (0, 0), (5, 5), (9, 9)] {
+            assert_eq!(
+                fast.peak_reserved(flavor, t(s), t(e)),
+                slow.peak_reserved(flavor, t(s), t(e)),
+                "empty-window peak diverged on {s}..{e}"
+            );
+        }
+        assert_eq!(fast.peak_reserved(flavor, t(2), t(2)), 3);
+        assert_eq!(fast.peak_reserved(flavor, t(5), t(5)), 0);
     }
 }

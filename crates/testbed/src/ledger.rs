@@ -116,25 +116,42 @@ impl Ledger {
     /// under a total key. Idempotent, and independent of the order the
     /// records were appended in.
     pub fn sort_canonical(&mut self) {
-        self.records.sort_by(|a, b| {
-            (a.name.as_str(), a.start, a.end, a.kind.sort_key()).cmp(&(
-                b.name.as_str(),
-                b.start,
-                b.end,
-                b.kind.sort_key(),
-            ))
-        });
+        self.records
+            .sort_by(|a, b| record_key(a).cmp(&record_key(b)));
+    }
+
+    /// Whether the records are already in the canonical order.
+    pub fn is_canonically_sorted(&self) -> bool {
+        self.records
+            .windows(2)
+            .all(|w| record_key(&w[0]) <= record_key(&w[1]))
     }
 
     /// Merge ledger fragments into one canonically-ordered ledger.
     ///
-    /// This is the shard-merge law for usage records: concatenate, then
-    /// [`Ledger::sort_canonical`]. Because the sort key is a total order
-    /// and sorting is idempotent, the merge is associative *and*
-    /// fragment-order-invariant — any grouping of shards serializes to
-    /// identical bytes. Property-tested in
+    /// This is the shard-merge law for usage records. When every part is
+    /// already canonically sorted — shard ledgers are, by construction:
+    /// each shard sorts its own ledger before the merge — the parts are
+    /// k-way merged with ties broken by part order, which is exactly the
+    /// result of concatenating and running the *stable*
+    /// [`Ledger::sort_canonical`], in `O(N log k)` instead of
+    /// `O(N log N)`. Unsorted parts fall back to concatenate-then-sort.
+    /// Either way the sort key is a total order, so the merge is
+    /// associative *and* fragment-order-invariant — any grouping of
+    /// shards serializes to identical bytes. Property-tested in
     /// `crates/metering/tests/shard_merge.rs`.
     pub fn merge_sorted(parts: impl IntoIterator<Item = Ledger>) -> Ledger {
+        let mut parts: Vec<Ledger> = parts.into_iter().collect();
+        if parts.len() == 1 {
+            let mut only = parts.pop().expect("one part");
+            only.sort_canonical();
+            return only;
+        }
+        if parts.iter().all(Ledger::is_canonically_sorted) {
+            return Ledger {
+                records: kway_merge(parts.into_iter().map(|p| p.records).collect()),
+            };
+        }
         let mut merged = Ledger::new();
         for part in parts {
             merged.records.extend(part.records);
@@ -243,6 +260,68 @@ impl Ledger {
             .iter()
             .filter(move |r| r.name.starts_with(prefix))
     }
+}
+
+/// The canonical total-order key: `(name, start, end, kind)`.
+fn record_key(r: &UsageRecord) -> (&str, SimTime, SimTime, (u8, u64, u64)) {
+    (r.name.as_str(), r.start, r.end, r.kind.sort_key())
+}
+
+/// Whether part `a`'s next record merges before part `b`'s; ties break on
+/// part index, which together with FIFO order within each (stably
+/// pre-sorted) part reproduces concat + stable sort exactly.
+fn part_less(parts: &[Vec<UsageRecord>], a: usize, b: usize) -> bool {
+    let ra = parts[a].last().expect("heap part is nonempty");
+    let rb = parts[b].last().expect("heap part is nonempty");
+    (record_key(ra), a) < (record_key(rb), b)
+}
+
+/// Restore the min-heap property at `i` (children `2i+1`, `2i+2`).
+fn sift_down(heap: &mut [usize], parts: &[Vec<UsageRecord>], mut i: usize) {
+    loop {
+        let l = 2 * i + 1;
+        if l >= heap.len() {
+            break;
+        }
+        let r = l + 1;
+        let mut m = l;
+        if r < heap.len() && part_less(parts, heap[r], heap[l]) {
+            m = r;
+        }
+        if part_less(parts, heap[m], heap[i]) {
+            heap.swap(m, i);
+            i = m;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Stable k-way merge of canonically-sorted record runs: `O(N log k)`
+/// comparisons via a small index heap (replacement selection); each part
+/// is reversed once so its next record pops from the tail in `O(1)`.
+fn kway_merge(mut parts: Vec<Vec<UsageRecord>>) -> Vec<UsageRecord> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in &mut parts {
+        p.reverse();
+    }
+    let mut heap: Vec<usize> = (0..parts.len()).filter(|&i| !parts[i].is_empty()).collect();
+    for i in (0..heap.len() / 2).rev() {
+        sift_down(&mut heap, &parts, i);
+    }
+    while let Some(&top) = heap.first() {
+        out.push(parts[top].pop().expect("heap entries have records"));
+        if parts[top].is_empty() {
+            let tail = heap.pop().expect("heap is nonempty");
+            if heap.is_empty() {
+                break;
+            }
+            heap[0] = tail;
+        }
+        sift_down(&mut heap, &parts, 0);
+    }
+    out
 }
 
 /// Max running sum of time-ordered deltas; ends sort before starts at the
@@ -415,6 +494,67 @@ mod tests {
         );
         assert!(matches!(m.records()[0].kind, UsageKind::Instance { .. }));
         assert_eq!(m.records()[3].kind, UsageKind::FloatingIp);
+    }
+
+    #[test]
+    fn kway_merge_matches_concat_then_sort() {
+        // Deterministic pseudo-random fragments with heavy key collisions
+        // (shared names/windows) to exercise the stability tie-breaks.
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let flavors = [FlavorId::M1Small, FlavorId::M1Medium, FlavorId::GpuV100];
+        let mut parts: Vec<Ledger> = Vec::new();
+        for _ in 0..7 {
+            let mut l = Ledger::new();
+            for _ in 0..50 {
+                let s = next() % 40;
+                let e = s + 1 + next() % 10;
+                l.push(inst(
+                    &format!("lab{}-s{:02}", next() % 3, next() % 8),
+                    flavors[(next() % 3) as usize],
+                    s,
+                    e,
+                ));
+            }
+            parts.push(l);
+        }
+        // Reference: the old path — concatenate, then stable sort.
+        let mut reference = Ledger::new();
+        for p in &parts {
+            reference.records.extend(p.records.iter().cloned());
+        }
+        reference.sort_canonical();
+        let json = |l: &Ledger| serde_json::to_string(l.records()).expect("serialize");
+        // Unsorted parts take the fallback, byte-identically.
+        assert_eq!(json(&Ledger::merge_sorted(parts.clone())), json(&reference));
+        // Pre-sorted parts take the k-way merge, byte-identically.
+        let mut sorted_parts = parts.clone();
+        for p in &mut sorted_parts {
+            p.sort_canonical();
+            assert!(p.is_canonically_sorted());
+        }
+        assert_eq!(json(&Ledger::merge_sorted(sorted_parts)), json(&reference));
+        // Mixed sorted/unsorted parts still agree (fallback path).
+        let mut mixed = parts;
+        mixed[0].sort_canonical();
+        assert_eq!(json(&Ledger::merge_sorted(mixed)), json(&reference));
+    }
+
+    #[test]
+    fn is_canonically_sorted_detects_order() {
+        let mut l = Ledger::new();
+        assert!(l.is_canonically_sorted());
+        l.push(inst("b", FlavorId::M1Small, 0, 1));
+        assert!(l.is_canonically_sorted());
+        l.push(inst("a", FlavorId::M1Small, 0, 1));
+        assert!(!l.is_canonically_sorted());
+        l.sort_canonical();
+        assert!(l.is_canonically_sorted());
     }
 
     #[test]

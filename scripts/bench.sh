@@ -1,6 +1,10 @@
 #!/usr/bin/env sh
 # Scaling + overhead benches, with machine-readable output.
 #
+# `bench_calendar` replays one op script through the sweep-line
+# reservation calendar and the naive reference it replaced, fails on
+# any divergence or a speedup below 50x, and writes BENCH_calendar.json.
+#
 # `bench_semester` sweeps the sharded semester driver (10k/100k
 # enrollment x 1/2/8 threads, plus serial and pre-shard monolithic
 # references), verifies every arm's outcome digest against the serial
@@ -8,10 +12,14 @@
 # nonzero if any arm diverges or the 100k speedup floor drops below 3x,
 # so this script doubles as a determinism + performance gate.
 #
-# Takes a few minutes: the 100k arms run ~25-30s each on one CPU.
+# Takes a few minutes: the unsharded 10k reference arm is the long pole
+# (~30s on one CPU).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> bench_calendar (sweep-line vs naive differential -> BENCH_calendar.json)"
+cargo bench -p opml-bench --bench bench_calendar
 
 echo "==> bench_semester (sharded scaling sweep -> BENCH_semester.json)"
 cargo bench -p opml-bench --bench bench_semester
@@ -19,4 +27,4 @@ cargo bench -p opml-bench --bench bench_semester
 echo "==> bench_telemetry (<5% disabled-cost gate)"
 cargo bench -p opml-bench --bench bench_telemetry
 
-echo "benches passed; report in BENCH_semester.json"
+echo "benches passed; reports in BENCH_calendar.json and BENCH_semester.json"

@@ -22,6 +22,12 @@ cargo run --release -q -p opml-detlint --bin detlint -- --root crates/telemetry
 echo "==> detlint (faults crate, readable table)"
 cargo run --release -q -p opml-detlint --bin detlint -- --root crates/faults
 
+echo "==> detlint (testbed crate, readable table)"
+cargo run --release -q -p opml-detlint --bin detlint -- --root crates/testbed
+
+echo "==> detlint (cohort crate, readable table)"
+cargo run --release -q -p opml-detlint --bin detlint -- --root crates/cohort
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -47,6 +53,16 @@ scale_digest=$(cargo run --release -q -p opml-experiments --bin run-experiments 
 golden_digest=$(cat tests/golden/scale_100k_seed42.digest)
 if [ "$scale_digest" != "$golden_digest" ]; then
     echo "scale smoke FAILED: digest $scale_digest != golden $golden_digest" >&2
+    exit 1
+fi
+
+echo "==> scale smoke run (1M cohort @ 2 threads vs golden digest)"
+scale_1m_digest=$(cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    scale --enrollment 1000000 --threads 2 --digest-only --quiet \
+    | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')
+golden_1m_digest=$(cat tests/golden/scale_1m_seed42.digest)
+if [ "$scale_1m_digest" != "$golden_1m_digest" ]; then
+    echo "1M scale smoke FAILED: digest $scale_1m_digest != golden $golden_1m_digest" >&2
     exit 1
 fi
 
