@@ -146,6 +146,7 @@ pub fn plan_projects_range(
         let mut svc = 0;
         while vm_budget > 1.0 {
             let hours = rng.range_f64(150.0, 900.0).min(vm_budget).min(window_h);
+            // detlint::allow(DL008): weighted_index returns an index < vm_weights.len() == VM_MIX.len()
             let flavor = VM_MIX[rng.weighted_index(&vm_weights)].0;
             let latest_start = window_h - hours;
             let start_h = rng.range_f64(0.0, latest_start.max(1e-6));
@@ -169,6 +170,7 @@ pub fn plan_projects_range(
         let mut session = 0;
         while gpu_budget > 0.5 {
             let hours = rng.range_f64(2.0, 8.0).min(gpu_budget.max(2.0));
+            // detlint::allow(DL008): weighted_index returns an index < gpu_weights.len() == GPU_MIX.len()
             let flavor = GPU_MIX[rng.weighted_index(&gpu_weights)].0;
             let preferred =
                 window_start + SimDuration::from_hours_f64(rng.range_f64(0.0, window_h - hours));

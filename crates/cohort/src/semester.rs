@@ -350,8 +350,8 @@ pub fn simulate_semester_with(
     telemetry: &Telemetry,
 ) -> SemesterOutcome {
     let shards = config.shards();
-    if shards.len() == 1 {
-        return run_shard(config, seed, &shards[0], telemetry, false);
+    if let [only] = shards.as_slice() {
+        return run_shard(config, seed, only, telemetry, false);
     }
     let runs = map_slice(&shards, |_, shard| {
         run_shard_buffered(config, seed, shard, telemetry.is_enabled())
@@ -374,8 +374,8 @@ pub fn simulate_semester_serial_with(
     telemetry: &Telemetry,
 ) -> SemesterOutcome {
     let shards = config.shards();
-    if shards.len() == 1 {
-        return run_shard(config, seed, &shards[0], telemetry, false);
+    if let [only] = shards.as_slice() {
+        return run_shard(config, seed, only, telemetry, false);
     }
     let runs: Vec<ShardRun> = shards
         .iter()
@@ -542,6 +542,7 @@ fn run_shard(
                     preferred,
                     Ev::VmUp(PlannedVm {
                         name: student_name(spec.tag, sid),
+                        // detlint::allow(DL008): every LabSpec declares at least one flavor
                         flavor: spec.flavors[0].0,
                         node_count: spec.node_count,
                         start: preferred,

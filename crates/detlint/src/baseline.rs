@@ -1,0 +1,388 @@
+//! Accepted-findings baseline: the determinism ratchet's memory.
+//!
+//! A committed `detlint.baseline.json` records findings that are
+//! accepted for now; the CI gate fails only on findings *not* in the
+//! baseline, the same one-way ratchet the `BENCH_*.json` floors give
+//! perf. Entries are keyed by `(rule, file, excerpt)` — excerpts (the
+//! trimmed source line) survive unrelated line drift, while any edit to
+//! the flagged line itself re-opens the finding for review. Identical
+//! lines are disambiguated by a `count`.
+//!
+//! The vendored `serde_json` shim only serializes, so this module
+//! carries its own parser for the subset of JSON the writer emits
+//! (objects, arrays, strings with escapes, integers) — strict enough to
+//! reject hand-edits that would silently widen the baseline.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::{Analysis, Finding};
+
+/// Schema tag written into (and required from) every baseline file.
+pub const BASELINE_SCHEMA: &str = "detlint-baseline/v1";
+
+/// One accepted finding (aggregated over identical lines).
+#[derive(Debug, Clone, Serialize, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule id (`DL001`…).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Trimmed source-line excerpt the finding anchors to.
+    pub excerpt: String,
+    /// How many findings share this (rule, file, excerpt) key.
+    pub count: usize,
+}
+
+/// A set of accepted findings.
+#[derive(Debug, Default, Serialize)]
+pub struct Baseline {
+    /// Schema tag ([`BASELINE_SCHEMA`]).
+    pub schema: String,
+    /// Accepted findings, sorted by (rule, file, excerpt).
+    pub findings: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Aggregate every finding of `analysis` into a fresh baseline.
+    pub fn from_analysis(analysis: &Analysis) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in &analysis.findings {
+            *counts
+                .entry((f.rule.clone(), f.file.clone(), f.excerpt.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            schema: BASELINE_SCHEMA.to_string(),
+            findings: counts
+                .into_iter()
+                .map(|((rule, file, excerpt), count)| BaselineEntry {
+                    rule,
+                    file,
+                    excerpt,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to the committed JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+    }
+
+    /// Load a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Budget remaining per key, for matching.
+    fn budgets(&self) -> BTreeMap<(String, String, String), usize> {
+        self.findings
+            .iter()
+            .map(|e| ((e.rule.clone(), e.file.clone(), e.excerpt.clone()), e.count))
+            .collect()
+    }
+}
+
+impl Analysis {
+    /// Split the findings against `baseline`: matched findings move to
+    /// [`Analysis::baselined`], unmatched ones stay in
+    /// [`Analysis::findings`] and keep failing the gate. Returns the
+    /// stale entries — baseline keys no finding consumed — so the
+    /// ratchet can be tightened.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) -> Vec<BaselineEntry> {
+        let mut budgets = baseline.budgets();
+        let mut active: Vec<Finding> = Vec::new();
+        let mut matched: Vec<Finding> = Vec::new();
+        for f in self.findings.drain(..) {
+            let key = (f.rule.clone(), f.file.clone(), f.excerpt.clone());
+            let consumed = match budgets.get_mut(&key) {
+                Some(budget) if *budget > 0 => {
+                    *budget -= 1;
+                    true
+                }
+                _ => false,
+            };
+            if consumed {
+                matched.push(f);
+            } else {
+                active.push(f);
+            }
+        }
+        self.findings = active;
+        self.baselined = matched;
+        baseline
+            .findings
+            .iter()
+            .filter_map(|e| {
+                let left = budgets[&(e.rule.clone(), e.file.clone(), e.excerpt.clone())];
+                (left > 0).then(|| BaselineEntry {
+                    count: left,
+                    ..e.clone()
+                })
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the baseline subset
+// ---------------------------------------------------------------------------
+
+fn parse(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        at: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut schema = None;
+    let mut findings = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "schema" => schema = Some(p.string()?),
+            "findings" => {
+                p.expect('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(']') {
+                        break;
+                    }
+                    findings.push(p.entry()?);
+                    p.skip_ws();
+                    if !p.eat(',') {
+                        p.skip_ws();
+                        p.expect(']')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown top-level key `{other}`")),
+        }
+        p.skip_ws();
+        if !p.eat(',') {
+            p.skip_ws();
+            p.expect('}')?;
+            break;
+        }
+    }
+    match schema.as_deref() {
+        Some(BASELINE_SCHEMA) => Ok(Baseline {
+            schema: BASELINE_SCHEMA.to_string(),
+            findings,
+        }),
+        Some(other) => Err(format!(
+            "unsupported baseline schema `{other}` (expected `{BASELINE_SCHEMA}`)"
+        )),
+        None => Err("baseline is missing the `schema` field".to_string()),
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    at: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.at).is_some_and(|c| c.is_whitespace()) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.at) == Some(&c) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.at,
+                self.chars.get(self.at)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.at) {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.at += 1;
+                    let esc = self
+                        .chars
+                        .get(self.at)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    out.push(match esc {
+                        '"' => '"',
+                        '\\' => '\\',
+                        '/' => '/',
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        'u' => {
+                            let hex: String = self.chars[self.at + 1..].iter().take(4).collect();
+                            self.at += 4;
+                            u32::from_str_radix(&hex, 16)
+                                .ok()
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad unicode escape \\u{hex}"))?
+                        }
+                        other => return Err(format!("unsupported escape \\{other}")),
+                    });
+                    self.at += 1;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.at += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.at;
+        while self.chars.get(self.at).is_some_and(|c| c.is_ascii_digit()) {
+            self.at += 1;
+        }
+        let text: String = self.chars[start..self.at].iter().collect();
+        text.parse().map_err(|e| format!("bad count `{text}`: {e}"))
+    }
+
+    fn entry(&mut self) -> Result<BaselineEntry, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let mut rule = None;
+        let mut file = None;
+        let mut excerpt = None;
+        let mut count = None;
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "rule" => rule = Some(self.string()?),
+                "file" => file = Some(self.string()?),
+                "excerpt" => excerpt = Some(self.string()?),
+                "count" => count = Some(self.number()?),
+                other => return Err(format!("unknown entry key `{other}`")),
+            }
+            self.skip_ws();
+            if !self.eat(',') {
+                self.skip_ws();
+                self.expect('}')?;
+                break;
+            }
+        }
+        Ok(BaselineEntry {
+            rule: rule.ok_or("entry missing `rule`")?,
+            file: file.ok_or("entry missing `file`")?,
+            excerpt: excerpt.ok_or("entry missing `excerpt`")?,
+            count: count.unwrap_or(1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let mut a = Analysis::default();
+        a.findings
+            .push(finding("DL008", "crates/x/src/a.rs", "x.unwrap()"));
+        a.findings
+            .push(finding("DL008", "crates/x/src/a.rs", "x.unwrap()"));
+        a.findings
+            .push(finding("DL002", "crates/y/src/b.rs", "m.keys().collect()"));
+        let b = Baseline::from_analysis(&a);
+        let parsed = parse(&b.to_json()).expect("roundtrip parse");
+        assert_eq!(parsed.findings, b.findings);
+        assert_eq!(parsed.findings[1].count, 2);
+    }
+
+    #[test]
+    fn apply_matches_and_reports_stale() {
+        let mut a = Analysis::default();
+        a.findings.push(finding("DL008", "f.rs", "x.unwrap()"));
+        a.findings.push(finding("DL008", "f.rs", "brand_new()"));
+        let baseline = Baseline {
+            schema: BASELINE_SCHEMA.to_string(),
+            findings: vec![
+                BaselineEntry {
+                    rule: "DL008".into(),
+                    file: "f.rs".into(),
+                    excerpt: "x.unwrap()".into(),
+                    count: 2,
+                },
+                BaselineEntry {
+                    rule: "DL001".into(),
+                    file: "gone.rs".into(),
+                    excerpt: "Instant::now()".into(),
+                    count: 1,
+                },
+            ],
+        };
+        let stale = a.apply_baseline(&baseline);
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert_eq!(a.findings[0].excerpt, "brand_new()");
+        assert_eq!(a.baselined.len(), 1);
+        // One unused unwrap budget + the vanished DL001 entry are stale.
+        assert_eq!(stale.len(), 2);
+        assert_eq!(stale[0].count, 1);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_garbage() {
+        assert!(parse("{\"schema\": \"other/v9\", \"findings\": []}").is_err());
+        assert!(parse("{\"findings\": []}").is_err());
+        assert!(parse("not json").is_err());
+        assert!(parse(
+            "{\"schema\": \"detlint-baseline/v1\", \"findings\": [{\"rule\": \"DL001\"}]}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Whole-workspace function discovery and call graph.
+//!
+//! PR 1's DL004 lock pass was the first rule to need more than one file
+//! of context; it carried its own ad-hoc `fn`-body scanner. This module
+//! generalizes that infrastructure so every interprocedural pass (DL004
+//! lock orders, DL006/DL007 determinism taint, DL008 panic reachability)
+//! shares one definition of "a function" and one call-site extractor.
+//!
+//! Resolution is name-based and deliberately overapproximate: a call
+//! `foo(…)` or `x.foo(…)` is linked to *every* workspace function named
+//! `foo`. For a lint that is the right bias — an extra edge can at worst
+//! ask for one more `detlint::allow` annotation, while a missed edge
+//! silently hides a panic or a hash-order leak from the ratchet.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Identifier-like tokens that can precede `(` or `[` without being a
+/// call head / indexed place expression.
+const NON_CALLEE: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "let", "move", "as", "in", "unsafe",
+    "ref", "mut", "impl", "where", "pub", "use", "mod", "struct", "enum", "trait", "type", "const",
+    "static", "else", "break", "continue", "dyn", "await", "Some", "None", "Ok", "Err", "self",
+    "Self", "super", "crate",
+];
+
+/// True for tokens that cannot be a user-defined callee name.
+pub(crate) fn is_non_callee(text: &str) -> bool {
+    NON_CALLEE.contains(&text)
+}
+
+/// One function body located in a token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Index of the `fn` keyword (signature start).
+    pub fn_kw: usize,
+    /// Index of the opening `{` of the body.
+    pub open: usize,
+    /// Index of the matching `}`.
+    pub close: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the function sits inside a `#[cfg(test)]` item or is
+    /// itself marked `#[test]` / `#[bench]`.
+    pub is_test: bool,
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub(crate) fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `]` matching the `[` at `open`.
+pub(crate) fn match_bracket(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Token ranges (inclusive) covered by test-only code: the brace body of
+/// any item carrying `#[cfg(test)]` / `#[test]` / `#[bench]`.
+fn test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].text == "#" && toks[i + 1].text == "[" {
+            let close_attr = match_bracket(toks, i + 1);
+            let inner = &toks[i + 2..close_attr];
+            let is_test_attr = match inner.first().map(|t| t.text.as_str()) {
+                Some("cfg") => inner.iter().any(|t| t.text == "test"),
+                Some("test") | Some("bench") => true,
+                _ => false,
+            };
+            if is_test_attr {
+                // Attach to the next item: skip further attributes, then
+                // take the first `{` before a `;` as the item body.
+                let mut j = close_attr + 1;
+                while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+                    j = match_bracket(toks, j + 1) + 1;
+                }
+                let mut k = j;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => {
+                            out.push((k, match_brace(toks, k)));
+                            break;
+                        }
+                        ";" => break,
+                        _ => k += 1,
+                    }
+                }
+            }
+            i = close_attr + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Discover every `fn` body in the stream, with its name and whether it
+/// lives in test-only code. Nested functions are rediscovered with their
+/// own (smaller) spans, which downstream passes tolerate.
+pub fn find_functions(toks: &[Token]) -> Vec<FnSpan> {
+    let tests = test_spans(toks);
+    let in_test = |at: usize| tests.iter().any(|&(a, b)| a <= at && at <= b);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "fn" && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            // Find the body `{`: first brace at paren depth 0; a `;`
+            // first means a bodyless trait/extern declaration.
+            let mut paren = 0i32;
+            let mut j = i + 2;
+            let mut open = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "{" if paren == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                out.push(FnSpan {
+                    name: toks[i + 1].text.clone(),
+                    fn_kw: i,
+                    open,
+                    close: match_brace(toks, open),
+                    line: toks[i].line,
+                    is_test: in_test(i),
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Callee names referenced inside `toks[open..=close]`: every
+/// non-keyword identifier directly followed by `(` (free calls, method
+/// calls, and path calls all end in that shape).
+pub fn callees(toks: &[Token], open: usize, close: usize) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for k in open..close.min(toks.len().saturating_sub(1)) {
+        if toks[k].kind == TokenKind::Ident
+            && !is_non_callee(&toks[k].text)
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            out.insert(toks[k].text.clone());
+        }
+    }
+    out
+}
+
+/// Functions of one file, in source order.
+pub struct FileFns {
+    /// Workspace-relative path label.
+    pub path: String,
+    /// Discovered function spans.
+    pub fns: Vec<FnSpan>,
+}
+
+/// A function id: (file index, index into that file's `fns`).
+pub type FnId = (usize, usize);
+
+/// Whole-workspace call graph with name-based resolution.
+pub struct CallGraph {
+    /// Per-file function tables, parallel to the analyzed source list.
+    pub files: Vec<FileFns>,
+    /// Name → every declaration carrying it.
+    pub by_name: BTreeMap<String, Vec<FnId>>,
+    /// Per-declaration callee-name sets.
+    pub calls: BTreeMap<FnId, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Build the graph over `(path, lexed)` pairs, in input order.
+    pub fn build(sources: &[(&str, &Lexed)]) -> CallGraph {
+        let mut files = Vec::with_capacity(sources.len());
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut calls = BTreeMap::new();
+        for (fi, (path, lexed)) in sources.iter().enumerate() {
+            let fns = find_functions(&lexed.tokens);
+            for (gi, f) in fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push((fi, gi));
+                calls.insert((fi, gi), callees(&lexed.tokens, f.open, f.close));
+            }
+            files.push(FileFns {
+                path: path.to_string(),
+                fns,
+            });
+        }
+        CallGraph {
+            files,
+            by_name,
+            calls,
+        }
+    }
+
+    /// The span behind a function id.
+    pub fn span(&self, id: FnId) -> &FnSpan {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// BFS over call edges from every non-test declaration whose name is
+    /// in `roots`. Returns each reached function mapped to the root name
+    /// it was first reached from (roots map to themselves). Test-only
+    /// declarations are neither roots nor traversal targets.
+    pub fn reachable_from(&self, roots: &[&str]) -> BTreeMap<FnId, String> {
+        let mut reached: BTreeMap<FnId, String> = BTreeMap::new();
+        let mut queue: Vec<FnId> = Vec::new();
+        for root in roots {
+            if let Some(ids) = self.by_name.get(*root) {
+                for &id in ids {
+                    if !self.span(id).is_test && !reached.contains_key(&id) {
+                        reached.insert(id, (*root).to_string());
+                        queue.push(id);
+                    }
+                }
+            }
+        }
+        while let Some(id) = queue.pop() {
+            let via = reached[&id].clone();
+            if let Some(callees) = self.calls.get(&id) {
+                for name in callees {
+                    if let Some(ids) = self.by_name.get(name) {
+                        for &next in ids {
+                            if !self.span(next).is_test && !reached.contains_key(&next) {
+                                reached.insert(next, via.clone());
+                                queue.push(next);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_named_functions_and_test_spans() {
+        let src = "fn alpha() { beta(); }\n\
+                   fn beta() {}\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() { helper(); }\n}\n";
+        let lexed = lex(src);
+        let fns = find_functions(&lexed.tokens);
+        let names: Vec<(&str, bool)> = fns.iter().map(|f| (f.name.as_str(), f.is_test)).collect();
+        assert_eq!(
+            names,
+            [
+                ("alpha", false),
+                ("beta", false),
+                ("helper", true),
+                ("case", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn callees_skip_keywords_and_constructors() {
+        let lexed = lex("fn f(x: u32) { if cond(x) { return Some(g(x)); } for _ in it(x) {} }");
+        let fns = find_functions(&lexed.tokens);
+        let c = callees(&lexed.tokens, fns[0].open, fns[0].close);
+        let names: Vec<&str> = c.iter().map(String::as_str).collect();
+        assert_eq!(names, ["cond", "g", "it"]);
+    }
+
+    #[test]
+    fn reachability_crosses_files_and_skips_tests() {
+        let a = lex("pub fn entry() { helper(); }");
+        let b = lex("pub fn helper() { leaf(); }\npub fn leaf() {}\npub fn orphan() {}\n#[cfg(test)]\nmod t { fn leaf() {} }");
+        let graph = CallGraph::build(&[("a.rs", &a), ("b.rs", &b)]);
+        let reached = graph.reachable_from(&["entry"]);
+        let names: BTreeSet<&str> = reached
+            .keys()
+            .map(|&id| graph.span(id).name.as_str())
+            .collect();
+        assert!(names.contains("helper") && names.contains("leaf"));
+        assert!(!names.contains("orphan"));
+        // The cfg(test) `leaf` shadow is not traversed.
+        assert_eq!(reached.len(), 3, "{names:?}");
+        assert!(reached.values().all(|root| root == "entry"));
+    }
+}

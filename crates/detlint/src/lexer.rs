@@ -155,13 +155,13 @@ pub fn lex(source: &str) -> Lexed {
             let mut j = i;
             while j < n {
                 let ch = bytes[j];
-                if ch.is_alphanumeric() || ch == '_' {
-                    j += 1;
-                } else if ch == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
-                    j += 1;
-                } else {
+                let continues = ch.is_alphanumeric()
+                    || ch == '_'
+                    || (ch == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit());
+                if !continues {
                     break;
                 }
+                j += 1;
             }
             out.tokens.push(Token {
                 kind: TokenKind::Literal,
@@ -225,7 +225,14 @@ fn skip_string(bytes: &[char], open: usize, line: &mut u32) -> usize {
     let mut j = open + 1;
     while j < n {
         match bytes[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // An escaped character may itself be the newline of a
+                // `\`-continued string; the line count must still advance.
+                if j + 1 < n && bytes[j + 1] == '\n' {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 *line += 1;
                 j += 1;
@@ -306,6 +313,90 @@ mod tests {
         let lexed = lex(src);
         assert!(!lexed.tokens.iter().any(|t| t.text == "Instant"));
         assert!(lexed.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn raw_string_hash_variants() {
+        // Zero, one, and two hashes; inner quotes and hashes must not
+        // terminate early, and nothing inside may tokenize.
+        let src = "let a = r\"Instant::now\";\nlet b = r#\"say \"thread_rng\" now\"#;\nlet c = r##\"nested \"# quote\"##;\nlet d = 9;";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "Instant"
+            || t.text == "thread_rng"
+            || t.text == "say"
+            || t.text == "nested"));
+        let d = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "d")
+            .expect("d survives");
+        assert_eq!(d.line, 4, "raw-string line accounting");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"RandomState\"; let b2 = br#\"from_entropy\"#; let c = b'x'; done();";
+        let lexed = lex(src);
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.text == "RandomState" || t.text == "from_entropy" || t.text == "x"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn multiline_raw_string_counts_lines() {
+        let src = "let a = r#\"line\nline\nInstant::now()\n\"#;\nlet tail = 1;";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "Instant"));
+        let tail = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "tail")
+            .expect("tail");
+        assert_eq!(tail.line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments_strip_and_count_lines() {
+        let src = "/* outer /* inner Instant::now() */\nstill comment */ let x = 1;\n/*/* deep */*/ let y = 2;";
+        let lexed = lex(src);
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "1", ";", "let", "y", "=", "2", ";"]
+        );
+        assert_eq!(lexed.tokens[0].line, 2);
+        assert_eq!(lexed.tokens[5].line, 3);
+    }
+
+    #[test]
+    fn doc_lines_with_code_like_text_are_inert() {
+        // `//!` and `///` doc lines are comments: code-like text must not
+        // tokenize, and a directive written in docs must not suppress.
+        let src = "//! let t = Instant::now();\n//! detlint::allow(DL001): documented, not active\n/// thread_rng() in a doc sentence\nfn f() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.text == "Instant" || t.text == "thread_rng"));
+        assert!(
+            lexed.allows.is_empty(),
+            "doc-comment directives must be inert: {:?}",
+            lexed.allows
+        );
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_lines() {
+        let src = "let s = \"continued \\\nrest\";\nlet marker = 1;";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "marker")
+            .expect("marker");
+        assert_eq!(marker.line, 3, "escaped newline inside string literal");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! # opml-detlint
 //!
-//! Static-analysis pass enforcing the workspace determinism contract
-//! (DESIGN.md §7). Scans every `.rs` file of the workspace (excluding
-//! `target/` and the `vendor/` shims) with a comment/string-stripping
+//! Workspace-level static-analysis suite enforcing the determinism
+//! contract (DESIGN.md §7, §12). Scans every `.rs` file of the
+//! workspace (excluding `target/`, the `vendor/` shims, and the
+//! `tests/fixtures` lint corpus) with a comment/string-stripping
 //! tokenizer and runs heuristic rule passes:
 //!
 //! - **DL001** — banned nondeterminism APIs: `Instant::now`,
@@ -16,23 +17,38 @@
 //! - **DL004** — lock-order cycles across `Mutex`/`RwLock` field
 //!   acquisitions (potential deadlocks).
 //! - **DL005** — malformed suppressions (missing reason, unknown rule).
+//! - **DL006/DL007** — interprocedural determinism taint: functions
+//!   whose return values carry hash-iteration order, and call sites
+//!   where such a result flows into an order-sensitive sink
+//!   ([`taint`], over the shared [`graph`] call graph).
+//! - **DL008** — panic sites reachable from the simulation entry points
+//!   of testbed/cohort/sched ([`panics`]).
+//! - **DL009** — non-associative float reductions in shard-merge code.
 //!
-//! Intentional exceptions are suppressed in-source with
+//! The full catalog lives in [`rules::KNOWN_RULES`]. Intentional
+//! exceptions are suppressed in-source with
 //! `// detlint::allow(DL00x): reason`, placed on the flagged line or the
-//! line directly above it. The reason is mandatory.
+//! line directly above it; the reason is mandatory. Findings accepted
+//! wholesale are recorded in the committed `detlint.baseline.json`
+//! ratchet ([`baseline`]) that the CI gate compares against.
 //!
-//! The `detlint` binary prints an opml-report table (or `--json`) and
-//! exits nonzero on any unsuppressed finding; the root-package test
-//! `tests/detlint_clean.rs` makes the same check part of tier-1.
+//! The `detlint` binary prints an opml-report table (or
+//! `--format json|sarif`) and exits nonzero on any unsuppressed,
+//! unbaselined finding; the root-package test `tests/detlint_clean.rs`
+//! makes the same check part of tier-1.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use serde::Serialize;
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod locks;
+pub mod panics;
 pub mod rules;
+pub mod taint;
 
 /// One diagnostic produced by a rule pass.
 #[derive(Debug, Clone, Serialize)]
@@ -67,6 +83,9 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// Findings silenced by valid `detlint::allow` directives.
     pub suppressed: Vec<SuppressedFinding>,
+    /// Findings accepted by the applied baseline (empty until
+    /// [`Analysis::apply_baseline`] runs).
+    pub baselined: Vec<Finding>,
 }
 
 impl Analysis {
@@ -105,6 +124,55 @@ impl Analysis {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
     }
+
+    /// Render as a minimal SARIF 2.1.0 log (one run, rule table from
+    /// [`rules::KNOWN_RULES`], one `error`-level result per finding).
+    pub fn to_sarif(&self) -> String {
+        use serde_json::json;
+        let rules: Vec<serde_json::Value> = rules::KNOWN_RULES
+            .iter()
+            .map(|(id, summary)| {
+                json!({
+                    "id": *id,
+                    "shortDescription": json!({ "text": *summary })
+                })
+            })
+            .collect();
+        let results: Vec<serde_json::Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let location = json!({
+                    "physicalLocation": json!({
+                        "artifactLocation": json!({ "uri": f.file }),
+                        "region": json!({ "startLine": f.line })
+                    })
+                });
+                json!({
+                    "ruleId": f.rule,
+                    "level": "error",
+                    "message": json!({ "text": f.message }),
+                    "locations": json!([location])
+                })
+            })
+            .collect();
+        let run = json!({
+            "tool": json!({
+                "driver": json!({
+                    "name": "detlint",
+                    "informationUri": "DESIGN.md#12-static-analysis--the-determinism-ratchet",
+                    "rules": rules
+                })
+            }),
+            "results": results
+        });
+        let log = json!({
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": json!([run])
+        });
+        serde_json::to_string_pretty(&log).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+    }
 }
 
 /// Analyze in-memory sources: `(path-label, source)` pairs.
@@ -119,21 +187,34 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
 
     let mut findings = Vec::new();
 
+    // Shared function table / call graph for the interprocedural passes.
+    let graph_input: Vec<(&str, &lexer::Lexed)> =
+        lexed.iter().map(|(path, _, lx)| (*path, lx)).collect();
+    let call_graph = graph::CallGraph::build(&graph_input);
+
     // DL004 needs a whole-workspace view: fields first, then acquisitions.
-    let mut graph = locks::LockGraph::default();
+    let mut lock_graph = locks::LockGraph::default();
     for (_, _, lx) in &lexed {
-        graph.collect_fields(lx);
+        lock_graph.collect_fields(lx);
     }
-    for (path, _, lx) in &lexed {
-        graph.collect_acquisitions(path, lx);
+    for (fi, (path, _, lx)) in lexed.iter().enumerate() {
+        lock_graph.collect_acquisitions(path, lx, &call_graph.files[fi].fns);
     }
-    graph.check(&mut findings);
+    lock_graph.check(&mut findings);
 
     // Per-file passes.
-    for (path, src, lx) in &lexed {
+    for (fi, (path, src, lx)) in lexed.iter().enumerate() {
         let lines: Vec<&str> = src.lines().collect();
-        rules::check_file(path, lx, &lines, &mut findings);
+        rules::check_file(path, lx, &call_graph.files[fi].fns, &lines, &mut findings);
     }
+
+    // Whole-workspace passes over the call graph.
+    let taint_input: Vec<(&str, &str, &lexer::Lexed)> = lexed
+        .iter()
+        .map(|(path, src, lx)| (*path, *src, lx))
+        .collect();
+    taint::check(&taint_input, &call_graph, &mut findings);
+    panics::check(&taint_input, &call_graph, &mut findings);
 
     // Apply suppressions: a valid allow(rule) on the finding's line or the
     // line directly above silences it. DL005 (malformed suppression) is
@@ -172,14 +253,16 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
         files_scanned: sources.len(),
         findings: active,
         suppressed,
+        baselined: Vec::new(),
     }
 }
 
 /// Scan the workspace rooted at `root`: every `.rs` file outside
-/// `target/`, `vendor/`, and `.git/`.
+/// `target/`, `vendor/`, `.git/`, and the detlint fixture corpus
+/// (`tests/fixtures`, deliberately-dirty lint specimens).
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
     let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
+    collect_rs_files(root, &mut files)?;
     files.sort();
     let mut sources = Vec::with_capacity(files.len());
     for path in files {
@@ -196,15 +279,19 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
 
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if !SKIP_DIRS.contains(&name.as_ref()) {
-                collect_rs_files(root, &path, out)?;
+            // The fixture corpus holds known-bad specimens the lint
+            // tests feed in deliberately; never scan it as workspace.
+            let is_fixture_corpus =
+                name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests");
+            if !SKIP_DIRS.contains(&name.as_ref()) && !is_fixture_corpus {
+                collect_rs_files(&path, out)?;
             }
         } else if name.ends_with(".rs") {
             out.push(path);

@@ -16,6 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::graph::FnSpan;
 use crate::lexer::{Lexed, TokenKind};
 use crate::rules::for_each_struct_field;
 use crate::Finding;
@@ -47,43 +48,15 @@ impl LockGraph {
         });
     }
 
-    /// Pass 2: record per-function acquisition orders from one file.
-    pub fn collect_acquisitions(&mut self, file: &str, lexed: &Lexed) {
+    /// Pass 2: record per-function acquisition orders from one file,
+    /// using the shared [`crate::graph`] function table. Nested fns
+    /// appear twice (their edges are a subset, deduplicated by the map).
+    pub fn collect_acquisitions(&mut self, file: &str, lexed: &Lexed, fns: &[FnSpan]) {
         if self.fields.is_empty() {
             return;
         }
-        let toks = &lexed.tokens;
-        // Reuse the function discovery from rules by scanning for `fn`
-        // bodies directly (kept local: the shapes differ slightly).
-        let mut i = 0;
-        while i < toks.len() {
-            if toks[i].text == "fn" && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
-                let name = toks[i + 1].text.clone();
-                let mut paren = 0i32;
-                let mut j = i + 2;
-                let mut open = None;
-                while j < toks.len() {
-                    match toks[j].text.as_str() {
-                        "(" => paren += 1,
-                        ")" => paren -= 1,
-                        "{" if paren == 0 => {
-                            open = Some(j);
-                            break;
-                        }
-                        ";" if paren == 0 => break,
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                if let Some(open) = open {
-                    let close = crate::rules::match_brace(toks, open);
-                    self.scan_body(file, &name, lexed, open, close);
-                    // Continue after the signature; nested fns are caught
-                    // again but their edges are a subset, deduplicated by
-                    // the map.
-                }
-            }
-            i += 1;
+        for f in fns {
+            self.scan_body(file, &f.name, lexed, f.open, f.close);
         }
     }
 

@@ -1,26 +1,72 @@
-//! `detlint` — command-line front end for the determinism lint pass.
+//! `detlint` — command-line front end for the determinism lint suite.
 //!
 //! Usage:
 //!
 //! ```text
-//! detlint [--root PATH] [--json]
+//! detlint [--root PATH] [--format table|json|sarif] [--json]
+//!         [--baseline PATH] [--write-baseline PATH]
 //! ```
 //!
 //! Scans the workspace (auto-discovered by walking up to the first
-//! `Cargo.toml` with a `[workspace]` section), prints the findings as an
-//! ASCII table — or JSON with `--json` — and exits nonzero if any
-//! unsuppressed finding remains.
+//! `Cargo.toml` with a `[workspace]` section) and prints the findings in
+//! the chosen format (`--json` is shorthand for `--format json`).
+//!
+//! With `--baseline`, findings recorded in the committed baseline are
+//! accepted and only *new* findings fail the run — the CI ratchet.
+//! `--write-baseline` regenerates the baseline from the current scan
+//! (the deliberate widening step; review the diff). Exit codes: 0 clean
+//! (modulo baseline), 1 findings, 2 usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use opml_detlint::baseline::Baseline;
+use opml_detlint::rules::KNOWN_RULES;
+
+enum Format {
+    Table,
+    Json,
+    Sarif,
+}
+
+fn print_help() {
+    println!(
+        "usage: detlint [--root PATH] [--format table|json|sarif] [--json]\n\
+         \x20              [--baseline PATH] [--write-baseline PATH]\n\n\
+         Determinism & panic-freedom lint over every workspace .rs file.\n\n\
+         rules:"
+    );
+    for (id, summary) in KNOWN_RULES {
+        println!("  {id}  {summary}");
+    }
+    println!(
+        "\nSuppress an intentional finding in source with\n\
+         `// detlint::allow(DL00x): reason` on the line or the line above;\n\
+         accept a backlog wholesale via the committed baseline file."
+    );
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Table;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("table") => format = Format::Table,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "detlint: --format requires table|json|sarif, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -28,12 +74,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("detlint: --baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("detlint: --write-baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: detlint [--root PATH] [--json]");
+                print_help();
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("detlint: unknown argument `{other}`");
+                eprintln!("detlint: unknown argument `{other}` (see --help)");
                 return ExitCode::from(2);
             }
         }
@@ -43,7 +103,7 @@ fn main() -> ExitCode {
         opml_detlint::find_workspace_root(&cwd)
     });
 
-    let analysis = match opml_detlint::analyze_workspace(&root) {
+    let mut analysis = match opml_detlint::analyze_workspace(&root) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("detlint: failed to scan {}: {e}", root.display());
@@ -51,25 +111,63 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", analysis.to_json());
-    } else if analysis.is_clean() {
+    if let Some(path) = write_baseline {
+        let baseline = Baseline::from_analysis(&analysis);
+        let json = baseline.to_json();
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("detlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
         println!(
-            "detlint: clean — {} files scanned, 0 findings, {} suppressed",
-            analysis.files_scanned,
-            analysis.suppressed.len()
+            "detlint: wrote baseline {} — {} accepted finding(s); review the diff before \
+             committing",
+            path.display(),
+            analysis.findings.len()
         );
-        for s in &analysis.suppressed {
-            println!(
-                "  allowed {} at {}:{} — {}",
-                s.finding.rule, s.finding.file, s.finding.line, s.reason
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &baseline_path {
+        let baseline = match Baseline::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let stale = analysis.apply_baseline(&baseline);
+        for entry in &stale {
+            eprintln!(
+                "detlint: stale baseline entry ({} at {} x{}): `{}` — tighten the ratchet",
+                entry.rule, entry.file, entry.count, entry.excerpt
             );
         }
-    } else {
-        println!("{}", analysis.to_table());
-        for f in &analysis.findings {
-            if !f.excerpt.is_empty() {
-                println!("  {}:{}  {}", f.file, f.line, f.excerpt);
+    }
+
+    match format {
+        Format::Json => println!("{}", analysis.to_json()),
+        Format::Sarif => println!("{}", analysis.to_sarif()),
+        Format::Table => {
+            if analysis.is_clean() {
+                println!(
+                    "detlint: clean — {} files scanned, 0 new findings, {} suppressed, {} baselined",
+                    analysis.files_scanned,
+                    analysis.suppressed.len(),
+                    analysis.baselined.len()
+                );
+                for s in &analysis.suppressed {
+                    println!(
+                        "  allowed {} at {}:{} — {}",
+                        s.finding.rule, s.finding.file, s.finding.line, s.reason
+                    );
+                }
+            } else {
+                println!("{}", analysis.to_table());
+                for f in &analysis.findings {
+                    if !f.excerpt.is_empty() {
+                        println!("  {}:{}  {}", f.file, f.line, f.excerpt);
+                    }
+                }
             }
         }
     }

@@ -5,25 +5,81 @@
 //! | DL001 | Banned nondeterminism APIs (wall clock, ambient RNG, random hasher state, process ids) |
 //! | DL002 | HashMap/HashSet iteration order leaking into ordered or order-sensitive sinks |
 //! | DL003 | Rayon hazards: order-sensitive reductions over parallel iterators, `par_bridge` |
+//! | DL004 | Lock-order cycles across `Mutex`/`RwLock` field acquisitions (potential deadlocks) |
 //! | DL005 | Malformed suppressions: missing reason or unknown rule id |
+//! | DL006 | Taint source: a function whose return value carries hash-iteration order |
+//! | DL007 | Taint sink: a tainted call result flowing into an order-sensitive sink |
+//! | DL008 | Panic site (`unwrap`/`expect`/`panic!`/index) reachable from a simulation entry point |
+//! | DL009 | Non-associative float reduction inside shard-merge code |
 //!
-//! (DL004, the lock-order cycle pass, lives in [`crate::locks`] because
-//! it is a whole-workspace graph analysis rather than a per-file scan.)
+//! The table above is rendered from [`KNOWN_RULES`], the single source
+//! of truth for rule ids: the suppression validator (DL005) and the
+//! binary's `--help` catalog both consume it.
+//!
+//! DL004 lives in [`crate::locks`], DL006/DL007 in [`crate::taint`] and
+//! DL008 in [`crate::panics`]: those are whole-workspace analyses over
+//! the shared [`crate::graph`] call graph rather than per-file scans.
 //!
 //! All passes are heuristic token-level analyses: no type information,
-//! intra-function only. They are tuned so that a true positive is worth
-//! a `// detlint::allow(rule): reason` annotation when intentional.
+//! and (except the graph passes) intra-function only. They are tuned so
+//! that a true positive is worth a `// detlint::allow(rule): reason`
+//! annotation when intentional.
 
+use crate::graph::{match_brace, FnSpan};
 use crate::lexer::{AllowDirective, Lexed, Token, TokenKind};
 use crate::Finding;
 
-/// Known rule ids, for validating `detlint::allow(...)` directives.
-pub const KNOWN_RULES: &[&str] = &["DL001", "DL002", "DL003", "DL004", "DL005"];
+/// Rule catalog: `(id, one-line summary)` for every rule detlint can
+/// emit. Single source of truth for the DL005 suppression validator,
+/// `detlint --help`, and the SARIF rule table.
+pub const KNOWN_RULES: &[(&str, &str)] = &[
+    (
+        "DL001",
+        "banned nondeterminism API (wall clock, ambient RNG, random hasher state, process id)",
+    ),
+    (
+        "DL002",
+        "hash-table iteration order leaking into an ordered or order-sensitive sink",
+    ),
+    (
+        "DL003",
+        "rayon hazard: order-sensitive reduction over a parallel iterator, or par_bridge",
+    ),
+    (
+        "DL004",
+        "lock-order cycle across Mutex/RwLock field acquisitions (potential deadlock)",
+    ),
+    (
+        "DL005",
+        "malformed detlint::allow suppression (missing reason or unknown rule id)",
+    ),
+    (
+        "DL006",
+        "determinism taint source: function returning an iterator over hash-table contents",
+    ),
+    (
+        "DL007",
+        "determinism taint sink: tainted call result flowing into an order-sensitive sink",
+    ),
+    (
+        "DL008",
+        "panic site (unwrap/expect/panic!/unreachable!/slice index) reachable from a simulation entry point",
+    ),
+    (
+        "DL009",
+        "non-associative float reduction (sum/fold/product) inside shard-merge code",
+    ),
+];
+
+/// True when `id` names a rule in [`KNOWN_RULES`].
+pub fn is_known_rule(id: &str) -> bool {
+    KNOWN_RULES.iter().any(|(known, _)| *known == id)
+}
 
 const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
 const ORDERED_TYPES: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
 /// Iterator-source methods that expose hash-table ordering.
-const HASH_ITER_METHODS: &[&str] = &[
+pub(crate) const HASH_ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -61,31 +117,29 @@ const ORDER_SENSITIVE_BODY_CALLS: &[&str] = &[
     "format",
 ];
 
-/// A function body located in the token stream.
-struct FnSpan {
-    /// Index of the opening `{` of the body.
-    open: usize,
-    /// Index of the matching `}`.
-    close: usize,
-    /// Index of the `fn` keyword (signature start).
-    fn_kw: usize,
-}
-
-/// Run every per-file rule pass, appending findings.
-pub fn check_file(file: &str, lexed: &Lexed, lines: &[&str], findings: &mut Vec<Finding>) {
+/// Run every per-file rule pass, appending findings. `fns` is the
+/// file's function table from the shared [`crate::graph`] discovery.
+pub fn check_file(
+    file: &str,
+    lexed: &Lexed,
+    fns: &[FnSpan],
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
     let toks = &lexed.tokens;
     check_banned_apis(file, toks, lines, findings);
     let hash_fields = collect_hash_fields(toks);
     check_serialized_hash_fields(file, toks, lines, findings);
-    for span in find_functions(toks) {
-        check_hash_iteration(file, toks, &span, &hash_fields, lines, findings);
-        check_rayon(file, toks, &span, lines, findings);
+    for span in fns {
+        check_hash_iteration(file, toks, span, &hash_fields, lines, findings);
+        check_rayon(file, toks, span, lines, findings);
+        check_float_merge(file, toks, span, lines, findings);
     }
     check_allow_directives(file, &lexed.allows, findings);
 }
 
 /// Excerpt of a 1-based source line, trimmed and capped.
-fn excerpt(lines: &[&str], line: u32) -> String {
+pub(crate) fn excerpt(lines: &[&str], line: u32) -> String {
     let text = lines.get(line as usize - 1).map(|l| l.trim()).unwrap_or("");
     let mut out: String = text.chars().take(96).collect();
     if text.chars().count() > 96 {
@@ -165,7 +219,7 @@ fn matches_seq(toks: &[Token], at: usize, pat: &[&str]) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Names of struct fields whose type mentions HashMap/HashSet, file-wide.
-fn collect_hash_fields(toks: &[Token]) -> std::collections::BTreeSet<String> {
+pub(crate) fn collect_hash_fields(toks: &[Token]) -> std::collections::BTreeSet<String> {
     let mut out = std::collections::BTreeSet::new();
     for_each_struct_field(toks, |field, ty| {
         if ty.iter().any(|t| HASH_TYPES.contains(&t.as_str())) {
@@ -238,24 +292,6 @@ fn type_tokens(toks: &[Token], start: usize, end: usize) -> (Vec<Token>, usize) 
         j += 1;
     }
     (out, j + 1)
-}
-
-/// Index of the `}` matching the `{` at `open`.
-pub(crate) fn match_brace(toks: &[Token], open: usize) -> usize {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(open) {
-        match t.text.as_str() {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth == 0 {
-                    return j;
-                }
-            }
-            _ => {}
-        }
-    }
-    toks.len().saturating_sub(1)
 }
 
 // ---------------------------------------------------------------------------
@@ -347,51 +383,36 @@ fn check_serialized_hash_fields(
 }
 
 // ---------------------------------------------------------------------------
-// Function discovery
-// ---------------------------------------------------------------------------
-
-fn find_functions(toks: &[Token]) -> Vec<FnSpan> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].text == "fn" && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
-            // Find the body `{`: first brace at paren depth 0; a `;`
-            // first means a bodyless trait/extern declaration.
-            let mut paren = 0i32;
-            let mut j = i + 2;
-            let mut open = None;
-            while j < toks.len() {
-                match toks[j].text.as_str() {
-                    "(" => paren += 1,
-                    ")" => paren -= 1,
-                    "{" if paren == 0 => {
-                        open = Some(j);
-                        break;
-                    }
-                    ";" if paren == 0 => break,
-                    _ => {}
-                }
-                j += 1;
-            }
-            if let Some(open) = open {
-                let close = match_brace(toks, open);
-                out.push(FnSpan {
-                    open,
-                    close,
-                    fn_kw: i,
-                });
-                // Nested fns are re-discovered by the scan, which is fine:
-                // they get their own (smaller) span too.
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
 // DL002b: hash iteration flowing into order-sensitive sinks
 // ---------------------------------------------------------------------------
+
+/// If `body[at]` heads a hash-valued expression (`name` or
+/// `self.field` / `x.field` with a hash-typed field), return the index
+/// of the `.` where its method chain starts.
+pub(crate) fn hash_expr_head(
+    body: &[Token],
+    at: usize,
+    hash_names: &std::collections::BTreeSet<String>,
+    hash_fields: &std::collections::BTreeSet<String>,
+) -> Option<usize> {
+    let t = &body[at];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    // `self.field` / `binding.field` where field is hash-typed.
+    if body.get(at + 1).map(|t| t.text.as_str()) == Some(".")
+        && body.get(at + 2).map(|t| t.kind) == Some(TokenKind::Ident)
+        && hash_fields.contains(&body[at + 2].text)
+        && body.get(at + 3).map(|t| t.text.as_str()) == Some(".")
+    {
+        return Some(at + 3);
+    }
+    if hash_names.contains(&t.text) && body.get(at + 1).map(|t| t.text.as_str()) == Some(".") {
+        // Not a field access consumed above.
+        return Some(at + 1);
+    }
+    None
+}
 
 fn check_hash_iteration(
     file: &str,
@@ -405,25 +426,7 @@ fn check_hash_iteration(
     let hash_names = collect_hash_bindings(toks, span);
 
     let is_hash_expr = |body: &[Token], at: usize| -> Option<usize> {
-        // Returns the index just past the hash-valued expression head
-        // (`name` or `self.field` / `x.field`), i.e. where `.method` starts.
-        let t = &body[at];
-        if t.kind != TokenKind::Ident {
-            return None;
-        }
-        // `self.field` / `binding.field` where field is hash-typed.
-        if body.get(at + 1).map(|t| t.text.as_str()) == Some(".")
-            && body.get(at + 2).map(|t| t.kind) == Some(TokenKind::Ident)
-            && hash_fields.contains(&body[at + 2].text)
-            && body.get(at + 3).map(|t| t.text.as_str()) == Some(".")
-        {
-            return Some(at + 3);
-        }
-        if hash_names.contains(&t.text) && body.get(at + 1).map(|t| t.text.as_str()) == Some(".") {
-            // Not a field access consumed above.
-            return Some(at + 1);
-        }
-        None
+        hash_expr_head(body, at, &hash_names, hash_fields)
     };
 
     let mut i = 0;
@@ -486,7 +489,10 @@ fn check_hash_iteration(
 
 /// Collect names of let-bindings and parameters whose type or initializer
 /// mentions HashMap/HashSet, within the function span.
-fn collect_hash_bindings(toks: &[Token], span: &FnSpan) -> std::collections::BTreeSet<String> {
+pub(crate) fn collect_hash_bindings(
+    toks: &[Token],
+    span: &FnSpan,
+) -> std::collections::BTreeSet<String> {
     let mut names = std::collections::BTreeSet::new();
     // Parameters: scan the signature between `fn` and the body `{`.
     let sig = &toks[span.fn_kw..span.open];
@@ -552,7 +558,7 @@ fn collect_hash_bindings(toks: &[Token], span: &FnSpan) -> std::collections::BTr
 
 /// Returns `(index-past-iterable, index-of-body-open-brace)` for the `for`
 /// at `at`, or `None` if it doesn't look like a for-loop.
-fn for_loop_shape(body: &[Token], at: usize) -> Option<(usize, usize)> {
+pub(crate) fn for_loop_shape(body: &[Token], at: usize) -> Option<(usize, usize)> {
     // Find `in` at depth 0 after the pattern.
     let mut j = at + 1;
     let mut depth = 0i32;
@@ -589,7 +595,7 @@ fn for_loop_shape(body: &[Token], at: usize) -> Option<(usize, usize)> {
 /// Check a for-body for order-sensitive accumulation. Returns a
 /// description of the sink, or `None` if the body looks order-insensitive
 /// (or every accumulation target is sorted later in the function).
-fn order_sensitive_loop_body(
+pub(crate) fn order_sensitive_loop_body(
     body: &[Token],
     open: usize,
     close: usize,
@@ -644,7 +650,12 @@ fn sorted_later(fn_body: &[Token], target: &str) -> bool {
 
 /// Walk a method chain whose first call's `(` is at `open`. Returns a
 /// message if the chain is order-sensitive, else `None`.
-fn classify_chain(body: &[Token], open: usize, span: &FnSpan, toks: &[Token]) -> Option<String> {
+pub(crate) fn classify_chain(
+    body: &[Token],
+    open: usize,
+    span: &FnSpan,
+    toks: &[Token],
+) -> Option<String> {
     let mut methods: Vec<String> = Vec::new();
     let mut collect_turbofish: Vec<String> = Vec::new();
     let mut j = open;
@@ -874,13 +885,120 @@ fn check_rayon(
 }
 
 // ---------------------------------------------------------------------------
+// DL009: non-associative float reductions in shard-merge code
+// ---------------------------------------------------------------------------
+
+/// Chain terminals that reduce many elements into one value.
+const FLOAT_REDUCE_TERMINALS: &[&str] = &["sum", "product", "fold"];
+
+/// Flag float `sum`/`fold`/`product` chains inside functions whose name
+/// marks them as shard-merge code (`*merge*`). The sharded semester's
+/// byte-identity guarantee rests on every merge reducing in a pinned
+/// order (shard index, sorted keys); a float reduction whose input order
+/// is incidental silently diverges between thread counts. Parallel
+/// (`par_*`) chains are skipped here — DL003 already owns those.
+fn check_float_merge(
+    file: &str,
+    toks: &[Token],
+    span: &FnSpan,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    if !span.name.to_ascii_lowercase().contains("merge") {
+        return;
+    }
+    let body = &toks[span.open..=span.close];
+    let mut i = 0;
+    while i + 1 < body.len() {
+        if body[i].text == "."
+            && body[i + 1].kind == TokenKind::Ident
+            && FLOAT_REDUCE_TERMINALS.contains(&body[i + 1].text.as_str())
+            && {
+                // Method call: `.sum(` or `.sum::<…>(`.
+                let after = body.get(i + 2).map(|t| t.text.as_str());
+                after == Some("(") || after == Some("::")
+            }
+        {
+            let name = body[i + 1].text.clone();
+            let (lo, hi) = statement_range(body, i);
+            let stmt = &body[lo..hi];
+            let parallel = stmt
+                .iter()
+                .any(|t| t.text.starts_with("par_") || t.text == "par_bridge");
+            let float_typed = stmt.iter().any(|t| t.text == "f64" || t.text == "f32")
+                || (name == "fold" && fold_seed_is_float(body, i + 2));
+            if !parallel && float_typed {
+                findings.push(finding(
+                    "DL009",
+                    file,
+                    body[i + 1].line,
+                    format!(
+                        "float `.{name}(…)` in shard-merge function `{}`: non-associative \
+                         accumulation depends on element order; pin the order (shard index or \
+                         sorted keys) and annotate the invariant, or accumulate in integers",
+                        span.name
+                    ),
+                    lines,
+                ));
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Token range (half-open, body-relative) of the statement containing
+/// `at`: back to the previous `;`/`{`/`}` and forward to the next `;`.
+/// Cutting at a closure's braces is acceptable for the heuristic scans
+/// this feeds (type-evidence searches).
+fn statement_range(body: &[Token], at: usize) -> (usize, usize) {
+    let mut lo = at;
+    while lo > 0 && !matches!(body[lo - 1].text.as_str(), ";" | "{" | "}") {
+        lo -= 1;
+    }
+    let mut hi = at;
+    while hi < body.len() && body[hi].text != ";" {
+        hi += 1;
+    }
+    (lo, hi)
+}
+
+/// True when the first argument of the call whose `::`/`(` starts at
+/// `after` is a float literal (e.g. `.fold(0.0, …)`).
+fn fold_seed_is_float(body: &[Token], after: usize) -> bool {
+    let mut j = after;
+    // Skip a turbofish if present.
+    if body.get(j).map(|t| t.text.as_str()) == Some("::")
+        && body.get(j + 1).map(|t| t.text.as_str()) == Some("<")
+    {
+        let mut depth = 1i32;
+        j += 2;
+        while j < body.len() && depth > 0 {
+            match body[j].text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if body.get(j).map(|t| t.text.as_str()) != Some("(") {
+        return false;
+    }
+    body.get(j + 1)
+        .is_some_and(|t| t.kind == TokenKind::Literal && t.text.contains('.'))
+}
+
+// ---------------------------------------------------------------------------
 // DL005: malformed suppressions
 // ---------------------------------------------------------------------------
 
 fn check_allow_directives(file: &str, allows: &[AllowDirective], findings: &mut Vec<Finding>) {
     for a in allows {
         let canonical = a.rule.to_ascii_uppercase();
-        if !KNOWN_RULES.contains(&canonical.as_str()) {
+        if !is_known_rule(&canonical) {
+            let known: Vec<&str> = KNOWN_RULES.iter().map(|(id, _)| *id).collect();
             findings.push(Finding {
                 rule: "DL005".to_string(),
                 file: file.to_string(),
@@ -888,7 +1006,7 @@ fn check_allow_directives(file: &str, allows: &[AllowDirective], findings: &mut 
                 message: format!(
                     "detlint::allow names unknown rule `{}` (known: {})",
                     a.rule,
-                    KNOWN_RULES.join(", ")
+                    known.join(", ")
                 ),
                 excerpt: String::new(),
             });

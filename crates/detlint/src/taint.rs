@@ -1,0 +1,251 @@
+//! DL006/DL007: interprocedural determinism taint.
+//!
+//! Intra-function DL002 catches a hash-table iteration that reaches an
+//! order-sensitive sink *inside one function*. It provably misses the
+//! same leak split across a call: a helper returning
+//! `impl Iterator<Item = …>` over a `HashMap` is clean under DL002 (no
+//! order-sensitive terminal in the helper; no hash source in the
+//! caller). This pass closes that hole:
+//!
+//! - **DL006 (taint source):** a function whose *return value* carries
+//!   hash-iteration order — its declared return type is an iterator
+//!   (`impl Iterator`, or a hash-table iterator type like `Keys`/
+//!   `Drain`) and its body iterates a hash container; or, transitively,
+//!   an iterator-returning function that calls another tainted function.
+//! - **DL007 (taint sink via call):** a call site whose result flows
+//!   into one of the DL002 ordered/order-sensitive sinks — a method
+//!   chain ending in `collect`/`fold`/`next`/… or a `for`-loop body
+//!   that accumulates in order.
+//!
+//! Call resolution is name-based (see [`crate::graph`]); to keep false
+//! positives in check, a call is only treated as tainted when *every*
+//! workspace function of that name is tainted. Taint through a binding
+//! (`let xs = helper(); for x in xs {…}`) is not tracked — the chain or
+//! loop must consume the call directly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{match_brace, CallGraph, FnId};
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::rules::{self, HASH_ITER_METHODS};
+use crate::Finding;
+
+/// Return-position types whose values iterate hash tables.
+const HASH_ITER_TYPES: &[&str] = &[
+    "Keys",
+    "Values",
+    "ValuesMut",
+    "IntoKeys",
+    "IntoValues",
+    "Drain",
+    "ExtractIf",
+];
+
+/// How a function became a taint source.
+enum Cause {
+    /// Body iterates a hash container into the returned iterator.
+    Direct,
+    /// Returns the result of calling another tainted function.
+    ViaCall(String),
+}
+
+/// Run the taint analysis over the whole workspace and append DL006 and
+/// DL007 findings. `sources` must parallel the graph's file table.
+pub fn check(sources: &[(&str, &str, &Lexed)], graph: &CallGraph, findings: &mut Vec<Finding>) {
+    // Line tables for excerpts.
+    let line_tables: Vec<Vec<&str>> = sources
+        .iter()
+        .map(|(_, src, _)| src.lines().collect())
+        .collect();
+
+    // Hash-typed struct fields are matched by name across the workspace,
+    // the same union the DL004 pass uses for lock fields.
+    let mut hash_fields: BTreeSet<String> = BTreeSet::new();
+    for (_, _, lexed) in sources {
+        hash_fields.extend(rules::collect_hash_fields(&lexed.tokens));
+    }
+
+    // Pass 1: classify direct taint sources.
+    let mut tainted: BTreeMap<FnId, Cause> = BTreeMap::new();
+    for (fi, (_, _, lexed)) in sources.iter().enumerate() {
+        let toks = &lexed.tokens;
+        for (gi, span) in graph.files[fi].fns.iter().enumerate() {
+            if !returns_iterator(toks, span.fn_kw, span.open) {
+                continue;
+            }
+            let hash_names = rules::collect_hash_bindings(toks, span);
+            let body = &toks[span.open..=span.close];
+            let iterates_hash = (0..body.len()).any(|at| {
+                rules::hash_expr_head(body, at, &hash_names, &hash_fields).is_some_and(|dot| {
+                    body.get(dot + 1)
+                        .is_some_and(|m| HASH_ITER_METHODS.contains(&m.text.as_str()))
+                        && body.get(dot + 2).map(|t| t.text.as_str()) == Some("(")
+                })
+            });
+            if iterates_hash {
+                tainted.insert((fi, gi), Cause::Direct);
+            }
+        }
+    }
+
+    // Pass 2: propagate through iterator-returning callers to a fixed
+    // point. `tainted_name` requires every declaration of the name to be
+    // tainted, so common names (`iter`, `new`) never taint by accident.
+    loop {
+        let tainted_names = all_tainted_names(graph, &tainted);
+        let mut grew = false;
+        for (fi, (_, _, lexed)) in sources.iter().enumerate() {
+            for (gi, span) in graph.files[fi].fns.iter().enumerate() {
+                let id = (fi, gi);
+                if tainted.contains_key(&id)
+                    || !returns_iterator(&lexed.tokens, span.fn_kw, span.open)
+                {
+                    continue;
+                }
+                if let Some(callee) = graph
+                    .calls
+                    .get(&id)
+                    .and_then(|calls| calls.iter().find(|c| tainted_names.contains(c.as_str())))
+                {
+                    tainted.insert(id, Cause::ViaCall(callee.clone()));
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // DL006 findings, one per tainted declaration.
+    for (&(fi, gi), cause) in &tainted {
+        let span = &graph.files[fi].fns[gi];
+        let (path, _, _) = sources[fi];
+        let how = match cause {
+            Cause::Direct => "iterates a HashMap/HashSet into its returned iterator".to_string(),
+            Cause::ViaCall(callee) => {
+                format!("returns the result of tainted function `{callee}`")
+            }
+        };
+        findings.push(Finding {
+            rule: "DL006".to_string(),
+            file: path.to_string(),
+            line: span.line,
+            message: format!(
+                "`{}` {how}; callers inherit nondeterministic hash order — return a sorted \
+                 collection (or document why every caller is order-insensitive)",
+                span.name
+            ),
+            excerpt: excerpt_at(&line_tables[fi], span.line),
+        });
+    }
+
+    // Pass 3: DL007 — tainted calls feeding order-sensitive sinks.
+    let tainted_names = all_tainted_names(graph, &tainted);
+    if tainted_names.is_empty() {
+        return;
+    }
+    for (fi, (path, _, lexed)) in sources.iter().enumerate() {
+        let toks = &lexed.tokens;
+        for span in &graph.files[fi].fns {
+            let body = &toks[span.open..=span.close];
+            let mut i = 0;
+            while i < body.len() {
+                // `for pat in tainted(...) { body }`
+                if body[i].text == "for" {
+                    if let Some((iter_end, body_open)) = rules::for_loop_shape(body, i) {
+                        if let Some(name) = tainted_call_in(body, i, iter_end, &tainted_names) {
+                            let close = match_brace(body, body_open);
+                            if let Some(sink) =
+                                rules::order_sensitive_loop_body(body, body_open, close, span, toks)
+                            {
+                                findings.push(Finding {
+                                    rule: "DL007".to_string(),
+                                    file: path.to_string(),
+                                    line: body[i].line,
+                                    message: format!(
+                                        "for-loop over tainted call `{name}(…)` (DL006 source) \
+                                         feeds {sink}; sort the items before accumulating"
+                                    ),
+                                    excerpt: excerpt_at(&line_tables[fi], body[i].line),
+                                });
+                            }
+                            i = body_open;
+                            continue;
+                        }
+                    }
+                }
+                // `tainted(...).chain()...` — the call heads a method chain.
+                if body[i].kind == TokenKind::Ident
+                    && tainted_names.contains(body[i].text.as_str())
+                    && body.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                {
+                    if let Some(msg) = rules::classify_chain(body, i + 1, span, toks) {
+                        findings.push(Finding {
+                            rule: "DL007".to_string(),
+                            file: path.to_string(),
+                            line: body[i].line,
+                            message: format!(
+                                "result of tainted call `{}(…)` (DL006 source) {msg}",
+                                body[i].text
+                            ),
+                            excerpt: excerpt_at(&line_tables[fi], body[i].line),
+                        });
+                    }
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Names for which *every* declaration in the workspace is tainted.
+fn all_tainted_names(graph: &CallGraph, tainted: &BTreeMap<FnId, Cause>) -> BTreeSet<String> {
+    graph
+        .by_name
+        .iter()
+        .filter(|(_, ids)| !ids.is_empty() && ids.iter().all(|id| tainted.contains_key(id)))
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+/// True when the declared return type (between `->` and the body `{`)
+/// is iterator-shaped: `impl Iterator…` or a hash-table iterator type.
+fn returns_iterator(toks: &[Token], fn_kw: usize, open: usize) -> bool {
+    let sig = &toks[fn_kw..open];
+    let Some(arrow) = sig
+        .windows(2)
+        .position(|w| w[0].text == "-" && w[1].text == ">")
+    else {
+        return false;
+    };
+    let ret = &sig[arrow + 2..];
+    let impl_iter = ret
+        .windows(2)
+        .any(|w| w[0].text == "impl" && w[1].text == "Iterator");
+    impl_iter
+        || ret
+            .iter()
+            .any(|t| HASH_ITER_TYPES.contains(&t.text.as_str()))
+}
+
+/// First tainted call name inside `body[from..to]`, if any.
+fn tainted_call_in(
+    body: &[Token],
+    from: usize,
+    to: usize,
+    tainted_names: &BTreeSet<String>,
+) -> Option<String> {
+    (from..to.min(body.len().saturating_sub(1))).find_map(|k| {
+        (body[k].kind == TokenKind::Ident
+            && tainted_names.contains(body[k].text.as_str())
+            && body.get(k + 1).map(|t| t.text.as_str()) == Some("("))
+        .then(|| body[k].text.clone())
+    })
+}
+
+fn excerpt_at(lines: &[&str], line: u32) -> String {
+    rules::excerpt(lines, line)
+}

@@ -1,0 +1,128 @@
+//! End-to-end test of the CI ratchet: the `detlint` binary run against
+//! a miniature workspace must accept exactly the committed baseline and
+//! fail on anything new. This is the same contract `scripts/check.sh`
+//! relies on.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_detlint"))
+}
+
+/// Build a throwaway one-crate workspace with a single DL001 finding.
+fn seed_workspace() -> std::path::PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("detlint-gate");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(
+        dir.join("src/lib.rs"),
+        "pub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .expect("seed source");
+    dir
+}
+
+#[test]
+fn baseline_gate_accepts_old_and_blocks_new() {
+    let dir = seed_workspace();
+    let baseline = dir.join("detlint.baseline.json");
+
+    // Without a baseline the pre-existing finding fails the run.
+    let out = bin().arg("--root").arg(&dir).output().expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected the DL001 to fail the bare run"
+    );
+
+    // Accept the backlog.
+    let out = bin()
+        .arg("--root")
+        .arg(&dir)
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+
+    // The gate now passes: same findings, all baselined.
+    let out = bin()
+        .arg("--root")
+        .arg(&dir)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Seed a regression the baseline has never seen: the gate must trip.
+    std::fs::write(
+        dir.join("src/extra.rs"),
+        "pub fn jitter() -> u64 {\n    rand::rng().random()\n}\n",
+    )
+    .expect("regression source");
+    let out = bin()
+        .arg("--root")
+        .arg(&dir)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "regression slipped past the baseline"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DL001"), "{stdout}");
+    assert!(stdout.contains("extra.rs"), "{stdout}");
+
+    // Fix both findings: the gate passes again and reports the now-stale
+    // baseline entry so the ratchet can be tightened.
+    std::fs::remove_file(dir.join("src/extra.rs")).expect("drop regression");
+    std::fs::write(
+        dir.join("src/lib.rs"),
+        "pub fn stamp() -> u64 {\n    41\n}\n",
+    )
+    .expect("fixed source");
+    let out = bin()
+        .arg("--root")
+        .arg(&dir)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stale baseline entry"), "{stderr}");
+}
+
+#[test]
+fn malformed_baseline_is_a_usage_error() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("detlint-badline");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(dir.join("src/lib.rs"), "pub fn ok() {}\n").expect("source");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"other/v9\", \"findings\": []}\n").expect("bad baseline");
+    let out = bin()
+        .arg("--root")
+        .arg(&dir)
+        .arg("--baseline")
+        .arg(&bad)
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "wrong schema must be a hard error"
+    );
+}

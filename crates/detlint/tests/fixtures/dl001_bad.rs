@@ -1,0 +1,9 @@
+//! detlint fixture: DL001 — banned nondeterminism APIs.
+//! Expected: one DL001 finding on the `Instant::now()` line.
+
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}

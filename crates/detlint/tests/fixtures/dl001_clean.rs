@@ -1,0 +1,9 @@
+//! detlint fixture: DL001 clean — time comes from the simulation clock,
+//! and banned API names inside string literals or comments stay inert.
+
+pub fn elapsed_ticks(now: u64, start: u64) -> u64 {
+    // A real wall-clock read would be `Instant::now()` — this comment
+    // and the label below must not trip the lexer.
+    let _label = "Instant::now";
+    now - start
+}

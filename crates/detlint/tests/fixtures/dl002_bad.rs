@@ -1,0 +1,9 @@
+//! detlint fixture: DL002 — hash-iteration order leaking into an
+//! ordered sink inside one function.
+//! Expected: one DL002 finding on the `keys()...collect` chain.
+
+use std::collections::HashMap;
+
+pub fn user_ids(users: &HashMap<u32, String>) -> Vec<u32> {
+    users.keys().copied().collect::<Vec<u32>>()
+}

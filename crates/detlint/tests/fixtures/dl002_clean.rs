@@ -1,0 +1,10 @@
+//! detlint fixture: DL002 clean — the collected keys are sorted before
+//! anything order-sensitive can observe them.
+
+use std::collections::HashMap;
+
+pub fn user_ids(users: &HashMap<u32, String>) -> Vec<u32> {
+    let mut ids: Vec<u32> = users.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}

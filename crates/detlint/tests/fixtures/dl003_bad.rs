@@ -1,0 +1,10 @@
+//! detlint fixture: DL003 — non-associative float reduction over a
+//! parallel iterator: the grouping (and therefore the rounding) depends
+//! on the thread count.
+//! Expected: one DL003 finding on the `.sum::<f64>()` terminal.
+
+use rayon::prelude::*;
+
+pub fn total_energy(samples: &[f64]) -> f64 {
+    samples.par_iter().map(|x| x * x).sum::<f64>()
+}

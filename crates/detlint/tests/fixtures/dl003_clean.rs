@@ -1,0 +1,9 @@
+//! detlint fixture: DL003 clean — collect in index order in parallel,
+//! then reduce sequentially so the grouping is pinned.
+
+use rayon::prelude::*;
+
+pub fn total_energy(samples: &[f64]) -> f64 {
+    let squares: Vec<f64> = samples.par_iter().map(|x| x * x).collect();
+    squares.iter().sum()
+}

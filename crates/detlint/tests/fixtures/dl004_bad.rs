@@ -1,0 +1,25 @@
+//! detlint fixture: DL004 — two functions acquire the same pair of
+//! locks in opposite orders: a classic deadlock cycle.
+//! Expected: one DL004 finding naming the `ledger`/`audit` cycle.
+
+use std::sync::Mutex;
+
+pub struct Accounts {
+    ledger: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<u64>>,
+}
+
+impl Accounts {
+    pub fn post(&self, amount: u64) {
+        let mut ledger = self.ledger.lock().unwrap();
+        let mut audit = self.audit.lock().unwrap();
+        ledger.push(amount);
+        audit.push(amount);
+    }
+
+    pub fn reconcile(&self) -> usize {
+        let audit = self.audit.lock().unwrap();
+        let ledger = self.ledger.lock().unwrap();
+        audit.len() + ledger.len()
+    }
+}

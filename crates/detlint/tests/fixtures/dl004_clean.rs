@@ -1,0 +1,24 @@
+//! detlint fixture: DL004 clean — every function acquires the locks in
+//! the same order (`ledger` before `audit`), so no cycle exists.
+
+use std::sync::Mutex;
+
+pub struct Accounts {
+    ledger: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<u64>>,
+}
+
+impl Accounts {
+    pub fn post(&self, amount: u64) {
+        let mut ledger = self.ledger.lock().unwrap();
+        let mut audit = self.audit.lock().unwrap();
+        ledger.push(amount);
+        audit.push(amount);
+    }
+
+    pub fn reconcile(&self) -> usize {
+        let ledger = self.ledger.lock().unwrap();
+        let audit = self.audit.lock().unwrap();
+        ledger.len() + audit.len()
+    }
+}

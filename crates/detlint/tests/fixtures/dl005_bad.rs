@@ -1,0 +1,15 @@
+//! detlint fixture: DL005 — malformed suppressions. A reasonless allow
+//! leaves the underlying finding live and earns a DL005; an unknown
+//! rule id earns another.
+//! Expected: DL001 (still live) + two DL005 findings.
+
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    // detlint::allow(DL001)
+    let t = Instant::now();
+    t.elapsed().as_secs()
+}
+
+// detlint::allow(DL999): no such rule id
+pub fn other() {}

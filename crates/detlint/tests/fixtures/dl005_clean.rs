@@ -1,0 +1,10 @@
+//! detlint fixture: DL005 clean — a well-formed suppression with a
+//! reason silences the DL001 and draws no DL005.
+
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    // detlint::allow(DL001): operator-facing timestamp outside the simulation
+    let t = Instant::now();
+    t.elapsed().as_secs()
+}

@@ -1,0 +1,10 @@
+//! detlint fixture: DL006 — a taint source: the function's declared
+//! return type is an iterator and its body iterates a hash table, so
+//! every caller inherits nondeterministic order.
+//! Expected: one DL006 finding on `active_names`.
+
+use std::collections::HashMap;
+
+pub fn active_names(index: &HashMap<u32, String>) -> impl Iterator<Item = &String> {
+    index.values().filter(|name| !name.is_empty())
+}

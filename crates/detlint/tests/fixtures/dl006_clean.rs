@@ -1,0 +1,8 @@
+//! detlint fixture: DL006 clean — the same shape over a BTreeMap:
+//! iteration order is the key order, so the returned iterator is safe.
+
+use std::collections::BTreeMap;
+
+pub fn active_names(index: &BTreeMap<u32, String>) -> impl Iterator<Item = &String> {
+    index.values().filter(|name| !name.is_empty())
+}

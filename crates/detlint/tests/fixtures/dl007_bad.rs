@@ -1,0 +1,21 @@
+//! detlint fixture: DL007 — the cross-function hash-order leak that
+//! intra-function DL002 provably misses. The helper is DL002-clean (no
+//! order-sensitive terminal in its body); the caller is DL002-clean (no
+//! hash container in sight); the leak only exists across the call.
+//! Expected: DL006 on `shard_tags`, DL007 on the caller's for-loop,
+//! and nothing at all from DL001–DL005.
+
+use std::collections::HashMap;
+
+fn shard_tags() -> impl Iterator<Item = u32> {
+    let index: HashMap<u32, &'static str> = [(3, "c"), (1, "a"), (2, "b")].into_iter().collect();
+    index.into_keys()
+}
+
+pub fn tag_rollup() -> Vec<u32> {
+    let mut out = Vec::new();
+    for tag in shard_tags() {
+        out.push(tag);
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! detlint fixture: DL007 clean — the helper sorts before returning a
+//! concrete collection, so no taint crosses the call.
+
+use std::collections::HashMap;
+
+fn shard_tags() -> Vec<u32> {
+    let index: HashMap<u32, &'static str> = [(3, "c"), (1, "a"), (2, "b")].into_iter().collect();
+    let mut tags: Vec<u32> = index.into_keys().collect();
+    tags.sort_unstable();
+    tags
+}
+
+pub fn tag_rollup() -> Vec<u32> {
+    let mut out = Vec::new();
+    for tag in shard_tags() {
+        out.push(tag);
+    }
+    out
+}

@@ -1,0 +1,8 @@
+//! detlint fixture: DL009 — a float reduction inside shard-merge code.
+//! Addition over `f64` is not associative, so the merged total depends
+//! on how the shards happened to be grouped.
+//! Expected: one DL009 finding on the `.sum::<f64>()` terminal.
+
+pub fn merge_shard_costs(shards: &[Vec<f64>]) -> f64 {
+    shards.iter().flatten().sum::<f64>()
+}

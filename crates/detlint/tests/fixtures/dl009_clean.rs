@@ -1,0 +1,7 @@
+//! detlint fixture: DL009 clean — the merge accumulates integer
+//! microcents; integer addition is associative, so any shard grouping
+//! produces identical totals.
+
+pub fn merge_shard_costs(shards: &[Vec<u64>]) -> u64 {
+    shards.iter().flatten().sum::<u64>()
+}

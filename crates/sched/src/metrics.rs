@@ -40,7 +40,7 @@ impl ScheduleMetrics {
             };
         }
         let mut waits: Vec<f64> = outcomes.iter().map(|o| o.wait_hours()).collect();
-        waits.sort_by(|a, b| a.partial_cmp(b).expect("wait is never NaN"));
+        waits.sort_by(f64::total_cmp);
         let mean_wait = waits.iter().sum::<f64>() / waits.len() as f64;
         let slowdowns: f64 =
             outcomes.iter().map(|o| o.bounded_slowdown()).sum::<f64>() / outcomes.len() as f64;
@@ -48,7 +48,9 @@ impl ScheduleMetrics {
             .iter()
             .map(|o| o.job.submit)
             .min()
+            // detlint::allow(DL008): outcomes proved non-empty by the early return above
             .expect("non-empty");
+        // detlint::allow(DL008): outcomes proved non-empty by the early return above
         let last_end = outcomes.iter().map(|o| o.end).max().expect("non-empty");
         let makespan = last_end.since(first_submit).as_hours_f64();
         let work: f64 = outcomes

@@ -120,6 +120,7 @@ impl Cloud {
             if end_time > t {
                 break;
             }
+            // detlint::allow(DL008): guarded by the peek in the loop condition
             let (end_time, lease_id) = self.lease_ends.pop().expect("peeked");
             // `None` is legitimate here — the lease was admitted but never
             // provisioned against, or was revoked early (revoke_lease
@@ -244,6 +245,7 @@ impl Cloud {
         let inst = self
             .instances
             .get_mut(&id)
+            // detlint::allow(DL008): callers pass ids taken from self.instances
             .expect("close_instance: unknown id");
         inst.deleted = Some(at);
         inst.state = state;
@@ -610,6 +612,7 @@ impl Cloud {
             .collect();
         open_fips.sort_unstable();
         for id in open_fips {
+            // detlint::allow(DL008): `id` came from self.fips and is held, so release succeeds
             self.release_fip(id).expect("open fip must release");
         }
         let mut open_vols: Vec<VolumeId> = self
@@ -621,11 +624,13 @@ impl Cloud {
         open_vols.sort_unstable();
         for id in open_vols {
             let _ = self.detach_volume(id);
+            // detlint::allow(DL008): `id` came from self.volumes and was just detached
             self.delete_volume(id).expect("open volume must delete");
         }
         let mut bucket_names: Vec<String> = self.buckets.keys().cloned().collect();
         bucket_names.sort_unstable();
         for name in bucket_names {
+            // detlint::allow(DL008): `name` came from self.buckets.keys()
             let b = &self.buckets[&name];
             self.ledger.push(UsageRecord {
                 name: b.name.clone(),

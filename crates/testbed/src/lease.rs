@@ -151,7 +151,9 @@ impl FlavorProfile {
         for (_, seg) in self.segs.range_mut(start..end) {
             seg.level += count;
         }
+        // detlint::allow(DL008): ensure_boundary(start) above inserted the key
         self.segs.get_mut(&start).expect("boundary at start").delta += count;
+        // detlint::allow(DL008): ensure_boundary(end) above inserted the key
         self.segs.get_mut(&end).expect("boundary at end").delta -= count;
         // Only the two touched boundaries can have become redundant; a
         // zero-delta boundary's level equals its predecessor's, so
@@ -318,6 +320,7 @@ impl ReservationCalendar {
             return Err(CloudError::LeaseRevoked);
         }
         let &(flavor, idx) = self.index.get(&id).ok_or(CloudError::NoSuchLease)?;
+        // detlint::allow(DL008): self.index entries always name a live (flavor, idx) slot
         let lease = &mut self.leases.get_mut(&flavor).expect("indexed flavor")[idx];
         if lease.end <= at {
             // Already over; nothing to revoke.

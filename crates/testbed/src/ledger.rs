@@ -143,6 +143,7 @@ impl Ledger {
     pub fn merge_sorted(parts: impl IntoIterator<Item = Ledger>) -> Ledger {
         let mut parts: Vec<Ledger> = parts.into_iter().collect();
         if parts.len() == 1 {
+            // detlint::allow(DL008): parts.len() == 1 checked just above
             let mut only = parts.pop().expect("one part");
             only.sort_canonical();
             return only;
@@ -271,7 +272,9 @@ fn record_key(r: &UsageRecord) -> (&str, SimTime, SimTime, (u8, u64, u64)) {
 /// part index, which together with FIFO order within each (stably
 /// pre-sorted) part reproduces concat + stable sort exactly.
 fn part_less(parts: &[Vec<UsageRecord>], a: usize, b: usize) -> bool {
+    // detlint::allow(DL008): heap entries are indices of non-empty parts by construction
     let ra = parts[a].last().expect("heap part is nonempty");
+    // detlint::allow(DL008): heap entries are indices of non-empty parts by construction
     let rb = parts[b].last().expect("heap part is nonempty");
     (record_key(ra), a) < (record_key(rb), b)
 }
@@ -285,9 +288,11 @@ fn sift_down(heap: &mut [usize], parts: &[Vec<UsageRecord>], mut i: usize) {
         }
         let r = l + 1;
         let mut m = l;
+        // detlint::allow(DL008): l and r are bounds-checked heap positions
         if r < heap.len() && part_less(parts, heap[r], heap[l]) {
             m = r;
         }
+        // detlint::allow(DL008): m and i are bounds-checked heap positions
         if part_less(parts, heap[m], heap[i]) {
             heap.swap(m, i);
             i = m;
@@ -306,17 +311,22 @@ fn kway_merge(mut parts: Vec<Vec<UsageRecord>>) -> Vec<UsageRecord> {
     for p in &mut parts {
         p.reverse();
     }
+    // detlint::allow(DL008): i ranges over 0..parts.len()
     let mut heap: Vec<usize> = (0..parts.len()).filter(|&i| !parts[i].is_empty()).collect();
     for i in (0..heap.len() / 2).rev() {
         sift_down(&mut heap, &parts, i);
     }
     while let Some(&top) = heap.first() {
+        // detlint::allow(DL008): heap entries index non-empty parts; emptied entries are evicted below
         out.push(parts[top].pop().expect("heap entries have records"));
+        // detlint::allow(DL008): `top` is a heap entry, an index into parts
         if parts[top].is_empty() {
+            // detlint::allow(DL008): the while-let head guarantees the heap is non-empty
             let tail = heap.pop().expect("heap is nonempty");
             if heap.is_empty() {
                 break;
             }
+            // detlint::allow(DL008): heap proved non-empty just above
             heap[0] = tail;
         }
         sift_down(&mut heap, &parts, 0);

@@ -13,20 +13,11 @@ cargo fmt --all --check
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> detlint"
-cargo run --release -q -p opml-detlint --bin detlint
+echo "==> detlint (workspace, gated on detlint.baseline.json)"
+cargo run --release -q -p opml-detlint --bin detlint -- --baseline detlint.baseline.json
 
-echo "==> detlint (telemetry crate, readable table)"
-cargo run --release -q -p opml-detlint --bin detlint -- --root crates/telemetry
-
-echo "==> detlint (faults crate, readable table)"
-cargo run --release -q -p opml-detlint --bin detlint -- --root crates/faults
-
-echo "==> detlint (testbed crate, readable table)"
-cargo run --release -q -p opml-detlint --bin detlint -- --root crates/testbed
-
-echo "==> detlint (cohort crate, readable table)"
-cargo run --release -q -p opml-detlint --bin detlint -- --root crates/cohort
+echo "==> cargo clippy (detlint crate, deny warnings)"
+cargo clippy -q -p opml-detlint --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
