@@ -16,8 +16,16 @@
 //! This harness measures wall time by design; the calendar itself never
 //! reads the clock (`opml-detlint` enforces that), so DL001 is
 //! suppressed only here.
+//!
+//! With `--check` (the perf-regression gate, see `scripts/perfgate.sh`)
+//! the bench reruns both sides min-of-`PERFGATE_RUNS` and compares the
+//! wall times against the committed `BENCH_calendar.json` instead of
+//! overwriting it; admitted-lease counts and the digest verdict are
+//! compared fatally, wall times within `PERFGATE_TOLERANCE`.
 
+use opml_bench::perfgate::{min_of, Gate};
 use opml_experiments::digest::fnv1a64;
+use opml_profiler::Json;
 use opml_simkernel::{SimDuration, SimTime};
 use opml_testbed::lease::naive::NaiveCalendar;
 use opml_testbed::lease::ReservationCalendar;
@@ -193,22 +201,30 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut gate = Gate::from_env(&args, 3);
     let ops = script();
 
-    let (sweep, sweep_wall) = timed(|| {
-        let mut cal = ReservationCalendar::new();
-        cal.set_capacity(FLAVOR, CAPACITY);
-        replay_with!(&mut cal, &ops)
+    let (sweep, sweep_wall) = min_of(gate.measure_runs(), || {
+        timed(|| {
+            gate.inject_sleep();
+            let mut cal = ReservationCalendar::new();
+            cal.set_capacity(FLAVOR, CAPACITY);
+            replay_with!(&mut cal, &ops)
+        })
     });
     eprintln!(
         "sweep-line: {:>8.4}s  booked {} denied {} revoked {}",
         sweep_wall, sweep.booked, sweep.denied, sweep.revoked
     );
 
-    let (naive, naive_wall) = timed(|| {
-        let mut cal = NaiveCalendar::new();
-        cal.set_capacity(FLAVOR, CAPACITY);
-        replay_with!(&mut cal, &ops)
+    let (naive, naive_wall) = min_of(gate.measure_runs(), || {
+        timed(|| {
+            gate.inject_sleep();
+            let mut cal = NaiveCalendar::new();
+            cal.set_capacity(FLAVOR, CAPACITY);
+            replay_with!(&mut cal, &ops)
+        })
     });
     eprintln!(
         "naive:      {:>8.4}s  booked {} denied {} revoked {}",
@@ -221,6 +237,54 @@ fn main() {
         "speedup {speedup:.1}x, results {}",
         if identical { "identical" } else { "DIVERGED" }
     );
+
+    if !identical {
+        eprintln!("bench_calendar: FAILED — sweep-line diverged from the naive reference");
+        std::process::exit(1);
+    }
+
+    if gate.check {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_calendar.json");
+        let base = gate.load_baseline(out);
+        let schema = base.get("schema").and_then(Json::as_str).unwrap_or("");
+        gate.fatal(
+            "schema",
+            schema == "bench_calendar/v1",
+            &format!("baseline schema `{schema}` != bench_calendar/v1"),
+        );
+        let base_ops = base.get("ops").and_then(Json::as_u64).unwrap_or(0);
+        gate.fatal(
+            "ops",
+            base_ops == ops.len() as u64,
+            &format!("op count {} != baseline {base_ops}", ops.len()),
+        );
+        let base_admitted = base
+            .get("leases_admitted")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        gate.fatal(
+            "leases_admitted",
+            base_admitted == sweep.booked,
+            &format!("admitted {} != baseline {base_admitted}", sweep.booked),
+        );
+        gate.fatal(
+            "baseline_identical",
+            base.get("identical").and_then(Json::as_bool) == Some(true),
+            "baseline was recorded with diverging digests",
+        );
+        let base_sweep = base
+            .get("sweep_wall_s")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let base_naive = base
+            .get("naive_wall_s")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        gate.wall("sweep_wall_s", sweep_wall, base_sweep);
+        gate.wall("naive_wall_s", naive_wall, base_naive);
+        gate.finish("bench_calendar");
+        return;
+    }
 
     let report = serde_json::json!({
         "schema": "bench_calendar/v1",
@@ -249,10 +313,6 @@ fn main() {
     .expect("write BENCH_calendar.json");
     eprintln!("wrote {out}");
 
-    if !identical {
-        eprintln!("bench_calendar: FAILED — sweep-line diverged from the naive reference");
-        std::process::exit(1);
-    }
     if speedup < SPEEDUP_FLOOR {
         eprintln!("bench_calendar: FAILED — speedup {speedup:.1}x < {SPEEDUP_FLOOR}x");
         std::process::exit(1);

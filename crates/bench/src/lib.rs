@@ -23,6 +23,8 @@
 
 use opml_cohort::semester::{simulate_semester, SemesterConfig, SemesterOutcome};
 
+pub mod perfgate;
+
 /// Simulate a labs-only semester at the given enrollment (shared fixture).
 pub fn labs_semester(enrollment: u32, seed: u64) -> SemesterOutcome {
     let config = SemesterConfig {

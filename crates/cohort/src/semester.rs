@@ -401,6 +401,10 @@ fn run_shard_buffered(
     shard: &ShardSpec,
     record: bool,
 ) -> ShardRun {
+    // Wall-phase attribution (no-op unless a profiled run enabled the
+    // profiler): the shard body vs the merge stages below is exactly
+    // the split that explains sharded-vs-serial wall time.
+    let _phase = opml_profiler::wall_phase(opml_profiler::phases::SHARD_SIM);
     if record {
         let sink = MemorySink::new();
         let telemetry = Telemetry::with_sink(sink.clone());
@@ -442,15 +446,25 @@ fn merge_shard_runs(runs: Vec<ShardRun>, telemetry: &Telemetry) -> SemesterOutco
     let mut faults = FaultStats::default();
     let mut ledgers = Vec::with_capacity(runs.len());
     for run in runs {
-        telemetry.replay(&run.events);
-        telemetry.merge_metrics(&run.metrics);
+        {
+            let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_REPLAY);
+            telemetry.replay(&run.events);
+        }
+        {
+            let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_METRICS);
+            telemetry.merge_metrics(&run.metrics);
+        }
         quota_denials += run.outcome.quota_denials;
         slot_pushbacks += run.outcome.slot_pushbacks;
         faults.merge(&run.outcome.faults);
         ledgers.push(run.outcome.ledger);
     }
+    let merged_ledger = {
+        let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_LEDGER);
+        Ledger::merge_sorted(ledgers)
+    };
     SemesterOutcome {
-        ledger: Ledger::merge_sorted(ledgers),
+        ledger: merged_ledger,
         quota_denials,
         slot_pushbacks,
         faults,

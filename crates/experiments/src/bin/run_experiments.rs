@@ -14,14 +14,28 @@
 //! semester and writes `trace.jsonl` (one event per line, sequence
 //! order) and `trace_chrome.json` (Chrome trace-event format, loadable
 //! in Perfetto / `chrome://tracing`) to `--out <dir>`.
+//!
+//! The `profile` subcommand turns the instruments on the harness
+//! itself: sim-time span attribution (self/total per span path,
+//! per-shard breakdown), wall-clock phase counters around the
+//! shard/merge seams, opt-in allocation accounting (feature
+//! `alloc-profile`), and a sampled RSS timeline, written as
+//! `profile.json` + flamegraph-ready `profile.folded` to `--out <dir>`.
 
 use opml_experiments::{
-    ablation, capacity, chaos, fig1, fig2, fig3, headline, project_cost, scale, seeds,
+    ablation, capacity, chaos, fig1, fig2, fig3, headline, profile, project_cost, scale, seeds,
     spot_ablation, table1, trace, verify,
 };
 use opml_report::compare::ComparisonSet;
 use opml_simkernel::SimTime;
 use opml_telemetry::{narrate, StderrNarrationSink, Telemetry};
+
+// Opt-in allocation accounting for the `profile` subcommand: installing
+// the counting wrapper is a binary-level decision, so it is gated on a
+// cargo feature and costs nothing (not even a flag check) by default.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static COUNTING_ALLOC: opml_profiler::CountingAlloc = opml_profiler::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -43,6 +57,7 @@ fn main() {
         Some("trace") => run_trace(&args, seed, want_metrics, &narrator),
         Some("chaos") => run_chaos(&args, seed, &narrator),
         Some("scale") => run_scale(&args, seed, &narrator),
+        Some("profile") => run_profile(&args, seed, &narrator),
         _ => run_full(seed, want_metrics, write_md, &narrator),
     }
 }
@@ -135,6 +150,9 @@ fn run_trace(args: &[String], seed: u64, want_metrics: bool, narrator: &Telemetr
     );
     println!("wrote {jsonl_path}");
     println!("wrote {chrome_path}");
+    if let Some(kb) = opml_profiler::peak_rss_kb() {
+        println!("peak rss: {kb} kB");
+    }
     if want_metrics {
         println!("\n== Telemetry metrics ==\n");
         println!("{}", opml_report::metrics_summary(&artifacts.metrics));
@@ -179,6 +197,9 @@ fn run_chaos(args: &[String], seed: u64, narrator: &Telemetry) {
         threads,
     });
     println!("== Chaos: cost of injected faults ==\n{}", report.text);
+    if let Some(kb) = opml_profiler::peak_rss_kb() {
+        println!("peak rss: {kb} kB");
+    }
     if !report.zero_rate_matches_baseline {
         eprintln!("chaos: FAILED — zero-rate plan diverged from the fault-free baseline");
         std::process::exit(1);
@@ -241,6 +262,39 @@ fn run_scale(args: &[String], seed: u64, narrator: &Telemetry) {
         eprintln!("scale: FAILED — sharded outcomes differ across execution strategies");
         std::process::exit(1);
     }
+}
+
+fn run_profile(args: &[String], seed: u64, narrator: &Telemetry) {
+    let defaults = profile::ProfileConfig::default();
+    let out_dir = arg_value(args, "--out").unwrap_or_else(|| String::from("profile_out"));
+    let enrollment = parse_positive(args, "--enrollment", defaults.enrollment as usize) as u32;
+    let shard_students =
+        parse_positive(args, "--shard-students", defaults.shard_students as usize) as u32;
+    let threads = parse_positive(args, "--threads", defaults.threads);
+    let config = profile::ProfileConfig {
+        seed,
+        enrollment,
+        shard_students,
+        threads,
+        run_projects: args.iter().any(|a| a == "--projects"),
+        rss_sample_ms: parse_positive(args, "--rss-sample-ms", defaults.rss_sample_ms as usize)
+            as u64,
+    };
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "profiling a {enrollment}-student semester (seed {seed}, {threads} threads)…"
+    );
+    let report = profile::run(&config);
+    std::fs::create_dir_all(&out_dir).expect("create profile output directory");
+    let json_path = format!("{out_dir}/profile.json");
+    let folded_path = format!("{out_dir}/profile.folded");
+    std::fs::write(&json_path, &report.json).expect("write profile.json");
+    std::fs::write(&folded_path, &report.folded).expect("write profile.folded");
+    println!("{}", report.text);
+    println!("wrote {json_path}");
+    println!("wrote {folded_path}");
+    println!("counts_digest={:016x}", report.counts_digest);
 }
 
 fn run_full(seed: u64, want_metrics: bool, write_md: Option<String>, narrator: &Telemetry) {

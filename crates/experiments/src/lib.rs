@@ -32,6 +32,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod headline;
 pub mod paper;
+pub mod profile;
 pub mod project_cost;
 pub mod scale;
 pub mod seeds;

@@ -110,16 +110,11 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 }
 
 /// Peak resident set (`VmHWM`) of the current process, in kB.
-pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))?
-        .split_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
-}
+///
+/// Hoisted into the shared profiler layer; re-exported here because
+/// existing callers (`bench_semester`, the scale report) import it from
+/// this module.
+pub use opml_profiler::peak_rss_kb;
 
 /// Run the sweep: the strictly sequential reference first (skipped in
 /// digest-only mode — its digest is still produced, untimed, at one

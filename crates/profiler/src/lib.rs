@@ -1,0 +1,51 @@
+//! `opml-profiler` — the workspace's self-profiling layer.
+//!
+//! The paper's thesis is that operational cost stays invisible until it
+//! is metered; this crate applies the same discipline to the simulator
+//! itself. It provides four small, composable pieces:
+//!
+//! * [`phase`] — a wall-clock phase profiler with fixed static slots.
+//!   The semester simulator brackets its shard bodies and merge stages
+//!   in [`wall_phase`] guards, so a profiled run can split host time
+//!   into `shard.sim` vs `merge.replay_restamp`/`merge.metrics`/
+//!   `merge.ledger` — the breakdown that explains why the sharded path
+//!   can run slower than serial on a small host.
+//! * [`alloc`] — an opt-in [`CountingAlloc`] global-allocator wrapper
+//!   attributing allocation counts/bytes to the active phase via a
+//!   `const`-init thread-local. Binary-level opt-in (`alloc-profile`
+//!   feature of `opml-experiments`); zero cost when not installed.
+//! * [`spanprof`] — deterministic sim-time attribution computed from
+//!   the recorded telemetry span stream: per-path total/self time,
+//!   per-shard event/work breakdown, and flamegraph.pl-compatible
+//!   folded-stack export.
+//! * [`rss`] — `/proc/self/status` readers ([`peak_rss_kb`],
+//!   [`current_rss_kb`]) shared by every subcommand, plus a sampled
+//!   RSS timeline ([`RssSampler`]).
+//!
+//! Determinism contract: everything derived from the telemetry stream
+//! (span counts, sim-minute durations, shard breakdowns) and every
+//! *count* the phase layer produces (enters, phase-attributed allocs)
+//! is identical across runs and thread counts for a fixed seed. Wall
+//! times and RSS are host noise and are never digested; the `profile`
+//! subcommand keeps them in a separate, explicitly non-deterministic
+//! part of its output.
+
+pub mod alloc;
+pub mod json;
+pub mod phase;
+pub mod rss;
+pub mod spanprof;
+
+pub use alloc::{
+    counting_allocator_installed, disable_counting, enable_counting, is_counting, reset_totals,
+    totals, AllocTotals, CountingAlloc,
+};
+pub use json::Json;
+pub use phase::{
+    current_phase, disable, enable, is_enabled, phase_report, phases, reset, wall_phase,
+    PhaseGuard, PhaseStat, MAX_PHASES, UNATTRIBUTED, UNATTRIBUTED_NAME,
+};
+pub use rss::{current_rss_kb, peak_rss_kb, RssSample, RssSampler};
+pub use spanprof::{
+    profile_spans, shard_breakdown, ShardBreakdown, ShardStat, SpanPathStat, SpanProfile,
+};

@@ -1,0 +1,348 @@
+//! Wall-clock phase profiler with fixed static slots.
+//!
+//! A *phase* is a named region of host execution (`shard.sim`,
+//! `merge.ledger`, ...) entered via [`wall_phase`]. Each phase owns a
+//! fixed slot of atomic counters: enter count, accumulated wall
+//! nanoseconds, and (when the counting allocator is installed)
+//! allocation counts/bytes attributed while the phase was the active
+//! leaf on the entering thread.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero-cost when disabled.** [`wall_phase`] is a single relaxed
+//!    atomic load when profiling is off; no registration, no TLS touch,
+//!    no clock read. The simulation hot paths call it unconditionally.
+//! 2. **No allocation on the record path.** The counting allocator
+//!    calls [`current_phase`] from inside `GlobalAlloc::alloc`;
+//!    everything it touches is a `const`-initialised thread-local
+//!    `Cell` and a static array of atomics — re-entrancy safe.
+//! 3. **Panic-free.** These hooks sit on the shard/merge path of the
+//!    semester simulator; lookups use `get`/`try_with`, never indexing.
+//!
+//! Wall times are host-dependent and therefore *never* part of any
+//! determinism digest; enter counts and (phase-attributed) allocation
+//! counts are deterministic for a fixed seed and config, independent of
+//! thread count, because phases are entered on whichever thread runs
+//! the shard and the work per shard is identical.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Maximum number of distinct phase names. Registration past this
+/// falls back to the unattributed slot rather than failing.
+pub const MAX_PHASES: usize = 64;
+
+/// Slot 0 is reserved: work recorded while no phase is active.
+pub const UNATTRIBUTED: u16 = 0;
+
+/// Name reported for slot 0.
+pub const UNATTRIBUTED_NAME: &str = "(unattributed)";
+
+/// Well-known phase names used by the semester simulator hooks.
+/// Centralised so the profile report and tests spell them identically.
+pub mod phases {
+    /// Per-shard simulation body (`run_shard_buffered`).
+    pub const SHARD_SIM: &str = "shard.sim";
+    /// Replaying shard event buffers into the parent sink (restamp).
+    pub const MERGE_REPLAY: &str = "merge.replay_restamp";
+    /// Folding shard metrics snapshots into the parent registry.
+    pub const MERGE_METRICS: &str = "merge.metrics";
+    /// K-way merge of shard ledgers.
+    pub const MERGE_LEDGER: &str = "merge.ledger";
+}
+
+/// One phase's counters. All relaxed atomics: totals are read only
+/// after the profiled region has quiesced (joins/barriers provide the
+/// ordering we need).
+struct Slot {
+    enters: AtomicU64,
+    wall_ns: AtomicU64,
+    allocs: AtomicU64,
+    alloc_bytes: AtomicU64,
+    deallocs: AtomicU64,
+    dealloc_bytes: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Slot {
+            enters: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            alloc_bytes: AtomicU64::new(0),
+            deallocs: AtomicU64::new(0),
+            dealloc_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        self.enters.store(0, Ordering::Relaxed);
+        self.wall_ns.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.alloc_bytes.store(0, Ordering::Relaxed);
+        self.deallocs.store(0, Ordering::Relaxed);
+        self.dealloc_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+static SLOTS: [Slot; MAX_PHASES] = [const { Slot::new() }; MAX_PHASES];
+
+/// Registered phase names; slot 0 is implicit. `NAME_COUNT` counts the
+/// *named* slots (so slot ids run 1..=NAME_COUNT). The mutex guards
+/// registration; reads for reporting take it too (reporting is cold).
+static NAMES: Mutex<[&'static str; MAX_PHASES]> = Mutex::new([""; MAX_PHASES]);
+static NAME_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// The active leaf phase on this thread. `const`-initialised so the
+    /// first access never allocates (the counting allocator reads this
+    /// from inside `GlobalAlloc::alloc`).
+    static CURRENT: std::cell::Cell<u16> = const { std::cell::Cell::new(UNATTRIBUTED) };
+}
+
+/// Turn phase profiling on. Counters are *not* reset; call [`reset`]
+/// first for a fresh capture.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn phase profiling off. Guards created while enabled still
+/// restore their saved phase on drop, but stop accumulating wall time.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Is phase profiling currently on?
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero every slot's counters. Phase name registrations are kept (slot
+/// ids are stable for the process lifetime, which keeps attribution
+/// meaningful across repeated captures in one process).
+pub fn reset() {
+    for slot in &SLOTS {
+        slot.reset();
+    }
+}
+
+/// The active leaf phase id on the calling thread. Safe to call from
+/// allocator context: const-init TLS, `try_with`, no allocation.
+#[inline]
+pub fn current_phase() -> u16 {
+    CURRENT.try_with(|c| c.get()).unwrap_or(UNATTRIBUTED)
+}
+
+/// Record an allocation event against a phase slot (called by the
+/// counting allocator; also usable from tests).
+#[inline]
+pub(crate) fn record_alloc_for(id: u16, bytes: usize, is_alloc: bool) {
+    if let Some(slot) = SLOTS.get(id as usize) {
+        if is_alloc {
+            slot.allocs.fetch_add(1, Ordering::Relaxed);
+            slot.alloc_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            slot.deallocs.fetch_add(1, Ordering::Relaxed);
+            slot.dealloc_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Find-or-register the slot id for `name`. Linear scan under a mutex:
+/// registration happens once per (phase, process) on cold paths, and
+/// MAX_PHASES is small. Returns [`UNATTRIBUTED`] when the table is
+/// full rather than failing.
+fn register_phase(name: &'static str) -> u16 {
+    let mut names = NAMES.lock();
+    let count = NAME_COUNT.load(Ordering::Relaxed);
+    for (i, existing) in names.iter().enumerate().take(count) {
+        if *existing == name {
+            // Slot ids are offset by 1: names[0] lives in SLOTS[1].
+            return (i as u16).saturating_add(1);
+        }
+    }
+    if count + 1 >= MAX_PHASES {
+        return UNATTRIBUTED;
+    }
+    if let Some(entry) = names.get_mut(count) {
+        *entry = name;
+        NAME_COUNT.store(count + 1, Ordering::Relaxed);
+        (count as u16).saturating_add(1)
+    } else {
+        UNATTRIBUTED
+    }
+}
+
+/// RAII guard for a wall phase; restores the previous leaf phase and
+/// accumulates elapsed wall time on drop.
+pub struct PhaseGuard {
+    id: u16,
+    prev: u16,
+    start: Option<Instant>,
+}
+
+/// Enter a named wall phase on the calling thread. Returns an inert
+/// guard (one atomic load total) when profiling is disabled.
+///
+/// Attribution is *leaf-based*, not stack-based: while this guard is
+/// live, wall time and allocations on this thread are attributed to
+/// `name` alone, and the previous phase is restored on drop. Leaf
+/// attribution is what keeps counts thread-count invariant — a shard
+/// body attributes identically whether it runs on the caller or on a
+/// pool worker whose stack is otherwise empty.
+#[must_use = "the phase ends when the guard drops; binding to `_` ends it immediately"]
+pub fn wall_phase(name: &'static str) -> PhaseGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return PhaseGuard {
+            id: UNATTRIBUTED,
+            prev: UNATTRIBUTED,
+            start: None,
+        };
+    }
+    let id = register_phase(name);
+    let prev = CURRENT
+        .try_with(|c| {
+            let p = c.get();
+            c.set(id);
+            p
+        })
+        .unwrap_or(UNATTRIBUTED);
+    if let Some(slot) = SLOTS.get(id as usize) {
+        slot.enters.fetch_add(1, Ordering::Relaxed);
+    }
+    PhaseGuard {
+        id,
+        prev,
+        // detlint::allow(DL001): host-side profiling measurement, never fed into simulation state
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let _ = CURRENT.try_with(|c| c.set(self.prev));
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(slot) = SLOTS.get(self.id as usize) {
+            slot.wall_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A snapshot of one phase's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    pub name: &'static str,
+    pub enters: u64,
+    pub wall_ns: u64,
+    pub allocs: u64,
+    pub alloc_bytes: u64,
+    pub deallocs: u64,
+    pub dealloc_bytes: u64,
+}
+
+impl PhaseStat {
+    /// Wall time in seconds (host-dependent; excluded from digests).
+    pub fn wall_s(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+}
+
+/// Snapshot every touched phase, sorted by name, with the unattributed
+/// slot (if it saw any activity) last. Cold path; takes the name lock.
+pub fn phase_report() -> Vec<PhaseStat> {
+    let names = NAMES.lock();
+    let count = NAME_COUNT.load(Ordering::Relaxed);
+    let mut out = Vec::new();
+    for (i, name) in names.iter().enumerate().take(count) {
+        if let Some(slot) = SLOTS.get(i + 1) {
+            out.push(snapshot_slot(name, slot));
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(b.name));
+    if let Some(slot) = SLOTS.get(UNATTRIBUTED as usize) {
+        let stat = snapshot_slot(UNATTRIBUTED_NAME, slot);
+        if stat.enters != 0 || stat.wall_ns != 0 || stat.allocs != 0 || stat.deallocs != 0 {
+            out.push(stat);
+        }
+    }
+    out
+}
+
+fn snapshot_slot(name: &'static str, slot: &Slot) -> PhaseStat {
+    PhaseStat {
+        name,
+        enters: slot.enters.load(Ordering::Relaxed),
+        wall_ns: slot.wall_ns.load(Ordering::Relaxed),
+        allocs: slot.allocs.load(Ordering::Relaxed),
+        alloc_bytes: slot.alloc_bytes.load(Ordering::Relaxed),
+        deallocs: slot.deallocs.load(Ordering::Relaxed),
+        dealloc_bytes: slot.dealloc_bytes.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Phase tests share global state; run them under one lock so
+    // `cargo test` thread interleaving cannot cross-contaminate slots.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_wall_phase_records_nothing() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        disable();
+        {
+            let _p = wall_phase("test.disabled");
+        }
+        assert!(phase_report().iter().all(|s| s.name != "test.disabled"));
+    }
+
+    #[test]
+    fn nested_phases_restore_leaf_and_count_enters() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        enable();
+        assert_eq!(current_phase(), UNATTRIBUTED);
+        {
+            let _outer = wall_phase("test.outer");
+            let outer_id = current_phase();
+            assert_ne!(outer_id, UNATTRIBUTED);
+            {
+                let _inner = wall_phase("test.inner");
+                assert_ne!(current_phase(), outer_id);
+            }
+            assert_eq!(current_phase(), outer_id);
+        }
+        assert_eq!(current_phase(), UNATTRIBUTED);
+        disable();
+        let report = phase_report();
+        let outer = report.iter().find(|s| s.name == "test.outer");
+        let inner = report.iter().find(|s| s.name == "test.inner");
+        assert_eq!(outer.map(|s| s.enters), Some(1));
+        assert_eq!(inner.map(|s| s.enters), Some(1));
+    }
+
+    #[test]
+    fn reenter_same_phase_reuses_slot() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        enable();
+        for _ in 0..3 {
+            let _p = wall_phase("test.reenter");
+        }
+        disable();
+        let report = phase_report();
+        let stat = report.iter().find(|s| s.name == "test.reenter");
+        assert_eq!(stat.map(|s| s.enters), Some(3));
+    }
+}

@@ -1,0 +1,144 @@
+//! Resident-set-size accounting via `/proc/self/status`.
+//!
+//! The one-shot readers ([`peak_rss_kb`], [`current_rss_kb`]) return
+//! `None` off-Linux or when the pseudo-file is unreadable — callers
+//! render "n/a" rather than failing. [`RssSampler`] generalizes the
+//! one-shot read into a background-thread timeline: host wall-clock
+//! timestamps paired with RSS readings, strictly for the human-facing
+//! side of a profile (never digested — both coordinates are
+//! host-dependent).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Read an integer-kB field (e.g. `VmHWM`, `VmRSS`) from
+/// `/proc/self/status`. Returns `None` off-Linux, on read failure, or
+/// when the field is absent.
+fn read_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let rest = line.strip_prefix(field)?.trim_start_matches(':').trim();
+    let digits = rest.split_whitespace().next()?;
+    digits.parse().ok()
+}
+
+/// Peak resident set size (VmHWM) of this process in kB, if available.
+pub fn peak_rss_kb() -> Option<u64> {
+    read_status_kb("VmHWM")
+}
+
+/// Current resident set size (VmRSS) of this process in kB.
+pub fn current_rss_kb() -> Option<u64> {
+    read_status_kb("VmRSS")
+}
+
+/// One point on the RSS timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssSample {
+    /// Milliseconds since the sampler started (host wall clock).
+    pub elapsed_ms: u64,
+    /// VmRSS at that moment, in kB.
+    pub rss_kb: u64,
+}
+
+/// Background RSS sampler. Spawns a thread that appends a sample every
+/// `interval`; [`RssSampler::stop`] joins it and returns the timeline.
+pub struct RssSampler {
+    stop: Arc<AtomicBool>,
+    samples: Arc<Mutex<Vec<RssSample>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RssSampler {
+    /// Start sampling every `interval`. The first sample is taken
+    /// immediately. On platforms without `/proc`, the thread idles and
+    /// the timeline comes back empty.
+    pub fn start(interval: Duration) -> RssSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let samples = Arc::new(Mutex::new(Vec::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread_samples = Arc::clone(&samples);
+        let handle = std::thread::Builder::new()
+            .name("opml-rss-sampler".to_string())
+            .spawn(move || {
+                // detlint::allow(DL001): host-side RSS timeline timestamps, never fed into simulation state
+                let start = Instant::now();
+                loop {
+                    if let Some(rss_kb) = current_rss_kb() {
+                        let elapsed_ms =
+                            u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+                        thread_samples.lock().push(RssSample { elapsed_ms, rss_kb });
+                    }
+                    if thread_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .ok();
+        RssSampler {
+            stop,
+            samples,
+            handle,
+        }
+    }
+
+    /// Stop the sampler, wait for the thread, and return the timeline
+    /// (includes one final sample taken on the way out).
+    pub fn stop(mut self) -> Vec<RssSample> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let mut samples = self.samples.lock();
+        std::mem::take(&mut *samples)
+    }
+}
+
+impl Drop for RssSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_readers_agree_with_proc_availability() {
+        let has_proc = std::path::Path::new("/proc/self/status").exists();
+        assert_eq!(peak_rss_kb().is_some(), has_proc);
+        assert_eq!(current_rss_kb().is_some(), has_proc);
+        if let (Some(peak), Some(cur)) = (peak_rss_kb(), current_rss_kb()) {
+            assert!(
+                peak >= cur / 2,
+                "peak {peak} implausibly below current {cur}"
+            );
+            assert!(peak > 0);
+        }
+    }
+
+    #[test]
+    fn sampler_produces_monotonic_timeline() {
+        let sampler = RssSampler::start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(25));
+        let samples = sampler.stop();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(
+                samples.len() >= 2,
+                "expected >=2 samples, got {}",
+                samples.len()
+            );
+            assert!(samples
+                .windows(2)
+                .all(|w| w[0].elapsed_ms <= w[1].elapsed_ms));
+        }
+    }
+}

@@ -5,8 +5,10 @@ use crate::table::Table;
 use opml_telemetry::MetricsSnapshot;
 
 /// Render a metrics snapshot as ASCII tables: counters, gauges, and one
-/// row per histogram (count/mean/max). Sections with no entries are
-/// omitted; an entirely empty snapshot renders a placeholder line.
+/// row per histogram (count/mean/p50/p90/p99/max, percentiles being
+/// bucket upper bounds — see `SimTimeHistogram::percentile_minutes`).
+/// Sections with no entries are omitted; an entirely empty snapshot
+/// renders a placeholder line.
 pub fn metrics_summary(snapshot: &MetricsSnapshot) -> String {
     if snapshot.is_empty() {
         return "(no metrics recorded)\n".to_string();
@@ -29,12 +31,27 @@ pub fn metrics_summary(snapshot: &MetricsSnapshot) -> String {
         out.push('\n');
     }
     if !snapshot.histograms.is_empty() {
-        let mut t = Table::new(&["histogram (sim time)", "count", "mean h", "max h"]);
+        let mut t = Table::new(&[
+            "histogram (sim time)",
+            "count",
+            "mean h",
+            "p50 h",
+            "p90 h",
+            "p99 h",
+            "max h",
+        ]);
+        let fmt_p = |p: Option<u64>| match p {
+            Some(minutes) => format!("{:.2}", minutes as f64 / 60.0),
+            None => "-".to_string(),
+        };
         for (name, h) in &snapshot.histograms {
             t.row(&[
                 name.clone(),
                 h.count.to_string(),
                 format!("{:.2}", h.mean_hours()),
+                fmt_p(h.p50_minutes()),
+                fmt_p(h.p90_minutes()),
+                fmt_p(h.p99_minutes()),
                 format!("{:.2}", h.max_minutes as f64 / 60.0),
             ]);
         }
@@ -72,6 +89,24 @@ mod tests {
         assert!(a < z, "counters must render name-sorted");
         assert!(out.contains("depth"));
         assert!(out.contains("3.00"), "mean of 2h and 4h is 3.00: {out}");
+        assert!(out.contains("p50 h") && out.contains("p99 h"));
         assert_eq!(out, metrics_summary(&t.metrics_snapshot()));
+    }
+
+    #[test]
+    fn histogram_row_renders_percentile_bounds() {
+        let t = Telemetry::with_sink(NullSink);
+        // 100 uniform samples 1..=100 min: p50 bound 60 min = 1.00 h,
+        // p90/p99 clamp to the 100-minute max = 1.67 h.
+        for m in 1..=100 {
+            t.observe("wait", SimDuration::minutes(m));
+        }
+        let out = metrics_summary(&t.metrics_snapshot());
+        let row = out
+            .lines()
+            .find(|l| l.contains("wait"))
+            .expect("wait histogram row");
+        assert!(row.contains("1.00"), "p50 bound missing: {row}");
+        assert!(row.contains("1.67"), "p90/p99 bound missing: {row}");
     }
 }

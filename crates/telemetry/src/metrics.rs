@@ -72,6 +72,50 @@ impl SimTimeHistogram {
             self.sum_minutes as f64 / self.count as f64 / 60.0
         }
     }
+
+    /// Upper-bound estimate of the `q`-quantile in minutes, or `None`
+    /// when the histogram is empty.
+    ///
+    /// Fixed buckets only bound a quantile from above: the result is
+    /// the upper bound of the first bucket whose cumulative count
+    /// reaches `ceil(q * count)`, clamped to `max_minutes` (which makes
+    /// the estimate exact whenever the largest sample falls below the
+    /// selected bound, and keeps the overflow bucket finite). `q` is
+    /// clamped to `[0, 1]`.
+    pub fn percentile_minutes(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                let bound = HISTOGRAM_BOUNDS_MIN
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(self.max_minutes);
+                return Some(bound.min(self.max_minutes));
+            }
+        }
+        Some(self.max_minutes)
+    }
+
+    /// Median upper bound in minutes (`None` when empty).
+    pub fn p50_minutes(&self) -> Option<u64> {
+        self.percentile_minutes(0.50)
+    }
+
+    /// 90th-percentile upper bound in minutes (`None` when empty).
+    pub fn p90_minutes(&self) -> Option<u64> {
+        self.percentile_minutes(0.90)
+    }
+
+    /// 99th-percentile upper bound in minutes (`None` when empty).
+    pub fn p99_minutes(&self) -> Option<u64> {
+        self.percentile_minutes(0.99)
+    }
 }
 
 /// The mutable metrics store behind a [`crate::Telemetry`] handle.
@@ -209,6 +253,61 @@ mod tests {
         h.observe(SimDuration::hours(1));
         h.observe(SimDuration::hours(3));
         assert!((h.mean_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_on_known_uniform_distribution() {
+        // 100 samples of 1..=100 minutes. Bucket occupancy against the
+        // bounds [15, 30, 60, 120, ...]: 15, 15, 30, 40, 0, ...
+        let mut h = SimTimeHistogram::default();
+        for m in 1..=100 {
+            h.observe(SimDuration::minutes(m));
+        }
+        // p50 target = 50th sample; cumulative 15, 30, 60 -> bucket
+        // bound 60 is the tightest upper bound the histogram can give.
+        assert_eq!(h.p50_minutes(), Some(60));
+        // p90 and p99 land in the <=120 bucket, clamped to max 100.
+        assert_eq!(h.p90_minutes(), Some(100));
+        assert_eq!(h.p99_minutes(), Some(100));
+        assert_eq!(h.percentile_minutes(0.15), Some(15));
+        assert_eq!(h.percentile_minutes(0.0), Some(15));
+        assert_eq!(h.percentile_minutes(1.0), Some(100));
+    }
+
+    #[test]
+    fn percentiles_single_sample_and_overflow() {
+        let mut h = SimTimeHistogram::default();
+        assert_eq!(h.p50_minutes(), None);
+        h.observe(SimDuration::minutes(10));
+        // One 10-minute sample: bound 15 clamps to the exact max.
+        assert_eq!(h.p50_minutes(), Some(10));
+        assert_eq!(h.p99_minutes(), Some(10));
+
+        let mut h = SimTimeHistogram::default();
+        h.observe(SimDuration::weeks(3)); // overflow bucket
+        let three_weeks = 3 * 7 * 24 * 60;
+        assert_eq!(h.p50_minutes(), Some(three_weeks));
+        assert_eq!(h.p99_minutes(), Some(three_weeks));
+    }
+
+    #[test]
+    fn percentiles_survive_merge() {
+        let mut a = SimTimeHistogram::default();
+        let mut b = SimTimeHistogram::default();
+        for m in 1..=50 {
+            a.observe(SimDuration::minutes(m));
+        }
+        for m in 51..=100 {
+            b.observe(SimDuration::minutes(m));
+        }
+        a.merge(&b);
+        let mut whole = SimTimeHistogram::default();
+        for m in 1..=100 {
+            whole.observe(SimDuration::minutes(m));
+        }
+        assert_eq!(a.p50_minutes(), whole.p50_minutes());
+        assert_eq!(a.p90_minutes(), whole.p90_minutes());
+        assert_eq!(a.p99_minutes(), whole.p99_minutes());
     }
 
     #[test]

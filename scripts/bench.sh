@@ -14,9 +14,17 @@
 #
 # Takes a few minutes: the unsharded 10k reference arm is the long pole
 # (~30s on one CPU).
+#
+# `scripts/bench.sh --check` delegates to the perf-regression gate
+# (scripts/perfgate.sh --full): rerun both benches and compare against
+# the committed BENCH_*.json instead of overwriting them.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--check" ]; then
+    exec scripts/perfgate.sh --full
+fi
 
 echo "==> bench_calendar (sweep-line vs naive differential -> BENCH_calendar.json)"
 cargo bench -p opml-bench --bench bench_calendar

@@ -60,4 +60,26 @@ fi
 echo "==> telemetry overhead bench (<5% disabled-cost gate)"
 cargo bench -p opml-bench --bench bench_telemetry
 
+echo "==> perfgate smoke (calendar --check, generous tolerance)"
+# The strict 10% gate belongs to scripts/perfgate.sh on a quiet host;
+# here the tolerance is loose so a loaded CI box doesn't flake, while
+# digest/count drift (fatal regardless of tolerance) still fails.
+PERFGATE_TOLERANCE=1.0 PERFGATE_RUNS=2 \
+    cargo bench -q -p opml-bench --bench bench_calendar -- --check
+
+echo "==> profile smoke (counts digest stable across runs and threads)"
+profile_dir=$(mktemp -d)
+cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    profile --seed 42 --enrollment 2000 --threads 2 --out "$profile_dir/a" >/dev/null
+cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    profile --seed 42 --enrollment 2000 --threads 8 --out "$profile_dir/b" >/dev/null
+cmp "$profile_dir/a/profile.folded" "$profile_dir/b/profile.folded"
+digest_a=$(sed -n 's/.*"counts_digest": "\([0-9a-f]*\)".*/\1/p' "$profile_dir/a/profile.json")
+digest_b=$(sed -n 's/.*"counts_digest": "\([0-9a-f]*\)".*/\1/p' "$profile_dir/b/profile.json")
+if [ -z "$digest_a" ] || [ "$digest_a" != "$digest_b" ]; then
+    echo "profile smoke FAILED: counts digest '$digest_a' != '$digest_b' (2 vs 8 threads)" >&2
+    exit 1
+fi
+rm -rf "$profile_dir"
+
 echo "all checks passed"

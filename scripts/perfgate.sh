@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Perf-regression gate: rerun the differential benches in `--check`
+# mode and compare against the committed BENCH_*.json baselines
+# instead of overwriting them.
+#
+#   scripts/perfgate.sh          # calendar gate only (seconds)
+#   scripts/perfgate.sh --full   # + the semester sweep (minutes)
+#
+# Knobs (environment):
+#   PERFGATE_TOLERANCE        allowed fractional wall regression
+#                             (default 0.10 = 10%)
+#   PERFGATE_ABS_SLACK_S      absolute wall slack in seconds (default
+#                             0.05: a relative gate on a ms-scale
+#                             section is scheduler-jitter-dominated)
+#   PERFGATE_RUNS             min-of-K run count (default: 3 for the
+#                             calendar bench, 2 for the semester sweep;
+#                             oversubscribed semester arms are digest-
+#                             gated but exempt from the wall gate —
+#                             timesliced wall clocks measure the host)
+#   PERFGATE_INJECT_SLEEP_MS  synthetic slowdown per measured section,
+#                             for testing the gate's own failure path:
+#                             PERFGATE_INJECT_SLEEP_MS=500 scripts/perfgate.sh
+#                             must exit nonzero
+#
+# Digest / count / schema mismatches are fatal regardless of tolerance.
+# Baselines are host-specific wall times: after a deliberate perf
+# change (or on new hardware), regenerate them with scripts/bench.sh
+# and commit the updated BENCH_*.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> perfgate: bench_calendar --check (vs BENCH_calendar.json)"
+cargo bench -q -p opml-bench --bench bench_calendar -- --check
+
+if [ "${1:-}" = "--full" ]; then
+    echo "==> perfgate: bench_semester --check (vs BENCH_semester.json)"
+    cargo bench -q -p opml-bench --bench bench_semester -- --check
+fi
+
+echo "perfgate passed"

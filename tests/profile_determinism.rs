@@ -1,0 +1,57 @@
+//! Golden determinism gate for the self-profiler (`run-experiments
+//! profile`): the digested `counts` subtree and the folded flamegraph
+//! stacks must be byte-identical across repeated runs and across
+//! thread counts. Wall times and allocation totals are measurements
+//! and may vary; everything the digest covers may not.
+
+use opml_experiments::profile::{run, ProfileConfig};
+
+fn config(threads: usize) -> ProfileConfig {
+    ProfileConfig {
+        seed: 42,
+        enrollment: 1_500,
+        threads,
+        ..ProfileConfig::default()
+    }
+}
+
+#[test]
+fn profile_counts_are_stable_across_runs() {
+    let a = run(&config(2));
+    let b = run(&config(2));
+    assert_eq!(a.counts_json, b.counts_json);
+    assert_eq!(a.counts_digest, b.counts_digest);
+    assert_eq!(a.folded, b.folded);
+}
+
+#[test]
+fn profile_counts_are_thread_count_invariant() {
+    let one = run(&config(1));
+    let eight = run(&config(8));
+    assert_eq!(
+        one.counts_json, eight.counts_json,
+        "counts subtree must not depend on the rayon pool size"
+    );
+    assert_eq!(one.counts_digest, eight.counts_digest);
+    assert_eq!(one.folded, eight.folded);
+}
+
+#[test]
+fn profile_names_merge_phases_separately_from_shard_sim() {
+    let report = run(&config(2));
+    for phase in [
+        "shard.sim",
+        "merge.replay_restamp",
+        "merge.metrics",
+        "merge.ledger",
+    ] {
+        assert!(
+            report.text.contains(phase),
+            "phase `{phase}` missing from the rendered table:\n{}",
+            report.text
+        );
+    }
+    // The folded stacks carry the sim-time span hierarchy.
+    assert!(report.folded.contains("semester.plan"));
+    assert!(report.events > 0);
+}
