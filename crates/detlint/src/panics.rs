@@ -25,15 +25,17 @@ use crate::rules::excerpt;
 use crate::Finding;
 
 /// Simulation entry points the reachability walk starts from: the
-/// serial and sharded semester drivers (cohort) and the scheduler's
-/// fallible runner (sched). Everything the simulation can execute is
-/// reachable from these by construction.
+/// serial and sharded semester drivers (cohort), the scheduler's
+/// fallible runner (sched), and the service-mode soak (serve).
+/// Everything the simulation can execute is reachable from these by
+/// construction.
 pub const PANIC_ROOTS: &[&str] = &[
     "simulate_semester",
     "simulate_semester_with",
     "simulate_semester_serial",
     "simulate_semester_serial_with",
     "try_run",
+    "run_service",
 ];
 
 /// Crates whose production sources are held to the panic-free contract.
@@ -41,6 +43,7 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/testbed/src",
     "crates/cohort/src",
     "crates/sched/src",
+    "crates/serve/src",
 ];
 
 /// Macro names that unconditionally panic when reached.

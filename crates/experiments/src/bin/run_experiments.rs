@@ -15,6 +15,13 @@
 //! order) and `trace_chrome.json` (Chrome trace-event format, loadable
 //! in Perfetto / `chrome://tracing`) to `--out <dir>`.
 //!
+//! The `serve` subcommand soaks the campus cloud as a long-running
+//! service: seeded multi-tenant load ramps per round (`--target-rps`,
+//! `--increment-rps`, `--max-rps`) through a bounded admission queue
+//! with priority-aware shedding, per-tenant quota breakers, and
+//! deadline-budgeted retries, until a failure-rate or p99-latency gate
+//! trips. Writes a digested `serve.json` to `--out <dir>`.
+//!
 //! The `profile` subcommand turns the instruments on the harness
 //! itself: sim-time span attribution (self/total per span path,
 //! per-shard breakdown), wall-clock phase counters around the
@@ -24,7 +31,7 @@
 
 use opml_experiments::{
     ablation, capacity, chaos, fig1, fig2, fig3, headline, profile, project_cost, scale, seeds,
-    spot_ablation, table1, trace, verify,
+    serve, spot_ablation, table1, trace, verify,
 };
 use opml_report::compare::ComparisonSet;
 use opml_simkernel::SimTime;
@@ -57,6 +64,7 @@ fn main() {
         Some("trace") => run_trace(&args, seed, want_metrics, &narrator),
         Some("chaos") => run_chaos(&args, seed, &narrator),
         Some("scale") => run_scale(&args, seed, &narrator),
+        Some("serve") => run_serve(&args, seed, &narrator),
         Some("profile") => run_profile(&args, seed, &narrator),
         _ => run_full(seed, want_metrics, write_md, &narrator),
     }
@@ -262,6 +270,68 @@ fn run_scale(args: &[String], seed: u64, narrator: &Telemetry) {
         eprintln!("scale: FAILED — sharded outcomes differ across execution strategies");
         std::process::exit(1);
     }
+}
+
+fn run_serve(args: &[String], seed: u64, narrator: &Telemetry) {
+    let defaults = serve::ServeRunConfig::default();
+    let d = &defaults.config;
+    let out_dir = arg_value(args, "--out").unwrap_or_else(|| String::from("serve_out"));
+    let fault_rate_ppm = match arg_value(args, "--fault-rate") {
+        None => d.fault_rate_ppm,
+        Some(raw) => match raw.trim().parse::<f64>() {
+            Ok(r) if (0.0..=1.0).contains(&r) => (r * 1_000_000.0).round() as u64,
+            _ => {
+                eprintln!("run-experiments: --fault-rate takes a number in [0, 1], got `{raw}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let config = opml_serve::ServeConfig {
+        seed,
+        tenants: parse_positive(args, "--tenants", d.tenants as usize) as u32,
+        servers: parse_positive(args, "--servers", d.servers as usize) as u32,
+        queue_bound: parse_positive(args, "--queue-bound", d.queue_bound),
+        target_rps: parse_positive(args, "--target-rps", d.target_rps as usize) as u64,
+        increment_rps: arg_value(args, "--increment-rps").map_or(d.increment_rps, |raw| match raw
+            .trim()
+            .parse()
+        {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "run-experiments: --increment-rps takes a non-negative integer, \
+                         got `{raw}`"
+                );
+                std::process::exit(2);
+            }
+        }),
+        max_rps: parse_positive(args, "--max-rps", d.max_rps as usize) as u64,
+        round_secs: parse_positive(args, "--round-secs", d.round_secs as usize) as u64,
+        deadline_s: parse_positive(args, "--deadline-s", d.deadline_s as usize) as u64,
+        fault_rate_ppm,
+        ..d.clone()
+    };
+    let threads = parse_positive(args, "--threads", defaults.threads);
+    narrate!(
+        narrator,
+        SimTime::ZERO,
+        "service soak: seed {seed}, ramp {}→{} (+{}) ops/s, {} tenants, fault rate {} ppm…",
+        config.target_rps,
+        config.max_rps,
+        config.increment_rps,
+        config.tenants,
+        config.fault_rate_ppm
+    );
+    let run = serve::run(&serve::ServeRunConfig { config, threads });
+    println!("== Serve: campus cloud under ramping load ==\n{}", run.text);
+    std::fs::create_dir_all(&out_dir).expect("create serve output directory");
+    let json_path = format!("{out_dir}/serve.json");
+    std::fs::write(&json_path, &run.json).expect("write serve.json");
+    println!("wrote {json_path}");
+    if let Some(kb) = run.peak_rss_kb {
+        println!("peak rss: {kb} kB");
+    }
+    println!("counts_digest={:016x}", run.report.counts_digest);
 }
 
 fn run_profile(args: &[String], seed: u64, narrator: &Telemetry) {

@@ -18,8 +18,9 @@ use opml_cohort::semester::{simulate_semester_with, SemesterConfig};
 use opml_faults::{site_key, FaultProfile, FaultStats};
 use opml_metering::rollup::AssignmentRollup;
 use opml_pricing::estimate::price_lab_assignments;
+use opml_report::latency::{latency_table, LatencyUnit};
 use opml_report::table::{fmt_num, fmt_usd, Table};
-use opml_telemetry::{export_jsonl, MemorySink, Telemetry};
+use opml_telemetry::{export_jsonl, MemorySink, MetricsSnapshot, Telemetry};
 
 /// What to sweep.
 #[derive(Debug, Clone)]
@@ -67,6 +68,19 @@ pub struct ChaosArm {
     pub stats: FaultStats,
     /// Quota denials (faults can amplify these).
     pub quota_denials: u64,
+    /// Metrics snapshot from the arm's run (histograms feed the
+    /// latency tables; not part of the digest).
+    pub metrics: MetricsSnapshot,
+}
+
+impl ChaosArm {
+    /// Human label for the arm ("fault-free baseline" / "chaos rate R").
+    pub fn label(&self) -> String {
+        match self.rate {
+            None => "fault-free baseline".to_string(),
+            Some(r) => format!("chaos rate {r:.2}"),
+        }
+    }
 }
 
 /// Sweep outcome: the rendered table, all arms (baseline first), and
@@ -109,6 +123,7 @@ fn run_arm(seed: u64, enrollment: u32, rate: Option<f64>) -> ChaosArm {
         gcp_usd: priced.total.gcp_usd,
         stats: outcome.faults,
         quota_denials: outcome.quota_denials,
+        metrics: telemetry.metrics_snapshot(),
     }
 }
 
@@ -142,10 +157,7 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
     ]);
     for arm in &arms {
         table.row(&[
-            match arm.rate {
-                None => "fault-free baseline".to_string(),
-                Some(r) => format!("chaos rate {r:.2}"),
-            },
+            arm.label(),
             arm.stats.injected.to_string(),
             arm.stats.abandoned.to_string(),
             arm.stats.leaked.to_string(),
@@ -167,6 +179,19 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
         arms[1].digest,
         baseline.digest,
     ));
+    // Per-arm latency tables, in the same shape as the metrics summary
+    // and the serve report (count/mean/p50/p90/p99/max).
+    for arm in &arms {
+        if arm.metrics.histograms.is_empty() {
+            continue;
+        }
+        text.push_str(&format!("\n{} — sim-time latency:\n", arm.label()));
+        text.push_str(&latency_table(
+            "histogram (sim time)",
+            LatencyUnit::Hours,
+            arm.metrics.histograms.iter().map(|(n, h)| (n.as_str(), h)),
+        ));
+    }
     ChaosReport {
         text,
         arms,
@@ -193,6 +218,26 @@ mod tests {
         assert!(report.zero_rate_matches_baseline, "{}", report.text);
         assert_eq!(report.arms[0].instance_hours, report.arms[1].instance_hours);
         assert_eq!(report.arms[1].stats.total(), 0);
+    }
+
+    #[test]
+    fn latency_tables_render_per_arm() {
+        let report = run(&tiny(vec![]));
+        assert!(
+            report.text.contains("— sim-time latency:"),
+            "per-arm latency tables missing:\n{}",
+            report.text
+        );
+        assert!(
+            report.text.contains("p50 h") && report.text.contains("p99 h"),
+            "percentile columns missing:\n{}",
+            report.text
+        );
+        assert!(
+            report.text.contains("instance.lifetime"),
+            "instance.lifetime histogram missing:\n{}",
+            report.text
+        );
     }
 
     #[test]

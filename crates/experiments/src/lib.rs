@@ -21,6 +21,7 @@
 //! | [`verify`] | replay-equivalence verifier (`verify-determinism`) |
 //! | [`trace`] | telemetry trace capture (`run-experiments trace`) |
 //! | [`scale`] | extension — sharded large-cohort sweep (`run-experiments scale`) |
+//! | [`serve`] | extension — ramping service soak (`run-experiments serve`) |
 
 pub mod ablation;
 pub mod capacity;
@@ -36,6 +37,7 @@ pub mod profile;
 pub mod project_cost;
 pub mod scale;
 pub mod seeds;
+pub mod serve;
 pub mod spot_ablation;
 pub mod table1;
 pub mod trace;

@@ -31,6 +31,10 @@ pub struct CircuitBreaker {
     consecutive_failures: u32,
     state: BreakerState,
     opened_at: Option<SimTime>,
+    /// A half-open probe has been admitted and has not yet reported
+    /// back; further probe requests are refused until it does.
+    #[serde(default)]
+    probe_in_flight: bool,
 }
 
 impl CircuitBreaker {
@@ -43,6 +47,7 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             state: BreakerState::Closed,
             opened_at: None,
+            probe_in_flight: false,
         }
     }
 
@@ -70,6 +75,23 @@ impl CircuitBreaker {
         }
     }
 
+    /// Admit **one** probe while half-open. Returns `true` exactly once
+    /// per cooldown window: the first caller after the cooldown passes
+    /// gets the probe slot; everyone else is refused until the probe
+    /// reports back via [`CircuitBreaker::record_success`] /
+    /// [`CircuitBreaker::record_failure`]. Callers that gate requests
+    /// on the breaker should use this instead of
+    /// [`CircuitBreaker::is_open`], which lets *every* request through
+    /// once the cooldown has passed.
+    pub fn try_acquire_probe(&mut self, now: SimTime) -> bool {
+        if self.state(now) == BreakerState::HalfOpen && !self.probe_in_flight {
+            self.probe_in_flight = true;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Record a failed attempt; returns `true` if this failure tripped
     /// the breaker open (for telemetry).
     pub fn record_failure(&mut self, now: SimTime) -> bool {
@@ -78,6 +100,7 @@ impl CircuitBreaker {
                 // Probe failed: re-open for another cooldown.
                 self.state = BreakerState::Open;
                 self.opened_at = Some(now);
+                self.probe_in_flight = false;
                 true
             }
             BreakerState::Open => false,
@@ -100,6 +123,7 @@ impl CircuitBreaker {
         self.consecutive_failures = 0;
         self.state = BreakerState::Closed;
         self.opened_at = None;
+        self.probe_in_flight = false;
     }
 }
 
@@ -132,6 +156,40 @@ mod tests {
         assert!(b.record_failure(t(3)), "probe failure re-trips");
         assert!(b.is_open(t(4)));
         assert_eq!(b.retry_at(t(4)), Some(t(5)));
+    }
+
+    #[test]
+    fn open_half_open_closed_admits_one_probe() {
+        let mut b = CircuitBreaker::new(2, SimDuration::hours(4));
+        b.record_failure(t(0));
+        assert!(b.record_failure(t(1)), "second failure trips");
+        // Still cooling down: no probe slot.
+        assert!(!b.try_acquire_probe(t(2)));
+        // Cooldown passed: exactly one probe slot per window.
+        assert!(b.try_acquire_probe(t(5)));
+        assert!(!b.try_acquire_probe(t(5)), "second probe refused");
+        assert!(!b.try_acquire_probe(t(6)), "still refused while in flight");
+        // Probe succeeds → closed, normal traffic resumes.
+        b.record_success();
+        assert_eq!(b.state(t(6)), BreakerState::Closed);
+        assert!(
+            !b.try_acquire_probe(t(6)),
+            "closed breakers have no probe slot; callers go straight through"
+        );
+    }
+
+    #[test]
+    fn open_half_open_open_reopens_and_rearms_probe() {
+        let mut b = CircuitBreaker::new(1, SimDuration::hours(2));
+        b.record_failure(t(0));
+        assert!(b.try_acquire_probe(t(3)));
+        // Probe denied → re-open for a fresh cooldown from t(3).
+        assert!(b.record_failure(t(3)));
+        assert!(b.is_open(t(4)));
+        assert!(!b.try_acquire_probe(t(4)), "cooling down again");
+        // Next window re-arms a single probe slot.
+        assert!(b.try_acquire_probe(t(5)));
+        assert!(!b.try_acquire_probe(t(5)));
     }
 
     #[test]

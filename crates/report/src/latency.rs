@@ -1,0 +1,111 @@
+//! The one latency table: count / mean / p50 / p90 / p99 / max over
+//! [`SimTimeHistogram`]s, shared by the metrics summary, the chaos
+//! per-arm tables, and the serve report so all three render
+//! identically. Only the unit differs: the batch simulation reads a
+//! tick as a minute (rendered as fractional hours), service mode reads
+//! it as a second.
+
+use crate::table::Table;
+use opml_telemetry::SimTimeHistogram;
+
+/// How to render tick values in the table cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyUnit {
+    /// Ticks are minutes; render fractional hours ("1.50").
+    Hours,
+    /// Ticks are seconds; render whole seconds ("90").
+    Seconds,
+}
+
+impl LatencyUnit {
+    fn suffix(self) -> &'static str {
+        match self {
+            LatencyUnit::Hours => "h",
+            LatencyUnit::Seconds => "s",
+        }
+    }
+
+    fn cell(self, ticks: u64) -> String {
+        match self {
+            LatencyUnit::Hours => format!("{:.2}", ticks as f64 / 60.0),
+            LatencyUnit::Seconds => ticks.to_string(),
+        }
+    }
+
+    fn mean_cell(self, h: &SimTimeHistogram) -> String {
+        match self {
+            LatencyUnit::Hours => format!("{:.2}", h.mean_hours()),
+            LatencyUnit::Seconds => h.mean_minutes().to_string(),
+        }
+    }
+}
+
+/// Render one `count | mean | p50 | p90 | p99 | max` table over
+/// `(label, histogram)` rows. `header` names the label column;
+/// percentile cells are bucket upper bounds (see
+/// `SimTimeHistogram::percentile_minutes`), `-` when empty.
+pub fn latency_table<'a, I>(header: &str, unit: LatencyUnit, rows: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a SimTimeHistogram)>,
+{
+    let u = unit.suffix();
+    let mut t = Table::new(&[
+        header,
+        "count",
+        &format!("mean {u}"),
+        &format!("p50 {u}"),
+        &format!("p90 {u}"),
+        &format!("p99 {u}"),
+        &format!("max {u}"),
+    ]);
+    for (name, h) in rows {
+        let p = |p: Option<u64>| p.map_or_else(|| "-".to_string(), |ticks| unit.cell(ticks));
+        t.row(&[
+            name.to_string(),
+            h.count.to_string(),
+            unit.mean_cell(h),
+            p(h.p50_minutes()),
+            p(h.p90_minutes()),
+            p(h.p99_minutes()),
+            unit.cell(h.max_minutes),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opml_simkernel::SimDuration;
+
+    fn hist(samples: &[u64]) -> SimTimeHistogram {
+        let mut h = SimTimeHistogram::default();
+        for &s in samples {
+            h.observe(SimDuration(s));
+        }
+        h
+    }
+
+    #[test]
+    fn hours_and_seconds_share_shape() {
+        let h = hist(&[60, 120, 180]);
+        let hours = latency_table("histogram (sim time)", LatencyUnit::Hours, [("wait", &h)]);
+        let secs = latency_table("latency", LatencyUnit::Seconds, [("wait", &h)]);
+        for out in [&hours, &secs] {
+            for col in ["count", "mean", "p50", "p90", "p99", "max"] {
+                assert!(out.contains(col), "{col} missing from {out}");
+            }
+        }
+        assert!(hours.contains("p99 h") && secs.contains("p99 s"));
+        // 180 ticks: 3.00 hours, or 180 seconds.
+        assert!(hours.contains("3.00"), "{hours}");
+        assert!(secs.contains("180"), "{secs}");
+    }
+
+    #[test]
+    fn empty_histogram_renders_dashes() {
+        let h = SimTimeHistogram::default();
+        let out = latency_table("latency", LatencyUnit::Seconds, [("idle", &h)]);
+        assert!(out.contains('-'), "{out}");
+    }
+}

@@ -7,10 +7,12 @@
 
 pub mod chart;
 pub mod compare;
+pub mod latency;
 pub mod metrics;
 pub mod table;
 
 pub use chart::{bar_chart, histogram_chart};
 pub use compare::{Comparison, ComparisonSet};
+pub use latency::{latency_table, LatencyUnit};
 pub use metrics::metrics_summary;
 pub use table::Table;

@@ -1,6 +1,7 @@
 //! Rendering of telemetry metrics snapshots as summary tables
 //! (the `--metrics` flag of `run-experiments`).
 
+use crate::latency::{latency_table, LatencyUnit};
 use crate::table::Table;
 use opml_telemetry::MetricsSnapshot;
 
@@ -31,31 +32,11 @@ pub fn metrics_summary(snapshot: &MetricsSnapshot) -> String {
         out.push('\n');
     }
     if !snapshot.histograms.is_empty() {
-        let mut t = Table::new(&[
+        out.push_str(&latency_table(
             "histogram (sim time)",
-            "count",
-            "mean h",
-            "p50 h",
-            "p90 h",
-            "p99 h",
-            "max h",
-        ]);
-        let fmt_p = |p: Option<u64>| match p {
-            Some(minutes) => format!("{:.2}", minutes as f64 / 60.0),
-            None => "-".to_string(),
-        };
-        for (name, h) in &snapshot.histograms {
-            t.row(&[
-                name.clone(),
-                h.count.to_string(),
-                format!("{:.2}", h.mean_hours()),
-                fmt_p(h.p50_minutes()),
-                fmt_p(h.p90_minutes()),
-                fmt_p(h.p99_minutes()),
-                format!("{:.2}", h.max_minutes as f64 / 60.0),
-            ]);
-        }
-        out.push_str(&t.render());
+            LatencyUnit::Hours,
+            snapshot.histograms.iter().map(|(n, h)| (n.as_str(), h)),
+        ));
         out.push('\n');
     }
     out

@@ -1,0 +1,198 @@
+//! Bounded admission queue with priority-aware load shedding.
+//!
+//! The queue is FIFO in arrival order. When it is full, an arriving op
+//! may displace ("shed") a queued op of strictly lower priority —
+//! lowest priority first, most recently enqueued first among equals —
+//! otherwise the arrival itself is rejected with the typed
+//! [`CloudError::Overload`] the caller reports to the client. Both
+//! rules are pure functions of queue content, so admission decisions
+//! replay byte-identically.
+
+use opml_testbed::CloudError;
+use std::collections::VecDeque;
+
+/// One admitted-but-not-yet-dispatched request attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedOp {
+    /// Index into the round's op vector.
+    pub op_index: usize,
+    /// Arrival tick of **this attempt** (retries re-enter later).
+    pub arrival: u64,
+    /// Arrival tick of the first attempt (deadline budgets are measured
+    /// from here).
+    pub first_arrival: u64,
+    /// 0-based attempt counter (0 = first try).
+    pub attempt: u32,
+    /// Shedding priority (higher wins).
+    pub priority: u32,
+}
+
+/// What [`AdmissionQueue::offer`] did with an arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionOutcome {
+    /// Queued; no one was displaced.
+    Enqueued,
+    /// Queued after shedding the returned lower-priority op.
+    Shed(QueuedOp),
+    /// Queue full of equal-or-higher-priority work: the arrival is
+    /// turned away with the typed overload error.
+    Rejected(CloudError),
+}
+
+/// FIFO queue bounded at `bound` entries.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    queue: VecDeque<QueuedOp>,
+    bound: usize,
+    /// High-water mark of the queue depth (reported).
+    pub peak_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `bound` ops (0 is normalized to 1).
+    pub fn new(bound: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            queue: VecDeque::new(),
+            bound: bound.max(1),
+            peak_depth: 0,
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Oldest queued op, if any.
+    pub fn front(&self) -> Option<&QueuedOp> {
+        self.queue.front()
+    }
+
+    /// Dequeue the oldest op.
+    pub fn pop_front(&mut self) -> Option<QueuedOp> {
+        self.queue.pop_front()
+    }
+
+    /// Offer an arrival; full queues shed strictly-lower-priority work
+    /// (lowest priority, then most recently enqueued) or reject the
+    /// arrival with [`CloudError::Overload`].
+    pub fn offer(&mut self, op: QueuedOp) -> AdmissionOutcome {
+        if self.queue.len() < self.bound {
+            self.queue.push_back(op);
+            self.peak_depth = self.peak_depth.max(self.queue.len());
+            return AdmissionOutcome::Enqueued;
+        }
+        // Victim: minimal priority; ties broken toward the back of the
+        // queue (shed the newest of the lowest class — it has waited
+        // least). `min_by` over (priority asc, index desc).
+        let victim = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| a.priority.cmp(&b.priority).then(ib.cmp(ia)))
+            .map(|(i, q)| (i, q.priority));
+        match victim {
+            Some((idx, vp)) if vp < op.priority => {
+                // VecDeque::remove is None only for an out-of-range
+                // index; idx came from enumerate() above.
+                match self.queue.remove(idx) {
+                    Some(shed) => {
+                        self.queue.push_back(op);
+                        AdmissionOutcome::Shed(shed)
+                    }
+                    None => AdmissionOutcome::Rejected(self.overload()),
+                }
+            }
+            _ => AdmissionOutcome::Rejected(self.overload()),
+        }
+    }
+
+    fn overload(&self) -> CloudError {
+        CloudError::Overload {
+            queue_depth: self.queue.len() as u64,
+            limit: self.bound as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(op_index: usize, arrival: u64, priority: u32) -> QueuedOp {
+        QueuedOp {
+            op_index,
+            arrival,
+            first_arrival: arrival,
+            attempt: 0,
+            priority,
+        }
+    }
+
+    #[test]
+    fn fifo_below_bound() {
+        let mut q = AdmissionQueue::new(3);
+        assert_eq!(q.offer(op(0, 1, 1)), AdmissionOutcome::Enqueued);
+        assert_eq!(q.offer(op(1, 2, 4)), AdmissionOutcome::Enqueued);
+        assert_eq!(q.pop_front().map(|o| o.op_index), Some(0));
+        assert_eq!(q.pop_front().map(|o| o.op_index), Some(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds_lowest_priority_newest_first() {
+        let mut q = AdmissionQueue::new(3);
+        q.offer(op(0, 1, 2));
+        q.offer(op(1, 2, 1));
+        q.offer(op(2, 3, 1)); // same lowest class, newer than op 1
+        match q.offer(op(3, 4, 3)) {
+            AdmissionOutcome::Shed(shed) => assert_eq!(shed.op_index, 2),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Queue keeps FIFO order of survivors, new op at the back.
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop_front().map(|o| o.op_index)).collect();
+        assert_eq!(order, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn equal_priority_arrival_is_rejected_with_typed_overload() {
+        let mut q = AdmissionQueue::new(2);
+        q.offer(op(0, 1, 2));
+        q.offer(op(1, 2, 2));
+        match q.offer(op(2, 3, 2)) {
+            AdmissionOutcome::Rejected(e) => {
+                assert!(e.is_retryable(), "overload is transient backpressure");
+                assert!(e.to_string().contains("queue"), "{e}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2, "rejection must not perturb the queue");
+    }
+
+    #[test]
+    fn lower_priority_arrival_never_sheds_higher() {
+        let mut q = AdmissionQueue::new(1);
+        q.offer(op(0, 1, 5));
+        assert!(matches!(
+            q.offer(op(1, 2, 1)),
+            AdmissionOutcome::Rejected(_)
+        ));
+        assert_eq!(q.front().map(|o| o.op_index), Some(0));
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water() {
+        let mut q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.offer(op(i, i as u64, 1));
+        }
+        q.pop_front();
+        q.offer(op(9, 9, 1));
+        assert_eq!(q.peak_depth, 5);
+    }
+}

@@ -1,0 +1,60 @@
+//! # opml-serve
+//!
+//! The campus cloud as a **long-running multi-tenant service** under
+//! ramping load — the operational counterpart of the batch semester
+//! simulation. A seeded workload generator emits launch / terminate /
+//! reserve / revoke / quota-check requests against one persistent
+//! [`opml_testbed::Cloud`], round by round, raising the offered rate
+//! each round (`target_rps` → `+increment_rps` → `max_rps`, the IC
+//! scalability suite's `WorkloadExperiment` shape) until a failure-rate
+//! gate (`STOP_FAILURE_RATE`-style) or a p99 sim-latency gate
+//! (`ALLOWABLE_LATENCY`-style) trips.
+//!
+//! The robustness core is the overload path:
+//!
+//! * a **bounded admission queue** with typed
+//!   [`opml_testbed::CloudError::Overload`] rejection,
+//! * **priority-aware load shedding** — when the queue is full, the
+//!   lowest-priority queued op is shed to make room for a
+//!   higher-priority arrival, otherwise the arrival is rejected,
+//! * **deadline budgets** per op, reusing
+//!   [`opml_faults::RetryPolicy`]'s backoff + deadline machinery for
+//!   retries of transient failures,
+//! * **per-tenant quota circuit breakers**
+//!   ([`opml_faults::CircuitBreaker`], with half-open single-probe
+//!   admission) in front of quota-consuming ops.
+//!
+//! ## Time model
+//!
+//! The simulator clock ([`opml_simkernel::SimTime`]) is unit-agnostic:
+//! nothing in the testbed interprets a tick beyond "60 ticks = one
+//! metering hour". The batch semester reads ticks as minutes; **the
+//! service mode reads one tick as one second**, which puts request
+//! rates in ops/sec and service latencies in seconds — the natural
+//! units for a soak — while reusing every sim-time type unchanged
+//! (histogram bucket bounds 15 s, 30 s, 60 s, … instead of minutes).
+//!
+//! ## Determinism contract
+//!
+//! Every draw (op mix, tenants, service jitter, fault decisions, retry
+//! jitter) comes from a stream derived with
+//! [`opml_simkernel::split_seed`] from the master seed and a stable op
+//! id; the service loop itself is a sequential discrete-event sweep in
+//! sim time. Per-round op generation fans out through
+//! [`opml_simkernel::parallel::indexed_map`] (order-stable), so the
+//! digested report is byte-identical across reruns and rayon thread
+//! counts — including under an active [`opml_faults::FaultPlan`], which
+//! makes chaos soaks replayable.
+
+pub mod admission;
+pub mod report;
+pub mod service;
+pub mod workload;
+
+pub use admission::{AdmissionOutcome, AdmissionQueue, QueuedOp};
+pub use report::{
+    kind_index, KindStats, LatencySummary, OpCounts, RoundStats, ServeCounts, ServeReport,
+    TenantStats, SERVE_SCHEMA,
+};
+pub use service::{run_service, ServeConfig};
+pub use workload::{OpKind, OpSpec};

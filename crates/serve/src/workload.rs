@@ -1,0 +1,210 @@
+//! Seeded workload generation: one round of the ramping op stream.
+//!
+//! Each op's randomness (tenant, kind, flavor, service jitter, target
+//! pick) derives from `split_seed(round stream, index)` via
+//! [`opml_simkernel::parallel::indexed_map`], so a round's op vector is
+//! byte-identical across rayon thread counts, and arrival ticks are
+//! spread evenly over the round at the offered rate.
+
+use opml_simkernel::{parallel, split_seed, Rng};
+use opml_testbed::FlavorId;
+
+/// Stream tag decorrelating workload draws from fault-plan and retry
+/// streams derived from the same master seed.
+const WORKLOAD_TAG: u64 = 0x5E12_7E00;
+
+/// The five request kinds the service ingests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Create an on-demand VM (quota hot path; breaker-guarded).
+    Launch,
+    /// Delete one of the tenant's VMs (ledger/metering hot path).
+    Terminate,
+    /// Book a bare-metal window (sweep-line calendar hot path).
+    Reserve,
+    /// Revoke one of the tenant's admitted leases.
+    Revoke,
+    /// Read-only headroom check: quota fit + earliest calendar slot.
+    QuotaCheck,
+}
+
+impl OpKind {
+    /// All kinds, in report order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Launch,
+        OpKind::Terminate,
+        OpKind::Reserve,
+        OpKind::Revoke,
+        OpKind::QuotaCheck,
+    ];
+
+    /// Stable snake-case name (report keys, telemetry labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Launch => "launch",
+            OpKind::Terminate => "terminate",
+            OpKind::Reserve => "reserve",
+            OpKind::Revoke => "revoke",
+            OpKind::QuotaCheck => "quota_check",
+        }
+    }
+
+    /// Base service time in ticks (seconds); per-op jitter adds 0–2.
+    pub fn base_service_ticks(self) -> u64 {
+        match self {
+            OpKind::Launch => 4,
+            OpKind::Terminate => 1,
+            OpKind::Reserve => 3,
+            OpKind::Revoke => 1,
+            OpKind::QuotaCheck => 1,
+        }
+    }
+
+    /// Whether the op consumes project quota (breaker-guarded kinds).
+    pub fn consumes_quota(self) -> bool {
+        matches!(self, OpKind::Launch)
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone)]
+pub struct OpSpec {
+    /// Globally unique op id (stable across thread counts).
+    pub id: u64,
+    /// Round the op belongs to (stats are attributed by arrival round).
+    pub round: u32,
+    /// Owning tenant (0-based).
+    pub tenant: u32,
+    /// Shedding priority: higher wins. Derived from the tenant.
+    pub priority: u32,
+    /// Request kind.
+    pub kind: OpKind,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Service time in ticks once a server picks the op up.
+    pub service_ticks: u64,
+    /// VM flavor for launch / quota-check.
+    pub vm_flavor: FlavorId,
+    /// Bare-metal flavor for reserve / quota-check slot queries.
+    pub bm_flavor: FlavorId,
+    /// Nodes requested by a reserve.
+    pub count: u32,
+    /// Reserve window length in ticks.
+    pub lease_ticks: u64,
+    /// Seeded index used to pick a terminate/revoke target.
+    pub pick: u64,
+}
+
+const VM_FLAVORS: [FlavorId; 3] = [FlavorId::M1Small, FlavorId::M1Medium, FlavorId::M1Large];
+const BM_FLAVORS: [FlavorId; 4] = [
+    FlavorId::GpuA100Pcie,
+    FlavorId::GpuV100,
+    FlavorId::GpuP100,
+    FlavorId::ComputeCascadeLake,
+];
+
+/// Generate the ops for one round: `rate * round_ticks` arrivals spread
+/// evenly over `[round_start, round_start + round_ticks)`, ids starting
+/// at `base_id`. Runs under the ambient rayon pool with index-stable
+/// output.
+pub fn generate_round(
+    seed: u64,
+    round: u32,
+    round_start: u64,
+    rate: u64,
+    round_ticks: u64,
+    tenants: u32,
+    base_id: u64,
+) -> Vec<OpSpec> {
+    let n = (rate * round_ticks) as usize;
+    let tenants = tenants.max(1);
+    let round_seed = split_seed(seed ^ WORKLOAD_TAG, u64::from(round));
+    parallel::indexed_map(n, round_seed, |i, child_seed| {
+        let mut rng = Rng::new(child_seed);
+        let tenant = rng.below(u64::from(tenants)) as u32;
+        let kind = match rng.below(100) {
+            0..=29 => OpKind::Launch,
+            30..=49 => OpKind::Terminate,
+            50..=69 => OpKind::Reserve,
+            70..=79 => OpKind::Revoke,
+            _ => OpKind::QuotaCheck,
+        };
+        let vm_flavor = *rng.choose(&VM_FLAVORS);
+        let bm_flavor = *rng.choose(&BM_FLAVORS);
+        OpSpec {
+            id: base_id + i as u64,
+            round,
+            tenant,
+            // Higher tenant index = higher priority (tenant N-1 is
+            // "staff"); +1 keeps zero free as "sheds to nobody".
+            priority: tenant + 1,
+            kind,
+            arrival: round_start + (i as u64 * round_ticks) / n.max(1) as u64,
+            service_ticks: kind.base_service_ticks() + rng.below(3),
+            vm_flavor,
+            bm_flavor,
+            count: 1 + rng.below(2) as u32,
+            lease_ticks: 120 + rng.below(481),
+            pick: rng.next_u64(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opml_simkernel::parallel::with_thread_count;
+
+    #[test]
+    fn round_generation_is_thread_invariant() {
+        let gen = |t: usize| {
+            with_thread_count(t, || generate_round(42, 3, 1000, 8, 60, 4, 5000))
+                .iter()
+                .map(|o| {
+                    (
+                        o.id,
+                        o.tenant,
+                        o.kind,
+                        o.arrival,
+                        o.service_ticks,
+                        o.pick,
+                        o.lease_ticks,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(1), gen(8));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_in_round() {
+        let ops = generate_round(7, 0, 500, 10, 30, 4, 0);
+        assert_eq!(ops.len(), 300);
+        let mut prev = 0;
+        for op in &ops {
+            assert!(op.arrival >= prev, "arrivals must be non-decreasing");
+            assert!((500..530).contains(&op.arrival));
+            prev = op.arrival;
+        }
+    }
+
+    #[test]
+    fn priorities_follow_tenants() {
+        for op in generate_round(9, 1, 0, 4, 25, 3, 0) {
+            assert_eq!(op.priority, op.tenant + 1);
+            assert!(op.tenant < 3);
+        }
+    }
+
+    #[test]
+    fn op_mix_covers_every_kind() {
+        let ops = generate_round(11, 0, 0, 20, 60, 4, 0);
+        for kind in OpKind::ALL {
+            assert!(
+                ops.iter().any(|o| o.kind == kind),
+                "kind {} missing from 1200 ops",
+                kind.name()
+            );
+        }
+    }
+}

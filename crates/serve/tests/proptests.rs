@@ -1,0 +1,91 @@
+//! Property-based tests for the service soak.
+//!
+//! Three promises under arbitrary (small) configurations:
+//!
+//! 1. the soak never panics, under any fault rate or ramp shape;
+//! 2. the op ledger balances — every generated op lands in exactly one
+//!    terminal bucket, per round and in total;
+//! 3. a zero-fault, below-saturation soak replays byte-identically
+//!    under 8 rayon threads (the determinism contract the digested
+//!    `serve.json` rests on).
+
+use opml_serve::{run_service, ServeConfig};
+use opml_simkernel::parallel::with_thread_count;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary fault plans and ramp shapes never panic, and the
+    /// accounting invariant holds in every round.
+    #[test]
+    fn soak_never_panics_and_ledger_balances(
+        seed in any::<u64>(),
+        tenants in 1u32..6,
+        servers in 1u32..16,
+        queue_bound in 1usize..32,
+        target_rps in 1u64..12,
+        increment_rps in 0u64..12,
+        max_rps in 1u64..24,
+        round_secs in 5u64..30,
+        fault_rate_ppm in 0u64..400_000,
+        deadline_s in 10u64..200,
+    ) {
+        let cfg = ServeConfig {
+            seed,
+            tenants,
+            servers,
+            queue_bound,
+            target_rps,
+            increment_rps,
+            max_rps,
+            round_secs,
+            fault_rate_ppm,
+            deadline_s,
+            ..ServeConfig::default()
+        };
+        let report = run_service(&cfg);
+        let t = &report.counts.totals;
+        prop_assert!(t.generated > 0);
+        prop_assert_eq!(
+            t.accounted(), t.generated,
+            "completed+shed+rejected+timed_out+failed must equal generated: {:?}", t
+        );
+        for r in &report.counts.rounds {
+            prop_assert_eq!(r.counts.accounted(), r.counts.generated, "round {}", r.round);
+        }
+        // Stop round is always the last round run.
+        prop_assert_eq!(
+            report.counts.stop_round as usize,
+            report.counts.rounds.len() - 1
+        );
+        // Histogram sample count matches the completed total.
+        prop_assert_eq!(report.counts.overall_latency.count, t.completed);
+    }
+
+    /// Zero faults, light load: the digested report is byte-identical
+    /// between a 1-thread and an 8-thread replay.
+    #[test]
+    fn below_saturation_soak_is_thread_invariant(
+        seed in any::<u64>(),
+        tenants in 1u32..5,
+        target_rps in 1u64..4,
+    ) {
+        let cfg = ServeConfig {
+            seed,
+            tenants,
+            servers: 32,
+            target_rps,
+            increment_rps: 2,
+            max_rps: 8,
+            round_secs: 15,
+            fault_rate_ppm: 0,
+            ..ServeConfig::default()
+        };
+        let one = with_thread_count(1, || run_service(&cfg));
+        let eight = with_thread_count(8, || run_service(&cfg));
+        prop_assert_eq!(&one.counts_json, &eight.counts_json);
+        prop_assert_eq!(one.counts_digest, eight.counts_digest);
+        prop_assert_eq!(one.counts.stop_round, eight.counts.stop_round);
+    }
+}

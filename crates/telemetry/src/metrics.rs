@@ -73,6 +73,15 @@ impl SimTimeHistogram {
         }
     }
 
+    /// Mean sample in whole ticks, rounded to nearest (0 when empty).
+    /// "Minutes" is the batch-simulation reading of a tick; service
+    /// mode reads the same value as seconds.
+    pub fn mean_minutes(&self) -> u64 {
+        (self.sum_minutes + self.count / 2)
+            .checked_div(self.count)
+            .unwrap_or(0)
+    }
+
     /// Upper-bound estimate of the `q`-quantile in minutes, or `None`
     /// when the histogram is empty.
     ///

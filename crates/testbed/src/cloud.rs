@@ -179,6 +179,18 @@ impl Cloud {
         Ok(id)
     }
 
+    /// Read-only headroom probe: would one more instance of `flavor`
+    /// fit the project quota right now? Consumes nothing and emits no
+    /// `quota.deny` telemetry (it is a check, not a denied request).
+    pub fn quota_check(&self, flavor: FlavorId) -> Result<(), CloudError> {
+        if flavor.requires_lease() {
+            return Err(CloudError::LeaseRequired(flavor));
+        }
+        let spec = flavor.spec();
+        self.usage
+            .can_take_instance(&self.quota, spec.vcpus as u64, spec.ram_gb as u64)
+    }
+
     /// Create a bare-metal/edge instance inside an admitted lease.
     pub fn create_leased_instance(
         &mut self,

@@ -67,6 +67,16 @@ pub enum CloudError {
         /// The operation that failed (e.g. "create_instance").
         op: &'static str,
     },
+    /// The service's bounded admission queue is full of equal-or-higher
+    /// priority work: the request is turned away as backpressure, not
+    /// failed. Transient by definition — the same request can succeed
+    /// the moment load drops.
+    Overload {
+        /// Queue depth at rejection time.
+        queue_depth: u64,
+        /// The configured queue bound.
+        limit: u64,
+    },
 }
 
 impl CloudError {
@@ -76,7 +86,8 @@ impl CloudError {
             CloudError::QuotaExceeded { .. }
             | CloudError::NoCapacity { .. }
             | CloudError::OutsideLease
-            | CloudError::TransientFault { .. } => ErrorClass::Transient,
+            | CloudError::TransientFault { .. }
+            | CloudError::Overload { .. } => ErrorClass::Transient,
             CloudError::LeaseRequired(_)
             | CloudError::NoSuchInstance
             | CloudError::NoSuchLease
@@ -130,6 +141,12 @@ impl fmt::Display for CloudError {
             CloudError::TransientFault { op } => {
                 write!(f, "transient infrastructure failure during {op}")
             }
+            CloudError::Overload { queue_depth, limit } => {
+                write!(
+                    f,
+                    "service overloaded: admission queue at {queue_depth}/{limit}"
+                )
+            }
         }
     }
 }
@@ -175,6 +192,11 @@ mod tests {
         assert!(CloudError::OutsideLease.is_retryable());
         assert!(CloudError::TransientFault {
             op: "attach_volume"
+        }
+        .is_retryable());
+        assert!(CloudError::Overload {
+            queue_depth: 256,
+            limit: 256
         }
         .is_retryable());
 

@@ -124,6 +124,20 @@ impl QuotaUsage {
         }
     }
 
+    /// Check that a VM of the given shape *would* fit without consuming
+    /// anything — the read-only headroom probe service mode exposes as
+    /// its quota-check op.
+    pub fn can_take_instance(
+        &self,
+        quota: &Quota,
+        vcpus: u64,
+        ram_gb: u64,
+    ) -> Result<(), CloudError> {
+        Self::check_one(self.instances, 1, quota.instances, "instances")?;
+        Self::check_one(self.cores, vcpus, quota.cores, "cores")?;
+        Self::check_one(self.ram_gb, ram_gb, quota.ram_gb, "ram_gb")
+    }
+
     /// Check that a VM of the given shape fits; on success, consume it.
     pub fn take_instance(
         &mut self,
@@ -252,6 +266,27 @@ mod tests {
         ));
         // A smaller request still fits.
         u.take_instance(&quota, 2, 1).unwrap();
+    }
+
+    #[test]
+    fn can_take_is_read_only() {
+        let quota = Quota {
+            instances: 1,
+            cores: 4,
+            ram_gb: 8,
+            ..Quota::unlimited()
+        };
+        let mut u = QuotaUsage::default();
+        assert!(u.can_take_instance(&quota, 2, 4).is_ok());
+        assert_eq!(u, QuotaUsage::default(), "probe must not consume");
+        u.take_instance(&quota, 2, 4).unwrap();
+        assert!(matches!(
+            u.can_take_instance(&quota, 2, 4),
+            Err(CloudError::QuotaExceeded {
+                resource: "instances",
+                ..
+            })
+        ));
     }
 
     #[test]

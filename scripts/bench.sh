@@ -5,6 +5,11 @@
 # reservation calendar and the naive reference it replaced, fails on
 # any divergence or a speedup below 50x, and writes BENCH_calendar.json.
 #
+# `bench_serve` pushes one fixed ramp through the service soak (the
+# admission queue, shedder, breaker, and retry hot paths), enforces a
+# wall-throughput floor, and writes BENCH_serve.json; its counts digest
+# is thread-invariant, so the baseline doubles as a determinism anchor.
+#
 # `bench_semester` sweeps the sharded semester driver (10k/100k
 # enrollment x 1/2/8 threads, plus serial and pre-shard monolithic
 # references), verifies every arm's outcome digest against the serial
@@ -29,10 +34,13 @@ fi
 echo "==> bench_calendar (sweep-line vs naive differential -> BENCH_calendar.json)"
 cargo bench -p opml-bench --bench bench_calendar
 
+echo "==> bench_serve (ramping service soak -> BENCH_serve.json)"
+cargo bench -p opml-bench --bench bench_serve
+
 echo "==> bench_semester (sharded scaling sweep -> BENCH_semester.json)"
 cargo bench -p opml-bench --bench bench_semester
 
 echo "==> bench_telemetry (<5% disabled-cost gate)"
 cargo bench -p opml-bench --bench bench_telemetry
 
-echo "benches passed; reports in BENCH_calendar.json and BENCH_semester.json"
+echo "benches passed; reports in BENCH_calendar.json, BENCH_serve.json, and BENCH_semester.json"

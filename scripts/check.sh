@@ -57,6 +57,22 @@ if [ "$scale_1m_digest" != "$golden_1m_digest" ]; then
     exit 1
 fi
 
+echo "==> serve smoke run (tiny ramp, digest stable across reruns and threads)"
+serve_dir=$(mktemp -d)
+serve_flags="serve --seed 7 --tenants 3 --servers 8 --target-rps 2 \
+    --increment-rps 2 --max-rps 6 --round-secs 15 --quiet"
+serve_a=$(cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    $serve_flags --out "$serve_dir/a" | sed -n 's/^counts_digest=//p')
+serve_b=$(cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    $serve_flags --out "$serve_dir/b" | sed -n 's/^counts_digest=//p')
+serve_c=$(cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    $serve_flags --threads 8 --out "$serve_dir/c" | sed -n 's/^counts_digest=//p')
+if [ -z "$serve_a" ] || [ "$serve_a" != "$serve_b" ] || [ "$serve_a" != "$serve_c" ]; then
+    echo "serve smoke FAILED: digests '$serve_a' / '$serve_b' / '$serve_c' diverge" >&2
+    exit 1
+fi
+rm -rf "$serve_dir"
+
 echo "==> telemetry overhead bench (<5% disabled-cost gate)"
 cargo bench -p opml-bench --bench bench_telemetry
 

@@ -34,6 +34,9 @@ echo "==> perfgate: bench_calendar --check (vs BENCH_calendar.json)"
 cargo bench -q -p opml-bench --bench bench_calendar -- --check
 
 if [ "${1:-}" = "--full" ]; then
+    echo "==> perfgate: bench_serve --check (vs BENCH_serve.json)"
+    cargo bench -q -p opml-bench --bench bench_serve -- --check
+
     echo "==> perfgate: bench_semester --check (vs BENCH_semester.json)"
     cargo bench -q -p opml-bench --bench bench_semester -- --check
 fi
