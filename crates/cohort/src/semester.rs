@@ -384,6 +384,18 @@ pub fn simulate_semester_serial_with(
     merge_shard_runs(runs, telemetry)
 }
 
+/// Measured per-student telemetry event volume (2k-student profile run:
+/// ~221 events/student), rounded up. Sizes each shard's private sink.
+const EVENTS_PER_STUDENT: usize = 232;
+
+/// Measured per-student usage-record volume (~92 records/student),
+/// rounded up. Sizes the shard cloud's ledger.
+const LEDGER_RECORDS_PER_STUDENT: usize = 96;
+
+/// Event-queue capacity hint per student (peak outstanding future
+/// events is far below the total event count).
+const QUEUE_EVENTS_PER_STUDENT: usize = 16;
+
 /// Everything one shard produces, ready for the deterministic merge.
 struct ShardRun {
     outcome: SemesterOutcome,
@@ -406,7 +418,7 @@ fn run_shard_buffered(
     // the split that explains sharded-vs-serial wall time.
     let _phase = opml_profiler::wall_phase(opml_profiler::phases::SHARD_SIM);
     if record {
-        let sink = MemorySink::new();
+        let sink = MemorySink::with_capacity(shard.student_count() as usize * EVENTS_PER_STUDENT);
         let telemetry = Telemetry::with_sink(sink.clone());
         let mut outcome = run_shard(config, seed, shard, &telemetry, true);
         // Sort here, inside the (possibly parallel) shard map, so the
@@ -414,10 +426,13 @@ fn run_shard_buffered(
         // the concatenated whole. The single-shard legacy path never
         // comes through here and keeps its close-order ledger.
         outcome.ledger.sort_canonical();
+        let metrics = telemetry.metrics_snapshot();
         ShardRun {
             outcome,
-            events: sink.events(),
-            metrics: telemetry.metrics_snapshot(),
+            // Drain rather than clone: the buffer is moved wholesale
+            // into the merge's restamp pass.
+            events: sink.take_events(),
+            metrics,
         }
     } else {
         let mut outcome = run_shard(config, seed, shard, &Telemetry::disabled(), true);
@@ -448,7 +463,7 @@ fn merge_shard_runs(runs: Vec<ShardRun>, telemetry: &Telemetry) -> SemesterOutco
     for run in runs {
         {
             let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_REPLAY);
-            telemetry.replay(&run.events);
+            telemetry.replay_owned(run.events);
         }
         {
             let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_METRICS);
@@ -484,8 +499,15 @@ fn run_shard(
     telemetry: &Telemetry,
     annotate: bool,
 ) -> SemesterOutcome {
-    let mut cloud = Cloud::paper_course().with_telemetry(telemetry.clone());
-    let mut queue: EventQueue<Ev> = EventQueue::new();
+    // Capacity hints derived from the shard size (measured per-student
+    // volumes at the 2k profile scale, rounded up): they keep the
+    // ledger and the event queue from reallocating mid-simulation.
+    // Hints, not bounds — a shard that outgrows them just grows.
+    let students = shard.student_count() as usize;
+    let mut cloud = Cloud::paper_course()
+        .with_telemetry(telemetry.clone())
+        .with_ledger_capacity(students * LEDGER_RECORDS_PER_STUDENT);
+    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(students * QUEUE_EVENTS_PER_STUDENT);
     let mut slot_pushbacks = 0u64;
     let mut fe = FaultEngine::new(&config.faults, seed);
     let plan_span = telemetry.span(SimTime::ZERO, "semester.plan", || {
@@ -662,7 +684,7 @@ fn run_shard(
                     fe.stats.abandoned += 1;
                     telemetry.instant(t, "vm.abandon", || {
                         vec![
-                            ("name", vm.name.as_str().into()),
+                            ("name", vm.name.clone().into()),
                             ("cause", "term_end".into()),
                             ("leaked", false.into()),
                         ]
@@ -674,7 +696,7 @@ fn run_shard(
                 if let Some(at) = fe.breaker.as_ref().and_then(|b| b.retry_at(t)) {
                     telemetry.instant(t, "retry.attempt", || {
                         vec![
-                            ("name", vm.name.as_str().into()),
+                            ("name", vm.name.clone().into()),
                             ("cause", "breaker".into()),
                         ]
                     });
@@ -694,11 +716,11 @@ fn run_shard(
                             telemetry.instant(t, "fault.inject", || {
                                 vec![
                                     ("kind", FaultKind::FipFail.name().into()),
-                                    ("name", vm.name.as_str().into()),
+                                    ("name", vm.name.clone().into()),
                                 ]
                             });
                             telemetry.instant(t, "recover.degraded", || {
-                                vec![("name", vm.name.as_str().into()), ("mode", "no_fip".into())]
+                                vec![("name", vm.name.clone().into()), ("mode", "no_fip".into())]
                             });
                         }
                         let down_at = t + vm.wall;
@@ -745,7 +767,7 @@ fn run_shard(
                             if b.record_failure(t) {
                                 fe.stats.breaker_trips += 1;
                                 telemetry.instant(t, "breaker.open", || {
-                                    vec![("name", vm.name.as_str().into())]
+                                    vec![("name", vm.name.clone().into())]
                                 });
                             }
                             if let (Some(at), Some(open_until)) = (retry_at, b.retry_at(t)) {
@@ -757,7 +779,7 @@ fn run_shard(
                                 fe.stats.retries += 1;
                                 telemetry.instant(t, "vm.retry", || {
                                     vec![
-                                        ("name", vm.name.as_str().into()),
+                                        ("name", vm.name.clone().into()),
                                         ("attempt", vm.attempts.into()),
                                         ("cause", "quota".into()),
                                     ]
@@ -769,7 +791,7 @@ fn run_shard(
                                 fe.stats.abandoned += 1;
                                 telemetry.instant(t, "vm.abandon", || {
                                     vec![
-                                        ("name", vm.name.as_str().into()),
+                                        ("name", vm.name.clone().into()),
                                         ("cause", "quota".into()),
                                         ("leaked", false.into()),
                                     ]
@@ -784,7 +806,7 @@ fn run_shard(
                             telemetry.instant(t, "fault.inject", || {
                                 vec![
                                     ("kind", FaultKind::LaunchFail.name().into()),
-                                    ("name", vm.name.as_str().into()),
+                                    ("name", vm.name.clone().into()),
                                     ("attempt", vm.fault_attempts.into()),
                                 ]
                             });
@@ -799,8 +821,8 @@ fn run_shard(
                         let msg = e.to_string();
                         telemetry.instant(t, "vm.abandon", || {
                             vec![
-                                ("name", vm.name.as_str().into()),
-                                ("cause", msg.as_str().into()),
+                                ("name", vm.name.clone().into()),
+                                ("cause", msg.clone().into()),
                                 ("leaked", false.into()),
                             ]
                         });
@@ -835,7 +857,7 @@ fn run_shard(
                 telemetry.instant(t, "fault.inject", || {
                     vec![
                         ("kind", FaultKind::InstanceCrash.name().into()),
-                        ("name", vm.name.as_str().into()),
+                        ("name", vm.name.clone().into()),
                     ]
                 });
                 if let Some(&first) = ids.first() {
@@ -851,7 +873,7 @@ fn run_shard(
                     fe.stats.leaked += 1;
                     telemetry.instant(t, "vm.abandon", || {
                         vec![
-                            ("name", vm.name.as_str().into()),
+                            ("name", vm.name.clone().into()),
                             ("cause", "crash".into()),
                             ("leaked", true.into()),
                         ]
@@ -885,7 +907,7 @@ fn run_shard(
                             vm.wall = remaining;
                             telemetry.instant(t, "recover.relaunch", || {
                                 vec![
-                                    ("name", vm.name.as_str().into()),
+                                    ("name", vm.name.clone().into()),
                                     ("remaining_min", remaining.0.into()),
                                 ]
                             });
@@ -895,7 +917,7 @@ fn run_shard(
                             fe.stats.abandoned += 1;
                             telemetry.instant(t, "vm.abandon", || {
                                 vec![
-                                    ("name", vm.name.as_str().into()),
+                                    ("name", vm.name.clone().into()),
                                     ("cause", "crash".into()),
                                     ("leaked", false.into()),
                                 ]
@@ -943,10 +965,7 @@ fn run_shard(
                         fe.stats.abandoned += 1;
                         let msg = e.to_string();
                         telemetry.instant(t, "lease.skip", || {
-                            vec![
-                                ("name", name.as_str().into()),
-                                ("error", msg.as_str().into()),
-                            ]
+                            vec![("name", name.clone().into()), ("error", msg.clone().into())]
                         });
                     }
                 }
@@ -963,7 +982,7 @@ fn run_shard(
                     telemetry.instant(t, "fault.inject", || {
                         vec![
                             ("kind", FaultKind::LeaseRevoke.name().into()),
-                            ("name", name.as_str().into()),
+                            ("name", name.clone().into()),
                         ]
                     });
                     let remaining = end.since(t);
@@ -991,10 +1010,7 @@ fn run_shard(
                         Some((start, lease2)) => {
                             fe.stats.requeued += 1;
                             telemetry.instant(t, "recover.rebook", || {
-                                vec![
-                                    ("name", name.as_str().into()),
-                                    ("start_min", start.0.into()),
-                                ]
+                                vec![("name", name.clone().into()), ("start_min", start.0.into())]
                             });
                             queue.push(
                                 start,
@@ -1010,7 +1026,7 @@ fn run_shard(
                             fe.stats.abandoned += 1;
                             telemetry.instant(t, "vm.abandon", || {
                                 vec![
-                                    ("name", name.as_str().into()),
+                                    ("name", name.clone().into()),
                                     ("cause", "lease_revoked".into()),
                                     ("leaked", false.into()),
                                 ]
@@ -1033,7 +1049,7 @@ fn run_shard(
                     telemetry.instant(t, "fault.inject", || {
                         vec![
                             ("kind", FaultKind::VolumeAttach.name().into()),
-                            ("name", v.name.as_str().into()),
+                            ("name", v.name.clone().into()),
                             ("attempt", v.attempts.into()),
                         ]
                     });
@@ -1047,7 +1063,7 @@ fn run_shard(
                             fe.stats.retries += 1;
                             telemetry.instant(t, "retry.attempt", || {
                                 vec![
-                                    ("name", v.name.as_str().into()),
+                                    ("name", v.name.clone().into()),
                                     ("cause", "fault".into()),
                                     ("attempt", v.attempts.into()),
                                 ]
@@ -1057,7 +1073,7 @@ fn run_shard(
                         _ => {
                             fe.stats.abandoned += 1;
                             telemetry.instant(t, "volume.abandon", || {
-                                vec![("name", v.name.as_str().into()), ("cause", "fault".into())]
+                                vec![("name", v.name.clone().into()), ("cause", "fault".into())]
                             });
                         }
                     }
@@ -1076,8 +1092,8 @@ fn run_shard(
                             let msg = e.to_string();
                             telemetry.instant(t, "volume.abandon", || {
                                 vec![
-                                    ("name", v.name.as_str().into()),
-                                    ("cause", msg.as_str().into()),
+                                    ("name", v.name.clone().into()),
+                                    ("cause", msg.clone().into()),
                                 ]
                             });
                         }
@@ -1134,7 +1150,7 @@ fn retry_or_abandon_vm(
             fe.stats.retries += 1;
             telemetry.instant(t, "vm.retry", || {
                 vec![
-                    ("name", vm.name.as_str().into()),
+                    ("name", vm.name.clone().into()),
                     ("attempt", vm.fault_attempts.into()),
                     ("cause", "fault".into()),
                 ]
@@ -1145,7 +1161,7 @@ fn retry_or_abandon_vm(
             fe.stats.abandoned += 1;
             telemetry.instant(t, "vm.abandon", || {
                 vec![
-                    ("name", vm.name.as_str().into()),
+                    ("name", vm.name.clone().into()),
                     ("cause", "fault".into()),
                     ("leaked", false.into()),
                 ]

@@ -6,13 +6,17 @@
 //! attributing (when the `alloc-profile` feature installed it), and a
 //! background RSS sampler. It emits three artifacts:
 //!
-//! * `profile.json` — schema `opml_profile/v1`. Its `counts` subtree is
+//! * `profile.json` — schema `opml_profile/v2`. Its `counts` subtree is
 //!   a *canonical compact JSON string* covering every deterministic
 //!   quantity (span paths with sim-time attribution, per-shard event
 //!   breakdowns, phase enter counts, ledger record count, ...); the
 //!   digest in `counts_digest` is FNV-1a over exactly those bytes, so
-//!   "two runs produced the same counts" is one string compare. Wall
-//!   times, RSS, and thread counts live *outside* `counts`.
+//!   "two runs produced the same counts" is one string compare. The
+//!   `alloc` subtree is digested the same way (`alloc_digest`):
+//!   per-phase allocation counts over the user phases, invariant
+//!   across runs *and* thread counts now that pool bookkeeping is
+//!   fenced into `runtime.pool`. Wall times, RSS, and thread counts
+//!   live outside both digested subtrees.
 //! * `profile.folded` — flamegraph.pl/inferno-compatible folded stacks
 //!   weighted by sim-minute self time (deterministic bytes).
 //! * a human-readable table (stdout) splitting host wall time into
@@ -33,7 +37,51 @@ use opml_telemetry::{MemorySink, Telemetry, HARNESS_TRACK, TRACK_ATTR};
 use crate::digest::fnv1a64;
 
 /// Schema tag written into `profile.json`.
-pub const PROFILE_SCHEMA: &str = "opml_profile/v1";
+pub const PROFILE_SCHEMA: &str = "opml_profile/v2";
+
+/// Every event name the profiled semester can emit, preseeded into the
+/// telemetry interner before the counted window opens so interning
+/// performs **zero** allocations while the counting allocator is
+/// attributing (the intern table would otherwise grow mid-run and the
+/// growth schedule would depend on which shard first emitted a name).
+/// An entry that never fires is harmless; a missing entry only costs
+/// one leak-on-first-use allocation, visible as an
+/// `interned_count()` probe failure in the differential tests.
+const EVENT_NAME_VOCAB: &[&str] = &[
+    "breaker.open",
+    "fault.inject",
+    "instance.crash",
+    "instance.launch",
+    "instance.terminate",
+    "job.complete",
+    "job.preempt",
+    "job.start",
+    "lab.unit",
+    "lease.accept",
+    "lease.deny",
+    "lease.revoke",
+    "lease.skip",
+    "narrate",
+    "project.window_open",
+    "queue.pop",
+    "quota.deny",
+    "recover.degraded",
+    "recover.rebook",
+    "recover.relaunch",
+    "retry.attempt",
+    "semester.exec",
+    "semester.finalize",
+    "semester.plan",
+    "semester.week_start",
+    "slot.pushback",
+    "stage.profile",
+    "stage.semester",
+    "vm.abandon",
+    "vm.retry",
+    "volume.abandon",
+    "workflow.task",
+    "workflow.wave",
+];
 
 /// What to profile.
 #[derive(Debug, Clone)]
@@ -75,6 +123,12 @@ pub struct ProfileReport {
     pub counts_json: String,
     /// FNV-1a digest of `counts_json`.
     pub counts_digest: u64,
+    /// The canonical `alloc` substring: per-phase allocation counts
+    /// over the user phases (digested bytes; all zeros unless the
+    /// counting allocator is installed).
+    pub alloc_json: String,
+    /// FNV-1a digest of `alloc_json`.
+    pub alloc_digest: u64,
     /// `profile.folded` contents.
     pub folded: String,
     /// Human-readable report.
@@ -99,6 +153,11 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 pub fn run(config: &ProfileConfig) -> ProfileReport {
     opml_profiler::reset();
     opml_profiler::reset_totals();
+    // Pool bookkeeping goes to `runtime.pool`, and the interner's table
+    // is fully populated, before any allocation is attributed — both
+    // are what keep the user-phase alloc counts thread-count invariant.
+    opml_profiler::install_pool_attribution();
+    opml_telemetry::intern::preseed(EVENT_NAME_VOCAB);
     opml_profiler::enable();
     let alloc_counted = opml_profiler::counting_allocator_installed();
     if alloc_counted {
@@ -134,7 +193,7 @@ pub fn run(config: &ProfileConfig) -> ProfileReport {
     opml_profiler::disable_counting();
     opml_profiler::disable();
     let rss_samples = sampler.stop();
-    let events = sink.events();
+    let events = sink.take_events();
 
     let spans = profile_spans(&events);
     let shards = shard_breakdown(&events);
@@ -142,12 +201,16 @@ pub fn run(config: &ProfileConfig) -> ProfileReport {
 
     let counts_json = render_counts(config, &outcome, &spans, &shards, &phases);
     let counts_digest = fnv1a64(counts_json.as_bytes());
+    let alloc_json = render_alloc(&phases);
+    let alloc_digest = fnv1a64(alloc_json.as_bytes());
     let folded = spans.to_folded();
     let peak_rss_kb = opml_profiler::peak_rss_kb();
     let json = render_json(
         config,
         &counts_json,
         counts_digest,
+        &alloc_json,
+        alloc_digest,
         alloc_counted,
         effective_threads,
         wall_total_s,
@@ -172,6 +235,8 @@ pub fn run(config: &ProfileConfig) -> ProfileReport {
         json,
         counts_json,
         counts_digest,
+        alloc_json,
+        alloc_digest,
         folded,
         text,
         events: spans.events,
@@ -199,13 +264,15 @@ fn push_json_str(out: &mut String, s: &str) {
 /// order, deterministic across runs and thread counts. Wall times, RSS
 /// and anything host-dependent are excluded by construction.
 ///
-/// Phase *allocation* counts are deliberately **not** digested: they
-/// are reproducible across runs at a fixed thread count, but the
-/// pool-entry path differs between inline (1-thread) and pooled
-/// execution by a single bookkeeping allocation inside the first
-/// shard's phase scope, which would break the cross-thread-count
-/// guarantee. They stay fully visible in the non-digested
-/// `wall.phases` section.
+/// `phase_enters` skips two phases whose enter counts are not part of
+/// the determinism contract: `(unattributed)` (the RSS sampler's
+/// background thread lands there) and `runtime.pool` (one enter per
+/// pool dispatch bracket per participating thread — thread-count
+/// dependent by nature). Everything else is invariant. Phase
+/// *allocation* counts live in the separately-digested `alloc` subtree
+/// (see [`render_alloc`]); the full per-phase numbers including the
+/// excluded phases stay visible in the non-digested `wall.phases`
+/// section.
 fn render_counts(
     config: &ProfileConfig,
     outcome: &SemesterOutcome,
@@ -275,7 +342,9 @@ fn render_counts(
     out.push_str(",\"phase_enters\":[");
     let mut first = true;
     for p in phases {
-        if p.name == opml_profiler::UNATTRIBUTED_NAME {
+        if p.name == opml_profiler::UNATTRIBUTED_NAME
+            || p.name == opml_profiler::phases::RUNTIME_POOL
+        {
             continue;
         }
         if !first {
@@ -292,13 +361,54 @@ fn render_counts(
     out
 }
 
-/// The full `profile.json` document. The digested `counts` string is
-/// embedded verbatim; everything else is explicitly host-dependent.
+/// The canonical, digested `alloc` subtree: per-phase allocation and
+/// deallocation counts/bytes over the **user** phases, compact JSON in
+/// phase-report (name-sorted) order.
+///
+/// Two phases are excluded, and their exclusion is what makes the rest
+/// digestable: `runtime.pool` collects the pool dispatch machinery
+/// (worker result buffers are chunked by thread count, so its numbers
+/// legitimately vary with `--threads`), and `(unattributed)` absorbs
+/// the RSS sampler's background thread (sample count varies with wall
+/// time). Every phase that remains — `shard.sim`, the `merge.*`
+/// stages — allocates identically at any thread count for a fixed seed
+/// and config. With the counting allocator absent the subtree is all
+/// zeros (and the digest is the stable all-zeros digest).
+fn render_alloc(phases: &[PhaseStat]) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"phases\":[");
+    let mut first = true;
+    for p in phases {
+        if p.name == opml_profiler::UNATTRIBUTED_NAME
+            || p.name == opml_profiler::phases::RUNTIME_POOL
+        {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"phase\":");
+        push_json_str(&mut out, p.name);
+        out.push_str(&format!(
+            ",\"allocs\":{},\"alloc_bytes\":{},\"deallocs\":{},\"dealloc_bytes\":{}}}",
+            p.allocs, p.alloc_bytes, p.deallocs, p.dealloc_bytes
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The full `profile.json` document. The digested `counts` and `alloc`
+/// strings are embedded verbatim; everything else is explicitly
+/// host-dependent.
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     config: &ProfileConfig,
     counts_json: &str,
     counts_digest: u64,
+    alloc_json: &str,
+    alloc_digest: u64,
     alloc_counted: bool,
     effective_threads: usize,
     wall_total_s: f64,
@@ -311,6 +421,8 @@ fn render_json(
     out.push_str(&format!("  \"schema\": \"{PROFILE_SCHEMA}\",\n"));
     out.push_str(&format!("  \"counts\": {counts_json},\n"));
     out.push_str(&format!("  \"counts_digest\": \"{counts_digest:016x}\",\n"));
+    out.push_str(&format!("  \"alloc\": {alloc_json},\n"));
+    out.push_str(&format!("  \"alloc_digest\": \"{alloc_digest:016x}\",\n"));
     out.push_str(&format!("  \"alloc_counted\": {alloc_counted},\n"));
     out.push_str(&format!(
         "  \"threads\": {{\"requested\": {}, \"effective\": {}}},\n",

@@ -286,7 +286,7 @@ impl Workflow {
             for (&i, (st, att)) in ready.iter().zip(results) {
                 telemetry.instant(at, "workflow.task", || {
                     vec![
-                        ("name", self.tasks[i].name.as_str().into()),
+                        ("name", self.tasks[i].name.clone().into()),
                         ("wave", wave.into()),
                         ("attempts", att.into()),
                         (

@@ -46,6 +46,19 @@ pub use phase::{
     PhaseGuard, PhaseStat, MAX_PHASES, UNATTRIBUTED, UNATTRIBUTED_NAME,
 };
 pub use rss::{current_rss_kb, peak_rss_kb, RssSample, RssSampler};
+
+/// Route the rayon shim's dispatch machinery (worker spawn/join,
+/// per-worker result buffers, reassembly) into the
+/// [`phase::phases::RUNTIME_POOL`] phase. Idempotent and cheap; the
+/// hooks are inert while phase profiling is disabled, so installing
+/// them unconditionally costs one atomic load per pool dispatch.
+///
+/// Without this, pool bookkeeping lands in whatever phase the
+/// dispatching thread happened to be in — which varies with thread
+/// count and makes user-phase allocation counts undigestable.
+pub fn install_pool_attribution() {
+    rayon::install_pool_hooks(phase::pool_phase_enter, phase::pool_phase_exit);
+}
 pub use spanprof::{
     profile_spans, shard_breakdown, ShardBreakdown, ShardStat, SpanPathStat, SpanProfile,
 };

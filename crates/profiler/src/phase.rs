@@ -51,6 +51,12 @@ pub mod phases {
     pub const MERGE_METRICS: &str = "merge.metrics";
     /// K-way merge of shard ledgers.
     pub const MERGE_LEDGER: &str = "merge.ledger";
+    /// Thread-pool dispatch machinery (worker spawn/join, per-worker
+    /// result buffers, reassembly). Attributed via the rayon-shim pool
+    /// hooks; thread-count dependent by nature, so it is excluded from
+    /// allocation digests — its existence is what makes the *user*
+    /// phases digestable.
+    pub const RUNTIME_POOL: &str = "runtime.pool";
 }
 
 /// One phase's counters. All relaxed atomics: totals are read only
@@ -233,6 +239,67 @@ impl Drop for PhaseGuard {
         if let Some(slot) = SLOTS.get(self.id as usize) {
             slot.wall_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         }
+    }
+}
+
+/// Token returned by [`pool_phase_enter`] when profiling was off at
+/// entry: nothing to restore on exit.
+const POOL_TOKEN_INERT: usize = usize::MAX;
+
+/// Low 48 bits of the token carry nanoseconds since [`pool_epoch`]
+/// (~78 hours of range); the high 16 bits carry the phase id to
+/// restore on exit.
+const POOL_NS_MASK: u64 = (1 << 48) - 1;
+
+/// Lazily-pinned process epoch for pool wall accounting. The hook pair
+/// cannot carry an `Instant` through its `usize` token, so elapsed
+/// time is reconstructed from two offsets against this epoch.
+fn pool_epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    // detlint::allow(DL001): host-side profiling measurement, never fed into simulation state
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Rayon-shim pool hook: re-point this thread's attribution at
+/// [`phases::RUNTIME_POOL`] and return a token encoding the previous
+/// phase plus the entry timestamp. Allocation-free (the counting
+/// allocator may interrogate [`current_phase`] while this runs) and
+/// panic-free, per the hook contract.
+pub fn pool_phase_enter() -> usize {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return POOL_TOKEN_INERT;
+    }
+    let id = register_phase(phases::RUNTIME_POOL);
+    let prev = CURRENT
+        .try_with(|c| {
+            let p = c.get();
+            c.set(id);
+            p
+        })
+        .unwrap_or(UNATTRIBUTED);
+    if let Some(slot) = SLOTS.get(id as usize) {
+        slot.enters.fetch_add(1, Ordering::Relaxed);
+    }
+    // detlint::allow(DL001): host-side profiling measurement, never fed into simulation state
+    let ns = u64::try_from(pool_epoch().elapsed().as_nanos()).unwrap_or(u64::MAX) & POOL_NS_MASK;
+    (u64::from(prev) << 48 | ns) as usize
+}
+
+/// Rayon-shim pool hook: restore the phase saved by
+/// [`pool_phase_enter`] and accumulate the bracket's wall time on the
+/// pool slot.
+pub fn pool_phase_exit(token: usize) {
+    if token == POOL_TOKEN_INERT {
+        return;
+    }
+    let prev = (token as u64 >> 48) as u16;
+    let _ = CURRENT.try_with(|c| c.set(prev));
+    // detlint::allow(DL001): host-side profiling measurement, never fed into simulation state
+    let now = u64::try_from(pool_epoch().elapsed().as_nanos()).unwrap_or(u64::MAX) & POOL_NS_MASK;
+    let elapsed = now.saturating_sub(token as u64 & POOL_NS_MASK);
+    let id = register_phase(phases::RUNTIME_POOL);
+    if let Some(slot) = SLOTS.get(id as usize) {
+        slot.wall_ns.fetch_add(elapsed, Ordering::Relaxed);
     }
 }
 

@@ -57,7 +57,7 @@ pub struct SpanProfile {
 }
 
 struct OpenSpan {
-    name: String,
+    name: opml_telemetry::Sym,
     path: String,
     begin_min: u64,
     child_min: u64,
@@ -77,10 +77,10 @@ pub fn profile_spans(events: &[TelemetryEvent]) -> SpanProfile {
                 profile.begins += 1;
                 let path = match stack.last() {
                     Some(parent) => format!("{};{}", parent.path, ev.name),
-                    None => ev.name.clone(),
+                    None => ev.name.to_string(),
                 };
                 stack.push(OpenSpan {
-                    name: ev.name.clone(),
+                    name: ev.name,
                     path,
                     begin_min: ev.time.0,
                     child_min: 0,
@@ -113,7 +113,7 @@ pub fn profile_spans(events: &[TelemetryEvent]) -> SpanProfile {
                 profile.instants += 1;
                 let path = match stack.last() {
                     Some(parent) => format!("{};{}", parent.path, ev.name),
-                    None => ev.name.clone(),
+                    None => ev.name.to_string(),
                 };
                 *instants.entry(path).or_insert(0) += 1;
             }
@@ -247,7 +247,7 @@ mod tests {
             seq,
             time: SimTime(t),
             phase,
-            name: name.to_string(),
+            name: name.into(),
             attrs,
         }
     }

@@ -87,6 +87,17 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Create an empty queue sized for `capacity` pending events, so a
+    /// hot loop with a predictable backlog never regrows the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            pops: 0,
+            high_water: 0,
+        }
+    }
+
     /// Schedule `payload` at `time`.
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;

@@ -22,6 +22,10 @@
 //!   used by the drift-detection substrate.
 //! * [`event`] — a generic time-ordered event queue with stable FIFO
 //!   tie-breaking, and a small process-clock wrapper.
+//! * [`dethash`] — a fixed-seed FNV-1a `BuildHasher` (`DetHashMap`,
+//!   `DetHashSet`) so map growth under churn is identical across runs;
+//!   the default `RandomState` makes *allocation counts* seed-dependent
+//!   even when outputs are fully deterministic.
 //! * [`parallel`] — order-stable parallel fan-out over independent entities
 //!   or replications (rayon), merging by index rather than reduction order.
 //!
@@ -31,12 +35,14 @@
 //! the same seed produce identical results on any machine and any number of
 //! threads. This is property-tested in each module.
 
+pub mod dethash;
 pub mod event;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use dethash::{det_hash_map, det_hash_set, BuildDetHasher, DetHashMap, DetHashSet};
 pub use event::{EventQueue, ProcessClock, QueueStats};
 pub use rng::{split_seed, Rng};
 pub use stats::{Histogram, OnlineStats, Summary};

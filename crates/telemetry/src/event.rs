@@ -6,6 +6,7 @@
 //! simulation is itself deterministic. Attributes are an ordered list of
 //! key/value pairs — insertion order is the serialization order.
 
+use crate::intern::Sym;
 use opml_simkernel::SimTime;
 use std::fmt;
 
@@ -45,7 +46,13 @@ impl EventPhase {
 
 /// An attribute value. Constructed via the `From` impls:
 /// `("gpus", 4u64.into())`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// String payloads come in two flavours that serialize identically and
+/// compare equal by content: [`AttrValue::Static`] (a borrowed
+/// `&'static str` — zero allocation, the hot-path case for literal
+/// values like `("cause", "quota".into())`) and [`AttrValue::Str`] (an
+/// owned `String` for dynamic values such as instance names).
+#[derive(Debug, Clone)]
 pub enum AttrValue {
     /// Unsigned integer.
     U64(u64),
@@ -56,8 +63,28 @@ pub enum AttrValue {
     F64(f64),
     /// Boolean.
     Bool(bool),
-    /// String.
+    /// Owned string (dynamic values).
     Str(String),
+    /// Borrowed string literal (no allocation; same wire format as
+    /// [`AttrValue::Str`]).
+    Static(&'static str),
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AttrValue::U64(a), AttrValue::U64(b)) => a == b,
+            (AttrValue::I64(a), AttrValue::I64(b)) => a == b,
+            (AttrValue::F64(a), AttrValue::F64(b)) => a == b,
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => a == b,
+            // String equality is by content: `Static("x") == Str("x")`,
+            // matching the identical serialization.
+            (a, b) => match (a.as_str(), b.as_str()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
 }
 
 impl From<u64> for AttrValue {
@@ -90,9 +117,9 @@ impl From<bool> for AttrValue {
         AttrValue::Bool(v)
     }
 }
-impl From<&str> for AttrValue {
-    fn from(v: &str) -> Self {
-        AttrValue::Str(v.to_string())
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Static(v)
     }
 }
 impl From<String> for AttrValue {
@@ -102,10 +129,11 @@ impl From<String> for AttrValue {
 }
 
 impl AttrValue {
-    /// The string payload, if this is a `Str` value.
+    /// The string payload, if this is a `Str` or `Static` value.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             AttrValue::Str(s) => Some(s),
+            AttrValue::Static(s) => Some(s),
             _ => None,
         }
     }
@@ -118,6 +146,7 @@ impl AttrValue {
             AttrValue::F64(x) => write_json_f64(out, *x),
             AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             AttrValue::Str(s) => write_json_str(out, s),
+            AttrValue::Static(s) => write_json_str(out, s),
         }
     }
 }
@@ -135,8 +164,9 @@ pub struct TelemetryEvent {
     pub time: SimTime,
     /// Phase (span open/close or point event).
     pub phase: EventPhase,
-    /// Dotted event name (`instance.launch`, `queue.pop`, …).
-    pub name: String,
+    /// Dotted event name (`instance.launch`, `queue.pop`, …), interned:
+    /// a copyable symbol that dereferences to the name string.
+    pub name: Sym,
     /// Ordered attributes.
     pub attrs: Vec<Attr>,
 }

@@ -41,12 +41,14 @@
 
 pub mod event;
 pub mod export;
+pub mod intern;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
 pub use event::{Attr, AttrValue, EventPhase, TelemetryEvent, HARNESS_TRACK, NARRATE, TRACK_ATTR};
 pub use export::{export_chrome_trace, export_jsonl};
+pub use intern::Sym;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, SimTimeHistogram};
 pub use sink::{FanoutSink, MemorySink, NullSink, StderrNarrationSink, TelemetrySink};
 pub use span::SpanGuard;
@@ -202,14 +204,30 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             for e in events {
                 let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-                inner.sink.record(&TelemetryEvent {
+                inner.sink.record_owned(TelemetryEvent {
                     seq,
                     time: e.time,
                     phase: e.phase,
-                    name: e.name.clone(),
+                    name: e.name,
                     attrs: e.attrs.clone(),
                 });
             }
+        }
+    }
+
+    /// [`Telemetry::replay`], but taking ownership: reserves the whole
+    /// sequence range with one counter bump, restamps the events in
+    /// place, and hands the buffer to the sink as a single batch. No
+    /// per-event allocation — this is the merge-phase hot path
+    /// (`merge.replay_restamp`), which previously re-allocated every
+    /// event's name and attribute vector.
+    pub fn replay_owned(&self, mut events: Vec<TelemetryEvent>) {
+        if let Some(inner) = &self.inner {
+            let base = inner.seq.fetch_add(events.len() as u64, Ordering::Relaxed);
+            for (i, e) in events.iter_mut().enumerate() {
+                e.seq = base + i as u64;
+            }
+            inner.sink.record_batch(events);
         }
     }
 
@@ -240,11 +258,11 @@ where
     F: FnOnce() -> Vec<Attr>,
 {
     let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-    inner.sink.record(&TelemetryEvent {
+    inner.sink.record_owned(TelemetryEvent {
         seq,
         time,
         phase,
-        name: name.to_string(),
+        name: Sym::new(name),
         attrs: attrs(),
     });
 }
@@ -349,6 +367,33 @@ mod tests {
 
         // Replay through a disabled handle is a no-op.
         Telemetry::disabled().replay(&shard_sink.events());
+    }
+
+    #[test]
+    fn replay_owned_is_byte_identical_to_replay() {
+        let shard_sink = MemorySink::new();
+        let shard = Telemetry::with_sink(shard_sink.clone());
+        shard.instant(SimTime(5), "a", || vec![("k", 1u64.into())]);
+        let g = shard.span(SimTime(6), "s", Vec::new);
+        g.end(SimTime(8));
+        shard.narrate(SimTime(9), "done");
+
+        let run = |owned: bool| {
+            let sink = MemorySink::new();
+            let parent = Telemetry::with_sink(sink.clone());
+            parent.instant(SimTime(1), "pre", Vec::new);
+            if owned {
+                parent.replay_owned(shard_sink.events());
+            } else {
+                parent.replay(&shard_sink.events());
+            }
+            parent.instant(SimTime(99), "post", Vec::new);
+            export_jsonl(&sink.events())
+        };
+        assert_eq!(run(false), run(true));
+
+        // Disabled handle: still a no-op.
+        Telemetry::disabled().replay_owned(shard_sink.events());
     }
 
     #[test]

@@ -17,6 +17,22 @@ pub trait TelemetrySink: Send + Sync {
     /// Record one event. Called synchronously from the emitting thread;
     /// implementations must not reorder events.
     fn record(&self, event: &TelemetryEvent);
+
+    /// Record one event, taking ownership. Recording sinks override
+    /// this to move the event into their buffer instead of cloning it —
+    /// the emit hot path always calls this form.
+    fn record_owned(&self, event: TelemetryEvent) {
+        self.record(&event);
+    }
+
+    /// Record a batch of events in order, taking ownership. Recording
+    /// sinks override this with a bulk append; the default forwards to
+    /// [`TelemetrySink::record_owned`] per event.
+    fn record_batch(&self, events: Vec<TelemetryEvent>) {
+        for event in events {
+            self.record_owned(event);
+        }
+    }
 }
 
 /// Drops every event. Useful to run the metrics registry without
@@ -43,10 +59,25 @@ impl MemorySink {
         Self::default()
     }
 
+    /// Empty recording sink whose buffer is pre-sized for `capacity`
+    /// events (capacity hint for hot loops with a known event volume).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemorySink {
+            events: Arc::new(Mutex::new(Vec::with_capacity(capacity))),
+        }
+    }
+
     /// Snapshot of the recorded events (clone; the buffer keeps
     /// recording).
     pub fn events(&self) -> Vec<TelemetryEvent> {
         self.events.lock().clone()
+    }
+
+    /// Drain the recorded events without cloning, leaving the sink
+    /// empty. The shard merge uses this to move each shard's buffer
+    /// into the restamp pass allocation-free.
+    pub fn take_events(&self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut *self.events.lock())
     }
 
     /// Number of recorded events.
@@ -63,6 +94,21 @@ impl MemorySink {
 impl TelemetrySink for MemorySink {
     fn record(&self, event: &TelemetryEvent) {
         self.events.lock().push(event.clone());
+    }
+
+    fn record_owned(&self, event: TelemetryEvent) {
+        self.events.lock().push(event);
+    }
+
+    fn record_batch(&self, events: Vec<TelemetryEvent>) {
+        let mut buf = self.events.lock();
+        if buf.is_empty() {
+            // Common shard-merge shape: the parent buffer adopts the
+            // first batch wholesale instead of copying element-wise.
+            *buf = events;
+        } else {
+            buf.extend(events);
+        }
     }
 }
 

@@ -20,9 +20,9 @@ use crate::ledger::{Ledger, UsageKind, UsageRecord};
 use crate::network::{FloatingIp, FloatingIpId, NetworkId, PrivateNetwork};
 use crate::quota::{Quota, QuotaUsage};
 use crate::storage::{Bucket, Volume, VolumeId, VolumeState};
+use opml_simkernel::{det_hash_map, DetHashMap};
 use opml_simkernel::{EventQueue, SimDuration, SimTime};
 use opml_telemetry::Telemetry;
-use std::collections::HashMap;
 
 /// The simulated research cloud.
 #[derive(Debug)]
@@ -31,12 +31,12 @@ pub struct Cloud {
     quota: Quota,
     usage: QuotaUsage,
     calendar: ReservationCalendar,
-    instances: HashMap<InstanceId, Instance>,
-    fips: HashMap<FloatingIpId, FloatingIp>,
-    networks: HashMap<NetworkId, PrivateNetwork>,
-    volumes: HashMap<VolumeId, Volume>,
-    buckets: HashMap<String, Bucket>,
-    lease_instances: HashMap<LeaseId, Vec<InstanceId>>,
+    instances: DetHashMap<InstanceId, Instance>,
+    fips: DetHashMap<FloatingIpId, FloatingIp>,
+    networks: DetHashMap<NetworkId, PrivateNetwork>,
+    volumes: DetHashMap<VolumeId, Volume>,
+    buckets: DetHashMap<String, Bucket>,
+    lease_instances: DetHashMap<LeaseId, Vec<InstanceId>>,
     lease_ends: EventQueue<LeaseId>,
     ledger: Ledger,
     next_id: u64,
@@ -52,12 +52,12 @@ impl Cloud {
             quota,
             usage: QuotaUsage::default(),
             calendar: ReservationCalendar::new(),
-            instances: HashMap::new(),
-            fips: HashMap::new(),
-            networks: HashMap::new(),
-            volumes: HashMap::new(),
-            buckets: HashMap::new(),
-            lease_instances: HashMap::new(),
+            instances: det_hash_map(),
+            fips: det_hash_map(),
+            networks: det_hash_map(),
+            volumes: det_hash_map(),
+            buckets: det_hash_map(),
+            lease_instances: det_hash_map(),
             lease_ends: EventQueue::new(),
             ledger: Ledger::new(),
             next_id: 0,
@@ -76,6 +76,15 @@ impl Cloud {
     /// Attach a telemetry handle in place.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Pre-size the usage ledger (builder style). Callers that know the
+    /// expected record volume — the shard driver derives one from the
+    /// shard's student count — use this so the close-record hot loop
+    /// never grows the ledger mid-run.
+    pub fn with_ledger_capacity(mut self, capacity: usize) -> Self {
+        self.ledger = Ledger::with_capacity(capacity);
+        self
     }
 
     /// A cloud configured like the paper's course: the §4 KVM\@TACC quota
@@ -226,7 +235,7 @@ impl Cloud {
     fn note_launch(&self, name: &str, flavor: FlavorId, leased: bool) {
         self.telemetry.instant(self.now, "instance.launch", || {
             vec![
-                ("name", name.into()),
+                ("name", name.to_string().into()),
                 ("flavor", flavor.name().into()),
                 ("leased", leased.into()),
             ]
@@ -236,7 +245,10 @@ impl Cloud {
 
     fn quota_deny(&self, resource: &'static str, name: &str) {
         self.telemetry.instant(self.now, "quota.deny", || {
-            vec![("resource", resource.into()), ("name", name.into())]
+            vec![
+                ("resource", resource.into()),
+                ("name", name.to_string().into()),
+            ]
         });
         self.telemetry.counter_add("cloud.quota_denials", 1);
     }
@@ -343,7 +355,7 @@ impl Cloud {
                 self.lease_ends.push(lease.end, lease.id);
                 self.telemetry.instant(self.now, "lease.accept", || {
                     vec![
-                        ("owner", owner.into()),
+                        ("owner", owner.to_string().into()),
                         ("flavor", flavor.name().into()),
                         ("count", count.into()),
                         ("start_min", start.0.into()),
@@ -356,7 +368,7 @@ impl Cloud {
             Err(e) => {
                 self.telemetry.instant(self.now, "lease.deny", || {
                     vec![
-                        ("owner", owner.into()),
+                        ("owner", owner.to_string().into()),
                         ("flavor", flavor.name().into()),
                         ("count", count.into()),
                         ("start_min", start.0.into()),
@@ -844,7 +856,7 @@ mod tests {
         cloud.advance(SimDuration::hours(2));
         cloud.delete_instance(id).unwrap();
 
-        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.to_string()).collect();
         assert_eq!(
             names,
             vec!["instance.launch", "quota.deny", "instance.terminate"]

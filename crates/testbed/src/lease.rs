@@ -44,9 +44,10 @@
 
 use crate::error::CloudError;
 use crate::flavor::FlavorId;
+use opml_simkernel::DetHashMap;
 use opml_simkernel::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound::{Excluded, Unbounded};
 
 /// Opaque lease identifier.
@@ -190,15 +191,15 @@ impl FlavorProfile {
 #[derive(Debug, Default)]
 pub struct ReservationCalendar {
     /// Number of physical nodes per flavor.
-    capacity: HashMap<FlavorId, u32>,
+    capacity: DetHashMap<FlavorId, u32>,
     /// Admitted leases per flavor (append-only; expired leases retained
     /// for the usage analysis — admission control never scans this).
-    leases: HashMap<FlavorId, Vec<Lease>>,
+    leases: DetHashMap<FlavorId, Vec<Lease>>,
     /// Sweep-line occupancy profile per flavor.
-    profiles: HashMap<FlavorId, FlavorProfile>,
+    profiles: DetHashMap<FlavorId, FlavorProfile>,
     /// Lease id → (flavor, index into `leases[flavor]`) for `O(1)`
     /// lookup; ids are unique and never reused.
-    index: HashMap<LeaseId, (FlavorId, usize)>,
+    index: DetHashMap<LeaseId, (FlavorId, usize)>,
     /// Leases revoked before their window ended.
     revoked: BTreeSet<LeaseId>,
     next_id: u64,

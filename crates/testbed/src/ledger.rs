@@ -95,6 +95,16 @@ impl Ledger {
         Ledger::default()
     }
 
+    /// Empty ledger pre-sized for `capacity` records. The shard driver
+    /// passes a per-student volume estimate so the hot close-record
+    /// loop appends without reallocating; the hint is a capacity, not a
+    /// bound.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Ledger {
+            records: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Append a closed record.
     pub fn push(&mut self, rec: UsageRecord) {
         debug_assert!(rec.end >= rec.start, "record ends before it starts");

@@ -98,4 +98,28 @@ if [ -z "$digest_a" ] || [ "$digest_a" != "$digest_b" ]; then
 fi
 rm -rf "$profile_dir"
 
+echo "==> alloc-ceiling smoke (2k cohort, counting allocator compiled in)"
+# Pins the hot-path allocation pass: shard.sim must stay far below the
+# pre-optimization ~1.95M allocation count (budget has ~25% headroom
+# over the measured post-pass count), and the digested alloc subtree
+# must be present and pinned by alloc_digest.
+alloc_dir=$(mktemp -d)
+cargo run --release -q -p opml-experiments --features alloc-profile \
+    --bin run-experiments -- \
+    profile --seed 42 --enrollment 2000 --threads 2 --out "$alloc_dir" >/dev/null
+shard_allocs=$(sed -n 's/.*"phase":"shard\.sim","allocs":\([0-9]*\).*/\1/p' \
+    "$alloc_dir/profile.json")
+alloc_digest=$(sed -n 's/.*"alloc_digest": "\([0-9a-f]*\)".*/\1/p' \
+    "$alloc_dir/profile.json")
+alloc_budget=800000
+if [ -z "$shard_allocs" ] || [ -z "$alloc_digest" ]; then
+    echo "alloc smoke FAILED: shard.sim allocs or alloc_digest missing from profile.json" >&2
+    exit 1
+fi
+if [ "$shard_allocs" -gt "$alloc_budget" ]; then
+    echo "alloc smoke FAILED: shard.sim allocated $shard_allocs times, budget is $alloc_budget" >&2
+    exit 1
+fi
+rm -rf "$alloc_dir"
+
 echo "all checks passed"

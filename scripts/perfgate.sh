@@ -4,7 +4,10 @@
 # instead of overwriting them.
 #
 #   scripts/perfgate.sh          # calendar gate only (seconds)
-#   scripts/perfgate.sh --full   # + the semester sweep (minutes)
+#   scripts/perfgate.sh --full   # + the serve and semester sweeps (minutes)
+#   scripts/perfgate.sh --regen  # regenerate every baseline, then gate
+#                                # against what was just written (one
+#                                # pass after a deliberate perf change)
 #
 # Knobs (environment):
 #   PERFGATE_TOLERANCE        allowed fractional wall regression
@@ -29,6 +32,23 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--regen" ]; then
+    echo "==> perfgate: regenerating BENCH_calendar.json"
+    cargo bench -q -p opml-bench --bench bench_calendar
+
+    echo "==> perfgate: regenerating BENCH_serve.json"
+    cargo bench -q -p opml-bench --bench bench_serve
+
+    echo "==> perfgate: regenerating BENCH_semester.json"
+    cargo bench -q -p opml-bench --bench bench_semester
+
+    # Immediately gate against the fresh baselines: a regen that can't
+    # pass its own check (digest drift between back-to-back runs, or a
+    # wall time so noisy it blows the tolerance) is not a baseline
+    # worth committing.
+    set -- --full
+fi
 
 echo "==> perfgate: bench_calendar --check (vs BENCH_calendar.json)"
 cargo bench -q -p opml-bench --bench bench_calendar -- --check

@@ -41,6 +41,7 @@ pub use opml_faults as faults;
 pub use opml_metering as metering;
 pub use opml_mlops as mlops;
 pub use opml_pricing as pricing;
+pub use opml_profiler as profiler;
 pub use opml_report as report;
 pub use opml_sched as sched;
 pub use opml_simkernel as simkernel;

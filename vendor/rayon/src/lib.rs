@@ -14,10 +14,59 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Process-wide override installed by [`ThreadPool::install`] /
 /// [`ThreadPoolBuilder::build_global`]. Zero means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Attribution hooks bracketing the shim's own dispatch machinery
+/// (chunk bookkeeping, scoped-thread spawn/join, result reassembly).
+/// See [`install_pool_hooks`].
+#[derive(Clone, Copy)]
+struct PoolHooks {
+    enter: fn() -> usize,
+    exit: fn(usize),
+}
+
+static POOL_HOOKS: OnceLock<PoolHooks> = OnceLock::new();
+
+/// Install process-wide pool-attribution hooks (first caller wins;
+/// later installs are ignored).
+///
+/// `enter` is called on whichever thread is about to run pool
+/// machinery — the dispatching caller *and* each scoped worker — and
+/// returns an opaque token; `exit` receives that token when the
+/// machinery is done (also on unwind). A profiler uses the pair to
+/// re-point its thread-local attribution at a dedicated pool phase, so
+/// the shim's thread-count-dependent bookkeeping allocations (worker
+/// stacks, per-worker result vectors, join/reassembly buffers) never
+/// land in user phases. User code that sets its own phase inside the
+/// parallel closure overrides the pool phase for its extent, exactly
+/// as it would any other enclosing phase.
+///
+/// Hooks must be allocation-free and panic-free: they run on the
+/// dispatch hot path and inside `Drop`.
+pub fn install_pool_hooks(enter: fn() -> usize, exit: fn(usize)) {
+    let _ = POOL_HOOKS.set(PoolHooks { enter, exit });
+}
+
+/// RAII bracket around pool machinery; no-op until hooks are installed.
+struct PoolScope(Option<usize>);
+
+impl PoolScope {
+    fn enter() -> Self {
+        PoolScope(POOL_HOOKS.get().map(|h| (h.enter)()))
+    }
+}
+
+impl Drop for PoolScope {
+    fn drop(&mut self) {
+        if let (Some(token), Some(h)) = (self.0.take(), POOL_HOOKS.get()) {
+            (h.exit)(token);
+        }
+    }
+}
 
 /// Number of worker threads parallel operations will use right now.
 pub fn current_num_threads() -> usize {
@@ -119,6 +168,12 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let nt = current_num_threads().min(n.max(1));
+    // The whole dispatch — including the inline path's collect buffer —
+    // runs under the pool-attribution bracket, so buffer growth that
+    // depends on chunking (and therefore on thread count) is never
+    // charged to a user phase. The closures themselves set their own
+    // phases where attribution matters.
+    let _pool = PoolScope::enter();
     if nt <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -130,7 +185,12 @@ where
             .map(|t| {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
-                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+                s.spawn(move || {
+                    // Fresh thread: bracket it too, so per-worker
+                    // result buffers land in the pool phase.
+                    let _pool = PoolScope::enter();
+                    (lo..hi).map(f).collect::<Vec<R>>()
+                })
             })
             .collect();
         for h in handles {
@@ -425,6 +485,7 @@ impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
     where
         F: Fn((usize, &'a mut [T])) + Sync,
     {
+        let _pool = PoolScope::enter();
         let indexed: Vec<(usize, &'a mut [T])> = self.chunks.into_iter().enumerate().collect();
         let n = indexed.len();
         let nt = current_num_threads().min(n.max(1));
@@ -447,6 +508,7 @@ impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
             let mut handles = Vec::new();
             for group in groups {
                 handles.push(s.spawn(move || {
+                    let _pool = PoolScope::enter();
                     for pair in group {
                         f(pair);
                     }
