@@ -1,8 +1,16 @@
 //! Sharded-semester scaling bench: wall time, speedup and peak RSS for
 //! the large-cohort sweep, written to `BENCH_semester.json`.
 //!
-//! Three families of arms, all labs-only at seed 42:
+//! Four families of arms, all labs-only at seed 42:
 //!
+//! * **spill** — the out-of-core streaming pipeline at 1M students
+//!   (`BENCH_SPILL_ENROLLMENT` overrides), digest-only, run strictly
+//!   FIRST: `peak_rss_kb()` reads the process-lifetime `VmHWM` high
+//!   water, so the in-memory arms below would mask the spill arm's
+//!   O(shard) peak if they ran earlier. The observed peak is gated
+//!   against a fixed 8 GB ceiling (`rss_ceiling_kb`), fatally, in both
+//!   write and `--check` mode — this is the machine-checked form of the
+//!   issue's "10M under a fixed RSS cap" claim at bench-tractable scale;
 //! * **sharded** — 191-student shards, enrollment × rayon thread count,
 //!   via the parallel driver;
 //! * **serial** — the same shards executed strictly sequentially (the
@@ -47,12 +55,21 @@
 
 use opml_bench::perfgate::{min_of, Gate};
 use opml_cohort::semester::{simulate_semester, simulate_semester_serial, SemesterConfig};
-use opml_experiments::scale::{digest_outcome, peak_rss_kb};
+use opml_cohort::spill::{simulate_semester_streaming_serial, SpillConfig};
+use opml_experiments::scale::{digest_outcome, peak_rss_kb, OutcomeDigest};
 use opml_profiler::Json;
 use opml_simkernel::parallel::{effective_thread_count, with_thread_count};
+use opml_telemetry::Telemetry;
 
 const SEED: u64 = 42;
 const SHARD_STUDENTS: u32 = 191;
+/// Hard ceiling on the spill arm's observed peak RSS: 8 GB in kB. The
+/// in-memory path needs ~30 GB at 1M students; the out-of-core path
+/// must stay under this regardless of enrollment (peak is O(shard)).
+const SPILL_RSS_CEILING_KB: u64 = 8 * 1024 * 1024;
+/// Default spill-arm enrollment (1M); `BENCH_SPILL_ENROLLMENT`
+/// overrides for quicker local runs or the 10M endurance run.
+const SPILL_ENROLLMENT: u32 = 1_000_000;
 /// Sharded/serial sweep enrollments.
 const ENROLLMENTS: [u32; 2] = [10_000, 100_000];
 /// Thread counts for the parallel arms.
@@ -93,6 +110,62 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (outcome, start.elapsed().as_secs_f64())
 }
 
+/// The out-of-core arm, measured separately from the in-memory sweep.
+struct SpillArm {
+    enrollment: u32,
+    wall_s: f64,
+    digest: u64,
+    records: u64,
+    shard_runs: usize,
+    spilled_bytes: u64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// Run the spill arm: serial streaming digest-only semester, once
+/// (never min-of-K — the interesting number is the RSS high water, and
+/// a repeat run cannot lower `VmHWM`).
+fn run_spill_arm(gate: &Gate) -> SpillArm {
+    let enrollment = std::env::var("BENCH_SPILL_ENROLLMENT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SPILL_ENROLLMENT);
+    let config = labs_config(enrollment, SHARD_STUDENTS);
+    // detlint::allow(DL001): spill paths are bench harness plumbing, never simulation input
+    let dir = std::env::temp_dir().join(format!("opml-bench-spill-{}", std::process::id()));
+    let spill = SpillConfig::new(dir);
+    let mut digest = OutcomeDigest::new();
+    let (outcome, wall_s) = timed(|| {
+        gate.inject_sleep();
+        simulate_semester_streaming_serial(&config, SEED, &Telemetry::disabled(), &spill, |r| {
+            digest.push(r)
+        })
+    });
+    let outcome = outcome.unwrap_or_else(|e| {
+        eprintln!("bench_semester: FAILED — spill arm errored: {e}");
+        std::process::exit(1);
+    });
+    let peak = peak_rss_kb();
+    let hash = digest.finish(
+        outcome.quota_denials,
+        outcome.slot_pushbacks,
+        &outcome.faults,
+    );
+    eprintln!(
+        "spill       n={enrollment:>8}            {wall_s:>8.3}s digest {hash:016x} \
+         peak_rss {} kB (ceiling {SPILL_RSS_CEILING_KB})",
+        peak.map_or_else(|| "?".to_string(), |p| p.to_string()),
+    );
+    SpillArm {
+        enrollment,
+        wall_s,
+        digest: hash,
+        records: outcome.records,
+        shard_runs: outcome.stats.shard_runs,
+        spilled_bytes: outcome.stats.spilled_bytes,
+        peak_rss_kb: peak,
+    }
+}
+
 /// CPUs actually online on the host, from `/proc/cpuinfo`.
 /// `available_parallelism` can be clipped by cgroup quotas or affinity
 /// masks, so both numbers are reported.
@@ -114,6 +187,21 @@ fn main() {
     let mut arms: Vec<Arm> = Vec::new();
     let mut divergent = false;
     let mut sharded_100k_best = f64::INFINITY;
+
+    // Out-of-core arm first: `VmHWM` never goes down, so this is the
+    // only window where the observed peak is the spill pipeline's own.
+    let spill_arm = run_spill_arm(&gate);
+    let spill_within_ceiling = spill_arm
+        .peak_rss_kb
+        .is_some_and(|p| p <= SPILL_RSS_CEILING_KB);
+    if !spill_within_ceiling {
+        eprintln!(
+            "bench_semester: FAILED — spill arm peak RSS {:?} kB exceeds the {SPILL_RSS_CEILING_KB} kB \
+             ceiling (or was unreadable); the out-of-core pipeline is no longer O(shard)",
+            spill_arm.peak_rss_kb
+        );
+        std::process::exit(1);
+    }
 
     for &enrollment in &ENROLLMENTS {
         let config = labs_config(enrollment, SHARD_STUDENTS);
@@ -247,9 +335,40 @@ fn main() {
         let schema = base.get("schema").and_then(Json::as_str).unwrap_or("");
         gate.fatal(
             "schema",
-            schema == "bench_semester/v2",
-            &format!("baseline schema `{schema}` != bench_semester/v2"),
+            schema == "bench_semester/v3",
+            &format!("baseline schema `{schema}` != bench_semester/v3"),
         );
+        // The RSS ceiling was already enforced above (write and check
+        // mode alike). Digest/record identity vs the baseline is fatal
+        // when the enrollments match; an env-overridden enrollment
+        // changes the workload, so only the ceiling applies. The wall
+        // gate never applies — the arm runs once, not min-of-K.
+        if let Some(b) = base.get("spill") {
+            let base_n = b.get("enrollment").and_then(Json::as_u64).unwrap_or(0);
+            if base_n == u64::from(spill_arm.enrollment) {
+                let base_digest = b.get("digest").and_then(Json::as_str).unwrap_or("");
+                let live_digest = format!("{:016x}", spill_arm.digest);
+                gate.fatal(
+                    "spill digest",
+                    base_digest == live_digest,
+                    &format!("digest {live_digest} != baseline {base_digest}"),
+                );
+                let base_records = b.get("records").and_then(Json::as_u64).unwrap_or(0);
+                gate.fatal(
+                    "spill records",
+                    base_records == spill_arm.records,
+                    &format!("records {} != baseline {base_records}", spill_arm.records),
+                );
+            } else {
+                eprintln!(
+                    "perfgate: spill arm enrollment {} != baseline {base_n} \
+                     (BENCH_SPILL_ENROLLMENT override); digest gate skipped, RSS ceiling still held",
+                    spill_arm.enrollment
+                );
+            }
+        } else {
+            gate.fatal("spill", false, "spill arm missing from baseline");
+        }
         let empty = Vec::new();
         let base_arms = base.get("arms").and_then(Json::as_array).unwrap_or(&empty);
         for a in &arms {
@@ -324,14 +443,29 @@ fn main() {
         "arms with oversubscribed=true requested more threads than host CPUs; their \
          speedup_vs_serial measures scheduling determinism, not hardware parallelism"
             .to_string(),
+        "spill = out-of-core streaming pipeline (digest-only, serial, run first so \
+         spill.peak_rss_kb is its own VmHWM high water); its observed peak must stay \
+         under rss_ceiling_kb, enforced fatally in write and --check mode alike"
+            .to_string(),
     ];
     let report = serde_json::json!({
-        "schema": "bench_semester/v2",
+        "schema": "bench_semester/v3",
         "seed": SEED,
         "host_cpus": host_cpus,
         "host_cpus_online": cpus_online,
         "shard_students": SHARD_STUDENTS,
         "peak_rss_kb": peak_rss_kb(),
+        "spill": serde_json::json!({
+            "enrollment": spill_arm.enrollment,
+            "threads": 1,
+            "wall_s": spill_arm.wall_s,
+            "digest": format!("{:016x}", spill_arm.digest),
+            "records": spill_arm.records,
+            "shard_runs": spill_arm.shard_runs,
+            "spilled_bytes": spill_arm.spilled_bytes,
+            "peak_rss_kb": spill_arm.peak_rss_kb,
+            "rss_ceiling_kb": SPILL_RSS_CEILING_KB,
+        }),
         "arms": arm_values,
         "speedup_floor_100k": speedup_floor,
         "notes": notes,

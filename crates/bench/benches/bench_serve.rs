@@ -34,8 +34,14 @@ fn config() -> ServeConfig {
         tenants: 8,
         servers: 512,
         queue_bound: 1024,
-        target_rps: 64,
-        increment_rps: 64,
+        // Open BELOW saturation: 512 simulated servers sustain the
+        // 8 ops/s opening round, so `max_sustainable_rps` anchors a
+        // real sustainable rate instead of the degenerate 0 a
+        // saturated opening round produces (the old 64→512 ramp
+        // started past saturation and stopped in round 2 with nothing
+        // sustainable on record).
+        target_rps: 8,
+        increment_rps: 8,
         max_rps: 512,
         round_secs: 600,
         // Let the ramp run to the failure-rate gate: with the latency
@@ -135,6 +141,11 @@ fn main() {
             ),
         );
         gate.fatal(
+            "sustainable_round_exists",
+            report.counts.max_sustainable_rps > 0,
+            "ramp opened at or past saturation; no sustainable round on record",
+        );
+        gate.fatal(
             "ops_per_sec_wall_floor",
             ops_per_sec_wall >= OPS_PER_SEC_WALL_FLOOR,
             &format!("{ops_per_sec_wall:.0} ops/s wall below floor {OPS_PER_SEC_WALL_FLOOR}"),
@@ -157,8 +168,10 @@ fn main() {
         "ops_per_sec_wall": ops_per_sec_wall,
         "ops_per_sec_wall_floor": OPS_PER_SEC_WALL_FLOOR,
         "notes": [
-            "ramp 64→512 (+64) ops/s against 512 simulated servers: the shed, \
-             reject, time-out, and retry paths all stay hot past saturation",
+            "ramp 8→512 (+8) ops/s against 512 simulated servers: the ramp opens \
+             below saturation (so max_sustainable_rps is a real rate, not 0) and \
+             runs deep past it, keeping the shed, reject, time-out, and retry \
+             paths hot until the failure-rate gate trips",
             "counts digest is thread-invariant and rerun-stable; --check compares \
              it fatally, so this baseline is also a determinism anchor",
         ],
@@ -174,6 +187,12 @@ fn main() {
     if ops_per_sec_wall < OPS_PER_SEC_WALL_FLOOR {
         eprintln!(
             "bench_serve: FAILED — {ops_per_sec_wall:.0} ops/s wall < {OPS_PER_SEC_WALL_FLOOR}"
+        );
+        std::process::exit(1);
+    }
+    if report.counts.max_sustainable_rps == 0 {
+        eprintln!(
+            "bench_serve: FAILED — no sustainable round; the ramp must open below saturation"
         );
         std::process::exit(1);
     }

@@ -28,6 +28,7 @@ pub mod labspec;
 pub mod labwork;
 pub mod project;
 pub mod semester;
+pub mod spill;
 
 pub use behavior::StudentProfile;
 pub use labspec::{lab_specs, LabSpec};

@@ -396,18 +396,20 @@ const LEDGER_RECORDS_PER_STUDENT: usize = 96;
 /// events is far below the total event count).
 const QUEUE_EVENTS_PER_STUDENT: usize = 16;
 
-/// Everything one shard produces, ready for the deterministic merge.
-struct ShardRun {
-    outcome: SemesterOutcome,
-    events: Vec<TelemetryEvent>,
-    metrics: MetricsSnapshot,
+/// Everything one shard produces, ready for the deterministic merge
+/// (in memory here; the out-of-core path in [`crate::spill`] writes the
+/// same pieces to disk instead).
+pub(crate) struct ShardRun {
+    pub(crate) outcome: SemesterOutcome,
+    pub(crate) events: Vec<TelemetryEvent>,
+    pub(crate) metrics: MetricsSnapshot,
 }
 
 /// Execute one shard against a private telemetry buffer (or fully
 /// disabled telemetry when the parent handle is disabled), so shards
 /// never contend on the parent handle and their event streams can be
 /// replayed in shard order afterwards.
-fn run_shard_buffered(
+pub(crate) fn run_shard_buffered(
     config: &SemesterConfig,
     seed: u64,
     shard: &ShardSpec,
@@ -492,7 +494,7 @@ fn merge_shard_runs(runs: Vec<ShardRun>, telemetry: &Telemetry) -> SemesterOutco
 /// monolithic driver (and `annotate` is false so the trace bytes are
 /// unchanged); multi-shard callers set `annotate` to stamp the shard
 /// index onto the plan span.
-fn run_shard(
+pub(crate) fn run_shard(
     config: &SemesterConfig,
     seed: u64,
     shard: &ShardSpec,

@@ -1,0 +1,764 @@
+//! Out-of-core semester execution: spill-to-disk shard runs and an
+//! incremental k-way merge with O(shard) peak memory.
+//!
+//! The in-memory sharded drivers ([`crate::semester::simulate_semester`])
+//! hold every shard's ledger, telemetry buffer and metrics snapshot
+//! until the global merge, so peak RSS is O(cohort) — ~30 GB at 1M
+//! students. The streaming drivers here keep the *simulation* identical
+//! but write each shard's output to an on-disk **run** the moment the
+//! shard finishes, releasing its buffers, and then consume the runs
+//! incrementally:
+//!
+//! 1. **Spill** (`merge.spill` phase): each shard's canonically sorted
+//!    ledger, telemetry buffer and metrics snapshot are encoded into
+//!    `run-0-<shard>.bin` via the compact binary codecs
+//!    ([`opml_testbed::ledger::UsageRecord::encode_into`],
+//!    [`opml_telemetry::spillcodec`]).
+//! 2. **Aux replay** (`merge.replay_restamp` / `merge.metrics`): the
+//!    telemetry and metrics blocks are streamed back in shard-index
+//!    order and folded through the parent handle exactly like the
+//!    in-memory merge — chunked [`Telemetry::replay_owned`] calls
+//!    assign the same gapless sequence stamps because restamping only
+//!    depends on arrival order.
+//! 3. **Merge** (`merge.spill` for intermediate passes, `merge.stream`
+//!    for the final pass): runs are k-way merged with bounded
+//!    read-ahead by [`StreamMerge`], the disk extension of
+//!    [`Ledger::merge_sorted`]'s index-min heap. When the run count
+//!    exceeds the merge fan-in, *contiguous* groups are merged into
+//!    intermediate runs first — contiguity preserves the shard-index
+//!    tie-break, so the final stream is byte-identical to the
+//!    in-memory merge (the spill differential test pins this).
+//! 4. **Consume**: the caller's closure sees each merged record once,
+//!    in canonical order; nothing cohort-sized is ever materialized.
+//!
+//! A cohort that fits in one shard takes the legacy single-campus path
+//! (no disk at all) and streams its close-order ledger, matching the
+//! in-memory single-shard semantics byte for byte.
+//!
+//! Peak memory is O(threads × shard) during simulation and
+//! O(fan-in × read-ahead) during the merge; peak disk is about twice
+//! the encoded cohort ledger (one extra copy during an intermediate
+//! merge pass).
+//!
+//! All failure modes — I/O errors, truncated or corrupt run files —
+//! surface as [`SpillError`], never a panic: both streaming drivers are
+//! detlint DL008 panic-freedom roots.
+
+use crate::semester::{run_shard, run_shard_buffered, SemesterConfig, ShardRun};
+use opml_faults::FaultStats;
+use opml_simkernel::binio;
+use opml_simkernel::parallel::map_slice;
+use opml_telemetry::{spillcodec, Telemetry};
+use opml_testbed::ledger::{RecordSource, StreamMerge, UsageRecord};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every spill-run file.
+const MAGIC: &[u8; 8] = b"OPMLRUN1";
+
+/// Fixed header size: magic + aux length + record count.
+const HEADER_BYTES: u64 = 8 + 8 + 8;
+
+/// Record-encode buffer flush threshold while writing a run.
+const WRITE_CHUNK: usize = 64 * 1024;
+
+/// Events per [`Telemetry::replay_owned`] batch during aux replay.
+/// Chunking bounds memory; restamping only depends on arrival order,
+/// so any chunk size produces identical sequence stamps.
+const REPLAY_CHUNK: usize = 16 * 1024;
+
+/// Out-of-core execution knobs.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Directory for run files. Created on demand; removed afterwards
+    /// if it ends up empty and `keep_runs` is false.
+    pub dir: PathBuf,
+    /// Maximum runs merged in one pass (and therefore the maximum
+    /// simultaneously open run files). Values below 2 are treated as 2.
+    pub fanin: usize,
+    /// Per-run read-ahead buffer in bytes during merges.
+    pub read_ahead: usize,
+    /// Keep run files after the merge instead of deleting them
+    /// (debugging aid).
+    pub keep_runs: bool,
+}
+
+impl SpillConfig {
+    /// Default knobs (fan-in 64, 256 KiB read-ahead) in `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> SpillConfig {
+        SpillConfig {
+            dir: dir.into(),
+            fanin: 64,
+            read_ahead: 256 * 1024,
+            keep_runs: false,
+        }
+    }
+}
+
+/// What went wrong in the out-of-core pipeline.
+#[derive(Debug)]
+pub enum SpillError {
+    /// An I/O operation on a run file failed.
+    Io {
+        /// File the operation targeted.
+        path: PathBuf,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// A run file decoded to something structurally impossible.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl SpillError {
+    fn from_io(path: &Path, source: io::Error) -> SpillError {
+        if source.kind() == io::ErrorKind::InvalidData {
+            SpillError::Corrupt {
+                path: path.to_path_buf(),
+                detail: source.to_string(),
+            }
+        } else {
+            SpillError::Io {
+                path: path.to_path_buf(),
+                source,
+            }
+        }
+    }
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpillError::Io { path, source } => {
+                write!(f, "spill I/O error on {}: {source}", path.display())
+            }
+            SpillError::Corrupt { path, detail } => {
+                write!(f, "corrupt spill run {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpillError::Io { source, .. } => Some(source),
+            SpillError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// Observability counters for one streaming run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Shard runs written to disk (0 on the single-shard path).
+    pub shard_runs: usize,
+    /// Intermediate merge passes (0 when the shard count fits the
+    /// fan-in).
+    pub merge_passes: usize,
+    /// Intermediate runs written by those passes.
+    pub intermediate_runs: usize,
+    /// Total bytes written to spill files (shard runs + intermediates).
+    pub spilled_bytes: u64,
+    /// Largest number of run files open simultaneously.
+    pub max_open_runs: usize,
+}
+
+/// Result of a streaming semester run: the scalar outcome plus spill
+/// observability. The ledger itself was delivered record-by-record to
+/// the consumer and is not held here — that is the point.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Quota denials encountered (sum over shards).
+    pub quota_denials: u64,
+    /// Reservations pushed to a later slot (sum over shards).
+    pub slot_pushbacks: u64,
+    /// Fault-path statistics (fieldwise sum over shards).
+    pub faults: FaultStats,
+    /// Records delivered to the consumer.
+    pub records: u64,
+    /// Spill pipeline counters.
+    pub stats: SpillStats,
+}
+
+/// Everything the merge needs to know about one run file without
+/// holding any of its contents.
+#[derive(Debug, Clone)]
+struct RunRef {
+    path: PathBuf,
+    records: u64,
+}
+
+/// Per-shard scalars carried in memory (they are O(1) per shard; only
+/// the bulky ledger/events/metrics go to disk).
+struct ShardRunMeta {
+    run: RunRef,
+    quota_denials: u64,
+    slot_pushbacks: u64,
+    faults: FaultStats,
+    has_aux: bool,
+    bytes: u64,
+}
+
+/// Simulate a full semester out-of-core, shards executed in parallel on
+/// the ambient rayon pool, delivering the merged canonical ledger
+/// record-by-record to `consumer`.
+///
+/// The record stream, telemetry replay, metrics fold and scalar sums
+/// are byte-identical to [`crate::semester::simulate_semester_with`] on
+/// the same config/seed at any thread count (multi-shard configs; a
+/// single-shard config streams the legacy close-order ledger, again
+/// matching the in-memory path).
+pub fn simulate_semester_streaming<F: FnMut(&UsageRecord)>(
+    config: &SemesterConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+    spill: &SpillConfig,
+    consumer: F,
+) -> Result<StreamOutcome, SpillError> {
+    run_streaming(config, seed, telemetry, spill, true, consumer)
+}
+
+/// Sequential counterpart of [`simulate_semester_streaming`]: same
+/// shards, executed one after another on the calling thread, same
+/// merge. Peak memory is O(shard) rather than O(threads × shard).
+pub fn simulate_semester_streaming_serial<F: FnMut(&UsageRecord)>(
+    config: &SemesterConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+    spill: &SpillConfig,
+    consumer: F,
+) -> Result<StreamOutcome, SpillError> {
+    run_streaming(config, seed, telemetry, spill, false, consumer)
+}
+
+fn run_streaming<F: FnMut(&UsageRecord)>(
+    config: &SemesterConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+    spill: &SpillConfig,
+    parallel: bool,
+    mut consumer: F,
+) -> Result<StreamOutcome, SpillError> {
+    let shards = config.shards();
+
+    // A cohort that fits in one shard keeps the legacy single-campus
+    // semantics (close-order ledger, no disk) — identical to the
+    // in-memory drivers' single-shard fast path.
+    if let [only] = shards.as_slice() {
+        let outcome = run_shard(config, seed, only, telemetry, false);
+        let mut records = 0u64;
+        for rec in outcome.ledger.records() {
+            consumer(rec);
+            records += 1;
+        }
+        return Ok(StreamOutcome {
+            quota_denials: outcome.quota_denials,
+            slot_pushbacks: outcome.slot_pushbacks,
+            faults: outcome.faults,
+            records,
+            stats: SpillStats::default(),
+        });
+    }
+
+    fs::create_dir_all(&spill.dir).map_err(|e| SpillError::from_io(&spill.dir, e))?;
+    let record_aux = telemetry.is_enabled();
+
+    // ---- Phase 1: simulate shards, spilling each to its own run file.
+    let metas: Vec<ShardRunMeta> = {
+        let results = if parallel {
+            map_slice(&shards, |_, shard| {
+                let run = run_shard_buffered(config, seed, shard, record_aux);
+                write_shard_run(spill, shard.index, run, record_aux)
+            })
+        } else {
+            shards
+                .iter()
+                .map(|shard| {
+                    let run = run_shard_buffered(config, seed, shard, record_aux);
+                    write_shard_run(spill, shard.index, run, record_aux)
+                })
+                .collect()
+        };
+        let mut metas = Vec::with_capacity(results.len());
+        for result in results {
+            metas.push(result?);
+        }
+        metas
+    };
+
+    let mut stats = SpillStats {
+        shard_runs: metas.len(),
+        ..SpillStats::default()
+    };
+    let mut quota_denials = 0u64;
+    let mut slot_pushbacks = 0u64;
+    let mut faults = FaultStats::default();
+    let expected_records: u64 = metas.iter().map(|m| m.run.records).sum();
+
+    // ---- Phase 2: fold aux blocks (telemetry replay + metrics) in
+    // shard-index order, mirroring the in-memory merge exactly.
+    telemetry.counter_add("semester.shards", metas.len() as u64);
+    for meta in &metas {
+        replay_aux(meta, spill, telemetry)?;
+        quota_denials += meta.quota_denials;
+        slot_pushbacks += meta.slot_pushbacks;
+        faults.merge(&meta.faults);
+        stats.spilled_bytes += meta.bytes;
+    }
+
+    // ---- Phase 3: hierarchical merge down to the fan-in, then stream.
+    let fanin = spill.fanin.max(2);
+    let mut level: Vec<RunRef> = metas.into_iter().map(|m| m.run).collect();
+    let mut level_no = 0u32;
+    while level.len() > fanin {
+        let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_SPILL);
+        level_no += 1;
+        stats.merge_passes += 1;
+        let mut next = Vec::with_capacity(level.len().div_ceil(fanin));
+        // Merging CONTIGUOUS groups, in order, preserves the global
+        // shard-index tie-break: ties within a group keep their input
+        // order (StreamMerge is index-stable), ties across groups are
+        // resolved by group order, which equals shard order.
+        for (gi, group) in level.chunks(fanin).enumerate() {
+            if let [only] = group {
+                // An undersized tail group passes through unmerged.
+                next.push(only.clone());
+                continue;
+            }
+            let out = RunRef {
+                path: spill.dir.join(format!("run-{level_no}-{gi}.bin")),
+                records: group.iter().map(|g| g.records).sum(),
+            };
+            stats.max_open_runs = stats.max_open_runs.max(group.len());
+            stats.spilled_bytes += write_merged_run(&out, group, spill)?;
+            stats.intermediate_runs += 1;
+            if !spill.keep_runs {
+                for g in group {
+                    let _ = fs::remove_file(&g.path);
+                }
+            }
+            next.push(out);
+        }
+        level = next;
+    }
+
+    let mut records = 0u64;
+    {
+        let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_STREAM);
+        stats.max_open_runs = stats.max_open_runs.max(level.len());
+        let sources = open_sources(&level, spill)?;
+        let mut merge = StreamMerge::new(sources)?;
+        while let Some(rec) = merge.next()? {
+            consumer(&rec);
+            records += 1;
+        }
+    }
+    if !spill.keep_runs {
+        for run in &level {
+            let _ = fs::remove_file(&run.path);
+        }
+        // Only removes the directory if nothing else lives in it.
+        let _ = fs::remove_dir(&spill.dir);
+    }
+    if records != expected_records {
+        return Err(SpillError::Corrupt {
+            path: spill.dir.clone(),
+            detail: format!("merged {records} records, shards produced {expected_records}"),
+        });
+    }
+
+    Ok(StreamOutcome {
+        quota_denials,
+        slot_pushbacks,
+        faults,
+        records,
+        stats,
+    })
+}
+
+/// Write one shard's output as a run file and return the in-memory
+/// scalars. Consumes the `ShardRun`, releasing its buffers on return —
+/// this is what makes peak RSS O(shard) instead of O(cohort).
+fn write_shard_run(
+    spill: &SpillConfig,
+    shard_index: u32,
+    run: ShardRun,
+    record_aux: bool,
+) -> Result<ShardRunMeta, SpillError> {
+    let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_SPILL);
+    let path = spill.dir.join(format!("run-0-{shard_index}.bin"));
+
+    let mut aux = Vec::new();
+    if record_aux {
+        spillcodec::encode_metrics(&run.metrics, &mut aux);
+        binio::put_u64(&mut aux, run.events.len() as u64);
+        for ev in &run.events {
+            spillcodec::encode_event(ev, &mut aux);
+        }
+    }
+
+    let records = run.outcome.ledger.records();
+    let file = File::create(&path).map_err(|e| SpillError::from_io(&path, e))?;
+    let mut w = BufWriter::with_capacity(WRITE_CHUNK, file);
+    let mut bytes = 0u64;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK + 256);
+    buf.extend_from_slice(MAGIC);
+    binio::put_u64(&mut buf, aux.len() as u64);
+    binio::put_u64(&mut buf, records.len() as u64);
+    w.write_all(&buf)
+        .map_err(|e| SpillError::from_io(&path, e))?;
+    w.write_all(&aux)
+        .map_err(|e| SpillError::from_io(&path, e))?;
+    bytes += buf.len() as u64 + aux.len() as u64;
+    drop(aux);
+    buf.clear();
+    for rec in records {
+        rec.encode_into(&mut buf);
+        if buf.len() >= WRITE_CHUNK {
+            w.write_all(&buf)
+                .map_err(|e| SpillError::from_io(&path, e))?;
+            bytes += buf.len() as u64;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)
+        .map_err(|e| SpillError::from_io(&path, e))?;
+    bytes += buf.len() as u64;
+    w.into_inner()
+        .map_err(|e| SpillError::from_io(&path, e.into_error()))?
+        .flush()
+        .map_err(|e| SpillError::from_io(&path, e))?;
+
+    Ok(ShardRunMeta {
+        run: RunRef {
+            path,
+            records: records.len() as u64,
+        },
+        quota_denials: run.outcome.quota_denials,
+        slot_pushbacks: run.outcome.slot_pushbacks,
+        faults: run.outcome.faults,
+        has_aux: record_aux,
+        bytes,
+    })
+}
+
+/// Read a run-file header, leaving the reader positioned at the aux
+/// block. Returns `(aux_len, record_count)`.
+fn read_header(r: &mut impl io::Read, path: &Path) -> Result<(u64, u64), SpillError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|e| SpillError::from_io(path, e))?;
+    if &magic != MAGIC {
+        return Err(SpillError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!("bad magic {magic:02x?}"),
+        });
+    }
+    let aux_len = binio::read_u64(r).map_err(|e| SpillError::from_io(path, e))?;
+    let record_count = binio::read_u64(r).map_err(|e| SpillError::from_io(path, e))?;
+    Ok((aux_len, record_count))
+}
+
+/// Stream one shard's aux block (metrics + telemetry events) back
+/// through the parent handle: chunked `replay_owned` first, then the
+/// metrics fold — the same per-shard order as the in-memory merge.
+fn replay_aux(
+    meta: &ShardRunMeta,
+    spill: &SpillConfig,
+    telemetry: &Telemetry,
+) -> Result<(), SpillError> {
+    if !meta.has_aux {
+        return Ok(());
+    }
+    let path = &meta.run.path;
+    let file = File::open(path).map_err(|e| SpillError::from_io(path, e))?;
+    let mut r = BufReader::with_capacity(spill.read_ahead, file);
+    let (aux_len, _records) = read_header(&mut r, path)?;
+    if aux_len == 0 {
+        return Ok(());
+    }
+    let metrics = spillcodec::decode_metrics(&mut r).map_err(|e| SpillError::from_io(path, e))?;
+    let event_count = binio::read_u64(&mut r).map_err(|e| SpillError::from_io(path, e))?;
+    {
+        let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_REPLAY);
+        let mut pending = Vec::with_capacity(REPLAY_CHUNK.min(event_count as usize));
+        for _ in 0..event_count {
+            pending
+                .push(spillcodec::decode_event(&mut r).map_err(|e| SpillError::from_io(path, e))?);
+            if pending.len() >= REPLAY_CHUNK {
+                let chunk = std::mem::replace(&mut pending, Vec::with_capacity(REPLAY_CHUNK));
+                telemetry.replay_owned(chunk);
+            }
+        }
+        if !pending.is_empty() {
+            telemetry.replay_owned(pending);
+        }
+    }
+    {
+        let _phase = opml_profiler::wall_phase(opml_profiler::phases::MERGE_METRICS);
+        telemetry.merge_metrics(&metrics);
+    }
+    Ok(())
+}
+
+/// A run file opened for streaming record decode: the bounded
+/// read-ahead source feeding [`StreamMerge`].
+struct RunRecordSource {
+    path: PathBuf,
+    reader: BufReader<File>,
+    remaining: u64,
+}
+
+impl RunRecordSource {
+    /// Open `run`, skip its aux block, and position at the first
+    /// record. Decode is count-driven, so a truncated file surfaces as
+    /// `UnexpectedEof` mid-stream rather than silently ending early.
+    fn open(run: &RunRef, spill: &SpillConfig) -> Result<RunRecordSource, SpillError> {
+        let path = run.path.clone();
+        let file = File::open(&path).map_err(|e| SpillError::from_io(&path, e))?;
+        let mut reader = BufReader::with_capacity(spill.read_ahead, file);
+        let (aux_len, record_count) = read_header(&mut reader, &path)?;
+        if record_count != run.records {
+            return Err(SpillError::Corrupt {
+                path,
+                detail: format!(
+                    "header says {record_count} records, merge plan expected {}",
+                    run.records
+                ),
+            });
+        }
+        skip_bytes(&mut reader, aux_len, &path)?;
+        Ok(RunRecordSource {
+            path,
+            reader,
+            remaining: record_count,
+        })
+    }
+}
+
+/// Skip `n` bytes of an open run reader (the aux block) without
+/// reading them into memory.
+fn skip_bytes(r: &mut BufReader<File>, n: u64, path: &Path) -> Result<(), SpillError> {
+    match i64::try_from(n) {
+        Ok(delta) => r
+            .seek_relative(delta)
+            .map_err(|e| SpillError::from_io(path, e)),
+        Err(_) => Err(SpillError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!("implausible aux length {n}"),
+        }),
+    }
+}
+
+impl RecordSource for RunRecordSource {
+    type Error = SpillError;
+
+    fn next_record(&mut self) -> Result<Option<UsageRecord>, SpillError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match UsageRecord::decode_from(&mut self.reader) {
+            Ok(rec) => {
+                self.remaining -= 1;
+                Ok(Some(rec))
+            }
+            Err(e) => Err(SpillError::from_io(&self.path, e)),
+        }
+    }
+}
+
+fn open_sources(runs: &[RunRef], spill: &SpillConfig) -> Result<Vec<RunRecordSource>, SpillError> {
+    runs.iter()
+        .map(|r| RunRecordSource::open(r, spill))
+        .collect()
+}
+
+/// Merge a contiguous group of runs into one intermediate run
+/// (ledger-only: aux was already replayed). Returns bytes written.
+fn write_merged_run(
+    out: &RunRef,
+    group: &[RunRef],
+    spill: &SpillConfig,
+) -> Result<u64, SpillError> {
+    let path = &out.path;
+    let sources = open_sources(group, spill)?;
+    let mut merge = StreamMerge::new(sources)?;
+    let file = File::create(path).map_err(|e| SpillError::from_io(path, e))?;
+    let mut w = BufWriter::with_capacity(WRITE_CHUNK, file);
+    let mut buf = Vec::with_capacity(WRITE_CHUNK + 256);
+    buf.extend_from_slice(MAGIC);
+    binio::put_u64(&mut buf, 0); // no aux in intermediate runs
+    binio::put_u64(&mut buf, out.records);
+    let mut bytes = 0u64;
+    let mut written = 0u64;
+    while let Some(rec) = merge.next()? {
+        rec.encode_into(&mut buf);
+        written += 1;
+        if buf.len() >= WRITE_CHUNK {
+            w.write_all(&buf)
+                .map_err(|e| SpillError::from_io(path, e))?;
+            bytes += buf.len() as u64;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)
+        .map_err(|e| SpillError::from_io(path, e))?;
+    bytes += buf.len() as u64;
+    w.into_inner()
+        .map_err(|e| SpillError::from_io(path, e.into_error()))?
+        .flush()
+        .map_err(|e| SpillError::from_io(path, e))?;
+    if written != out.records {
+        return Err(SpillError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!("merged {written} records, inputs declared {}", out.records),
+        });
+    }
+    Ok(bytes + HEADER_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semester::simulate_semester_with;
+    use opml_faults::FaultProfile;
+    use opml_telemetry::{export_jsonl, MemorySink};
+    use opml_testbed::ledger::Ledger;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        // detlint::allow(DL001): test-unique temp path, never simulation input
+        std::env::temp_dir().join(format!("opml-spill-test-{}-{tag}", std::process::id()))
+    }
+
+    fn small_config() -> SemesterConfig {
+        SemesterConfig {
+            enrollment: 30,
+            weeks: 14,
+            run_projects: true,
+            vm_auto_terminate_after: None,
+            faults: FaultProfile::none(),
+            shard_students: 8,
+        }
+    }
+
+    /// Run both paths with recording telemetry and return
+    /// (trace bytes, ledger json, metrics json, scalars) for each.
+    fn both_paths(config: &SemesterConfig, seed: u64, spill: &SpillConfig) -> [Vec<String>; 2] {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let outcome = simulate_semester_with(config, seed, &telemetry);
+        let in_memory = vec![
+            export_jsonl(&sink.events()),
+            serde_json::to_string(outcome.ledger.records()).expect("serialize"),
+            serde_json::to_string(&telemetry.metrics_snapshot()).expect("serialize"),
+            format!(
+                "{}|{}|{:?}",
+                outcome.quota_denials, outcome.slot_pushbacks, outcome.faults
+            ),
+        ];
+
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let mut ledger = Ledger::new();
+        let stream = simulate_semester_streaming(config, seed, &telemetry, spill, |r| {
+            ledger.push(r.clone())
+        })
+        .expect("streaming run");
+        assert_eq!(stream.records as usize, ledger.records().len());
+        let streamed = vec![
+            export_jsonl(&sink.events()),
+            serde_json::to_string(ledger.records()).expect("serialize"),
+            serde_json::to_string(&telemetry.metrics_snapshot()).expect("serialize"),
+            format!(
+                "{}|{}|{:?}",
+                stream.quota_denials, stream.slot_pushbacks, stream.faults
+            ),
+        ];
+        [in_memory, streamed]
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_bytes() {
+        let config = small_config();
+        let spill = SpillConfig::new(test_dir("match"));
+        let [in_memory, streamed] = both_paths(&config, 42, &spill);
+        for (label, (a, b)) in ["trace", "ledger", "metrics", "scalars"]
+            .into_iter()
+            .zip(in_memory.iter().zip(streamed.iter()))
+        {
+            assert_eq!(a, b, "{label} bytes diverge between paths");
+        }
+        assert!(!spill.dir.exists(), "run files cleaned up");
+    }
+
+    #[test]
+    fn tiny_fanin_forces_intermediate_passes() {
+        let config = small_config(); // 4 shards
+        let mut spill = SpillConfig::new(test_dir("fanin"));
+        spill.fanin = 2;
+        let reference = simulate_semester_with(&config, 7, &Telemetry::disabled());
+        let mut ledger = Ledger::new();
+        let stream =
+            simulate_semester_streaming_serial(&config, 7, &Telemetry::disabled(), &spill, |r| {
+                ledger.push(r.clone())
+            })
+            .expect("streaming run");
+        assert!(stream.stats.merge_passes >= 1, "{:?}", stream.stats);
+        assert!(stream.stats.intermediate_runs >= 1);
+        assert!(stream.stats.max_open_runs <= 2);
+        assert_eq!(
+            serde_json::to_string(ledger.records()).expect("serialize"),
+            serde_json::to_string(reference.ledger.records()).expect("serialize"),
+        );
+    }
+
+    #[test]
+    fn single_shard_streams_close_order_without_disk() {
+        let config = SemesterConfig {
+            enrollment: 6,
+            shard_students: 191,
+            ..small_config()
+        };
+        let spill = SpillConfig::new(test_dir("single"));
+        let reference = simulate_semester_with(&config, 3, &Telemetry::disabled());
+        let mut ledger = Ledger::new();
+        let stream = simulate_semester_streaming(&config, 3, &Telemetry::disabled(), &spill, |r| {
+            ledger.push(r.clone())
+        })
+        .expect("streaming run");
+        assert_eq!(stream.stats, SpillStats::default());
+        assert!(!spill.dir.exists(), "single shard never touches disk");
+        // Close order, not canonical order — exactly the legacy bytes.
+        assert_eq!(
+            serde_json::to_string(ledger.records()).expect("serialize"),
+            serde_json::to_string(reference.ledger.records()).expect("serialize"),
+        );
+    }
+
+    #[test]
+    fn corrupt_run_is_a_typed_error() {
+        let dir = test_dir("corrupt");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run-0-0.bin");
+        fs::write(&path, b"NOTARUN!").expect("write");
+        let run = RunRef {
+            path: path.clone(),
+            records: 1,
+        };
+        let spill = SpillConfig::new(&dir);
+        match RunRecordSource::open(&run, &spill) {
+            Err(SpillError::Corrupt { .. }) => {}
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("expected Corrupt, got a source"),
+        }
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir(&dir);
+    }
+}

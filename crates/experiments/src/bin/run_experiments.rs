@@ -250,6 +250,19 @@ fn run_scale(args: &[String], seed: u64, narrator: &Telemetry) {
             .collect(),
     };
     let digest_only = args.iter().any(|a| a == "--digest-only");
+    let spill_dir = arg_value(args, "--spill-dir").map(std::path::PathBuf::from);
+    let mem_budget_mb = match arg_value(args, "--mem-budget-mb") {
+        None => None,
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(mb) => Some(mb),
+            Err(_) => {
+                eprintln!(
+                    "run-experiments: --mem-budget-mb takes a non-negative integer, got `{raw}`"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
     narrate!(
         narrator,
         SimTime::ZERO,
@@ -261,10 +274,21 @@ fn run_scale(args: &[String], seed: u64, narrator: &Telemetry) {
         shard_students,
         threads,
         digest_only,
+        spill_dir,
+        mem_budget_mb,
     });
     println!("== Scale: sharded cohort sweep ==\n{}", report.text);
     if let Some(kb) = report.peak_rss_kb {
         println!("peak rss: {kb} kB");
+    }
+    if report.spilled {
+        println!("spill: out-of-core path engaged");
+    }
+    if let (Some(budget), Some(exceeded)) = (report.mem_budget_mb, report.budget_exceeded) {
+        println!(
+            "mem budget: {budget} MB — {}",
+            if exceeded { "EXCEEDED" } else { "respected" }
+        );
     }
     if !report.equivalent {
         eprintln!("scale: FAILED — sharded outcomes differ across execution strategies");

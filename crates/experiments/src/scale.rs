@@ -11,16 +11,41 @@
 //! digests each outcome, and demands byte-equivalence across all of
 //! them.
 //!
+//! ## Out-of-core mode
+//!
+//! With a spill directory (`--spill-dir`) or a memory budget the
+//! estimated in-memory peak would exceed (`--mem-budget-mb`), each arm
+//! runs through [`opml_cohort::spill::simulate_semester_streaming`]:
+//! shard outputs go to on-disk runs and the digest consumes the merged
+//! record stream incrementally ([`OutcomeDigest`]), so peak RSS is
+//! O(shard), not O(cohort). The stream is byte-identical to the
+//! in-memory merge, hence so is the digest — the spill differential
+//! test and the `check.sh` forced-spill smoke pin this against the
+//! committed goldens.
+//!
+//! Peak RSS is observed with the profiler's [`RssSampler`] timeline
+//! (plus the `VmHWM` high-water fallback) and reported alongside a
+//! budget-exceeded verdict so the RSS gate is observable, not inferred.
+//!
 //! Wall-clock use in this module is confined to the timing helper and
 //! explicitly suppressed for `opml-detlint` — the measured times are
 //! reported, never fed back into simulation state.
 
-use crate::digest::fnv1a64;
+use crate::digest::{fnv1a64, Fnv64};
 use opml_cohort::semester::{
     simulate_semester, simulate_semester_serial, SemesterConfig, SemesterOutcome,
 };
+use opml_cohort::spill::{
+    simulate_semester_streaming, simulate_semester_streaming_serial, SpillConfig, StreamOutcome,
+};
+use opml_faults::FaultStats;
+use opml_profiler::RssSampler;
 use opml_report::table::{fmt_num, Table};
 use opml_simkernel::parallel::with_thread_count;
+use opml_telemetry::Telemetry;
+use opml_testbed::ledger::UsageRecord;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// What to sweep.
 #[derive(Debug, Clone)]
@@ -37,6 +62,14 @@ pub struct ScaleConfig {
     /// once, untimed — the fast mode `check.sh` uses for its golden
     /// digest smoke.
     pub digest_only: bool,
+    /// Spill shard runs to this directory (out-of-core mode). `None`
+    /// defaults to a per-process temp directory when spilling is
+    /// triggered by `mem_budget_mb`.
+    pub spill_dir: Option<PathBuf>,
+    /// Peak-RSS budget in MB. Spilling engages when the estimated
+    /// in-memory peak exceeds it; the report records whether the
+    /// *observed* peak stayed within it.
+    pub mem_budget_mb: Option<u64>,
 }
 
 impl Default for ScaleConfig {
@@ -47,6 +80,8 @@ impl Default for ScaleConfig {
             shard_students: 191,
             threads: vec![1, 2, 4, 8],
             digest_only: false,
+            spill_dir: None,
+            mem_budget_mb: None,
         }
     }
 }
@@ -73,8 +108,17 @@ pub struct ScaleReport {
     pub arms: Vec<ScaleArm>,
     /// All digests identical (sequential vs every thread count).
     pub equivalent: bool,
-    /// Peak resident set of this process in kB (`VmHWM`), if readable.
+    /// Peak resident set in kB: the maximum of the sampled timeline
+    /// over the sweep, falling back to process `VmHWM`.
     pub peak_rss_kb: Option<u64>,
+    /// Whether the arms ran through the out-of-core spill path.
+    pub spilled: bool,
+    /// The configured memory budget, if any.
+    pub mem_budget_mb: Option<u64>,
+    /// `Some(true)` when a budget was set and the observed peak
+    /// exceeded it. Informational here; the hard gate lives in
+    /// `bench_semester --check`.
+    pub budget_exceeded: Option<bool>,
 }
 
 /// Digest every determinism-relevant byte of an outcome: the full
@@ -88,6 +132,52 @@ pub fn digest_outcome(outcome: &SemesterOutcome) -> u64 {
     fnv1a64(blob.as_bytes())
 }
 
+/// Incremental form of [`digest_outcome`] for the streaming path:
+/// records are folded one at a time as the merge delivers them, and
+/// the result is bit-identical to digesting the materialized outcome
+/// (`Ledger` serializes as `{"records":[...]}` and a record's
+/// standalone serialization equals its in-array serialization).
+#[derive(Debug)]
+pub struct OutcomeDigest {
+    hash: Fnv64,
+    first: bool,
+}
+
+impl OutcomeDigest {
+    /// Start a digest (opens the serialized-ledger envelope).
+    pub fn new() -> OutcomeDigest {
+        let mut hash = Fnv64::new();
+        hash.update(b"{\"records\":[");
+        OutcomeDigest { hash, first: true }
+    }
+
+    /// Fold the next merged record.
+    pub fn push(&mut self, record: &UsageRecord) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.hash.update(b",");
+        }
+        let json = serde_json::to_string(record).expect("record serializes");
+        self.hash.update(json.as_bytes());
+    }
+
+    /// Close the envelope, fold the scalar counters, return the digest.
+    pub fn finish(mut self, quota_denials: u64, slot_pushbacks: u64, faults: &FaultStats) -> u64 {
+        self.hash.update(b"]}");
+        self.hash.update(
+            format!("|qd={quota_denials}|pb={slot_pushbacks}|faults={faults:?}").as_bytes(),
+        );
+        self.hash.finish()
+    }
+}
+
+impl Default for OutcomeDigest {
+    fn default() -> Self {
+        OutcomeDigest::new()
+    }
+}
+
 /// Labs-only config for the sweep (projects plan against per-shard
 /// campuses too, but the scale story in the paper is about labs).
 fn sweep_config(config: &ScaleConfig) -> SemesterConfig {
@@ -97,6 +187,14 @@ fn sweep_config(config: &ScaleConfig) -> SemesterConfig {
         shard_students: config.shard_students,
         ..SemesterConfig::paper_course()
     }
+}
+
+/// Estimated in-memory peak RSS for a cohort of `enrollment` students,
+/// in MB. Calibrated from observed peaks of the in-memory path
+/// (~30 GB at 1M students ≈ 32 KiB/student); deliberately coarse — it
+/// only decides *whether* to spill under `--mem-budget-mb`.
+pub fn estimated_peak_mb(enrollment: u32) -> u64 {
+    u64::from(enrollment) * 32 / 1024
 }
 
 /// Wall-time one run. The simulator itself never reads the clock; this
@@ -116,48 +214,93 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// this module.
 pub use opml_profiler::peak_rss_kb;
 
-/// Run the sweep: the strictly sequential reference first (skipped in
-/// digest-only mode — its digest is still produced, untimed, at one
-/// thread), then one sharded arm per requested thread count.
+/// Run one spill arm: stream the merged ledger into an incremental
+/// digest, never materializing it.
+fn spill_arm(
+    sem: &SemesterConfig,
+    seed: u64,
+    spill: &SpillConfig,
+    threads: Option<usize>,
+) -> ScaleArm {
+    let mut digest = OutcomeDigest::new();
+    let outcome: StreamOutcome = match threads {
+        None => simulate_semester_streaming_serial(sem, seed, &Telemetry::disabled(), spill, |r| {
+            digest.push(r)
+        }),
+        Some(t) => with_thread_count(t, || {
+            simulate_semester_streaming(sem, seed, &Telemetry::disabled(), spill, |r| {
+                digest.push(r)
+            })
+        }),
+    }
+    .unwrap_or_else(|e| panic!("out-of-core scale arm failed: {e}"));
+    ScaleArm {
+        threads,
+        wall_s: None,
+        digest: digest.finish(
+            outcome.quota_denials,
+            outcome.slot_pushbacks,
+            &outcome.faults,
+        ),
+        records: outcome.records as usize,
+    }
+}
+
+/// Run one in-memory arm.
+fn memory_arm(sem: &SemesterConfig, seed: u64, threads: Option<usize>) -> ScaleArm {
+    let outcome = match threads {
+        None => simulate_semester_serial(sem, seed),
+        Some(t) => with_thread_count(t, || simulate_semester(sem, seed)),
+    };
+    ScaleArm {
+        threads,
+        wall_s: None,
+        digest: digest_outcome(&outcome),
+        records: outcome.ledger.records().len(),
+    }
+}
+
+/// Run the sweep: the strictly sequential reference first (untimed in
+/// digest-only mode), then one sharded arm per requested thread count.
+/// Spilling engages when a spill directory is given or the estimated
+/// peak exceeds the memory budget.
 pub fn run(config: &ScaleConfig) -> ScaleReport {
     let sem = sweep_config(config);
+    let spilled = config.spill_dir.is_some()
+        || config
+            .mem_budget_mb
+            .is_some_and(|budget| estimated_peak_mb(config.enrollment) > budget);
+    let spill_dir = config.spill_dir.clone().unwrap_or_else(|| {
+        // detlint::allow(DL001): spill paths are harness plumbing, never simulation input
+        std::env::temp_dir().join(format!("opml-spill-{}", std::process::id()))
+    });
+    let spill = SpillConfig::new(spill_dir);
+
+    let sampler = RssSampler::start(Duration::from_millis(50));
     let mut arms = Vec::new();
-    if config.digest_only {
-        let outcome = simulate_semester_serial(&sem, config.seed);
-        arms.push(ScaleArm {
-            threads: None,
-            wall_s: None,
-            digest: digest_outcome(&outcome),
-            records: outcome.ledger.records().len(),
+    let mut arm_threads: Vec<Option<usize>> = vec![None];
+    arm_threads.extend(config.threads.iter().map(|&t| Some(t)));
+    for threads in arm_threads {
+        let (mut arm, wall) = timed(|| {
+            if spilled {
+                spill_arm(&sem, config.seed, &spill, threads)
+            } else {
+                memory_arm(&sem, config.seed, threads)
+            }
         });
-        for &t in &config.threads {
-            let outcome = with_thread_count(t, || simulate_semester(&sem, config.seed));
-            arms.push(ScaleArm {
-                threads: Some(t),
-                wall_s: None,
-                digest: digest_outcome(&outcome),
-                records: outcome.ledger.records().len(),
-            });
+        if !config.digest_only {
+            arm.wall_s = Some(wall);
         }
-    } else {
-        let (outcome, wall) = timed(|| simulate_semester_serial(&sem, config.seed));
-        arms.push(ScaleArm {
-            threads: None,
-            wall_s: Some(wall),
-            digest: digest_outcome(&outcome),
-            records: outcome.ledger.records().len(),
-        });
-        for &t in &config.threads {
-            let (outcome, wall) =
-                timed(|| with_thread_count(t, || simulate_semester(&sem, config.seed)));
-            arms.push(ScaleArm {
-                threads: Some(t),
-                wall_s: Some(wall),
-                digest: digest_outcome(&outcome),
-                records: outcome.ledger.records().len(),
-            });
-        }
+        arms.push(arm);
     }
+    let sampled_peak = sampler.stop().into_iter().map(|s| s.rss_kb).max();
+    let peak_rss_kb = match (sampled_peak, peak_rss_kb()) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (a, b) => a.or(b),
+    };
+    let budget_exceeded = config
+        .mem_budget_mb
+        .map(|budget| peak_rss_kb.unwrap_or(0) > budget * 1024);
     let equivalent = arms.windows(2).all(|w| w[0].digest == w[1].digest);
 
     let mut table = Table::new(&["arm", "wall s", "records", "digest"]);
@@ -189,17 +332,42 @@ pub fn run(config: &ScaleConfig) -> ScaleReport {
         "\nenrollment {} | shard_students {} | seed {} | digest={:016x}\n",
         config.enrollment, config.shard_students, config.seed, arms[0].digest
     ));
+    text.push_str(&format!(
+        "path: {}\n",
+        if spilled {
+            "out-of-core (spill runs + streaming merge)"
+        } else {
+            "in-memory"
+        }
+    ));
+    if let Some(budget) = config.mem_budget_mb {
+        text.push_str(&format!(
+            "mem budget: {budget} MB | estimated in-memory peak: {} MB | observed peak: {} | {}\n",
+            estimated_peak_mb(config.enrollment),
+            peak_rss_kb.map_or_else(|| "n/a".to_string(), |kb| format!("{} MB", kb / 1024)),
+            match budget_exceeded {
+                Some(true) => "BUDGET EXCEEDED",
+                _ => "within budget",
+            }
+        ));
+    }
     ScaleReport {
         text,
         arms,
         equivalent,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb,
+        spilled,
+        mem_budget_mb: config.mem_budget_mb,
+        budget_exceeded,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use opml_simkernel::SimTime;
+    use opml_testbed::flavor::FlavorId;
+    use opml_testbed::ledger::{Ledger, UsageKind};
 
     #[test]
     fn tiny_sweep_is_equivalent_across_thread_counts() {
@@ -209,10 +377,130 @@ mod tests {
             shard_students: 12,
             threads: vec![1, 2, 8],
             digest_only: true,
+            spill_dir: None,
+            mem_budget_mb: None,
         });
         assert!(report.equivalent, "{}", report.text);
         assert_eq!(report.arms.len(), 4);
         assert!(report.arms[0].records > 0);
+        assert!(!report.spilled);
+    }
+
+    #[test]
+    fn forced_spill_matches_in_memory_digest() {
+        let base = ScaleConfig {
+            seed: 7,
+            enrollment: 40,
+            shard_students: 12,
+            threads: vec![2],
+            digest_only: true,
+            spill_dir: None,
+            mem_budget_mb: None,
+        };
+        let in_memory = run(&base);
+        // detlint::allow(DL001): test-unique temp path, never simulation input
+        let dir = std::env::temp_dir().join(format!("opml-scale-test-{}", std::process::id()));
+        let spilled = run(&ScaleConfig {
+            spill_dir: Some(dir),
+            ..base
+        });
+        assert!(spilled.spilled, "{}", spilled.text);
+        assert!(in_memory.equivalent && spilled.equivalent);
+        assert_eq!(
+            in_memory.arms[0].digest, spilled.arms[0].digest,
+            "spill path must reproduce the in-memory digest\n{}\n{}",
+            in_memory.text, spilled.text
+        );
+    }
+
+    #[test]
+    fn tiny_budget_triggers_spilling() {
+        let report = run(&ScaleConfig {
+            seed: 7,
+            enrollment: 40,
+            shard_students: 12,
+            threads: vec![],
+            digest_only: true,
+            spill_dir: None,
+            mem_budget_mb: Some(1), // estimate (1 MB) > budget? 40*32/1024 = 1 → not >
+        });
+        // estimated_peak_mb(40) == 1, equal to the budget, so no spill;
+        // a zero budget always spills.
+        assert!(!report.spilled);
+        let report = run(&ScaleConfig {
+            seed: 7,
+            enrollment: 40,
+            shard_students: 12,
+            threads: vec![],
+            digest_only: true,
+            spill_dir: None,
+            mem_budget_mb: Some(0),
+        });
+        assert!(report.spilled, "{}", report.text);
+        assert_eq!(report.mem_budget_mb, Some(0));
+        assert!(report.budget_exceeded.is_some());
+    }
+
+    #[test]
+    fn streaming_digest_matches_materialized_digest() {
+        let mut ledger = Ledger::new();
+        let recs = vec![
+            UsageRecord {
+                name: "lab1-s0".into(),
+                kind: UsageKind::Instance {
+                    flavor: FlavorId::M1Small,
+                    auto_terminated: true,
+                },
+                start: SimTime(0),
+                end: SimTime(90),
+            },
+            UsageRecord {
+                name: "lab1-s0".into(),
+                kind: UsageKind::FloatingIp,
+                start: SimTime(0),
+                end: SimTime(90),
+            },
+            UsageRecord {
+                name: "v0".into(),
+                kind: UsageKind::Volume { size_gb: 50 },
+                start: SimTime(5),
+                end: SimTime(60),
+            },
+            UsageRecord {
+                name: "b0".into(),
+                kind: UsageKind::ObjectStorage { gb: 2.5 },
+                start: SimTime(9),
+                end: SimTime(9),
+            },
+        ];
+        let mut streaming = OutcomeDigest::new();
+        for r in &recs {
+            ledger.push(r.clone());
+            streaming.push(r);
+        }
+        let faults = FaultStats::default();
+        let outcome = SemesterOutcome {
+            ledger,
+            quota_denials: 3,
+            slot_pushbacks: 1,
+            faults,
+        };
+        assert_eq!(
+            streaming.finish(3, 1, &faults),
+            digest_outcome(&outcome),
+            "incremental digest must equal the materialized digest"
+        );
+        // And the empty envelope agrees too.
+        let empty = SemesterOutcome {
+            ledger: Ledger::new(),
+            quota_denials: 0,
+            slot_pushbacks: 0,
+            faults: FaultStats::default(),
+        };
+        assert_eq!(
+            OutcomeDigest::new().finish(0, 0, &FaultStats::default()),
+            digest_outcome(&empty)
+        );
     }
 
     #[test]
@@ -224,6 +512,8 @@ mod tests {
                 shard_students: 8,
                 threads: vec![],
                 digest_only: true,
+                spill_dir: None,
+                mem_budget_mb: None,
             })
             .arms[0]
                 .digest

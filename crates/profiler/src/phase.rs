@@ -51,6 +51,12 @@ pub mod phases {
     pub const MERGE_METRICS: &str = "merge.metrics";
     /// K-way merge of shard ledgers.
     pub const MERGE_LEDGER: &str = "merge.ledger";
+    /// Encoding shard output into on-disk spill runs (out-of-core
+    /// path), plus intermediate merge passes that rewrite runs.
+    pub const MERGE_SPILL: &str = "merge.spill";
+    /// Final streaming k-way merge over on-disk runs (decode +
+    /// heap merge + consumer callback).
+    pub const MERGE_STREAM: &str = "merge.stream";
     /// Thread-pool dispatch machinery (worker spawn/join, per-worker
     /// result buffers, reassembly). Attributed via the rayon-shim pool
     /// hooks; thread-count dependent by nature, so it is excluded from

@@ -28,6 +28,9 @@
 //!   even when outputs are fully deterministic.
 //! * [`parallel`] — order-stable parallel fan-out over independent entities
 //!   or replications (rayon), merging by index rather than reduction order.
+//! * [`binio`] — little-endian binary wire primitives for the
+//!   out-of-core spill-run format (panic-free decoders with typed
+//!   `io::Error`s, so corrupt run files surface as errors, not crashes).
 //!
 //! ## Determinism contract
 //!
@@ -35,6 +38,7 @@
 //! the same seed produce identical results on any machine and any number of
 //! threads. This is property-tested in each module.
 
+pub mod binio;
 pub mod dethash;
 pub mod event;
 pub mod parallel;

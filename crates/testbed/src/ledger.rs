@@ -7,9 +7,10 @@
 //! this with Chameleon's monitoring and reservation data.
 
 use crate::flavor::FlavorId;
-use opml_simkernel::SimTime;
+use opml_simkernel::{binio, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::io;
 
 /// What kind of resource a record meters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,10 +68,95 @@ pub struct UsageRecord {
     pub end: SimTime,
 }
 
+/// Bound on a spilled record's name length; anything larger in a run
+/// file is corruption, not a real attribution name.
+const MAX_NAME_LEN: u32 = 1 << 16;
+
+/// [`UsageKind`] wire tags for the spill-run encoding.
+const KIND_INSTANCE: u8 = 0;
+const KIND_FLOATING_IP: u8 = 1;
+const KIND_VOLUME: u8 = 2;
+const KIND_OBJECT_STORAGE: u8 = 3;
+
 impl UsageRecord {
     /// Metered hours.
     pub fn hours(&self) -> f64 {
         self.end.since(self.start).as_hours_f64()
+    }
+
+    /// Append this record to a spill-run buffer: length-prefixed name,
+    /// one kind tag byte plus its payload, then the `[start, end)`
+    /// window. Floats travel by bit pattern and the flavor by its
+    /// [`FlavorId::ALL`] position, so [`UsageRecord::decode_from`]
+    /// reproduces the record exactly — the spilled merge stream must
+    /// serialize byte-identically to the in-memory one.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        binio::put_str(out, &self.name);
+        match self.kind {
+            UsageKind::Instance {
+                flavor,
+                auto_terminated,
+            } => {
+                binio::put_u8(out, KIND_INSTANCE);
+                binio::put_u8(out, flavor as u8);
+                binio::put_u8(out, u8::from(auto_terminated));
+            }
+            UsageKind::FloatingIp => binio::put_u8(out, KIND_FLOATING_IP),
+            UsageKind::Volume { size_gb } => {
+                binio::put_u8(out, KIND_VOLUME);
+                binio::put_u64(out, size_gb);
+            }
+            UsageKind::ObjectStorage { gb } => {
+                binio::put_u8(out, KIND_OBJECT_STORAGE);
+                binio::put_f64(out, gb);
+            }
+        }
+        binio::put_u64(out, self.start.0);
+        binio::put_u64(out, self.end.0);
+    }
+
+    /// Decode one record written by [`UsageRecord::encode_into`].
+    /// Corrupt tags or out-of-range flavors are `InvalidData`;
+    /// truncation is `UnexpectedEof`. Never panics.
+    pub fn decode_from(r: &mut impl io::Read) -> io::Result<UsageRecord> {
+        let name = binio::read_string(r, MAX_NAME_LEN)?;
+        let kind = match binio::read_u8(r)? {
+            KIND_INSTANCE => {
+                let raw = binio::read_u8(r)?;
+                let flavor = FlavorId::ALL
+                    .get(usize::from(raw))
+                    .copied()
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("flavor index {raw} out of range"),
+                        )
+                    })?;
+                UsageKind::Instance {
+                    flavor,
+                    auto_terminated: binio::read_u8(r)? != 0,
+                }
+            }
+            KIND_FLOATING_IP => UsageKind::FloatingIp,
+            KIND_VOLUME => UsageKind::Volume {
+                size_gb: binio::read_u64(r)?,
+            },
+            KIND_OBJECT_STORAGE => UsageKind::ObjectStorage {
+                gb: binio::read_f64(r)?,
+            },
+            tag => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown usage-kind tag {tag}"),
+                ))
+            }
+        };
+        Ok(UsageRecord {
+            name,
+            kind,
+            start: SimTime(binio::read_u64(r)?),
+            end: SimTime(binio::read_u64(r)?),
+        })
     }
 
     /// Flavor, for instance records.
@@ -344,6 +430,128 @@ fn kway_merge(mut parts: Vec<Vec<UsageRecord>>) -> Vec<UsageRecord> {
     out
 }
 
+/// A pull source of canonically-sorted usage records, the streaming
+/// counterpart of one `kway_merge` part. Implementations are typically
+/// on-disk spill runs; errors (I/O, corruption) surface through the
+/// associated error type rather than panicking.
+pub trait RecordSource {
+    /// Error produced by a failed pull.
+    type Error;
+
+    /// The next record, `None` when the source is exhausted. Records
+    /// must come out in canonical order ([`Ledger::sort_canonical`]);
+    /// the merge's output order is only guaranteed for sorted sources.
+    fn next_record(&mut self) -> Result<Option<UsageRecord>, Self::Error>;
+}
+
+/// Incremental k-way merge over [`RecordSource`]s: the streaming
+/// extension of [`Ledger::merge_sorted`]'s in-memory `kway_merge`.
+///
+/// Holds exactly one buffered head record per source (plus whatever the
+/// sources themselves buffer), so peak memory is O(k), independent of
+/// the total record count. Ties break on source index — identical to
+/// the in-memory merge's part-order tie-break — so for sources that are
+/// the pre-sorted shard ledgers in shard order, the merged stream is
+/// byte-identical to concatenating and stably sorting in memory.
+pub struct StreamMerge<S: RecordSource> {
+    sources: Vec<S>,
+    /// Buffered next record per source (`None` once exhausted).
+    heads: Vec<Option<UsageRecord>>,
+    /// Index min-heap over sources with a live head.
+    heap: Vec<usize>,
+}
+
+/// Whether source `a`'s buffered head merges before source `b`'s; ties
+/// break on source index (see [`StreamMerge`]).
+fn head_less(heads: &[Option<UsageRecord>], a: usize, b: usize) -> bool {
+    let (ra, rb) = (
+        heads.get(a).and_then(Option::as_ref),
+        heads.get(b).and_then(Option::as_ref),
+    );
+    // detlint::allow(DL008): heap entries are indices of sources with live heads by construction
+    let ra = ra.expect("heap source has a head");
+    // detlint::allow(DL008): heap entries are indices of sources with live heads by construction
+    let rb = rb.expect("heap source has a head");
+    (record_key(ra), a) < (record_key(rb), b)
+}
+
+/// Restore the min-heap property at `i` over the buffered heads.
+fn sift_down_heads(heap: &mut [usize], heads: &[Option<UsageRecord>], mut i: usize) {
+    loop {
+        let l = 2 * i + 1;
+        if l >= heap.len() {
+            break;
+        }
+        let r = l + 1;
+        let mut m = l;
+        // detlint::allow(DL008): l and r are bounds-checked heap positions
+        if r < heap.len() && head_less(heads, heap[r], heap[l]) {
+            m = r;
+        }
+        // detlint::allow(DL008): m and i are bounds-checked heap positions
+        if head_less(heads, heap[m], heap[i]) {
+            heap.swap(m, i);
+            i = m;
+        } else {
+            break;
+        }
+    }
+}
+
+impl<S: RecordSource> StreamMerge<S> {
+    /// Prime one head from every source and build the heap. A source
+    /// that errors on its first pull fails construction.
+    pub fn new(mut sources: Vec<S>) -> Result<StreamMerge<S>, S::Error> {
+        let mut heads = Vec::with_capacity(sources.len());
+        for s in &mut sources {
+            heads.push(s.next_record()?);
+        }
+        let mut heap: Vec<usize> = (0..heads.len())
+            .filter(|&i| heads.get(i).is_some_and(Option::is_some))
+            .collect();
+        for i in (0..heap.len() / 2).rev() {
+            sift_down_heads(&mut heap, &heads, i);
+        }
+        Ok(StreamMerge {
+            sources,
+            heads,
+            heap,
+        })
+    }
+
+    /// Pop the globally-next record, refilling the winning source's
+    /// head. `None` once every source is exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<UsageRecord>, S::Error> {
+        let Some(&top) = self.heap.first() else {
+            return Ok(None);
+        };
+        let out = self.heads.get_mut(top).and_then(Option::take);
+        // detlint::allow(DL008): heap entries index sources with live heads; exhausted entries are evicted below
+        let out = out.expect("heap source has a head");
+        // detlint::allow(DL008): `top` is a heap entry, an index into sources
+        let refill = match self.sources.get_mut(top) {
+            Some(s) => s.next_record()?,
+            None => None,
+        };
+        if let Some(slot) = self.heads.get_mut(top) {
+            *slot = refill;
+        }
+        if self.heads.get(top).is_some_and(Option::is_none) {
+            // detlint::allow(DL008): the heap head read above guarantees the heap is non-empty
+            let tail = self.heap.pop().expect("heap is nonempty");
+            if self.heap.is_empty() {
+                return Ok(Some(out));
+            }
+            if let Some(root) = self.heap.first_mut() {
+                *root = tail;
+            }
+        }
+        sift_down_heads(&mut self.heap, &self.heads, 0);
+        Ok(Some(out))
+    }
+}
+
 /// Max running sum of time-ordered deltas; ends sort before starts at the
 /// same instant (an instance replaced at time t does not double-count).
 fn sweep_peak(mut deltas: Vec<(SimTime, i64)>) -> i64 {
@@ -563,6 +771,127 @@ mod tests {
         let mut mixed = parts;
         mixed[0].sort_canonical();
         assert_eq!(json(&Ledger::merge_sorted(mixed)), json(&reference));
+    }
+
+    /// Infallible in-memory source for exercising [`StreamMerge`].
+    struct VecSource(std::vec::IntoIter<UsageRecord>);
+
+    impl RecordSource for VecSource {
+        type Error = std::convert::Infallible;
+
+        fn next_record(&mut self) -> Result<Option<UsageRecord>, Self::Error> {
+            Ok(self.0.next())
+        }
+    }
+
+    fn all_kinds_corpus() -> Vec<UsageRecord> {
+        let mut records = vec![
+            inst("lab1-a", FlavorId::M1Small, 0, 2),
+            UsageRecord {
+                name: "lab1-a".into(),
+                kind: UsageKind::Instance {
+                    flavor: FlavorId::ComputeCascadeLake,
+                    auto_terminated: true,
+                },
+                start: t(0),
+                end: t(5),
+            },
+            UsageRecord {
+                name: "lab1-a".into(),
+                kind: UsageKind::FloatingIp,
+                start: t(0),
+                end: t(3),
+            },
+            UsageRecord {
+                name: "v1".into(),
+                kind: UsageKind::Volume { size_gb: 100 },
+                start: t(1),
+                end: t(9),
+            },
+            UsageRecord {
+                name: "bucket".into(),
+                kind: UsageKind::ObjectStorage { gb: 1.25 },
+                start: t(2),
+                end: t(4),
+            },
+        ];
+        for f in FlavorId::ALL {
+            records.push(inst("sweep", f, 1, 2));
+        }
+        records
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_kind() {
+        let corpus = all_kinds_corpus();
+        let mut buf = Vec::new();
+        for r in &corpus {
+            r.encode_into(&mut buf);
+        }
+        let mut reader = buf.as_slice();
+        for want in &corpus {
+            let got = UsageRecord::decode_from(&mut reader).expect("decode");
+            // Byte-identity is the contract, not just field equality.
+            assert_eq!(
+                serde_json::to_string(&got).expect("serialize"),
+                serde_json::to_string(want).expect("serialize"),
+            );
+        }
+        assert!(reader.is_empty());
+        assert!(UsageRecord::decode_from(&mut reader).is_err(), "EOF errors");
+    }
+
+    #[test]
+    fn flavor_discriminants_match_all_order() {
+        // The spill encoding writes `flavor as u8` and decodes via
+        // `FlavorId::ALL[i]`; this pins the two orderings together.
+        for (i, f) in FlavorId::ALL.into_iter().enumerate() {
+            assert_eq!(f as usize, i, "{f:?} discriminant drifted from ALL order");
+        }
+    }
+
+    #[test]
+    fn stream_merge_matches_kway_merge() {
+        // Same adversarial fragments as `kway_merge_matches_concat_then_sort`.
+        let mut state = 0x5ee3_1aa7_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let flavors = [FlavorId::M1Small, FlavorId::M1Medium, FlavorId::GpuV100];
+        let mut parts: Vec<Ledger> = Vec::new();
+        for _ in 0..6 {
+            let mut l = Ledger::new();
+            for _ in 0..40 {
+                let s = next() % 30;
+                let e = s + 1 + next() % 8;
+                l.push(inst(
+                    &format!("lab{}-s{:02}", next() % 3, next() % 6),
+                    flavors[(next() % 3) as usize],
+                    s,
+                    e,
+                ));
+            }
+            l.sort_canonical();
+            parts.push(l);
+        }
+        parts.push(Ledger::new()); // an empty source must be harmless
+        let reference = Ledger::merge_sorted(parts.clone());
+        let sources: Vec<VecSource> = parts
+            .into_iter()
+            .map(|p| VecSource(p.records.into_iter()))
+            .collect();
+        let mut merge = StreamMerge::new(sources).expect("infallible");
+        let mut streamed = Ledger::new();
+        while let Some(rec) = merge.next().expect("infallible") {
+            streamed.push(rec);
+        }
+        assert_eq!(
+            serde_json::to_string(streamed.records()).expect("serialize"),
+            serde_json::to_string(reference.records()).expect("serialize"),
+        );
     }
 
     #[test]

@@ -57,6 +57,23 @@ if [ "$scale_1m_digest" != "$golden_1m_digest" ]; then
     exit 1
 fi
 
+echo "==> spill smoke run (2k cohort forced out-of-core vs golden digest)"
+# A 16 MB budget is far below the ~62 MB estimated in-memory peak at
+# 2k students, so this arm must take the spill path — and the streamed
+# digest must equal the in-memory golden byte-for-byte.
+spill_out=$(cargo run --release -q -p opml-experiments --bin run-experiments -- \
+    scale --enrollment 2000 --threads 2 --digest-only --mem-budget-mb 16 --quiet)
+spill_digest=$(printf '%s\n' "$spill_out" | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')
+golden_spill_digest=$(cat tests/golden/scale_2k_seed42.digest)
+if ! printf '%s\n' "$spill_out" | grep -q "out-of-core path engaged"; then
+    echo "spill smoke FAILED: the 16 MB budget did not engage the spill path" >&2
+    exit 1
+fi
+if [ "$spill_digest" != "$golden_spill_digest" ]; then
+    echo "spill smoke FAILED: digest $spill_digest != golden $golden_spill_digest" >&2
+    exit 1
+fi
+
 echo "==> serve smoke run (tiny ramp, digest stable across reruns and threads)"
 serve_dir=$(mktemp -d)
 serve_flags="serve --seed 7 --tenants 3 --servers 8 --target-rps 2 \
